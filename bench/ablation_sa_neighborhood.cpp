@@ -1,0 +1,90 @@
+// A5: ablation — SA move neighborhood. Figure 1 says only "pick a
+// random solution S'"; this bench compares single-vertex flips with
+// the imbalance-penalty cost (Johnson et al., our default) against
+// strictly balanced pair swaps, across the families where the two
+// plausibly differ.
+#include <algorithm>
+#include <iostream>
+#include <limits>
+#include <vector>
+
+#include "gbis/gen/planted.hpp"
+#include "gbis/gen/regular_planted.hpp"
+#include "gbis/gen/special.hpp"
+#include "gbis/harness/experiments.hpp"
+#include "gbis/harness/table.hpp"
+#include "gbis/harness/timer.hpp"
+#include "gbis/partition/bisection.hpp"
+#include "gbis/sa/sa.hpp"
+
+namespace {
+
+using namespace gbis;
+
+void row(TablePrinter& table, const char* label, const Graph& g,
+         SaNeighborhood neighborhood, std::uint32_t starts, double length,
+         Rng& rng) {
+  SaOptions options;
+  options.neighborhood = neighborhood;
+  options.temperature_length_factor = length;
+  const WallTimer timer;
+  Weight best = std::numeric_limits<Weight>::max();
+  std::uint64_t proposed = 0;
+  for (std::uint32_t s = 0; s < starts; ++s) {
+    Bisection b = Bisection::random(g, rng);
+    const SaStats stats = sa_refine(b, rng, options);
+    best = std::min(best, b.cut());
+    proposed += stats.moves_proposed;
+  }
+  table.cell(label)
+      .cell(neighborhood == SaNeighborhood::kFlip ? "flip" : "swap")
+      .cell(static_cast<std::int64_t>(best))
+      .cell(timer.elapsed_seconds(), 3)
+      .cell(static_cast<std::uint64_t>(proposed));
+  table.end_row();
+}
+
+}  // namespace
+
+int main() {
+  using namespace gbis;
+  const ExperimentEnv env = experiment_env();
+  Rng rng(env.seed);
+  const auto two_n = static_cast<std::uint32_t>(2000 * env.scale) / 2 * 2;
+
+  std::cout << "SA neighborhood ablation (best of " << env.starts
+            << " starts)\n";
+  TablePrinter table(std::cout, {{"graph", 22},
+                                 {"moves", 6},
+                                 {"cut", 8},
+                                 {"time", 8},
+                                 {"proposed", 10}});
+  table.print_header();
+
+  const Graph gbreg = make_regular_planted({two_n, 16, 3}, rng);
+  row(table, "Gbreg(2000,16,3)", gbreg, SaNeighborhood::kFlip, env.starts,
+      env.sa_length_factor, rng);
+  row(table, "Gbreg(2000,16,3)", gbreg, SaNeighborhood::kSwap, env.starts,
+      env.sa_length_factor, rng);
+
+  const Graph planted =
+      make_planted(planted_params_for_degree(two_n, 3.0, 32), rng);
+  row(table, "G2set(2000,deg3,b32)", planted, SaNeighborhood::kFlip,
+      env.starts, env.sa_length_factor, rng);
+  row(table, "G2set(2000,deg3,b32)", planted, SaNeighborhood::kSwap,
+      env.starts, env.sa_length_factor, rng);
+
+  const Graph ladder = make_ladder(two_n / 2);
+  row(table, "Ladder(2000)", ladder, SaNeighborhood::kFlip, env.starts,
+      env.sa_length_factor, rng);
+  row(table, "Ladder(2000)", ladder, SaNeighborhood::kSwap, env.starts,
+      env.sa_length_factor, rng);
+
+  const Graph tree = make_binary_tree(two_n);
+  row(table, "BinaryTree(2000)", tree, SaNeighborhood::kFlip, env.starts,
+      env.sa_length_factor, rng);
+  row(table, "BinaryTree(2000)", tree, SaNeighborhood::kSwap, env.starts,
+      env.sa_length_factor, rng);
+  std::cout << '\n';
+  return 0;
+}

@@ -1,0 +1,60 @@
+// A3: ablation — SA schedule parameters. Sweeps the temperature length
+// (moves per temperature per vertex) and cooling ratio, reporting the
+// quality/time trade-off the paper describes ("fine tuning of the
+// annealing schedule can be a big job").
+#include <iostream>
+#include <vector>
+
+#include "gbis/gen/planted.hpp"
+#include "gbis/harness/experiments.hpp"
+#include "gbis/harness/table.hpp"
+#include "gbis/harness/timer.hpp"
+#include "gbis/partition/bisection.hpp"
+#include "gbis/sa/sa.hpp"
+
+int main() {
+  using namespace gbis;
+  const ExperimentEnv env = experiment_env();
+  Rng rng(env.seed);
+
+  const auto two_n =
+      static_cast<std::uint32_t>(2000 * env.scale) / 2 * 2;
+  const PlantedParams params = planted_params_for_degree(two_n, 3.0, 32);
+  std::vector<Graph> graphs;
+  for (int i = 0; i < 3; ++i) graphs.push_back(make_planted(params, rng));
+
+  std::cout << "SA schedule ablation on G2set(" << two_n
+            << ", deg 3, b=32), single start per cell, planted width 32\n";
+  TablePrinter table(std::cout, {{"temp_len", 9},
+                                 {"cooling", 9},
+                                 {"avg_cut", 9},
+                                 {"avg_time", 9},
+                                 {"avg_temps", 9}});
+  table.print_header();
+
+  for (double length : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+    for (double cooling : {0.8, 0.9, 0.95}) {
+      SaOptions options;
+      options.temperature_length_factor = length;
+      options.cooling_ratio = cooling;
+      double cut_total = 0, time_total = 0, temps_total = 0;
+      for (const Graph& g : graphs) {
+        const WallTimer timer;
+        Bisection b = Bisection::random(g, rng);
+        const SaStats stats = sa_refine(b, rng, options);
+        cut_total += static_cast<double>(b.cut());
+        time_total += timer.elapsed_seconds();
+        temps_total += stats.temperatures;
+      }
+      const auto k = static_cast<double>(graphs.size());
+      table.cell(length, 0)
+          .cell(cooling, 2)
+          .cell(cut_total / k, 1)
+          .cell(time_total / k, 3)
+          .cell(temps_total / k, 0);
+      table.end_row();
+    }
+  }
+  std::cout << '\n';
+  return 0;
+}

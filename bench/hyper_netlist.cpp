@@ -1,0 +1,106 @@
+// Netlist partitioning shoot-out: native hypergraph FM vs. the paper's
+// graph algorithms run on clique and star expansions, on planted
+// circuit netlists. All columns report the true *net cut* of the
+// resulting cell partition (expansion cuts are mapped back to nets).
+#include <algorithm>
+#include <iostream>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "gbis/core/compaction.hpp"
+#include "gbis/harness/experiments.hpp"
+#include "gbis/harness/table.hpp"
+#include "gbis/harness/timer.hpp"
+#include "gbis/hypergraph/expand.hpp"
+#include "gbis/hypergraph/fm_hyper.hpp"
+#include "gbis/hypergraph/netlist_gen.hpp"
+#include "gbis/kl/kl.hpp"
+#include "gbis/partition/balance.hpp"
+#include "gbis/partition/bisection.hpp"
+
+namespace {
+
+using namespace gbis;
+
+/// Net cut of a cell-side assignment.
+Weight net_cut(const Hypergraph& h, std::span<const std::uint8_t> sides) {
+  return HyperBisection(
+             h, std::vector<std::uint8_t>(sides.begin(), sides.end()))
+      .cut();
+}
+
+}  // namespace
+
+int main() {
+  using namespace gbis;
+  const ExperimentEnv env = experiment_env();
+  Rng rng(env.seed);
+
+  const auto cells = static_cast<std::uint32_t>(2000 * env.scale) / 2 * 2;
+  std::cout << "Planted netlist bisection: native FM vs expansions ("
+            << "cells=" << cells << ", nets=" << cells * 3 / 2
+            << ", best of " << env.starts << " starts; all columns are "
+            << "net cuts)\n";
+  TablePrinter table(std::cout, {{"cross", 7},
+                                 {"fm", 8},
+                                 {"t_fm", 8},
+                                 {"clq_ckl", 8},
+                                 {"t_clq", 8},
+                                 {"star_ckl", 8},
+                                 {"t_star", 8}});
+  table.print_header();
+
+  for (std::uint32_t cross : {8u, 16u, 32u, 64u}) {
+    const NetlistParams params{cells, cells * 3 / 2, 1.0};
+    const Hypergraph h = make_planted_netlist(params, cross, rng);
+
+    // Native hypergraph FM.
+    WallTimer t_fm;
+    Weight fm_best = std::numeric_limits<Weight>::max();
+    for (std::uint32_t s = 0; s < env.starts; ++s) {
+      HyperBisection b = HyperBisection::random(h, rng);
+      hyper_fm_refine(b);
+      fm_best = std::min(fm_best, b.cut());
+    }
+    const double fm_time = t_fm.elapsed_seconds();
+
+    // Clique expansion + CKL.
+    const Graph clique = clique_expansion(h);
+    WallTimer t_clq;
+    Weight clq_best = std::numeric_limits<Weight>::max();
+    for (std::uint32_t s = 0; s < env.starts; ++s) {
+      const Bisection b = ckl(clique, rng);
+      clq_best = std::min(clq_best, net_cut(h, b.sides()));
+    }
+    const double clq_time = t_clq.elapsed_seconds();
+
+    // Star expansion + CKL; hub sides are dropped, cells rebalanced.
+    const Graph star = star_expansion(h);
+    WallTimer t_star;
+    Weight star_best = std::numeric_limits<Weight>::max();
+    for (std::uint32_t s = 0; s < env.starts; ++s) {
+      const Bisection b = ckl(star, rng);
+      std::vector<std::uint8_t> cell_sides(b.sides().begin(),
+                                           b.sides().begin() + cells);
+      // The star split balances cells+hubs; rebalance the cells alone
+      // through a throwaway clique-graph bisection.
+      Bisection cells_only(clique, std::move(cell_sides));
+      rebalance(cells_only);
+      star_best = std::min(star_best, net_cut(h, cells_only.sides()));
+    }
+    const double star_time = t_star.elapsed_seconds();
+
+    table.cell(std::to_string(cross))
+        .cell(static_cast<std::int64_t>(fm_best))
+        .cell(fm_time, 3)
+        .cell(static_cast<std::int64_t>(clq_best))
+        .cell(clq_time, 3)
+        .cell(static_cast<std::int64_t>(star_best))
+        .cell(star_time, 3);
+    table.end_row();
+  }
+  std::cout << "(clq/star columns run the paper's compacted KL on the "
+               "expansion, then score the induced cell split by nets)\n\n";
+  return 0;
+}

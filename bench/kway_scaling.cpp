@@ -1,0 +1,64 @@
+// k-way recursive bisection scaling: cut and balance versus k, with
+// and without compaction, on the paper's sparse regular family — the
+// VLSI-flow view of the headline result.
+#include <algorithm>
+#include <iostream>
+
+#include "gbis/gen/regular_planted.hpp"
+#include "gbis/harness/experiments.hpp"
+#include "gbis/harness/table.hpp"
+#include "gbis/harness/timer.hpp"
+#include "gbis/kway/kway_fm.hpp"
+#include "gbis/kway/recursive.hpp"
+#include "gbis/kway/refine.hpp"
+
+int main() {
+  using namespace gbis;
+  const ExperimentEnv env = experiment_env();
+  Rng rng(env.seed);
+
+  const auto two_n = static_cast<std::uint32_t>(5000 * env.scale) / 2 * 2;
+  const Graph g = make_regular_planted({two_n, 16, 3}, rng);
+
+  std::cout << "Recursive k-way on Gbreg(" << two_n
+            << ", 16, 3): compacted KL vs plain KL per level, plus "
+               "direct k-way refinement on top of CKL\n";
+  TablePrinter table(std::cout, {{"k", 4},
+                                 {"cut_ckl", 9},
+                                 {"t_ckl", 8},
+                                 {"+greedy", 9},
+                                 {"+kwayfm", 9},
+                                 {"cut_kl", 9},
+                                 {"t_kl", 8},
+                                 {"spread", 7}});
+  table.print_header();
+
+  for (std::uint32_t k : {2u, 3u, 4u, 8u, 16u, 32u}) {
+    KwayOptions with;
+    with.use_compaction = true;
+    KwayOptions without;
+    without.use_compaction = false;
+
+    const WallTimer t1;
+    const KwayPartition pc = recursive_kway(g, k, rng, with);
+    const double time_c = t1.elapsed_seconds();
+    const KwayPartition pc_refined = kway_refine(pc, rng);
+    const KwayPartition pc_fm = kway_fm_refine(pc, rng);
+    const WallTimer t2;
+    const KwayPartition pp = recursive_kway(g, k, rng, without);
+    const double time_p = t2.elapsed_seconds();
+
+    table.cell(std::to_string(k))
+        .cell(static_cast<std::int64_t>(pc.edge_cut()))
+        .cell(time_c, 3)
+        .cell(static_cast<std::int64_t>(pc_refined.edge_cut()))
+        .cell(static_cast<std::int64_t>(pc_fm.edge_cut()))
+        .cell(static_cast<std::int64_t>(pp.edge_cut()))
+        .cell(time_p, 3)
+        .cell(static_cast<std::uint64_t>(
+            std::max(pc.max_count_spread(), pp.max_count_spread())));
+    table.end_row();
+  }
+  std::cout << '\n';
+  return 0;
+}

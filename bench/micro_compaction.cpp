@@ -1,0 +1,50 @@
+// M1: microbenchmarks for the compaction machinery — matching,
+// contraction, and the full CKL pipeline.
+#include <benchmark/benchmark.h>
+
+#include "gbis/core/compaction.hpp"
+#include "gbis/core/contract.hpp"
+#include "gbis/core/matching.hpp"
+#include "gbis/gen/regular_planted.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace {
+
+using namespace gbis;
+
+Graph bench_graph(std::uint32_t two_n) {
+  Rng rng(two_n * 3 + 1);
+  return make_regular_planted({two_n, 16, 3}, rng);
+}
+
+void BM_MaximalMatching(benchmark::State& state) {
+  const Graph g = bench_graph(static_cast<std::uint32_t>(state.range(0)));
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(maximal_matching(g, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_vertices());
+}
+BENCHMARK(BM_MaximalMatching)->Arg(2048)->Arg(8192);
+
+void BM_ContractMatching(benchmark::State& state) {
+  const Graph g = bench_graph(static_cast<std::uint32_t>(state.range(0)));
+  Rng rng(2);
+  const Matching m = maximal_matching(g, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(contract_matching(g, m, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_vertices());
+}
+BENCHMARK(BM_ContractMatching)->Arg(2048)->Arg(8192);
+
+void BM_CklEndToEnd(benchmark::State& state) {
+  const Graph g = bench_graph(static_cast<std::uint32_t>(state.range(0)));
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ckl(g, rng).cut());
+  }
+}
+BENCHMARK(BM_CklEndToEnd)->Arg(512)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,58 @@
+// M1: microbenchmarks for the graph generators.
+#include <benchmark/benchmark.h>
+
+#include "gbis/gen/gnp.hpp"
+#include "gbis/gen/planted.hpp"
+#include "gbis/gen/regular_planted.hpp"
+#include "gbis/gen/special.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace {
+
+using namespace gbis;
+
+void BM_Gnp(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(1);
+  const double p = gnp_p_for_degree(n, 3.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_gnp(n, p, rng).num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Gnp)->Arg(2048)->Arg(16384);
+
+void BM_Planted(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(2);
+  const PlantedParams params = planted_params_for_degree(n, 3.0, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_planted(params, rng).num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Planted)->Arg(2048)->Arg(16384);
+
+void BM_RegularPlanted(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto d = static_cast<std::uint32_t>(state.range(1));
+  Rng rng(3);
+  const RegularPlantedParams params{n, 16, d};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_regular_planted(params, rng).num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RegularPlanted)->Args({2048, 3})->Args({2048, 4})->Args({8192, 3});
+
+void BM_SpecialFamilies(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_grid(n, n).num_edges());
+    benchmark::DoNotOptimize(make_ladder(n * n / 2).num_edges());
+    benchmark::DoNotOptimize(make_binary_tree(n * n).num_edges());
+  }
+}
+BENCHMARK(BM_SpecialFamilies)->Arg(32)->Arg(64);
+
+}  // namespace

@@ -1,0 +1,56 @@
+// M1: microbenchmarks for the Kernighan-Lin hot paths — a full pass and
+// a full refinement run across graph sizes and degrees.
+#include <benchmark/benchmark.h>
+
+#include "gbis/gen/regular_planted.hpp"
+#include "gbis/kl/kl.hpp"
+#include "gbis/partition/bisection.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace {
+
+using namespace gbis;
+
+Graph bench_graph(std::uint32_t two_n, std::uint32_t d) {
+  Rng rng(two_n * 7 + d);
+  return make_regular_planted({two_n, 16, d}, rng);
+}
+
+void BM_KlPass(benchmark::State& state) {
+  const auto two_n = static_cast<std::uint32_t>(state.range(0));
+  const auto d = static_cast<std::uint32_t>(state.range(1));
+  const Graph g = bench_graph(two_n, d);
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Bisection b = Bisection::random(g, rng);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(kl_pass(b));
+  }
+  state.SetItemsProcessed(state.iterations() * two_n);
+}
+BENCHMARK(BM_KlPass)
+    ->Args({512, 3})
+    ->Args({2048, 3})
+    ->Args({2048, 4})
+    ->Args({8192, 3})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KlRefineToFixpoint(benchmark::State& state) {
+  const auto two_n = static_cast<std::uint32_t>(state.range(0));
+  const Graph g = bench_graph(two_n, 3);
+  Rng rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Bisection b = Bisection::random(g, rng);
+    state.ResumeTiming();
+    const KlStats stats = kl_refine(b);
+    benchmark::DoNotOptimize(stats.final_cut);
+  }
+}
+BENCHMARK(BM_KlRefineToFixpoint)
+    ->Arg(512)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

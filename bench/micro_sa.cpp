@@ -1,0 +1,52 @@
+// M1: microbenchmarks for simulated annealing — full anneals under the
+// fast schedule, across sizes.
+#include <benchmark/benchmark.h>
+
+#include "gbis/gen/regular_planted.hpp"
+#include "gbis/partition/bisection.hpp"
+#include "gbis/rng/rng.hpp"
+#include "gbis/sa/sa.hpp"
+
+namespace {
+
+using namespace gbis;
+
+void BM_SaRefine(benchmark::State& state) {
+  const auto two_n = static_cast<std::uint32_t>(state.range(0));
+  Rng gen_rng(two_n);
+  const Graph g = make_regular_planted({two_n, 16, 3}, gen_rng);
+  Rng rng(1);
+  SaOptions options;
+  options.temperature_length_factor = 4.0;
+  options.cooling_ratio = 0.9;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Bisection b = Bisection::random(g, rng);
+    state.ResumeTiming();
+    const SaStats stats = sa_refine(b, rng, options);
+    benchmark::DoNotOptimize(stats.final_cut);
+  }
+}
+BENCHMARK(BM_SaRefine)->Arg(512)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+void BM_SaMoveThroughput(benchmark::State& state) {
+  // Throughput of the proposal loop in isolation: capped-move anneal.
+  const auto two_n = static_cast<std::uint32_t>(state.range(0));
+  Rng gen_rng(two_n + 1);
+  const Graph g = make_regular_planted({two_n, 16, 3}, gen_rng);
+  Rng rng(2);
+  SaOptions options;
+  options.max_total_moves = 100000;
+  options.initial_temperature = 2.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Bisection b = Bisection::random(g, rng);
+    state.ResumeTiming();
+    const SaStats stats = sa_refine(b, rng, options);
+    benchmark::DoNotOptimize(stats.moves_proposed);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_SaMoveThroughput)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+}  // namespace

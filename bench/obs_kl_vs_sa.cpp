@@ -1,0 +1,8 @@
+// O4/O5: Observations 4-5 — KL vs SA speed ratios and quality
+// win-rates with and without compaction.
+#include "gbis/harness/experiments.hpp"
+
+int main() {
+  gbis::experiment_obs_kl_vs_sa(gbis::experiment_env());
+  return 0;
+}

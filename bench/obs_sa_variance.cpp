@@ -1,0 +1,82 @@
+// O6 (Observation 4, consistency): "In the quality of the solution
+// returned, the Kernighan-Lin procedure was more consistent than
+// simulated annealing. ... Simulated annealing occasionally showed
+// large differences in the results of the two trials." This bench runs
+// each method many times on the same instances and reports the spread.
+#include <iostream>
+#include <vector>
+
+#include "gbis/gen/planted.hpp"
+#include "gbis/gen/regular_planted.hpp"
+#include "gbis/gen/special.hpp"
+#include "gbis/harness/experiments.hpp"
+#include "gbis/harness/stats.hpp"
+#include "gbis/harness/table.hpp"
+#include "gbis/kl/kl.hpp"
+#include "gbis/partition/bisection.hpp"
+#include "gbis/sa/sa.hpp"
+
+namespace {
+
+using namespace gbis;
+
+void study(const char* label, const Graph& g, Rng& rng, double sa_length,
+           TablePrinter& table) {
+  constexpr int kTrials = 12;
+  std::vector<double> kl_cuts, sa_cuts;
+  SaOptions sa_options;
+  sa_options.temperature_length_factor = sa_length;
+  for (int t = 0; t < kTrials; ++t) {
+    Bisection kl_b = Bisection::random(g, rng);
+    kl_refine(kl_b);
+    kl_cuts.push_back(static_cast<double>(kl_b.cut()));
+    Bisection sa_b = Bisection::random(g, rng);
+    sa_refine(sa_b, rng, sa_options);
+    sa_cuts.push_back(static_cast<double>(sa_b.cut()));
+  }
+  const Summary kl = summarize(kl_cuts);
+  const Summary sa = summarize(sa_cuts);
+  table.cell(label)
+      .cell("KL")
+      .cell(kl.min, 0)
+      .cell(kl.mean, 1)
+      .cell(kl.max, 0)
+      .cell(kl.stddev, 1);
+  table.end_row();
+  table.cell(label)
+      .cell("SA")
+      .cell(sa.min, 0)
+      .cell(sa.mean, 1)
+      .cell(sa.max, 0)
+      .cell(sa.stddev, 1);
+  table.end_row();
+}
+
+}  // namespace
+
+int main() {
+  using namespace gbis;
+  const ExperimentEnv env = experiment_env();
+  Rng rng(env.seed);
+  const auto two_n = static_cast<std::uint32_t>(2000 * env.scale) / 2 * 2;
+
+  std::cout << "Trial-to-trial variance (12 independent starts per "
+               "method per graph)\n";
+  TablePrinter table(std::cout, {{"graph", 22},
+                                 {"method", 6},
+                                 {"min", 7},
+                                 {"mean", 8},
+                                 {"max", 7},
+                                 {"stddev", 7}});
+  table.print_header();
+
+  const Graph gbreg = make_regular_planted({two_n, 16, 3}, rng);
+  study("Gbreg(2000,16,3)", gbreg, rng, env.sa_length_factor, table);
+  const Graph planted =
+      make_planted(planted_params_for_degree(two_n, 3.0, 32), rng);
+  study("G2set(2000,deg3,b32)", planted, rng, env.sa_length_factor, table);
+  const Graph ladder = make_ladder(two_n / 2);
+  study("Ladder(2000)", ladder, rng, env.sa_length_factor, table);
+  std::cout << '\n';
+  return 0;
+}

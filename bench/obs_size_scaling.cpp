@@ -1,0 +1,48 @@
+// O2 (size trend): "once again compaction provides more of a benefit
+// as the graph size increases" — KL vs CKL across instance sizes at
+// fixed planted width and degree 3.
+#include <iostream>
+#include <vector>
+
+#include "gbis/gen/regular_planted.hpp"
+#include "gbis/harness/experiments.hpp"
+#include "gbis/harness/stats.hpp"
+#include "gbis/harness/table.hpp"
+
+int main() {
+  using namespace gbis;
+  const ExperimentEnv env = experiment_env();
+  Rng rng(env.seed);
+  const RunConfig config = experiment_run_config(env);
+
+  std::cout << "Compaction benefit vs size on Gbreg(n, 16, 3) (avg of 3 "
+               "graphs, best of " << config.starts << " starts)\n";
+  TablePrinter table(std::cout, {{"n", 7},
+                                 {"bkl", 8},
+                                 {"bckl", 8},
+                                 {"kl_impr%", 9},
+                                 {"bsa", 8},
+                                 {"bcsa", 8},
+                                 {"sa_impr%", 9}});
+  table.print_header();
+
+  for (std::uint32_t base : {500u, 1000u, 2000u, 5000u, 10000u}) {
+    const auto n =
+        static_cast<std::uint32_t>(base * env.scale) / 2 * 2;
+    std::vector<Graph> graphs;
+    for (int i = 0; i < 3; ++i) {
+      graphs.push_back(make_regular_planted({n, 16, 3}, rng));
+    }
+    const FourWayRow row = run_four_way(graphs, rng, config);
+    table.cell(std::to_string(n))
+        .cell(row.bkl, 1)
+        .cell(row.bckl, 1)
+        .cell(percent_improvement(row.bkl, row.bckl), 1)
+        .cell(row.bsa, 1)
+        .cell(row.bcsa, 1)
+        .cell(percent_improvement(row.bsa, row.bcsa), 1);
+    table.end_row();
+  }
+  std::cout << '\n';
+  return 0;
+}

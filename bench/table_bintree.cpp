@@ -1,0 +1,7 @@
+// E4: appendix "Binary trees" table.
+#include "gbis/harness/experiments.hpp"
+
+int main() {
+  gbis::experiment_bintree(gbis::experiment_env());
+  return 0;
+}

@@ -1,0 +1,11 @@
+// E8 (part): appendix "G2set(2000, pA, pB, b)" tables, one per average
+// degree (2.5, 3, 3.5, 4).
+#include "gbis/harness/experiments.hpp"
+
+int main() {
+  const gbis::ExperimentEnv env = gbis::experiment_env();
+  for (double degree : {2.5, 3.0, 3.5, 4.0}) {
+    gbis::experiment_g2set(env, 2000, degree);
+  }
+  return 0;
+}

@@ -1,0 +1,10 @@
+// E8 (part): appendix "Gbreg(2000, b, 3)" and "Gbreg(2000, b, 4)"
+// tables.
+#include "gbis/harness/experiments.hpp"
+
+int main() {
+  const gbis::ExperimentEnv env = gbis::experiment_env();
+  gbis::experiment_gbreg(env, 2000, 3);
+  gbis::experiment_gbreg(env, 2000, 4);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// E6 + E8 (part): appendix "Gnp(5000, p)" and "Gnp(2000, p)" tables
+// (rows swept over average degree; the paper averaged 7 graphs per
+// entry — set GBIS_GRAPHS_PER_SETTING=7 to match exactly).
+#include "gbis/harness/experiments.hpp"
+
+int main() {
+  const gbis::ExperimentEnv env = gbis::experiment_env();
+  gbis::experiment_gnp(env, 5000);
+  gbis::experiment_gnp(env, 2000);
+  return 0;
+}

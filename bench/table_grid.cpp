@@ -1,0 +1,7 @@
+// E3: appendix "Grid graphs" (N x N) table.
+#include "gbis/harness/experiments.hpp"
+
+int main() {
+  gbis::experiment_grid(gbis::experiment_env());
+  return 0;
+}

@@ -1,0 +1,8 @@
+// E2: appendix "Ladder graphs" table — KL/SA/CKL/CSA cuts, times, and
+// compaction improvements on ladders of growing size.
+#include "gbis/harness/experiments.hpp"
+
+int main() {
+  gbis::experiment_ladder(gbis::experiment_env());
+  return 0;
+}

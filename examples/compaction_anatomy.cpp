@@ -1,0 +1,73 @@
+// Compaction anatomy: a step-by-step walk through the paper's
+// five-step heuristic on one instance, printing what each stage does —
+// the matching size, the densification of G', the coarse cut, the
+// projected starting cut on G, and the final refined cut — side by side
+// with what plain KL achieves from a random start.
+//
+//   $ ./compaction_anatomy [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "gbis/core/compaction.hpp"
+#include "gbis/core/contract.hpp"
+#include "gbis/core/matching.hpp"
+#include "gbis/gen/regular_planted.hpp"
+#include "gbis/kl/kl.hpp"
+#include "gbis/partition/bisection.hpp"
+#include "gbis/rng/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gbis;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1989;
+  Rng rng(seed);
+
+  const RegularPlantedParams params{3000, 16, 3};
+  const Graph g = make_regular_planted(params, rng);
+  std::cout << "G: " << g.num_vertices() << " vertices, " << g.num_edges()
+            << " edges, avg degree " << g.average_degree()
+            << ", planted width " << params.b << "\n\n";
+
+  // Step 1: maximal random matching.
+  const Matching matching = maximal_matching(g, rng);
+  std::cout << "step 1  matching:   " << matching.size() << " pairs ("
+            << (200.0 * static_cast<double>(matching.size()) /
+                g.num_vertices())
+            << "% of vertices matched)\n";
+
+  // Step 2: contraction.
+  const Contraction contraction = contract_matching(g, matching, rng);
+  const Graph& coarse = contraction.coarse;
+  std::cout << "step 2  contract:   G' has " << coarse.num_vertices()
+            << " vertices, " << coarse.num_edges()
+            << " edges, avg degree " << coarse.average_degree()
+            << "  <-- densified\n";
+
+  // Step 3: bisect G'.
+  Bisection coarse_bisection = Bisection::random(coarse, rng);
+  const Weight coarse_start = coarse_bisection.cut();
+  kl_refine(coarse_bisection);
+  std::cout << "step 3  solve G':   random start " << coarse_start
+            << " -> KL " << coarse_bisection.cut() << '\n';
+
+  // Step 4: uncompact.
+  Bisection fine(g, contraction.project(coarse_bisection.sides()));
+  std::cout << "step 4  uncompact:  starting cut on G = " << fine.cut()
+            << " (identical by construction)\n";
+
+  // Step 5: refine on G.
+  kl_refine(fine);
+  std::cout << "step 5  refine G:   final CKL cut = " << fine.cut()
+            << "\n\n";
+
+  // Control: plain KL from a random start.
+  Bisection plain = Bisection::random(g, rng);
+  const Weight plain_start = plain.cut();
+  kl_refine(plain);
+  std::cout << "control plain KL:   random start " << plain_start
+            << " -> " << plain.cut() << '\n';
+  std::cout << "\nThe projected start (step 4) is the whole trick: KL "
+               "descends from a near-planted configuration instead of a "
+               "random one.\n";
+  return 0;
+}

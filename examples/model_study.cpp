@@ -1,0 +1,107 @@
+// Model study CLI: generate a graph from any of the paper's models (or
+// load one from a file) and run any gbis method on it.
+//
+//   $ ./model_study                                # demo run
+//   $ ./model_study gbreg 2000 16 3 ckl            # model n b d method
+//   $ ./model_study g2set 2000 3.0 32 csa          # model n avg_deg b method
+//   $ ./model_study gnp 2000 3.0 kl                # model n avg_deg method
+//   $ ./model_study file graph.txt sa              # edge-list file
+//
+// Methods: kl sa ckl csa fm cfm mlkl greedy spectral random
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "gbis/gen/gnp.hpp"
+#include "gbis/gen/models.hpp"
+#include "gbis/gen/planted.hpp"
+#include "gbis/gen/regular_planted.hpp"
+#include "gbis/graph/analysis.hpp"
+#include "gbis/graph/ops.hpp"
+#include "gbis/harness/runner.hpp"
+#include "gbis/harness/timer.hpp"
+#include "gbis/io/edge_list.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace {
+
+using namespace gbis;
+
+Method parse_method(const std::string& name) {
+  if (name == "kl") return Method::kKl;
+  if (name == "sa") return Method::kSa;
+  if (name == "ckl") return Method::kCkl;
+  if (name == "csa") return Method::kCsa;
+  if (name == "fm") return Method::kFm;
+  if (name == "cfm") return Method::kCfm;
+  if (name == "mlkl") return Method::kMultilevelKl;
+  if (name == "greedy") return Method::kGreedy;
+  if (name == "spectral") return Method::kSpectral;
+  if (name == "random") return Method::kRandom;
+  throw std::invalid_argument("unknown method: " + name);
+}
+
+void report(const Graph& g, Method method, Rng& rng) {
+  const DegreeStats degrees = degree_stats(g);
+  std::cout << "Graph: " << g.num_vertices() << " vertices, "
+            << g.num_edges() << " edges, avg degree " << degrees.average
+            << " (min " << degrees.min << ", max " << degrees.max << "), "
+            << connected_components(g).count << " component(s)\n";
+  if (g.num_vertices() > 0) {
+    std::cout << "  degeneracy " << degeneracy(g) << ", clustering "
+              << global_clustering(g) << ", pseudo-diameter "
+              << pseudo_diameter(g) << '\n';
+  }
+  RunConfig config;
+  config.starts = 2;
+  const WallTimer timer;
+  const RunResult result = run_method(g, method, rng, config);
+  std::cout << method_name(method) << ": best cut " << result.best_cut
+            << " over " << config.starts << " starts in "
+            << timer.elapsed_seconds() << " s\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gbis;
+  Rng rng(12345);
+  try {
+    if (argc <= 1) {
+      std::cout << "(demo: ./model_study gbreg 2000 16 3 ckl)\n";
+      const Graph g = make_regular_planted({2000, 16, 3}, rng);
+      report(g, Method::kCkl, rng);
+      return 0;
+    }
+    const std::string model = argv[1];
+    if (model == "gbreg" && argc == 6) {
+      const RegularPlantedParams params{
+          static_cast<std::uint32_t>(std::strtoul(argv[2], nullptr, 10)),
+          std::strtoull(argv[3], nullptr, 10),
+          static_cast<std::uint32_t>(std::strtoul(argv[4], nullptr, 10))};
+      report(make_regular_planted(params, rng), parse_method(argv[5]), rng);
+    } else if (model == "g2set" && argc == 6) {
+      const auto n =
+          static_cast<std::uint32_t>(std::strtoul(argv[2], nullptr, 10));
+      const double degree = std::strtod(argv[3], nullptr);
+      const std::uint64_t b = std::strtoull(argv[4], nullptr, 10);
+      report(make_planted(planted_params_for_degree(n, degree, b), rng),
+             parse_method(argv[5]), rng);
+    } else if (model == "gnp" && argc == 5) {
+      const auto n =
+          static_cast<std::uint32_t>(std::strtoul(argv[2], nullptr, 10));
+      const double degree = std::strtod(argv[3], nullptr);
+      report(make_gnp(n, gnp_p_for_degree(n, degree), rng),
+             parse_method(argv[4]), rng);
+    } else if (model == "file" && argc == 4) {
+      report(read_edge_list_file(argv[2]), parse_method(argv[3]), rng);
+    } else {
+      std::cerr << "usage: see header comment of model_study.cpp\n";
+      return 2;
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Netlist partitioning: the circuit-shaped version of the paper's
+// problem. Generates (or loads, in hMETIS format) a netlist, then
+// compares three routes to a min-net-cut bisection:
+//   1. native hypergraph Fiduccia-Mattheyses,
+//   2. clique expansion + the paper's compacted KL,
+//   3. clique expansion + plain KL.
+//
+//   $ ./netlist_partition                 # generated planted netlist
+//   $ ./netlist_partition design.hgr      # hMETIS file
+#include <algorithm>
+#include <iostream>
+#include <limits>
+#include <vector>
+
+#include "gbis/core/compaction.hpp"
+#include "gbis/hypergraph/expand.hpp"
+#include "gbis/hypergraph/fm_hyper.hpp"
+#include "gbis/hypergraph/netlist_gen.hpp"
+#include "gbis/io/hmetis.hpp"
+#include "gbis/kl/kl.hpp"
+#include "gbis/partition/bisection.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace {
+
+using namespace gbis;
+
+Weight net_cut_of(const Hypergraph& h,
+                  const std::vector<std::uint8_t>& sides) {
+  return HyperBisection(h, sides).cut();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gbis;
+  Rng rng(2025);
+
+  Hypergraph netlist;
+  if (argc > 1) {
+    try {
+      netlist = read_hmetis_file(argv[1]);
+    } catch (const std::exception& error) {
+      std::cerr << "error: " << error.what() << '\n';
+      return 1;
+    }
+  } else {
+    const NetlistParams params{1500, 2200, 1.2};
+    netlist = make_planted_netlist(params, 20, rng);
+    std::cout << "(generated planted netlist; pass an .hgr file to use "
+                 "your own)\n";
+  }
+  std::cout << "Netlist: " << netlist.num_cells() << " cells, "
+            << netlist.num_nets() << " nets, " << netlist.num_pins()
+            << " pins (avg net size " << netlist.average_net_size()
+            << ")\n\n";
+
+  constexpr int kStarts = 2;
+
+  // 1. Native hypergraph FM.
+  Weight fm_best = std::numeric_limits<Weight>::max();
+  for (int s = 0; s < kStarts; ++s) {
+    HyperBisection b = HyperBisection::random(netlist, rng);
+    hyper_fm_refine(b);
+    fm_best = std::min(fm_best, b.cut());
+  }
+  std::cout << "hypergraph FM:        net cut " << fm_best << '\n';
+
+  // 2./3. Clique expansion + CKL / KL, scored by nets.
+  const Graph clique = clique_expansion(netlist);
+  Weight ckl_best = std::numeric_limits<Weight>::max();
+  Weight kl_best = std::numeric_limits<Weight>::max();
+  for (int s = 0; s < kStarts; ++s) {
+    const Bisection via_ckl = ckl(clique, rng);
+    ckl_best = std::min(
+        ckl_best, net_cut_of(netlist, std::vector<std::uint8_t>(
+                                          via_ckl.sides().begin(),
+                                          via_ckl.sides().end())));
+    Bisection via_kl = Bisection::random(clique, rng);
+    kl_refine(via_kl);
+    kl_best = std::min(
+        kl_best, net_cut_of(netlist, std::vector<std::uint8_t>(
+                                         via_kl.sides().begin(),
+                                         via_kl.sides().end())));
+  }
+  std::cout << "clique + compacted KL: net cut " << ckl_best << '\n';
+  std::cout << "clique + plain KL:     net cut " << kl_best << '\n';
+
+  std::cout << "\nNative FM optimizes the net cut directly; the clique "
+               "route optimizes a weighted-edge proxy, which the paper's "
+               "compaction still improves.\n";
+  return 0;
+}

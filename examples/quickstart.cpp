@@ -1,0 +1,54 @@
+// Quickstart: the 60-second tour of the gbis public API.
+//
+// Generates a sparse random regular graph with a planted bisection
+// (the paper's Gbreg model), then runs the four methods the paper
+// compares — KL, SA, CKL, CSA — and prints what each found.
+//
+//   $ ./quickstart [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "gbis/core/compaction.hpp"
+#include "gbis/gen/regular_planted.hpp"
+#include "gbis/kl/kl.hpp"
+#include "gbis/partition/bisection.hpp"
+#include "gbis/rng/rng.hpp"
+#include "gbis/sa/sa.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gbis;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  Rng rng(seed);
+
+  // A 2000-vertex 3-regular graph whose halves are joined by exactly 16
+  // edges: the planted bisection width is 16, and (whp) optimal.
+  const RegularPlantedParams params{2000, 16, 3};
+  const Graph g = make_regular_planted(params, rng);
+  std::cout << "Graph: " << g.num_vertices() << " vertices, "
+            << g.num_edges() << " edges, planted bisection width "
+            << params.b << "\n\n";
+
+  // 1. Kernighan-Lin from a random start.
+  Bisection kl_result = Bisection::random(g, rng);
+  kl_refine(kl_result);
+  std::cout << "KL   found cut " << kl_result.cut() << '\n';
+
+  // 2. Simulated annealing from a random start.
+  Bisection sa_result = Bisection::random(g, rng);
+  sa_refine(sa_result, rng);
+  std::cout << "SA   found cut " << sa_result.cut() << '\n';
+
+  // 3. Compacted KL: match, contract, solve small, project, refine.
+  const Bisection ckl_result = ckl(g, rng);
+  std::cout << "CKL  found cut " << ckl_result.cut() << '\n';
+
+  // 4. Compacted SA.
+  const Bisection csa_result = csa(g, rng);
+  std::cout << "CSA  found cut " << csa_result.cut() << '\n';
+
+  std::cout << "\nOn degree-3 graphs, expect the compacted variants to "
+               "land at (or near) the planted width while the plain "
+               "variants land far above it — the paper's Observation 2.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+#include "gbis/baseline/component_pack.hpp"
+
+#include <algorithm>
+
+#include "gbis/graph/ops.hpp"
+
+namespace gbis {
+
+ComponentPacking pack_components(const Graph& g, Rng& rng) {
+  const std::uint32_t n = g.num_vertices();
+  ComponentPacking packing;
+  packing.sides.assign(n, 0);
+  if (n < 2) {
+    packing.perfect = true;
+    return packing;
+  }
+  const std::uint32_t target = n / 2;
+
+  const Components comps = connected_components(g);
+  const std::vector<std::uint32_t> sizes = comps.sizes();
+  const std::uint32_t count = comps.count;
+
+  // Subset-sum over component sizes toward `target`.
+  std::vector<std::uint8_t> reach(target + 1, 0);
+  reach[0] = 1;
+  std::vector<std::vector<std::uint8_t>> took(
+      count, std::vector<std::uint8_t>(target + 1, 0));
+  for (std::uint32_t c = 0; c < count; ++c) {
+    const std::uint32_t s = sizes[c];
+    for (std::uint32_t j = target; j + 1 > s; --j) {
+      if (!reach[j] && reach[j - s]) {
+        reach[j] = 1;
+        took[c][j] = 1;
+      }
+    }
+  }
+  std::uint32_t best_sum = target;
+  while (!reach[best_sum]) --best_sum;
+  packing.perfect = best_sum == target;
+
+  // Mark the chosen components as side 1.
+  std::vector<std::uint8_t> on_side1(count, 0);
+  {
+    std::uint32_t j = best_sum;
+    for (std::uint32_t c = count; c-- > 0;) {
+      if (took[c][j]) {
+        on_side1[c] = 1;
+        j -= sizes[c];
+      }
+    }
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    if (on_side1[comps.label[v]]) packing.sides[v] = 1;
+  }
+  if (packing.perfect) return packing;
+
+  // Top up side 1 with a BFS-grown region from the largest unchosen
+  // component that can donate `remainder` vertices (one always exists:
+  // otherwise adding it whole would have improved best_sum).
+  const std::uint32_t remainder = target - best_sum;
+  std::uint32_t donor = count;
+  for (std::uint32_t c = 0; c < count; ++c) {
+    if (!on_side1[c] && sizes[c] > remainder &&
+        (donor == count || sizes[c] > sizes[donor])) {
+      donor = c;
+    }
+  }
+  // BFS from a random seed inside the donor, flipping `remainder`
+  // vertices (a connected chunk keeps the induced cut small).
+  std::vector<Vertex> members;
+  for (Vertex v = 0; v < n; ++v) {
+    if (comps.label[v] == donor) members.push_back(v);
+  }
+  const Vertex seed =
+      members[static_cast<std::size_t>(rng.below(members.size()))];
+  std::vector<std::uint8_t> visited(n, 0);
+  std::vector<Vertex> queue{seed};
+  visited[seed] = 1;
+  std::uint32_t taken = 0;
+  for (std::size_t head = 0; head < queue.size() && taken < remainder;
+       ++head) {
+    const Vertex v = queue[head];
+    packing.sides[v] = 1;
+    ++taken;
+    for (Vertex w : g.neighbors(v)) {
+      if (!visited[w]) {
+        visited[w] = 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return packing;
+}
+
+Bisection component_pack_bisection(const Graph& g, Rng& rng) {
+  ComponentPacking packing = pack_components(g, rng);
+  return Bisection(g, std::move(packing.sides));
+}
+
+}  // namespace gbis

@@ -1,0 +1,43 @@
+// Component packing: the right way to bisect disconnected graphs.
+//
+// Generalizes the paper's degree-2 observation (a union of cycles has
+// cut 0 iff some subset of cycle sizes sums to n/2): for ANY graph, if
+// a subset of connected components packs to exactly half the vertices,
+// the optimal bisection is 0 and a subset-sum DP finds it. Otherwise
+// the DP still yields the most balanced whole-component split, which
+// makes an excellent seed: only one component must then be split, and
+// the refiner works inside it instead of fighting the packing.
+//
+// Move-based heuristics handle this badly from random starts (their
+// gain surfaces say nothing about component boundaries), so this is
+// both a baseline and a practical preprocessing step.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gbis/partition/bisection.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+
+/// Result of the packing analysis.
+struct ComponentPacking {
+  /// True if whole components pack to exactly floor(n/2) (optimal cut 0).
+  bool perfect = false;
+  /// Side assignment realizing the best whole-component packing; when
+  /// !perfect, the remainder is carved greedily (BFS region) out of
+  /// one donor component, so the split is balanced but may cut edges.
+  std::vector<std::uint8_t> sides;
+};
+
+/// Computes the best whole-component packing toward floor(n/2) by
+/// subset-sum DP (O(n * #components)), completing the balance with a
+/// BFS-grown region from a donor component when needed.
+ComponentPacking pack_components(const Graph& g, Rng& rng);
+
+/// Convenience: the packing as a Bisection (balanced; cut 0 when
+/// perfect).
+Bisection component_pack_bisection(const Graph& g, Rng& rng);
+
+}  // namespace gbis

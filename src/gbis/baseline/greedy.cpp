@@ -1,0 +1,63 @@
+#include "gbis/baseline/greedy.hpp"
+
+#include <queue>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace gbis {
+
+namespace {
+constexpr Vertex kNilVertex = 0xFFFFFFFFu;
+}  // namespace
+
+Bisection greedy_bisection(const Graph& g, Rng& rng) {
+  const std::uint32_t n = g.num_vertices();
+  std::vector<std::uint8_t> sides(n, 1);
+  if (n == 0) return Bisection(g, std::move(sides));
+
+  const std::uint32_t target = (n + 1) / 2;
+  std::vector<Weight> attachment(n, 0);  // weight into the grown region
+  std::vector<std::uint8_t> absorbed(n, 0);
+
+  // Lazy-deletion max-heap over the frontier, keyed by (attachment,
+  // -insertion_seq): strongest attachment first, FIFO among ties so
+  // equal-attachment growth stays BFS-contiguous (a max-id tie-break
+  // can ride one rail of a ladder and shred the region).
+  using Entry = std::tuple<Weight, std::int64_t, Vertex>;
+  std::priority_queue<Entry> frontier;
+  std::int64_t seq = 0;
+
+  std::uint32_t grown = 0;
+  while (grown < target) {
+    Vertex v = kNilVertex;
+    while (!frontier.empty()) {
+      const auto [key, neg_seq, candidate] = frontier.top();
+      frontier.pop();
+      if (!absorbed[candidate] && attachment[candidate] == key) {
+        v = candidate;
+        break;
+      }
+    }
+    if (v == kNilVertex) {
+      // Frontier empty: seed a new region at a random free vertex.
+      do {
+        v = static_cast<Vertex>(rng.below(n));
+      } while (absorbed[v]);
+    }
+    absorbed[v] = 1;
+    sides[v] = 0;
+    ++grown;
+    const auto nbrs = g.neighbors(v);
+    const auto wts = g.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (!absorbed[nbrs[i]]) {
+        attachment[nbrs[i]] += wts[i];
+        frontier.emplace(attachment[nbrs[i]], -(++seq), nbrs[i]);
+      }
+    }
+  }
+  return Bisection(g, std::move(sides));
+}
+
+}  // namespace gbis

@@ -1,0 +1,22 @@
+// Greedy region-growing bisection: BFS from a random seed until half
+// the vertices are absorbed, preferring frontier vertices with the most
+// already-absorbed neighbors. A classic cheap constructive baseline —
+// exact on paths/ladders/cycles-like graphs with localized structure,
+// poor on expanders — used by benches to contextualize KL/SA numbers
+// and by tests as a sanity comparator. (The paper's section VI remarks
+// that a DFS-style approach beats both heuristics on degree-2 graphs;
+// this is that idea, strengthened.)
+#pragma once
+
+#include "gbis/partition/bisection.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+
+/// Grows side 0 from a random seed vertex, always absorbing the
+/// frontier vertex with maximum (weighted) attachment to the grown
+/// region, until it holds ceil(n/2) vertices; when the frontier
+/// empties (disconnected graphs) a fresh random seed is drawn.
+Bisection greedy_bisection(const Graph& g, Rng& rng);
+
+}  // namespace gbis

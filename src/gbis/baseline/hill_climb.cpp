@@ -1,0 +1,53 @@
+#include "gbis/baseline/hill_climb.hpp"
+
+#include <algorithm>
+
+#include "gbis/partition/gains.hpp"
+
+namespace gbis {
+
+HillClimbStats hill_climb(Bisection& bisection, Rng& rng,
+                          const HillClimbOptions& options) {
+  const Graph& g = bisection.graph();
+  const std::uint32_t n = g.num_vertices();
+  HillClimbStats stats;
+  stats.initial_cut = bisection.cut();
+  stats.final_cut = stats.initial_cut;
+  if (n < 2 || bisection.side_count(0) == 0 || bisection.side_count(1) == 0) {
+    return stats;
+  }
+
+  const auto patience = static_cast<std::uint64_t>(
+      std::max(1.0, options.patience_factor * n));
+  std::uint64_t since_improvement = 0;
+
+  auto random_on_side = [&](int side) {
+    for (;;) {
+      const auto v = static_cast<Vertex>(rng.below(n));
+      if (bisection.side(v) == side) return v;
+    }
+  };
+
+  while (since_improvement < patience) {
+    if (options.max_proposals != 0 &&
+        stats.proposals >= options.max_proposals) {
+      break;
+    }
+    ++stats.proposals;
+    const Vertex a = random_on_side(0);
+    const Vertex b = random_on_side(1);
+    const Weight gab = pair_gain(g, a, b, bisection.gain(a),
+                                 bisection.gain(b));
+    if (gab > 0) {
+      bisection.swap(a, b);
+      ++stats.improvements;
+      since_improvement = 0;
+    } else {
+      ++since_improvement;
+    }
+  }
+  stats.final_cut = bisection.cut();
+  return stats;
+}
+
+}  // namespace gbis

@@ -1,0 +1,45 @@
+// Plain iterative improvement ("neighborhood search") — the technique
+// the paper's section II presents as simulated annealing's ancestor:
+// "an initial solution is repeatedly improved by making small local
+// changes until no such alteration yields a better solution", whose
+// weakness ("stopping at a local, but not global, optimum") SA's
+// uphill moves exist to fix. In the Kirkpatrick analogy this is the
+// "extremely rapid quenching from high temperature to zero".
+//
+// Neighborhood: opposite-side pair swaps (keeps the bisection exact).
+// Accepting only strict improvements, in random order, to a local
+// optimum — bench/obs_quench_vs_anneal quantifies the gap to SA.
+#pragma once
+
+#include <cstdint>
+
+#include "gbis/partition/bisection.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+
+/// Knobs for the hill climber.
+struct HillClimbOptions {
+  /// Consecutive non-improving proposals before declaring a local
+  /// optimum, as a multiple of |V| (exhaustive certainty would need
+  /// O(|V|^2) probes; this is the standard stochastic cut-off).
+  double patience_factor = 8.0;
+  /// Hard cap on proposals; 0 = none.
+  std::uint64_t max_proposals = 0;
+};
+
+/// Per-run diagnostics.
+struct HillClimbStats {
+  std::uint64_t proposals = 0;
+  std::uint64_t improvements = 0;
+  Weight initial_cut = 0;
+  Weight final_cut = 0;
+};
+
+/// Descends `bisection` by random improving swaps until the patience
+/// budget finds nothing better. Never worsens the cut; preserves
+/// balance exactly.
+HillClimbStats hill_climb(Bisection& bisection, Rng& rng,
+                          const HillClimbOptions& options = {});
+
+}  // namespace gbis

@@ -1,0 +1,34 @@
+#include "gbis/baseline/random_bisect.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace gbis {
+
+Bisection best_random_bisection(const Graph& g, Rng& rng,
+                                std::uint32_t trials) {
+  if (trials == 0) {
+    throw std::invalid_argument("best_random_bisection: trials >= 1");
+  }
+  Bisection best = Bisection::random(g, rng);
+  for (std::uint32_t t = 1; t < trials; ++t) {
+    Bisection candidate = Bisection::random(g, rng);
+    if (candidate.cut() < best.cut()) best = std::move(candidate);
+  }
+  return best;
+}
+
+double expected_random_cut(const Graph& g) {
+  const std::uint32_t n = g.num_vertices();
+  if (n < 2) return 0.0;
+  // For a uniformly random balanced split with sides of size
+  // ceil(n/2) and floor(n/2), an edge's endpoints land on opposite
+  // sides with probability 2 * ceil * floor / (n * (n - 1)).
+  const double half_up = (n + 1) / 2;
+  const double half_down = n / 2;
+  const double p_cross = 2.0 * half_up * half_down /
+                         (static_cast<double>(n) * (n - 1.0));
+  return p_cross * static_cast<double>(g.total_edge_weight());
+}
+
+}  // namespace gbis

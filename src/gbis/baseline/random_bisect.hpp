@@ -1,0 +1,24 @@
+// Random bisection baseline: the expected cut of a uniformly random
+// balanced split. The paper's section IV argument that Gnp graphs
+// cannot separate good heuristics from mediocre ones rests on random
+// cuts being near-optimal there; this module lets benches show that
+// explicitly.
+#pragma once
+
+#include <cstdint>
+
+#include "gbis/partition/bisection.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+
+/// Best of `trials` uniformly random balanced bisections.
+Bisection best_random_bisection(const Graph& g, Rng& rng,
+                                std::uint32_t trials = 1);
+
+/// Expected cut of a uniformly random balanced bisection:
+/// sum of edge weights * (n/2) / (n - 1) * ... exactly:
+/// each edge crosses with probability n/(2(n-1)) for even n.
+double expected_random_cut(const Graph& g);
+
+}  // namespace gbis

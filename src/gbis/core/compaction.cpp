@@ -1,0 +1,81 @@
+#include "gbis/core/compaction.hpp"
+
+#include "gbis/partition/balance.hpp"
+
+namespace gbis {
+
+Bisection compacted_bisect(const Graph& g, Rng& rng, const Refiner& refiner,
+                           const CompactionOptions& options,
+                           CompactionStats* stats) {
+  return compacted_bisect(g, rng, refiner, refiner, options, stats);
+}
+
+Bisection compacted_bisect(const Graph& g, Rng& rng,
+                           const Refiner& coarse_refiner,
+                           const Refiner& fine_refiner,
+                           const CompactionOptions& options,
+                           CompactionStats* stats) {
+  // Step 1: maximal random matching.
+  const Matching matching = maximal_matching(g, rng, options.match_policy);
+  // Step 2: contract.
+  const Contraction contraction =
+      contract_matching(g, matching, rng, options.pair_leftovers);
+  const Graph& coarse = contraction.coarse;
+
+  // Step 3: bisect G' from a random start.
+  Bisection coarse_bisection = Bisection::random(coarse, rng);
+  coarse_refiner(coarse_bisection, rng);
+
+  if (stats != nullptr) {
+    stats->coarse_vertices = coarse.num_vertices();
+    stats->coarse_edges = coarse.num_edges();
+    stats->coarse_average_degree = coarse.average_degree();
+    stats->coarse_cut = coarse_bisection.cut();
+  }
+
+  // Step 4: uncompact into an initial bisection of G.
+  Bisection fine(g, contraction.project(coarse_bisection.sides()));
+  if (stats != nullptr) stats->projected_cut = fine.cut();
+  // An odd supernode count (or non-uniform supernode weights under
+  // pair_leftovers=false) can leave the projection off-balance by a few
+  // vertices; repair before refining so the result is a true bisection.
+  rebalance(fine);
+
+  // Step 5: refine on the original graph.
+  fine_refiner(fine, rng);
+  if (stats != nullptr) stats->final_cut = fine.cut();
+  return fine;
+}
+
+Refiner kl_refiner(KlOptions options) {
+  return [options](Bisection& bisection, Rng&) {
+    kl_refine(bisection, options);
+  };
+}
+
+Refiner sa_refiner(SaOptions options) {
+  return [options](Bisection& bisection, Rng& rng) {
+    sa_refine(bisection, rng, options);
+  };
+}
+
+Refiner fm_refiner(FmOptions options) {
+  return [options](Bisection& bisection, Rng&) {
+    fm_refine(bisection, options);
+  };
+}
+
+Bisection ckl(const Graph& g, Rng& rng, const KlOptions& kl_options,
+              const CompactionOptions& c_options, CompactionStats* stats) {
+  return compacted_bisect(g, rng, kl_refiner(kl_options), c_options, stats);
+}
+
+Bisection csa(const Graph& g, Rng& rng, const SaOptions& sa_options,
+              const CompactionOptions& c_options, CompactionStats* stats) {
+  SaOptions fine_options = sa_options;
+  fine_options.init_acceptance_target = c_options.csa_fine_acceptance;
+  return compacted_bisect(g, rng, sa_refiner(sa_options),
+                          sa_refiner(fine_options), c_options, stats);
+}
+
+}  // namespace gbis

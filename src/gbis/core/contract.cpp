@@ -1,0 +1,77 @@
+#include "gbis/core/contract.hpp"
+
+#include <stdexcept>
+
+#include "gbis/graph/builder.hpp"
+
+namespace gbis {
+
+namespace {
+constexpr Vertex kNoCoarse = 0xFFFFFFFFu;
+}  // namespace
+
+std::vector<std::uint8_t> Contraction::project(
+    std::span<const std::uint8_t> coarse_sides) const {
+  if (coarse_sides.size() != coarse.num_vertices()) {
+    throw std::invalid_argument("Contraction::project: size mismatch");
+  }
+  std::vector<std::uint8_t> fine(map.size());
+  for (std::size_t v = 0; v < map.size(); ++v) {
+    fine[v] = coarse_sides[map[v]];
+  }
+  return fine;
+}
+
+Contraction contract_matching(const Graph& g, const Matching& m, Rng& rng,
+                              bool pair_leftovers) {
+  if (!is_matching(g, m)) {
+    throw std::invalid_argument("contract_matching: not a matching of g");
+  }
+  const std::uint32_t n = g.num_vertices();
+
+  Contraction result;
+  result.map.assign(n, kNoCoarse);
+
+  std::uint32_t next_id = 0;
+  for (const auto& [u, v] : m) {
+    result.map[u] = result.map[v] = next_id++;
+  }
+  if (pair_leftovers) {
+    std::vector<Vertex> leftovers;
+    for (Vertex v = 0; v < n; ++v) {
+      if (result.map[v] == kNoCoarse) leftovers.push_back(v);
+    }
+    rng.shuffle(leftovers);
+    std::size_t i = 0;
+    for (; i + 1 < leftovers.size(); i += 2) {
+      result.map[leftovers[i]] = result.map[leftovers[i + 1]] = next_id++;
+    }
+    if (i < leftovers.size()) result.map[leftovers[i]] = next_id++;
+  } else {
+    for (Vertex v = 0; v < n; ++v) {
+      if (result.map[v] == kNoCoarse) result.map[v] = next_id++;
+    }
+  }
+
+  GraphBuilder builder(next_id, GraphBuilder::SelfLoops::kDrop);
+  std::vector<Weight> coarse_vw(next_id, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    coarse_vw[result.map[v]] += g.vertex_weight(v);
+    const auto nbrs = g.neighbors(v);
+    const auto wts = g.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (v < nbrs[i]) {
+        // Same supernode => dropped self-loop; otherwise the builder
+        // merges parallels by summing, which is the contraction rule.
+        builder.add_edge(result.map[v], result.map[nbrs[i]], wts[i]);
+      }
+    }
+  }
+  for (Vertex c = 0; c < next_id; ++c) {
+    builder.set_vertex_weight(c, coarse_vw[c]);
+  }
+  result.coarse = builder.build();
+  return result;
+}
+
+}  // namespace gbis

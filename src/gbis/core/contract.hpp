@@ -1,0 +1,46 @@
+// Edge contraction — step 2 of the compaction heuristic (paper section
+// V): "coalesce the two endpoints of an edge in the random matching M
+// to form a new vertex. All vertices incident to the two original
+// vertices are now incident to the new vertex."
+//
+// Parallel edges created by coalescing merge into one edge of summed
+// weight, and a supernode's vertex weight is the sum of its members' —
+// this preserves exactly the quantities bisection cares about: the cut
+// of any coarse bisection equals the cut of its projection to the fine
+// graph, and weight balance is preserved by projection.
+//
+// Leftover policy: a maximal matching can leave unmatched vertices
+// (odd components, isolated vertices). By default we coalesce leftover
+// vertices in random pairs too — contracting a non-edge is harmless —
+// so every supernode has equal weight and any balanced coarse bisection
+// projects to a balanced fine bisection. DESIGN.md section 5 discusses
+// the alternative.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gbis/core/matching.hpp"
+#include "gbis/graph/graph.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+
+/// A contraction: the coarse graph plus the fine-to-coarse vertex map.
+struct Contraction {
+  Graph coarse;
+  std::vector<Vertex> map;  ///< fine vertex -> coarse vertex
+
+  /// Projects a coarse side assignment to the fine graph ("uncompact",
+  /// paper step 4). Throws std::invalid_argument on a size mismatch.
+  std::vector<std::uint8_t> project(
+      std::span<const std::uint8_t> coarse_sides) const;
+};
+
+/// Contracts the matched pairs of `m` (and, when pair_leftovers, random
+/// pairs of unmatched vertices). `m` must be a matching of g.
+Contraction contract_matching(const Graph& g, const Matching& m, Rng& rng,
+                              bool pair_leftovers = true);
+
+}  // namespace gbis

@@ -1,0 +1,87 @@
+#include "gbis/core/matching.hpp"
+
+#include <algorithm>
+
+namespace gbis {
+
+Matching maximal_matching(const Graph& g, Rng& rng, MatchPolicy policy) {
+  const std::uint32_t n = g.num_vertices();
+  std::vector<std::uint8_t> matched(n, 0);
+  Matching result;
+  result.reserve(n / 2);
+
+  std::vector<Vertex> order(n);
+  for (Vertex v = 0; v < n; ++v) order[v] = v;
+  if (policy != MatchPolicy::kFirstFit) rng.shuffle(order);
+
+  std::vector<Vertex> free_neighbors;
+  for (Vertex v : order) {
+    if (matched[v]) continue;
+    const auto nbrs = g.neighbors(v);
+    const auto wts = g.edge_weights(v);
+    Vertex mate = v;  // sentinel: no free neighbor found
+    switch (policy) {
+      case MatchPolicy::kRandom: {
+        free_neighbors.clear();
+        for (Vertex w : nbrs) {
+          if (!matched[w]) free_neighbors.push_back(w);
+        }
+        if (!free_neighbors.empty()) {
+          mate = free_neighbors[static_cast<std::size_t>(
+              rng.below(free_neighbors.size()))];
+        }
+        break;
+      }
+      case MatchPolicy::kHeavyEdge: {
+        Weight best = -1;
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          if (!matched[nbrs[i]] && wts[i] > best) {
+            best = wts[i];
+            mate = nbrs[i];
+          }
+        }
+        break;
+      }
+      case MatchPolicy::kFirstFit: {
+        for (Vertex w : nbrs) {
+          if (!matched[w]) {
+            mate = w;
+            break;
+          }
+        }
+        break;
+      }
+    }
+    if (mate != v) {
+      matched[v] = matched[mate] = 1;
+      result.emplace_back(v, mate);
+    }
+  }
+  return result;
+}
+
+bool is_matching(const Graph& g, const Matching& m) {
+  std::vector<std::uint8_t> seen(g.num_vertices(), 0);
+  for (const auto& [u, v] : m) {
+    if (u >= g.num_vertices() || v >= g.num_vertices()) return false;
+    if (u == v || !g.has_edge(u, v)) return false;
+    if (seen[u] || seen[v]) return false;
+    seen[u] = seen[v] = 1;
+  }
+  return true;
+}
+
+bool is_maximal_matching(const Graph& g, const Matching& m) {
+  if (!is_matching(g, m)) return false;
+  std::vector<std::uint8_t> seen(g.num_vertices(), 0);
+  for (const auto& [u, v] : m) seen[u] = seen[v] = 1;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (seen[v]) continue;
+    for (Vertex w : g.neighbors(v)) {
+      if (!seen[w]) return false;  // both free: not maximal
+    }
+  }
+  return true;
+}
+
+}  // namespace gbis

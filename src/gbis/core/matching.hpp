@@ -1,0 +1,42 @@
+// Random maximal matching — step 1 of the compaction heuristic (paper
+// section V): "Form a maximum random matching M of the graph G."
+//
+// ("Maximum random matching" in the paper means a maximal matching
+// grown in random order, not an optimum-cardinality matching; BCLS87
+// use the same greedy construction. A greedy maximal matching already
+// covers at least half the vertices of every component with an edge.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gbis/graph/graph.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+
+/// A matching: vertex pairs, each vertex in at most one pair.
+using Matching = std::vector<std::pair<Vertex, Vertex>>;
+
+/// Matching policies (the paper uses kRandom; the others exist for the
+/// ablation bench A1 and for the multilevel extension, where heavy-edge
+/// matching is what METIS-style coarsening later adopted).
+enum class MatchPolicy {
+  kRandom,     ///< visit vertices in random order, match to a random free neighbor
+  kHeavyEdge,  ///< visit vertices in random order, match to the heaviest free edge
+  kFirstFit,   ///< deterministic: lowest-id vertex to its lowest-id free neighbor
+};
+
+/// Greedy maximal matching under the given policy. Every returned pair
+/// is an edge of g; no vertex repeats. The result is maximal: every
+/// unmatched vertex has only matched neighbors.
+Matching maximal_matching(const Graph& g, Rng& rng,
+                          MatchPolicy policy = MatchPolicy::kRandom);
+
+/// True if `m` is a matching in g (pairwise-disjoint edges of g).
+bool is_matching(const Graph& g, const Matching& m);
+
+/// True if `m` is maximal in g.
+bool is_maximal_matching(const Graph& g, const Matching& m);
+
+}  // namespace gbis

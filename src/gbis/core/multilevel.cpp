@@ -1,0 +1,52 @@
+#include "gbis/core/multilevel.hpp"
+
+#include <vector>
+
+#include "gbis/partition/balance.hpp"
+
+namespace gbis {
+
+Bisection multilevel_bisect(const Graph& g, Rng& rng, const Refiner& refiner,
+                            const MultilevelOptions& options,
+                            MultilevelStats* stats) {
+  // Coarsening phase: a stack of contractions, finest first.
+  std::vector<Contraction> levels;
+  const Graph* current = &g;
+  for (std::uint32_t level = 0; level < options.max_levels; ++level) {
+    if (current->num_vertices() <= options.min_vertices) break;
+    const Matching m = maximal_matching(*current, rng, options.match_policy);
+    Contraction c =
+        contract_matching(*current, m, rng, options.pair_leftovers);
+    const double shrink = static_cast<double>(c.coarse.num_vertices()) /
+                          static_cast<double>(current->num_vertices());
+    if (shrink > options.min_shrink_factor) break;  // coarsening stalled
+    levels.push_back(std::move(c));
+    current = &levels.back().coarse;
+  }
+
+  // Initial solution on the coarsest graph.
+  Bisection bisection = Bisection::random(*current, rng);
+  refiner(bisection, rng);
+  if (stats != nullptr) {
+    stats->levels = static_cast<std::uint32_t>(levels.size());
+    stats->coarsest_vertices = current->num_vertices();
+    stats->coarsest_cut = bisection.cut();
+  }
+
+  // Uncoarsening phase: project and refine level by level. Each
+  // projection is rebalanced first: odd supernode counts leave a small
+  // count imbalance that refiners expect repaired.
+  for (std::size_t i = levels.size(); i-- > 0;) {
+    const Graph& finer =
+        (i == 0) ? g : levels[i - 1].coarse;
+    Bisection projected(finer, levels[i].project(bisection.sides()));
+    rebalance(projected);
+    refiner(projected, rng);
+    bisection = std::move(projected);
+  }
+
+  if (stats != nullptr) stats->final_cut = bisection.cut();
+  return bisection;
+}
+
+}  // namespace gbis

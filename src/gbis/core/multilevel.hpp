@@ -1,0 +1,49 @@
+// Multilevel (recursive) compaction — the natural extension of the
+// paper's heuristic, applied to itself: keep contracting matchings
+// until the graph is small, bisect the coarsest graph, then project and
+// refine level by level. One level of this scheme *is* the paper's
+// compaction; iterating it is the coarsen/initial-partition/uncoarsen
+// template that METIS and its successors industrialized a few years
+// later. Included as the "future work" extension and exercised by the
+// A2 ablation bench (depth sweep).
+#pragma once
+
+#include <cstdint>
+
+#include "gbis/core/compaction.hpp"
+#include "gbis/partition/bisection.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+
+/// Knobs for the multilevel driver.
+struct MultilevelOptions {
+  /// Maximum coarsening levels. 0 = plain single-level run (no
+  /// compaction); 1 = the paper's compaction; larger = deeper.
+  std::uint32_t max_levels = 16;
+  /// Stop coarsening once the coarse graph has at most this many
+  /// vertices.
+  std::uint32_t min_vertices = 64;
+  /// Stop coarsening when a level shrinks the vertex count by less
+  /// than this factor (guards against matching-starved graphs).
+  double min_shrink_factor = 0.9;
+  MatchPolicy match_policy = MatchPolicy::kRandom;
+  bool pair_leftovers = true;
+};
+
+/// Per-run diagnostics.
+struct MultilevelStats {
+  std::uint32_t levels = 0;             ///< contractions performed
+  std::uint32_t coarsest_vertices = 0;  ///< size of the deepest graph
+  Weight coarsest_cut = 0;              ///< cut found at the deepest level
+  Weight final_cut = 0;
+};
+
+/// Multilevel bisection of g: coarsen, solve the coarsest level with
+/// `refiner` from a random start, then project upward refining with
+/// `refiner` at every level. Returns the resulting bisection of g.
+Bisection multilevel_bisect(const Graph& g, Rng& rng, const Refiner& refiner,
+                            const MultilevelOptions& options = {},
+                            MultilevelStats* stats = nullptr);
+
+}  // namespace gbis

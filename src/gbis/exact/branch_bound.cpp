@@ -1,0 +1,163 @@
+#include "gbis/exact/branch_bound.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace gbis {
+
+namespace {
+
+/// Search state shared across the recursion.
+struct Solver {
+  const Graph* g;
+  std::uint32_t n;
+  std::uint32_t cap[2];            // side capacities (ceil, floor)
+  std::vector<Vertex> order;       // branching order (degree desc)
+  std::vector<std::int8_t> side;   // -1 undecided, else 0/1
+  std::vector<Weight> to_side[2];  // decided-edge weight per vertex
+  Weight best;
+  std::vector<std::int8_t> best_sides;
+  std::uint64_t nodes = 0;
+  std::uint64_t pruned = 0;
+  std::uint64_t max_nodes;
+  std::vector<Weight> scratch;
+
+  /// Capacity-aware lower bound on the cut still to be paid between
+  /// undecided and decided vertices (undecided-undecided edges are
+  /// optimistically free): place exactly r0 undecided on side 0,
+  /// choosing the r0 with the smallest regret wB - wA.
+  Weight lower_bound(std::uint32_t depth, std::uint32_t used0,
+                     std::uint32_t used1) {
+    const std::uint32_t r0 = cap[0] - used0;
+    Weight base = 0;
+    scratch.clear();
+    for (std::uint32_t i = depth; i < n; ++i) {
+      const Vertex v = order[i];
+      // Cost if v lands on side 0: its edges to decided side-1 pay.
+      base += to_side[1][v];
+      scratch.push_back(to_side[0][v] - to_side[1][v]);  // regret of side 1
+    }
+    // Everyone priced at side 0; the (u - r0) vertices forced to side 1
+    // swap in their regret. Pick the smallest regrets.
+    const std::size_t to_side1 = scratch.size() - r0;
+    if (to_side1 > 0) {
+      std::nth_element(scratch.begin(),
+                       scratch.begin() + static_cast<std::ptrdiff_t>(to_side1 - 1),
+                       scratch.end());
+      base += std::accumulate(
+          scratch.begin(),
+          scratch.begin() + static_cast<std::ptrdiff_t>(to_side1), Weight{0});
+    }
+    (void)used1;
+    return base;
+  }
+
+  void assign(Vertex v, int s, Weight& cut) {
+    side[v] = static_cast<std::int8_t>(s);
+    cut += to_side[1 - s][v];
+    const auto nbrs = g->neighbors(v);
+    const auto wts = g->edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      to_side[s][nbrs[i]] += wts[i];
+    }
+  }
+
+  void unassign(Vertex v, int s, Weight& cut) {
+    side[v] = -1;
+    cut -= to_side[1 - s][v];
+    const auto nbrs = g->neighbors(v);
+    const auto wts = g->edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      to_side[s][nbrs[i]] -= wts[i];
+    }
+  }
+
+  void search(std::uint32_t depth, std::uint32_t used0, std::uint32_t used1,
+              Weight cut) {
+    if (++nodes > max_nodes && max_nodes != 0) {
+      throw std::runtime_error("branch_bound_bisection: node cap exceeded");
+    }
+    if (cut >= best) {
+      ++pruned;
+      return;
+    }
+    if (depth == n) {
+      best = cut;
+      best_sides.assign(side.begin(), side.end());
+      return;
+    }
+    if (cut + lower_bound(depth, used0, used1) >= best) {
+      ++pruned;
+      return;
+    }
+    const Vertex v = order[depth];
+    // Try the cheaper side first (better incumbents earlier).
+    int first = to_side[1][v] <= to_side[0][v] ? 0 : 1;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      const int s = attempt == 0 ? first : 1 - first;
+      const std::uint32_t used = s == 0 ? used0 : used1;
+      if (used >= cap[s]) continue;
+      assign(v, s, cut);
+      search(depth + 1, used0 + (s == 0), used1 + (s == 1), cut);
+      unassign(v, s, cut);
+    }
+  }
+};
+
+}  // namespace
+
+ExactBisection branch_bound_bisection(const Graph& g,
+                                      const BranchBoundOptions& options,
+                                      BranchBoundStats* stats) {
+  const std::uint32_t n = g.num_vertices();
+  if (n > 64) {
+    throw std::invalid_argument("branch_bound_bisection: n <= 64");
+  }
+  if (n == 0) return {0, {}};
+
+  Solver solver;
+  solver.g = &g;
+  solver.n = n;
+  solver.cap[0] = (n + 1) / 2;
+  solver.cap[1] = n / 2;
+  solver.order.resize(n);
+  for (Vertex v = 0; v < n; ++v) solver.order[v] = v;
+  std::sort(solver.order.begin(), solver.order.end(),
+            [&](Vertex a, Vertex b) { return g.degree(a) > g.degree(b); });
+  solver.side.assign(n, -1);
+  solver.to_side[0].assign(n, 0);
+  solver.to_side[1].assign(n, 0);
+  solver.best = options.initial_upper_bound >= 0
+                    ? options.initial_upper_bound + 1
+                    : std::numeric_limits<Weight>::max();
+  solver.max_nodes = options.max_nodes;
+
+  // Symmetry breaking: for even n the sides are interchangeable, so
+  // the first branching vertex can be pinned to side 0. (For odd n the
+  // sides have different capacities, so both choices must be explored.)
+  if (n % 2 == 0) {
+    Weight cut = 0;
+    solver.assign(solver.order[0], 0, cut);
+    solver.search(1, 1, 0, cut);
+  } else {
+    solver.search(0, 0, 0, 0);
+  }
+
+  if (stats != nullptr) {
+    stats->nodes = solver.nodes;
+    stats->pruned = solver.pruned;
+  }
+  if (solver.best_sides.empty()) {
+    throw std::runtime_error(
+        "branch_bound_bisection: no solution within the upper bound");
+  }
+  ExactBisection result;
+  result.cut = solver.best;
+  result.sides.assign(solver.best_sides.begin(), solver.best_sides.end());
+  return result;
+}
+
+}  // namespace gbis

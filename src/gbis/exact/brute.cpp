@@ -1,0 +1,61 @@
+#include "gbis/exact/brute.hpp"
+
+#include <stdexcept>
+
+namespace gbis {
+
+ExactBisection brute_force_bisection(const Graph& g,
+                                     std::uint32_t max_vertices) {
+  const std::uint32_t n = g.num_vertices();
+  if (n == 0) return {0, {}};
+  if (n > max_vertices || n > 32) {
+    throw std::invalid_argument("brute_force_bisection: graph too large");
+  }
+  const std::uint32_t k = n / 2;  // size of side 1
+  const std::vector<Edge> edges = g.edges();
+
+  // Iterate k-subsets of [0, n) as bitmasks via Gosper's hack. When n
+  // is even, pin vertex 0 to side 0 (complement symmetry halves work).
+  const bool pin = (n % 2 == 0) && n >= 2;
+  std::uint32_t mask = (k == 0) ? 0 : (1u << k) - 1;
+  const std::uint64_t limit = 1ull << n;
+
+  Weight best = -1;
+  std::uint32_t best_mask = 0;
+  auto consider = [&](std::uint32_t m) {
+    if (pin && (m & 1u)) return;  // vertex 0 must stay on side 0
+    Weight cut = 0;
+    for (const Edge& e : edges) {
+      const bool su = (m >> e.u) & 1u;
+      const bool sv = (m >> e.v) & 1u;
+      if (su != sv) cut += e.weight;
+    }
+    if (best < 0 || cut < best) {
+      best = cut;
+      best_mask = m;
+    }
+  };
+
+  if (k == 0) {
+    consider(0);
+  } else {
+    while (mask < limit) {
+      consider(static_cast<std::uint32_t>(mask));
+      // Gosper's hack: next k-subset in increasing order.
+      const std::uint32_t c = mask & static_cast<std::uint32_t>(-static_cast<std::int32_t>(mask));
+      const std::uint32_t r = mask + c;
+      if (r >= limit) break;
+      mask = (((r ^ mask) >> 2) / c) | r;
+    }
+  }
+
+  ExactBisection result;
+  result.cut = best;
+  result.sides.assign(n, 0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    result.sides[v] = static_cast<std::uint8_t>((best_mask >> v) & 1u);
+  }
+  return result;
+}
+
+}  // namespace gbis

@@ -1,0 +1,25 @@
+// Exact minimum bisection by exhaustive enumeration, for tiny graphs.
+// The test oracle against which every heuristic is validated.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gbis/graph/graph.hpp"
+
+namespace gbis {
+
+/// An exact bisection result: the optimal cut and one witness split.
+struct ExactBisection {
+  Weight cut = 0;
+  std::vector<std::uint8_t> sides;
+};
+
+/// Enumerates all balanced splits (sizes differing by at most 1) and
+/// returns a minimum-cut witness. Throws std::invalid_argument for
+/// graphs larger than `max_vertices` (default 28; cost grows as
+/// C(n, n/2) * E).
+ExactBisection brute_force_bisection(const Graph& g,
+                                     std::uint32_t max_vertices = 28);
+
+}  // namespace gbis

@@ -1,0 +1,95 @@
+#include "gbis/exact/cycles.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "gbis/graph/ops.hpp"
+
+namespace gbis {
+
+ExactBisection cycles_bisection(const Graph& g) {
+  if (!is_union_of_cycles(g)) {
+    throw std::invalid_argument(
+        "cycles_bisection: graph is not a union of simple cycles");
+  }
+  const std::uint32_t n = g.num_vertices();
+  const std::uint32_t target = n / 2;
+
+  const Components comps = connected_components(g);
+  const std::vector<std::uint32_t> sizes = comps.sizes();
+  const std::uint32_t num_cycles = comps.count;
+
+  // Subset-sum over cycle sizes: reach[j] true if some subset of whole
+  // cycles has total size j; choice[c][j] records whether cycle c was
+  // taken to reach j (for witness reconstruction).
+  std::vector<std::uint8_t> reach(target + 1, 0);
+  reach[0] = 1;
+  std::vector<std::vector<std::uint8_t>> choice(
+      num_cycles, std::vector<std::uint8_t>(target + 1, 0));
+  for (std::uint32_t c = 0; c < num_cycles; ++c) {
+    const std::uint32_t s = sizes[c];
+    for (std::uint32_t j = target; j + 1 > s; --j) {  // j >= s, unsigned-safe
+      if (!reach[j] && reach[j - s]) {
+        reach[j] = 1;
+        choice[c][j] = 1;
+      }
+    }
+  }
+
+  ExactBisection result;
+  result.sides.assign(n, 0);
+
+  // Best achievable whole-cycle total not exceeding target.
+  std::uint32_t best_sum = target;
+  while (!reach[best_sum]) --best_sum;
+
+  // Mark the chosen whole cycles as side 1 by backtracking.
+  std::vector<std::uint8_t> cycle_on_side1(num_cycles, 0);
+  {
+    std::uint32_t j = best_sum;
+    for (std::uint32_t c = num_cycles; c-- > 0;) {
+      if (choice[c][j]) {
+        cycle_on_side1[c] = 1;
+        j -= sizes[c];
+      }
+    }
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    if (cycle_on_side1[comps.label[v]]) result.sides[v] = 1;
+  }
+
+  const std::uint32_t remainder = target - best_sum;
+  if (remainder == 0) {
+    result.cut = 0;
+    return result;
+  }
+
+  // One partial arc of `remainder` vertices from an unchosen cycle that
+  // is strictly longer (such a cycle always exists: otherwise adding a
+  // short unchosen cycle would improve best_sum). Cost: exactly 2.
+  result.cut = 2;
+  for (std::uint32_t c = 0; c < num_cycles; ++c) {
+    if (cycle_on_side1[c] || sizes[c] <= remainder) continue;
+    // Walk the cycle from any member vertex and flip `remainder`
+    // consecutive vertices.
+    Vertex start = kUnreachable;
+    for (Vertex v = 0; v < n && start == kUnreachable; ++v) {
+      if (comps.label[v] == c) start = v;
+    }
+    Vertex prev = start, cur = start;
+    for (std::uint32_t taken = 0; taken < remainder; ++taken) {
+      result.sides[cur] = 1;
+      const auto nbrs = g.neighbors(cur);
+      const Vertex next = (nbrs[0] != prev || nbrs.size() < 2)
+                              ? nbrs[0]
+                              : nbrs[1];
+      prev = cur;
+      cur = next;
+    }
+    return result;
+  }
+  throw std::logic_error("cycles_bisection: no donor cycle found");
+}
+
+}  // namespace gbis

@@ -1,0 +1,23 @@
+// Exact minimum bisection for disjoint unions of simple cycles.
+//
+// Degree-2 Gbreg instances "must consist only of a collection of
+// [chordless] cycles", for which the paper notes the problem is
+// solvable exactly (section VI). Structure: a side of the bisection
+// that is a union of whole cycles cuts nothing; otherwise one cycle can
+// donate an arc at a cost of exactly 2 cut edges. Hence the optimum is
+// 0 when some subset of cycle lengths sums to floor(n/2), else 2 —
+// decided by a subset-sum DP in O(n * #cycles) <= O(n^2).
+#pragma once
+
+#include "gbis/exact/brute.hpp"
+#include "gbis/graph/graph.hpp"
+
+namespace gbis {
+
+/// Exact minimum bisection (value and witness sides) of a union of
+/// simple cycles. Throws std::invalid_argument if some vertex does not
+/// have degree 2. Edge weights are ignored (the family is unweighted by
+/// construction); the returned cut counts edges.
+ExactBisection cycles_bisection(const Graph& g);
+
+}  // namespace gbis

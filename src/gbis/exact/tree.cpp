@@ -1,0 +1,123 @@
+#include "gbis/exact/tree.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "gbis/graph/ops.hpp"
+
+namespace gbis {
+
+namespace {
+
+constexpr Weight kInf = std::numeric_limits<Weight>::max() / 4;
+
+/// DP table for one rooted subtree: cost[s][j], j in [0, size].
+struct SubtreeTable {
+  std::uint32_t size = 0;
+  std::vector<Weight> cost[2];
+};
+
+}  // namespace
+
+Weight tree_bisection_width(const Graph& g) {
+  if (!is_forest(g)) {
+    throw std::invalid_argument("tree_bisection_width: graph has a cycle");
+  }
+  const std::uint32_t n = g.num_vertices();
+  if (n <= 1) return 0;
+
+  std::vector<SubtreeTable> tables(n);
+  std::vector<Vertex> parent(n, kUnreachable);
+  std::vector<std::uint8_t> visited(n, 0);
+
+  // best[j] = min cut using the components processed so far with j
+  // vertices total on side 1.
+  std::vector<Weight> best{0};
+
+  for (Vertex root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+
+    // Iterative post-order over this component.
+    std::vector<std::pair<Vertex, std::size_t>> stack{{root, 0}};
+    std::vector<Vertex> postorder;
+    visited[root] = 1;
+    parent[root] = kUnreachable;
+    while (!stack.empty()) {
+      auto& [v, idx] = stack.back();
+      const auto nbrs = g.neighbors(v);
+      if (idx < nbrs.size()) {
+        const Vertex c = nbrs[idx++];
+        if (!visited[c]) {
+          visited[c] = 1;
+          parent[c] = v;
+          stack.emplace_back(c, 0);
+        }
+      } else {
+        postorder.push_back(v);
+        stack.pop_back();
+      }
+    }
+
+    for (Vertex v : postorder) {
+      SubtreeTable& tv = tables[v];
+      tv.size = 1;
+      tv.cost[0] = {0, kInf};   // j = 0 with v on side 0; j = 1 invalid
+      tv.cost[1] = {kInf, 0};   // j = 1 with v on side 1
+      const auto nbrs = g.neighbors(v);
+      const auto wts = g.edge_weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const Vertex c = nbrs[i];
+        if (parent[c] != v) continue;  // only children
+        SubtreeTable& tc = tables[c];
+        const Weight edge_w = wts[i];
+        const std::uint32_t new_size = tv.size + tc.size;
+        std::vector<Weight> merged[2] = {
+            std::vector<Weight>(new_size + 1, kInf),
+            std::vector<Weight>(new_size + 1, kInf)};
+        for (int sv = 0; sv < 2; ++sv) {
+          for (std::uint32_t j = 0; j <= tv.size; ++j) {
+            if (tv.cost[sv][j] >= kInf) continue;
+            for (int sc = 0; sc < 2; ++sc) {
+              const Weight cross = (sv != sc) ? edge_w : 0;
+              for (std::uint32_t jc = 0; jc <= tc.size; ++jc) {
+                if (tc.cost[sc][jc] >= kInf) continue;
+                merged[sv][j + jc] =
+                    std::min(merged[sv][j + jc],
+                             tv.cost[sv][j] + tc.cost[sc][jc] + cross);
+              }
+            }
+          }
+        }
+        tv.cost[0] = std::move(merged[0]);
+        tv.cost[1] = std::move(merged[1]);
+        tv.size = new_size;
+        // Child table no longer needed; free its memory.
+        tc.cost[0].clear();
+        tc.cost[0].shrink_to_fit();
+        tc.cost[1].clear();
+        tc.cost[1].shrink_to_fit();
+      }
+    }
+
+    // Fold this component's root table into the cross-component
+    // knapsack (components share no edges).
+    const SubtreeTable& tr = tables[root];
+    std::vector<Weight> folded(best.size() + tr.size, kInf);
+    for (std::size_t j = 0; j < best.size(); ++j) {
+      if (best[j] >= kInf) continue;
+      for (std::uint32_t jc = 0; jc <= tr.size; ++jc) {
+        const Weight c =
+            std::min(tr.cost[0][jc], tr.cost[1][jc]);
+        if (c >= kInf) continue;
+        folded[j + jc] = std::min(folded[j + jc], best[j] + c);
+      }
+    }
+    best = std::move(folded);
+  }
+
+  return best[n / 2];
+}
+
+}  // namespace gbis

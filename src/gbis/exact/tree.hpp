@@ -1,0 +1,21 @@
+// Exact minimum bisection for forests via tree knapsack DP.
+//
+// The paper tests binary trees (and finds KL struggles on them); this
+// solver provides the true optimum to compare against. For a vertex v
+// the DP state is f[s][j]: the minimum weight of cut tree edges inside
+// v's subtree when v lies on side s and exactly j subtree vertices lie
+// on side 1. Children merge knapsack-style, paying w(v,c) when v and c
+// take different sides. Subtree-size-bounded tables keep the total work
+// O(n^2) and memory O(n * depth).
+#pragma once
+
+#include "gbis/graph/graph.hpp"
+
+namespace gbis {
+
+/// Exact minimum bisection cut weight of a forest (splits sizes
+/// floor(n/2) / ceil(n/2)). Throws std::invalid_argument if the graph
+/// contains a cycle.
+Weight tree_bisection_width(const Graph& g);
+
+}  // namespace gbis

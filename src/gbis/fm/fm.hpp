@@ -1,0 +1,58 @@
+// Fiduccia-Mattheyses refinement (FM; Fiduccia & Mattheyses, DAC 1982)
+// specialized to bisection.
+//
+// Not part of the 1989 paper's comparison, but the canonical
+// linear-time descendant of KL: single-vertex moves with gain buckets
+// instead of pair swaps. Included as an ablation comparator (is the
+// compaction effect specific to KL-style swaps?) and because
+// compaction + FM is exactly the shape later multilevel partitioners
+// (METIS, KaHIP) industrialized.
+//
+// One pass: all vertices unlocked; repeatedly move the best-gain
+// unlocked vertex from the heavier side (ties: the side whose top gain
+// is larger), lock it, update neighbor gains; finally keep the prefix
+// of moves with the best cumulative cut, subject to the balance
+// tolerance.
+#pragma once
+
+#include <cstdint>
+
+#include "gbis/partition/bisection.hpp"
+
+namespace gbis {
+
+/// What quantity the balance tolerance constrains.
+enum class FmBalance {
+  kCount,   ///< vertex counts (the bisection-problem default)
+  kWeight,  ///< vertex weights — for contracted graphs with non-uniform
+            ///< supernodes (pair_leftovers = false) or weighted inputs
+};
+
+/// Tuning knobs for the FM driver.
+struct FmOptions {
+  /// Maximum passes; 0 = run to fixpoint.
+  std::uint32_t max_passes = 0;
+  /// Maximum allowed side difference (in vertices or weight units,
+  /// per `balance`) during and after a pass. With kCount, 1 is a
+  /// strict bisection (also legal for odd |V|). With kWeight the
+  /// transient slack is the heaviest vertex instead of one unit.
+  std::uint64_t balance_tolerance = 1;
+  FmBalance balance = FmBalance::kCount;
+};
+
+/// Per-run diagnostics.
+struct FmStats {
+  std::uint32_t passes = 0;
+  std::uint64_t moves_considered = 0;  ///< vertices locked across passes
+  std::uint64_t moves_applied = 0;     ///< prefix moves actually kept
+  Weight initial_cut = 0;
+  Weight final_cut = 0;
+};
+
+/// Runs FM passes on `bisection` in place until fixpoint (or
+/// options.max_passes). Never increases the cut; preserves balance
+/// within the tolerance (the input must already satisfy it). Returns
+/// diagnostics.
+FmStats fm_refine(Bisection& bisection, const FmOptions& options = {});
+
+}  // namespace gbis

@@ -1,0 +1,51 @@
+#include "gbis/gen/gnp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "gbis/graph/builder.hpp"
+
+namespace gbis {
+
+Graph make_gnp(std::uint32_t n, double p, Rng& rng) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("make_gnp: p must be in [0, 1]");
+  }
+  GraphBuilder builder(n);
+  if (n < 2 || p == 0.0) return builder.build();
+
+  if (p == 1.0) {
+    for (Vertex u = 0; u < n; ++u) {
+      for (Vertex v = u + 1; v < n; ++v) builder.add_edge(u, v);
+    }
+    return builder.build();
+  }
+
+  // Batagelj-Brandes: walk the strictly-upper-triangular pair sequence,
+  // jumping a geometrically distributed number of non-edges each step.
+  const double log1mp = std::log1p(-p);
+  std::uint64_t v = 1, w = static_cast<std::uint64_t>(-1);
+  while (v < n) {
+    const double r = 1.0 - rng.real01();  // in (0, 1]
+    w += 1 + static_cast<std::uint64_t>(std::floor(std::log(r) / log1mp));
+    while (w >= v && v < n) {
+      w -= v;
+      ++v;
+    }
+    if (v < n) {
+      builder.add_edge(static_cast<Vertex>(v), static_cast<Vertex>(w));
+    }
+  }
+  return builder.build();
+}
+
+double gnp_p_for_degree(std::uint32_t n, double avg_degree) {
+  if (n < 2) throw std::invalid_argument("gnp_p_for_degree: n >= 2");
+  const double p = avg_degree / static_cast<double>(n - 1);
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("gnp_p_for_degree: degree out of range");
+  }
+  return p;
+}
+
+}  // namespace gbis

@@ -1,0 +1,24 @@
+// The Gnp(2n, p) model (paper section IV): every pair of vertices is an
+// edge independently with probability p. The paper notes this model's
+// weakness for benchmarking bisection — its minimum cut is close to a
+// random cut — but includes it for comparability with earlier work
+// ([JAMS84]); we do the same (appendix tables "Gnp(5000,p)",
+// "Gnp(2000,p)").
+#pragma once
+
+#include <cstdint>
+
+#include "gbis/graph/graph.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+
+/// Samples G(n, p). Uses geometric skipping (Batagelj-Brandes), so the
+/// cost is O(n + |E|) rather than O(n^2) — exact for all p in [0, 1].
+Graph make_gnp(std::uint32_t n, double p, Rng& rng);
+
+/// The edge probability giving expected average degree `avg_degree` in
+/// G(n, p): p = avg_degree / (n - 1).
+double gnp_p_for_degree(std::uint32_t n, double avg_degree);
+
+}  // namespace gbis

@@ -1,0 +1,156 @@
+#include "gbis/gen/models.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "gbis/graph/builder.hpp"
+
+namespace gbis {
+
+Graph make_geometric(std::uint32_t n, double radius, Rng& rng) {
+  if (!(radius >= 0.0)) {
+    throw std::invalid_argument("make_geometric: radius >= 0");
+  }
+  std::vector<double> x(n), y(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    x[i] = rng.real01();
+    y[i] = rng.real01();
+  }
+  GraphBuilder builder(n);
+  if (n == 0 || radius == 0.0) return builder.build();
+
+  // Bucket grid with cell size = radius: only neighbor cells can hold
+  // partners.
+  const auto cells =
+      static_cast<std::uint32_t>(std::max(1.0, std::floor(1.0 / radius)));
+  std::vector<std::vector<Vertex>> grid(
+      static_cast<std::size_t>(cells) * cells);
+  auto cell_of = [&](double coord) {
+    auto c = static_cast<std::uint32_t>(coord * cells);
+    return std::min(c, cells - 1);
+  };
+  for (Vertex v = 0; v < n; ++v) {
+    grid[static_cast<std::size_t>(cell_of(y[v])) * cells + cell_of(x[v])]
+        .push_back(v);
+  }
+  const double r2 = radius * radius;
+  for (Vertex v = 0; v < n; ++v) {
+    const std::uint32_t cx = cell_of(x[v]);
+    const std::uint32_t cy = cell_of(y[v]);
+    for (std::uint32_t dy = (cy == 0 ? 0 : cy - 1);
+         dy <= std::min(cy + 1, cells - 1); ++dy) {
+      for (std::uint32_t dx = (cx == 0 ? 0 : cx - 1);
+           dx <= std::min(cx + 1, cells - 1); ++dx) {
+        for (Vertex w : grid[static_cast<std::size_t>(dy) * cells + dx]) {
+          if (w <= v) continue;
+          const double ddx = x[v] - x[w];
+          const double ddy = y[v] - y[w];
+          if (ddx * ddx + ddy * ddy <= r2) builder.add_edge(v, w);
+        }
+      }
+    }
+  }
+  return builder.build();
+}
+
+double geometric_radius_for_degree(std::uint32_t n, double avg_degree) {
+  if (n < 2 || !(avg_degree > 0.0)) {
+    throw std::invalid_argument("geometric_radius_for_degree: bad params");
+  }
+  return std::sqrt(avg_degree / (static_cast<double>(n) * 3.14159265358979));
+}
+
+Graph make_small_world(std::uint32_t n, std::uint32_t k, double beta,
+                       Rng& rng) {
+  if (k % 2 != 0 || k == 0 || k >= n) {
+    throw std::invalid_argument(
+        "make_small_world: k must be even, 0 < k < n");
+  }
+  if (!(beta >= 0.0 && beta <= 1.0)) {
+    throw std::invalid_argument("make_small_world: beta in [0, 1]");
+  }
+  // Adjacency staging in a set-like structure for duplicate avoidance
+  // during rewiring.
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  edges.reserve(static_cast<std::size_t>(n) * k / 2);
+  for (Vertex v = 0; v < n; ++v) {
+    for (std::uint32_t j = 1; j <= k / 2; ++j) {
+      edges.emplace_back(v, (v + j) % n);
+    }
+  }
+  // Membership test over current edges (small n*k; hash set of keys).
+  auto key = [](Vertex a, Vertex b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  };
+  std::vector<std::uint64_t> keys;
+  keys.reserve(edges.size());
+  for (auto& [a, b] : edges) keys.push_back(key(a, b));
+  std::sort(keys.begin(), keys.end());
+  auto exists = [&](Vertex a, Vertex b) {
+    return std::binary_search(keys.begin(), keys.end(), key(a, b));
+  };
+
+  for (auto& [a, b] : edges) {
+    if (!rng.bernoulli(beta)) continue;
+    // Rewire the far endpoint to a uniform random target.
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const auto t = static_cast<Vertex>(rng.below(n));
+      if (t == a || t == b || exists(a, t)) continue;
+      // Update the key multiset (lazy: rebuild is O(E log E) if done
+      // often; here we insert-sort the single change).
+      const std::uint64_t old_key = key(a, b);
+      const std::uint64_t new_key = key(a, t);
+      auto it = std::lower_bound(keys.begin(), keys.end(), old_key);
+      keys.erase(it);
+      keys.insert(std::lower_bound(keys.begin(), keys.end(), new_key),
+                  new_key);
+      b = t;
+      break;
+    }
+  }
+  GraphBuilder builder(n);
+  for (const auto& [a, b] : edges) builder.add_edge(a, b);
+  return builder.build();
+}
+
+Graph make_preferential_attachment(std::uint32_t n, std::uint32_t m,
+                                   Rng& rng) {
+  if (m == 0 || m + 1 > n) {
+    throw std::invalid_argument(
+        "make_preferential_attachment: need 1 <= m and m + 1 <= n");
+  }
+  GraphBuilder builder(n);
+  // Endpoint pool: each edge contributes both endpoints, so sampling
+  // uniformly from the pool is degree-proportional sampling.
+  std::vector<Vertex> pool;
+  for (Vertex u = 0; u <= m; ++u) {
+    for (Vertex v = u + 1; v <= m; ++v) {
+      builder.add_edge(u, v);
+      pool.push_back(u);
+      pool.push_back(v);
+    }
+  }
+  std::vector<Vertex> chosen;
+  for (Vertex v = m + 1; v < n; ++v) {
+    chosen.clear();
+    // Draw m distinct targets degree-proportionally (rejection).
+    while (chosen.size() < m) {
+      const Vertex t = pool[static_cast<std::size_t>(rng.below(pool.size()))];
+      bool dup = false;
+      for (Vertex c : chosen) dup = dup || c == t;
+      if (!dup) chosen.push_back(t);
+    }
+    for (Vertex t : chosen) {
+      builder.add_edge(v, t);
+      pool.push_back(v);
+      pool.push_back(t);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace gbis

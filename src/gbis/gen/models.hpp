@@ -1,0 +1,38 @@
+// Additional random graph models beyond the paper's three, for model
+// breadth in tests and benches:
+//  - random geometric graphs: vertices as points in the unit square,
+//    edges within a radius — the locality structure of placed circuits
+//    (small bisection widths, like the paper's special graphs but
+//    randomized);
+//  - Watts-Strogatz small world: ring lattice with rewired shortcuts;
+//  - Barabasi-Albert preferential attachment: heavy-tailed degrees.
+#pragma once
+
+#include <cstdint>
+
+#include "gbis/graph/graph.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+
+/// Random geometric graph: n points uniform in [0,1]^2, edge iff
+/// Euclidean distance <= radius. Built on a grid index, O(n + |E|)
+/// expected.
+Graph make_geometric(std::uint32_t n, double radius, Rng& rng);
+
+/// The radius giving expected average degree `avg_degree` in a unit
+/// square (ignoring boundary effects): deg ~ n * pi * r^2.
+double geometric_radius_for_degree(std::uint32_t n, double avg_degree);
+
+/// Watts-Strogatz: ring of n vertices each tied to its k/2 nearest
+/// neighbors per side (k even), then each edge's far endpoint rewired
+/// with probability beta (avoiding loops/duplicates).
+Graph make_small_world(std::uint32_t n, std::uint32_t k, double beta,
+                       Rng& rng);
+
+/// Barabasi-Albert: starts from a clique on m+1 vertices; each new
+/// vertex attaches m edges preferentially by degree.
+Graph make_preferential_attachment(std::uint32_t n, std::uint32_t m,
+                                   Rng& rng);
+
+}  // namespace gbis

@@ -1,0 +1,108 @@
+#include "gbis/gen/planted.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "gbis/gen/gnp.hpp"
+#include "gbis/graph/builder.hpp"
+
+namespace gbis {
+
+namespace {
+
+/// Adds a G(n, p) sample over vertices [base, base+n) to the builder
+/// via geometric skipping.
+void add_gnp_block(GraphBuilder& builder, Vertex base, std::uint32_t n,
+                   double p, Rng& rng) {
+  if (n < 2 || p <= 0.0) return;
+  if (p >= 1.0) {
+    for (Vertex u = 0; u < n; ++u) {
+      for (Vertex v = u + 1; v < n; ++v) {
+        builder.add_edge(base + u, base + v);
+      }
+    }
+    return;
+  }
+  const double log1mp = std::log1p(-p);
+  std::uint64_t v = 1, w = static_cast<std::uint64_t>(-1);
+  while (v < n) {
+    const double r = 1.0 - rng.real01();
+    w += 1 + static_cast<std::uint64_t>(std::floor(std::log(r) / log1mp));
+    while (w >= v && v < n) {
+      w -= v;
+      ++v;
+    }
+    if (v < n) {
+      builder.add_edge(base + static_cast<Vertex>(v),
+                       base + static_cast<Vertex>(w));
+    }
+  }
+}
+
+}  // namespace
+
+Graph make_planted(const PlantedParams& params, Rng& rng) {
+  const std::uint32_t two_n = params.two_n;
+  if (two_n < 4 || two_n % 2 != 0) {
+    throw std::invalid_argument("make_planted: two_n must be even and >= 4");
+  }
+  if (!(params.p_a >= 0.0 && params.p_a <= 1.0) ||
+      !(params.p_b >= 0.0 && params.p_b <= 1.0)) {
+    throw std::invalid_argument("make_planted: probabilities in [0, 1]");
+  }
+  const std::uint64_t n = two_n / 2;
+  if (params.bis > n * n) {
+    throw std::invalid_argument("make_planted: bis exceeds n*n cross pairs");
+  }
+
+  GraphBuilder builder(two_n);
+  add_gnp_block(builder, 0, static_cast<std::uint32_t>(n), params.p_a, rng);
+  add_gnp_block(builder, static_cast<Vertex>(n), static_cast<std::uint32_t>(n),
+                params.p_b, rng);
+
+  // Exactly `bis` distinct cross pairs, uniform over the n*n choices.
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(params.bis * 2);
+  while (chosen.size() < params.bis) {
+    const std::uint64_t a = rng.below(n);
+    const std::uint64_t b = rng.below(n);
+    const std::uint64_t key = a * n + b;
+    if (chosen.insert(key).second) {
+      builder.add_edge(static_cast<Vertex>(a), static_cast<Vertex>(n + b));
+    }
+  }
+  return builder.build();
+}
+
+PlantedParams planted_params_for_degree(std::uint32_t two_n,
+                                        double avg_degree,
+                                        std::uint64_t bis) {
+  if (two_n < 4 || two_n % 2 != 0) {
+    throw std::invalid_argument(
+        "planted_params_for_degree: two_n must be even and >= 4");
+  }
+  const double n = two_n / 2.0;
+  // Total expected edges: 2 * C(n,2) * p + bis = two_n * avg_degree / 2.
+  const double internal_edges =
+      two_n * avg_degree / 2.0 - static_cast<double>(bis);
+  if (internal_edges < 0.0) {
+    throw std::invalid_argument(
+        "planted_params_for_degree: bis alone exceeds the degree budget");
+  }
+  const double pairs_per_side = n * (n - 1.0) / 2.0;
+  const double p = internal_edges / (2.0 * pairs_per_side);
+  if (p > 1.0) {
+    throw std::invalid_argument(
+        "planted_params_for_degree: degree unreachable with simple sides");
+  }
+  return PlantedParams{two_n, p, p, bis};
+}
+
+std::vector<std::uint8_t> planted_sides(std::uint32_t two_n) {
+  std::vector<std::uint8_t> sides(two_n, 0);
+  for (std::uint32_t v = two_n / 2; v < two_n; ++v) sides[v] = 1;
+  return sides;
+}
+
+}  // namespace gbis

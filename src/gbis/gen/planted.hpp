@@ -1,0 +1,43 @@
+// The G2set(2n, pA, pB, bis) model (paper section IV): vertices split
+// into halves A = {0..n-1} and B = {n..2n-1}; edges inside A appear
+// with probability pA, inside B with probability pB, and exactly `bis`
+// edges are placed uniformly at random between the halves — an upper
+// bound of bis on the bisection width.
+//
+// The planted bisection is always (first half, second half); helpers
+// below expose it so experiments can compare found cuts against it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gbis/graph/graph.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+
+/// Parameters of a G2set instance.
+struct PlantedParams {
+  std::uint32_t two_n = 0;  ///< total vertex count (even, >= 4)
+  double p_a = 0.0;         ///< edge probability inside side A
+  double p_b = 0.0;         ///< edge probability inside side B
+  std::uint64_t bis = 0;    ///< exact number of cross edges (<= n*n)
+};
+
+/// Samples a G2set instance. Throws std::invalid_argument on
+/// inconsistent parameters.
+Graph make_planted(const PlantedParams& params, Rng& rng);
+
+/// Parameters for a target average degree with symmetric sides:
+/// expected average degree = (n-1)*p + 2*bis/(2n), solved for p.
+/// Matches the paper's "G2set(5000, pA, pB, b) with average degree D"
+/// table setups.
+PlantedParams planted_params_for_degree(std::uint32_t two_n,
+                                        double avg_degree,
+                                        std::uint64_t bis);
+
+/// The planted side assignment for any half/half model instance on
+/// two_n vertices: 0 for the first half, 1 for the second.
+std::vector<std::uint8_t> planted_sides(std::uint32_t two_n);
+
+}  // namespace gbis

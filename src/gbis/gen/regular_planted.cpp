@@ -1,0 +1,178 @@
+#include "gbis/gen/regular_planted.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "gbis/graph/builder.hpp"
+
+namespace gbis {
+
+namespace {
+
+using StubPair = std::pair<Vertex, Vertex>;
+
+std::uint64_t edge_key(Vertex u, Vertex v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+/// Randomly pairs the given stubs (vertex ids with multiplicity), then
+/// repairs self-loops and parallel pairs by random 2-swaps. Returns
+/// true and appends the pairs to `out` on success; false if the repair
+/// stalls (caller restarts with fresh randomness).
+bool pair_stubs_simple(std::vector<Vertex> stubs, Rng& rng,
+                       std::vector<StubPair>& out) {
+  if (stubs.size() % 2 != 0) return false;
+  rng.shuffle(stubs);
+  const std::size_t m = stubs.size() / 2;
+  std::vector<StubPair> pairs(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    pairs[i] = {stubs[2 * i], stubs[2 * i + 1]};
+  }
+
+  auto count_conflicts = [&](std::unordered_map<std::uint64_t, int>& mult) {
+    mult.clear();
+    for (const auto& [u, v] : pairs) {
+      if (u != v) ++mult[edge_key(u, v)];
+    }
+  };
+  std::unordered_map<std::uint64_t, int> mult;
+  count_conflicts(mult);
+
+  auto is_bad = [&](std::size_t i) {
+    const auto& [u, v] = pairs[i];
+    return u == v || mult[edge_key(u, v)] > 1;
+  };
+
+  // Random 2-swaps: resolve each conflicted pair by exchanging a
+  // partner with a uniformly random other pair. Expected O(#conflicts)
+  // rounds for sparse instances; cap generously and report a stall.
+  const std::size_t max_steps = 200 + 50 * m;
+  std::size_t steps = 0;
+  bool any_bad = true;
+  while (any_bad) {
+    any_bad = false;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!is_bad(i)) continue;
+      any_bad = true;
+      if (++steps > max_steps) return false;
+      const std::size_t j = static_cast<std::size_t>(rng.below(m));
+      if (j == i) continue;
+      auto& [iu, iv] = pairs[i];
+      auto& [ju, jv] = pairs[j];
+      // Remove both pairs' keys, swap partners, re-add.
+      if (iu != iv) --mult[edge_key(iu, iv)];
+      if (ju != jv) --mult[edge_key(ju, jv)];
+      std::swap(iv, jv);
+      if (iu != iv) ++mult[edge_key(iu, iv)];
+      if (ju != jv) ++mult[edge_key(ju, jv)];
+    }
+  }
+  out.insert(out.end(), pairs.begin(), pairs.end());
+  return true;
+}
+
+}  // namespace
+
+bool regular_planted_params_valid(const RegularPlantedParams& params) {
+  const std::uint32_t two_n = params.two_n;
+  if (two_n < 4 || two_n % 2 != 0) return false;
+  const std::uint64_t n = two_n / 2;
+  if (params.d < 1 || params.d >= n) return false;
+  const std::uint64_t stubs_per_side = n * params.d;
+  if (params.b > stubs_per_side) return false;
+  if ((stubs_per_side - params.b) % 2 != 0) return false;
+  return true;
+}
+
+Graph make_regular_planted(const RegularPlantedParams& params, Rng& rng) {
+  if (!regular_planted_params_valid(params)) {
+    throw std::invalid_argument(
+        "make_regular_planted: need even two_n >= 4, 1 <= d < n, "
+        "b <= n*d, and n*d - b even");
+  }
+  const std::uint32_t n = params.two_n / 2;
+  const std::uint32_t d = params.d;
+  const std::uint64_t b = params.b;
+
+  constexpr int kMaxAttempts = 200;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    // Stub lists per side: each vertex appears d times.
+    std::vector<Vertex> stubs_a, stubs_b;
+    stubs_a.reserve(static_cast<std::size_t>(n) * d);
+    stubs_b.reserve(static_cast<std::size_t>(n) * d);
+    for (Vertex v = 0; v < n; ++v) {
+      for (std::uint32_t k = 0; k < d; ++k) {
+        stubs_a.push_back(v);
+        stubs_b.push_back(n + v);
+      }
+    }
+    rng.shuffle(stubs_a);
+    rng.shuffle(stubs_b);
+
+    // Cross edges: pair the first b stubs of each side, then repair
+    // duplicate cross pairs by re-pairing with a random other cross
+    // stub. (Cross pairs cannot self-loop.)
+    std::vector<StubPair> cross(b);
+    for (std::uint64_t i = 0; i < b; ++i) {
+      cross[i] = {stubs_a[i], stubs_b[i]};
+    }
+    bool cross_ok = true;
+    if (b > 1) {
+      std::unordered_map<std::uint64_t, int> mult;
+      for (const auto& [u, v] : cross) ++mult[edge_key(u, v)];
+      std::size_t steps = 0;
+      const std::size_t max_steps = 200 + 50 * b;
+      bool any_bad = true;
+      while (any_bad && cross_ok) {
+        any_bad = false;
+        for (std::uint64_t i = 0; i < b; ++i) {
+          if (mult[edge_key(cross[i].first, cross[i].second)] <= 1) continue;
+          any_bad = true;
+          if (++steps > max_steps) {
+            cross_ok = false;
+            break;
+          }
+          const std::uint64_t j = rng.below(b);
+          if (j == i) continue;
+          --mult[edge_key(cross[i].first, cross[i].second)];
+          --mult[edge_key(cross[j].first, cross[j].second)];
+          std::swap(cross[i].second, cross[j].second);
+          ++mult[edge_key(cross[i].first, cross[i].second)];
+          ++mult[edge_key(cross[j].first, cross[j].second)];
+        }
+      }
+    }
+    if (!cross_ok) continue;
+
+    // Internal pairings over the remaining stubs of each side.
+    std::vector<StubPair> internal;
+    const std::vector<Vertex> rest_a(stubs_a.begin() + static_cast<std::ptrdiff_t>(b),
+                                     stubs_a.end());
+    const std::vector<Vertex> rest_b(stubs_b.begin() + static_cast<std::ptrdiff_t>(b),
+                                     stubs_b.end());
+    if (!pair_stubs_simple(rest_a, rng, internal)) continue;
+    if (!pair_stubs_simple(rest_b, rng, internal)) continue;
+
+    GraphBuilder builder(params.two_n);
+    for (const auto& [u, v] : cross) builder.add_edge(u, v);
+    for (const auto& [u, v] : internal) builder.add_edge(u, v);
+    Graph g = builder.build();
+    // Parallel edges would have merged into weights; regularity check
+    // below catches that (merged edges reduce degree), making the graph
+    // simple-by-construction when it passes.
+    bool regular = true;
+    for (Vertex v = 0; v < params.two_n && regular; ++v) {
+      regular = g.degree(v) == d;
+    }
+    if (regular) return g;
+  }
+  throw std::runtime_error(
+      "make_regular_planted: failed to construct a simple instance");
+}
+
+}  // namespace gbis

@@ -1,0 +1,41 @@
+// The Gbreg(2n, b, d) model of Bui-Chaudhuri-Leighton-Sipser
+// (Combinatorica 1987), the paper's primary benchmark family (section
+// IV): simple d-regular graphs on 2n vertices with bisection width b.
+// Its virtue is that the planted bisection is, with high probability,
+// the unique minimum and far below a random cut — unlike Gnp — and the
+// model stays meaningful at small average degree — unlike G2set.
+//
+// Exact uniform sampling over that class is impractical; as in the
+// original work we *construct*: plant exactly b cross edges between the
+// halves {0..n-1} and {n..2n-1}, then complete each half to
+// d-regularity with a configuration-model stub pairing, repairing
+// self-loops and parallel edges by random 2-swaps (restarting on the
+// rare stall).
+#pragma once
+
+#include <cstdint>
+
+#include "gbis/graph/graph.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+
+/// Parameters of a Gbreg instance.
+struct RegularPlantedParams {
+  std::uint32_t two_n = 0;  ///< total vertices (even, >= 4)
+  std::uint64_t b = 0;      ///< planted bisection width (cross edges)
+  std::uint32_t d = 0;      ///< uniform degree (1 <= d < two_n/2)
+};
+
+/// Samples a Gbreg(2n, b, d) instance: d-regular, simple, with exactly
+/// b edges between the two halves. Requires n*d - b even and b <= n*d
+/// (throws std::invalid_argument otherwise); throws std::runtime_error
+/// if construction fails repeatedly (essentially impossible for the
+/// paper's parameter ranges).
+Graph make_regular_planted(const RegularPlantedParams& params, Rng& rng);
+
+/// Validates parameters without sampling; returns false when
+/// make_regular_planted would throw std::invalid_argument.
+bool regular_planted_params_valid(const RegularPlantedParams& params);
+
+}  // namespace gbis

@@ -1,0 +1,163 @@
+#include "gbis/gen/special.hpp"
+
+#include <stdexcept>
+
+#include "gbis/graph/builder.hpp"
+
+namespace gbis {
+
+Graph make_path(std::uint32_t n) {
+  if (n < 1) throw std::invalid_argument("make_path: n >= 1 required");
+  GraphBuilder b(n);
+  for (Vertex v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+Graph make_cycle(std::uint32_t n) {
+  if (n < 3) throw std::invalid_argument("make_cycle: n >= 3 required");
+  GraphBuilder b(n);
+  for (Vertex v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  b.add_edge(n - 1, 0);
+  return b.build();
+}
+
+Graph make_union_of_cycles(std::span<const std::uint32_t> sizes) {
+  std::uint64_t total = 0;
+  for (std::uint32_t s : sizes) {
+    if (s < 3) {
+      throw std::invalid_argument("make_union_of_cycles: cycle size >= 3");
+    }
+    total += s;
+  }
+  if (total > 0xFFFFFFFFull) {
+    throw std::invalid_argument("make_union_of_cycles: too many vertices");
+  }
+  GraphBuilder b(static_cast<std::uint32_t>(total));
+  Vertex base = 0;
+  for (std::uint32_t s : sizes) {
+    for (Vertex v = 0; v + 1 < s; ++v) b.add_edge(base + v, base + v + 1);
+    b.add_edge(base + s - 1, base);
+    base += s;
+  }
+  return b.build();
+}
+
+Graph make_ladder(std::uint32_t rungs) {
+  if (rungs < 1) throw std::invalid_argument("make_ladder: rungs >= 1");
+  GraphBuilder b(2 * rungs);
+  for (std::uint32_t r = 0; r < rungs; ++r) {
+    b.add_edge(2 * r, 2 * r + 1);  // rung
+    if (r + 1 < rungs) {
+      b.add_edge(2 * r, 2 * (r + 1));          // rail 0
+      b.add_edge(2 * r + 1, 2 * (r + 1) + 1);  // rail 1
+    }
+  }
+  return b.build();
+}
+
+Graph make_circular_ladder(std::uint32_t rungs) {
+  if (rungs < 3) {
+    throw std::invalid_argument("make_circular_ladder: rungs >= 3");
+  }
+  GraphBuilder b(2 * rungs);
+  for (std::uint32_t r = 0; r < rungs; ++r) {
+    const std::uint32_t next = (r + 1) % rungs;
+    b.add_edge(2 * r, 2 * r + 1);
+    b.add_edge(2 * r, 2 * next);
+    b.add_edge(2 * r + 1, 2 * next + 1);
+  }
+  return b.build();
+}
+
+Graph make_grid(std::uint32_t rows, std::uint32_t cols) {
+  if (rows < 1 || cols < 1) {
+    throw std::invalid_argument("make_grid: rows, cols >= 1");
+  }
+  const std::uint64_t n = static_cast<std::uint64_t>(rows) * cols;
+  if (n > 0xFFFFFFFFull) throw std::invalid_argument("make_grid: too large");
+  GraphBuilder b(static_cast<std::uint32_t>(n));
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      const Vertex v = r * cols + c;
+      if (c + 1 < cols) b.add_edge(v, v + 1);
+      if (r + 1 < rows) b.add_edge(v, v + cols);
+    }
+  }
+  return b.build();
+}
+
+Graph make_torus(std::uint32_t rows, std::uint32_t cols) {
+  if (rows < 3 || cols < 3) {
+    throw std::invalid_argument("make_torus: rows, cols >= 3");
+  }
+  const std::uint64_t n = static_cast<std::uint64_t>(rows) * cols;
+  if (n > 0xFFFFFFFFull) throw std::invalid_argument("make_torus: too large");
+  GraphBuilder b(static_cast<std::uint32_t>(n));
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      const Vertex v = r * cols + c;
+      b.add_edge(v, r * cols + (c + 1) % cols);
+      b.add_edge(v, ((r + 1) % rows) * cols + c);
+    }
+  }
+  return b.build();
+}
+
+Graph make_binary_tree(std::uint32_t n) {
+  if (n < 1) throw std::invalid_argument("make_binary_tree: n >= 1");
+  GraphBuilder b(n);
+  for (Vertex v = 1; v < n; ++v) b.add_edge(v, (v - 1) / 2);
+  return b.build();
+}
+
+Graph make_caterpillar(std::uint32_t spine, std::uint32_t legs) {
+  if (spine < 1) throw std::invalid_argument("make_caterpillar: spine >= 1");
+  const std::uint64_t n =
+      static_cast<std::uint64_t>(spine) * (1 + static_cast<std::uint64_t>(legs));
+  if (n > 0xFFFFFFFFull) {
+    throw std::invalid_argument("make_caterpillar: too large");
+  }
+  GraphBuilder b(static_cast<std::uint32_t>(n));
+  for (std::uint32_t s = 0; s < spine; ++s) {
+    if (s + 1 < spine) b.add_edge(s, s + 1);
+    for (std::uint32_t l = 0; l < legs; ++l) {
+      b.add_edge(s, spine + s * legs + l);
+    }
+  }
+  return b.build();
+}
+
+Graph make_hypercube(std::uint32_t dim) {
+  if (dim > 20) throw std::invalid_argument("make_hypercube: dim <= 20");
+  const std::uint32_t n = 1u << dim;
+  GraphBuilder b(n);
+  for (Vertex v = 0; v < n; ++v) {
+    for (std::uint32_t bit = 0; bit < dim; ++bit) {
+      const Vertex w = v ^ (1u << bit);
+      if (v < w) b.add_edge(v, w);
+    }
+  }
+  return b.build();
+}
+
+Graph make_complete(std::uint32_t n) {
+  if (n < 1) throw std::invalid_argument("make_complete: n >= 1");
+  GraphBuilder b(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph make_complete_bipartite(std::uint32_t a, std::uint32_t b_size) {
+  if (a < 1 || b_size < 1) {
+    throw std::invalid_argument("make_complete_bipartite: sides >= 1");
+  }
+  GraphBuilder b(a + b_size);
+  for (Vertex u = 0; u < a; ++u) {
+    for (Vertex v = a; v < a + b_size; ++v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+}  // namespace gbis

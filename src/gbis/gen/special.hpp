@@ -1,0 +1,66 @@
+// Deterministic structured graph families.
+//
+// The paper's evaluation uses grids, ladders, and binary trees as
+// "special graphs" (Table 1 and three appendix tables); ladders and
+// binary trees are the classes on which simulated annealing beats
+// Kernighan-Lin (Observation 4) and on which KL is known to fail badly
+// (section I cites the ladder graph). The remaining families support
+// tests and examples.
+//
+// All generators return simple unweighted graphs with vertices numbered
+// in the natural layout order described per function.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "gbis/graph/graph.hpp"
+
+namespace gbis {
+
+/// Path on n vertices: 0-1-2-...-(n-1). n >= 1.
+Graph make_path(std::uint32_t n);
+
+/// Simple cycle on n vertices. n >= 3.
+Graph make_cycle(std::uint32_t n);
+
+/// Disjoint union of simple cycles with the given sizes (each >= 3).
+/// Vertices are numbered cycle by cycle.
+Graph make_union_of_cycles(std::span<const std::uint32_t> sizes);
+
+/// Ladder: two parallel paths of `rungs` vertices joined by rungs.
+/// 2*rungs vertices; vertex (r, side) is 2*r + side. rungs >= 1.
+/// Optimal bisection width is 2 for rungs >= 2 (cut one pair of rails).
+Graph make_ladder(std::uint32_t rungs);
+
+/// Circular ladder (prism graph): ladder with both rails closed into
+/// cycles. rungs >= 3. Optimal bisection width is 4.
+Graph make_circular_ladder(std::uint32_t rungs);
+
+/// rows x cols grid; vertex (r, c) is r*cols + c. rows, cols >= 1.
+/// For an N x N grid with N even, the optimal bisection width is N.
+Graph make_grid(std::uint32_t rows, std::uint32_t cols);
+
+/// rows x cols torus (grid with wraparound). rows, cols >= 3.
+Graph make_torus(std::uint32_t rows, std::uint32_t cols);
+
+/// Binary tree on n vertices in heap shape: vertex i's parent is
+/// (i-1)/2. Works for every n >= 1 (the paper's "binary tree with N
+/// nodes" for even N). Complete when n = 2^k - 1.
+Graph make_binary_tree(std::uint32_t n);
+
+/// Caterpillar: a spine path of `spine` vertices, each with `legs`
+/// pendant leaves. spine >= 1.
+Graph make_caterpillar(std::uint32_t spine, std::uint32_t legs);
+
+/// Hypercube of the given dimension (2^dim vertices). dim <= 20.
+/// Optimal bisection width is 2^(dim-1).
+Graph make_hypercube(std::uint32_t dim);
+
+/// Complete graph on n vertices. n >= 1.
+Graph make_complete(std::uint32_t n);
+
+/// Complete bipartite graph K_{a,b}; side A first.
+Graph make_complete_bipartite(std::uint32_t a, std::uint32_t b);
+
+}  // namespace gbis

@@ -1,0 +1,142 @@
+#include "gbis/graph/analysis.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gbis/graph/ops.hpp"
+
+namespace gbis {
+
+std::vector<std::uint64_t> degree_histogram(const Graph& g) {
+  std::vector<std::uint64_t> histogram;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const std::uint32_t d = g.degree(v);
+    if (d >= histogram.size()) histogram.resize(d + 1, 0);
+    ++histogram[d];
+  }
+  return histogram;
+}
+
+std::vector<std::uint32_t> core_numbers(const Graph& g) {
+  const std::uint32_t n = g.num_vertices();
+  std::vector<std::uint32_t> degree(n), core(n, 0);
+  std::uint32_t max_degree = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    degree[v] = g.degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  // Bucket sort by degree; peel lowest-degree vertices in order,
+  // decrementing neighbors (Batagelj-Zaversnik).
+  std::vector<std::uint32_t> bin(max_degree + 2, 0);
+  for (Vertex v = 0; v < n; ++v) ++bin[degree[v]];
+  std::uint32_t start = 0;
+  for (std::uint32_t d = 0; d <= max_degree; ++d) {
+    const std::uint32_t count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<Vertex> order(n);
+  std::vector<std::uint32_t> pos(n);
+  {
+    std::vector<std::uint32_t> cursor(bin.begin(), bin.end() - 1);
+    for (Vertex v = 0; v < n; ++v) {
+      pos[v] = cursor[degree[v]];
+      order[pos[v]] = v;
+      ++cursor[degree[v]];
+    }
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Vertex v = order[i];
+    core[v] = degree[v];
+    for (Vertex w : g.neighbors(v)) {
+      if (degree[w] > degree[v]) {
+        // Move w one bucket down: swap it with the first vertex of its
+        // current bucket.
+        const std::uint32_t dw = degree[w];
+        const std::uint32_t first = bin[dw];
+        const Vertex u = order[first];
+        if (u != w) {
+          std::swap(order[pos[w]], order[first]);
+          std::swap(pos[w], pos[u]);
+        }
+        ++bin[dw];
+        --degree[w];
+      }
+    }
+  }
+  return core;
+}
+
+std::uint32_t degeneracy(const Graph& g) {
+  const auto cores = core_numbers(g);
+  std::uint32_t best = 0;
+  for (std::uint32_t c : cores) best = std::max(best, c);
+  return best;
+}
+
+std::uint64_t triangle_count(const Graph& g) {
+  // Count via ordered intersection: for edge (u, v) with u < v, count
+  // common neighbors w > v.
+  std::uint64_t triangles = 0;
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    const auto nu = g.neighbors(u);
+    for (Vertex v : nu) {
+      if (v <= u) continue;
+      const auto nv = g.neighbors(v);
+      // Two-pointer over the suffixes > v.
+      auto iu = std::upper_bound(nu.begin(), nu.end(), v);
+      auto iv = std::upper_bound(nv.begin(), nv.end(), v);
+      while (iu != nu.end() && iv != nv.end()) {
+        if (*iu == *iv) {
+          ++triangles;
+          ++iu;
+          ++iv;
+        } else if (*iu < *iv) {
+          ++iu;
+        } else {
+          ++iv;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+double global_clustering(const Graph& g) {
+  std::uint64_t wedges = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const std::uint64_t d = g.degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(triangle_count(g)) /
+         static_cast<double>(wedges);
+}
+
+std::uint32_t eccentricity(const Graph& g, Vertex source) {
+  const auto dist = bfs_distances(g, source);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist) {
+    if (d != kUnreachable) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t pseudo_diameter(const Graph& g, Vertex seed) {
+  if (seed >= g.num_vertices()) {
+    throw std::out_of_range("pseudo_diameter: seed out of range");
+  }
+  // Double sweep: BFS from seed, then BFS from the farthest vertex.
+  const auto first = bfs_distances(g, seed);
+  Vertex far = seed;
+  std::uint32_t best = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (first[v] != kUnreachable && first[v] > best) {
+      best = first[v];
+      far = v;
+    }
+  }
+  return eccentricity(g, far);
+}
+
+}  // namespace gbis

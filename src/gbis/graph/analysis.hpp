@@ -1,0 +1,40 @@
+// Structural analysis helpers beyond ops.hpp: degree histograms,
+// cores, clustering, and eccentricity — used by model_study's report
+// and by tests characterizing the generators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gbis/graph/graph.hpp"
+
+namespace gbis {
+
+/// histogram[d] = number of vertices of degree d (size = max degree+1;
+/// empty for the empty graph).
+std::vector<std::uint64_t> degree_histogram(const Graph& g);
+
+/// Core number of every vertex (largest k such that the vertex belongs
+/// to the k-core), via the standard peeling order. O(V + E).
+std::vector<std::uint32_t> core_numbers(const Graph& g);
+
+/// Degeneracy: the maximum core number (0 for edgeless graphs).
+std::uint32_t degeneracy(const Graph& g);
+
+/// Global clustering coefficient: 3 * triangles / open wedges
+/// (0 when the graph has no wedge). O(sum deg^2) — intended for
+/// analysis, not hot paths.
+double global_clustering(const Graph& g);
+
+/// Exact triangle count (each counted once). Uses the oriented
+/// neighbor-intersection method, O(E^{3/2})-ish on sparse graphs.
+std::uint64_t triangle_count(const Graph& g);
+
+/// Eccentricity of `source` (max BFS distance within its component).
+std::uint32_t eccentricity(const Graph& g, Vertex source);
+
+/// Pseudo-diameter: double-sweep BFS lower bound on the diameter of
+/// the component containing `seed` (exact on trees). O(V + E).
+std::uint32_t pseudo_diameter(const Graph& g, Vertex seed = 0);
+
+}  // namespace gbis

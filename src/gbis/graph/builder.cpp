@@ -1,0 +1,95 @@
+#include "gbis/graph/builder.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+namespace gbis {
+
+GraphBuilder::GraphBuilder(std::uint32_t num_vertices, SelfLoops self_loops)
+    : vertex_weights_(num_vertices, 1), self_loops_(self_loops) {}
+
+void GraphBuilder::add_edge(Vertex u, Vertex v, Weight weight) {
+  if (u >= num_vertices() || v >= num_vertices()) {
+    throw std::invalid_argument("GraphBuilder::add_edge: endpoint out of range");
+  }
+  if (weight <= 0) {
+    throw std::invalid_argument("GraphBuilder::add_edge: non-positive weight");
+  }
+  if (u == v) {
+    if (self_loops_ == SelfLoops::kReject) {
+      throw std::invalid_argument("GraphBuilder::add_edge: self-loop");
+    }
+    return;  // kDrop
+  }
+  if (u > v) std::swap(u, v);
+  staged_.push_back({u, v, weight});
+}
+
+void GraphBuilder::set_vertex_weight(Vertex v, Weight weight) {
+  if (v >= num_vertices()) {
+    throw std::invalid_argument(
+        "GraphBuilder::set_vertex_weight: vertex out of range");
+  }
+  if (weight <= 0) {
+    throw std::invalid_argument(
+        "GraphBuilder::set_vertex_weight: non-positive weight");
+  }
+  vertex_weights_[v] = weight;
+}
+
+Graph GraphBuilder::build() {
+  const std::uint32_t n = num_vertices();
+
+  std::sort(staged_.begin(), staged_.end(),
+            [](const Edge& a, const Edge& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+  // Merge parallel edges by summing weights.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < staged_.size(); ++i) {
+    if (out > 0 && staged_[out - 1].u == staged_[i].u &&
+        staged_[out - 1].v == staged_[i].v) {
+      staged_[out - 1].weight += staged_[i].weight;
+    } else {
+      staged_[out++] = staged_[i];
+    }
+  }
+  staged_.resize(out);
+
+  Graph g;
+  g.vertex_weights_ = std::move(vertex_weights_);
+  g.total_vertex_weight_ =
+      std::accumulate(g.vertex_weights_.begin(), g.vertex_weights_.end(),
+                      Weight{0});
+
+  std::vector<std::uint32_t> deg(n, 0);
+  for (const Edge& e : staged_) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  g.offsets_.assign(n + 1, 0);
+  for (Vertex v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + deg[v];
+  g.neighbors_.resize(staged_.size() * 2);
+  g.edge_weights_.resize(staged_.size() * 2);
+
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  g.total_edge_weight_ = 0;
+  // staged_ is sorted by (u, v) with u < v, so emitting u->v in order
+  // keeps each u's list sorted; v->u entries also land sorted because u
+  // increases monotonically across the scan.
+  for (const Edge& e : staged_) {
+    g.neighbors_[cursor[e.u]] = e.v;
+    g.edge_weights_[cursor[e.u]] = e.weight;
+    ++cursor[e.u];
+    g.neighbors_[cursor[e.v]] = e.u;
+    g.edge_weights_[cursor[e.v]] = e.weight;
+    ++cursor[e.v];
+    g.total_edge_weight_ += e.weight;
+  }
+  staged_.clear();
+  vertex_weights_.assign(n, 1);
+  return g;
+}
+
+}  // namespace gbis

@@ -1,0 +1,129 @@
+#include "gbis/graph/ops.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gbis/graph/builder.hpp"
+
+namespace gbis {
+
+std::vector<std::uint32_t> Components::sizes() const {
+  std::vector<std::uint32_t> result(count, 0);
+  for (std::uint32_t c : label) ++result[c];
+  return result;
+}
+
+Components connected_components(const Graph& g) {
+  const std::uint32_t n = g.num_vertices();
+  Components comps;
+  comps.label.assign(n, kUnreachable);
+  std::vector<Vertex> queue;
+  for (Vertex start = 0; start < n; ++start) {
+    if (comps.label[start] != kUnreachable) continue;
+    const std::uint32_t id = comps.count++;
+    comps.label[start] = id;
+    queue.assign(1, start);
+    while (!queue.empty()) {
+      const Vertex v = queue.back();
+      queue.pop_back();
+      for (Vertex w : g.neighbors(v)) {
+        if (comps.label[w] == kUnreachable) {
+          comps.label[w] = id;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return comps;
+}
+
+bool is_connected(const Graph& g) {
+  return connected_components(g).count <= 1;
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex source) {
+  if (source >= g.num_vertices()) {
+    throw std::out_of_range("bfs_distances: source out of range");
+  }
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreachable);
+  std::vector<Vertex> frontier{source};
+  dist[source] = 0;
+  std::uint32_t depth = 0;
+  std::vector<Vertex> next;
+  while (!frontier.empty()) {
+    ++depth;
+    next.clear();
+    for (Vertex v : frontier) {
+      for (Vertex w : g.neighbors(v)) {
+        if (dist[w] == kUnreachable) {
+          dist[w] = depth;
+          next.push_back(w);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats stats;
+  const std::uint32_t n = g.num_vertices();
+  if (n == 0) return stats;
+  stats.min = kUnreachable;
+  for (Vertex v = 0; v < n; ++v) {
+    const std::uint32_t d = g.degree(v);
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+  }
+  stats.average = g.average_degree();
+  return stats;
+}
+
+bool is_regular(const Graph& g, std::uint32_t d) {
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) != d) return false;
+  }
+  return true;
+}
+
+Graph induced_subgraph(const Graph& g, std::span<const Vertex> keep) {
+  std::vector<std::uint32_t> remap(g.num_vertices(), kUnreachable);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    if (keep[i] >= g.num_vertices()) {
+      throw std::out_of_range("induced_subgraph: vertex out of range");
+    }
+    if (remap[keep[i]] != kUnreachable) {
+      throw std::invalid_argument("induced_subgraph: duplicate vertex");
+    }
+    remap[keep[i]] = static_cast<std::uint32_t>(i);
+  }
+  GraphBuilder builder(static_cast<std::uint32_t>(keep.size()));
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    builder.set_vertex_weight(static_cast<Vertex>(i),
+                              g.vertex_weight(keep[i]));
+    const auto nbrs = g.neighbors(keep[i]);
+    const auto wts = g.edge_weights(keep[i]);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const std::uint32_t j = remap[nbrs[k]];
+      if (j != kUnreachable && keep[i] < nbrs[k]) {
+        builder.add_edge(static_cast<Vertex>(i), j, wts[k]);
+      }
+    }
+  }
+  return builder.build();
+}
+
+bool is_union_of_cycles(const Graph& g) {
+  if (g.num_vertices() == 0) return false;
+  return is_regular(g, 2);
+}
+
+bool is_forest(const Graph& g) {
+  const Components comps = connected_components(g);
+  // A graph is a forest iff |E| = |V| - #components.
+  return g.num_edges() ==
+         static_cast<std::uint64_t>(g.num_vertices()) - comps.count;
+}
+
+}  // namespace gbis

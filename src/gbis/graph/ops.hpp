@@ -1,0 +1,61 @@
+// Structural graph operations used across generators, algorithms, and
+// tests: connectivity, BFS, degree statistics, and subgraph extraction.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "gbis/graph/graph.hpp"
+
+namespace gbis {
+
+/// Result of a connected-components labeling.
+struct Components {
+  std::vector<std::uint32_t> label;  ///< component id per vertex, in [0, count)
+  std::uint32_t count = 0;           ///< number of components
+
+  /// Sizes of each component, indexed by label.
+  std::vector<std::uint32_t> sizes() const;
+};
+
+/// Labels connected components with BFS. O(V + E).
+Components connected_components(const Graph& g);
+
+/// True if the graph is connected (the empty graph counts as connected).
+bool is_connected(const Graph& g);
+
+/// Unweighted BFS distances from source; unreachable vertices get
+/// kUnreachable.
+inline constexpr std::uint32_t kUnreachable =
+    std::numeric_limits<std::uint32_t>::max();
+std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex source);
+
+/// Summary degree statistics.
+struct DegreeStats {
+  std::uint32_t min = 0;
+  std::uint32_t max = 0;
+  double average = 0.0;
+};
+
+/// Computes min/max/average degree. The empty graph yields all zeros.
+DegreeStats degree_stats(const Graph& g);
+
+/// True if every vertex has degree exactly d.
+bool is_regular(const Graph& g, std::uint32_t d);
+
+/// Extracts the subgraph induced by `keep` (ids are remapped to
+/// 0..keep.size()-1 in the given order; `keep` must have no duplicates).
+/// Vertex weights carry over; edge weights carry over.
+Graph induced_subgraph(const Graph& g, std::span<const Vertex> keep);
+
+/// True if the graph is a disjoint union of simple cycles, i.e. every
+/// vertex has degree exactly 2. (Degree-2 Gbreg instances have this
+/// shape; the paper notes they are exactly solvable.)
+bool is_union_of_cycles(const Graph& g);
+
+/// True if the graph is a forest (no cycles). O(V + E).
+bool is_forest(const Graph& g);
+
+}  // namespace gbis

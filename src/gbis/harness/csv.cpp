@@ -1,0 +1,67 @@
+#include "gbis/harness/csv.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gbis {
+
+namespace {
+
+std::string escape(const std::string& value) {
+  if (value.find_first_of(",\"\n") == std::string::npos) return value;
+  std::string quoted = "\"";
+  for (char c : value) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void write_row(std::ostream& out, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out << ',';
+    out << escape(cells[i]);
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> columns)
+    : out_(out), columns_(columns.size()) {
+  write_row(out_, columns);
+}
+
+CsvWriter& CsvWriter::cell(const std::string& value) {
+  pending_.push_back(value);
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double value) {
+  std::ostringstream ss;
+  ss << value;
+  pending_.push_back(ss.str());
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(std::int64_t value) {
+  pending_.push_back(std::to_string(value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(std::uint64_t value) {
+  pending_.push_back(std::to_string(value));
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  if (pending_.size() != columns_) {
+    throw std::logic_error("CsvWriter: cell count mismatch");
+  }
+  write_row(out_, pending_);
+  pending_.clear();
+}
+
+}  // namespace gbis

@@ -1,0 +1,33 @@
+// Minimal CSV emission for experiment data (convergence traces,
+// variance studies) so results can be plotted outside the harness.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gbis {
+
+/// Streams rows of a CSV file with a fixed header. Values are quoted
+/// only when they contain commas/quotes/newlines (RFC-4180 style).
+class CsvWriter {
+ public:
+  /// Writes the header row immediately.
+  CsvWriter(std::ostream& out, std::vector<std::string> columns);
+
+  CsvWriter& cell(const std::string& value);
+  CsvWriter& cell(double value);
+  CsvWriter& cell(std::int64_t value);
+  CsvWriter& cell(std::uint64_t value);
+
+  /// Ends the row; throws std::logic_error on a column-count mismatch.
+  void end_row();
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_;
+  std::vector<std::string> pending_;
+};
+
+}  // namespace gbis

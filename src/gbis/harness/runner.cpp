@@ -1,0 +1,94 @@
+#include "gbis/harness/runner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "gbis/baseline/greedy.hpp"
+#include "gbis/baseline/random_bisect.hpp"
+#include "gbis/baseline/spectral.hpp"
+#include "gbis/harness/timer.hpp"
+
+namespace gbis {
+
+std::string method_name(Method method) {
+  switch (method) {
+    case Method::kKl: return "KL";
+    case Method::kSa: return "SA";
+    case Method::kCkl: return "CKL";
+    case Method::kCsa: return "CSA";
+    case Method::kFm: return "FM";
+    case Method::kCfm: return "CFM";
+    case Method::kMultilevelKl: return "MLKL";
+    case Method::kGreedy: return "Greedy";
+    case Method::kSpectral: return "Spectral";
+    case Method::kRandom: return "Random";
+  }
+  throw std::invalid_argument("method_name: unknown method");
+}
+
+namespace {
+
+Bisection one_start(const Graph& g, Method method, Rng& rng,
+                    const RunConfig& config) {
+  switch (method) {
+    case Method::kKl: {
+      Bisection b = Bisection::random(g, rng);
+      kl_refine(b, config.kl);
+      return b;
+    }
+    case Method::kSa: {
+      Bisection b = Bisection::random(g, rng);
+      sa_refine(b, rng, config.sa);
+      return b;
+    }
+    case Method::kCkl:
+      return ckl(g, rng, config.kl, config.compaction);
+    case Method::kCsa:
+      return csa(g, rng, config.sa, config.compaction);
+    case Method::kFm: {
+      Bisection b = Bisection::random(g, rng);
+      fm_refine(b, config.fm);
+      return b;
+    }
+    case Method::kCfm:
+      return compacted_bisect(g, rng, fm_refiner(config.fm),
+                              config.compaction);
+    case Method::kMultilevelKl:
+      return multilevel_bisect(g, rng, kl_refiner(config.kl),
+                               config.multilevel);
+    case Method::kGreedy:
+      return greedy_bisection(g, rng);
+    case Method::kSpectral:
+      return spectral_bisection(g, rng);
+    case Method::kRandom:
+      return best_random_bisection(g, rng);
+  }
+  throw std::invalid_argument("run_method: unknown method");
+}
+
+}  // namespace
+
+RunResult run_method(const Graph& g, Method method, Rng& rng,
+                     const RunConfig& config,
+                     std::vector<std::uint8_t>* best_sides) {
+  if (config.starts == 0) {
+    throw std::invalid_argument("run_method: starts >= 1");
+  }
+  RunResult result;
+  result.best_cut = std::numeric_limits<Weight>::max();
+  const WallTimer timer;
+  for (std::uint32_t s = 0; s < config.starts; ++s) {
+    const Bisection b = one_start(g, method, rng, config);
+    if (b.cut() < result.best_cut) {
+      result.best_cut = b.cut();
+      if (best_sides != nullptr) {
+        best_sides->assign(b.sides().begin(), b.sides().end());
+      }
+    }
+  }
+  result.total_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace gbis

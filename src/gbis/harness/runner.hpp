@@ -1,0 +1,63 @@
+// Experiment runner: executes a named bisection method under the
+// paper's protocol — k independent random starts, report the best cut
+// and the *total* time across all starts including initial-bisection
+// generation (section VI: "All timing results will be the total time it
+// took the procedure to complete both starting configurations
+// (including the time to generate the initial bisections)").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gbis/core/compaction.hpp"
+#include "gbis/core/multilevel.hpp"
+#include "gbis/fm/fm.hpp"
+#include "gbis/graph/graph.hpp"
+#include "gbis/kl/kl.hpp"
+#include "gbis/rng/rng.hpp"
+#include "gbis/sa/sa.hpp"
+
+namespace gbis {
+
+/// The bisection methods the harness can run.
+enum class Method {
+  kKl,            ///< Kernighan-Lin (paper: KL)
+  kSa,            ///< simulated annealing (paper: SA)
+  kCkl,           ///< compacted Kernighan-Lin (paper: CKL)
+  kCsa,           ///< compacted simulated annealing (paper: CSA)
+  kFm,            ///< Fiduccia-Mattheyses (ablation)
+  kCfm,           ///< compacted FM (ablation)
+  kMultilevelKl,  ///< multilevel compaction + KL (extension)
+  kGreedy,        ///< greedy region growing (baseline)
+  kSpectral,      ///< spectral bisection (baseline/extension)
+  kRandom,        ///< best random bisection (baseline)
+};
+
+/// Short display name ("KL", "CSA", ...).
+std::string method_name(Method method);
+
+/// Shared configuration for a method run.
+struct RunConfig {
+  std::uint32_t starts = 2;  ///< independent random starts (paper: 2)
+  KlOptions kl;
+  SaOptions sa;
+  FmOptions fm;
+  CompactionOptions compaction;
+  MultilevelOptions multilevel;
+};
+
+/// Outcome of running one method on one graph.
+struct RunResult {
+  Weight best_cut = 0;         ///< best over all starts
+  double total_seconds = 0.0;  ///< all starts, incl. start generation
+};
+
+/// Runs `method` on g with `config.starts` independent starts. When
+/// `best_sides` is non-null it receives the side assignment of the
+/// winning start.
+RunResult run_method(const Graph& g, Method method, Rng& rng,
+                     const RunConfig& config = {},
+                     std::vector<std::uint8_t>* best_sides = nullptr);
+
+}  // namespace gbis

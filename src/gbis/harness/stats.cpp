@@ -1,0 +1,44 @@
+#include "gbis/harness/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace gbis {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+
+  double sum = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+
+  if (values.size() > 1) {
+    double ss = 0.0;
+    for (double v : values) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  }
+
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t mid = sorted.size() / 2;
+  s.median = sorted.size() % 2 == 1
+                 ? sorted[mid]
+                 : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  return s;
+}
+
+double percent_improvement(double before, double after) {
+  if (before == 0.0) return 0.0;
+  return (before - after) / before * 100.0;
+}
+
+}  // namespace gbis

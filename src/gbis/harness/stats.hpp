@@ -1,0 +1,26 @@
+// Small-sample summary statistics for experiment reporting.
+#pragma once
+
+#include <span>
+
+namespace gbis {
+
+/// Five-number-ish summary of a sample.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1); 0 if n < 2
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  std::size_t count = 0;
+};
+
+/// Computes the summary of a sample (empty sample yields all zeros).
+Summary summarize(std::span<const double> values);
+
+/// Percentage improvement of `after` relative to `before`:
+/// (before - after) / before * 100. Returns 0 when before == 0 (both
+/// zero means "nothing to improve"; guarded division).
+double percent_improvement(double before, double after);
+
+}  // namespace gbis

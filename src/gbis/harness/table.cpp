@@ -1,0 +1,79 @@
+#include "gbis/harness/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gbis {
+
+TablePrinter::TablePrinter(std::ostream& out, std::vector<Column> columns)
+    : out_(out), columns_(std::move(columns)) {
+  for (Column& c : columns_) {
+    c.width = std::max(c.width, static_cast<int>(c.header.size()));
+  }
+}
+
+void TablePrinter::print_header() {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    out_ << (i == 0 ? "" : "  ") << std::setw(columns_[i].width)
+         << columns_[i].header;
+  }
+  out_ << '\n';
+  print_separator();
+}
+
+void TablePrinter::print_separator() {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i != 0) out_ << "  ";
+    out_ << std::string(static_cast<std::size_t>(columns_[i].width), '-');
+  }
+  out_ << '\n';
+}
+
+TablePrinter& TablePrinter::cell(const std::string& value) {
+  pending_.push_back(value);
+  return *this;
+}
+
+TablePrinter& TablePrinter::cell(const char* value) {
+  pending_.emplace_back(value);
+  return *this;
+}
+
+TablePrinter& TablePrinter::cell(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  pending_.push_back(ss.str());
+  return *this;
+}
+
+TablePrinter& TablePrinter::cell(std::int64_t value) {
+  pending_.push_back(std::to_string(value));
+  return *this;
+}
+
+TablePrinter& TablePrinter::cell(std::uint64_t value) {
+  pending_.push_back(std::to_string(value));
+  return *this;
+}
+
+TablePrinter& TablePrinter::cell(std::uint32_t value) {
+  pending_.push_back(std::to_string(value));
+  return *this;
+}
+
+void TablePrinter::end_row() {
+  if (pending_.size() != columns_.size()) {
+    throw std::logic_error("TablePrinter: cell count mismatch");
+  }
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    out_ << (i == 0 ? "" : "  ") << std::setw(columns_[i].width)
+         << pending_[i];
+  }
+  out_ << '\n';
+  pending_.clear();
+}
+
+}  // namespace gbis

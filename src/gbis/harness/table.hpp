@@ -1,0 +1,50 @@
+// Fixed-width console table printer used by the experiment drivers to
+// emit the paper's appendix tables.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gbis {
+
+/// Column-aligned text table. Define columns, then emit rows of cells;
+/// each cell is stringified with sensible defaults (doubles to 2
+/// decimal places unless configured).
+class TablePrinter {
+ public:
+  /// A column: header text and minimum width (auto-widened to fit the
+  /// header).
+  struct Column {
+    std::string header;
+    int width = 10;
+  };
+
+  TablePrinter(std::ostream& out, std::vector<Column> columns);
+
+  /// Prints the header row and separator.
+  void print_header();
+
+  /// Prints a horizontal separator line.
+  void print_separator();
+
+  /// Begins a row; cells are appended with cell()/done().
+  TablePrinter& cell(const std::string& value);
+  TablePrinter& cell(const char* value);
+  TablePrinter& cell(double value, int precision = 2);
+  TablePrinter& cell(std::int64_t value);
+  TablePrinter& cell(std::uint64_t value);
+  TablePrinter& cell(std::uint32_t value);
+
+  /// Ends the current row (flushes it). Throws std::logic_error if the
+  /// number of cells does not match the number of columns.
+  void end_row();
+
+ private:
+  std::ostream& out_;
+  std::vector<Column> columns_;
+  std::vector<std::string> pending_;
+};
+
+}  // namespace gbis

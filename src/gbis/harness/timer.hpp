@@ -1,0 +1,27 @@
+// Wall-clock timer for experiment timing. The paper reports VAX-780 CPU
+// minutes; we report wall seconds and compare machine-portable ratios
+// (see DESIGN.md section 3).
+#pragma once
+
+#include <chrono>
+
+namespace gbis {
+
+/// Monotonic stopwatch, started at construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Seconds since construction or the last reset().
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace gbis

@@ -1,0 +1,91 @@
+#include "gbis/hypergraph/builder.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace gbis {
+
+HypergraphBuilder::HypergraphBuilder(std::uint32_t num_cells)
+    : cell_weights_(num_cells, 1) {}
+
+bool HypergraphBuilder::add_net(std::span<const Cell> cells, Weight weight) {
+  if (weight <= 0) {
+    throw std::invalid_argument("HypergraphBuilder::add_net: weight <= 0");
+  }
+  std::vector<Cell> pins(cells.begin(), cells.end());
+  for (Cell c : pins) {
+    if (c >= num_cells()) {
+      throw std::invalid_argument(
+          "HypergraphBuilder::add_net: cell out of range");
+    }
+  }
+  std::sort(pins.begin(), pins.end());
+  pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+  if (pins.size() < 2) return false;  // trivial net: uncuttable
+  staged_pins_.push_back(std::move(pins));
+  staged_weights_.push_back(weight);
+  return true;
+}
+
+void HypergraphBuilder::set_cell_weight(Cell c, Weight weight) {
+  if (c >= num_cells()) {
+    throw std::invalid_argument(
+        "HypergraphBuilder::set_cell_weight: cell out of range");
+  }
+  if (weight <= 0) {
+    throw std::invalid_argument(
+        "HypergraphBuilder::set_cell_weight: weight <= 0");
+  }
+  cell_weights_[c] = weight;
+}
+
+Hypergraph HypergraphBuilder::build() {
+  const std::uint32_t cells = num_cells();
+  const auto nets = static_cast<std::uint32_t>(staged_pins_.size());
+
+  Hypergraph h;
+  h.cell_weights_ = cell_weights_;
+  h.net_weights_ = std::move(staged_weights_);
+  h.total_cell_weight_ = std::accumulate(h.cell_weights_.begin(),
+                                         h.cell_weights_.end(), Weight{0});
+  h.total_net_weight_ = std::accumulate(h.net_weights_.begin(),
+                                        h.net_weights_.end(), Weight{0});
+
+  h.pin_offsets_.assign(nets + 1, 0);
+  std::uint64_t total_pins = 0;
+  for (Net n = 0; n < nets; ++n) {
+    total_pins += staged_pins_[n].size();
+    h.pin_offsets_[n + 1] = total_pins;
+  }
+  h.pins_.reserve(total_pins);
+  std::vector<std::uint32_t> cell_deg(cells, 0);
+  for (const auto& pins : staged_pins_) {
+    for (Cell c : pins) {
+      h.pins_.push_back(c);
+      ++cell_deg[c];
+    }
+  }
+
+  h.member_offsets_.assign(cells + 1, 0);
+  for (Cell c = 0; c < cells; ++c) {
+    h.member_offsets_[c + 1] = h.member_offsets_[c] + cell_deg[c];
+  }
+  h.memberships_.resize(total_pins);
+  std::vector<std::uint64_t> cursor(h.member_offsets_.begin(),
+                                    h.member_offsets_.end() - 1);
+  // Nets are appended in increasing id, so each cell's membership list
+  // comes out sorted.
+  for (Net n = 0; n < nets; ++n) {
+    for (Cell c : staged_pins_[n]) {
+      h.memberships_[cursor[c]++] = n;
+    }
+  }
+
+  staged_pins_.clear();
+  staged_weights_.clear();
+  cell_weights_.assign(cells, 1);
+  return h;
+}
+
+}  // namespace gbis

@@ -1,0 +1,43 @@
+// Mutable accumulator producing an immutable Hypergraph.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gbis/hypergraph/hypergraph.hpp"
+
+namespace gbis {
+
+/// Accumulates nets over a fixed cell set, then builds the dual-CSR
+/// hypergraph. Duplicate pins within one net are merged; nets that end
+/// up with fewer than two distinct pins are dropped (they can never be
+/// cut, so they carry no information for partitioning).
+class HypergraphBuilder {
+ public:
+  explicit HypergraphBuilder(std::uint32_t num_cells);
+
+  std::uint32_t num_cells() const {
+    return static_cast<std::uint32_t>(cell_weights_.size());
+  }
+
+  /// Adds a net over the given cells. Throws std::invalid_argument on
+  /// an out-of-range cell or non-positive weight. Returns true if the
+  /// net was staged (>= 2 distinct pins after dedup), false if it was
+  /// dropped as trivial.
+  bool add_net(std::span<const Cell> cells, Weight weight = 1);
+
+  /// Sets a cell's weight (must be positive).
+  void set_cell_weight(Cell c, Weight weight);
+
+  /// Builds the hypergraph; the builder resets to an empty state over
+  /// the same cell count.
+  Hypergraph build();
+
+ private:
+  std::vector<std::vector<Cell>> staged_pins_;
+  std::vector<Weight> staged_weights_;
+  std::vector<Weight> cell_weights_;
+};
+
+}  // namespace gbis

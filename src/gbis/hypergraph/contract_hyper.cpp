@@ -1,0 +1,213 @@
+#include "gbis/hypergraph/contract_hyper.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "gbis/hypergraph/builder.hpp"
+
+namespace gbis {
+
+namespace {
+
+constexpr Cell kNoCell = 0xFFFFFFFFu;
+
+/// Hash for sorted pin vectors (FNV-1a over the ids).
+struct PinsHash {
+  std::size_t operator()(const std::vector<Cell>& pins) const {
+    std::size_t hash = 1469598103934665603ull;
+    for (Cell c : pins) {
+      hash ^= c;
+      hash *= 1099511628211ull;
+    }
+    return hash;
+  }
+};
+
+}  // namespace
+
+HyperMatching hyper_matching(const Hypergraph& h, Rng& rng,
+                             HyperMatchPolicy policy) {
+  const std::uint32_t n = h.num_cells();
+  std::vector<std::uint8_t> matched(n, 0);
+  HyperMatching result;
+  result.reserve(n / 2);
+
+  std::vector<Cell> order(n);
+  for (Cell c = 0; c < n; ++c) order[c] = c;
+  rng.shuffle(order);
+
+  // Scratch: connectivity score per candidate, reset per cell.
+  std::vector<double> score(n, 0.0);
+  std::vector<Cell> candidates;
+
+  for (Cell c : order) {
+    if (matched[c]) continue;
+    candidates.clear();
+    for (Net net : h.nets_of(c)) {
+      const auto pins = h.pins(net);
+      const double contribution =
+          static_cast<double>(h.net_weight(net)) /
+          static_cast<double>(pins.size() - 1);
+      for (Cell u : pins) {
+        if (u == c || matched[u]) continue;
+        if (score[u] == 0.0) candidates.push_back(u);
+        score[u] += contribution;
+      }
+    }
+    if (!candidates.empty()) {
+      Cell mate = kNoCell;
+      if (policy == HyperMatchPolicy::kRandom) {
+        mate = candidates[static_cast<std::size_t>(
+            rng.below(candidates.size()))];
+      } else {
+        double best = -1.0;
+        for (Cell u : candidates) {
+          if (score[u] > best) {
+            best = score[u];
+            mate = u;
+          }
+        }
+      }
+      matched[c] = matched[mate] = 1;
+      result.emplace_back(c, mate);
+    }
+    for (Cell u : candidates) score[u] = 0.0;
+  }
+  return result;
+}
+
+bool is_hyper_matching(const Hypergraph& h, const HyperMatching& m) {
+  std::vector<std::uint8_t> seen(h.num_cells(), 0);
+  for (const auto& [a, b] : m) {
+    if (a >= h.num_cells() || b >= h.num_cells() || a == b) return false;
+    if (seen[a] || seen[b]) return false;
+    seen[a] = seen[b] = 1;
+    // The pair must share at least one net.
+    const auto nets_a = h.nets_of(a);
+    const auto nets_b = h.nets_of(b);
+    const bool share = std::ranges::any_of(nets_a, [&](Net n) {
+      return std::binary_search(nets_b.begin(), nets_b.end(), n);
+    });
+    if (!share) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> HyperContraction::project(
+    std::span<const std::uint8_t> coarse_sides) const {
+  if (coarse_sides.size() != coarse.num_cells()) {
+    throw std::invalid_argument("HyperContraction::project: size mismatch");
+  }
+  std::vector<std::uint8_t> fine(map.size());
+  for (std::size_t c = 0; c < map.size(); ++c) {
+    fine[c] = coarse_sides[map[c]];
+  }
+  return fine;
+}
+
+HyperContraction contract_hyper(const Hypergraph& h, const HyperMatching& m,
+                                Rng& rng, bool pair_leftovers) {
+  if (!is_hyper_matching(h, m)) {
+    throw std::invalid_argument("contract_hyper: not a matching of h");
+  }
+  const std::uint32_t n = h.num_cells();
+
+  HyperContraction result;
+  result.map.assign(n, kNoCell);
+  std::uint32_t next_id = 0;
+  for (const auto& [a, b] : m) {
+    result.map[a] = result.map[b] = next_id++;
+  }
+  if (pair_leftovers) {
+    std::vector<Cell> leftovers;
+    for (Cell c = 0; c < n; ++c) {
+      if (result.map[c] == kNoCell) leftovers.push_back(c);
+    }
+    rng.shuffle(leftovers);
+    std::size_t i = 0;
+    for (; i + 1 < leftovers.size(); i += 2) {
+      result.map[leftovers[i]] = result.map[leftovers[i + 1]] = next_id++;
+    }
+    if (i < leftovers.size()) result.map[leftovers[i]] = next_id++;
+  } else {
+    for (Cell c = 0; c < n; ++c) {
+      if (result.map[c] == kNoCell) result.map[c] = next_id++;
+    }
+  }
+
+  HypergraphBuilder builder(next_id);
+  std::vector<Weight> coarse_cw(next_id, 0);
+  for (Cell c = 0; c < n; ++c) coarse_cw[result.map[c]] += h.cell_weight(c);
+  for (Cell sc = 0; sc < next_id; ++sc) {
+    builder.set_cell_weight(sc, coarse_cw[sc]);
+  }
+
+  // Remap nets; merge identical coarse pin sets by summing weights.
+  std::unordered_map<std::vector<Cell>, Weight, PinsHash> merged;
+  std::vector<Cell> coarse_pins;
+  for (Net net = 0; net < h.num_nets(); ++net) {
+    coarse_pins.clear();
+    for (Cell c : h.pins(net)) coarse_pins.push_back(result.map[c]);
+    std::sort(coarse_pins.begin(), coarse_pins.end());
+    coarse_pins.erase(std::unique(coarse_pins.begin(), coarse_pins.end()),
+                      coarse_pins.end());
+    if (coarse_pins.size() < 2) continue;  // net collapsed
+    merged[coarse_pins] += h.net_weight(net);
+  }
+  for (const auto& [pins, weight] : merged) {
+    builder.add_net(pins, weight);
+  }
+  result.coarse = builder.build();
+  return result;
+}
+
+std::uint32_t hyper_rebalance(HyperBisection& bisection) {
+  std::uint32_t moved = 0;
+  while (!bisection.is_balanced()) {
+    const int heavy =
+        bisection.side_count(0) >= bisection.side_count(1) ? 0 : 1;
+    Cell best_cell = 0;
+    Weight best_gain = std::numeric_limits<Weight>::min();
+    for (Cell c = 0; c < bisection.hypergraph().num_cells(); ++c) {
+      if (bisection.side(c) != heavy) continue;
+      const Weight g = bisection.gain(c);
+      if (g > best_gain) {
+        best_gain = g;
+        best_cell = c;
+      }
+    }
+    bisection.move(best_cell);
+    ++moved;
+  }
+  return moved;
+}
+
+HyperBisection compacted_hyper_fm(const Hypergraph& h, Rng& rng,
+                                  const HyperCompactionOptions& options,
+                                  HyperCompactionStats* stats) {
+  const HyperMatching matching = hyper_matching(h, rng, options.match_policy);
+  const HyperContraction contraction =
+      contract_hyper(h, matching, rng, options.pair_leftovers);
+
+  HyperBisection coarse =
+      HyperBisection::random(contraction.coarse, rng);
+  hyper_fm_refine(coarse, options.fm);
+
+  if (stats != nullptr) {
+    stats->coarse_cells = contraction.coarse.num_cells();
+    stats->coarse_nets = contraction.coarse.num_nets();
+    stats->coarse_cut = coarse.cut();
+  }
+
+  HyperBisection fine(h, contraction.project(coarse.sides()));
+  if (stats != nullptr) stats->projected_cut = fine.cut();
+  hyper_rebalance(fine);
+  hyper_fm_refine(fine, options.fm);
+  if (stats != nullptr) stats->final_cut = fine.cut();
+  return fine;
+}
+
+}  // namespace gbis

@@ -1,0 +1,79 @@
+// Compaction for hypergraphs: the paper's heuristic transplanted to
+// netlists. Cells are matched by co-membership (two cells sharing a
+// net), matched pairs coalesce into supercells, pins remap, nets that
+// collapse to a single supercell disappear, and identical nets merge —
+// the netlist analogue of "parallel edges merge". The compacted FM
+// driver then mirrors the five steps of section V with hypergraph FM
+// as the bisection heuristic (bench/hyper_compaction measures whether
+// the effect transfers).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gbis/hypergraph/fm_hyper.hpp"
+#include "gbis/hypergraph/hyper_bisection.hpp"
+#include "gbis/hypergraph/hypergraph.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+
+/// A matching over cells: disjoint pairs, each sharing >= 1 net.
+using HyperMatching = std::vector<std::pair<Cell, Cell>>;
+
+/// Matching policies for netlists.
+enum class HyperMatchPolicy {
+  kRandom,             ///< random unmatched co-pin neighbor
+  kHeavyConnectivity,  ///< neighbor maximizing sum of w(net)/(|net|-1)
+};
+
+/// Greedy maximal matching over the co-membership relation.
+HyperMatching hyper_matching(const Hypergraph& h, Rng& rng,
+                             HyperMatchPolicy policy =
+                                 HyperMatchPolicy::kRandom);
+
+/// True if m is a matching of h (disjoint pairs, each sharing a net).
+bool is_hyper_matching(const Hypergraph& h, const HyperMatching& m);
+
+/// A hypergraph contraction: coarse netlist plus the cell map.
+struct HyperContraction {
+  Hypergraph coarse;
+  std::vector<Cell> map;  ///< fine cell -> coarse cell
+
+  /// Projects a coarse side assignment to the fine cells.
+  std::vector<std::uint8_t> project(
+      std::span<const std::uint8_t> coarse_sides) const;
+};
+
+/// Contracts matched pairs (plus random leftover pairs when
+/// pair_leftovers, keeping supercell weights uniform).
+HyperContraction contract_hyper(const Hypergraph& h, const HyperMatching& m,
+                                Rng& rng, bool pair_leftovers = true);
+
+/// Moves best-gain cells from the larger side until the count
+/// imbalance is <= 1. Returns cells moved.
+std::uint32_t hyper_rebalance(HyperBisection& bisection);
+
+/// Knobs for the compacted hypergraph FM driver.
+struct HyperCompactionOptions {
+  HyperMatchPolicy match_policy = HyperMatchPolicy::kRandom;
+  bool pair_leftovers = true;
+  HyperFmOptions fm;
+};
+
+/// Diagnostics of one compacted run.
+struct HyperCompactionStats {
+  std::uint32_t coarse_cells = 0;
+  std::uint32_t coarse_nets = 0;
+  Weight coarse_cut = 0;
+  Weight projected_cut = 0;
+  Weight final_cut = 0;
+};
+
+/// The five compaction steps with hypergraph FM at both levels.
+HyperBisection compacted_hyper_fm(const Hypergraph& h, Rng& rng,
+                                  const HyperCompactionOptions& options = {},
+                                  HyperCompactionStats* stats = nullptr);
+
+}  // namespace gbis

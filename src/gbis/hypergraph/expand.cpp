@@ -1,0 +1,42 @@
+#include "gbis/hypergraph/expand.hpp"
+
+#include <algorithm>
+
+#include "gbis/graph/builder.hpp"
+
+namespace gbis {
+
+Graph clique_expansion(const Hypergraph& h) {
+  GraphBuilder builder(h.num_cells());
+  for (Net n = 0; n < h.num_nets(); ++n) {
+    const auto pins = h.pins(n);
+    const auto k = static_cast<Weight>(pins.size());
+    const Weight w = std::max<Weight>(
+        1, h.net_weight(n) * kExpandScale / (k - 1));
+    for (std::size_t i = 0; i < pins.size(); ++i) {
+      for (std::size_t j = i + 1; j < pins.size(); ++j) {
+        builder.add_edge(pins[i], pins[j], w);
+      }
+    }
+  }
+  for (Cell c = 0; c < h.num_cells(); ++c) {
+    builder.set_vertex_weight(c, h.cell_weight(c));
+  }
+  return builder.build();
+}
+
+Graph star_expansion(const Hypergraph& h) {
+  GraphBuilder builder(h.num_cells() + h.num_nets());
+  for (Net n = 0; n < h.num_nets(); ++n) {
+    const Vertex hub = h.num_cells() + n;
+    const Weight w = std::max<Weight>(1, h.net_weight(n) * kExpandScale /
+                                             static_cast<Weight>(2));
+    for (Cell c : h.pins(n)) builder.add_edge(hub, c, w);
+  }
+  for (Cell c = 0; c < h.num_cells(); ++c) {
+    builder.set_vertex_weight(c, h.cell_weight(c));
+  }
+  return builder.build();
+}
+
+}  // namespace gbis

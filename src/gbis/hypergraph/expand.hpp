@@ -1,0 +1,29 @@
+// Netlist-to-graph expansions, so the paper's graph algorithms (KL,
+// SA, compaction) can run on circuits and be compared against native
+// hypergraph FM (bench/hyper_netlist):
+//
+//  - clique expansion: each k-pin net becomes a clique; the standard
+//    weighting 1/(k-1) per clique edge makes a minimally-split net
+//    cost ~1 (scaled to integers here);
+//  - star expansion: each net becomes a new hub vertex connected to
+//    its pins — linear size, but adds vertices that partitioning must
+//    then place.
+#pragma once
+
+#include "gbis/graph/graph.hpp"
+#include "gbis/hypergraph/hypergraph.hpp"
+
+namespace gbis {
+
+/// Scale applied to clique/star edge weights so fractional clique
+/// weights round to useful integers: weight = max(1, kExpandScale/(k-1)).
+inline constexpr Weight kExpandScale = 12;
+
+/// Clique expansion: same vertex set as the netlist's cells.
+Graph clique_expansion(const Hypergraph& h);
+
+/// Star expansion: cells first, then one hub vertex per net (hub of
+/// net n is cell_count + n). Hub vertex weight is 1.
+Graph star_expansion(const Hypergraph& h);
+
+}  // namespace gbis

@@ -1,0 +1,39 @@
+// Fiduccia-Mattheyses bisection on hypergraphs — the 1982 algorithm in
+// its native habitat. One pass: all cells free; repeatedly move the
+// best-gain cell from a legal source side, lock it, and update the
+// gains of pins on its *critical nets* in O(1) per pin (the classic
+// Φ-table update rules); finally keep the best prefix of moves that
+// restores the balance tolerance.
+#pragma once
+
+#include <cstdint>
+
+#include "gbis/hypergraph/hyper_bisection.hpp"
+
+namespace gbis {
+
+/// Tuning knobs for the hypergraph FM driver.
+struct HyperFmOptions {
+  /// Maximum passes; 0 = run until a pass yields no improvement.
+  std::uint32_t max_passes = 0;
+  /// Maximum |count(0) - count(1)| at rest. 1 = strict bisection.
+  std::uint32_t balance_tolerance = 1;
+};
+
+/// Per-run diagnostics.
+struct HyperFmStats {
+  std::uint32_t passes = 0;
+  std::uint64_t moves_considered = 0;
+  std::uint64_t moves_applied = 0;
+  Weight initial_cut = 0;
+  Weight final_cut = 0;
+};
+
+/// Runs FM passes in place until fixpoint (or max_passes). Never
+/// increases the net cut; preserves balance within the tolerance (the
+/// input must already satisfy it; throws std::invalid_argument
+/// otherwise).
+HyperFmStats hyper_fm_refine(HyperBisection& bisection,
+                             const HyperFmOptions& options = {});
+
+}  // namespace gbis

@@ -1,0 +1,102 @@
+#include "gbis/hypergraph/hyper_bisection.hpp"
+
+#include <stdexcept>
+
+namespace gbis {
+
+HyperBisection::HyperBisection(const Hypergraph& h,
+                               std::vector<std::uint8_t> sides)
+    : hypergraph_(&h), sides_(std::move(sides)) {
+  if (sides_.size() != h.num_cells()) {
+    throw std::invalid_argument("HyperBisection: sides size != num_cells");
+  }
+  for (Cell c = 0; c < h.num_cells(); ++c) {
+    if (sides_[c] > 1) {
+      throw std::invalid_argument("HyperBisection: sides must be 0/1");
+    }
+    ++counts_[sides_[c]];
+    weights_[sides_[c]] += h.cell_weight(c);
+  }
+  phi_.assign(h.num_nets(), {0, 0});
+  cut_ = 0;
+  for (Net n = 0; n < h.num_nets(); ++n) {
+    for (Cell c : h.pins(n)) ++phi_[n][sides_[c]];
+    if (phi_[n][0] > 0 && phi_[n][1] > 0) cut_ += h.net_weight(n);
+  }
+}
+
+HyperBisection HyperBisection::random(const Hypergraph& h, Rng& rng) {
+  const std::uint32_t n = h.num_cells();
+  std::vector<Cell> order(n);
+  for (Cell c = 0; c < n; ++c) order[c] = c;
+  rng.shuffle(order);
+  std::vector<std::uint8_t> sides(n, 1);
+  for (std::uint32_t i = 0; i < (n + 1) / 2; ++i) sides[order[i]] = 0;
+  return HyperBisection(h, std::move(sides));
+}
+
+Weight HyperBisection::gain(Cell c) const {
+  const Hypergraph& h = *hypergraph_;
+  const int from = sides_[c];
+  const int to = from ^ 1;
+  Weight g = 0;
+  for (Net n : h.nets_of(c)) {
+    if (phi_[n][from] == 1) g += h.net_weight(n);  // un-cuts the net
+    if (phi_[n][to] == 0) g -= h.net_weight(n);    // newly cuts the net
+  }
+  return g;
+}
+
+void HyperBisection::move(Cell c) {
+  const Hypergraph& h = *hypergraph_;
+  const int from = sides_[c];
+  const int to = from ^ 1;
+  for (Net n : h.nets_of(c)) {
+    const Weight w = h.net_weight(n);
+    const bool was_cut = phi_[n][0] > 0 && phi_[n][1] > 0;
+    --phi_[n][from];
+    ++phi_[n][to];
+    const bool now_cut = phi_[n][0] > 0 && phi_[n][1] > 0;
+    if (was_cut && !now_cut) cut_ -= w;
+    if (!was_cut && now_cut) cut_ += w;
+  }
+  sides_[c] = static_cast<std::uint8_t>(to);
+  --counts_[from];
+  ++counts_[to];
+  weights_[from] -= h.cell_weight(c);
+  weights_[to] += h.cell_weight(c);
+}
+
+Weight HyperBisection::recompute_cut() const {
+  const Hypergraph& h = *hypergraph_;
+  Weight cut = 0;
+  for (Net n = 0; n < h.num_nets(); ++n) {
+    bool side0 = false, side1 = false;
+    for (Cell c : h.pins(n)) {
+      (sides_[c] == 0 ? side0 : side1) = true;
+    }
+    if (side0 && side1) cut += h.net_weight(n);
+  }
+  return cut;
+}
+
+bool HyperBisection::validate() const {
+  const Hypergraph& h = *hypergraph_;
+  std::uint32_t counts[2] = {0, 0};
+  Weight weights[2] = {0, 0};
+  for (Cell c = 0; c < h.num_cells(); ++c) {
+    if (sides_[c] > 1) return false;
+    ++counts[sides_[c]];
+    weights[sides_[c]] += h.cell_weight(c);
+  }
+  if (counts[0] != counts_[0] || counts[1] != counts_[1]) return false;
+  if (weights[0] != weights_[0] || weights[1] != weights_[1]) return false;
+  for (Net n = 0; n < h.num_nets(); ++n) {
+    std::uint32_t phi[2] = {0, 0};
+    for (Cell c : h.pins(n)) ++phi[sides_[c]];
+    if (phi[0] != phi_[n][0] || phi[1] != phi_[n][1]) return false;
+  }
+  return recompute_cut() == cut_;
+}
+
+}  // namespace gbis

@@ -1,0 +1,68 @@
+// Two-way partition state for hypergraphs: net cut (weight of nets
+// spanning both sides) maintained incrementally through per-net side
+// pin counts — the Φ(n, side) table of the Fiduccia-Mattheyses paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gbis/hypergraph/hypergraph.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+
+/// A two-way cell partition with incrementally maintained net cut.
+/// Holds a reference to the hypergraph, which must outlive it.
+class HyperBisection {
+ public:
+  /// Adopts an explicit side assignment. Throws std::invalid_argument
+  /// on size mismatch or entries other than 0/1.
+  HyperBisection(const Hypergraph& h, std::vector<std::uint8_t> sides);
+
+  /// Uniformly random split with ceil(n/2) cells on side 0.
+  static HyperBisection random(const Hypergraph& h, Rng& rng);
+
+  const Hypergraph& hypergraph() const { return *hypergraph_; }
+
+  std::uint8_t side(Cell c) const { return sides_[c]; }
+  std::span<const std::uint8_t> sides() const { return sides_; }
+
+  /// Weight of nets with pins on both sides.
+  Weight cut() const { return cut_; }
+
+  std::uint32_t side_count(int side) const { return counts_[side]; }
+  Weight side_weight(int side) const { return weights_[side]; }
+  std::uint32_t count_imbalance() const {
+    return counts_[0] >= counts_[1] ? counts_[0] - counts_[1]
+                                    : counts_[1] - counts_[0];
+  }
+  bool is_balanced() const { return count_imbalance() <= 1; }
+
+  /// Pins of net n currently on side s (the FM Φ table).
+  std::uint32_t pins_on_side(Net n, int s) const { return phi_[n][s]; }
+
+  /// FM gain of moving c: cut reduction (weight of nets un-cut minus
+  /// nets newly cut). O(nets_of(c)).
+  Weight gain(Cell c) const;
+
+  /// Moves c to the other side, updating Φ and the cut. O(nets_of(c)).
+  void move(Cell c);
+
+  /// Recomputes the cut from scratch (verification). O(pins).
+  Weight recompute_cut() const;
+
+  /// Full consistency check (Φ table, counts, weights, cut).
+  bool validate() const;
+
+ private:
+  const Hypergraph* hypergraph_;
+  std::vector<std::uint8_t> sides_;
+  std::vector<std::array<std::uint32_t, 2>> phi_;  // per net
+  Weight cut_ = 0;
+  std::uint32_t counts_[2] = {0, 0};
+  Weight weights_[2] = {0, 0};
+};
+
+}  // namespace gbis

@@ -1,0 +1,60 @@
+#include "gbis/hypergraph/hypergraph.hpp"
+
+#include <algorithm>
+
+namespace gbis {
+
+bool Hypergraph::validate() const {
+  const std::uint32_t cells = num_cells();
+  const std::uint32_t nets = num_nets();
+  if (pin_offsets_.size() != static_cast<std::size_t>(nets) + 1) return false;
+  if (member_offsets_.size() != static_cast<std::size_t>(cells) + 1) {
+    return false;
+  }
+  if (pin_offsets_.front() != 0 || pin_offsets_.back() != pins_.size()) {
+    return false;
+  }
+  if (member_offsets_.front() != 0 ||
+      member_offsets_.back() != memberships_.size()) {
+    return false;
+  }
+  if (pins_.size() != memberships_.size()) return false;
+
+  Weight nw = 0, cw = 0;
+  for (Weight w : net_weights_) {
+    if (w <= 0) return false;
+    nw += w;
+  }
+  for (Weight w : cell_weights_) {
+    if (w <= 0) return false;
+    cw += w;
+  }
+  if (nw != total_net_weight_ || cw != total_cell_weight_) return false;
+
+  // Pin lists: sorted, unique, in range, size >= 2; transpose check.
+  std::uint64_t cross_checked = 0;
+  for (Net n = 0; n < nets; ++n) {
+    const auto cells_of_net = pins(n);
+    if (cells_of_net.size() < 2) return false;
+    for (std::size_t i = 0; i < cells_of_net.size(); ++i) {
+      const Cell c = cells_of_net[i];
+      if (c >= cells) return false;
+      if (i > 0 && cells_of_net[i - 1] >= c) return false;
+      const auto nets_of_cell = nets_of(c);
+      if (!std::binary_search(nets_of_cell.begin(), nets_of_cell.end(), n)) {
+        return false;
+      }
+      ++cross_checked;
+    }
+  }
+  if (cross_checked != memberships_.size()) return false;
+  for (Cell c = 0; c < cells; ++c) {
+    const auto nets_of_cell = nets_of(c);
+    for (std::size_t i = 1; i < nets_of_cell.size(); ++i) {
+      if (nets_of_cell[i - 1] >= nets_of_cell[i]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace gbis

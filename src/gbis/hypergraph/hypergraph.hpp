@@ -1,0 +1,94 @@
+// Hypergraph substrate for circuit netlists.
+//
+// The paper motivates bisection through "VLSI placement and routing
+// problems", and a circuit is properly a *hypergraph*: a net (wire)
+// connects any number of cells, and the object to minimize is the
+// number of nets spanning both sides — not graph edges. This module
+// provides the netlist-shaped data structure, and fm_hyper.hpp the
+// canonical Fiduccia-Mattheyses partitioner on it; expand.hpp maps
+// netlists onto the paper's graph algorithms (clique/star expansion)
+// so the two worlds can be compared (bench/hyper_netlist).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gbis/graph/graph.hpp"  // Vertex / Weight types are shared
+
+namespace gbis {
+
+/// Cell id within a hypergraph (same width as graph vertices).
+using Cell = std::uint32_t;
+/// Net id within a hypergraph.
+using Net = std::uint32_t;
+
+/// Immutable hypergraph in dual-CSR form: pins (net -> cells) and
+/// memberships (cell -> nets). Construct via HypergraphBuilder.
+///
+/// Invariants (checked by validate()): pin lists are sorted and
+/// duplicate-free, every net has >= 2 pins, the two CSR directions are
+/// exact transposes, and all weights are positive.
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+
+  std::uint32_t num_cells() const {
+    return static_cast<std::uint32_t>(cell_weights_.size());
+  }
+  std::uint32_t num_nets() const {
+    return static_cast<std::uint32_t>(net_weights_.size());
+  }
+  /// Total pin count (sum of net sizes).
+  std::uint64_t num_pins() const { return pins_.size(); }
+
+  /// Cells on a net, sorted ascending.
+  std::span<const Cell> pins(Net n) const {
+    return {pins_.data() + pin_offsets_[n],
+            pin_offsets_[n + 1] - pin_offsets_[n]};
+  }
+
+  /// Nets containing a cell, sorted ascending.
+  std::span<const Net> nets_of(Cell c) const {
+    return {memberships_.data() + member_offsets_[c],
+            member_offsets_[c + 1] - member_offsets_[c]};
+  }
+
+  std::uint32_t net_size(Net n) const {
+    return static_cast<std::uint32_t>(pin_offsets_[n + 1] - pin_offsets_[n]);
+  }
+
+  std::uint32_t cell_degree(Cell c) const {
+    return static_cast<std::uint32_t>(member_offsets_[c + 1] -
+                                      member_offsets_[c]);
+  }
+
+  Weight net_weight(Net n) const { return net_weights_[n]; }
+  Weight cell_weight(Cell c) const { return cell_weights_[c]; }
+  Weight total_net_weight() const { return total_net_weight_; }
+  Weight total_cell_weight() const { return total_cell_weight_; }
+
+  /// Average pins per net; 0 for the empty hypergraph.
+  double average_net_size() const {
+    return num_nets() == 0
+               ? 0.0
+               : static_cast<double>(num_pins()) / num_nets();
+  }
+
+  /// Checks every structural invariant. For tests, not hot paths.
+  bool validate() const;
+
+ private:
+  friend class HypergraphBuilder;
+
+  std::vector<std::uint64_t> pin_offsets_{0};     // size nets+1
+  std::vector<Cell> pins_;                        // size #pins
+  std::vector<std::uint64_t> member_offsets_{0};  // size cells+1
+  std::vector<Net> memberships_;                  // size #pins
+  std::vector<Weight> net_weights_;
+  std::vector<Weight> cell_weights_;
+  Weight total_net_weight_ = 0;
+  Weight total_cell_weight_ = 0;
+};
+
+}  // namespace gbis

@@ -1,0 +1,45 @@
+#include "gbis/hypergraph/multilevel_hyper.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace gbis {
+
+HyperBisection multilevel_hyper_fm(const Hypergraph& h, Rng& rng,
+                                   const HyperMultilevelOptions& options,
+                                   HyperMultilevelStats* stats) {
+  std::vector<HyperContraction> levels;
+  const Hypergraph* current = &h;
+  for (std::uint32_t level = 0; level < options.max_levels; ++level) {
+    if (current->num_cells() <= options.min_cells) break;
+    const HyperMatching m =
+        hyper_matching(*current, rng, options.match_policy);
+    HyperContraction c =
+        contract_hyper(*current, m, rng, options.pair_leftovers);
+    const double shrink = static_cast<double>(c.coarse.num_cells()) /
+                          static_cast<double>(current->num_cells());
+    if (shrink > options.min_shrink_factor) break;
+    levels.push_back(std::move(c));
+    current = &levels.back().coarse;
+  }
+
+  HyperBisection bisection = HyperBisection::random(*current, rng);
+  hyper_fm_refine(bisection, options.fm);
+  if (stats != nullptr) {
+    stats->levels = static_cast<std::uint32_t>(levels.size());
+    stats->coarsest_cells = current->num_cells();
+    stats->coarsest_cut = bisection.cut();
+  }
+
+  for (std::size_t i = levels.size(); i-- > 0;) {
+    const Hypergraph& finer = (i == 0) ? h : levels[i - 1].coarse;
+    HyperBisection projected(finer, levels[i].project(bisection.sides()));
+    hyper_rebalance(projected);
+    hyper_fm_refine(projected, options.fm);
+    bisection = std::move(projected);
+  }
+  if (stats != nullptr) stats->final_cut = bisection.cut();
+  return bisection;
+}
+
+}  // namespace gbis

@@ -1,0 +1,38 @@
+// Multilevel compaction for hypergraphs: contract_hyper applied
+// recursively, FM at the coarsest level and at every projection — the
+// netlist mirror of core/multilevel.hpp and, historically, the exact
+// architecture of hMETIS.
+#pragma once
+
+#include <cstdint>
+
+#include "gbis/hypergraph/contract_hyper.hpp"
+
+namespace gbis {
+
+/// Knobs for the multilevel netlist driver.
+struct HyperMultilevelOptions {
+  std::uint32_t max_levels = 16;
+  std::uint32_t min_cells = 64;
+  double min_shrink_factor = 0.9;
+  HyperMatchPolicy match_policy = HyperMatchPolicy::kRandom;
+  bool pair_leftovers = true;
+  HyperFmOptions fm;
+};
+
+/// Per-run diagnostics.
+struct HyperMultilevelStats {
+  std::uint32_t levels = 0;
+  std::uint32_t coarsest_cells = 0;
+  Weight coarsest_cut = 0;
+  Weight final_cut = 0;
+};
+
+/// Multilevel bisection of h: coarsen until small, FM the coarsest
+/// netlist from a random start, then project upward with FM at every
+/// level. Returns an exactly balanced HyperBisection of h.
+HyperBisection multilevel_hyper_fm(const Hypergraph& h, Rng& rng,
+                                   const HyperMultilevelOptions& options = {},
+                                   HyperMultilevelStats* stats = nullptr);
+
+}  // namespace gbis

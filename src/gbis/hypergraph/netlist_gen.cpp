@@ -1,0 +1,96 @@
+#include "gbis/hypergraph/netlist_gen.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "gbis/hypergraph/builder.hpp"
+
+namespace gbis {
+
+namespace {
+
+void check_params(const NetlistParams& params) {
+  if (params.cells < 4) {
+    throw std::invalid_argument("netlist: cells >= 4 required");
+  }
+  if (params.nets < 1) {
+    throw std::invalid_argument("netlist: nets >= 1 required");
+  }
+  if (!(params.mean_extra_pins >= 0.0)) {
+    throw std::invalid_argument("netlist: mean_extra_pins >= 0 required");
+  }
+}
+
+/// 2 + Geometric(mean_extra_pins) net size, capped by the pool size.
+std::uint32_t draw_net_size(const NetlistParams& params, std::uint32_t pool,
+                            Rng& rng) {
+  std::uint32_t size = 2;
+  if (params.mean_extra_pins > 0.0) {
+    const double p = 1.0 / (1.0 + params.mean_extra_pins);
+    while (size < pool && !rng.bernoulli(p)) ++size;
+  }
+  return std::min(size, pool);
+}
+
+/// Draws `size` distinct cells from [base, base + pool).
+std::vector<Cell> draw_pins(std::uint32_t base, std::uint32_t pool,
+                            std::uint32_t size, Rng& rng) {
+  std::vector<std::uint32_t> idx = rng.sample_indices(pool, size);
+  std::vector<Cell> pins;
+  pins.reserve(size);
+  for (std::uint32_t i : idx) pins.push_back(base + i);
+  return pins;
+}
+
+}  // namespace
+
+Hypergraph make_random_netlist(const NetlistParams& params, Rng& rng) {
+  check_params(params);
+  HypergraphBuilder builder(params.cells);
+  std::uint32_t staged = 0;
+  while (staged < params.nets) {
+    const std::uint32_t size = draw_net_size(params, params.cells, rng);
+    if (builder.add_net(draw_pins(0, params.cells, size, rng))) ++staged;
+  }
+  return builder.build();
+}
+
+Hypergraph make_planted_netlist(const NetlistParams& params,
+                                std::uint32_t cross, Rng& rng) {
+  check_params(params);
+  if (cross > params.nets) {
+    throw std::invalid_argument("netlist: cross > nets");
+  }
+  const std::uint32_t half = params.cells / 2;
+  if (half < 2 || params.cells - half < 2) {
+    throw std::invalid_argument("netlist: blocks too small");
+  }
+  HypergraphBuilder builder(params.cells);
+
+  // Cross nets: at least one pin in each block.
+  std::uint32_t staged = 0;
+  while (staged < cross) {
+    const std::uint32_t size = draw_net_size(params, params.cells, rng);
+    const std::uint32_t in_a =
+        1 + static_cast<std::uint32_t>(rng.below(size - 1));
+    const std::uint32_t in_b = size - in_a;
+    if (in_a > half || in_b > params.cells - half) continue;
+    std::vector<Cell> pins = draw_pins(0, half, in_a, rng);
+    const std::vector<Cell> pins_b =
+        draw_pins(half, params.cells - half, in_b, rng);
+    pins.insert(pins.end(), pins_b.begin(), pins_b.end());
+    if (builder.add_net(pins)) ++staged;
+  }
+  // Intra-block nets.
+  while (staged < params.nets) {
+    const bool in_a = rng.bernoulli(0.5);
+    const std::uint32_t base = in_a ? 0 : half;
+    const std::uint32_t pool = in_a ? half : params.cells - half;
+    const std::uint32_t size = draw_net_size(params, pool, rng);
+    if (builder.add_net(draw_pins(base, pool, size, rng))) ++staged;
+  }
+  return builder.build();
+}
+
+}  // namespace gbis

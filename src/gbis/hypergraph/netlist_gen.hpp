@@ -1,0 +1,36 @@
+// Synthetic circuit netlist generators.
+//
+// Real netlists are dominated by 2-3 pin nets with a tail of wide
+// nets (buses, clocks); the distribution here is 2 + geometric. Two
+// flavours:
+//  - random: pins drawn uniformly (the hypergraph analogue of Gnp);
+//  - planted: cells split into two blocks with intra-block nets plus
+//    exactly `cross` cross-block nets — the hypergraph analogue of the
+//    paper's G2set model, giving a known upper bound on the net cut.
+#pragma once
+
+#include <cstdint>
+
+#include "gbis/hypergraph/hypergraph.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+
+/// Parameters shared by the netlist generators.
+struct NetlistParams {
+  std::uint32_t cells = 0;      ///< number of cells (>= 4)
+  std::uint32_t nets = 0;       ///< number of nets (>= 1)
+  double mean_extra_pins = 1.0; ///< net size = 2 + Geometric; mean extra pins
+};
+
+/// Uniform random netlist.
+Hypergraph make_random_netlist(const NetlistParams& params, Rng& rng);
+
+/// Planted two-block netlist: cells {0..cells/2-1} and the rest;
+/// `cross` of the nets get pins from both blocks, the remaining
+/// nets stay within a random block. The planted (first-half /
+/// second-half) partition cuts at most `cross` nets.
+Hypergraph make_planted_netlist(const NetlistParams& params,
+                                std::uint32_t cross, Rng& rng);
+
+}  // namespace gbis

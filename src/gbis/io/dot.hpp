@@ -1,0 +1,39 @@
+// Graphviz DOT export, for eyeballing small instances and partitions
+// (e.g. `dot -Tsvg graph.dot` or `neato` for the special families).
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "gbis/graph/graph.hpp"
+
+namespace gbis {
+
+/// Options for DOT rendering.
+struct DotOptions {
+  /// Print edge weights as labels when any weight differs from 1.
+  bool edge_labels = true;
+  /// Colors used for sides/parts, cycled when parts exceed the list.
+  /// Defaults to a readable categorical palette.
+  std::string graph_name = "gbis";
+};
+
+/// Writes the graph in DOT format. If `parts` is non-empty it must
+/// have one entry per vertex; vertices are then filled with a color
+/// per part and cut edges drawn dashed.
+void write_dot(std::ostream& out, const Graph& g,
+               std::span<const std::uint32_t> parts = {},
+               const DotOptions& options = {});
+
+/// Convenience: writes a two-sided bisection (sides as 0/1 labels).
+void write_dot_bisection(std::ostream& out, const Graph& g,
+                         std::span<const std::uint8_t> sides,
+                         const DotOptions& options = {});
+
+/// File variants; throw std::runtime_error on failure.
+void write_dot_file(const std::string& path, const Graph& g,
+                    std::span<const std::uint32_t> parts = {},
+                    const DotOptions& options = {});
+
+}  // namespace gbis

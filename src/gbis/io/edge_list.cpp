@@ -1,0 +1,110 @@
+#include "gbis/io/edge_list.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "gbis/graph/builder.hpp"
+
+namespace gbis {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("edge_list: line " + std::to_string(line_no) +
+                           ": " + what);
+}
+
+}  // namespace
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << "# gbis edge list\n";
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (g.vertex_weight(v) != 1) {
+      out << "v " << v << ' ' << g.vertex_weight(v) << '\n';
+    }
+  }
+  for (const Edge& e : g.edges()) {
+    out << e.u << ' ' << e.v;
+    if (e.weight != 1) out << ' ' << e.weight;
+    out << '\n';
+  }
+}
+
+void write_edge_list_file(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("edge_list: cannot open " + path);
+  write_edge_list(out, g);
+  if (!out) throw std::runtime_error("edge_list: write failed: " + path);
+}
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+
+  auto next_content_line = [&](std::string& out_line) -> bool {
+    while (std::getline(in, line)) {
+      ++line_no;
+      const auto first = line.find_first_not_of(" \t\r");
+      if (first == std::string::npos || line[first] == '#') continue;
+      out_line = line;
+      return true;
+    }
+    return false;
+  };
+
+  std::string content;
+  if (!next_content_line(content)) {
+    throw std::runtime_error("edge_list: missing header");
+  }
+  std::istringstream header(content);
+  std::uint64_t n = 0, m = 0;
+  if (!(header >> n >> m)) fail(line_no, "bad header (expected '<n> <m>')");
+  std::string extra;
+  if (header >> extra) fail(line_no, "trailing tokens in header");
+  if (n > 0xFFFFFFFFull) fail(line_no, "vertex count too large");
+
+  GraphBuilder builder(static_cast<std::uint32_t>(n));
+  std::uint64_t edges_read = 0;
+  while (next_content_line(content)) {
+    std::istringstream ls(content);
+    std::string first_tok;
+    ls >> first_tok;
+    if (first_tok == "v") {
+      std::uint64_t v = 0;
+      Weight w = 0;
+      if (!(ls >> v >> w)) fail(line_no, "bad vertex-weight line");
+      if (v >= n) fail(line_no, "vertex id out of range");
+      if (w <= 0) fail(line_no, "non-positive vertex weight");
+      builder.set_vertex_weight(static_cast<Vertex>(v), w);
+      continue;
+    }
+    std::uint64_t u = 0, v = 0;
+    Weight w = 1;
+    std::istringstream es(content);
+    if (!(es >> u >> v)) fail(line_no, "bad edge line");
+    es >> w;  // optional
+    if (u >= n || v >= n) fail(line_no, "edge endpoint out of range");
+    if (u == v) fail(line_no, "self-loop");
+    if (w <= 0) fail(line_no, "non-positive edge weight");
+    std::string garbage;
+    if (es >> garbage) fail(line_no, "trailing tokens on edge line");
+    builder.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v), w);
+    ++edges_read;
+  }
+  if (edges_read != m) {
+    throw std::runtime_error(
+        "edge_list: header declared " + std::to_string(m) + " edges, found " +
+        std::to_string(edges_read));
+  }
+  return builder.build();
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("edge_list: cannot open " + path);
+  return read_edge_list(in);
+}
+
+}  // namespace gbis

@@ -1,0 +1,37 @@
+// Plain-text edge-list serialization.
+//
+// Format (0-indexed vertices):
+//   # comment lines start with '#'
+//   <num_vertices> <num_edges>
+//   u v [weight]            (one line per edge; weight defaults to 1)
+//   ...
+// Vertex weights, when any differ from 1, are written as lines
+//   v <vertex> <weight>
+// after the header and before the edges. Parsers reject malformed
+// input with std::runtime_error carrying a line number.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gbis/graph/graph.hpp"
+
+namespace gbis {
+
+/// Writes g in edge-list format.
+void write_edge_list(std::ostream& out, const Graph& g);
+
+/// Writes g to a file; throws std::runtime_error if the file cannot be
+/// opened.
+void write_edge_list_file(const std::string& path, const Graph& g);
+
+/// Parses a graph from edge-list format. Throws std::runtime_error on
+/// malformed input (bad header, out-of-range endpoints, self-loops,
+/// non-positive weights, trailing garbage).
+Graph read_edge_list(std::istream& in);
+
+/// Reads a graph from a file; throws std::runtime_error on open failure
+/// or malformed content.
+Graph read_edge_list_file(const std::string& path);
+
+}  // namespace gbis

@@ -1,0 +1,132 @@
+#include "gbis/io/hmetis.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "gbis/hypergraph/builder.hpp"
+
+namespace gbis {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("hmetis: line " + std::to_string(line_no) + ": " +
+                           what);
+}
+
+bool next_content_line(std::istream& in, std::string& out_line,
+                       std::size_t& line_no) {
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '%') continue;
+    out_line = line;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_hmetis(std::ostream& out, const Hypergraph& h) {
+  bool has_nw = false, has_cw = false;
+  for (Net n = 0; n < h.num_nets(); ++n) {
+    if (h.net_weight(n) != 1) has_nw = true;
+  }
+  for (Cell c = 0; c < h.num_cells(); ++c) {
+    if (h.cell_weight(c) != 1) has_cw = true;
+  }
+  const int fmt = (has_cw ? 10 : 0) + (has_nw ? 1 : 0);
+  out << h.num_nets() << ' ' << h.num_cells();
+  if (fmt != 0) out << ' ' << fmt;
+  out << '\n';
+  for (Net n = 0; n < h.num_nets(); ++n) {
+    bool first = true;
+    if (has_nw) {
+      out << h.net_weight(n);
+      first = false;
+    }
+    for (Cell c : h.pins(n)) {
+      if (!first) out << ' ';
+      first = false;
+      out << (c + 1);
+    }
+    out << '\n';
+  }
+  if (has_cw) {
+    for (Cell c = 0; c < h.num_cells(); ++c) {
+      out << h.cell_weight(c) << '\n';
+    }
+  }
+}
+
+void write_hmetis_file(const std::string& path, const Hypergraph& h) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("hmetis: cannot open " + path);
+  write_hmetis(out, h);
+  if (!out) throw std::runtime_error("hmetis: write failed: " + path);
+}
+
+Hypergraph read_hmetis(std::istream& in) {
+  std::size_t line_no = 0;
+  std::string content;
+  if (!next_content_line(in, content, line_no)) {
+    throw std::runtime_error("hmetis: missing header");
+  }
+  std::istringstream header(content);
+  std::uint64_t nets = 0, cells = 0;
+  std::string fmt = "0";
+  if (!(header >> nets >> cells)) fail(line_no, "bad header");
+  header >> fmt;
+  const bool has_nw = fmt == "1" || fmt == "11";
+  const bool has_cw = fmt == "10" || fmt == "11";
+  if (!has_nw && !has_cw && fmt != "0" && fmt != "00") {
+    fail(line_no, "unsupported fmt '" + fmt + "'");
+  }
+  if (cells > 0xFFFFFFFFull || nets > 0xFFFFFFFFull) {
+    fail(line_no, "size too large");
+  }
+
+  HypergraphBuilder builder(static_cast<std::uint32_t>(cells));
+  for (std::uint64_t n = 0; n < nets; ++n) {
+    if (!next_content_line(in, content, line_no)) {
+      fail(line_no, "expected net line " + std::to_string(n + 1));
+    }
+    std::istringstream ls(content);
+    Weight w = 1;
+    if (has_nw && !(ls >> w)) fail(line_no, "missing net weight");
+    if (w <= 0) fail(line_no, "non-positive net weight");
+    std::vector<Cell> pins;
+    std::uint64_t pin = 0;
+    while (ls >> pin) {
+      if (pin < 1 || pin > cells) fail(line_no, "pin out of range");
+      pins.push_back(static_cast<Cell>(pin - 1));
+    }
+    if (pins.size() < 2) fail(line_no, "net with fewer than two pins");
+    builder.add_net(pins, w);
+  }
+  if (has_cw) {
+    for (std::uint64_t c = 0; c < cells; ++c) {
+      if (!next_content_line(in, content, line_no)) {
+        fail(line_no, "expected cell weight " + std::to_string(c + 1));
+      }
+      std::istringstream ls(content);
+      Weight w = 0;
+      if (!(ls >> w)) fail(line_no, "bad cell weight");
+      if (w <= 0) fail(line_no, "non-positive cell weight");
+      builder.set_cell_weight(static_cast<Cell>(c), w);
+    }
+  }
+  return builder.build();
+}
+
+Hypergraph read_hmetis_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("hmetis: cannot open " + path);
+  return read_hmetis(in);
+}
+
+}  // namespace gbis

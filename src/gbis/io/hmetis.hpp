@@ -1,0 +1,31 @@
+// hMETIS hypergraph-file serialization — the de-facto exchange format
+// for circuit partitioning benchmarks (ISPD/hMETIS suites).
+//
+// Format: header "num_nets num_cells [fmt]" where fmt is 1 (net
+// weights), 10 (cell weights), or 11 (both); then one line per net:
+// [weight] pin ids (1-indexed); then, if fmt >= 10, one cell weight
+// per line. '%' lines are comments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gbis/hypergraph/hypergraph.hpp"
+
+namespace gbis {
+
+/// Writes h in hMETIS format with the minimal fmt code.
+void write_hmetis(std::ostream& out, const Hypergraph& h);
+
+/// Writes h to a file; throws std::runtime_error on failure.
+void write_hmetis_file(const std::string& path, const Hypergraph& h);
+
+/// Parses an hMETIS hypergraph. Throws std::runtime_error on malformed
+/// input.
+Hypergraph read_hmetis(std::istream& in);
+
+/// Reads an hMETIS file; throws std::runtime_error on open failure or
+/// malformed content.
+Hypergraph read_hmetis_file(const std::string& path);
+
+}  // namespace gbis

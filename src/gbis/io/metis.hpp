@@ -1,0 +1,33 @@
+// METIS graph-file serialization (the de-facto exchange format for
+// partitioners), so gbis instances can be fed to or taken from other
+// partitioning tools.
+//
+// Format: header "n m [fmt]" where fmt is 0 (plain), 1 (edge weights),
+// 10 (vertex weights), or 11 (both); then n adjacency lines with
+// 1-indexed neighbor ids. '%' lines are comments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gbis/graph/graph.hpp"
+
+namespace gbis {
+
+/// Writes g in METIS format, choosing the minimal fmt code that
+/// preserves its weights.
+void write_metis(std::ostream& out, const Graph& g);
+
+/// Writes g to a file; throws std::runtime_error on failure.
+void write_metis_file(const std::string& path, const Graph& g);
+
+/// Parses a METIS graph. Supports fmt codes 0, 1, 10, 11. Throws
+/// std::runtime_error on malformed input (including asymmetric
+/// adjacency or mismatched duplicate-edge weights).
+Graph read_metis(std::istream& in);
+
+/// Reads a METIS graph from a file; throws std::runtime_error on open
+/// failure or malformed content.
+Graph read_metis_file(const std::string& path);
+
+}  // namespace gbis

@@ -1,0 +1,66 @@
+#include "gbis/io/partition_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gbis {
+
+void write_partition(std::ostream& out,
+                     std::span<const std::uint32_t> parts) {
+  for (std::uint32_t p : parts) out << p << '\n';
+}
+
+void write_partition_sides(std::ostream& out,
+                           std::span<const std::uint8_t> sides) {
+  for (std::uint8_t s : sides) out << static_cast<int>(s) << '\n';
+}
+
+void write_partition_file(const std::string& path,
+                          std::span<const std::uint32_t> parts) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("partition: cannot open " + path);
+  write_partition(out, parts);
+  if (!out) throw std::runtime_error("partition: write failed: " + path);
+}
+
+std::vector<std::uint32_t> read_partition(std::istream& in,
+                                          std::uint64_t expected_vertices,
+                                          std::uint32_t num_parts) {
+  std::vector<std::uint32_t> parts;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;  // blank
+    std::istringstream ls(line);
+    std::uint64_t label = 0;
+    std::string extra;
+    if (!(ls >> label) || (ls >> extra)) {
+      throw std::runtime_error("partition: line " + std::to_string(line_no) +
+                               ": expected one label");
+    }
+    if (num_parts != 0 && label >= num_parts) {
+      throw std::runtime_error("partition: line " + std::to_string(line_no) +
+                               ": label out of range");
+    }
+    parts.push_back(static_cast<std::uint32_t>(label));
+  }
+  if (expected_vertices != 0 && parts.size() != expected_vertices) {
+    throw std::runtime_error(
+        "partition: expected " + std::to_string(expected_vertices) +
+        " labels, found " + std::to_string(parts.size()));
+  }
+  return parts;
+}
+
+std::vector<std::uint32_t> read_partition_file(const std::string& path,
+                                               std::uint64_t expected_vertices,
+                                               std::uint32_t num_parts) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("partition: cannot open " + path);
+  return read_partition(in, expected_vertices, num_parts);
+}
+
+}  // namespace gbis

@@ -1,0 +1,38 @@
+// Partition-file serialization: one part label per line, vertex order
+// — the format METIS/hMETIS tooling reads and writes, so gbis results
+// interoperate with the wider ecosystem.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gbis {
+
+/// Writes one label per line.
+void write_partition(std::ostream& out,
+                     std::span<const std::uint32_t> parts);
+
+/// Writes a bisection's sides (0/1) one per line.
+void write_partition_sides(std::ostream& out,
+                           std::span<const std::uint8_t> sides);
+
+/// File variant; throws std::runtime_error on failure.
+void write_partition_file(const std::string& path,
+                          std::span<const std::uint32_t> parts);
+
+/// Parses a partition file: exactly `expected_vertices` lines (when
+/// non-zero), each a label < `num_parts` (when non-zero). Throws
+/// std::runtime_error on malformed input.
+std::vector<std::uint32_t> read_partition(std::istream& in,
+                                          std::uint64_t expected_vertices = 0,
+                                          std::uint32_t num_parts = 0);
+
+/// File variant; throws std::runtime_error on open failure.
+std::vector<std::uint32_t> read_partition_file(
+    const std::string& path, std::uint64_t expected_vertices = 0,
+    std::uint32_t num_parts = 0);
+
+}  // namespace gbis

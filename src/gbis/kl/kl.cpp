@@ -1,0 +1,191 @@
+#include "gbis/kl/kl.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "gbis/partition/buckets.hpp"
+#include "gbis/partition/gains.hpp"
+
+namespace gbis {
+
+namespace {
+
+/// Finds the unlocked pair (a on side 0, b on side 1) with maximum
+/// g_ab, scanning bucket combinations in descending g_a + g_b order.
+/// Returns false if either side is exhausted.
+bool select_best_pair(const Graph& g, const GainBuckets& side0,
+                      const GainBuckets& side1, Vertex& best_a,
+                      Vertex& best_b, Weight& best_gab,
+                      std::uint64_t& scanned) {
+  const Weight top0 = side0.max_gain_present();
+  const Weight top1 = side1.max_gain_present();
+  if (top0 == GainBuckets::kEmpty || top1 == GainBuckets::kEmpty) {
+    return false;
+  }
+
+  bool found = false;
+  best_gab = 0;
+  for (Weight ga = top0; ga >= -side0.max_gain(); --ga) {
+    // Upper bound for any pair using this or a lower side-0 bucket.
+    if (found && ga + top1 <= best_gab) break;
+    std::int64_t a_it = side0.bucket_head(ga);
+    if (a_it == GainBuckets::kNil) continue;
+    for (; a_it != GainBuckets::kNil;
+         a_it = side0.bucket_next(static_cast<Vertex>(a_it))) {
+      const auto a = static_cast<Vertex>(a_it);
+      for (Weight gb = top1; gb >= -side1.max_gain(); --gb) {
+        if (found && ga + gb <= best_gab) break;
+        std::int64_t b_it = side1.bucket_head(gb);
+        for (; b_it != GainBuckets::kNil;
+             b_it = side1.bucket_next(static_cast<Vertex>(b_it))) {
+          const auto b = static_cast<Vertex>(b_it);
+          ++scanned;
+          const Weight gab = ga + gb - 2 * g.edge_weight(a, b);
+          if (!found || gab > best_gab) {
+            found = true;
+            best_gab = gab;
+            best_a = a;
+            best_b = b;
+          }
+          // A non-adjacent pair attains the bucket bound; nothing in
+          // this or lower buckets can beat it.
+          if (best_gab == ga + gb) break;
+        }
+        if (found && best_gab >= ga + gb) break;  // bucket bound attained
+      }
+      // Nothing with this ga (or below) can beat the bound ga + top1.
+      if (found && best_gab >= ga + top1) break;
+    }
+    if (found && best_gab >= ga + top1) break;
+  }
+  return found;
+}
+
+/// Greedy-tops selection: a = best-gain vertex of side 0, b = best
+/// partner for that fixed a (argmax g_b - 2 w(a, b), scanned in
+/// descending-bucket order with the same early-exit bound).
+bool select_greedy_tops(const Graph& g, const GainBuckets& side0,
+                        const GainBuckets& side1, Vertex& best_a,
+                        Vertex& best_b, Weight& best_gab,
+                        std::uint64_t& scanned) {
+  const Weight top0 = side0.max_gain_present();
+  const Weight top1 = side1.max_gain_present();
+  if (top0 == GainBuckets::kEmpty || top1 == GainBuckets::kEmpty) {
+    return false;
+  }
+  const auto a = static_cast<Vertex>(side0.bucket_head(top0));
+  bool found = false;
+  Weight best_partner = 0;
+  for (Weight gb = top1; gb >= -side1.max_gain(); --gb) {
+    if (found && gb <= best_partner) break;
+    for (std::int64_t it = side1.bucket_head(gb); it != GainBuckets::kNil;
+         it = side1.bucket_next(static_cast<Vertex>(it))) {
+      const auto b = static_cast<Vertex>(it);
+      ++scanned;
+      const Weight value = gb - 2 * g.edge_weight(a, b);
+      if (!found || value > best_partner) {
+        found = true;
+        best_partner = value;
+        best_b = b;
+      }
+      if (best_partner == gb) break;  // bucket bound attained
+    }
+    if (found && best_partner >= gb) break;
+  }
+  best_a = a;
+  best_gab = top0 + best_partner;
+  return found;
+}
+
+}  // namespace
+
+Weight kl_pass(Bisection& bisection, KlStats* stats,
+               const KlOptions& options) {
+  const Graph& g = bisection.graph();
+  const std::uint32_t n = g.num_vertices();
+  if (n < 2) return 0;
+
+  // Max |gain| is bounded by the largest weighted degree.
+  Weight max_gain = 1;
+  for (Vertex v = 0; v < n; ++v) {
+    max_gain = std::max(max_gain, g.weighted_degree(v));
+  }
+
+  GainBuckets buckets[2] = {GainBuckets(n, max_gain),
+                            GainBuckets(n, max_gain)};
+  std::vector<Weight> gains = all_gains(bisection);
+  std::vector<std::uint8_t> sides(bisection.sides().begin(),
+                                  bisection.sides().end());
+  for (Vertex v = 0; v < n; ++v) {
+    buckets[sides[v]].insert(v, gains[v]);
+  }
+
+  const std::uint32_t rounds =
+      std::min(bisection.side_count(0), bisection.side_count(1));
+  std::vector<std::pair<Vertex, Vertex>> sequence;
+  sequence.reserve(rounds);
+
+  Weight cumulative = 0, best_prefix_gain = 0;
+  std::size_t best_prefix_len = 0;
+  std::uint64_t scanned = 0;
+
+  for (std::uint32_t i = 0; i < rounds; ++i) {
+    Vertex a = 0, b = 0;
+    Weight gab = 0;
+    const bool found =
+        options.pair_selection == KlPairSelection::kBestPair
+            ? select_best_pair(g, buckets[0], buckets[1], a, b, gab, scanned)
+            : select_greedy_tops(g, buckets[0], buckets[1], a, b, gab,
+                                 scanned);
+    if (!found) break;
+    buckets[0].remove(a);
+    buckets[1].remove(b);
+    sequence.emplace_back(a, b);
+    cumulative += gab;
+    if (cumulative > best_prefix_gain) {
+      best_prefix_gain = cumulative;
+      best_prefix_len = sequence.size();
+    }
+
+    // Figure 2 lines 6-8: update unlocked gains as if (a, b) swapped.
+    update_gains_after_swap(g, sides, a, b, gains);
+    for (Vertex x : g.neighbors(a)) {
+      if (buckets[sides[x]].contains(x)) buckets[sides[x]].update(x, gains[x]);
+    }
+    for (Vertex y : g.neighbors(b)) {
+      if (buckets[sides[y]].contains(y)) buckets[sides[y]].update(y, gains[y]);
+    }
+    // The "virtual swap" flips which physical side a and b occupy for
+    // the rest of the pass; since both are locked, only the gain values
+    // (already updated) matter — sides[] of unlocked vertices is
+    // unchanged, so the snapshot stays valid.
+  }
+
+  if (stats != nullptr) {
+    stats->pairs_selected += sequence.size();
+    stats->pairs_swapped += best_prefix_len;
+    stats->candidates_scanned += scanned;
+  }
+
+  for (std::size_t i = 0; i < best_prefix_len; ++i) {
+    bisection.swap(sequence[i].first, sequence[i].second);
+  }
+  return best_prefix_gain;
+}
+
+KlStats kl_refine(Bisection& bisection, const KlOptions& options,
+                  std::vector<Weight>* pass_cuts) {
+  KlStats stats;
+  stats.initial_cut = bisection.cut();
+  for (;;) {
+    const Weight improvement = kl_pass(bisection, &stats, options);
+    ++stats.passes;
+    if (pass_cuts != nullptr) pass_cuts->push_back(bisection.cut());
+    if (improvement <= 0) break;
+    if (options.max_passes != 0 && stats.passes >= options.max_passes) break;
+  }
+  stats.final_cut = bisection.cut();
+  return stats;
+}
+
+}  // namespace gbis

@@ -1,0 +1,69 @@
+// Kernighan-Lin graph bisection (paper section III, Figure 2; original:
+// Kernighan & Lin, Bell System Tech. J. 1970).
+//
+// One pass: starting from a bisection (A, B), repeatedly select the
+// unlocked opposite-side pair (a, b) maximizing the pair gain
+// g_ab = g_a + g_b - 2 w(a, b), lock it, and update remaining gains as
+// if the pair had been interchanged (Figure 2 lines 6-8). After
+// min(|A|, |B|) selections, interchange the prefix of pairs whose
+// cumulative gain is maximal (line 9-10). Passes repeat until a pass
+// yields no improvement (or a configured cap).
+//
+// Pair selection uses gain buckets scanned in descending g_a + g_b
+// order with the classic early exit (g_ab <= g_a + g_b because edge
+// weights are positive), which makes a pass O(E) in practice instead of
+// the naive O(V^2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gbis/partition/bisection.hpp"
+
+namespace gbis {
+
+/// How each pass picks the next (a, b) pair.
+enum class KlPairSelection {
+  /// Full scan for argmax g_ab with the early-exit bound (default —
+  /// the algorithm as specified in the paper's Figure 2).
+  kBestPair,
+  /// Greedy shortcut: take the max-gain vertex a on side A, then the
+  /// best partner b for that fixed a. Cheaper and measurably weaker —
+  /// the kind of simplification period implementations made; kept as
+  /// an ablation lever (bench/ablation_kl_selection) for probing why
+  /// 1989 KL numbers were worse than a faithful Figure-2 KL.
+  kGreedyTops,
+};
+
+/// Tuning knobs for the KL driver.
+struct KlOptions {
+  /// Maximum number of passes; 0 means run until a pass gives no
+  /// improvement (the paper's "until no improvement is possible").
+  std::uint32_t max_passes = 0;
+  /// Pair-selection rule (see KlPairSelection).
+  KlPairSelection pair_selection = KlPairSelection::kBestPair;
+};
+
+/// Per-run diagnostics.
+struct KlStats {
+  std::uint32_t passes = 0;            ///< passes executed
+  std::uint64_t pairs_selected = 0;    ///< total (a,b) selections
+  std::uint64_t pairs_swapped = 0;     ///< selections actually applied
+  std::uint64_t candidates_scanned = 0;  ///< pair candidates examined
+  Weight initial_cut = 0;
+  Weight final_cut = 0;
+};
+
+/// Runs KL passes on `bisection` in place until fixpoint (or
+/// options.max_passes). Never increases the cut. Returns diagnostics.
+/// When `pass_cuts` is non-null, the cut after each pass is appended
+/// (for convergence plots — see examples/anneal_lab).
+KlStats kl_refine(Bisection& bisection, const KlOptions& options = {},
+                  std::vector<Weight>* pass_cuts = nullptr);
+
+/// Runs exactly one KL pass; returns the cut improvement (>= 0).
+/// Exposed for tests and pass-level experiments.
+Weight kl_pass(Bisection& bisection, KlStats* stats = nullptr,
+               const KlOptions& options = {});
+
+}  // namespace gbis

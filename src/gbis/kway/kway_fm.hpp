@@ -1,0 +1,45 @@
+// k-way Fiduccia-Mattheyses: the full FM machinery (gain buckets,
+// locking, best-prefix rollback) generalized to k parts. Each free
+// vertex is bucketed by the gain of its *best* legal target part;
+// moves can go uphill mid-pass and the best prefix is kept — unlike
+// the greedy refiner (refine.hpp), which only ever accepts improving
+// moves and stops in the nearest local optimum.
+#pragma once
+
+#include <cstdint>
+
+#include "gbis/kway/partition.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+
+/// Knobs for the k-way FM driver.
+struct KwayFmOptions {
+  /// Maximum passes; 0 = run until a pass yields no improvement.
+  std::uint32_t max_passes = 0;
+  /// Parts must keep counts within [floor(n/k) - tolerance,
+  /// ceil(n/k) + tolerance] at prefix-acceptance points; one extra
+  /// transient unit is allowed mid-pass (the FM slack).
+  std::uint32_t size_tolerance = 1;
+  /// Cap on vertices moved per pass as a fraction of |V| (FM passes on
+  /// k-way partitions rarely profit beyond a fraction; 1.0 = all).
+  double max_moves_fraction = 1.0;
+};
+
+/// Per-run diagnostics.
+struct KwayFmStats {
+  std::uint32_t passes = 0;
+  std::uint64_t moves_considered = 0;
+  std::uint64_t moves_applied = 0;
+  Weight initial_cut = 0;
+  Weight final_cut = 0;
+};
+
+/// Refines `input` with k-way FM passes and returns the improved
+/// partition. Never increases the cut; keeps part sizes within the
+/// tolerance window.
+KwayPartition kway_fm_refine(const KwayPartition& input, Rng& rng,
+                             const KwayFmOptions& options = {},
+                             KwayFmStats* stats = nullptr);
+
+}  // namespace gbis

@@ -1,0 +1,66 @@
+#include "gbis/kway/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gbis {
+
+KwayPartition::KwayPartition(const Graph& g, std::uint32_t k,
+                             std::vector<std::uint32_t> parts)
+    : graph_(&g), k_(k), parts_(std::move(parts)) {
+  if (k_ == 0) throw std::invalid_argument("KwayPartition: k >= 1");
+  if (parts_.size() != g.num_vertices()) {
+    throw std::invalid_argument("KwayPartition: parts size != |V|");
+  }
+  counts_.assign(k_, 0);
+  weights_.assign(k_, 0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (parts_[v] >= k_) {
+      throw std::invalid_argument("KwayPartition: label out of range");
+    }
+    ++counts_[parts_[v]];
+    weights_[parts_[v]] += g.vertex_weight(v);
+  }
+  edge_cut_ = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto wts = g.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (v < nbrs[i] && parts_[v] != parts_[nbrs[i]]) {
+        edge_cut_ += wts[i];
+      }
+    }
+  }
+}
+
+double KwayPartition::balance_factor() const {
+  const std::uint32_t n = graph_->num_vertices();
+  if (n == 0) return 1.0;
+  const double ideal = static_cast<double>(n) / k_;
+  const std::uint32_t max_count =
+      *std::max_element(counts_.begin(), counts_.end());
+  return static_cast<double>(max_count) / ideal;
+}
+
+std::uint32_t KwayPartition::max_count_spread() const {
+  const auto [lo, hi] = std::minmax_element(counts_.begin(), counts_.end());
+  return *hi - *lo;
+}
+
+bool KwayPartition::validate() const {
+  std::vector<std::uint32_t> counts(k_, 0);
+  std::vector<Weight> weights(k_, 0);
+  for (Vertex v = 0; v < graph_->num_vertices(); ++v) {
+    if (parts_[v] >= k_) return false;
+    ++counts[parts_[v]];
+    weights[parts_[v]] += graph_->vertex_weight(v);
+  }
+  if (counts != counts_ || weights != weights_) return false;
+  Weight cut = 0;
+  for (const Edge& e : graph_->edges()) {
+    if (parts_[e.u] != parts_[e.v]) cut += e.weight;
+  }
+  return cut == edge_cut_;
+}
+
+}  // namespace gbis

@@ -1,0 +1,50 @@
+// k-way partition state: part labels, per-part totals, and quality
+// metrics (edge cut, balance factor).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gbis/graph/graph.hpp"
+
+namespace gbis {
+
+/// An immutable k-way vertex partition with cached totals.
+class KwayPartition {
+ public:
+  /// Adopts labels in [0, k). Throws std::invalid_argument on size
+  /// mismatch or an out-of-range label.
+  KwayPartition(const Graph& g, std::uint32_t k,
+                std::vector<std::uint32_t> parts);
+
+  const Graph& graph() const { return *graph_; }
+  std::uint32_t k() const { return k_; }
+  std::uint32_t part(Vertex v) const { return parts_[v]; }
+  std::span<const std::uint32_t> parts() const { return parts_; }
+
+  /// Total weight of edges whose endpoints lie in different parts.
+  Weight edge_cut() const { return edge_cut_; }
+
+  std::uint32_t part_count(std::uint32_t p) const { return counts_[p]; }
+  Weight part_weight(std::uint32_t p) const { return weights_[p]; }
+
+  /// max part vertex-count divided by the ideal |V|/k; 1.0 = perfect.
+  double balance_factor() const;
+
+  /// Largest count difference between any two parts.
+  std::uint32_t max_count_spread() const;
+
+  /// Full consistency check (totals, cut). For tests.
+  bool validate() const;
+
+ private:
+  const Graph* graph_;
+  std::uint32_t k_;
+  std::vector<std::uint32_t> parts_;
+  std::vector<std::uint32_t> counts_;
+  std::vector<Weight> weights_;
+  Weight edge_cut_ = 0;
+};
+
+}  // namespace gbis

@@ -1,0 +1,77 @@
+#include "gbis/kway/recursive.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "gbis/graph/ops.hpp"
+#include "gbis/kl/kl.hpp"
+
+namespace gbis {
+
+namespace {
+
+/// Splits `cells` (a vertex subset of g destined for k parts) and
+/// assigns final part labels [first_part, first_part + k) recursively.
+void split_region(const Graph& g, std::vector<Vertex> cells, std::uint32_t k,
+                  std::uint32_t first_part, Rng& rng,
+                  const KwayOptions& options,
+                  std::vector<std::uint32_t>& labels, KwayStats* stats) {
+  if (k == 1) {
+    for (Vertex v : cells) labels[v] = first_part;
+    return;
+  }
+  const std::uint32_t k_left = (k + 1) / 2;
+  const std::uint32_t k_right = k - k_left;
+  // Proportional target for the left group (rounded to the nearest).
+  const auto total = static_cast<std::uint64_t>(cells.size());
+  const auto target_left = static_cast<std::uint32_t>(
+      (total * k_left + k / 2) / k);
+
+  const Graph region = induced_subgraph(g, cells);
+  Bisection split = [&] {
+    if (options.use_compaction && 2 * target_left == total &&
+        region.num_vertices() >= 8) {
+      // Even split: the full compacted pipeline applies.
+      return compacted_bisect(region, rng, kl_refiner(options.kl),
+                              options.compaction);
+    }
+    // Proportional (or tiny) split: random start at the target ratio,
+    // then KL (ratio-preserving).
+    Bisection b = Bisection::random_split(region, target_left, rng);
+    kl_refine(b, options.kl);
+    return b;
+  }();
+  if (stats != nullptr) ++stats->bisections;
+
+  std::vector<Vertex> half[2];
+  half[0].reserve(target_left);
+  half[1].reserve(cells.size() - target_left);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    half[split.side(static_cast<Vertex>(i))].push_back(cells[i]);
+  }
+  split_region(g, std::move(half[0]), k_left, first_part, rng, options,
+               labels, stats);
+  split_region(g, std::move(half[1]), k_right, first_part + k_left, rng,
+               options, labels, stats);
+}
+
+}  // namespace
+
+KwayPartition recursive_kway(const Graph& g, std::uint32_t k, Rng& rng,
+                             const KwayOptions& options, KwayStats* stats) {
+  if (k == 0) throw std::invalid_argument("recursive_kway: k >= 1");
+  if (g.num_vertices() > 0 && k > g.num_vertices()) {
+    throw std::invalid_argument("recursive_kway: k > |V|");
+  }
+  std::vector<std::uint32_t> labels(g.num_vertices(), 0);
+  std::vector<Vertex> all(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) all[v] = v;
+  if (g.num_vertices() > 0) {
+    split_region(g, std::move(all), k, 0, rng, options, labels, stats);
+  }
+  KwayPartition partition(g, k, std::move(labels));
+  if (stats != nullptr) stats->edge_cut = partition.edge_cut();
+  return partition;
+}
+
+}  // namespace gbis

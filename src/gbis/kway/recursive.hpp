@@ -1,0 +1,43 @@
+// k-way partitioning by recursive bisection — the paper's VLSI
+// motivation industrialized: placement and floorplanning consume k-way
+// partitions, and before direct k-way heuristics existed they were
+// produced exactly this way (Kernighan-Lin 1970 already suggests it).
+//
+// Non-power-of-two k is handled by proportional splits: a region
+// destined for k parts splits into ceil(k/2) : floor(k/2) with vertex
+// counts in the same ratio. KL refinement preserves any split ratio
+// (pair swaps), so the same refiner drives every level.
+#pragma once
+
+#include <cstdint>
+
+#include "gbis/core/compaction.hpp"
+#include "gbis/kway/partition.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+
+/// Knobs for the recursive k-way driver.
+struct KwayOptions {
+  /// Apply compaction (the paper's heuristic) at each bisection; plain
+  /// refinement from a random split otherwise.
+  bool use_compaction = true;
+  KlOptions kl;
+  CompactionOptions compaction;
+};
+
+/// Diagnostics of one k-way run.
+struct KwayStats {
+  std::uint32_t bisections = 0;  ///< internal splits performed (k - 1)
+  Weight edge_cut = 0;
+};
+
+/// Partitions g into k parts of near-equal vertex counts (every part
+/// within 1 of floor(|V|/k) or its proportional share) by recursive
+/// (compacted) KL bisection. Throws std::invalid_argument for k == 0
+/// or k > |V| (when |V| > 0).
+KwayPartition recursive_kway(const Graph& g, std::uint32_t k, Rng& rng,
+                             const KwayOptions& options = {},
+                             KwayStats* stats = nullptr);
+
+}  // namespace gbis

@@ -1,0 +1,87 @@
+#include "gbis/kway/refine.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace gbis {
+
+KwayPartition kway_refine(const KwayPartition& input, Rng& rng,
+                          const KwayRefineOptions& options,
+                          KwayRefineStats* stats) {
+  const Graph& g = input.graph();
+  const std::uint32_t n = g.num_vertices();
+  const std::uint32_t k = input.k();
+  if (stats != nullptr) stats->initial_cut = input.edge_cut();
+
+  std::vector<std::uint32_t> labels(input.parts().begin(),
+                                    input.parts().end());
+  std::vector<std::uint32_t> counts(k, 0);
+  for (std::uint32_t p : labels) ++counts[p];
+
+  const std::uint32_t slack = options.size_tolerance;
+  const std::uint32_t lo_base = n / k;
+  const std::uint32_t lo = lo_base > slack ? lo_base - slack : 0;
+  const std::uint32_t hi = (n + k - 1) / k + slack;
+
+  // conn[p] = edge weight from the current vertex into part p, built
+  // with a timestamp so clearing is O(deg) not O(k).
+  std::vector<Weight> conn(k, 0);
+  std::vector<std::uint32_t> stamp(k, 0);
+  std::uint32_t now = 0;
+
+  std::vector<Vertex> order(n);
+  for (Vertex v = 0; v < n; ++v) order[v] = v;
+
+  std::uint32_t passes = 0;
+  for (;;) {
+    ++passes;
+    rng.shuffle(order);
+    std::uint64_t moves_this_pass = 0;
+    for (Vertex v : order) {
+      const std::uint32_t from = labels[v];
+      if (counts[from] <= lo) continue;  // would underfill `from`
+      ++now;
+      const auto nbrs = g.neighbors(v);
+      const auto wts = g.edge_weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const std::uint32_t p = labels[nbrs[i]];
+        if (stamp[p] != now) {
+          stamp[p] = now;
+          conn[p] = 0;
+        }
+        conn[p] += wts[i];
+      }
+      const Weight conn_from = stamp[from] == now ? conn[from] : 0;
+      std::uint32_t best_part = from;
+      Weight best_gain = 0;
+      // Only parts the vertex actually touches can improve the cut.
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const std::uint32_t q = labels[nbrs[i]];
+        if (q == from || counts[q] >= hi) continue;
+        const Weight gain = conn[q] - conn_from;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_part = q;
+        }
+      }
+      if (best_part != from) {
+        labels[v] = best_part;
+        --counts[from];
+        ++counts[best_part];
+        ++moves_this_pass;
+      }
+    }
+    if (stats != nullptr) stats->moves += moves_this_pass;
+    if (moves_this_pass == 0) break;
+    if (options.max_passes != 0 && passes >= options.max_passes) break;
+  }
+
+  KwayPartition result(g, k, std::move(labels));
+  if (stats != nullptr) {
+    stats->passes = passes;
+    stats->final_cut = result.edge_cut();
+  }
+  return result;
+}
+
+}  // namespace gbis

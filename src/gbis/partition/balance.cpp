@@ -1,0 +1,40 @@
+#include "gbis/partition/balance.hpp"
+
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace gbis {
+
+std::uint32_t rebalance(Bisection& bisection) {
+  std::uint32_t moved = 0;
+  if (bisection.is_balanced()) return moved;
+
+  const Graph& g = bisection.graph();
+  const int heavy = bisection.side_count(0) >= bisection.side_count(1) ? 0 : 1;
+
+  // Lazy-deletion max-heap of (gain, vertex) over the heavy side.
+  // Entries go stale as moves change gains; each pop is re-validated
+  // against the live gain.
+  using Entry = std::pair<Weight, Vertex>;
+  std::priority_queue<Entry> heap;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (bisection.side(v) == heavy) heap.emplace(bisection.gain(v), v);
+  }
+
+  while (!bisection.is_balanced() && !heap.empty()) {
+    const auto [stale_gain, v] = heap.top();
+    heap.pop();
+    if (bisection.side(v) != heavy) continue;  // already moved
+    const Weight live_gain = bisection.gain(v);
+    if (live_gain != stale_gain) {
+      heap.emplace(live_gain, v);  // reinsert with the fresh key
+      continue;
+    }
+    bisection.move(v);
+    ++moved;
+  }
+  return moved;
+}
+
+}  // namespace gbis

@@ -1,0 +1,19 @@
+// Balance repair: restore an exact bisection after algorithms that
+// tolerate transient imbalance (simulated annealing with the
+// imbalance-penalty cost, projections of odd structures).
+//
+// Policy: repeatedly move the best-gain vertex from the larger side
+// until the vertex counts differ by at most 1. Greedy by gain keeps the
+// cut damage minimal; with the max-heap this is
+// O((imbalance) * log V + V + E).
+#pragma once
+
+#include "gbis/partition/bisection.hpp"
+
+namespace gbis {
+
+/// Moves best-gain vertices from the larger side until
+/// count_imbalance() <= 1. Returns the number of vertices moved.
+std::uint32_t rebalance(Bisection& bisection);
+
+}  // namespace gbis

@@ -1,0 +1,130 @@
+#include "gbis/partition/bisection.hpp"
+
+#include <stdexcept>
+
+namespace gbis {
+
+Bisection::Bisection(const Graph& g, std::vector<std::uint8_t> sides)
+    : graph_(&g), sides_(std::move(sides)) {
+  if (sides_.size() != g.num_vertices()) {
+    throw std::invalid_argument("Bisection: sides size != num_vertices");
+  }
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (sides_[v] > 1) {
+      throw std::invalid_argument("Bisection: side entries must be 0 or 1");
+    }
+    ++counts_[sides_[v]];
+    weights_[sides_[v]] += g.vertex_weight(v);
+  }
+  cut_ = recompute_cut();
+}
+
+Bisection Bisection::random(const Graph& g, Rng& rng) {
+  return random_split(g, (g.num_vertices() + 1) / 2, rng);
+}
+
+Bisection Bisection::random_split(const Graph& g, std::uint32_t side0_count,
+                                  Rng& rng) {
+  const std::uint32_t n = g.num_vertices();
+  if (side0_count > n) {
+    throw std::invalid_argument("Bisection::random_split: count > |V|");
+  }
+  std::vector<Vertex> order(n);
+  for (Vertex v = 0; v < n; ++v) order[v] = v;
+  rng.shuffle(order);
+  std::vector<std::uint8_t> sides(n, 1);
+  for (std::uint32_t i = 0; i < side0_count; ++i) sides[order[i]] = 0;
+  return Bisection(g, std::move(sides));
+}
+
+Bisection Bisection::planted(const Graph& g) {
+  const std::uint32_t n = g.num_vertices();
+  std::vector<std::uint8_t> sides(n, 0);
+  for (Vertex v = n / 2; v < n; ++v) sides[v] = 1;
+  return Bisection(g, std::move(sides));
+}
+
+Weight Bisection::weight_imbalance() const {
+  return weights_[0] >= weights_[1] ? weights_[0] - weights_[1]
+                                    : weights_[1] - weights_[0];
+}
+
+std::uint32_t Bisection::count_imbalance() const {
+  return counts_[0] >= counts_[1] ? counts_[0] - counts_[1]
+                                  : counts_[1] - counts_[0];
+}
+
+Weight Bisection::weight_to_side(Vertex v, int s) const {
+  const auto nbrs = graph_->neighbors(v);
+  const auto wts = graph_->edge_weights(v);
+  Weight sum = 0;
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (sides_[nbrs[i]] == s) sum += wts[i];
+  }
+  return sum;
+}
+
+Weight Bisection::gain(Vertex v) const {
+  const auto nbrs = graph_->neighbors(v);
+  const auto wts = graph_->edge_weights(v);
+  Weight external = 0, internal = 0;
+  const std::uint8_t my_side = sides_[v];
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (sides_[nbrs[i]] == my_side) {
+      internal += wts[i];
+    } else {
+      external += wts[i];
+    }
+  }
+  return external - internal;
+}
+
+void Bisection::move(Vertex v) {
+  const Weight g = gain(v);
+  const std::uint8_t from = sides_[v];
+  const std::uint8_t to = from ^ 1;
+  cut_ -= g;
+  sides_[v] = to;
+  --counts_[from];
+  ++counts_[to];
+  const Weight vw = graph_->vertex_weight(v);
+  weights_[from] -= vw;
+  weights_[to] += vw;
+}
+
+void Bisection::swap(Vertex a, Vertex b) {
+  if (sides_[a] == sides_[b]) {
+    throw std::invalid_argument("Bisection::swap: same-side vertices");
+  }
+  // g_ab = g_a + g_b - 2 w(a,b)  (paper section III); realized here as
+  // two single moves, which double-count the shared edge in between.
+  move(a);
+  move(b);
+}
+
+Weight Bisection::recompute_cut() const {
+  Weight cut = 0;
+  for (Vertex v = 0; v < graph_->num_vertices(); ++v) {
+    const auto nbrs = graph_->neighbors(v);
+    const auto wts = graph_->edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (v < nbrs[i] && sides_[v] != sides_[nbrs[i]]) cut += wts[i];
+    }
+  }
+  return cut;
+}
+
+bool Bisection::validate() const {
+  std::uint32_t counts[2] = {0, 0};
+  Weight weights[2] = {0, 0};
+  for (Vertex v = 0; v < graph_->num_vertices(); ++v) {
+    if (sides_[v] > 1) return false;
+    ++counts[sides_[v]];
+    weights[sides_[v]] += graph_->vertex_weight(v);
+  }
+  return counts[0] == counts_[0] && counts[1] == counts_[1] &&
+         weights[0] == weights_[0] && weights[1] == weights_[1] &&
+         recompute_cut() == cut_;
+}
+
+}  // namespace gbis

@@ -1,0 +1,99 @@
+// Bisection: a two-way partition of a graph's vertices with
+// incrementally maintained cut weight and per-side totals.
+//
+// This is the common state object every algorithm in gbis manipulates.
+// Moves and swaps update the cut in O(deg); recompute_cut() provides
+// the from-scratch value for verification (tests assert the two always
+// agree under arbitrary move sequences).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gbis/graph/graph.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+
+/// A two-way vertex partition. Holds a reference to the graph, which
+/// must outlive the Bisection.
+class Bisection {
+ public:
+  /// Adopts an explicit side assignment (one entry per vertex, each 0
+  /// or 1) and computes the cut. Throws std::invalid_argument on a size
+  /// mismatch or an entry other than 0/1.
+  Bisection(const Graph& g, std::vector<std::uint8_t> sides);
+
+  /// Uniformly random split with ceil(n/2) vertices on side 0 — the
+  /// "randomly generated initial bisection" of the paper's protocol.
+  /// Balanced by vertex *count*; when vertex weights are uniform (every
+  /// gbis contraction keeps them uniform) this is also weight-balanced.
+  static Bisection random(const Graph& g, Rng& rng);
+
+  /// Uniformly random split with exactly `side0_count` vertices on
+  /// side 0 (throws std::invalid_argument if it exceeds |V|). KL
+  /// refinement preserves any such ratio, which is what the recursive
+  /// k-way driver exploits for non-power-of-two part counts.
+  static Bisection random_split(const Graph& g, std::uint32_t side0_count,
+                                Rng& rng);
+
+  /// The first-half/second-half split (the planted bisection of the
+  /// G2set and Gbreg models).
+  static Bisection planted(const Graph& g);
+
+  const Graph& graph() const { return *graph_; }
+
+  /// Side of vertex v (0 or 1).
+  std::uint8_t side(Vertex v) const { return sides_[v]; }
+
+  std::span<const std::uint8_t> sides() const { return sides_; }
+
+  /// Current cut weight (sum of weights of edges crossing the split).
+  Weight cut() const { return cut_; }
+
+  /// Number of vertices on a side.
+  std::uint32_t side_count(int side) const { return counts_[side]; }
+
+  /// Total vertex weight on a side.
+  Weight side_weight(int side) const { return weights_[side]; }
+
+  /// |side_weight(0) - side_weight(1)|.
+  Weight weight_imbalance() const;
+
+  /// |side_count(0) - side_count(1)|.
+  std::uint32_t count_imbalance() const;
+
+  /// True if vertex counts differ by at most 1 (a legal bisection for
+  /// odd n too).
+  bool is_balanced() const { return count_imbalance() <= 1; }
+
+  /// Gain of moving v to the other side: cut reduction (may be
+  /// negative). O(deg v).
+  Weight gain(Vertex v) const;
+
+  /// Weight of edges from v into side s. O(deg v).
+  Weight weight_to_side(Vertex v, int s) const;
+
+  /// Moves v to the other side, updating cut and side totals. O(deg v).
+  void move(Vertex v);
+
+  /// Swaps opposite-side vertices a and b (the KL primitive). Updates
+  /// the cut accounting for a shared edge. Requires side(a) != side(b).
+  void swap(Vertex a, Vertex b);
+
+  /// Recomputes the cut from scratch. O(V + E). For verification.
+  Weight recompute_cut() const;
+
+  /// Asserts internal consistency (cut, counts, weights). For tests.
+  bool validate() const;
+
+ private:
+  const Graph* graph_;
+  std::vector<std::uint8_t> sides_;
+  Weight cut_ = 0;
+  std::uint32_t counts_[2] = {0, 0};
+  Weight weights_[2] = {0, 0};
+};
+
+}  // namespace gbis

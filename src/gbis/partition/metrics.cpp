@@ -1,0 +1,37 @@
+#include "gbis/partition/metrics.hpp"
+
+#include <algorithm>
+
+#include "gbis/baseline/random_bisect.hpp"
+
+namespace gbis {
+
+BisectionMetrics bisection_metrics(const Bisection& bisection) {
+  const Graph& g = bisection.graph();
+  BisectionMetrics m;
+  m.cut = bisection.cut();
+
+  Weight volume[2] = {0, 0};
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    volume[bisection.side(v)] += g.weighted_degree(v);
+  }
+  const Weight min_volume = std::min(volume[0], volume[1]);
+  if (min_volume > 0) {
+    m.conductance =
+        static_cast<double>(m.cut) / static_cast<double>(min_volume);
+  }
+
+  const std::uint32_t min_count =
+      std::min(bisection.side_count(0), bisection.side_count(1));
+  if (min_count > 0) {
+    m.expansion = static_cast<double>(m.cut) / min_count;
+  }
+
+  const double random_cut = expected_random_cut(g);
+  if (random_cut > 0.0) {
+    m.vs_random = static_cast<double>(m.cut) / random_cut;
+  }
+  return m;
+}
+
+}  // namespace gbis

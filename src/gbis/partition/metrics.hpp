@@ -1,0 +1,28 @@
+// Partition quality metrics beyond the raw cut: the quantities later
+// partitioning literature standardized (conductance, expansion) plus
+// paper-specific ratios (cut relative to the expected random cut, the
+// yardstick section IV uses to dismiss the Gnp model).
+#pragma once
+
+#include "gbis/partition/bisection.hpp"
+
+namespace gbis {
+
+/// Quality summary of a bisection.
+struct BisectionMetrics {
+  Weight cut = 0;
+  /// cut / min(vol(A), vol(B)) where vol is total weighted degree;
+  /// 0 when a side has no incident edge weight.
+  double conductance = 0.0;
+  /// cut / min(|A|, |B|) (vertex-count expansion); 0 for an empty side.
+  double expansion = 0.0;
+  /// cut divided by the expected cut of a uniformly random balanced
+  /// bisection; < 1 means better than random. 0 when the graph has no
+  /// edges.
+  double vs_random = 0.0;
+};
+
+/// Computes all metrics for the current state of `bisection`.
+BisectionMetrics bisection_metrics(const Bisection& bisection);
+
+}  // namespace gbis

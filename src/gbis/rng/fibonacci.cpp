@@ -1,0 +1,30 @@
+#include "gbis/rng/fibonacci.hpp"
+
+#include "gbis/rng/splitmix.hpp"
+
+namespace gbis {
+
+LaggedFibonacci::LaggedFibonacci(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  bool any_odd = false;
+  for (auto& word : state_) {
+    word = sm.next();
+    any_odd = any_odd || (word & 1ULL);
+  }
+  // The additive recurrence preserves all-even states forever; force at
+  // least one odd word so every bit position has full period.
+  if (!any_odd) state_[0] |= 1ULL;
+  for (int i = 0; i < 10 * kLongLag; ++i) next();
+}
+
+std::uint64_t LaggedFibonacci::next() noexcept {
+  const int short_pos = pos_ + (kLongLag - kShortLag) >= kLongLag
+                            ? pos_ - kShortLag
+                            : pos_ + (kLongLag - kShortLag);
+  const std::uint64_t value = state_[pos_] + state_[short_pos];
+  state_[pos_] = value;
+  pos_ = (pos_ + 1 == kLongLag) ? 0 : pos_ + 1;
+  return value;
+}
+
+}  // namespace gbis

@@ -1,0 +1,47 @@
+// Lagged Fibonacci generator, provided for historical fidelity: the
+// paper's experiments used "a Fibonacci random number generator" on a
+// VAX 780 (section IX). This is the classical additive lagged Fibonacci
+// recurrence with Knuth's lags (55, 24):
+//
+//   X[i] = (X[i-55] + X[i-24]) mod 2^64
+//
+// Additive LFGs have known low-bit weaknesses; the library default is
+// xoshiro256** (see Rng in rng.hpp). This engine exists so experiments
+// can be run with an RNG of the same family the authors used.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace gbis {
+
+/// Additive lagged Fibonacci engine with lags (55, 24).
+/// Satisfies std::uniform_random_bit_generator.
+class LaggedFibonacci {
+ public:
+  using result_type = std::uint64_t;
+
+  static constexpr int kLongLag = 55;
+  static constexpr int kShortLag = 24;
+
+  /// Seeds the 55-word state from a 64-bit seed via SplitMix64, then
+  /// discards an initial warm-up run to decorrelate from the seeder.
+  explicit LaggedFibonacci(std::uint64_t seed) noexcept;
+
+  /// Advances the recurrence and returns the next 64-bit output.
+  std::uint64_t next() noexcept;
+
+  std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  std::array<std::uint64_t, kLongLag> state_{};
+  int pos_ = 0;  // index of X[i-55]; X[i-24] is (pos_ + 55 - 24) mod 55
+};
+
+}  // namespace gbis

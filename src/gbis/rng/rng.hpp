@@ -1,0 +1,131 @@
+// Rng: the library-wide random source. Wraps a choice of engine
+// (xoshiro256** by default, the paper-era lagged Fibonacci generator on
+// request) behind unbiased integer/real distribution helpers.
+//
+// All stochastic components in gbis take an Rng& and never construct
+// their own entropy, so every experiment is reproducible from a single
+// 64-bit seed.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "gbis/rng/fibonacci.hpp"
+#include "gbis/rng/xoshiro.hpp"
+
+namespace gbis {
+
+/// Which underlying engine an Rng advances.
+enum class RngEngine {
+  kXoshiro,    ///< xoshiro256** (library default)
+  kFibonacci,  ///< additive lagged Fibonacci (paper-era family)
+};
+
+/// Seedable random source with unbiased helpers. Satisfies
+/// std::uniform_random_bit_generator so it also works with <random>.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Constructs an xoshiro256**-backed source from a seed.
+  explicit Rng(std::uint64_t seed) : Rng(RngEngine::kXoshiro, seed) {}
+
+  /// Constructs a source backed by the given engine.
+  Rng(RngEngine engine, std::uint64_t seed)
+      : engine_(engine), xoshiro_(seed), fibonacci_(seed) {}
+
+  /// Raw 64 random bits.
+  std::uint64_t next() {
+    return engine_ == RngEngine::kXoshiro ? xoshiro_.next()
+                                          : fibonacci_.next();
+  }
+
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  RngEngine engine() const { return engine_; }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound) {
+    assert(bound > 0);
+    using u128 = unsigned __int128;
+    std::uint64_t x = next();
+    u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<u128>(x) * static_cast<u128>(bound);
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    const auto width =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    // width == 0 means the full 64-bit range: no rejection needed.
+    const std::uint64_t draw = (width == 0) ? next() : below(width);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + draw);
+  }
+
+  /// Uniform double in [0, 1) with 53 random mantissa bits.
+  double real01() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli draw: true with probability p (clamped to [0,1]).
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return real01() < p;
+  }
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Chooses k distinct indices from [0, n) uniformly at random
+  /// (partial Fisher-Yates; O(n) space, O(k) swaps). Requires k <= n.
+  std::vector<std::uint32_t> sample_indices(std::uint32_t n,
+                                            std::uint32_t k) {
+    assert(k <= n);
+    std::vector<std::uint32_t> pool(n);
+    for (std::uint32_t i = 0; i < n; ++i) pool[i] = i;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const auto j =
+          i + static_cast<std::uint32_t>(below(static_cast<std::uint64_t>(n - i)));
+      std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
+  }
+
+  /// Derives an independent child source (for parallel or per-instance
+  /// streams) by mixing a stream index into fresh output.
+  Rng spawn(std::uint64_t stream) {
+    return Rng(engine_, next() ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  }
+
+ private:
+  RngEngine engine_;
+  Xoshiro256ss xoshiro_;
+  LaggedFibonacci fibonacci_;
+};
+
+}  // namespace gbis

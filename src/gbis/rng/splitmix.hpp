@@ -1,0 +1,29 @@
+// SplitMix64: a tiny, fast 64-bit generator used here exclusively to
+// expand a single user seed into full generator states (Vigna's
+// recommended seeding procedure for xoshiro-family generators).
+#pragma once
+
+#include <cstdint>
+
+namespace gbis {
+
+/// Stateless-step SplitMix64 seeder. Each call to next() advances the
+/// internal counter by the golden-ratio increment and returns a fully
+/// mixed 64-bit value. Quality is sufficient for state initialization.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Returns the next 64-bit value in the sequence.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace gbis

@@ -1,0 +1,41 @@
+// xoshiro256**: the library's default pseudo-random engine.
+// Reference: Blackman & Vigna, "Scrambled linear pseudorandom number
+// generators" (2018). Self-contained implementation; no std::mt19937
+// dependency so streams are identical across platforms and compilers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace gbis {
+
+/// xoshiro256** engine. Satisfies std::uniform_random_bit_generator.
+/// Period 2^256 - 1; passes BigCrush. State is seeded from a single
+/// 64-bit value via SplitMix64.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the 256-bit state from a single 64-bit seed.
+  explicit Xoshiro256ss(std::uint64_t seed) noexcept;
+
+  /// Advances the engine and returns the next 64-bit output.
+  std::uint64_t next() noexcept;
+
+  std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Jump function: advances the stream by 2^128 steps. Used to derive
+  /// independent substreams from one seed (one jump per substream).
+  void jump() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace gbis

@@ -1,0 +1,39 @@
+#include "gbis/sa/schedule.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gbis {
+
+GeometricSchedule::GeometricSchedule(double initial_temperature, double ratio)
+    : temperature_(initial_temperature), ratio_(ratio) {
+  if (!(initial_temperature > 0.0)) {
+    throw std::invalid_argument(
+        "GeometricSchedule: initial temperature must be positive");
+  }
+  if (!(ratio > 0.0 && ratio < 1.0)) {
+    throw std::invalid_argument("GeometricSchedule: ratio must be in (0, 1)");
+  }
+}
+
+double GeometricSchedule::cool() {
+  temperature_ *= ratio_;
+  ++steps_;
+  return temperature_;
+}
+
+double initial_temperature_for_acceptance(
+    std::span<const double> positive_deltas, double target_acceptance,
+    double fallback) {
+  if (!(target_acceptance > 0.0 && target_acceptance < 1.0)) {
+    throw std::invalid_argument(
+        "initial_temperature_for_acceptance: target in (0, 1)");
+  }
+  if (positive_deltas.empty()) return fallback;
+  double sum = 0.0;
+  for (double d : positive_deltas) sum += d;
+  const double mean = sum / static_cast<double>(positive_deltas.size());
+  return mean / std::log(1.0 / target_acceptance);
+}
+
+}  // namespace gbis

@@ -1,0 +1,42 @@
+// Annealing schedule: the "temperature" control of Figure 1's generic
+// loop. Geometric cooling with an acceptance-targeted initial
+// temperature, following the methodology of Johnson, Aragon, McGeoch &
+// Schevon (the paper's [JCAMS84], published form: Operations Research
+// 1989, Part I).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace gbis {
+
+/// Geometric cooling: T_{k+1} = ratio * T_k.
+class GeometricSchedule {
+ public:
+  /// ratio must be in (0, 1); initial_temperature must be positive.
+  GeometricSchedule(double initial_temperature, double ratio);
+
+  double temperature() const { return temperature_; }
+
+  /// Cools one step and returns the new temperature.
+  double cool();
+
+  /// Temperatures visited so far (including the initial one).
+  std::uint32_t steps() const { return steps_; }
+
+ private:
+  double temperature_;
+  double ratio_;
+  std::uint32_t steps_ = 1;
+};
+
+/// Chooses an initial temperature such that a fraction
+/// `target_acceptance` of cost-increasing moves would be accepted:
+/// T0 = mean(positive deltas) / ln(1 / target_acceptance).
+/// `positive_deltas` are sampled uphill cost changes; if empty (the
+/// landscape is all-downhill from the start), returns `fallback`.
+double initial_temperature_for_acceptance(
+    std::span<const double> positive_deltas, double target_acceptance,
+    double fallback = 1.0);
+
+}  // namespace gbis

@@ -1,0 +1,42 @@
+# End-to-end CLI smoke test driven by ctest. Fails on any non-zero
+# exit or on a missing expected output.
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run)
+  execute_process(COMMAND ${GBIS_CLI} ${ARGN}
+    WORKING_DIRECTORY ${WORK_DIR}
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "gbis ${ARGN} failed (${code}): ${out} ${err}")
+  endif()
+endfunction()
+
+run(gen gbreg 400 8 3 ${WORK_DIR}/g.graph --seed 7)
+run(solve ${WORK_DIR}/g.graph ckl ${WORK_DIR}/g.part)
+run(eval ${WORK_DIR}/g.graph ${WORK_DIR}/g.part)
+run(stats ${WORK_DIR}/g.graph)
+run(kway ${WORK_DIR}/g.graph 4 ${WORK_DIR}/g4.part)
+run(eval ${WORK_DIR}/g.graph ${WORK_DIR}/g4.part)
+run(convert ${WORK_DIR}/g.graph ${WORK_DIR}/g.metis)
+run(convert ${WORK_DIR}/g.metis ${WORK_DIR}/g.dot)
+run(solve ${WORK_DIR}/g.metis quench)
+
+foreach(artifact g.part g4.part g.metis g.dot)
+  if(NOT EXISTS ${WORK_DIR}/${artifact})
+    message(FATAL_ERROR "expected output missing: ${artifact}")
+  endif()
+endforeach()
+
+# Failure injection: bad inputs must exit non-zero, not crash.
+execute_process(COMMAND ${GBIS_CLI} solve /nonexistent.graph kl
+  RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(code EQUAL 0)
+  message(FATAL_ERROR "missing-file solve unexpectedly succeeded")
+endif()
+execute_process(COMMAND ${GBIS_CLI} bogus-command
+  RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(code EQUAL 0)
+  message(FATAL_ERROR "bogus command unexpectedly succeeded")
+endif()

@@ -1,0 +1,11 @@
+# Smoke test: every example binary must run to completion on its
+# default arguments.
+foreach(example ${EXAMPLES})
+  execute_process(COMMAND ${EXAMPLES_DIR}/${example}
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "example ${example} failed (${code}): ${out} ${err}")
+  endif()
+endforeach()

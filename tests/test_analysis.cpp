@@ -1,0 +1,97 @@
+// Tests for the structural analysis helpers.
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "gbis/gen/gnp.hpp"
+#include "gbis/gen/special.hpp"
+#include "gbis/graph/analysis.hpp"
+#include "gbis/graph/builder.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+namespace {
+
+TEST(Analysis, DegreeHistogram) {
+  GraphBuilder b(4);  // star K_{1,3}
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  const auto hist = degree_histogram(b.build());
+  ASSERT_EQ(hist.size(), 4u);
+  EXPECT_EQ(hist[0], 0u);
+  EXPECT_EQ(hist[1], 3u);
+  EXPECT_EQ(hist[2], 0u);
+  EXPECT_EQ(hist[3], 1u);
+  EXPECT_TRUE(degree_histogram(Graph{}).empty());
+}
+
+TEST(Analysis, CoreNumbersOnKnownShapes) {
+  // A triangle with a pendant: triangle vertices core 2, pendant 1.
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  const auto cores = core_numbers(b.build());
+  EXPECT_EQ(cores[0], 2u);
+  EXPECT_EQ(cores[1], 2u);
+  EXPECT_EQ(cores[2], 2u);
+  EXPECT_EQ(cores[3], 1u);
+}
+
+TEST(Analysis, DegeneracyOfFamilies) {
+  EXPECT_EQ(degeneracy(make_path(10)), 1u);       // trees are 1-degenerate
+  EXPECT_EQ(degeneracy(make_binary_tree(31)), 1u);
+  EXPECT_EQ(degeneracy(make_cycle(8)), 2u);
+  EXPECT_EQ(degeneracy(make_grid(5, 5)), 2u);
+  EXPECT_EQ(degeneracy(make_complete(6)), 5u);
+}
+
+TEST(Analysis, TriangleCount) {
+  EXPECT_EQ(triangle_count(make_complete(5)), 10u);  // C(5,3)
+  EXPECT_EQ(triangle_count(make_cycle(5)), 0u);
+  EXPECT_EQ(triangle_count(make_grid(4, 4)), 0u);
+  GraphBuilder b(4);  // two triangles sharing an edge
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(1, 3);
+  b.add_edge(2, 3);
+  EXPECT_EQ(triangle_count(b.build()), 2u);
+}
+
+TEST(Analysis, GlobalClustering) {
+  EXPECT_DOUBLE_EQ(global_clustering(make_complete(6)), 1.0);
+  EXPECT_DOUBLE_EQ(global_clustering(make_cycle(8)), 0.0);
+  EXPECT_DOUBLE_EQ(global_clustering(make_path(3)), 0.0);  // one wedge
+  EXPECT_DOUBLE_EQ(global_clustering(Graph{}), 0.0);
+}
+
+TEST(Analysis, EccentricityAndDiameter) {
+  const Graph path = make_path(10);
+  EXPECT_EQ(eccentricity(path, 0), 9u);
+  EXPECT_EQ(eccentricity(path, 5), 5u);
+  EXPECT_EQ(pseudo_diameter(path), 9u);  // exact on trees
+  EXPECT_EQ(pseudo_diameter(make_binary_tree(15)), 6u);
+  EXPECT_EQ(pseudo_diameter(make_cycle(10)), 5u);
+  EXPECT_THROW(pseudo_diameter(path, 99), std::out_of_range);
+}
+
+TEST(Analysis, CoreNumbersMatchBruteOnRandom) {
+  // Property: the k-core invariant — every vertex with core number c
+  // has >= c neighbors of core number >= c.
+  Rng rng(1);
+  const Graph g = make_gnp(120, 0.06, rng);
+  const auto cores = core_numbers(g);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    std::uint32_t strong = 0;
+    for (Vertex w : g.neighbors(v)) {
+      if (cores[w] >= cores[v]) ++strong;
+    }
+    EXPECT_GE(strong, cores[v]) << "vertex " << v;
+  }
+}
+
+}  // namespace
+}  // namespace gbis

@@ -1,0 +1,103 @@
+// Tests for the branch-and-bound exact bisection solver.
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "gbis/exact/branch_bound.hpp"
+#include "gbis/exact/brute.hpp"
+#include "gbis/graph/builder.hpp"
+#include "gbis/gen/gnp.hpp"
+#include "gbis/gen/planted.hpp"
+#include "gbis/gen/regular_planted.hpp"
+#include "gbis/gen/special.hpp"
+#include "gbis/kl/kl.hpp"
+#include "gbis/partition/bisection.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+namespace {
+
+TEST(BranchBound, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(1);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::uint32_t n = 8 + static_cast<std::uint32_t>(rng.below(9));
+    const Graph g = make_gnp(n, 0.3, rng);
+    const ExactBisection bb = branch_bound_bisection(g);
+    const ExactBisection bf = brute_force_bisection(g);
+    ASSERT_EQ(bb.cut, bf.cut) << "trial " << trial << " n=" << n;
+    const Bisection witness(g, bb.sides);
+    EXPECT_EQ(witness.cut(), bb.cut);
+    EXPECT_TRUE(witness.is_balanced());
+  }
+}
+
+TEST(BranchBound, KnownOptimaOnSpecialGraphs) {
+  EXPECT_EQ(branch_bound_bisection(make_path(12)).cut, 1);
+  EXPECT_EQ(branch_bound_bisection(make_cycle(12)).cut, 2);
+  EXPECT_EQ(branch_bound_bisection(make_ladder(8)).cut, 2);
+  EXPECT_EQ(branch_bound_bisection(make_grid(4, 4)).cut, 4);
+  EXPECT_EQ(branch_bound_bisection(make_complete(8)).cut, 16);
+  EXPECT_EQ(branch_bound_bisection(make_hypercube(4)).cut, 8);
+}
+
+TEST(BranchBound, OddVertexCount) {
+  const Graph g = make_path(11);
+  const ExactBisection r = branch_bound_bisection(g);
+  EXPECT_EQ(r.cut, 1);
+  const Bisection witness(g, r.sides);
+  EXPECT_LE(witness.count_imbalance(), 1u);
+}
+
+TEST(BranchBound, CertifiesPlantedWidthBeyondBruteForce) {
+  // n = 40: out of enumeration's reach, easy for branch and bound.
+  Rng rng(2);
+  const RegularPlantedParams params{40, 2, 3};
+  const Graph g = make_regular_planted(params, rng);
+  // Seed the solver with a KL incumbent to tighten pruning.
+  Bisection incumbent = Bisection::random(g, rng);
+  kl_refine(incumbent);
+  BranchBoundOptions options;
+  options.initial_upper_bound = incumbent.cut();
+  BranchBoundStats stats;
+  const ExactBisection r = branch_bound_bisection(g, options, &stats);
+  EXPECT_EQ(r.cut, 2);  // the planted width is optimal here
+  EXPECT_GT(stats.pruned, 0u);
+}
+
+TEST(BranchBound, WeightedEdges) {
+  Rng rng(3);
+  const PlantedParams params{16, 0.8, 0.8, 3};
+  const Graph g = make_planted(params, rng);
+  EXPECT_EQ(branch_bound_bisection(g).cut, brute_force_bisection(g).cut);
+}
+
+TEST(BranchBound, RejectsOversizedGraphs) {
+  EXPECT_THROW(branch_bound_bisection(make_cycle(100)),
+               std::invalid_argument);
+}
+
+TEST(BranchBound, NodeCapThrows) {
+  Rng rng(4);
+  const Graph g = make_gnp(30, 0.4, rng);
+  BranchBoundOptions options;
+  options.max_nodes = 10;  // absurdly small
+  EXPECT_THROW(branch_bound_bisection(g, options), std::runtime_error);
+}
+
+TEST(BranchBound, TinyGraphs) {
+  GraphBuilder empty(0);
+  EXPECT_EQ(branch_bound_bisection(empty.build()).cut, 0);
+  EXPECT_EQ(branch_bound_bisection(make_path(2)).cut, 1);
+  EXPECT_EQ(branch_bound_bisection(make_path(1)).cut, 0);
+}
+
+TEST(BranchBound, TightUpperBoundStillSolves) {
+  // Passing the exact optimum as the bound must still find a witness.
+  const Graph g = make_cycle(10);
+  BranchBoundOptions options;
+  options.initial_upper_bound = 2;
+  EXPECT_EQ(branch_bound_bisection(g, options).cut, 2);
+}
+
+}  // namespace
+}  // namespace gbis

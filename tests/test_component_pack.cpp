@@ -1,0 +1,84 @@
+// Tests for component packing on disconnected graphs.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gbis/baseline/component_pack.hpp"
+#include "gbis/gen/regular_planted.hpp"
+#include "gbis/gen/special.hpp"
+#include "gbis/graph/builder.hpp"
+#include "gbis/kl/kl.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+namespace {
+
+TEST(ComponentPack, PerfectPackingGivesZeroCut) {
+  // Cycles of sizes 4, 6, 10: {4, 6} packs to 10 = n/2.
+  const std::uint32_t sizes[] = {4, 6, 10};
+  const Graph g = make_union_of_cycles(sizes);
+  Rng rng(1);
+  const Bisection b = component_pack_bisection(g, rng);
+  EXPECT_EQ(b.cut(), 0);
+  EXPECT_TRUE(b.is_balanced());
+  EXPECT_TRUE(pack_components(g, rng).perfect);
+}
+
+TEST(ComponentPack, ImperfectPackingStaysBalancedAndSmall) {
+  // Sizes 3, 3, 4 (n/2 = 5): no perfect packing; one donor cycle gets
+  // carved (cut <= 2 since the chunk is a BFS arc of a cycle).
+  const std::uint32_t sizes[] = {3, 3, 4};
+  const Graph g = make_union_of_cycles(sizes);
+  Rng rng(2);
+  const ComponentPacking packing = pack_components(g, rng);
+  EXPECT_FALSE(packing.perfect);
+  const Bisection b(g, packing.sides);
+  EXPECT_TRUE(b.is_balanced());
+  EXPECT_LE(b.cut(), 2);
+}
+
+TEST(ComponentPack, ConnectedGraphDegeneratesToRegionGrowth) {
+  const Graph g = make_grid(6, 6);
+  Rng rng(3);
+  const Bisection b = component_pack_bisection(g, rng);
+  EXPECT_TRUE(b.is_balanced());
+  EXPECT_GT(b.cut(), 0);  // must cut something
+}
+
+TEST(ComponentPack, TrivialInputs) {
+  Rng rng(4);
+  GraphBuilder empty(0);
+  EXPECT_TRUE(pack_components(empty.build(), rng).perfect);
+  const Graph single = make_path(1);
+  EXPECT_TRUE(pack_components(single, rng).perfect);
+  GraphBuilder isolated(6);  // 6 isolated vertices: trivially packable
+  const Bisection b = component_pack_bisection(isolated.build(), rng);
+  EXPECT_EQ(b.cut(), 0);
+  EXPECT_TRUE(b.is_balanced());
+}
+
+TEST(ComponentPack, SeedsKlBetterThanRandomOnDisconnectedGraphs) {
+  // Two disjoint planted communities of unequal size: packing puts
+  // whole components aside, KL finishes inside the donor. Average over
+  // seeds to keep it robust.
+  Rng rng(5);
+  GraphBuilder builder(60);
+  auto clique = [&](Vertex base, std::uint32_t m) {
+    for (Vertex u = 0; u < m; ++u) {
+      for (Vertex v = u + 1; v < m; ++v) builder.add_edge(base + u, base + v);
+    }
+  };
+  clique(0, 25);
+  clique(25, 35);
+  const Graph g = builder.build();
+
+  Bisection seeded = component_pack_bisection(g, rng);
+  kl_refine(seeded);
+  Bisection plain = Bisection::random(g, rng);
+  kl_refine(plain);
+  EXPECT_LE(seeded.cut(), plain.cut());
+  EXPECT_TRUE(seeded.is_balanced());
+}
+
+}  // namespace
+}  // namespace gbis

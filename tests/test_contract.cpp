@@ -1,0 +1,172 @@
+// Tests for edge contraction (compaction step 2) and projection
+// (step 4): weight conservation, cut preservation, degree growth.
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gbis/core/contract.hpp"
+#include "gbis/core/matching.hpp"
+#include "gbis/gen/gnp.hpp"
+#include "gbis/gen/regular_planted.hpp"
+#include "gbis/gen/special.hpp"
+#include "gbis/graph/builder.hpp"
+#include "gbis/partition/bisection.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+namespace {
+
+TEST(Contract, SingleEdgeCollapse) {
+  const Graph g = make_path(2);
+  Rng rng(1);
+  const Contraction c = contract_matching(g, {{0, 1}}, rng);
+  EXPECT_EQ(c.coarse.num_vertices(), 1u);
+  EXPECT_EQ(c.coarse.num_edges(), 0u);
+  EXPECT_EQ(c.coarse.vertex_weight(0), 2);
+  EXPECT_EQ(c.map[0], c.map[1]);
+}
+
+TEST(Contract, TrianglePlusMatchingEdge) {
+  // Triangle 0-1-2; contract (0,1): coarse has 2 vertices joined by an
+  // edge of weight 2 (the two former triangle sides merge).
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(2, 0);
+  const Graph g = builder.build();
+  Rng rng(2);
+  const Contraction c = contract_matching(g, {{0, 1}}, rng,
+                                          /*pair_leftovers=*/false);
+  EXPECT_EQ(c.coarse.num_vertices(), 2u);
+  EXPECT_EQ(c.coarse.num_edges(), 1u);
+  EXPECT_EQ(c.coarse.total_edge_weight(), 2);
+  EXPECT_EQ(c.coarse.total_vertex_weight(), 3);
+}
+
+TEST(Contract, VertexWeightConservation) {
+  Rng rng(3);
+  const Graph g = make_gnp(50, 0.1, rng);
+  const Matching m = maximal_matching(g, rng);
+  const Contraction c = contract_matching(g, m, rng);
+  EXPECT_EQ(c.coarse.total_vertex_weight(), g.total_vertex_weight());
+  EXPECT_TRUE(c.coarse.validate());
+}
+
+TEST(Contract, PairLeftoversGivesUniformWeightTwo) {
+  Rng rng(4);
+  // A star: the matching has one edge, leaving many leftovers.
+  GraphBuilder builder(9);
+  for (Vertex v = 1; v < 9; ++v) builder.add_edge(0, v);
+  const Graph g = builder.build();
+  const Matching m = maximal_matching(g, rng);
+  ASSERT_EQ(m.size(), 1u);
+  const Contraction c = contract_matching(g, m, rng);
+  // 9 vertices -> 4 weight-2 supernodes + 1 weight-1 singleton.
+  EXPECT_EQ(c.coarse.num_vertices(), 5u);
+  int weight_one = 0;
+  for (Vertex v = 0; v < c.coarse.num_vertices(); ++v) {
+    const Weight w = c.coarse.vertex_weight(v);
+    EXPECT_TRUE(w == 1 || w == 2);
+    weight_one += (w == 1);
+  }
+  EXPECT_EQ(weight_one, 1);
+}
+
+TEST(Contract, NoPairLeftoversKeepsSingletons) {
+  Rng rng(5);
+  GraphBuilder builder(5);
+  builder.add_edge(0, 1);
+  const Graph g = builder.build();
+  const Contraction c =
+      contract_matching(g, {{0, 1}}, rng, /*pair_leftovers=*/false);
+  EXPECT_EQ(c.coarse.num_vertices(), 4u);  // 1 pair + 3 singletons
+}
+
+TEST(Contract, RejectsNonMatching) {
+  const Graph g = make_path(4);
+  Rng rng(6);
+  EXPECT_THROW(contract_matching(g, {{0, 2}}, rng), std::invalid_argument);
+  EXPECT_THROW(contract_matching(g, {{0, 1}, {1, 2}}, rng),
+               std::invalid_argument);
+}
+
+TEST(Contract, ProjectSizeMismatchThrows) {
+  const Graph g = make_path(4);
+  Rng rng(7);
+  const Contraction c = contract_matching(g, {{0, 1}, {2, 3}}, rng);
+  const std::vector<std::uint8_t> wrong(3, 0);
+  EXPECT_THROW(c.project(wrong), std::invalid_argument);
+}
+
+TEST(Contract, AverageDegreeGrows) {
+  // Section V: "This method will cause the average degree of the graph
+  // G' to be larger than the average degree of G." Check on a sparse
+  // random regular graph (the paper's target family).
+  Rng rng(8);
+  const Graph g = make_regular_planted({400, 8, 3}, rng);
+  const Matching m = maximal_matching(g, rng);
+  const Contraction c = contract_matching(g, m, rng);
+  EXPECT_GT(c.coarse.average_degree(), g.average_degree());
+}
+
+// The pivotal invariant: for any coarse side assignment, the coarse cut
+// equals the fine cut of the projection — swept across random graphs.
+class ContractProperty : public testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ContractProperty, ProjectionPreservesCut) {
+  const std::uint32_t n = GetParam();
+  Rng rng(n * 37 + 11);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = make_gnp(n, 5.0 / n, rng);
+    const Matching m = maximal_matching(g, rng);
+    const Contraction c = contract_matching(g, m, rng);
+    const Bisection coarse = Bisection::random(c.coarse, rng);
+    const Bisection fine(g, c.project(coarse.sides()));
+    ASSERT_EQ(coarse.cut(), fine.cut()) << "n=" << n << " trial=" << trial;
+    // Weight balance transfers exactly as well.
+    ASSERT_EQ(coarse.side_weight(0), fine.side_weight(0));
+    ASSERT_EQ(coarse.side_weight(1), fine.side_weight(1));
+  }
+}
+
+TEST_P(ContractProperty, MapIsAValidPartitionIntoPairs) {
+  const std::uint32_t n = GetParam();
+  Rng rng(n * 41 + 13);
+  const Graph g = make_gnp(n, 5.0 / n, rng);
+  const Matching m = maximal_matching(g, rng);
+  const Contraction c = contract_matching(g, m, rng);
+  std::vector<int> members(c.coarse.num_vertices(), 0);
+  for (Vertex v = 0; v < n; ++v) {
+    ASSERT_LT(c.map[v], c.coarse.num_vertices());
+    ++members[c.map[v]];
+  }
+  int singles = 0;
+  for (std::size_t s = 0; s < members.size(); ++s) {
+    EXPECT_TRUE(members[s] == 1 || members[s] == 2);
+    singles += (members[s] == 1);
+    EXPECT_EQ(c.coarse.vertex_weight(static_cast<Vertex>(s)), members[s]);
+  }
+  EXPECT_EQ(singles, static_cast<int>(n % 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ContractProperty,
+                         testing::Values(9u, 20u, 51u, 100u, 250u));
+
+TEST(Contract, DoubleContractionWeights) {
+  // Two rounds of contraction: weights become 4 (multilevel invariant).
+  Rng rng(9);
+  const Graph g = make_grid(8, 8);
+  const Matching m1 = maximal_matching(g, rng);
+  const Contraction c1 = contract_matching(g, m1, rng);
+  const Matching m2 = maximal_matching(c1.coarse, rng);
+  const Contraction c2 = contract_matching(c1.coarse, m2, rng);
+  EXPECT_EQ(c2.coarse.total_vertex_weight(), 64);
+  for (Vertex v = 0; v < c2.coarse.num_vertices(); ++v) {
+    EXPECT_EQ(c2.coarse.vertex_weight(v), 4);
+  }
+}
+
+}  // namespace
+}  // namespace gbis

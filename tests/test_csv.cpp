@@ -1,0 +1,82 @@
+// Tests for the CSV writer and the trace instrumentation that feeds it.
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gbis/gen/regular_planted.hpp"
+#include "gbis/harness/csv.hpp"
+#include "gbis/kl/kl.hpp"
+#include "gbis/partition/bisection.hpp"
+#include "gbis/rng/rng.hpp"
+#include "gbis/sa/sa.hpp"
+
+namespace gbis {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b"});
+  csv.cell(std::int64_t{1}).cell("x");
+  csv.end_row();
+  csv.cell(2.5).cell(std::uint64_t{7});
+  csv.end_row();
+  EXPECT_EQ(out.str(), "a,b\n1,x\n2.5,7\n");
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"v"});
+  csv.cell("has,comma");
+  csv.end_row();
+  csv.cell("has\"quote");
+  csv.end_row();
+  EXPECT_EQ(out.str(), "v\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(Csv, ColumnMismatchThrows) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b"});
+  csv.cell("only");
+  EXPECT_THROW(csv.end_row(), std::logic_error);
+}
+
+TEST(Trace, SaTraceMatchesTemperatureCount) {
+  Rng rng(1);
+  const Graph g = make_regular_planted({200, 8, 3}, rng);
+  Bisection b = Bisection::random(g, rng);
+  SaOptions options;
+  options.temperature_length_factor = 2.0;
+  options.cooling_ratio = 0.85;
+  std::vector<SaTracePoint> trace;
+  const SaStats stats = sa_refine(b, rng, options, &trace);
+  ASSERT_EQ(trace.size(), stats.temperatures);
+  // Temperatures strictly decrease; acceptance in [0, 1]; best cuts
+  // monotone non-increasing.
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].acceptance, 0.0);
+    EXPECT_LE(trace[i].acceptance, 1.0);
+    if (i > 0) {
+      EXPECT_LT(trace[i].temperature, trace[i - 1].temperature);
+      EXPECT_LE(trace[i].best_cut, trace[i - 1].best_cut);
+    }
+  }
+  EXPECT_EQ(trace.back().best_cut, stats.final_cut);
+}
+
+TEST(Trace, KlPassCutsMonotone) {
+  Rng rng(2);
+  const Graph g = make_regular_planted({300, 8, 3}, rng);
+  Bisection b = Bisection::random(g, rng);
+  std::vector<Weight> passes;
+  const KlStats stats = kl_refine(b, {}, &passes);
+  ASSERT_EQ(passes.size(), stats.passes);
+  for (std::size_t i = 1; i < passes.size(); ++i) {
+    EXPECT_LE(passes[i], passes[i - 1]);
+  }
+  EXPECT_EQ(passes.back(), stats.final_cut);
+}
+
+}  // namespace
+}  // namespace gbis

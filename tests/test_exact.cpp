@@ -1,0 +1,194 @@
+// Tests for the exact solvers (brute force, tree DP, cycle DP) —
+// including cross-validation of the specialized solvers against brute
+// force on small instances.
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gbis/exact/brute.hpp"
+#include "gbis/exact/cycles.hpp"
+#include "gbis/exact/tree.hpp"
+#include "gbis/gen/gnp.hpp"
+#include "gbis/gen/special.hpp"
+#include "gbis/graph/builder.hpp"
+#include "gbis/partition/bisection.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+namespace {
+
+TEST(Brute, KnownOptimaOnSpecialGraphs) {
+  EXPECT_EQ(brute_force_bisection(make_path(8)).cut, 1);
+  EXPECT_EQ(brute_force_bisection(make_cycle(8)).cut, 2);
+  EXPECT_EQ(brute_force_bisection(make_ladder(4)).cut, 2);
+  EXPECT_EQ(brute_force_bisection(make_grid(4, 4)).cut, 4);
+  EXPECT_EQ(brute_force_bisection(make_complete(6)).cut, 9);
+  EXPECT_EQ(brute_force_bisection(make_hypercube(3)).cut, 4);
+  EXPECT_EQ(brute_force_bisection(make_complete_bipartite(4, 4)).cut, 8);
+}
+
+TEST(Brute, WitnessMatchesReportedCut) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = make_gnp(12, 0.3, rng);
+    const ExactBisection result = brute_force_bisection(g);
+    const Bisection b(g, result.sides);
+    EXPECT_EQ(b.cut(), result.cut);
+    EXPECT_TRUE(b.is_balanced());
+  }
+}
+
+TEST(Brute, OddVertexCount) {
+  const Graph g = make_path(7);
+  const ExactBisection result = brute_force_bisection(g);
+  EXPECT_EQ(result.cut, 1);
+  const Bisection b(g, result.sides);
+  EXPECT_LE(b.count_imbalance(), 1u);
+}
+
+TEST(Brute, WeightedEdges) {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1, 10);
+  builder.add_edge(2, 3, 10);
+  builder.add_edge(0, 2, 1);
+  builder.add_edge(1, 3, 1);
+  // Optimal split keeps the heavy edges intact: {0,1} vs {2,3}, cut 2.
+  EXPECT_EQ(brute_force_bisection(builder.build()).cut, 2);
+}
+
+TEST(Brute, TinyGraphs) {
+  EXPECT_EQ(brute_force_bisection(Graph{}).cut, 0);
+  EXPECT_EQ(brute_force_bisection(make_path(1)).cut, 0);
+  EXPECT_EQ(brute_force_bisection(make_path(2)).cut, 1);
+}
+
+TEST(Brute, SizeLimitEnforced) {
+  const Graph g = make_cycle(30);
+  EXPECT_THROW(brute_force_bisection(g), std::invalid_argument);
+  EXPECT_THROW(brute_force_bisection(make_cycle(10), 8),
+               std::invalid_argument);
+}
+
+TEST(TreeDp, PathAndStar) {
+  EXPECT_EQ(tree_bisection_width(make_path(10)), 1);
+  EXPECT_EQ(tree_bisection_width(make_path(9)), 1);
+  GraphBuilder star(7);
+  for (Vertex v = 1; v < 7; ++v) star.add_edge(0, v);
+  EXPECT_EQ(tree_bisection_width(star.build()), 3);
+}
+
+TEST(TreeDp, CompleteBinaryTree) {
+  // Complete binary tree on 2^k - 1 nodes: cutting near the root
+  // separates a subtree of (n-1)/2; one more vertex balances via an
+  // extra cut. Verify against brute force instead of folklore.
+  const Graph g = make_binary_tree(15);
+  EXPECT_EQ(tree_bisection_width(g), brute_force_bisection(g).cut);
+}
+
+TEST(TreeDp, MatchesBruteForceOnRandomTrees) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random tree via random parent attachment.
+    const std::uint32_t n = 6 + static_cast<std::uint32_t>(rng.below(9));
+    GraphBuilder builder(n);
+    for (Vertex v = 1; v < n; ++v) {
+      builder.add_edge(v, static_cast<Vertex>(rng.below(v)));
+    }
+    const Graph g = builder.build();
+    EXPECT_EQ(tree_bisection_width(g), brute_force_bisection(g).cut)
+        << "trial " << trial << " n=" << n;
+  }
+}
+
+TEST(TreeDp, MatchesBruteForceOnRandomForests) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint32_t n = 8 + static_cast<std::uint32_t>(rng.below(7));
+    GraphBuilder builder(n);
+    for (Vertex v = 1; v < n; ++v) {
+      if (rng.bernoulli(0.8)) {
+        builder.add_edge(v, static_cast<Vertex>(rng.below(v)));
+      }
+    }
+    const Graph g = builder.build();
+    EXPECT_EQ(tree_bisection_width(g), brute_force_bisection(g).cut)
+        << "trial " << trial;
+  }
+}
+
+TEST(TreeDp, WeightedTree) {
+  GraphBuilder builder(4);  // path with weighted middle edge
+  builder.add_edge(0, 1, 5);
+  builder.add_edge(1, 2, 1);
+  builder.add_edge(2, 3, 5);
+  EXPECT_EQ(tree_bisection_width(builder.build()), 1);
+}
+
+TEST(TreeDp, RejectsCyclicGraphs) {
+  EXPECT_THROW(tree_bisection_width(make_cycle(6)), std::invalid_argument);
+}
+
+TEST(TreeDp, TrivialInputs) {
+  EXPECT_EQ(tree_bisection_width(make_path(1)), 0);
+  EXPECT_EQ(tree_bisection_width(make_path(2)), 1);
+  GraphBuilder empty(0);
+  EXPECT_EQ(tree_bisection_width(empty.build()), 0);
+}
+
+TEST(Cycles, SingleCycleIsTwo) {
+  const ExactBisection result = cycles_bisection(make_cycle(10));
+  EXPECT_EQ(result.cut, 2);
+  const Bisection b(make_cycle(10), result.sides);
+  // Witness must be balanced; cut is validated below on a fresh graph.
+  EXPECT_TRUE(b.is_balanced());
+}
+
+TEST(Cycles, PerfectPackingIsZero) {
+  const std::uint32_t sizes[] = {4, 6, 10};  // subset {4,6} sums to 10 = n/2
+  const Graph g = make_union_of_cycles(sizes);
+  const ExactBisection result = cycles_bisection(g);
+  EXPECT_EQ(result.cut, 0);
+  const Bisection b(g, result.sides);
+  EXPECT_EQ(b.cut(), 0);
+  EXPECT_TRUE(b.is_balanced());
+}
+
+TEST(Cycles, NoPackingIsTwo) {
+  const std::uint32_t sizes[] = {3, 3, 4};  // n/2 = 5; sums: 3, 4, 6, 7, 10
+  const Graph g = make_union_of_cycles(sizes);
+  const ExactBisection result = cycles_bisection(g);
+  EXPECT_EQ(result.cut, 2);
+  const Bisection b(g, result.sides);
+  EXPECT_EQ(b.cut(), 2);
+  EXPECT_TRUE(b.is_balanced());
+}
+
+TEST(Cycles, MatchesBruteForce) {
+  Rng rng(4);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<std::uint32_t> sizes;
+    std::uint32_t total = 0;
+    while (total < 10) {
+      const auto s = static_cast<std::uint32_t>(3 + rng.below(6));
+      sizes.push_back(s);
+      total += s;
+    }
+    const Graph g = make_union_of_cycles(sizes);
+    if (g.num_vertices() > 20) continue;
+    const ExactBisection fast = cycles_bisection(g);
+    const ExactBisection slow = brute_force_bisection(g);
+    EXPECT_EQ(fast.cut, slow.cut) << "trial " << trial;
+    const Bisection b(g, fast.sides);
+    EXPECT_EQ(b.cut(), fast.cut);
+    EXPECT_TRUE(b.is_balanced());
+  }
+}
+
+TEST(Cycles, RejectsNonCycleGraphs) {
+  EXPECT_THROW(cycles_bisection(make_path(6)), std::invalid_argument);
+  EXPECT_THROW(cycles_bisection(make_grid(3, 3)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gbis

@@ -1,0 +1,172 @@
+// Tests for the Fiduccia-Mattheyses refinement.
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gbis/exact/brute.hpp"
+#include "gbis/fm/fm.hpp"
+#include "gbis/gen/gnp.hpp"
+#include "gbis/gen/planted.hpp"
+#include "gbis/gen/special.hpp"
+#include "gbis/graph/builder.hpp"
+#include "gbis/partition/bisection.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+namespace {
+
+TEST(Fm, NeverWorsensAndKeepsBalance) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = make_gnp(60, 0.1, rng);
+    Bisection b = Bisection::random(g, rng);
+    const Weight before = b.cut();
+    const FmStats stats = fm_refine(b);
+    EXPECT_LE(b.cut(), before);
+    EXPECT_LE(b.count_imbalance(), 1u);
+    EXPECT_EQ(b.cut(), b.recompute_cut());
+    EXPECT_EQ(stats.final_cut, b.cut());
+  }
+}
+
+TEST(Fm, SolvesWellSeparatedInstances) {
+  Rng rng(2);
+  const PlantedParams params{24, 0.9, 0.9, 2};
+  const Graph g = make_planted(params, rng);
+  const Weight optimal = brute_force_bisection(g).cut;
+  Weight best = std::numeric_limits<Weight>::max();
+  for (int start = 0; start < 5; ++start) {
+    Bisection b = Bisection::random(g, rng);
+    fm_refine(b);
+    best = std::min(best, b.cut());
+  }
+  EXPECT_EQ(best, optimal);
+}
+
+TEST(Fm, RejectsImbalancedInput) {
+  const Graph g = make_cycle(10);
+  Bisection b(g, std::vector<std::uint8_t>(10, 0));
+  EXPECT_THROW(fm_refine(b), std::invalid_argument);
+}
+
+TEST(Fm, HonorsWiderTolerance) {
+  Rng rng(3);
+  const Graph g = make_gnp(40, 0.15, rng);
+  std::vector<std::uint8_t> sides(40, 0);
+  for (int i = 0; i < 18; ++i) sides[static_cast<std::size_t>(i)] = 1;
+  Bisection b(g, std::move(sides));  // imbalance 4
+  FmOptions options;
+  options.balance_tolerance = 4;
+  fm_refine(b, options);
+  EXPECT_LE(b.count_imbalance(), 4u);
+}
+
+TEST(Fm, MaxPassesRespected) {
+  Rng rng(4);
+  const Graph g = make_gnp(100, 0.08, rng);
+  Bisection b = Bisection::random(g, rng);
+  FmOptions options;
+  options.max_passes = 1;
+  EXPECT_EQ(fm_refine(b, options).passes, 1u);
+}
+
+TEST(Fm, EdgelessAndTiny) {
+  Rng rng(5);
+  GraphBuilder builder(6);
+  const Graph g = builder.build();
+  Bisection b = Bisection::random(g, rng);
+  fm_refine(b);
+  EXPECT_EQ(b.cut(), 0);
+
+  const Graph g2 = make_path(2);
+  Bisection b2 = Bisection::random(g2, rng);
+  fm_refine(b2);
+  EXPECT_EQ(b2.cut(), 1);
+}
+
+TEST(Fm, WeightedEdgesRespected) {
+  // Four heavy pairs chained by unit edges: the optimal bisection keeps
+  // every heavy pair intact and cuts only light edges.
+  GraphBuilder builder(8);
+  for (Vertex v = 0; v < 8; v += 2) builder.add_edge(v, v + 1, 100);
+  builder.add_edge(0, 2);
+  builder.add_edge(4, 6);
+  builder.add_edge(1, 5);
+  const Graph g = builder.build();
+  Rng rng(6);
+  Weight best = std::numeric_limits<Weight>::max();
+  for (int s = 0; s < 6; ++s) {
+    Bisection b = Bisection::random(g, rng);
+    fm_refine(b);
+    best = std::min(best, b.cut());
+  }
+  EXPECT_LE(best, 3);  // no heavy edge crosses
+}
+
+TEST(Fm, WeightBalanceMode) {
+  // Vertices of weight 3/1 mixed; weight balancing must hold the
+  // weight split even when counts drift.
+  Rng rng(7);
+  GraphBuilder builder(12);
+  for (Vertex v = 0; v < 12; ++v) {
+    builder.set_vertex_weight(v, v % 3 == 0 ? 3 : 1);
+  }
+  for (int e = 0; e < 30; ++e) {
+    const auto u = static_cast<Vertex>(rng.below(12));
+    const auto v = static_cast<Vertex>(rng.below(12));
+    if (u != v) builder.add_edge(u, v);
+  }
+  const Graph g = builder.build();
+
+  // Start from a weight-balanced split (weights: 4x3 + 8x1 = 20).
+  std::vector<std::uint8_t> sides(12, 0);
+  sides[0] = sides[3] = sides[6] = 1;  // 3+3+3 = 9
+  sides[1] = 1;                        // +1 = 10 vs 10
+  Bisection b(g, std::move(sides));
+  ASSERT_EQ(b.weight_imbalance(), 0);
+
+  FmOptions options;
+  options.balance = FmBalance::kWeight;
+  options.balance_tolerance = 2;
+  const Weight before = b.cut();
+  fm_refine(b, options);
+  EXPECT_LE(b.cut(), before);
+  EXPECT_LE(b.weight_imbalance(), 2);
+  EXPECT_EQ(b.cut(), b.recompute_cut());
+}
+
+TEST(Fm, WeightModeRejectsWeightImbalancedInput) {
+  GraphBuilder builder(4);
+  builder.set_vertex_weight(0, 10);
+  builder.add_edge(0, 1);
+  builder.add_edge(2, 3);
+  const Graph g = builder.build();
+  Bisection b(g, {0, 0, 1, 1});  // counts 2/2 but weights 11/2
+  FmOptions options;
+  options.balance = FmBalance::kWeight;
+  options.balance_tolerance = 1;
+  EXPECT_THROW(fm_refine(b, options), std::invalid_argument);
+}
+
+class FmProperty : public testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FmProperty, LegalOnRandomGraphs) {
+  const std::uint32_t n = GetParam();
+  Rng rng(n * 17 + 1);
+  const Graph g = make_gnp(n, 6.0 / n, rng);
+  Bisection b = Bisection::random(g, rng);
+  const Weight before = b.cut();
+  fm_refine(b);
+  EXPECT_LE(b.cut(), before);
+  EXPECT_LE(b.count_imbalance(), 1u);
+  ASSERT_EQ(b.cut(), b.recompute_cut());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FmProperty,
+                         testing::Values(16u, 33u, 64u, 128u, 257u));
+
+}  // namespace
+}  // namespace gbis

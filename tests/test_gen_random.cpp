@@ -1,0 +1,171 @@
+// Unit and property tests for the random graph models of paper section
+// IV: Gnp, G2set (planted), Gbreg (regular planted).
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "gbis/gen/gnp.hpp"
+#include "gbis/gen/planted.hpp"
+#include "gbis/gen/regular_planted.hpp"
+#include "gbis/graph/ops.hpp"
+#include "gbis/partition/bisection.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+namespace {
+
+TEST(Gnp, EdgeCountNearExpectation) {
+  Rng rng(1);
+  const std::uint32_t n = 2000;
+  const double p = 0.002;
+  const Graph g = make_gnp(n, p, rng);
+  const double expected = p * n * (n - 1) / 2.0;  // ~3998
+  EXPECT_TRUE(g.validate());
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+              6 * std::sqrt(expected));
+}
+
+TEST(Gnp, ExtremeProbabilities) {
+  Rng rng(2);
+  EXPECT_EQ(make_gnp(50, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(make_gnp(10, 1.0, rng).num_edges(), 45u);
+  EXPECT_THROW(make_gnp(10, 1.5, rng), std::invalid_argument);
+  EXPECT_THROW(make_gnp(10, -0.1, rng), std::invalid_argument);
+}
+
+TEST(Gnp, TinyGraphs) {
+  Rng rng(3);
+  EXPECT_EQ(make_gnp(0, 0.5, rng).num_vertices(), 0u);
+  EXPECT_EQ(make_gnp(1, 0.5, rng).num_edges(), 0u);
+}
+
+TEST(Gnp, PForDegree) {
+  EXPECT_DOUBLE_EQ(gnp_p_for_degree(101, 4.0), 0.04);
+  EXPECT_THROW(gnp_p_for_degree(1, 1.0), std::invalid_argument);
+  EXPECT_THROW(gnp_p_for_degree(10, 100.0), std::invalid_argument);
+}
+
+TEST(Gnp, DeterministicUnderSeed) {
+  Rng a(77), b(77);
+  const Graph ga = make_gnp(300, 0.01, a);
+  const Graph gb = make_gnp(300, 0.01, b);
+  EXPECT_EQ(ga.edges(), gb.edges());
+}
+
+TEST(Planted, ExactCrossEdgeCount) {
+  Rng rng(4);
+  const PlantedParams params{200, 0.05, 0.05, 37};
+  const Graph g = make_planted(params, rng);
+  EXPECT_TRUE(g.validate());
+  const Bisection planted = Bisection::planted(g);
+  EXPECT_EQ(planted.cut(), 37);
+}
+
+TEST(Planted, PlantedCutBoundsOptimal) {
+  // The planted split is an upper bound on the bisection width.
+  Rng rng(5);
+  const PlantedParams params{100, 0.2, 0.2, 5};
+  const Graph g = make_planted(params, rng);
+  EXPECT_EQ(Bisection::planted(g).cut(), 5);
+}
+
+TEST(Planted, AsymmetricSides) {
+  Rng rng(6);
+  const PlantedParams params{400, 0.3, 0.01, 10};
+  const Graph g = make_planted(params, rng);
+  // Side A (dense) should have far more internal edges than side B.
+  std::uint64_t in_a = 0, in_b = 0;
+  for (const Edge& e : g.edges()) {
+    if (e.u < 200 && e.v < 200) ++in_a;
+    if (e.u >= 200 && e.v >= 200) ++in_b;
+  }
+  EXPECT_GT(in_a, 4 * in_b);
+}
+
+TEST(Planted, ParameterValidation) {
+  Rng rng(7);
+  EXPECT_THROW(make_planted({3, 0.5, 0.5, 0}, rng), std::invalid_argument);
+  EXPECT_THROW(make_planted({10, 1.5, 0.5, 0}, rng), std::invalid_argument);
+  EXPECT_THROW(make_planted({10, 0.5, 0.5, 26}, rng), std::invalid_argument);
+}
+
+TEST(Planted, ParamsForDegree) {
+  const PlantedParams p = planted_params_for_degree(1000, 3.0, 50);
+  // Expected edges: 1000*3/2 = 1500; cross 50; internal 1450 over
+  // 2 * C(500,2) pairs.
+  EXPECT_NEAR(p.p_a, 1450.0 / (2 * 500 * 499 / 2.0), 1e-12);
+  EXPECT_EQ(p.bis, 50u);
+  Rng rng(8);
+  const Graph g = make_planted(p, rng);
+  EXPECT_NEAR(g.average_degree(), 3.0, 0.3);
+  EXPECT_THROW(planted_params_for_degree(100, 0.1, 1000),
+               std::invalid_argument);
+}
+
+TEST(Planted, PlantedSidesHelper) {
+  const auto sides = planted_sides(6);
+  EXPECT_EQ(sides[0], 0);
+  EXPECT_EQ(sides[2], 0);
+  EXPECT_EQ(sides[3], 1);
+  EXPECT_EQ(sides[5], 1);
+}
+
+TEST(RegularPlanted, ParamValidation) {
+  // Requirements: even two_n >= 4, 1 <= d < n, b <= n*d, n*d - b even.
+  EXPECT_TRUE(regular_planted_params_valid({100, 4, 3}));    // 150-4 even
+  EXPECT_FALSE(regular_planted_params_valid({100, 3, 3}));   // parity
+  EXPECT_FALSE(regular_planted_params_valid({100, 0, 60}));  // d >= n
+  EXPECT_FALSE(regular_planted_params_valid({100, 0, 0}));   // d < 1
+  EXPECT_FALSE(regular_planted_params_valid({101, 0, 3}));   // odd two_n
+  EXPECT_FALSE(regular_planted_params_valid({100, 200, 3}));  // b > n*d
+}
+
+TEST(RegularPlanted, BuildsRegularSimpleGraph) {
+  Rng rng(9);
+  for (std::uint32_t d : {2u, 3u, 4u, 5u}) {
+    // Per side n = 100, so n*d is even for every d; any even b works.
+    const RegularPlantedParams params{200, 8, d};
+    ASSERT_TRUE(regular_planted_params_valid(params));
+    const Graph g = make_regular_planted(params, rng);
+    EXPECT_TRUE(g.validate());
+    EXPECT_TRUE(is_regular(g, d)) << "d=" << d;
+    EXPECT_EQ(g.num_edges(), 100ull * d);
+  }
+}
+
+TEST(RegularPlanted, PlantedCutIsExactlyB) {
+  Rng rng(10);
+  const RegularPlantedParams params{300, 16, 4};
+  const Graph g = make_regular_planted(params, rng);
+  EXPECT_EQ(Bisection::planted(g).cut(), 16);
+}
+
+TEST(RegularPlanted, DegreeTwoIsUnionOfCycles) {
+  Rng rng(11);
+  const RegularPlantedParams params{200, 4, 2};
+  const Graph g = make_regular_planted(params, rng);
+  EXPECT_TRUE(is_regular(g, 2));
+  EXPECT_TRUE(is_union_of_cycles(g));
+}
+
+TEST(RegularPlanted, ZeroCrossEdgesDisconnectsHalves) {
+  Rng rng(12);
+  const RegularPlantedParams params{120, 0, 3};
+  ASSERT_TRUE(regular_planted_params_valid(params));  // 180 even
+  const Graph g = make_regular_planted(params, rng);
+  EXPECT_EQ(Bisection::planted(g).cut(), 0);
+  for (const Edge& e : g.edges()) {
+    EXPECT_EQ(e.u < 60, e.v < 60) << "cross edge found";
+  }
+}
+
+TEST(RegularPlanted, InvalidParamsThrow) {
+  Rng rng(13);
+  EXPECT_THROW(make_regular_planted({100, 3, 3}, rng), std::invalid_argument);
+  EXPECT_THROW(make_regular_planted({10, 0, 7}, rng), std::invalid_argument);
+  EXPECT_THROW(make_regular_planted({5, 0, 2}, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gbis

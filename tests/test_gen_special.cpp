@@ -1,0 +1,157 @@
+// Unit tests for the deterministic graph families: sizes, degrees, and
+// family-defining structure.
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "gbis/gen/special.hpp"
+#include "gbis/graph/ops.hpp"
+
+namespace gbis {
+namespace {
+
+TEST(Special, Path) {
+  const Graph g = make_path(6);
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(is_forest(g));
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(3), 2u);
+  EXPECT_THROW(make_path(0), std::invalid_argument);
+}
+
+TEST(Special, SingleVertexPath) {
+  const Graph g = make_path(1);
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Special, Cycle) {
+  const Graph g = make_cycle(7);
+  EXPECT_EQ(g.num_edges(), 7u);
+  EXPECT_TRUE(is_regular(g, 2));
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_THROW(make_cycle(2), std::invalid_argument);
+}
+
+TEST(Special, UnionOfCycles) {
+  const std::uint32_t sizes[] = {3, 5, 8};
+  const Graph g = make_union_of_cycles(sizes);
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_EQ(g.num_edges(), 16u);
+  EXPECT_TRUE(is_union_of_cycles(g));
+  EXPECT_EQ(connected_components(g).count, 3u);
+  const std::uint32_t bad[] = {2};
+  EXPECT_THROW(make_union_of_cycles(bad), std::invalid_argument);
+}
+
+TEST(Special, Ladder) {
+  const Graph g = make_ladder(5);
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.num_edges(), 13u);  // 5 rungs + 2*4 rails
+  EXPECT_TRUE(is_connected(g));
+  // Corner vertices have degree 2, inner degree 3.
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(4), 3u);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.max, 3u);
+}
+
+TEST(Special, LadderSingleRung) {
+  const Graph g = make_ladder(1);
+  EXPECT_EQ(g.num_vertices(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Special, CircularLadder) {
+  const Graph g = make_circular_ladder(6);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.num_edges(), 18u);
+  EXPECT_TRUE(is_regular(g, 3));
+  EXPECT_THROW(make_circular_ladder(2), std::invalid_argument);
+}
+
+TEST(Special, Grid) {
+  const Graph g = make_grid(4, 6);
+  EXPECT_EQ(g.num_vertices(), 24u);
+  // Edges: 4*5 horizontal + 3*6 vertical.
+  EXPECT_EQ(g.num_edges(), 38u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(0), 2u);       // corner
+  EXPECT_EQ(g.degree(1), 3u);       // border
+  EXPECT_EQ(g.degree(7), 4u);       // interior (1,1)
+}
+
+TEST(Special, DegenerateGrids) {
+  EXPECT_EQ(make_grid(1, 5).num_edges(), 4u);  // a path
+  EXPECT_EQ(make_grid(1, 1).num_edges(), 0u);
+}
+
+TEST(Special, Torus) {
+  const Graph g = make_torus(4, 5);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  EXPECT_EQ(g.num_edges(), 40u);
+  EXPECT_TRUE(is_regular(g, 4));
+  EXPECT_THROW(make_torus(2, 5), std::invalid_argument);
+}
+
+TEST(Special, BinaryTreeHeapShape) {
+  const Graph g = make_binary_tree(10);
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_TRUE(is_forest(g));
+  EXPECT_TRUE(is_connected(g));
+  // Root 0 connects to 1 and 2; vertex 4's parent is 1.
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(1, 4));
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(Special, CompleteBinaryTreeDegrees) {
+  const Graph g = make_binary_tree(15);  // complete, depth 3
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.max, 3u);
+  EXPECT_EQ(s.min, 1u);
+}
+
+TEST(Special, Caterpillar) {
+  const Graph g = make_caterpillar(4, 2);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.num_edges(), 11u);
+  EXPECT_TRUE(is_forest(g));
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Special, Hypercube) {
+  const Graph g = make_hypercube(4);
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_EQ(g.num_edges(), 32u);
+  EXPECT_TRUE(is_regular(g, 4));
+  EXPECT_THROW(make_hypercube(21), std::invalid_argument);
+}
+
+TEST(Special, HypercubeDimZero) {
+  const Graph g = make_hypercube(0);
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Special, Complete) {
+  const Graph g = make_complete(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_TRUE(is_regular(g, 5));
+}
+
+TEST(Special, CompleteBipartite) {
+  const Graph g = make_complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_vertices(), 7u);
+  EXPECT_EQ(g.num_edges(), 12u);
+  // No edges within side A.
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 3));
+}
+
+}  // namespace
+}  // namespace gbis

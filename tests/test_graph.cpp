@@ -1,0 +1,249 @@
+// Unit tests for the graph substrate: builder semantics, CSR
+// invariants, and structural operations.
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "gbis/gen/special.hpp"
+#include "gbis/graph/builder.hpp"
+#include "gbis/graph/graph.hpp"
+#include "gbis/graph/ops.hpp"
+
+namespace gbis {
+namespace {
+
+Graph triangle() {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  return b.build();
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.validate());
+  EXPECT_DOUBLE_EQ(g.average_degree(), 0.0);
+}
+
+TEST(Graph, VerticesWithoutEdges) {
+  GraphBuilder b(5);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (Vertex v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 0u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Graph, TriangleBasics) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.validate());
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_EQ(g.edge_weight(0, 1), 1);
+  EXPECT_EQ(g.edge_weight(0, 2), 1);
+  EXPECT_EQ(g.total_edge_weight(), 3);
+  EXPECT_EQ(g.total_vertex_weight(), 3);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 2.0);
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  GraphBuilder b(6);
+  b.add_edge(3, 5);
+  b.add_edge(3, 1);
+  b.add_edge(3, 4);
+  b.add_edge(3, 0);
+  const Graph g = b.build();
+  const auto nbrs = g.neighbors(3);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_EQ(nbrs[0], 0u);
+  EXPECT_EQ(nbrs[1], 1u);
+  EXPECT_EQ(nbrs[2], 4u);
+  EXPECT_EQ(nbrs[3], 5u);
+}
+
+TEST(Graph, ParallelEdgesMergeWeights) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 2);
+  b.add_edge(1, 0, 3);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edge_weight(0, 1), 5);
+  EXPECT_EQ(g.total_edge_weight(), 5);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Graph, EdgesListsEachEdgeOnceOrdered) {
+  const Graph g = triangle();
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (Edge{0, 1, 1}));
+  EXPECT_EQ(edges[1], (Edge{0, 2, 1}));
+  EXPECT_EQ(edges[2], (Edge{1, 2, 1}));
+}
+
+TEST(Graph, VertexWeights) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.set_vertex_weight(1, 4);
+  const Graph g = b.build();
+  EXPECT_EQ(g.vertex_weight(0), 1);
+  EXPECT_EQ(g.vertex_weight(1), 4);
+  EXPECT_EQ(g.total_vertex_weight(), 6);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Graph, WeightedDegree) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 2);
+  b.add_edge(0, 2, 5);
+  const Graph g = b.build();
+  EXPECT_EQ(g.weighted_degree(0), 7);
+  EXPECT_EQ(g.weighted_degree(1), 2);
+}
+
+TEST(GraphBuilder, RejectsSelfLoop) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(GraphBuilder, DropsSelfLoopWhenConfigured) {
+  GraphBuilder b(3, GraphBuilder::SelfLoops::kDrop);
+  b.add_edge(1, 1);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilder, RejectsOutOfRangeEndpoint) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(7, 0), std::invalid_argument);
+}
+
+TEST(GraphBuilder, RejectsNonPositiveWeights) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(0, 1, -2), std::invalid_argument);
+  EXPECT_THROW(b.set_vertex_weight(0, 0), std::invalid_argument);
+  EXPECT_THROW(b.set_vertex_weight(5, 1), std::invalid_argument);
+}
+
+TEST(GraphBuilder, ReusableAfterBuild) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  const Graph g1 = b.build();
+  EXPECT_EQ(g1.num_edges(), 1u);
+  const Graph g2 = b.build();  // builder was reset
+  EXPECT_EQ(g2.num_edges(), 0u);
+  EXPECT_EQ(g2.num_vertices(), 2u);
+}
+
+TEST(Ops, ConnectedComponentsOnUnion) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  const Graph g = b.build();  // {0,1,2}, {3,4}, {5}
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 3u);
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_EQ(c.label[1], c.label[2]);
+  EXPECT_EQ(c.label[3], c.label[4]);
+  EXPECT_NE(c.label[0], c.label[3]);
+  EXPECT_NE(c.label[0], c.label[5]);
+  const auto sizes = c.sizes();
+  EXPECT_EQ(sizes[c.label[0]], 3u);
+  EXPECT_EQ(sizes[c.label[3]], 2u);
+  EXPECT_EQ(sizes[c.label[5]], 1u);
+}
+
+TEST(Ops, IsConnected) {
+  EXPECT_TRUE(is_connected(triangle()));
+  EXPECT_TRUE(is_connected(Graph{}));
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  EXPECT_FALSE(is_connected(b.build()));
+}
+
+TEST(Ops, BfsDistancesOnPath) {
+  const Graph g = make_path(5);
+  const auto dist = bfs_distances(g, 0);
+  for (std::uint32_t v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+  EXPECT_THROW(bfs_distances(g, 9), std::out_of_range);
+}
+
+TEST(Ops, BfsUnreachable) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const auto dist = bfs_distances(b.build(), 0);
+  EXPECT_EQ(dist[2], kUnreachable);
+}
+
+TEST(Ops, DegreeStats) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  const Graph g = b.build();  // star
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 3u);
+  EXPECT_DOUBLE_EQ(s.average, 1.5);
+}
+
+TEST(Ops, IsRegular) {
+  EXPECT_TRUE(is_regular(triangle(), 2));
+  EXPECT_FALSE(is_regular(triangle(), 3));
+  EXPECT_TRUE(is_regular(make_cycle(8), 2));
+  EXPECT_FALSE(is_regular(make_path(5), 2));
+}
+
+TEST(Ops, InducedSubgraph) {
+  const Graph g = make_cycle(6);
+  const Vertex keep[] = {0, 1, 2, 5};
+  const Graph sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.num_vertices(), 4u);
+  // Edges kept: (0,1), (1,2), (5,0) -> remapped (3,0).
+  EXPECT_EQ(sub.num_edges(), 3u);
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_TRUE(sub.has_edge(1, 2));
+  EXPECT_TRUE(sub.has_edge(0, 3));
+  EXPECT_TRUE(sub.validate());
+}
+
+TEST(Ops, InducedSubgraphRejectsBadInput) {
+  const Graph g = make_cycle(4);
+  const Vertex dup[] = {0, 0};
+  EXPECT_THROW(induced_subgraph(g, dup), std::invalid_argument);
+  const Vertex oob[] = {0, 9};
+  EXPECT_THROW(induced_subgraph(g, oob), std::out_of_range);
+}
+
+TEST(Ops, UnionOfCyclesDetection) {
+  EXPECT_TRUE(is_union_of_cycles(make_cycle(5)));
+  const std::uint32_t sizes[] = {3, 4, 5};
+  EXPECT_TRUE(is_union_of_cycles(make_union_of_cycles(sizes)));
+  EXPECT_FALSE(is_union_of_cycles(make_path(4)));
+  EXPECT_FALSE(is_union_of_cycles(Graph{}));
+}
+
+TEST(Ops, ForestDetection) {
+  EXPECT_TRUE(is_forest(make_path(7)));
+  EXPECT_TRUE(is_forest(make_binary_tree(15)));
+  EXPECT_FALSE(is_forest(make_cycle(4)));
+  GraphBuilder b(5);  // two disjoint trees
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  EXPECT_TRUE(is_forest(b.build()));
+}
+
+}  // namespace
+}  // namespace gbis

@@ -1,0 +1,136 @@
+// Tests for hypergraph matching, contraction, and the compacted FM
+// pipeline.
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gbis/hypergraph/builder.hpp"
+#include "gbis/hypergraph/contract_hyper.hpp"
+#include "gbis/hypergraph/netlist_gen.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+namespace {
+
+TEST(HyperMatching, MaximalAndDisjoint) {
+  Rng rng(1);
+  const NetlistParams params{120, 180, 1.0};
+  const Hypergraph h = make_random_netlist(params, rng);
+  for (HyperMatchPolicy policy :
+       {HyperMatchPolicy::kRandom, HyperMatchPolicy::kHeavyConnectivity}) {
+    const HyperMatching m = hyper_matching(h, rng, policy);
+    EXPECT_TRUE(is_hyper_matching(h, m));
+    // Maximality: every unmatched cell has no unmatched co-pin cell.
+    std::vector<std::uint8_t> seen(h.num_cells(), 0);
+    for (const auto& [a, b] : m) seen[a] = seen[b] = 1;
+    for (Cell c = 0; c < h.num_cells(); ++c) {
+      if (seen[c]) continue;
+      for (Net n : h.nets_of(c)) {
+        for (Cell u : h.pins(n)) {
+          EXPECT_TRUE(u == c || seen[u])
+              << "cells " << c << " and " << u << " both free on net " << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(HyperMatching, ValidatorRejectsBadPairs) {
+  HypergraphBuilder b(4);
+  b.add_net(std::vector<Cell>{0, 1});
+  b.add_net(std::vector<Cell>{2, 3});
+  const Hypergraph h = b.build();
+  EXPECT_TRUE(is_hyper_matching(h, {{0, 1}, {2, 3}}));
+  EXPECT_FALSE(is_hyper_matching(h, {{0, 2}}));        // no shared net
+  EXPECT_FALSE(is_hyper_matching(h, {{0, 0}}));        // self
+  EXPECT_FALSE(is_hyper_matching(h, {{0, 1}, {1, 2}}));  // reuse
+  EXPECT_FALSE(is_hyper_matching(h, {{0, 9}}));        // range
+}
+
+TEST(HyperContract, CollapsedNetsVanish) {
+  HypergraphBuilder b(4);
+  b.add_net(std::vector<Cell>{0, 1});      // contracted away
+  b.add_net(std::vector<Cell>{0, 1, 2});   // shrinks to 2 pins
+  b.add_net(std::vector<Cell>{2, 3});
+  const Hypergraph h = b.build();
+  Rng rng(2);
+  const HyperContraction c = contract_hyper(h, {{0, 1}}, rng,
+                                            /*pair_leftovers=*/false);
+  EXPECT_EQ(c.coarse.num_cells(), 3u);
+  EXPECT_EQ(c.coarse.num_nets(), 2u);  // net {0,1} vanished
+  EXPECT_EQ(c.coarse.total_cell_weight(), 4);
+  EXPECT_TRUE(c.coarse.validate());
+}
+
+TEST(HyperContract, IdenticalNetsMergeWeights) {
+  HypergraphBuilder b(4);
+  b.add_net(std::vector<Cell>{0, 2}, 3);
+  b.add_net(std::vector<Cell>{1, 2}, 5);  // same as {0,2} after {0,1} merge
+  b.add_net(std::vector<Cell>{0, 1});     // the matching net
+  const Hypergraph h = b.build();
+  Rng rng(3);
+  const HyperContraction c = contract_hyper(h, {{0, 1}}, rng, false);
+  EXPECT_EQ(c.coarse.num_nets(), 1u);
+  EXPECT_EQ(c.coarse.net_weight(0), 8);  // 3 + 5 merged
+}
+
+TEST(HyperContract, ProjectionPreservesCut) {
+  Rng rng(4);
+  const NetlistParams params{100, 150, 1.2};
+  const Hypergraph h = make_random_netlist(params, rng);
+  const HyperMatching m = hyper_matching(h, rng);
+  const HyperContraction c = contract_hyper(h, m, rng);
+  for (int trial = 0; trial < 5; ++trial) {
+    const HyperBisection coarse = HyperBisection::random(c.coarse, rng);
+    const HyperBisection fine(h, c.project(coarse.sides()));
+    ASSERT_EQ(coarse.cut(), fine.cut()) << "trial " << trial;
+  }
+}
+
+TEST(HyperContract, RejectsNonMatching) {
+  HypergraphBuilder b(4);
+  b.add_net(std::vector<Cell>{0, 1});
+  const Hypergraph h = b.build();
+  Rng rng(5);
+  EXPECT_THROW(contract_hyper(h, {{0, 2}}, rng), std::invalid_argument);
+}
+
+TEST(HyperRebalance, RestoresBalance) {
+  Rng rng(6);
+  const NetlistParams params{40, 60, 1.0};
+  const Hypergraph h = make_random_netlist(params, rng);
+  HyperBisection b(h, std::vector<std::uint8_t>(40, 0));
+  const std::uint32_t moved = hyper_rebalance(b);
+  EXPECT_EQ(moved, 20u);
+  EXPECT_TRUE(b.is_balanced());
+  EXPECT_EQ(b.cut(), b.recompute_cut());
+}
+
+TEST(HyperCompaction, EndToEndLegalAndConsistent) {
+  Rng rng(7);
+  const NetlistParams params{300, 450, 1.0};
+  const Hypergraph h = make_planted_netlist(params, 10, rng);
+  HyperCompactionStats stats;
+  const HyperBisection b = compacted_hyper_fm(h, rng, {}, &stats);
+  EXPECT_TRUE(b.is_balanced());
+  EXPECT_EQ(b.cut(), b.recompute_cut());
+  EXPECT_EQ(stats.coarse_cut, stats.projected_cut);
+  EXPECT_LE(stats.final_cut, 10 + 8);  // near the planted cross count
+  EXPECT_EQ(stats.coarse_cells, 150u);
+}
+
+TEST(HyperCompaction, HeavyConnectivityPolicy) {
+  Rng rng(8);
+  const NetlistParams params{200, 300, 1.0};
+  const Hypergraph h = make_random_netlist(params, rng);
+  HyperCompactionOptions options;
+  options.match_policy = HyperMatchPolicy::kHeavyConnectivity;
+  const HyperBisection b = compacted_hyper_fm(h, rng, options);
+  EXPECT_TRUE(b.is_balanced());
+}
+
+}  // namespace
+}  // namespace gbis

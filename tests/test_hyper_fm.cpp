@@ -1,0 +1,162 @@
+// Tests for Fiduccia-Mattheyses on hypergraphs: invariants, optimality
+// on planted netlists, and agreement with exhaustive search on tiny
+// instances.
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gbis/hypergraph/builder.hpp"
+#include "gbis/hypergraph/fm_hyper.hpp"
+#include "gbis/hypergraph/netlist_gen.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+namespace {
+
+/// Exhaustive minimum balanced net cut for tiny hypergraphs.
+Weight brute_net_cut(const Hypergraph& h) {
+  const std::uint32_t n = h.num_cells();
+  const std::uint32_t k = n / 2;
+  Weight best = std::numeric_limits<Weight>::max();
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if (static_cast<std::uint32_t>(__builtin_popcount(mask)) != k) continue;
+    std::vector<std::uint8_t> sides(n);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      sides[v] = static_cast<std::uint8_t>((mask >> v) & 1u);
+    }
+    best = std::min(best, HyperBisection(h, std::move(sides)).cut());
+  }
+  return best;
+}
+
+TEST(HyperFm, NeverWorsensAndKeepsBalance) {
+  Rng rng(1);
+  for (int trial = 0; trial < 8; ++trial) {
+    const NetlistParams params{60, 90, 1.0};
+    const Hypergraph h = make_random_netlist(params, rng);
+    HyperBisection b = HyperBisection::random(h, rng);
+    const Weight before = b.cut();
+    const HyperFmStats stats = hyper_fm_refine(b);
+    EXPECT_LE(b.cut(), before);
+    EXPECT_LE(b.count_imbalance(), 1u);
+    EXPECT_EQ(b.cut(), b.recompute_cut());
+    EXPECT_EQ(stats.final_cut, b.cut());
+    EXPECT_GE(stats.passes, 1u);
+  }
+}
+
+TEST(HyperFm, MatchesBruteForceOnTinyNetlists) {
+  Rng rng(2);
+  for (int trial = 0; trial < 12; ++trial) {
+    const NetlistParams params{10, 14, 1.0};
+    const Hypergraph h = make_random_netlist(params, rng);
+    const Weight optimal = brute_net_cut(h);
+    Weight best = std::numeric_limits<Weight>::max();
+    for (int start = 0; start < 6; ++start) {
+      HyperBisection b = HyperBisection::random(h, rng);
+      hyper_fm_refine(b);
+      best = std::min(best, b.cut());
+    }
+    EXPECT_GE(best, optimal) << "trial " << trial;   // sanity
+    EXPECT_LE(best, optimal + 1) << "trial " << trial;
+  }
+}
+
+TEST(HyperFm, RecoversPlantedNetlistCut) {
+  Rng rng(3);
+  const NetlistParams params{400, 600, 1.0};
+  const Hypergraph h = make_planted_netlist(params, 12, rng);
+  Weight best = std::numeric_limits<Weight>::max();
+  for (int start = 0; start < 2; ++start) {
+    HyperBisection b = HyperBisection::random(h, rng);
+    hyper_fm_refine(b);
+    best = std::min(best, b.cut());
+  }
+  EXPECT_LE(best, 12 + 6);  // at or near the planted cross-net count
+}
+
+TEST(HyperFm, RejectsImbalancedInput) {
+  Rng rng(4);
+  const NetlistParams params{20, 30, 1.0};
+  const Hypergraph h = make_random_netlist(params, rng);
+  HyperBisection b(h, std::vector<std::uint8_t>(20, 0));
+  EXPECT_THROW(hyper_fm_refine(b), std::invalid_argument);
+}
+
+TEST(HyperFm, MaxPassesRespected) {
+  Rng rng(5);
+  const NetlistParams params{80, 120, 1.0};
+  const Hypergraph h = make_random_netlist(params, rng);
+  HyperBisection b = HyperBisection::random(h, rng);
+  HyperFmOptions options;
+  options.max_passes = 1;
+  EXPECT_EQ(hyper_fm_refine(b, options).passes, 1u);
+}
+
+TEST(HyperFm, WeightedNetsRespected) {
+  // Heavy 2-pin nets pair cells (0,1), (2,3), (4,5), (6,7); unit nets
+  // chain the pairs. Optimal cut crosses only unit nets.
+  HypergraphBuilder builder(8);
+  for (Cell c = 0; c < 8; c += 2) {
+    builder.add_net(std::vector<Cell>{c, static_cast<Cell>(c + 1)}, 50);
+  }
+  builder.add_net(std::vector<Cell>{0, 2});
+  builder.add_net(std::vector<Cell>{4, 6});
+  builder.add_net(std::vector<Cell>{1, 5});
+  const Hypergraph h = builder.build();
+  Rng rng(6);
+  Weight best = std::numeric_limits<Weight>::max();
+  for (int s = 0; s < 6; ++s) {
+    HyperBisection b = HyperBisection::random(h, rng);
+    hyper_fm_refine(b);
+    best = std::min(best, b.cut());
+  }
+  EXPECT_LE(best, 3);
+}
+
+TEST(HyperFm, WideNetsHandled) {
+  // One net covering everything (always cut) plus structure: FM should
+  // still find the obvious split of the 2-pin nets.
+  HypergraphBuilder builder(8);
+  std::vector<Cell> all;
+  for (Cell c = 0; c < 8; ++c) all.push_back(c);
+  builder.add_net(all, 10);
+  for (Cell c = 0; c + 1 < 4; ++c) {
+    builder.add_net(std::vector<Cell>{c, static_cast<Cell>(c + 1)});
+    builder.add_net(
+        std::vector<Cell>{static_cast<Cell>(c + 4), static_cast<Cell>(c + 5)});
+  }
+  const Hypergraph h = builder.build();
+  Rng rng(7);
+  Weight best = std::numeric_limits<Weight>::max();
+  for (int s = 0; s < 4; ++s) {
+    HyperBisection b = HyperBisection::random(h, rng);
+    hyper_fm_refine(b);
+    best = std::min(best, b.cut());
+  }
+  EXPECT_EQ(best, 10);  // only the all-net is cut
+}
+
+class HyperFmProperty : public testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(HyperFmProperty, LegalOnRandomNetlists) {
+  const std::uint32_t cells = GetParam();
+  Rng rng(cells * 11 + 1);
+  const NetlistParams params{cells, cells * 3 / 2, 1.5};
+  const Hypergraph h = make_random_netlist(params, rng);
+  HyperBisection b = HyperBisection::random(h, rng);
+  const Weight before = b.cut();
+  hyper_fm_refine(b);
+  EXPECT_LE(b.cut(), before);
+  EXPECT_LE(b.count_imbalance(), 1u);
+  ASSERT_EQ(b.cut(), b.recompute_cut());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HyperFmProperty,
+                         testing::Values(16u, 33u, 64u, 129u, 256u));
+
+}  // namespace
+}  // namespace gbis

@@ -1,0 +1,73 @@
+// Tests for multilevel hypergraph FM.
+#include <algorithm>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "gbis/hypergraph/fm_hyper.hpp"
+#include "gbis/hypergraph/multilevel_hyper.hpp"
+#include "gbis/hypergraph/netlist_gen.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+namespace {
+
+TEST(HyperMultilevel, LegalAndConsistent) {
+  Rng rng(1);
+  const NetlistParams params{600, 900, 1.0};
+  const Hypergraph h = make_planted_netlist(params, 12, rng);
+  HyperMultilevelStats stats;
+  const HyperBisection b = multilevel_hyper_fm(h, rng, {}, &stats);
+  EXPECT_TRUE(b.is_balanced());
+  EXPECT_EQ(b.cut(), b.recompute_cut());
+  EXPECT_EQ(stats.final_cut, b.cut());
+  EXPECT_GT(stats.levels, 0u);
+  EXPECT_LE(stats.coarsest_cells, 600u);
+}
+
+TEST(HyperMultilevel, RecoversPlantedCut) {
+  Rng rng(2);
+  const NetlistParams params{800, 1200, 1.0};
+  const Hypergraph h = make_planted_netlist(params, 10, rng);
+  Weight best = std::numeric_limits<Weight>::max();
+  for (int s = 0; s < 2; ++s) {
+    best = std::min(best, multilevel_hyper_fm(h, rng).cut());
+  }
+  EXPECT_LE(best, 10 + 5);
+}
+
+TEST(HyperMultilevel, SmallNetlistSkipsCoarsening) {
+  Rng rng(3);
+  const NetlistParams params{40, 60, 1.0};
+  const Hypergraph h = make_random_netlist(params, rng);
+  HyperMultilevelStats stats;
+  multilevel_hyper_fm(h, rng, {}, &stats);
+  EXPECT_EQ(stats.levels, 0u);
+}
+
+TEST(HyperMultilevel, NoWorseThanSingleLevelOnAverage) {
+  Rng rng(4);
+  double single_total = 0, multi_total = 0;
+  for (int trial = 0; trial < 4; ++trial) {
+    const NetlistParams params{500, 750, 1.0};
+    const Hypergraph h = make_planted_netlist(params, 16, rng);
+    HyperBisection single = HyperBisection::random(h, rng);
+    hyper_fm_refine(single);
+    single_total += static_cast<double>(single.cut());
+    multi_total += static_cast<double>(multilevel_hyper_fm(h, rng).cut());
+  }
+  EXPECT_LE(multi_total, single_total + 8);
+}
+
+TEST(HyperMultilevel, HeavyConnectivityPolicy) {
+  Rng rng(5);
+  const NetlistParams params{300, 450, 1.2};
+  const Hypergraph h = make_random_netlist(params, rng);
+  HyperMultilevelOptions options;
+  options.match_policy = HyperMatchPolicy::kHeavyConnectivity;
+  const HyperBisection b = multilevel_hyper_fm(h, rng, options);
+  EXPECT_TRUE(b.is_balanced());
+}
+
+}  // namespace
+}  // namespace gbis

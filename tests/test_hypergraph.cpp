@@ -1,0 +1,169 @@
+// Unit and property tests for the hypergraph substrate: builder
+// semantics, dual-CSR invariants, and the HyperBisection state.
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gbis/hypergraph/builder.hpp"
+#include "gbis/hypergraph/hyper_bisection.hpp"
+#include "gbis/hypergraph/hypergraph.hpp"
+#include "gbis/hypergraph/netlist_gen.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+namespace {
+
+Hypergraph sample() {
+  // 5 cells, nets: {0,1,2}, {2,3}, {0,3,4}.
+  HypergraphBuilder b(5);
+  b.add_net(std::vector<Cell>{0, 1, 2});
+  b.add_net(std::vector<Cell>{2, 3});
+  b.add_net(std::vector<Cell>{0, 3, 4});
+  return b.build();
+}
+
+TEST(Hypergraph, BasicShape) {
+  const Hypergraph h = sample();
+  EXPECT_EQ(h.num_cells(), 5u);
+  EXPECT_EQ(h.num_nets(), 3u);
+  EXPECT_EQ(h.num_pins(), 8u);
+  EXPECT_TRUE(h.validate());
+  EXPECT_EQ(h.net_size(0), 3u);
+  EXPECT_EQ(h.net_size(1), 2u);
+  EXPECT_EQ(h.cell_degree(0), 2u);
+  EXPECT_EQ(h.cell_degree(4), 1u);
+  EXPECT_DOUBLE_EQ(h.average_net_size(), 8.0 / 3.0);
+}
+
+TEST(Hypergraph, PinAndMembershipListsSorted) {
+  const Hypergraph h = sample();
+  const auto pins = h.pins(2);  // net {0,3,4}
+  EXPECT_EQ(pins[0], 0u);
+  EXPECT_EQ(pins[1], 3u);
+  EXPECT_EQ(pins[2], 4u);
+  const auto nets = h.nets_of(3);  // nets 1 and 2
+  EXPECT_EQ(nets[0], 1u);
+  EXPECT_EQ(nets[1], 2u);
+}
+
+TEST(Hypergraph, EmptyHypergraph) {
+  const Hypergraph h;
+  EXPECT_EQ(h.num_cells(), 0u);
+  EXPECT_EQ(h.num_nets(), 0u);
+  EXPECT_TRUE(h.validate());
+}
+
+TEST(HypergraphBuilder, DuplicatePinsMerge) {
+  HypergraphBuilder b(4);
+  EXPECT_TRUE(b.add_net(std::vector<Cell>{1, 3, 1, 3, 2}));
+  const Hypergraph h = b.build();
+  EXPECT_EQ(h.net_size(0), 3u);
+}
+
+TEST(HypergraphBuilder, TrivialNetsDropped) {
+  HypergraphBuilder b(4);
+  EXPECT_FALSE(b.add_net(std::vector<Cell>{2}));
+  EXPECT_FALSE(b.add_net(std::vector<Cell>{2, 2, 2}));
+  EXPECT_EQ(b.build().num_nets(), 0u);
+}
+
+TEST(HypergraphBuilder, RejectsBadInput) {
+  HypergraphBuilder b(3);
+  EXPECT_THROW(b.add_net(std::vector<Cell>{0, 9}), std::invalid_argument);
+  EXPECT_THROW(b.add_net(std::vector<Cell>{0, 1}, 0), std::invalid_argument);
+  EXPECT_THROW(b.set_cell_weight(7, 1), std::invalid_argument);
+  EXPECT_THROW(b.set_cell_weight(0, 0), std::invalid_argument);
+}
+
+TEST(HypergraphBuilder, WeightsCarryThrough) {
+  HypergraphBuilder b(3);
+  b.add_net(std::vector<Cell>{0, 1}, 5);
+  b.set_cell_weight(2, 7);
+  const Hypergraph h = b.build();
+  EXPECT_EQ(h.net_weight(0), 5);
+  EXPECT_EQ(h.cell_weight(2), 7);
+  EXPECT_EQ(h.total_net_weight(), 5);
+  EXPECT_EQ(h.total_cell_weight(), 9);
+  EXPECT_TRUE(h.validate());
+}
+
+TEST(HyperBisection, CutCountsSpanningNets) {
+  const Hypergraph h = sample();
+  // Sides {0,1} vs {2,3,4}: net0 {0,1,2} spans, net1 {2,3} doesn't,
+  // net2 {0,3,4} spans.
+  HyperBisection b(h, {0, 0, 1, 1, 1});
+  EXPECT_EQ(b.cut(), 2);
+  EXPECT_EQ(b.recompute_cut(), 2);
+  EXPECT_EQ(b.pins_on_side(0, 0), 2u);
+  EXPECT_EQ(b.pins_on_side(0, 1), 1u);
+  EXPECT_TRUE(b.validate());
+}
+
+TEST(HyperBisection, RejectsBadSides) {
+  const Hypergraph h = sample();
+  EXPECT_THROW(HyperBisection(h, {0, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(HyperBisection(h, {0, 0, 1, 1, 2}), std::invalid_argument);
+}
+
+TEST(HyperBisection, GainMatchesDefinition) {
+  const Hypergraph h = sample();
+  HyperBisection b(h, {0, 0, 1, 1, 1});
+  // Moving cell 2 to side 0: net0 becomes uncut (+1), net1 becomes cut
+  // (-1): gain 0.
+  EXPECT_EQ(b.gain(2), 0);
+  // Moving cell 1 to side 1: net0 stays cut (phi becomes 1/2): gain 0.
+  EXPECT_EQ(b.gain(1), 0);
+  // Moving cell 4 to side 0: net2 {0,3,4} still spans (3 remains): 0.
+  EXPECT_EQ(b.gain(4), 0);
+  // Moving cell 3 to side 0: net1 {2,3} becomes cut (-1), net2 {0,3,4}
+  // still spans: -1.
+  EXPECT_EQ(b.gain(3), -1);
+}
+
+TEST(HyperBisection, MoveMatchesGain) {
+  const Hypergraph h = sample();
+  HyperBisection b(h, {0, 1, 1, 0, 0});
+  for (Cell c = 0; c < 5; ++c) {
+    HyperBisection copy = b;
+    const Weight gain = copy.gain(c);
+    const Weight before = copy.cut();
+    copy.move(c);
+    EXPECT_EQ(copy.cut(), before - gain) << "cell " << c;
+    EXPECT_TRUE(copy.validate());
+  }
+}
+
+TEST(HyperBisection, RandomIsBalanced) {
+  Rng rng(1);
+  const NetlistParams params{101, 150, 1.0};
+  const Hypergraph h = make_random_netlist(params, rng);
+  const HyperBisection b = HyperBisection::random(h, rng);
+  EXPECT_LE(b.count_imbalance(), 1u);
+  EXPECT_TRUE(b.validate());
+}
+
+class HyperMoveProperty : public testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(HyperMoveProperty, IncrementalCutAlwaysConsistent) {
+  const std::uint32_t cells = GetParam();
+  Rng rng(cells * 7 + 3);
+  const NetlistParams params{cells, cells * 3 / 2, 1.5};
+  const Hypergraph h = make_random_netlist(params, rng);
+  HyperBisection b = HyperBisection::random(h, rng);
+  for (int step = 0; step < 150; ++step) {
+    const auto c = static_cast<Cell>(rng.below(cells));
+    const Weight gain = b.gain(c);
+    const Weight before = b.cut();
+    b.move(c);
+    ASSERT_EQ(b.cut(), before - gain) << "step " << step;
+    ASSERT_EQ(b.cut(), b.recompute_cut()) << "step " << step;
+  }
+  EXPECT_TRUE(b.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HyperMoveProperty,
+                         testing::Values(10u, 25u, 60u, 128u));
+
+}  // namespace
+}  // namespace gbis

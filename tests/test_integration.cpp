@@ -1,0 +1,154 @@
+// Integration tests: end-to-end behaviour across modules, asserting
+// the paper's qualitative claims at test-friendly scale.
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "gbis/gen/gnp.hpp"
+
+#include "gbis/core/compaction.hpp"
+#include "gbis/exact/cycles.hpp"
+#include "gbis/exact/tree.hpp"
+#include "gbis/gen/planted.hpp"
+#include "gbis/gen/regular_planted.hpp"
+#include "gbis/gen/special.hpp"
+#include "gbis/graph/ops.hpp"
+#include "gbis/harness/runner.hpp"
+#include "gbis/io/edge_list.hpp"
+#include "gbis/kl/kl.hpp"
+#include "gbis/rng/rng.hpp"
+#include "gbis/sa/sa.hpp"
+
+namespace gbis {
+namespace {
+
+RunConfig test_config() {
+  RunConfig config;
+  config.starts = 2;  // the paper's protocol
+  config.sa.temperature_length_factor = 4.0;
+  config.sa.cooling_ratio = 0.9;
+  return config;
+}
+
+Weight best_of(const Graph& g, Method m, Rng& rng, const RunConfig& cfg) {
+  return run_method(g, m, rng, cfg).best_cut;
+}
+
+TEST(Integration, CompactionHelpsOnSparseRegular) {
+  // Observation 2 at small scale: on Gbreg(n, b, 3), CKL's cut is at
+  // most KL's, and usually much smaller. Averaged over instances to
+  // avoid flakiness.
+  Rng rng(1);
+  const RunConfig cfg = test_config();
+  double kl_total = 0, ckl_total = 0;
+  for (int i = 0; i < 4; ++i) {
+    const Graph g = make_regular_planted({500 * 2, 8, 3}, rng);
+    kl_total += static_cast<double>(best_of(g, Method::kKl, rng, cfg));
+    ckl_total += static_cast<double>(best_of(g, Method::kCkl, rng, cfg));
+  }
+  EXPECT_LE(ckl_total, kl_total);
+  EXPECT_LE(ckl_total / 4.0, 24.0);  // near the planted width 8
+}
+
+TEST(Integration, DegreeFourIsEasy) {
+  // Observation 1: on Gbreg(n, b, 4) the planted bisection is found.
+  Rng rng(2);
+  const RunConfig cfg = test_config();
+  const Graph g = make_regular_planted({500 * 2, 8, 4}, rng);
+  EXPECT_LE(best_of(g, Method::kKl, rng, cfg), 16);
+  EXPECT_LE(best_of(g, Method::kCkl, rng, cfg), 16);
+}
+
+TEST(Integration, DegreeTwoGbregSolvedExactly) {
+  // Section VI: degree-2 Gbreg graphs are unions of cycles with optimal
+  // bisection <= 2, and the exact solver handles them.
+  Rng rng(3);
+  const Graph g = make_regular_planted({400, 4, 2}, rng);
+  ASSERT_TRUE(is_union_of_cycles(g));
+  const ExactBisection exact = cycles_bisection(g);
+  EXPECT_LE(exact.cut, 2);
+  // The heuristics should find a comparable cut.
+  const RunConfig cfg = test_config();
+  EXPECT_LE(best_of(g, Method::kCkl, rng, cfg), exact.cut + 4);
+}
+
+TEST(Integration, KlNearOptimalOnBinaryTrees) {
+  // Paper Observation 4 claims SA beats KL on binary trees. That
+  // relation does NOT reproduce here: our KL lands within a few edges
+  // of the exact tree optimum (<= 2, certified by the DP), leaving SA
+  // no room to win — the 1989 KL was evidently much weaker on trees
+  // (their Table 1 ladder/tree improvements imply large absolute
+  // cuts). EXPERIMENTS.md discusses the divergence; this test pins the
+  // reproducible fact.
+  Rng rng(4);
+  const RunConfig cfg = test_config();
+  for (std::uint32_t n : {254u, 510u, 1022u}) {
+    const Graph g = make_binary_tree(n);
+    const Weight optimal = tree_bisection_width(g);
+    EXPECT_LE(optimal, 2);
+    EXPECT_LE(best_of(g, Method::kKl, rng, cfg), optimal + 8) << n;
+  }
+}
+
+TEST(Integration, CompactionImprovesKlOnTrees) {
+  // Table 1's strongest row: binary trees, where compaction improves KL
+  // by ~56%.
+  Rng rng(5);
+  const RunConfig cfg = test_config();
+  double kl_total = 0, ckl_total = 0;
+  for (std::uint32_t n : {254u, 510u, 1022u}) {
+    const Graph g = make_binary_tree(n);
+    kl_total += static_cast<double>(best_of(g, Method::kKl, rng, cfg));
+    ckl_total += static_cast<double>(best_of(g, Method::kCkl, rng, cfg));
+  }
+  EXPECT_LT(ckl_total, kl_total);
+}
+
+TEST(Integration, TreeOptimaAreTiny) {
+  // The exact DP certifies that tree bisection optima are tiny, which
+  // is what makes the heuristics' tree failures visible.
+  for (std::uint32_t n : {126u, 510u, 2046u}) {
+    EXPECT_LE(tree_bisection_width(make_binary_tree(n)), 2);
+  }
+}
+
+TEST(Integration, PlantedRecoveryThroughSerialization) {
+  // Full pipeline: generate, serialize, parse, solve.
+  Rng rng(6);
+  const PlantedParams params = planted_params_for_degree(300, 4.0, 6);
+  const Graph original = make_planted(params, rng);
+  std::stringstream ss;
+  write_edge_list(ss, original);
+  const Graph parsed = read_edge_list(ss);
+  const RunConfig cfg = test_config();
+  EXPECT_LE(best_of(parsed, Method::kCkl, rng, cfg), 10);
+}
+
+TEST(Integration, GnpRandomCutsAreNearOptimal) {
+  // Section IV's critique of the Gnp model: even KL cannot move far
+  // below the random-cut expectation on a dense-enough Gnp graph.
+  Rng rng(7);
+  const Graph g = make_gnp(200, gnp_p_for_degree(200, 20.0), rng);
+  const RunConfig cfg = test_config();
+  const double random_cut =
+      static_cast<double>(best_of(g, Method::kRandom, rng, cfg));
+  const double kl_cut =
+      static_cast<double>(best_of(g, Method::kKl, rng, cfg));
+  EXPECT_GT(kl_cut, random_cut * 0.4);
+}
+
+TEST(Integration, FourMethodsAgreeOnEasyInstance) {
+  Rng rng(8);
+  const PlantedParams params{200, 0.25, 0.25, 4};
+  const Graph g = make_planted(params, rng);
+  const RunConfig cfg = test_config();
+  EXPECT_EQ(best_of(g, Method::kKl, rng, cfg), 4);
+  EXPECT_EQ(best_of(g, Method::kCkl, rng, cfg), 4);
+  EXPECT_EQ(best_of(g, Method::kSa, rng, cfg), 4);
+  EXPECT_EQ(best_of(g, Method::kCsa, rng, cfg), 4);
+}
+
+}  // namespace
+}  // namespace gbis

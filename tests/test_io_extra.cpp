@@ -1,0 +1,124 @@
+// Tests for DOT export and partition metrics.
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gbis/baseline/random_bisect.hpp"
+#include "gbis/gen/special.hpp"
+#include "gbis/graph/builder.hpp"
+#include "gbis/io/dot.hpp"
+#include "gbis/partition/bisection.hpp"
+#include "gbis/partition/metrics.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+namespace {
+
+TEST(Dot, PlainGraphStructure) {
+  const Graph g = make_cycle(4);
+  std::ostringstream out;
+  write_dot(out, g);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("graph gbis {"), std::string::npos);
+  EXPECT_NE(text.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(text.find("0 -- 3"), std::string::npos);
+  EXPECT_EQ(text.find("dashed"), std::string::npos);  // no parts, no cuts
+}
+
+TEST(Dot, BisectionColorsAndCutEdges) {
+  const Graph g = make_path(4);
+  const std::vector<std::uint8_t> sides{0, 0, 1, 1};
+  std::ostringstream out;
+  write_dot_bisection(out, g, sides);
+  const std::string text = out.str();
+  // Exactly one cut edge (1-2) rendered dashed.
+  EXPECT_NE(text.find("dashed"), std::string::npos);
+  EXPECT_EQ(text.find("dashed"), text.rfind("dashed"));
+  EXPECT_NE(text.find("fillcolor"), std::string::npos);
+}
+
+TEST(Dot, WeightedEdgeLabels) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 7);
+  std::ostringstream out;
+  write_dot(out, b.build());
+  EXPECT_NE(out.str().find("label=\"7\""), std::string::npos);
+
+  DotOptions options;
+  options.edge_labels = false;
+  GraphBuilder b2(2);
+  b2.add_edge(0, 1, 7);
+  std::ostringstream out2;
+  write_dot(out2, b2.build(), {}, options);
+  EXPECT_EQ(out2.str().find("label"), std::string::npos);
+}
+
+TEST(Dot, PartsSizeMismatchThrows) {
+  const Graph g = make_path(4);
+  const std::vector<std::uint32_t> wrong{0, 1};
+  std::ostringstream out;
+  EXPECT_THROW(write_dot(out, g, wrong), std::invalid_argument);
+}
+
+TEST(Dot, ManyPartsCyclePalette) {
+  const Graph g = make_complete(12);
+  std::vector<std::uint32_t> parts(12);
+  for (std::uint32_t v = 0; v < 12; ++v) parts[v] = v;  // 12 > palette
+  std::ostringstream out;
+  write_dot(out, g, parts);  // must not crash or index OOB
+  EXPECT_NE(out.str().find("fillcolor"), std::string::npos);
+}
+
+TEST(Dot, FileWrite) {
+  const Graph g = make_cycle(5);
+  const std::string path = testing::TempDir() + "/gbis_test.dot";
+  write_dot_file(path, g);
+  std::ifstream check(path);
+  EXPECT_TRUE(check.good());
+  EXPECT_THROW(write_dot_file("/nonexistent/dir/x.dot", g),
+               std::runtime_error);
+}
+
+TEST(Metrics, PathSplitInHalf) {
+  const Graph g = make_path(8);
+  const Bisection b(g, {0, 0, 0, 0, 1, 1, 1, 1});
+  const BisectionMetrics m = bisection_metrics(b);
+  EXPECT_EQ(m.cut, 1);
+  EXPECT_DOUBLE_EQ(m.expansion, 0.25);  // 1 / 4
+  // vol of each side: 3 inner degrees 2 + 1 end degree 1 = 7.
+  EXPECT_DOUBLE_EQ(m.conductance, 1.0 / 7.0);
+  EXPECT_LT(m.vs_random, 1.0);  // far better than random
+}
+
+TEST(Metrics, CompleteGraphIsRandomLike) {
+  const Graph g = make_complete(8);
+  Rng rng(1);
+  const Bisection b = Bisection::random(g, rng);
+  const BisectionMetrics m = bisection_metrics(b);
+  EXPECT_NEAR(m.vs_random, 1.0, 1e-9);  // every balanced cut is equal
+}
+
+TEST(Metrics, EdgelessGraph) {
+  GraphBuilder builder(4);
+  const Graph g = builder.build();
+  const Bisection b(g, {0, 0, 1, 1});
+  const BisectionMetrics m = bisection_metrics(b);
+  EXPECT_EQ(m.cut, 0);
+  EXPECT_DOUBLE_EQ(m.conductance, 0.0);
+  EXPECT_DOUBLE_EQ(m.expansion, 0.0);
+  EXPECT_DOUBLE_EQ(m.vs_random, 0.0);
+}
+
+TEST(Metrics, OneSidedSplit) {
+  const Graph g = make_cycle(4);
+  const Bisection b(g, {0, 0, 0, 0});
+  const BisectionMetrics m = bisection_metrics(b);
+  EXPECT_EQ(m.cut, 0);
+  EXPECT_DOUBLE_EQ(m.expansion, 0.0);  // empty side guarded
+}
+
+}  // namespace
+}  // namespace gbis

@@ -1,0 +1,97 @@
+// Failure-injection fuzzing of every parser: random byte soup and
+// random structured-ish input must either parse or throw — never
+// crash, hang, or return a structurally invalid object.
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "gbis/io/edge_list.hpp"
+#include "gbis/io/hmetis.hpp"
+#include "gbis/io/metis.hpp"
+#include "gbis/io/partition_io.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+namespace {
+
+std::string random_soup(Rng& rng, std::size_t length) {
+  // Characters the tokenizers actually meet: digits, spaces, newlines,
+  // signs, letters, comment markers.
+  static constexpr char kAlphabet[] =
+      "0123456789 \n\t-+#%vabc.";
+  std::string soup;
+  soup.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    soup += kAlphabet[rng.below(sizeof(kAlphabet) - 1)];
+  }
+  return soup;
+}
+
+/// A header-plausible prefix followed by soup: exercises deeper parser
+/// states than pure noise.
+std::string structured_soup(Rng& rng, const char* header) {
+  return std::string(header) + "\n" + random_soup(rng, 200);
+}
+
+class IoFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IoFuzz, EdgeListNeverCrashes) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    std::stringstream ss(round % 2 == 0 ? random_soup(rng, 300)
+                                        : structured_soup(rng, "10 5"));
+    try {
+      const Graph g = read_edge_list(ss);
+      EXPECT_TRUE(g.validate());  // if it parses, it must be sound
+    } catch (const std::runtime_error&) {
+      // expected for malformed input
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST_P(IoFuzz, MetisNeverCrashes) {
+  Rng rng(GetParam() + 1000);
+  for (int round = 0; round < 50; ++round) {
+    std::stringstream ss(round % 2 == 0 ? random_soup(rng, 300)
+                                        : structured_soup(rng, "4 3"));
+    try {
+      const Graph g = read_metis(ss);
+      EXPECT_TRUE(g.validate());
+    } catch (const std::runtime_error&) {
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST_P(IoFuzz, HmetisNeverCrashes) {
+  Rng rng(GetParam() + 2000);
+  for (int round = 0; round < 50; ++round) {
+    std::stringstream ss(round % 2 == 0 ? random_soup(rng, 300)
+                                        : structured_soup(rng, "3 6"));
+    try {
+      const Hypergraph h = read_hmetis(ss);
+      EXPECT_TRUE(h.validate());
+    } catch (const std::runtime_error&) {
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST_P(IoFuzz, PartitionNeverCrashes) {
+  Rng rng(GetParam() + 3000);
+  for (int round = 0; round < 50; ++round) {
+    std::stringstream ss(random_soup(rng, 200));
+    try {
+      (void)read_partition(ss, 0, 4);
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoFuzz, testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace gbis

@@ -1,0 +1,208 @@
+// Tests for the Kernighan-Lin implementation: invariants (balance
+// preserved, cut never worsens), optimality on small instances, and the
+// paper's known failure modes.
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gbis/exact/brute.hpp"
+#include "gbis/graph/builder.hpp"
+#include "gbis/gen/gnp.hpp"
+#include "gbis/gen/planted.hpp"
+#include "gbis/gen/regular_planted.hpp"
+#include "gbis/gen/special.hpp"
+#include "gbis/kl/kl.hpp"
+#include "gbis/partition/bisection.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+namespace {
+
+TEST(Kl, NeverWorsensAndKeepsBalance) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = make_gnp(60, 0.1, rng);
+    Bisection b = Bisection::random(g, rng);
+    const Weight before = b.cut();
+    const KlStats stats = kl_refine(b);
+    EXPECT_LE(b.cut(), before);
+    EXPECT_TRUE(b.is_balanced());
+    EXPECT_EQ(b.cut(), b.recompute_cut());
+    EXPECT_EQ(stats.final_cut, b.cut());
+    EXPECT_EQ(stats.initial_cut, before);
+    EXPECT_GE(stats.passes, 1u);
+  }
+}
+
+TEST(Kl, SolvesSmallInstancesOptimally) {
+  // KL is a heuristic, but with a couple of random restarts it should
+  // hit the optimum on tiny, well-separated instances.
+  Rng rng(2);
+  const PlantedParams params{16, 0.9, 0.9, 2};
+  const Graph g = make_planted(params, rng);
+  const Weight optimal = brute_force_bisection(g).cut;
+  Weight best = std::numeric_limits<Weight>::max();
+  for (int start = 0; start < 5; ++start) {
+    Bisection b = Bisection::random(g, rng);
+    kl_refine(b);
+    best = std::min(best, b.cut());
+  }
+  EXPECT_EQ(best, optimal);
+}
+
+TEST(Kl, RecoversPlantedBisectionOnDenseRegular) {
+  // Observation 1 territory: degree >= 4 regular planted graphs are
+  // where KL reliably finds the planted cut.
+  Rng rng(3);
+  const RegularPlantedParams params{200, 4, 5};
+  const Graph g = make_regular_planted(params, rng);
+  Weight best = std::numeric_limits<Weight>::max();
+  for (int start = 0; start < 3; ++start) {
+    Bisection b = Bisection::random(g, rng);
+    kl_refine(b);
+    best = std::min(best, b.cut());
+  }
+  EXPECT_EQ(best, 4);
+}
+
+TEST(Kl, SinglePassImprovesBadStart) {
+  // Planted graph with an adversarial start: one pass must improve.
+  Rng rng(4);
+  const PlantedParams params{40, 0.8, 0.8, 4};
+  const Graph g = make_planted(params, rng);
+  // Worst-case start: interleaved sides.
+  std::vector<std::uint8_t> sides(40);
+  for (int v = 0; v < 40; ++v) sides[v] = static_cast<std::uint8_t>(v % 2);
+  Bisection b(g, std::move(sides));
+  const Weight before = b.cut();
+  const Weight improvement = kl_pass(b);
+  EXPECT_GT(improvement, 0);
+  EXPECT_EQ(b.cut(), before - improvement);
+}
+
+TEST(Kl, FixpointOnOptimalStart) {
+  // Starting at the planted (optimal) cut of a well-separated instance,
+  // KL must not move away.
+  Rng rng(5);
+  const PlantedParams params{60, 0.7, 0.7, 1};
+  const Graph g = make_planted(params, rng);
+  Bisection b = Bisection::planted(g);
+  kl_refine(b);
+  EXPECT_EQ(b.cut(), 1);
+}
+
+TEST(Kl, HandlesEdgelessGraph) {
+  Rng rng(6);
+  GraphBuilder builder(10);
+  const Graph g = builder.build();
+  Bisection b = Bisection::random(g, rng);
+  const KlStats stats = kl_refine(b);
+  EXPECT_EQ(b.cut(), 0);
+  EXPECT_EQ(stats.final_cut, 0);
+}
+
+TEST(Kl, HandlesTinyGraphs) {
+  Rng rng(7);
+  const Graph g = make_path(2);
+  Bisection b = Bisection::random(g, rng);
+  kl_refine(b);
+  EXPECT_EQ(b.cut(), 1);  // the single edge must cross
+  const Graph g1 = make_path(1);
+  Bisection b1 = Bisection::random(g1, rng);
+  kl_refine(b1);  // must not crash
+}
+
+TEST(Kl, MaxPassesRespected) {
+  Rng rng(8);
+  const Graph g = make_gnp(100, 0.08, rng);
+  Bisection b = Bisection::random(g, rng);
+  KlOptions options;
+  options.max_passes = 1;
+  const KlStats stats = kl_refine(b, options);
+  EXPECT_EQ(stats.passes, 1u);
+}
+
+TEST(Kl, WeightedGraphRespectsWeights) {
+  // Two heavy cliques joined by light edges: KL from any start should
+  // find the 2-cut that splits between the cliques.
+  GraphBuilder builder(8);
+  for (Vertex u = 0; u < 4; ++u) {
+    for (Vertex v = u + 1; v < 4; ++v) {
+      builder.add_edge(u, v, 10);
+      builder.add_edge(u + 4, v + 4, 10);
+    }
+  }
+  builder.add_edge(0, 4);
+  builder.add_edge(1, 5);
+  const Graph g = builder.build();
+  Rng rng(9);
+  Weight best = std::numeric_limits<Weight>::max();
+  for (int s = 0; s < 3; ++s) {
+    Bisection b = Bisection::random(g, rng);
+    kl_refine(b);
+    best = std::min(best, b.cut());
+  }
+  EXPECT_EQ(best, 2);
+}
+
+TEST(Kl, LadderIsAKnownHardCase) {
+  // Section I: KL "is known to fail badly on certain types of graphs
+  // (e.g., the ladder graph)". From a random start on a long ladder it
+  // usually lands above the optimal cut of 2. We only assert the soft
+  // fact that it stays legal and does not crash, plus that the final
+  // cut is at least optimal.
+  Rng rng(10);
+  const Graph g = make_ladder(100);
+  Bisection b = Bisection::random(g, rng);
+  kl_refine(b);
+  EXPECT_GE(b.cut(), 2);
+  EXPECT_TRUE(b.is_balanced());
+}
+
+TEST(Kl, OddVertexCount) {
+  Rng rng(11);
+  const Graph g = make_gnp(31, 0.2, rng);
+  Bisection b = Bisection::random(g, rng);
+  kl_refine(b);
+  EXPECT_LE(b.count_imbalance(), 1u);
+  EXPECT_EQ(b.cut(), b.recompute_cut());
+}
+
+TEST(Kl, StatsAccumulateAcrossPasses) {
+  Rng rng(12);
+  const Graph g = make_gnp(80, 0.1, rng);
+  Bisection b = Bisection::random(g, rng);
+  const KlStats stats = kl_refine(b);
+  EXPECT_GE(stats.pairs_selected, stats.pairs_swapped);
+  EXPECT_GT(stats.candidates_scanned, 0u);
+}
+
+// Property sweep: on random planted instances of growing size, KL from
+// two starts never ends above the planted cut by more than the planted
+// cut itself... too strong; assert legality + monotone improvement.
+class KlProperty : public testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(KlProperty, LegalAndMonotone) {
+  const std::uint32_t n = GetParam();
+  Rng rng(n * 13 + 5);
+  const Graph g = make_gnp(n, 5.0 / n, rng);
+  Bisection b = Bisection::random(g, rng);
+  Weight last = b.cut();
+  for (int pass = 0; pass < 4; ++pass) {
+    const Weight improvement = kl_pass(b);
+    EXPECT_GE(improvement, 0);
+    EXPECT_EQ(b.cut(), last - improvement);
+    EXPECT_TRUE(b.is_balanced());
+    ASSERT_EQ(b.cut(), b.recompute_cut());
+    last = b.cut();
+    if (improvement == 0) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KlProperty,
+                         testing::Values(20u, 50u, 101u, 200u, 400u));
+
+}  // namespace
+}  // namespace gbis

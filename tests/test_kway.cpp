@@ -1,0 +1,149 @@
+// Tests for k-way partitioning by recursive bisection.
+#include <set>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gbis/gen/gnp.hpp"
+#include "gbis/graph/builder.hpp"
+#include "gbis/gen/regular_planted.hpp"
+#include "gbis/gen/special.hpp"
+#include "gbis/kway/partition.hpp"
+#include "gbis/kway/recursive.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+namespace {
+
+TEST(KwayPartition, TotalsAndCut) {
+  const Graph g = make_cycle(8);
+  // Parts: {0,1}, {2,3}, {4,5}, {6,7} around the cycle: cut 4.
+  std::vector<std::uint32_t> labels{0, 0, 1, 1, 2, 2, 3, 3};
+  const KwayPartition p(g, 4, std::move(labels));
+  EXPECT_EQ(p.edge_cut(), 4);
+  EXPECT_EQ(p.part_count(0), 2u);
+  EXPECT_DOUBLE_EQ(p.balance_factor(), 1.0);
+  EXPECT_EQ(p.max_count_spread(), 0u);
+  EXPECT_TRUE(p.validate());
+}
+
+TEST(KwayPartition, RejectsBadInput) {
+  const Graph g = make_cycle(4);
+  EXPECT_THROW(KwayPartition(g, 0, {0, 0, 0, 0}), std::invalid_argument);
+  EXPECT_THROW(KwayPartition(g, 2, {0, 0, 0}), std::invalid_argument);
+  EXPECT_THROW(KwayPartition(g, 2, {0, 0, 0, 5}), std::invalid_argument);
+}
+
+TEST(RecursiveKway, KEqualsOneAndTwo) {
+  Rng rng(1);
+  const Graph g = make_grid(6, 6);
+  const KwayPartition whole = recursive_kway(g, 1, rng);
+  EXPECT_EQ(whole.edge_cut(), 0);
+  EXPECT_EQ(whole.part_count(0), 36u);
+
+  KwayStats stats;
+  const KwayPartition halves = recursive_kway(g, 2, rng, {}, &stats);
+  EXPECT_EQ(stats.bisections, 1u);
+  EXPECT_EQ(halves.max_count_spread(), 0u);
+  EXPECT_LE(halves.edge_cut(), 10);  // optimum 6 on a 6x6 grid
+}
+
+TEST(RecursiveKway, PowerOfTwoBalanced) {
+  Rng rng(2);
+  const Graph g = make_grid(8, 8);
+  KwayStats stats;
+  const KwayPartition p = recursive_kway(g, 4, rng, {}, &stats);
+  EXPECT_EQ(stats.bisections, 3u);
+  EXPECT_EQ(p.max_count_spread(), 0u);
+  EXPECT_TRUE(p.validate());
+  // A 4-way quadrant split of an 8x8 grid cuts 16 edges; allow slack.
+  EXPECT_LE(p.edge_cut(), 28);
+}
+
+TEST(RecursiveKway, NonPowerOfTwoNearBalanced) {
+  Rng rng(3);
+  const Graph g = make_gnp(90, 0.08, rng);
+  for (std::uint32_t k : {3u, 5u, 6u, 7u}) {
+    const KwayPartition p = recursive_kway(g, k, rng);
+    EXPECT_LE(p.max_count_spread(), 2u) << "k=" << k;
+    EXPECT_TRUE(p.validate()) << "k=" << k;
+    // All parts used.
+    std::set<std::uint32_t> used(p.parts().begin(), p.parts().end());
+    EXPECT_EQ(used.size(), k) << "k=" << k;
+  }
+}
+
+TEST(RecursiveKway, PlantedFourBlocks) {
+  // Four dense blocks joined by a few edges: 4-way should cut little.
+  Rng rng(4);
+  GraphBuilder builder(48);
+  for (std::uint32_t blk = 0; blk < 4; ++blk) {
+    const Vertex base = blk * 12;
+    for (Vertex u = 0; u < 12; ++u) {
+      for (Vertex v = u + 1; v < 12; ++v) {
+        if (rng.bernoulli(0.6)) builder.add_edge(base + u, base + v);
+      }
+    }
+  }
+  for (std::uint32_t blk = 0; blk + 1 < 4; ++blk) {
+    builder.add_edge(blk * 12, (blk + 1) * 12);
+  }
+  const Graph g = builder.build();
+  const KwayPartition p = recursive_kway(g, 4, rng);
+  EXPECT_LE(p.edge_cut(), 12);
+  EXPECT_EQ(p.max_count_spread(), 0u);
+}
+
+TEST(RecursiveKway, KEqualsN) {
+  Rng rng(5);
+  const Graph g = make_cycle(6);
+  const KwayPartition p = recursive_kway(g, 6, rng);
+  EXPECT_EQ(p.max_count_spread(), 0u);
+  EXPECT_EQ(p.edge_cut(), 6);  // every edge crosses
+}
+
+TEST(RecursiveKway, InvalidK) {
+  Rng rng(6);
+  const Graph g = make_cycle(4);
+  EXPECT_THROW(recursive_kway(g, 0, rng), std::invalid_argument);
+  EXPECT_THROW(recursive_kway(g, 5, rng), std::invalid_argument);
+}
+
+TEST(RecursiveKway, CompactionToggle) {
+  Rng rng(7);
+  const Graph g = make_regular_planted({400, 8, 3}, rng);
+  KwayOptions with;
+  with.use_compaction = true;
+  KwayOptions without;
+  without.use_compaction = false;
+  const KwayPartition pc = recursive_kway(g, 2, rng, with);
+  const KwayPartition pp = recursive_kway(g, 2, rng, without);
+  EXPECT_TRUE(pc.validate());
+  EXPECT_TRUE(pp.validate());
+  // Compaction should not be worse on the family it was designed for.
+  EXPECT_LE(pc.edge_cut(), pp.edge_cut() + 8);
+}
+
+class KwayProperty
+    : public testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(KwayProperty, LegalAcrossSizesAndK) {
+  const auto [n, k] = GetParam();
+  Rng rng(n * 13 + k);
+  const Graph g = make_gnp(n, 5.0 / n, rng);
+  const KwayPartition p = recursive_kway(g, k, rng);
+  EXPECT_TRUE(p.validate());
+  EXPECT_LE(p.max_count_spread(), 2u);
+  EXPECT_LE(p.edge_cut(), g.total_edge_weight());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KwayProperty,
+                         testing::Combine(testing::Values(40u, 81u, 160u),
+                                          testing::Values(2u, 3u, 4u, 7u,
+                                                          8u)));
+
+}  // namespace
+}  // namespace gbis

@@ -1,0 +1,119 @@
+// Tests for k-way Fiduccia-Mattheyses refinement.
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gbis/gen/gnp.hpp"
+#include "gbis/gen/regular_planted.hpp"
+#include "gbis/gen/special.hpp"
+#include "gbis/graph/builder.hpp"
+#include "gbis/kway/kway_fm.hpp"
+#include "gbis/kway/recursive.hpp"
+#include "gbis/kway/refine.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+namespace {
+
+TEST(KwayFm, NeverWorsensAndKeepsWindow) {
+  Rng rng(1);
+  for (std::uint32_t k : {2u, 3u, 4u, 6u}) {
+    const Graph g = make_gnp(120, 0.06, rng);
+    const KwayPartition initial = recursive_kway(g, k, rng);
+    KwayFmStats stats;
+    const KwayPartition refined = kway_fm_refine(initial, rng, {}, &stats);
+    EXPECT_LE(refined.edge_cut(), initial.edge_cut()) << "k=" << k;
+    EXPECT_TRUE(refined.validate());
+    for (std::uint32_t p = 0; p < k; ++p) {
+      EXPECT_GE(refined.part_count(p) + 1, 120 / k) << "k=" << k;
+      EXPECT_LE(refined.part_count(p), (120 + k - 1) / k + 1) << "k=" << k;
+    }
+    EXPECT_EQ(stats.final_cut, refined.edge_cut());
+  }
+}
+
+TEST(KwayFm, EscapesLocalOptimaGreedyCannot) {
+  // Ring of blocks misassigned pairwise: fixing requires a temporary
+  // uphill move (swap-shaped), which greedy single moves cannot make
+  // under tight balance but FM's prefix mechanism can. Statistical
+  // claim, so compare averages across instances.
+  Rng rng(2);
+  double fm_total = 0, greedy_total = 0;
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = make_regular_planted({200, 8, 3}, rng);
+    const KwayPartition initial = recursive_kway(g, 4, rng);
+    fm_total +=
+        static_cast<double>(kway_fm_refine(initial, rng).edge_cut());
+    greedy_total +=
+        static_cast<double>(kway_refine(initial, rng).edge_cut());
+  }
+  EXPECT_LE(fm_total, greedy_total);
+}
+
+TEST(KwayFm, FixesMisassignedCliqueVertices) {
+  Rng rng(3);
+  GraphBuilder builder(12);
+  for (std::uint32_t blk = 0; blk < 3; ++blk) {
+    const Vertex base = blk * 4;
+    for (Vertex u = 0; u < 4; ++u) {
+      for (Vertex v = u + 1; v < 4; ++v) builder.add_edge(base + u, base + v);
+    }
+  }
+  builder.add_edge(0, 4);
+  builder.add_edge(4, 8);
+  const Graph g = builder.build();
+  std::vector<std::uint32_t> labels{0, 0, 0, 1, 1, 1, 1, 0, 2, 2, 2, 2};
+  const KwayPartition bad(g, 3, std::move(labels));
+  const KwayPartition fixed = kway_fm_refine(bad, rng);
+  EXPECT_LT(fixed.edge_cut(), bad.edge_cut());
+  EXPECT_EQ(fixed.part(3), fixed.part(0));
+  EXPECT_EQ(fixed.part(7), fixed.part(4));
+}
+
+TEST(KwayFm, DegenerateInputs) {
+  Rng rng(4);
+  const Graph g = make_cycle(6);
+  // k = 1: nothing to do.
+  const KwayPartition whole(g, 1, std::vector<std::uint32_t>(6, 0));
+  EXPECT_EQ(kway_fm_refine(whole, rng).edge_cut(), 0);
+  // Empty graph.
+  GraphBuilder empty(0);
+  const Graph g0 = empty.build();
+  const KwayPartition p0(g0, 2, {});
+  EXPECT_EQ(kway_fm_refine(p0, rng).edge_cut(), 0);
+}
+
+TEST(KwayFm, MaxPassesAndMoveCap) {
+  Rng rng(5);
+  const Graph g = make_gnp(100, 0.08, rng);
+  const KwayPartition initial = recursive_kway(g, 4, rng);
+  KwayFmOptions options;
+  options.max_passes = 1;
+  options.max_moves_fraction = 0.1;
+  KwayFmStats stats;
+  kway_fm_refine(initial, rng, options, &stats);
+  EXPECT_EQ(stats.passes, 1u);
+  EXPECT_LE(stats.moves_considered, 10u);
+}
+
+class KwayFmProperty
+    : public testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(KwayFmProperty, LegalAcrossSizesAndK) {
+  const auto [n, k] = GetParam();
+  Rng rng(n * 19 + k);
+  const Graph g = make_gnp(n, 5.0 / n, rng);
+  const KwayPartition initial = recursive_kway(g, k, rng);
+  const KwayPartition refined = kway_fm_refine(initial, rng);
+  EXPECT_TRUE(refined.validate());
+  EXPECT_LE(refined.edge_cut(), initial.edge_cut());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KwayFmProperty,
+                         testing::Combine(testing::Values(48u, 100u, 201u),
+                                          testing::Values(2u, 3u, 5u, 8u)));
+
+}  // namespace
+}  // namespace gbis

@@ -1,0 +1,104 @@
+// Tests for direct k-way refinement.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gbis/gen/gnp.hpp"
+#include "gbis/gen/special.hpp"
+#include "gbis/graph/builder.hpp"
+#include "gbis/kway/recursive.hpp"
+#include "gbis/kway/refine.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+namespace {
+
+TEST(KwayRefine, NeverWorsensAndKeepsSizes) {
+  Rng rng(1);
+  for (std::uint32_t k : {2u, 3u, 4u, 6u}) {
+    const Graph g = make_gnp(120, 0.06, rng);
+    const KwayPartition initial = recursive_kway(g, k, rng);
+    KwayRefineStats stats;
+    const KwayPartition refined = kway_refine(initial, rng, {}, &stats);
+    EXPECT_LE(refined.edge_cut(), initial.edge_cut()) << "k=" << k;
+    EXPECT_TRUE(refined.validate()) << "k=" << k;
+    // Default tolerance 1: counts within [floor(n/k)-1, ceil(n/k)+1].
+    for (std::uint32_t p = 0; p < k; ++p) {
+      EXPECT_GE(refined.part_count(p), 120 / k - 1) << "k=" << k;
+      EXPECT_LE(refined.part_count(p), (120 + k - 1) / k + 1) << "k=" << k;
+    }
+    EXPECT_EQ(stats.final_cut, refined.edge_cut());
+    EXPECT_EQ(stats.initial_cut, initial.edge_cut());
+  }
+}
+
+TEST(KwayRefine, FixesObviousMisassignments) {
+  // Three cliques, one vertex deliberately mislabeled: refinement must
+  // send it home.
+  Rng rng(2);
+  GraphBuilder builder(12);
+  for (std::uint32_t blk = 0; blk < 3; ++blk) {
+    const Vertex base = blk * 4;
+    for (Vertex u = 0; u < 4; ++u) {
+      for (Vertex v = u + 1; v < 4; ++v) builder.add_edge(base + u, base + v);
+    }
+  }
+  builder.add_edge(0, 4);  // weak inter-clique links
+  builder.add_edge(4, 8);
+  const Graph g = builder.build();
+  std::vector<std::uint32_t> labels{0, 0, 0, 1,   // vertex 3 mislabeled
+                                    1, 1, 1, 0,   // vertex 7 mislabeled
+                                    2, 2, 2, 2};
+  const KwayPartition bad(g, 3, std::move(labels));
+  const KwayPartition fixed = kway_refine(bad, rng);
+  EXPECT_LT(fixed.edge_cut(), bad.edge_cut());
+  EXPECT_EQ(fixed.part(3), fixed.part(0));
+  EXPECT_EQ(fixed.part(7), fixed.part(4));
+}
+
+TEST(KwayRefine, RespectsMaxPasses) {
+  Rng rng(3);
+  const Graph g = make_gnp(100, 0.08, rng);
+  const KwayPartition initial = recursive_kway(g, 4, rng);
+  KwayRefineOptions options;
+  options.max_passes = 1;
+  KwayRefineStats stats;
+  kway_refine(initial, rng, options, &stats);
+  EXPECT_EQ(stats.passes, 1u);
+}
+
+TEST(KwayRefine, WiderToleranceAllowsMoreFreedom) {
+  Rng rng(4);
+  const Graph g = make_grid(10, 10);
+  const KwayPartition initial = recursive_kway(g, 4, rng);
+  KwayRefineOptions loose;
+  loose.size_tolerance = 3;
+  const KwayPartition refined = kway_refine(initial, rng, loose);
+  EXPECT_LE(refined.edge_cut(), initial.edge_cut());
+  // Counts stay within the widened window [25-3, 25+3].
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    EXPECT_GE(refined.part_count(p), 22u);
+    EXPECT_LE(refined.part_count(p), 28u);
+  }
+}
+
+TEST(KwayRefine, NoOpOnOptimalPartition) {
+  // Disconnected cliques already perfectly partitioned: zero moves.
+  Rng rng(5);
+  GraphBuilder builder(8);
+  for (Vertex u = 0; u < 4; ++u) {
+    for (Vertex v = u + 1; v < 4; ++v) {
+      builder.add_edge(u, v);
+      builder.add_edge(u + 4, v + 4);
+    }
+  }
+  const Graph g = builder.build();
+  const KwayPartition perfect(g, 2, {0, 0, 0, 0, 1, 1, 1, 1});
+  KwayRefineStats stats;
+  const KwayPartition out = kway_refine(perfect, rng, {}, &stats);
+  EXPECT_EQ(out.edge_cut(), 0);
+  EXPECT_EQ(stats.moves, 0u);
+}
+
+}  // namespace
+}  // namespace gbis

@@ -1,0 +1,123 @@
+// Tests for random maximal matching (compaction step 1).
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gbis/core/matching.hpp"
+#include "gbis/gen/gnp.hpp"
+#include "gbis/gen/special.hpp"
+#include "gbis/graph/builder.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+namespace {
+
+TEST(Matching, EmptyAndEdgeless) {
+  Rng rng(1);
+  GraphBuilder builder(5);
+  const Graph g = builder.build();
+  const Matching m = maximal_matching(g, rng);
+  EXPECT_TRUE(m.empty());
+  EXPECT_TRUE(is_maximal_matching(g, m));
+}
+
+TEST(Matching, SingleEdge) {
+  Rng rng(2);
+  const Graph g = make_path(2);
+  const Matching m = maximal_matching(g, rng);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_TRUE(is_maximal_matching(g, m));
+}
+
+TEST(Matching, PerfectOnEvenCycle) {
+  Rng rng(3);
+  const Graph g = make_cycle(10);
+  const Matching m = maximal_matching(g, rng);
+  EXPECT_TRUE(is_maximal_matching(g, m));
+  EXPECT_GE(m.size(), 4u);  // maximal matching on C10 has >= 4 edges
+}
+
+TEST(Matching, CoversAtLeastHalfTheMaximum) {
+  // Greedy maximal matchings are 1/2-approximations; on a complete
+  // graph the maximum is n/2, so greedy must also reach n/2 (every
+  // vertex can be matched while any two are free).
+  Rng rng(4);
+  const Graph g = make_complete(12);
+  const Matching m = maximal_matching(g, rng);
+  EXPECT_EQ(m.size(), 6u);
+}
+
+TEST(Matching, AllPoliciesProduceMaximalMatchings) {
+  Rng rng(5);
+  const Graph g = make_gnp(100, 0.05, rng);
+  for (MatchPolicy policy :
+       {MatchPolicy::kRandom, MatchPolicy::kHeavyEdge,
+        MatchPolicy::kFirstFit}) {
+    const Matching m = maximal_matching(g, rng, policy);
+    EXPECT_TRUE(is_maximal_matching(g, m));
+  }
+}
+
+TEST(Matching, HeavyEdgePrefersWeight) {
+  // A triangle fan where one edge dominates: heavy-edge matching must
+  // pick it.
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1, 100);
+  builder.add_edge(0, 2, 1);
+  builder.add_edge(0, 3, 1);
+  const Graph g = builder.build();
+  Rng rng(6);
+  const Matching m = maximal_matching(g, rng, MatchPolicy::kHeavyEdge);
+  ASSERT_FALSE(m.empty());
+  bool found_heavy = false;
+  for (const auto& [u, v] : m) {
+    found_heavy = found_heavy || (u == 0 && v == 1) || (u == 1 && v == 0);
+  }
+  EXPECT_TRUE(found_heavy);
+}
+
+TEST(Matching, FirstFitIsDeterministic) {
+  Rng rng1(7), rng2(8);  // different seeds must not matter
+  const Graph g = make_grid(6, 6);
+  const Matching m1 = maximal_matching(g, rng1, MatchPolicy::kFirstFit);
+  const Matching m2 = maximal_matching(g, rng2, MatchPolicy::kFirstFit);
+  EXPECT_EQ(m1, m2);
+}
+
+TEST(Matching, RandomPolicyVariesWithSeed) {
+  const Graph g = make_grid(8, 8);
+  Rng rng1(1), rng2(2);
+  const Matching m1 = maximal_matching(g, rng1);
+  const Matching m2 = maximal_matching(g, rng2);
+  EXPECT_NE(m1, m2);  // astronomically unlikely to coincide
+}
+
+TEST(Matching, ValidatorsRejectBadMatchings) {
+  const Graph g = make_path(4);  // edges (0,1),(1,2),(2,3)
+  EXPECT_FALSE(is_matching(g, {{0, 2}}));          // not an edge
+  EXPECT_FALSE(is_matching(g, {{0, 1}, {1, 2}}));  // vertex reuse
+  EXPECT_FALSE(is_matching(g, {{0, 0}}));          // self pair
+  EXPECT_FALSE(is_matching(g, {{0, 9}}));          // out of range
+  EXPECT_TRUE(is_matching(g, {{0, 1}}));
+  EXPECT_FALSE(is_maximal_matching(g, {{0, 1}}));  // (2,3) still free
+  EXPECT_TRUE(is_maximal_matching(g, {{0, 1}, {2, 3}}));
+  EXPECT_TRUE(is_maximal_matching(g, {{1, 2}}));  // 0 and 3 isolated-free
+}
+
+class MatchingProperty : public testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MatchingProperty, AlwaysMaximalOnRandomGraphs) {
+  const std::uint32_t n = GetParam();
+  Rng rng(n * 101 + 7);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = make_gnp(n, 4.0 / n, rng);
+    const Matching m = maximal_matching(g, rng);
+    ASSERT_TRUE(is_maximal_matching(g, m)) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatchingProperty,
+                         testing::Values(10u, 25u, 64u, 150u, 333u));
+
+}  // namespace
+}  // namespace gbis

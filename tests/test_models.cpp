@@ -1,0 +1,115 @@
+// Tests for the extended random graph models (geometric, small world,
+// preferential attachment).
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "gbis/gen/models.hpp"
+#include "gbis/graph/analysis.hpp"
+#include "gbis/graph/ops.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+namespace {
+
+TEST(Geometric, DegreeNearExpectation) {
+  Rng rng(1);
+  const std::uint32_t n = 3000;
+  const double r = geometric_radius_for_degree(n, 6.0);
+  const Graph g = make_geometric(n, r, rng);
+  EXPECT_TRUE(g.validate());
+  // Boundary effects shave the average; allow a generous window.
+  EXPECT_NEAR(g.average_degree(), 6.0, 1.2);
+}
+
+TEST(Geometric, RadiusExtremes) {
+  Rng rng(2);
+  EXPECT_EQ(make_geometric(100, 0.0, rng).num_edges(), 0u);
+  // Radius > sqrt(2) connects everything.
+  const Graph g = make_geometric(40, 1.5, rng);
+  EXPECT_EQ(g.num_edges(), 40ull * 39 / 2);
+  EXPECT_THROW(make_geometric(10, -1.0, rng), std::invalid_argument);
+  EXPECT_THROW(geometric_radius_for_degree(1, 3.0), std::invalid_argument);
+}
+
+TEST(Geometric, BruteForceAgreement) {
+  // The grid index must produce exactly the same edges as the O(n^2)
+  // definition.
+  Rng rng_a(3);
+  const Graph fast = make_geometric(200, 0.11, rng_a);
+  // Rebuild coordinates with the same stream to cross-check.
+  Rng rng_b(3);
+  std::vector<double> x(200), y(200);
+  for (int i = 0; i < 200; ++i) {
+    x[i] = rng_b.real01();
+    y[i] = rng_b.real01();
+  }
+  std::uint64_t expected = 0;
+  for (int u = 0; u < 200; ++u) {
+    for (int v = u + 1; v < 200; ++v) {
+      const double dx = x[u] - x[v], dy = y[u] - y[v];
+      if (dx * dx + dy * dy <= 0.11 * 0.11) ++expected;
+    }
+  }
+  EXPECT_EQ(fast.num_edges(), expected);
+}
+
+TEST(Geometric, LocalityMakesSmallCuts) {
+  // The point of the model here: geometric graphs have small balanced
+  // cuts (perimeter ~ sqrt(n)), unlike Gnp at the same degree.
+  Rng rng(4);
+  const Graph g = make_geometric(2000, geometric_radius_for_degree(2000, 8.0),
+                                 rng);
+  // Split by x-coordinate (first half of ids is not sorted by x, so
+  // use clustering as a proxy): geometric graphs have high clustering.
+  EXPECT_GT(global_clustering(g), 0.4);
+}
+
+TEST(SmallWorld, LatticeWhenBetaZero) {
+  Rng rng(5);
+  const Graph g = make_small_world(30, 4, 0.0, rng);
+  EXPECT_TRUE(is_regular(g, 4));
+  EXPECT_EQ(g.num_edges(), 60u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(SmallWorld, RewiringShrinksDiameter) {
+  Rng rng(6);
+  const Graph lattice = make_small_world(400, 4, 0.0, rng);
+  const Graph rewired = make_small_world(400, 4, 0.3, rng);
+  EXPECT_LT(pseudo_diameter(rewired), pseudo_diameter(lattice));
+  EXPECT_EQ(rewired.num_edges(), 800u);  // rewiring preserves edge count
+}
+
+TEST(SmallWorld, ParamValidation) {
+  Rng rng(7);
+  EXPECT_THROW(make_small_world(10, 3, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW(make_small_world(10, 0, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW(make_small_world(4, 4, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW(make_small_world(10, 2, 1.5, rng), std::invalid_argument);
+}
+
+TEST(Preferential, ShapeAndDegrees) {
+  Rng rng(8);
+  const Graph g = make_preferential_attachment(500, 3, rng);
+  EXPECT_EQ(g.num_vertices(), 500u);
+  // Clique on 4 + 3 edges per newcomer.
+  EXPECT_EQ(g.num_edges(), 6u + 496u * 3u);
+  EXPECT_TRUE(is_connected(g));
+  // Heavy tail: max degree far above the mean.
+  const DegreeStats stats = degree_stats(g);
+  EXPECT_GT(stats.max, 4 * stats.average);
+}
+
+TEST(Preferential, ParamValidation) {
+  Rng rng(9);
+  EXPECT_THROW(make_preferential_attachment(5, 0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(make_preferential_attachment(3, 3, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gbis

@@ -1,0 +1,101 @@
+// Tests for the multilevel (recursive compaction) extension.
+#include <algorithm>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "gbis/core/multilevel.hpp"
+#include "gbis/gen/gnp.hpp"
+#include "gbis/gen/regular_planted.hpp"
+#include "gbis/gen/special.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+namespace {
+
+TEST(Multilevel, ReturnsLegalBisection) {
+  Rng rng(1);
+  const Graph g = make_regular_planted({400, 8, 3}, rng);
+  MultilevelStats stats;
+  const Bisection b = multilevel_bisect(g, rng, kl_refiner(), {}, &stats);
+  EXPECT_TRUE(b.is_balanced());
+  EXPECT_EQ(b.cut(), b.recompute_cut());
+  EXPECT_EQ(stats.final_cut, b.cut());
+  EXPECT_GT(stats.levels, 0u);
+  EXPECT_LE(stats.coarsest_vertices, 64u + 64u);  // min_vertices bound-ish
+}
+
+TEST(Multilevel, ZeroLevelsEqualsPlainRefinement) {
+  Rng rng(2);
+  const Graph g = make_grid(10, 10);
+  MultilevelOptions options;
+  options.max_levels = 0;
+  MultilevelStats stats;
+  const Bisection b =
+      multilevel_bisect(g, rng, kl_refiner(), options, &stats);
+  EXPECT_EQ(stats.levels, 0u);
+  EXPECT_EQ(stats.coarsest_vertices, 100u);
+  EXPECT_TRUE(b.is_balanced());
+}
+
+TEST(Multilevel, StopsAtMinVertices) {
+  Rng rng(3);
+  const Graph g = make_grid(16, 16);  // 256 vertices
+  MultilevelOptions options;
+  options.min_vertices = 100;
+  MultilevelStats stats;
+  multilevel_bisect(g, rng, kl_refiner(), options, &stats);
+  // 256 -> 128 -> 64; coarsening stops once <= 100 (at 64).
+  EXPECT_LE(stats.coarsest_vertices, 128u);
+  EXPECT_GE(stats.coarsest_vertices, 64u);
+}
+
+TEST(Multilevel, RecoversPlantedCutDeeply) {
+  Rng rng(4);
+  const Graph g = make_regular_planted({800, 8, 3}, rng);
+  Weight best = std::numeric_limits<Weight>::max();
+  for (int start = 0; start < 2; ++start) {
+    best = std::min(best, multilevel_bisect(g, rng, kl_refiner()).cut());
+  }
+  EXPECT_LE(best, 12);
+}
+
+TEST(Multilevel, WorksWithFmRefiner) {
+  Rng rng(5);
+  const Graph g = make_gnp(300, 0.02, rng);
+  const Bisection b = multilevel_bisect(g, rng, fm_refiner());
+  EXPECT_LE(b.count_imbalance(), 1u);
+  EXPECT_EQ(b.cut(), b.recompute_cut());
+}
+
+TEST(Multilevel, SmallGraphSkipsCoarsening) {
+  Rng rng(6);
+  const Graph g = make_grid(4, 4);  // 16 < min_vertices default 64
+  MultilevelStats stats;
+  multilevel_bisect(g, rng, kl_refiner(), {}, &stats);
+  EXPECT_EQ(stats.levels, 0u);
+}
+
+TEST(Multilevel, HeavyEdgePolicy) {
+  Rng rng(7);
+  const Graph g = make_grid(12, 12);
+  MultilevelOptions options;
+  options.match_policy = MatchPolicy::kHeavyEdge;
+  const Bisection b = multilevel_bisect(g, rng, kl_refiner(), options);
+  EXPECT_TRUE(b.is_balanced());
+}
+
+TEST(Multilevel, DepthOneMatchesCompactionShape) {
+  // max_levels = 1 is exactly the paper's single compaction.
+  Rng rng(8);
+  const Graph g = make_regular_planted({300 * 2, 8, 3}, rng);
+  MultilevelOptions options;
+  options.max_levels = 1;
+  MultilevelStats stats;
+  multilevel_bisect(g, rng, kl_refiner(), options, &stats);
+  EXPECT_EQ(stats.levels, 1u);
+  EXPECT_EQ(stats.coarsest_vertices, 300u);
+}
+
+}  // namespace
+}  // namespace gbis

@@ -1,0 +1,171 @@
+// Tests for netlist generation, graph expansions, and hMETIS I/O.
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gbis/graph/ops.hpp"
+#include "gbis/hypergraph/builder.hpp"
+#include "gbis/hypergraph/expand.hpp"
+#include "gbis/hypergraph/hyper_bisection.hpp"
+#include "gbis/hypergraph/netlist_gen.hpp"
+#include "gbis/io/hmetis.hpp"
+#include "gbis/partition/bisection.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+namespace {
+
+TEST(NetlistGen, RandomShape) {
+  Rng rng(1);
+  const NetlistParams params{200, 300, 1.0};
+  const Hypergraph h = make_random_netlist(params, rng);
+  EXPECT_EQ(h.num_cells(), 200u);
+  EXPECT_EQ(h.num_nets(), 300u);
+  EXPECT_TRUE(h.validate());
+  // Mean net size ~ 2 + mean_extra_pins = 3.
+  EXPECT_NEAR(h.average_net_size(), 3.0, 0.5);
+}
+
+TEST(NetlistGen, ZeroExtraPinsGivesAllTwoPinNets) {
+  Rng rng(2);
+  const NetlistParams params{50, 80, 0.0};
+  const Hypergraph h = make_random_netlist(params, rng);
+  for (Net n = 0; n < h.num_nets(); ++n) {
+    EXPECT_EQ(h.net_size(n), 2u);
+  }
+}
+
+TEST(NetlistGen, ParamValidation) {
+  Rng rng(3);
+  EXPECT_THROW(make_random_netlist({2, 5, 1.0}, rng), std::invalid_argument);
+  EXPECT_THROW(make_random_netlist({10, 0, 1.0}, rng), std::invalid_argument);
+  EXPECT_THROW(make_random_netlist({10, 5, -1.0}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(make_planted_netlist({10, 5, 1.0}, 9, rng),
+               std::invalid_argument);
+}
+
+TEST(NetlistGen, PlantedCutIsBounded) {
+  Rng rng(4);
+  const NetlistParams params{300, 450, 1.0};
+  const std::uint32_t cross = 15;
+  const Hypergraph h = make_planted_netlist(params, cross, rng);
+  EXPECT_TRUE(h.validate());
+  // The planted (first-half / second-half) split cuts exactly the
+  // cross nets: intra-block nets never span.
+  std::vector<std::uint8_t> sides(h.num_cells(), 0);
+  for (Cell c = h.num_cells() / 2; c < h.num_cells(); ++c) sides[c] = 1;
+  const HyperBisection b(h, std::move(sides));
+  EXPECT_EQ(b.cut(), cross);
+}
+
+TEST(Expand, CliqueExpansionShape) {
+  HypergraphBuilder builder(4);
+  builder.add_net(std::vector<Cell>{0, 1, 2});
+  builder.add_net(std::vector<Cell>{2, 3});
+  const Hypergraph h = builder.build();
+  const Graph g = clique_expansion(h);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  // Triangle on {0,1,2} + edge (2,3).
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  // 3-pin net edges weigh scale/2, 2-pin net edges scale/1.
+  EXPECT_EQ(g.edge_weight(0, 1), kExpandScale / 2);
+  EXPECT_EQ(g.edge_weight(2, 3), kExpandScale);
+}
+
+TEST(Expand, StarExpansionShape) {
+  HypergraphBuilder builder(4);
+  builder.add_net(std::vector<Cell>{0, 1, 2});
+  builder.add_net(std::vector<Cell>{2, 3});
+  const Hypergraph h = builder.build();
+  const Graph g = star_expansion(h);
+  EXPECT_EQ(g.num_vertices(), 6u);  // 4 cells + 2 hubs
+  EXPECT_EQ(g.num_edges(), 5u);     // 3 + 2 star edges
+  EXPECT_TRUE(g.has_edge(4, 0));    // hub of net 0
+  EXPECT_TRUE(g.has_edge(5, 3));    // hub of net 1
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Expand, CliqueCutUpperBoundsNetCut) {
+  // For any bisection, each cut net contributes at least one cut
+  // clique edge, so (clique cut) >= (net cut) with unit-ish weights.
+  Rng rng(5);
+  const NetlistParams params{60, 90, 1.0};
+  const Hypergraph h = make_random_netlist(params, rng);
+  const Graph g = clique_expansion(h);
+  for (int trial = 0; trial < 5; ++trial) {
+    const HyperBisection hb = HyperBisection::random(h, rng);
+    const Bisection gb(g, std::vector<std::uint8_t>(hb.sides().begin(),
+                                                    hb.sides().end()));
+    EXPECT_GE(gb.cut(), hb.cut());
+  }
+}
+
+TEST(Hmetis, RoundTripPlain) {
+  Rng rng(6);
+  const NetlistParams params{40, 60, 1.0};
+  const Hypergraph h = make_random_netlist(params, rng);
+  std::stringstream ss;
+  write_hmetis(ss, h);
+  const Hypergraph parsed = read_hmetis(ss);
+  ASSERT_EQ(parsed.num_cells(), h.num_cells());
+  ASSERT_EQ(parsed.num_nets(), h.num_nets());
+  for (Net n = 0; n < h.num_nets(); ++n) {
+    const auto a = h.pins(n);
+    const auto b = parsed.pins(n);
+    ASSERT_EQ(std::vector<Cell>(a.begin(), a.end()),
+              std::vector<Cell>(b.begin(), b.end()));
+  }
+}
+
+TEST(Hmetis, RoundTripWeighted) {
+  HypergraphBuilder builder(5);
+  builder.add_net(std::vector<Cell>{0, 1, 4}, 3);
+  builder.add_net(std::vector<Cell>{2, 3});
+  builder.set_cell_weight(1, 9);
+  const Hypergraph h = builder.build();
+  std::stringstream ss;
+  write_hmetis(ss, h);
+  const Hypergraph parsed = read_hmetis(ss);
+  EXPECT_EQ(parsed.net_weight(0), 3);
+  EXPECT_EQ(parsed.net_weight(1), 1);
+  EXPECT_EQ(parsed.cell_weight(1), 9);
+  EXPECT_TRUE(parsed.validate());
+}
+
+TEST(Hmetis, ParsesCommentsAndRejectsGarbage) {
+  std::stringstream ok("% hi\n2 4\n1 2\n3 4\n");
+  const Hypergraph h = read_hmetis(ok);
+  EXPECT_EQ(h.num_nets(), 2u);
+  EXPECT_EQ(h.num_cells(), 4u);
+
+  std::stringstream missing("2 4\n1 2\n");
+  EXPECT_THROW(read_hmetis(missing), std::runtime_error);
+  std::stringstream oob("1 2\n1 5\n");
+  EXPECT_THROW(read_hmetis(oob), std::runtime_error);
+  std::stringstream single_pin("1 4\n2\n");
+  EXPECT_THROW(read_hmetis(single_pin), std::runtime_error);
+  std::stringstream bad_fmt("1 2 99\n1 2\n");
+  EXPECT_THROW(read_hmetis(bad_fmt), std::runtime_error);
+  std::stringstream no_header("% only\n");
+  EXPECT_THROW(read_hmetis(no_header), std::runtime_error);
+}
+
+TEST(Hmetis, FileRoundTrip) {
+  Rng rng(7);
+  const NetlistParams params{30, 45, 1.0};
+  const Hypergraph h = make_random_netlist(params, rng);
+  const std::string path = testing::TempDir() + "/gbis_hmetis_test.hgr";
+  write_hmetis_file(path, h);
+  const Hypergraph parsed = read_hmetis_file(path);
+  EXPECT_EQ(parsed.num_pins(), h.num_pins());
+  EXPECT_THROW(read_hmetis_file("/nonexistent/x.hgr"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gbis

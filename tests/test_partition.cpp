@@ -1,0 +1,285 @@
+// Unit and property tests for the partition substrate: Bisection
+// bookkeeping, gain arithmetic, and balance repair.
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gbis/gen/gnp.hpp"
+#include "gbis/gen/special.hpp"
+#include "gbis/graph/builder.hpp"
+#include "gbis/partition/balance.hpp"
+#include "gbis/partition/bisection.hpp"
+#include "gbis/partition/buckets.hpp"
+#include "gbis/partition/gains.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace gbis {
+namespace {
+
+Graph square() {  // 4-cycle 0-1-2-3
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 0);
+  return b.build();
+}
+
+TEST(Bisection, CutComputation) {
+  const Graph g = square();
+  // {0,1} vs {2,3}: edges (1,2) and (3,0) cross.
+  Bisection b(g, {0, 0, 1, 1});
+  EXPECT_EQ(b.cut(), 2);
+  // {0,2} vs {1,3}: all four edges cross.
+  Bisection b2(g, {0, 1, 0, 1});
+  EXPECT_EQ(b2.cut(), 4);
+}
+
+TEST(Bisection, RejectsBadSides) {
+  const Graph g = square();
+  EXPECT_THROW(Bisection(g, {0, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(Bisection(g, {0, 0, 1, 2}), std::invalid_argument);
+}
+
+TEST(Bisection, CountsAndWeights) {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1);
+  builder.set_vertex_weight(0, 3);
+  const Graph g = builder.build();
+  Bisection b(g, {0, 0, 1, 1});
+  EXPECT_EQ(b.side_count(0), 2u);
+  EXPECT_EQ(b.side_count(1), 2u);
+  EXPECT_EQ(b.side_weight(0), 4);
+  EXPECT_EQ(b.side_weight(1), 2);
+  EXPECT_EQ(b.weight_imbalance(), 2);
+  EXPECT_EQ(b.count_imbalance(), 0u);
+  EXPECT_TRUE(b.is_balanced());
+}
+
+TEST(Bisection, RandomIsBalanced) {
+  Rng rng(1);
+  for (std::uint32_t n : {2u, 3u, 10u, 11u, 100u}) {
+    const Graph g = make_path(n);
+    const Bisection b = Bisection::random(g, rng);
+    EXPECT_LE(b.count_imbalance(), 1u);
+    EXPECT_TRUE(b.validate());
+  }
+}
+
+TEST(Bisection, PlantedSplitsHalves) {
+  const Graph g = make_path(6);
+  const Bisection b = Bisection::planted(g);
+  EXPECT_EQ(b.side(0), 0);
+  EXPECT_EQ(b.side(2), 0);
+  EXPECT_EQ(b.side(3), 1);
+  EXPECT_EQ(b.cut(), 1);  // only edge (2,3) crosses
+}
+
+TEST(Bisection, MoveUpdatesCutIncrementally) {
+  const Graph g = square();
+  Bisection b(g, {0, 0, 1, 1});
+  b.move(1);  // now {0} vs {1,2,3}
+  EXPECT_EQ(b.cut(), 2);
+  EXPECT_EQ(b.side(1), 1);
+  EXPECT_EQ(b.side_count(0), 1u);
+  EXPECT_EQ(b.cut(), b.recompute_cut());
+  EXPECT_TRUE(b.validate());
+}
+
+TEST(Bisection, SwapKeepsBalance) {
+  const Graph g = square();
+  Bisection b(g, {0, 0, 1, 1});
+  b.swap(1, 2);
+  EXPECT_EQ(b.side_count(0), 2u);
+  EXPECT_EQ(b.cut(), b.recompute_cut());
+  EXPECT_THROW(b.swap(0, 2), std::invalid_argument);  // both side 0 now
+}
+
+TEST(Bisection, GainMatchesDefinition) {
+  const Graph g = square();
+  const Bisection b(g, {0, 0, 1, 1});
+  // Vertex 0: one external edge (to 3), one internal (to 1): gain 0.
+  EXPECT_EQ(b.gain(0), 0);
+  Bisection lopsided(g, {0, 1, 1, 1});
+  // Vertex 0: both edges external: gain 2.
+  EXPECT_EQ(lopsided.gain(0), 2);
+  // Moving v changes cut by -gain.
+  const Weight before = lopsided.cut();
+  const Weight gain = lopsided.gain(0);
+  lopsided.move(0);
+  EXPECT_EQ(lopsided.cut(), before - gain);
+}
+
+TEST(Bisection, WeightToSide) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1, 4);
+  builder.add_edge(0, 2, 9);
+  const Graph g = builder.build();
+  const Bisection b(g, {0, 0, 1});
+  EXPECT_EQ(b.weight_to_side(0, 0), 4);
+  EXPECT_EQ(b.weight_to_side(0, 1), 9);
+}
+
+// Property: under arbitrary random move sequences, the incremental cut
+// always equals the from-scratch cut (swept over sizes).
+class BisectionMoveProperty : public testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BisectionMoveProperty, IncrementalCutAlwaysConsistent) {
+  const std::uint32_t n = GetParam();
+  Rng rng(n * 7919 + 1);
+  const Graph g = make_gnp(n, 6.0 / n, rng);
+  Bisection b = Bisection::random(g, rng);
+  for (int step = 0; step < 200; ++step) {
+    b.move(static_cast<Vertex>(rng.below(n)));
+    ASSERT_EQ(b.cut(), b.recompute_cut()) << "n=" << n << " step=" << step;
+  }
+  EXPECT_TRUE(b.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BisectionMoveProperty,
+                         testing::Values(8u, 17u, 32u, 64u, 129u, 256u));
+
+// Property: gain-update formulas agree with recomputed gains.
+class GainUpdateProperty : public testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(GainUpdateProperty, MoveUpdateMatchesRecompute) {
+  const std::uint32_t n = GetParam();
+  Rng rng(n * 104729 + 7);
+  const Graph g = make_gnp(n, 8.0 / n, rng);
+  Bisection b = Bisection::random(g, rng);
+  std::vector<Weight> gains = all_gains(b);
+  std::vector<std::uint8_t> sides(b.sides().begin(), b.sides().end());
+  for (int step = 0; step < 100; ++step) {
+    const auto v = static_cast<Vertex>(rng.below(n));
+    update_gains_after_move(g, sides, v, gains);
+    sides[v] ^= 1;
+    b.move(v);
+    const std::vector<Weight> fresh = all_gains(b);
+    ASSERT_EQ(gains, fresh) << "step " << step;
+  }
+}
+
+TEST_P(GainUpdateProperty, SwapUpdateMatchesRecompute) {
+  const std::uint32_t n = GetParam();
+  Rng rng(n * 31337 + 3);
+  const Graph g = make_gnp(n, 8.0 / n, rng);
+  Bisection b = Bisection::random(g, rng);
+  std::vector<Weight> gains = all_gains(b);
+  std::vector<std::uint8_t> sides(b.sides().begin(), b.sides().end());
+  for (int step = 0; step < 60; ++step) {
+    // Pick a random opposite-side pair.
+    Vertex a = 0, c = 0;
+    do {
+      a = static_cast<Vertex>(rng.below(n));
+    } while (sides[a] != 0);
+    do {
+      c = static_cast<Vertex>(rng.below(n));
+    } while (sides[c] != 1);
+    update_gains_after_swap(g, sides, a, c, gains);
+    b.swap(a, c);
+    sides[a] = 1;
+    sides[c] = 0;
+    const std::vector<Weight> fresh = all_gains(b);
+    // The formula leaves the swapped pair's own entries stale (callers
+    // lock them); fix them up before comparing.
+    gains[a] = fresh[a];
+    gains[c] = fresh[c];
+    ASSERT_EQ(gains, fresh) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GainUpdateProperty,
+                         testing::Values(16u, 33u, 64u, 128u));
+
+TEST(PairGain, AccountsForSharedEdge) {
+  const Graph g = square();
+  const Bisection b(g, {0, 0, 1, 1});
+  const auto gains = all_gains(b);
+  // Pair (1, 2) shares an edge: g_12 = g_1 + g_2 - 2.
+  EXPECT_EQ(pair_gain(g, 1, 2, gains[1], gains[2]),
+            gains[1] + gains[2] - 2);
+  // Pair (1, 3) does not: g_13 = g_1 + g_3.
+  EXPECT_EQ(pair_gain(g, 1, 3, gains[1], gains[3]), gains[1] + gains[3]);
+}
+
+TEST(Rebalance, RestoresBalance) {
+  Rng rng(5);
+  const Graph g = make_gnp(64, 0.1, rng);
+  std::vector<std::uint8_t> sides(64, 0);
+  for (int i = 0; i < 10; ++i) sides[i] = 1;  // 54 vs 10
+  Bisection b(g, std::move(sides));
+  const std::uint32_t moved = rebalance(b);
+  EXPECT_EQ(moved, 22u);  // 54 -> 32
+  EXPECT_TRUE(b.is_balanced());
+  EXPECT_EQ(b.cut(), b.recompute_cut());
+}
+
+TEST(Rebalance, NoOpWhenBalanced) {
+  Rng rng(6);
+  const Graph g = make_gnp(30, 0.2, rng);
+  Bisection b = Bisection::random(g, rng);
+  const Weight cut = b.cut();
+  EXPECT_EQ(rebalance(b), 0u);
+  EXPECT_EQ(b.cut(), cut);
+}
+
+TEST(Rebalance, AllOnOneSide) {
+  const Graph g = make_cycle(10);
+  Bisection b(g, std::vector<std::uint8_t>(10, 0));
+  rebalance(b);
+  EXPECT_TRUE(b.is_balanced());
+  EXPECT_TRUE(b.validate());
+}
+
+TEST(GainBuckets, InsertRemoveUpdate) {
+  GainBuckets buckets(10, 5);
+  EXPECT_TRUE(buckets.empty());
+  buckets.insert(3, 2);
+  buckets.insert(4, -5);
+  buckets.insert(5, 2);
+  EXPECT_EQ(buckets.max_gain_present(), 2);
+  EXPECT_TRUE(buckets.contains(3));
+  EXPECT_FALSE(buckets.contains(0));
+  EXPECT_EQ(buckets.gain(4), -5);
+
+  buckets.remove(5);
+  EXPECT_EQ(buckets.max_gain_present(), 2);
+  buckets.remove(3);
+  EXPECT_EQ(buckets.max_gain_present(), -5);
+  buckets.update(4, 5);
+  EXPECT_EQ(buckets.max_gain_present(), 5);
+  buckets.remove(4);
+  EXPECT_TRUE(buckets.empty());
+}
+
+TEST(GainBuckets, BucketIterationCoversAll) {
+  GainBuckets buckets(6, 3);
+  buckets.insert(0, 1);
+  buckets.insert(1, 1);
+  buckets.insert(2, 1);
+  int count = 0;
+  for (auto it = buckets.bucket_head(1); it != GainBuckets::kNil;
+       it = buckets.bucket_next(static_cast<Vertex>(it))) {
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+}
+
+TEST(GainBuckets, RemoveMiddleOfBucket) {
+  GainBuckets buckets(6, 3);
+  buckets.insert(0, 1);
+  buckets.insert(1, 1);
+  buckets.insert(2, 1);
+  buckets.remove(1);  // middle of the linked list (insertion order 2,1,0)
+  int count = 0;
+  for (auto it = buckets.bucket_head(1); it != GainBuckets::kNil;
+       it = buckets.bucket_next(static_cast<Vertex>(it))) {
+    EXPECT_NE(it, 1);
+    ++count;
+  }
+  EXPECT_EQ(count, 2);
+}
+
+}  // namespace
+}  // namespace gbis

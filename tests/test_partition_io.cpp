@@ -1,0 +1,63 @@
+// Tests for partition-file serialization.
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gbis/io/partition_io.hpp"
+
+namespace gbis {
+namespace {
+
+TEST(PartitionIo, RoundTrip) {
+  const std::vector<std::uint32_t> parts{0, 2, 1, 1, 0, 3};
+  std::stringstream ss;
+  write_partition(ss, parts);
+  EXPECT_EQ(read_partition(ss), parts);
+}
+
+TEST(PartitionIo, SidesVariant) {
+  const std::vector<std::uint8_t> sides{0, 1, 1, 0};
+  std::stringstream ss;
+  write_partition_sides(ss, sides);
+  const auto parts = read_partition(ss, 4, 2);
+  EXPECT_EQ(parts, (std::vector<std::uint32_t>{0, 1, 1, 0}));
+}
+
+TEST(PartitionIo, SkipsBlankLines) {
+  std::stringstream ss("0\n\n1\n  \n0\n");
+  EXPECT_EQ(read_partition(ss), (std::vector<std::uint32_t>{0, 1, 0}));
+}
+
+TEST(PartitionIo, RejectsMalformedInput) {
+  std::stringstream garbage("0\nabc\n");
+  EXPECT_THROW(read_partition(garbage), std::runtime_error);
+  std::stringstream extra("0 extra\n");
+  EXPECT_THROW(read_partition(extra), std::runtime_error);
+  std::stringstream wrong_count("0\n1\n");
+  EXPECT_THROW(read_partition(wrong_count, 3), std::runtime_error);
+  std::stringstream out_of_range("0\n5\n");
+  EXPECT_THROW(read_partition(out_of_range, 0, 2), std::runtime_error);
+}
+
+TEST(PartitionIo, FileRoundTripAndErrors) {
+  const std::vector<std::uint32_t> parts{1, 0, 1};
+  const std::string path = testing::TempDir() + "/gbis_part_test.part";
+  write_partition_file(path, parts);
+  EXPECT_EQ(read_partition_file(path, 3, 2), parts);
+  EXPECT_THROW(read_partition_file("/nonexistent/x.part"),
+               std::runtime_error);
+  EXPECT_THROW(write_partition_file("/nonexistent/dir/x.part", parts),
+               std::runtime_error);
+}
+
+TEST(PartitionIo, EmptyInput) {
+  std::stringstream ss("");
+  EXPECT_TRUE(read_partition(ss).empty());
+  std::stringstream ss2("");
+  EXPECT_THROW(read_partition(ss2, 5), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gbis

@@ -1,0 +1,176 @@
+// Unit tests for the RNG substrate: engines, distribution helpers,
+// determinism, and basic statistical sanity.
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gbis/rng/fibonacci.hpp"
+#include "gbis/rng/rng.hpp"
+#include "gbis/rng/splitmix.hpp"
+#include "gbis/rng/xoshiro.hpp"
+
+namespace gbis {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro, IsDeterministic) {
+  Xoshiro256ss a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, JumpProducesDisjointStream) {
+  Xoshiro256ss a(7), b(7);
+  b.jump();
+  std::set<std::uint64_t> from_a;
+  for (int i = 0; i < 1000; ++i) from_a.insert(a.next());
+  int collisions = 0;
+  for (int i = 0; i < 1000; ++i) collisions += from_a.count(b.next());
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(LaggedFibonacci, IsDeterministic) {
+  LaggedFibonacci a(99), b(99);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(LaggedFibonacci, MatchesRecurrence) {
+  // Capture 55 outputs, then verify X[i] = X[i-55] + X[i-24].
+  LaggedFibonacci f(3);
+  std::vector<std::uint64_t> history;
+  for (int i = 0; i < 200; ++i) history.push_back(f.next());
+  for (std::size_t i = 55; i < history.size(); ++i) {
+    EXPECT_EQ(history[i], history[i - 55] + history[i - 24]) << "at " << i;
+  }
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(123);
+  constexpr int kBuckets = 10, kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 600);  // ~6 sigma
+  }
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Real01InUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.real01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits, 30000, 900);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(19);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);  // probability of identity is 1/100!
+}
+
+TEST(Rng, SampleIndicesAreDistinctAndInRange) {
+  Rng rng(23);
+  const auto sample = rng.sample_indices(50, 20);
+  ASSERT_EQ(sample.size(), 20u);
+  std::set<std::uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (std::uint32_t idx : sample) EXPECT_LT(idx, 50u);
+}
+
+TEST(Rng, SampleAllIsPermutation) {
+  Rng rng(29);
+  const auto sample = rng.sample_indices(10, 10);
+  std::set<std::uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, FibonacciEngineSelectable) {
+  Rng x(RngEngine::kXoshiro, 31);
+  Rng f(RngEngine::kFibonacci, 31);
+  EXPECT_EQ(f.engine(), RngEngine::kFibonacci);
+  // Engines produce different streams from the same seed.
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff = any_diff || (x.next() != f.next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, SpawnGivesIndependentStream) {
+  Rng parent(37);
+  Rng child = parent.spawn(0);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    any_diff = any_diff || (parent.next() != child.next());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace gbis

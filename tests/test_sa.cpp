@@ -1,0 +1,219 @@
+// Tests for the simulated annealing bisector and its schedule.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gbis/exact/brute.hpp"
+#include "gbis/gen/gnp.hpp"
+#include "gbis/gen/planted.hpp"
+#include "gbis/gen/special.hpp"
+#include "gbis/graph/builder.hpp"
+#include "gbis/partition/bisection.hpp"
+#include "gbis/rng/rng.hpp"
+#include "gbis/sa/sa.hpp"
+#include "gbis/sa/schedule.hpp"
+
+namespace gbis {
+namespace {
+
+TEST(Schedule, GeometricCooling) {
+  GeometricSchedule s(10.0, 0.5);
+  EXPECT_DOUBLE_EQ(s.temperature(), 10.0);
+  EXPECT_DOUBLE_EQ(s.cool(), 5.0);
+  EXPECT_DOUBLE_EQ(s.cool(), 2.5);
+  EXPECT_EQ(s.steps(), 3u);
+}
+
+TEST(Schedule, RejectsBadParameters) {
+  EXPECT_THROW(GeometricSchedule(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(GeometricSchedule(-1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(GeometricSchedule(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(GeometricSchedule(1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Schedule, InitialTemperatureFormula) {
+  const double deltas[] = {2.0, 4.0};
+  // mean 3; target acceptance e^{-1} => T0 = 3.
+  const double t0 =
+      initial_temperature_for_acceptance(deltas, std::exp(-1.0));
+  EXPECT_NEAR(t0, 3.0, 1e-12);
+}
+
+TEST(Schedule, InitialTemperatureFallback) {
+  EXPECT_DOUBLE_EQ(
+      initial_temperature_for_acceptance({}, 0.5, /*fallback=*/7.0), 7.0);
+  EXPECT_THROW(initial_temperature_for_acceptance({}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(initial_temperature_for_acceptance({}, 1.0),
+               std::invalid_argument);
+}
+
+SaOptions fast_sa() {
+  SaOptions options;
+  options.temperature_length_factor = 4.0;
+  options.cooling_ratio = 0.9;
+  return options;
+}
+
+TEST(Sa, ReturnsBalancedBisection) {
+  Rng rng(1);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = make_gnp(60, 0.1, rng);
+    Bisection b = Bisection::random(g, rng);
+    const SaStats stats = sa_refine(b, rng, fast_sa());
+    EXPECT_LE(b.count_imbalance(), 1u);
+    EXPECT_EQ(b.cut(), b.recompute_cut());
+    EXPECT_EQ(stats.final_cut, b.cut());
+    EXPECT_GT(stats.temperatures, 0u);
+    EXPECT_GT(stats.moves_proposed, 0u);
+  }
+}
+
+TEST(Sa, NeverWorseThanBestBalancedSeen) {
+  // The initial configuration is balanced, so the result must not be
+  // worse than the start.
+  Rng rng(2);
+  const Graph g = make_gnp(50, 0.15, rng);
+  Bisection b = Bisection::random(g, rng);
+  const Weight before = b.cut();
+  sa_refine(b, rng, fast_sa());
+  EXPECT_LE(b.cut(), before);
+}
+
+TEST(Sa, SolvesWellSeparatedInstances) {
+  Rng rng(3);
+  const PlantedParams params{24, 0.9, 0.9, 2};
+  const Graph g = make_planted(params, rng);
+  const Weight optimal = brute_force_bisection(g).cut;
+  Weight best = std::numeric_limits<Weight>::max();
+  for (int start = 0; start < 3; ++start) {
+    Bisection b = Bisection::random(g, rng);
+    sa_refine(b, rng, fast_sa());
+    best = std::min(best, b.cut());
+  }
+  EXPECT_EQ(best, optimal);
+}
+
+TEST(Sa, GoodOnLadders) {
+  // Observation 4: SA handles ladders well; expect near-optimal (the
+  // optimum is 2) from a single start on a modest ladder.
+  Rng rng(4);
+  const Graph g = make_ladder(40);
+  Bisection b = Bisection::random(g, rng);
+  SaOptions options;  // default (non-fast) schedule for quality
+  options.temperature_length_factor = 8.0;
+  sa_refine(b, rng, options);
+  EXPECT_LE(b.cut(), 6);
+}
+
+TEST(Sa, ExplicitInitialTemperature) {
+  Rng rng(5);
+  const Graph g = make_gnp(40, 0.2, rng);
+  Bisection b = Bisection::random(g, rng);
+  SaOptions options = fast_sa();
+  options.initial_temperature = 3.5;
+  const SaStats stats = sa_refine(b, rng, options);
+  EXPECT_DOUBLE_EQ(stats.initial_temperature, 3.5);
+}
+
+TEST(Sa, MaxTotalMovesCapsWork) {
+  Rng rng(6);
+  const Graph g = make_gnp(100, 0.1, rng);
+  Bisection b = Bisection::random(g, rng);
+  SaOptions options = fast_sa();
+  options.max_total_moves = 500;
+  const SaStats stats = sa_refine(b, rng, options);
+  EXPECT_LE(stats.moves_proposed, 500u);
+  EXPECT_LE(b.count_imbalance(), 1u);  // repair still runs
+}
+
+TEST(Sa, RejectsNegativeAlpha) {
+  Rng rng(7);
+  const Graph g = make_path(4);
+  Bisection b = Bisection::random(g, rng);
+  SaOptions options;
+  options.imbalance_alpha = -1.0;
+  EXPECT_THROW(sa_refine(b, rng, options), std::invalid_argument);
+}
+
+TEST(Sa, TinyGraphs) {
+  Rng rng(8);
+  const Graph g1 = make_path(1);
+  Bisection b1 = Bisection::random(g1, rng);
+  const SaStats s1 = sa_refine(b1, rng, fast_sa());
+  EXPECT_EQ(s1.final_cut, 0);
+
+  const Graph g2 = make_path(2);
+  Bisection b2 = Bisection::random(g2, rng);
+  sa_refine(b2, rng, fast_sa());
+  EXPECT_EQ(b2.cut(), 1);
+  EXPECT_TRUE(b2.is_balanced());
+}
+
+TEST(Sa, EdgelessGraph) {
+  Rng rng(9);
+  GraphBuilder builder(12);
+  const Graph g = builder.build();
+  Bisection b = Bisection::random(g, rng);
+  sa_refine(b, rng, fast_sa());
+  EXPECT_EQ(b.cut(), 0);
+  EXPECT_TRUE(b.is_balanced());
+}
+
+TEST(Sa, StagnationCutoffStopsEarly) {
+  // The section-VII premature-termination knob: with a tight
+  // stagnation cut-off, SA visits far fewer temperatures than a full
+  // run to freezing on the same instance and stream.
+  Rng rng_full(21), rng_early(21);
+  const Graph g = make_gnp(100, 0.06, rng_full);
+  Rng rng_g(21);
+  const Graph g2 = make_gnp(100, 0.06, rng_early);  // identical graph
+
+  SaOptions full = fast_sa();
+  Bisection b_full = Bisection::random(g, rng_full);
+  const SaStats s_full = sa_refine(b_full, rng_full, full);
+
+  SaOptions early = fast_sa();
+  early.stagnation_temperatures = 2;
+  Bisection b_early = Bisection::random(g2, rng_early);
+  const SaStats s_early = sa_refine(b_early, rng_early, early);
+
+  EXPECT_LT(s_early.temperatures, s_full.temperatures);
+  EXPECT_LE(b_early.count_imbalance(), 1u);
+}
+
+TEST(Sa, AcceptanceDecreasesAsItFreezes) {
+  // Coarse sanity of the annealing dynamic: overall acceptance ratio is
+  // strictly below 1 and the walk eventually froze (finished).
+  Rng rng(10);
+  const Graph g = make_gnp(80, 0.1, rng);
+  Bisection b = Bisection::random(g, rng);
+  const SaStats stats = sa_refine(b, rng, fast_sa());
+  EXPECT_LT(stats.moves_accepted, stats.moves_proposed);
+  EXPECT_LT(stats.final_temperature, stats.initial_temperature);
+}
+
+class SaProperty : public testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SaProperty, LegalOnRandomGraphs) {
+  const std::uint32_t n = GetParam();
+  Rng rng(n * 23 + 9);
+  const Graph g = make_gnp(n, 6.0 / n, rng);
+  Bisection b = Bisection::random(g, rng);
+  const Weight before = b.cut();
+  sa_refine(b, rng, fast_sa());
+  EXPECT_LE(b.cut(), before);
+  EXPECT_LE(b.count_imbalance(), 1u);
+  ASSERT_EQ(b.cut(), b.recompute_cut());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SaProperty,
+                         testing::Values(16u, 33u, 64u, 129u));
+
+}  // namespace
+}  // namespace gbis

@@ -1,0 +1,136 @@
+// Tests for the algorithm variants: greedy-tops KL pair selection and
+// swap-neighborhood SA.
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gbis/exact/brute.hpp"
+#include "gbis/gen/gnp.hpp"
+#include "gbis/gen/planted.hpp"
+#include "gbis/gen/regular_planted.hpp"
+#include "gbis/gen/special.hpp"
+#include "gbis/kl/kl.hpp"
+#include "gbis/partition/bisection.hpp"
+#include "gbis/rng/rng.hpp"
+#include "gbis/sa/sa.hpp"
+
+namespace gbis {
+namespace {
+
+TEST(KlGreedyTops, LegalAndMonotone) {
+  Rng rng(1);
+  KlOptions options;
+  options.pair_selection = KlPairSelection::kGreedyTops;
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = make_gnp(80, 0.08, rng);
+    Bisection b = Bisection::random(g, rng);
+    const Weight before = b.cut();
+    kl_refine(b, options);
+    EXPECT_LE(b.cut(), before);
+    EXPECT_TRUE(b.is_balanced());
+    ASSERT_EQ(b.cut(), b.recompute_cut());
+  }
+}
+
+TEST(KlGreedyTops, NeverBeatsBestPairOnAverage) {
+  // The full Figure-2 scan dominates the greedy shortcut on sparse
+  // planted regular graphs (this gap is the point of the variant —
+  // bench/ablation_kl_selection quantifies it).
+  Rng rng(2);
+  double best_total = 0, greedy_total = 0;
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = make_regular_planted({400, 8, 3}, rng);
+    KlOptions best_opts;
+    KlOptions greedy_opts;
+    greedy_opts.pair_selection = KlPairSelection::kGreedyTops;
+    Weight best = std::numeric_limits<Weight>::max();
+    Weight greedy = std::numeric_limits<Weight>::max();
+    for (int s = 0; s < 2; ++s) {
+      Bisection b1 = Bisection::random(g, rng);
+      kl_refine(b1, best_opts);
+      best = std::min(best, b1.cut());
+      Bisection b2 = Bisection::random(g, rng);
+      kl_refine(b2, greedy_opts);
+      greedy = std::min(greedy, b2.cut());
+    }
+    best_total += static_cast<double>(best);
+    greedy_total += static_cast<double>(greedy);
+  }
+  EXPECT_LE(best_total, greedy_total);
+}
+
+TEST(SaSwap, KeepsExactBalanceThroughout) {
+  Rng rng(3);
+  const Graph g = make_gnp(60, 0.1, rng);
+  Bisection b = Bisection::random(g, rng);
+  SaOptions options;
+  options.neighborhood = SaNeighborhood::kSwap;
+  options.temperature_length_factor = 4.0;
+  options.cooling_ratio = 0.9;
+  const Weight before = b.cut();
+  const SaStats stats = sa_refine(b, rng, options);
+  EXPECT_EQ(b.count_imbalance(), 0u);
+  EXPECT_LE(b.cut(), before);
+  EXPECT_EQ(b.cut(), b.recompute_cut());
+  EXPECT_GT(stats.moves_proposed, 0u);
+}
+
+TEST(SaSwap, SolvesWellSeparatedInstances) {
+  Rng rng(4);
+  const PlantedParams params{24, 0.9, 0.9, 2};
+  const Graph g = make_planted(params, rng);
+  const Weight optimal = brute_force_bisection(g).cut;
+  SaOptions options;
+  options.neighborhood = SaNeighborhood::kSwap;
+  options.temperature_length_factor = 4.0;
+  Weight best = std::numeric_limits<Weight>::max();
+  for (int start = 0; start < 3; ++start) {
+    Bisection b = Bisection::random(g, rng);
+    sa_refine(b, rng, options);
+    best = std::min(best, b.cut());
+  }
+  EXPECT_EQ(best, optimal);
+}
+
+TEST(SaSwap, RepairsImbalancedStart) {
+  Rng rng(5);
+  const Graph g = make_gnp(30, 0.2, rng);
+  std::vector<std::uint8_t> sides(30, 0);
+  for (int i = 0; i < 5; ++i) sides[static_cast<std::size_t>(i)] = 1;
+  Bisection b(g, std::move(sides));  // 25 vs 5
+  SaOptions options;
+  options.neighborhood = SaNeighborhood::kSwap;
+  options.temperature_length_factor = 2.0;
+  sa_refine(b, rng, options);
+  EXPECT_EQ(b.count_imbalance(), 0u);  // rebalanced up front, kept exact
+}
+
+TEST(SaSwap, OddVertexCount) {
+  Rng rng(6);
+  const Graph g = make_gnp(31, 0.15, rng);
+  Bisection b = Bisection::random(g, rng);
+  SaOptions options;
+  options.neighborhood = SaNeighborhood::kSwap;
+  options.temperature_length_factor = 2.0;
+  sa_refine(b, rng, options);
+  EXPECT_LE(b.count_imbalance(), 1u);
+  EXPECT_EQ(b.cut(), b.recompute_cut());
+}
+
+TEST(SaSwap, TinyGraphs) {
+  Rng rng(7);
+  SaOptions options;
+  options.neighborhood = SaNeighborhood::kSwap;
+  const Graph g = make_path(2);
+  Bisection b = Bisection::random(g, rng);
+  sa_refine(b, rng, options);
+  EXPECT_EQ(b.cut(), 1);
+  const Graph g1 = make_path(1);
+  Bisection b1 = Bisection::random(g1, rng);
+  sa_refine(b1, rng, options);  // must not crash or hang
+}
+
+}  // namespace
+}  // namespace gbis

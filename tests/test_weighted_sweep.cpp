@@ -1,0 +1,84 @@
+// Weighted-graph property sweeps: every refinement algorithm must stay
+// correct on the weighted graphs that contraction produces — the
+// regime the compaction pipeline exercises internally.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "gbis/core/contract.hpp"
+#include "gbis/core/matching.hpp"
+#include "gbis/fm/fm.hpp"
+#include "gbis/gen/gnp.hpp"
+#include "gbis/gen/regular_planted.hpp"
+#include "gbis/kl/kl.hpp"
+#include "gbis/partition/bisection.hpp"
+#include "gbis/rng/rng.hpp"
+#include "gbis/sa/sa.hpp"
+
+namespace gbis {
+namespace {
+
+enum class Algo { kKl, kFm, kSa };
+
+using SweepParam = std::tuple<Algo, std::uint32_t, int>;  // algo, n, levels
+
+class WeightedSweep : public testing::TestWithParam<SweepParam> {};
+
+TEST_P(WeightedSweep, LegalOnContractedGraphs) {
+  const auto [algo, n, levels] = GetParam();
+  Rng rng(n * 31 + static_cast<std::uint32_t>(algo) * 7 +
+          static_cast<std::uint32_t>(levels));
+  Graph g = make_gnp(n, 6.0 / n, rng);
+  // Contract `levels` times: vertex weights 2^levels, merged edge
+  // weights, exactly the graphs the multilevel pipeline refines.
+  for (int level = 0; level < levels; ++level) {
+    const Matching m = maximal_matching(g, rng);
+    g = contract_matching(g, m, rng).coarse;
+  }
+  ASSERT_GE(g.num_vertices(), 4u);
+
+  Bisection b = Bisection::random(g, rng);
+  const Weight before = b.cut();
+  switch (algo) {
+    case Algo::kKl:
+      kl_refine(b);
+      break;
+    case Algo::kFm:
+      fm_refine(b);
+      break;
+    case Algo::kSa: {
+      SaOptions options;
+      options.temperature_length_factor = 2.0;
+      options.cooling_ratio = 0.85;
+      sa_refine(b, rng, options);
+      break;
+    }
+  }
+  EXPECT_LE(b.cut(), before);
+  EXPECT_LE(b.count_imbalance(), 1u);
+  ASSERT_EQ(b.cut(), b.recompute_cut());
+  EXPECT_TRUE(b.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WeightedSweep,
+    testing::Combine(testing::Values(Algo::kKl, Algo::kFm, Algo::kSa),
+                     testing::Values(64u, 128u, 256u),
+                     testing::Values(1, 2, 3)));
+
+TEST(WeightedSweep, KlOnContractedPlantedStillFindsStructure) {
+  // Contract a planted Gbreg graph once; the planted cut survives in
+  // the coarse graph (projection invariant), and KL on the coarse
+  // graph should find a cut no larger than a random coarse cut.
+  Rng rng(99);
+  const Graph fine = make_regular_planted({600, 8, 3}, rng);
+  const Matching m = maximal_matching(fine, rng);
+  const Contraction c = contract_matching(fine, m, rng);
+  Bisection coarse = Bisection::random(c.coarse, rng);
+  const Weight random_cut = coarse.cut();
+  kl_refine(coarse);
+  EXPECT_LT(coarse.cut(), random_cut / 2);
+}
+
+}  // namespace
+}  // namespace gbis

@@ -1,0 +1,264 @@
+// gbis — the command-line front end. Everything the library does,
+// scriptable:
+//
+//   gbis gen <model> <args...> <out.graph>        generate an instance
+//     models: gbreg <2n> <b> <d> | g2set <2n> <deg> <b> | gnp <n> <deg>
+//             grid <rows> <cols> | ladder <rungs> | bintree <n>
+//             geometric <n> <deg> | smallworld <n> <k> <beta>
+//             prefattach <n> <m>
+//   gbis solve <in.graph> <method> [out.part]     bisect (kl sa ckl csa
+//                                                 fm cfm mlkl greedy
+//                                                 spectral random quench)
+//   gbis kway <in.graph> <k> [out.part]           recursive k-way (CKL)
+//   gbis eval <in.graph> <in.part>                score a partition
+//   gbis stats <in.graph>                         structural report
+//   gbis convert <in.graph> <out.{graph|metis|dot}>
+//
+// Graph files are gbis edge-list format unless the name ends in
+// ".metis". Global flag: --seed <n> (default 42), anywhere.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "gbis/baseline/hill_climb.hpp"
+#include "gbis/gen/gnp.hpp"
+#include "gbis/gen/models.hpp"
+#include "gbis/gen/planted.hpp"
+#include "gbis/gen/regular_planted.hpp"
+#include "gbis/gen/special.hpp"
+#include "gbis/graph/analysis.hpp"
+#include "gbis/graph/ops.hpp"
+#include "gbis/harness/runner.hpp"
+#include "gbis/harness/timer.hpp"
+#include "gbis/io/dot.hpp"
+#include "gbis/io/edge_list.hpp"
+#include "gbis/io/metis.hpp"
+#include "gbis/io/partition_io.hpp"
+#include "gbis/kway/recursive.hpp"
+#include "gbis/kway/refine.hpp"
+#include "gbis/partition/bisection.hpp"
+#include "gbis/partition/metrics.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace {
+
+using namespace gbis;
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: see the header comment of tools/gbis_cli.cpp "
+               "(gen | solve | kway | eval | stats | convert)\n";
+  std::exit(2);
+}
+
+bool ends_with(const std::string& value, const std::string& suffix) {
+  return value.size() >= suffix.size() &&
+         value.compare(value.size() - suffix.size(), suffix.size(),
+                       suffix) == 0;
+}
+
+Graph load_graph(const std::string& path) {
+  return ends_with(path, ".metis") ? read_metis_file(path)
+                                   : read_edge_list_file(path);
+}
+
+void save_graph(const std::string& path, const Graph& g) {
+  if (ends_with(path, ".metis")) {
+    write_metis_file(path, g);
+  } else if (ends_with(path, ".dot")) {
+    write_dot_file(path, g);
+  } else {
+    write_edge_list_file(path, g);
+  }
+}
+
+double to_double(const std::string& s) { return std::strtod(s.c_str(), nullptr); }
+std::uint64_t to_u64(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+std::uint32_t to_u32(const std::string& s) {
+  return static_cast<std::uint32_t>(to_u64(s));
+}
+
+int cmd_gen(const std::vector<std::string>& args, Rng& rng) {
+  if (args.size() < 2) usage();
+  const std::string& model = args[0];
+  const std::string& out_path = args.back();
+  Graph g;
+  if (model == "gbreg" && args.size() == 5) {
+    g = make_regular_planted({to_u32(args[1]), to_u64(args[2]),
+                              to_u32(args[3])},
+                             rng);
+  } else if (model == "g2set" && args.size() == 5) {
+    g = make_planted(
+        planted_params_for_degree(to_u32(args[1]), to_double(args[2]),
+                                  to_u64(args[3])),
+        rng);
+  } else if (model == "gnp" && args.size() == 4) {
+    g = make_gnp(to_u32(args[1]),
+                 gnp_p_for_degree(to_u32(args[1]), to_double(args[2])), rng);
+  } else if (model == "grid" && args.size() == 4) {
+    g = make_grid(to_u32(args[1]), to_u32(args[2]));
+  } else if (model == "ladder" && args.size() == 3) {
+    g = make_ladder(to_u32(args[1]));
+  } else if (model == "bintree" && args.size() == 3) {
+    g = make_binary_tree(to_u32(args[1]));
+  } else if (model == "geometric" && args.size() == 4) {
+    g = make_geometric(
+        to_u32(args[1]),
+        geometric_radius_for_degree(to_u32(args[1]), to_double(args[2])),
+        rng);
+  } else if (model == "smallworld" && args.size() == 5) {
+    g = make_small_world(to_u32(args[1]), to_u32(args[2]),
+                         to_double(args[3]), rng);
+  } else if (model == "prefattach" && args.size() == 4) {
+    g = make_preferential_attachment(to_u32(args[1]), to_u32(args[2]), rng);
+  } else {
+    usage();
+  }
+  save_graph(out_path, g);
+  std::cout << "wrote " << g.num_vertices() << " vertices, "
+            << g.num_edges() << " edges to " << out_path << '\n';
+  return 0;
+}
+
+Method parse_method(const std::string& name) {
+  if (name == "kl") return Method::kKl;
+  if (name == "sa") return Method::kSa;
+  if (name == "ckl") return Method::kCkl;
+  if (name == "csa") return Method::kCsa;
+  if (name == "fm") return Method::kFm;
+  if (name == "cfm") return Method::kCfm;
+  if (name == "mlkl") return Method::kMultilevelKl;
+  if (name == "greedy") return Method::kGreedy;
+  if (name == "spectral") return Method::kSpectral;
+  if (name == "random") return Method::kRandom;
+  throw std::runtime_error("unknown method: " + name);
+}
+
+int cmd_solve(const std::vector<std::string>& args, Rng& rng) {
+  if (args.size() < 2 || args.size() > 3) usage();
+  const Graph g = load_graph(args[0]);
+
+  // "quench" is CLI-only (not a harness Method): run it directly.
+  std::vector<std::uint8_t> sides;
+  Weight cut = 0;
+  const WallTimer timer;
+  if (args[1] == "quench") {
+    Bisection b = Bisection::random(g, rng);
+    hill_climb(b, rng);
+    cut = b.cut();
+    sides.assign(b.sides().begin(), b.sides().end());
+  } else {
+    const Method method = parse_method(args[1]);
+    RunConfig config;
+    config.starts = 2;
+    const RunResult result = run_method(g, method, rng, config, &sides);
+    cut = result.best_cut;
+  }
+  const double seconds = timer.elapsed_seconds();
+  std::cout << "cut " << cut << " in " << seconds << " s\n";
+  if (args.size() == 3) {
+    std::vector<std::uint32_t> parts(sides.begin(), sides.end());
+    write_partition_file(args[2], parts);
+    std::cout << "wrote partition to " << args[2] << '\n';
+  }
+  return 0;
+}
+
+int cmd_kway(const std::vector<std::string>& args, Rng& rng) {
+  if (args.size() < 2 || args.size() > 3) usage();
+  const Graph g = load_graph(args[0]);
+  const std::uint32_t k = to_u32(args[1]);
+  const WallTimer timer;
+  KwayPartition p = recursive_kway(g, k, rng);
+  p = kway_refine(p, rng);
+  std::cout << "k=" << k << " edge cut " << p.edge_cut()
+            << ", balance factor " << p.balance_factor() << ", in "
+            << timer.elapsed_seconds() << " s\n";
+  if (args.size() == 3) {
+    write_partition_file(args[2],
+                         std::vector<std::uint32_t>(p.parts().begin(),
+                                                    p.parts().end()));
+    std::cout << "wrote partition to " << args[2] << '\n';
+  }
+  return 0;
+}
+
+int cmd_eval(const std::vector<std::string>& args) {
+  if (args.size() != 2) usage();
+  const Graph g = load_graph(args[0]);
+  const auto parts = read_partition_file(args[1], g.num_vertices());
+  std::uint32_t k = 1;
+  for (std::uint32_t p : parts) k = std::max(k, p + 1);
+  const KwayPartition partition(g, k, parts);
+  std::cout << "k=" << k << " edge cut " << partition.edge_cut()
+            << ", balance factor " << partition.balance_factor()
+            << ", max count spread " << partition.max_count_spread() << '\n';
+  if (k == 2) {
+    std::vector<std::uint8_t> sides(parts.begin(), parts.end());
+    const Bisection b(g, std::move(sides));
+    const BisectionMetrics m = bisection_metrics(b);
+    std::cout << "bisection: conductance " << m.conductance
+              << ", expansion " << m.expansion << ", vs-random "
+              << m.vs_random << '\n';
+  }
+  return 0;
+}
+
+int cmd_stats(const std::vector<std::string>& args) {
+  if (args.size() != 1) usage();
+  const Graph g = load_graph(args[0]);
+  const DegreeStats degrees = degree_stats(g);
+  std::cout << "vertices " << g.num_vertices() << ", edges "
+            << g.num_edges() << '\n';
+  std::cout << "degree min/avg/max " << degrees.min << "/"
+            << degrees.average << "/" << degrees.max << '\n';
+  std::cout << "components " << connected_components(g).count
+            << ", forest " << (is_forest(g) ? "yes" : "no") << '\n';
+  if (g.num_vertices() > 0) {
+    std::cout << "degeneracy " << degeneracy(g) << ", triangles "
+              << triangle_count(g) << ", clustering "
+              << global_clustering(g) << ", pseudo-diameter "
+              << pseudo_diameter(g) << '\n';
+  }
+  return 0;
+}
+
+int cmd_convert(const std::vector<std::string>& args) {
+  if (args.size() != 2) usage();
+  save_graph(args[1], load_graph(args[0]));
+  std::cout << "converted " << args[0] << " -> " << args[1] << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  std::uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (args.empty()) usage();
+  const std::string command = args.front();
+  args.erase(args.begin());
+  Rng rng(seed);
+  try {
+    if (command == "gen") return cmd_gen(args, rng);
+    if (command == "solve") return cmd_solve(args, rng);
+    if (command == "kway") return cmd_kway(args, rng);
+    if (command == "eval") return cmd_eval(args);
+    if (command == "stats") return cmd_stats(args);
+    if (command == "convert") return cmd_convert(args);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+  usage();
+}

@@ -43,9 +43,9 @@ void sweep(const char* label, const std::vector<Graph>& graphs, Rng& rng,
       const RunResult rk = run_method(g, Method::kCkl, rng, cfg);
       const RunResult rs = run_method(g, Method::kCsa, rng, cfg);
       ckl_cut += static_cast<double>(rk.best_cut);
-      ckl_time += rk.total_seconds;
+      ckl_time += rk.cpu_seconds;
       csa_cut += static_cast<double>(rs.best_cut);
-      csa_time += rs.total_seconds;
+      csa_time += rs.cpu_seconds;
     }
     const auto k = static_cast<double>(graphs.size());
     table.cell(c.name)

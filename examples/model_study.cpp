@@ -19,7 +19,6 @@
 #include "gbis/graph/analysis.hpp"
 #include "gbis/graph/ops.hpp"
 #include "gbis/harness/runner.hpp"
-#include "gbis/harness/timer.hpp"
 #include "gbis/io/edge_list.hpp"
 #include "gbis/rng/rng.hpp"
 
@@ -54,11 +53,11 @@ void report(const Graph& g, Method method, Rng& rng) {
   }
   RunConfig config;
   config.starts = 2;
-  const WallTimer timer;
   const RunResult result = run_method(g, method, rng, config);
   std::cout << method_name(method) << ": best cut " << result.best_cut
             << " over " << config.starts << " starts in "
-            << timer.elapsed_seconds() << " s\n";
+            << result.cpu_seconds << " cpu-s (" << result.wall_seconds
+            << " wall-s)\n";
 }
 
 }  // namespace

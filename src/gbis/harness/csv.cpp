@@ -1,5 +1,7 @@
 #include "gbis/harness/csv.hpp"
 
+#include <iomanip>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -40,8 +42,20 @@ CsvWriter& CsvWriter::cell(const std::string& value) {
 }
 
 CsvWriter& CsvWriter::cell(double value) {
+  // max_digits10 so exported doubles round-trip exactly through strtod;
+  // the default ostream precision (6 significant digits) truncates
+  // seconds/cut averages. defaultfloat still drops trailing zeros, so
+  // short values stay short ("2.5" remains "2.5").
   std::ostringstream ss;
-  ss << value;
+  ss << std::setprecision(std::numeric_limits<double>::max_digits10)
+     << value;
+  pending_.push_back(ss.str());
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
   pending_.push_back(ss.str());
   return *this;
 }

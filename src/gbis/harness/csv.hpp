@@ -17,7 +17,10 @@ class CsvWriter {
   CsvWriter(std::ostream& out, std::vector<std::string> columns);
 
   CsvWriter& cell(const std::string& value);
+  /// Round-trip-exact formatting (max_digits10) for data columns.
   CsvWriter& cell(double value);
+  /// Fixed-precision formatting for display-oriented columns.
+  CsvWriter& cell(double value, int precision);
   CsvWriter& cell(std::int64_t value);
   CsvWriter& cell(std::uint64_t value);
 

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "gbis/harness/csv.hpp"
+#include "gbis/harness/parallel_runner.hpp"
 
 #include "gbis/exact/tree.hpp"
 #include "gbis/gen/gnp.hpp"
@@ -23,12 +24,21 @@ namespace gbis {
 
 namespace {
 
+void warn_rejected(const char* name, const char* raw, const char* expected) {
+  std::cerr << "gbis: ignoring " << name << "=\"" << raw << "\" (expected "
+            << expected << "); keeping the default\n";
+}
+
 double env_double(const char* name, double fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr) return fallback;
   char* end = nullptr;
   const double value = std::strtod(raw, &end);
-  return (end == raw || value <= 0.0) ? fallback : value;
+  if (end == raw || *end != '\0' || !(value > 0.0)) {
+    warn_rejected(name, raw, "a positive number");
+    return fallback;
+  }
+  return value;
 }
 
 std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
@@ -36,7 +46,11 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   if (raw == nullptr) return fallback;
   char* end = nullptr;
   const std::uint64_t value = std::strtoull(raw, &end, 10);
-  return end == raw ? fallback : value;
+  if (end == raw || *end != '\0') {
+    warn_rejected(name, raw, "an unsigned integer");
+    return fallback;
+  }
+  return value;
 }
 
 /// Scales a vertex count, keeping it even and at least 4.
@@ -139,6 +153,8 @@ ExperimentEnv experiment_env() {
       std::max<std::uint32_t>(1, static_cast<std::uint32_t>(
                                      env_u64("GBIS_STARTS", env.starts)));
   env.seed = env_u64("GBIS_SEED", env.seed);
+  env.threads =
+      static_cast<std::uint32_t>(env_u64("GBIS_THREADS", env.threads));
   env.sa_length_factor =
       env_double("GBIS_SA_LENGTH", env.sa_length_factor);
   if (const char* dir = std::getenv("GBIS_CSV_DIR"); dir != nullptr) {
@@ -150,26 +166,36 @@ ExperimentEnv experiment_env() {
 RunConfig experiment_run_config(const ExperimentEnv& env) {
   RunConfig config;
   config.starts = env.starts;
+  config.threads = env.threads;
   config.sa.temperature_length_factor = env.sa_length_factor;
   return config;
 }
 
 FourWayRow run_four_way(std::span<const Graph> graphs, Rng& rng,
                         const RunConfig& config) {
+  // One trial matrix over all graphs and the four paper methods: every
+  // (graph, method, start) runs as its own job with its own Rng derived
+  // from (base, trial id), so the row is bit-identical for any thread
+  // count and the driver stream advances by exactly one draw.
+  constexpr Method kMethods[] = {Method::kSa, Method::kCsa, Method::kKl,
+                                 Method::kCkl};
+  const std::vector<MethodOutcome> outcomes =
+      run_trial_matrix(graphs, kMethods, config, rng.next());
+
   FourWayRow row;
-  for (const Graph& g : graphs) {
-    const RunResult sa = run_method(g, Method::kSa, rng, config);
-    const RunResult csa = run_method(g, Method::kCsa, rng, config);
-    const RunResult kl = run_method(g, Method::kKl, rng, config);
-    const RunResult ckl = run_method(g, Method::kCkl, rng, config);
+  for (std::size_t g = 0; g < graphs.size(); ++g) {
+    const MethodOutcome& sa = outcomes[g * 4 + 0];
+    const MethodOutcome& csa = outcomes[g * 4 + 1];
+    const MethodOutcome& kl = outcomes[g * 4 + 2];
+    const MethodOutcome& ckl = outcomes[g * 4 + 3];
     row.bsa += static_cast<double>(sa.best_cut);
     row.bcsa += static_cast<double>(csa.best_cut);
     row.bkl += static_cast<double>(kl.best_cut);
     row.bckl += static_cast<double>(ckl.best_cut);
-    row.tsa += sa.total_seconds;
-    row.tcsa += csa.total_seconds;
-    row.tkl += kl.total_seconds;
-    row.tckl += ckl.total_seconds;
+    row.tsa += sa.cpu_seconds;
+    row.tcsa += csa.cpu_seconds;
+    row.tkl += kl.cpu_seconds;
+    row.tckl += ckl.cpu_seconds;
   }
   const auto k = static_cast<double>(graphs.size());
   if (k > 0) {
@@ -420,10 +446,16 @@ void experiment_obs_kl_vs_sa(const ExperimentEnv& env) {
     const PlantedParams params = planted_params_for_degree(n, degree, 32);
     for (std::uint32_t i = 0; i < per_setting; ++i) {
       const Graph g = make_planted(params, rng);
-      const RunResult kl = run_method(g, Method::kKl, rng, config);
-      const RunResult sa = run_method(g, Method::kSa, rng, config);
-      const RunResult ckl = run_method(g, Method::kCkl, rng, config);
-      const RunResult csa = run_method(g, Method::kCsa, rng, config);
+      // All four methods' starts in one parallel batch per graph.
+      const Graph graphs[] = {g};
+      constexpr Method kMethods[] = {Method::kKl, Method::kSa,
+                                     Method::kCkl, Method::kCsa};
+      const std::vector<MethodOutcome> outcomes =
+          run_trial_matrix(graphs, kMethods, config, rng.next());
+      const MethodOutcome& kl = outcomes[0];
+      const MethodOutcome& sa = outcomes[1];
+      const MethodOutcome& ckl = outcomes[2];
+      const MethodOutcome& csa = outcomes[3];
       if (kl.best_cut < sa.best_cut) {
         ++kl_wins;
       } else if (sa.best_cut < kl.best_cut) {
@@ -438,10 +470,10 @@ void experiment_obs_kl_vs_sa(const ExperimentEnv& env) {
       } else {
         ++c_ties;
       }
-      kl_time += kl.total_seconds;
-      sa_time += sa.total_seconds;
-      ckl_time += ckl.total_seconds;
-      csa_time += csa.total_seconds;
+      kl_time += kl.cpu_seconds;
+      sa_time += sa.cpu_seconds;
+      ckl_time += ckl.cpu_seconds;
+      csa_time += csa.cpu_seconds;
     }
   }
 

@@ -22,6 +22,9 @@ namespace gbis {
 ///   GBIS_GRAPHS_PER_SETTING  int, default 0 = per-table default (3)
 ///   GBIS_STARTS              int, default 2 (the paper's best-of-two)
 ///   GBIS_SEED                uint64, default 19890625
+///   GBIS_THREADS             int, default 0 = hardware concurrency —
+///                            trial-runner worker count; cut columns are
+///                            bit-identical for every value
 ///   GBIS_SA_LENGTH           float, default 8.0 — SA moves per temperature
 ///                            per vertex (Johnson et al. used 16; 8 keeps
 ///                            full-suite runtimes manageable with
@@ -34,12 +37,14 @@ struct ExperimentEnv {
   std::uint32_t graphs_per_setting = 0;
   std::uint32_t starts = 2;
   std::uint64_t seed = 19890625;
+  std::uint32_t threads = 0;  ///< 0 = hardware concurrency
   double sa_length_factor = 8.0;
   std::string csv_dir;  ///< empty = no CSV export
 };
 
-/// Reads the GBIS_* environment variables (silently keeping defaults on
-/// parse failure).
+/// Reads the GBIS_* environment variables. Malformed values keep their
+/// defaults and emit a one-line stderr warning naming the variable and
+/// the rejected text.
 ExperimentEnv experiment_env();
 
 /// The RunConfig the paper-table drivers use for KL/SA/CKL/CSA.
@@ -47,13 +52,18 @@ RunConfig experiment_run_config(const ExperimentEnv& env);
 
 /// Averaged best-of-k results of the four paper methods over a batch
 /// of same-parameter graphs (the appendix averages 3 Gbreg samples per
-/// setting).
+/// setting). Times are summed per-trial CPU seconds (the paper's
+/// total-over-starts protocol), so they are comparable across
+/// GBIS_THREADS settings.
 struct FourWayRow {
   double bsa = 0, bcsa = 0, bkl = 0, bckl = 0;  ///< average best cuts
-  double tsa = 0, tcsa = 0, tkl = 0, tckl = 0;  ///< average total seconds
+  double tsa = 0, tcsa = 0, tkl = 0, tckl = 0;  ///< average CPU seconds
 };
 
-/// Runs SA, CSA, KL, CKL on every graph and averages.
+/// Runs SA, CSA, KL, CKL on every graph via the parallel trial runner
+/// (graphs × methods × starts jobs on config.threads workers) and
+/// averages. Consumes exactly one draw from `rng`, so the caller's
+/// stream — and every cut — is independent of the thread count.
 FourWayRow run_four_way(std::span<const Graph> graphs, Rng& rng,
                         const RunConfig& config);
 

@@ -1,0 +1,87 @@
+#include "gbis/harness/parallel_runner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "gbis/harness/thread_pool.hpp"
+#include "gbis/harness/timer.hpp"
+#include "gbis/rng/splitmix.hpp"
+
+namespace gbis {
+
+std::vector<TrialResult> run_trials(std::span<const Graph> graphs,
+                                    std::span<const TrialSpec> trials,
+                                    const RunConfig& config,
+                                    std::uint64_t seed, unsigned threads,
+                                    bool keep_sides) {
+  std::vector<TrialResult> results(trials.size());
+  if (trials.empty()) return results;
+  for (const TrialSpec& t : trials) {
+    if (t.graph_index >= graphs.size()) {
+      throw std::out_of_range("run_trials: graph_index out of range");
+    }
+  }
+  // Never spin up more workers than there are trials.
+  const unsigned workers = std::min<std::uint64_t>(
+      ThreadPool::resolve_threads(threads), trials.size());
+  ThreadPool pool(workers);
+  pool.parallel_for(trials.size(), [&](std::size_t i) {
+    const TrialSpec& spec = trials[i];
+    Rng rng(splitmix64_at(seed, static_cast<std::uint64_t>(i)));
+    const CpuTimer timer;
+    const Bisection b =
+        run_one_start(graphs[spec.graph_index], spec.method, rng, config);
+    TrialResult& out = results[i];
+    out.cpu_seconds = timer.elapsed_seconds();
+    out.cut = b.cut();
+    if (keep_sides) {
+      out.sides.assign(b.sides().begin(), b.sides().end());
+    }
+  });
+  return results;
+}
+
+std::vector<MethodOutcome> run_trial_matrix(std::span<const Graph> graphs,
+                                            std::span<const Method> methods,
+                                            const RunConfig& config,
+                                            std::uint64_t seed,
+                                            bool keep_sides) {
+  if (config.starts == 0) {
+    throw std::invalid_argument("run_trial_matrix: starts >= 1");
+  }
+  std::vector<TrialSpec> trials;
+  trials.reserve(graphs.size() * methods.size() * config.starts);
+  for (std::uint32_t g = 0; g < graphs.size(); ++g) {
+    for (const Method m : methods) {
+      for (std::uint32_t s = 0; s < config.starts; ++s) {
+        trials.push_back({g, m, s});
+      }
+    }
+  }
+  const std::vector<TrialResult> raw =
+      run_trials(graphs, trials, config, seed, config.threads, keep_sides);
+
+  // Reduce each (graph, method) cell in start order: deterministic, and
+  // ties keep the earliest start like the serial loop always did.
+  std::vector<MethodOutcome> outcomes(graphs.size() * methods.size());
+  std::size_t t = 0;
+  for (std::size_t cell = 0; cell < outcomes.size(); ++cell) {
+    MethodOutcome& out = outcomes[cell];
+    out.best_cut = std::numeric_limits<Weight>::max();
+    out.trial_seconds.reserve(config.starts);
+    for (std::uint32_t s = 0; s < config.starts; ++s, ++t) {
+      const TrialResult& trial = raw[t];
+      out.cpu_seconds += trial.cpu_seconds;
+      out.trial_seconds.push_back(trial.cpu_seconds);
+      if (trial.cut < out.best_cut) {
+        out.best_cut = trial.cut;
+        out.best_start = s;
+        if (keep_sides) out.best_sides = trial.sides;
+      }
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace gbis

@@ -1,0 +1,71 @@
+// Deterministic parallel trial scheduler. Every paper table is a pile
+// of fully independent trials — (graph, method, start) triples — so the
+// harness enumerates them as jobs with dense trial ids, runs them on a
+// ThreadPool, and reduces results in trial-id order. Trial `t` draws
+// from an Rng seeded with splitmix64_at(base_seed, t), never from a
+// shared driver stream, which makes every cut bit-identical for any
+// thread count (including 1) at a fixed seed.
+//
+// Timing: each trial records its own thread-CPU seconds (CpuTimer), so
+// the paper's "total time over all starts" protocol — a *sum* of trial
+// costs — survives concurrency; wall seconds are reported separately by
+// the callers that need them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gbis/harness/runner.hpp"
+
+namespace gbis {
+
+class ThreadPool;
+
+/// One schedulable unit of work: run `method` on `graphs[graph_index]`
+/// from one fresh random start.
+struct TrialSpec {
+  std::uint32_t graph_index = 0;
+  Method method = Method::kKl;
+  std::uint32_t start_index = 0;  ///< which start this trial is, 0-based
+};
+
+/// What one trial produced.
+struct TrialResult {
+  Weight cut = 0;
+  double cpu_seconds = 0;  ///< thread-CPU seconds spent in the trial
+  std::vector<std::uint8_t> sides;  ///< filled only when keep_sides
+};
+
+/// Aggregate of all starts of one (graph, method) cell, reduced in
+/// start order (ties keep the earliest start, matching the serial
+/// harness).
+struct MethodOutcome {
+  Weight best_cut = 0;
+  double cpu_seconds = 0;  ///< summed over starts (paper protocol)
+  std::vector<double> trial_seconds;  ///< per-start CPU seconds
+  std::uint32_t best_start = 0;       ///< index of the winning start
+  std::vector<std::uint8_t> best_sides;  ///< winning sides (keep_sides)
+};
+
+/// Runs every trial on `threads` workers (0 = hardware concurrency) and
+/// returns results indexed exactly like `trials`. Trial `t` uses an Rng
+/// seeded with splitmix64_at(seed, t). Exceptions from trials propagate
+/// after the batch drains.
+std::vector<TrialResult> run_trials(std::span<const Graph> graphs,
+                                    std::span<const TrialSpec> trials,
+                                    const RunConfig& config,
+                                    std::uint64_t seed, unsigned threads,
+                                    bool keep_sides = false);
+
+/// Enumerates graphs × methods × config.starts trials (graph-major,
+/// then method, then start — dense trial ids), runs them in parallel,
+/// and reduces each (graph, method) cell. The returned vector is
+/// indexed by `graph_index * methods.size() + method_index`.
+std::vector<MethodOutcome> run_trial_matrix(std::span<const Graph> graphs,
+                                            std::span<const Method> methods,
+                                            const RunConfig& config,
+                                            std::uint64_t seed,
+                                            bool keep_sides = false);
+
+}  // namespace gbis

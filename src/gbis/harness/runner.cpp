@@ -1,12 +1,12 @@
 #include "gbis/harness/runner.hpp"
 
-#include <algorithm>
-#include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "gbis/baseline/greedy.hpp"
 #include "gbis/baseline/random_bisect.hpp"
 #include "gbis/baseline/spectral.hpp"
+#include "gbis/harness/parallel_runner.hpp"
 #include "gbis/harness/timer.hpp"
 
 namespace gbis {
@@ -27,10 +27,8 @@ std::string method_name(Method method) {
   throw std::invalid_argument("method_name: unknown method");
 }
 
-namespace {
-
-Bisection one_start(const Graph& g, Method method, Rng& rng,
-                    const RunConfig& config) {
+Bisection run_one_start(const Graph& g, Method method, Rng& rng,
+                        const RunConfig& config) {
   switch (method) {
     case Method::kKl: {
       Bisection b = Bisection::random(g, rng);
@@ -67,28 +65,36 @@ Bisection one_start(const Graph& g, Method method, Rng& rng,
   throw std::invalid_argument("run_method: unknown method");
 }
 
-}  // namespace
+RunResult run_method_seeded(const Graph& g, Method method,
+                            std::uint64_t seed, const RunConfig& config,
+                            std::vector<std::uint8_t>* best_sides) {
+  if (config.starts == 0) {
+    throw std::invalid_argument("run_method: starts >= 1");
+  }
+  const WallTimer wall;
+  const Graph graphs[] = {g};
+  const Method methods[] = {method};
+  std::vector<MethodOutcome> outcomes = run_trial_matrix(
+      graphs, methods, config, seed, /*keep_sides=*/best_sides != nullptr);
+  MethodOutcome& outcome = outcomes.front();
+
+  RunResult result;
+  result.best_cut = outcome.best_cut;
+  result.cpu_seconds = outcome.cpu_seconds;
+  result.trial_seconds = std::move(outcome.trial_seconds);
+  if (best_sides != nullptr) {
+    *best_sides = std::move(outcome.best_sides);
+  }
+  result.wall_seconds = wall.elapsed_seconds();
+  return result;
+}
 
 RunResult run_method(const Graph& g, Method method, Rng& rng,
                      const RunConfig& config,
                      std::vector<std::uint8_t>* best_sides) {
-  if (config.starts == 0) {
-    throw std::invalid_argument("run_method: starts >= 1");
-  }
-  RunResult result;
-  result.best_cut = std::numeric_limits<Weight>::max();
-  const WallTimer timer;
-  for (std::uint32_t s = 0; s < config.starts; ++s) {
-    const Bisection b = one_start(g, method, rng, config);
-    if (b.cut() < result.best_cut) {
-      result.best_cut = b.cut();
-      if (best_sides != nullptr) {
-        best_sides->assign(b.sides().begin(), b.sides().end());
-      }
-    }
-  }
-  result.total_seconds = timer.elapsed_seconds();
-  return result;
+  // One draw regardless of starts/threads: the caller's stream advances
+  // identically however the trials execute.
+  return run_method_seeded(g, method, rng.next(), config, best_sides);
 }
 
 }  // namespace gbis

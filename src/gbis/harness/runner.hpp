@@ -4,6 +4,12 @@
 // generation (section VI: "All timing results will be the total time it
 // took the procedure to complete both starting configurations
 // (including the time to generate the initial bisections)").
+//
+// Starts are fully independent trials, so they run on the harness
+// thread pool (see parallel_runner.hpp). Each trial gets its own Rng
+// seeded from (base seed, trial id) via the splitmix64 stream, and
+// results reduce in trial-id order, so every cut is bit-identical for
+// any thread count — including 1.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +21,7 @@
 #include "gbis/fm/fm.hpp"
 #include "gbis/graph/graph.hpp"
 #include "gbis/kl/kl.hpp"
+#include "gbis/partition/bisection.hpp"
 #include "gbis/rng/rng.hpp"
 #include "gbis/sa/sa.hpp"
 
@@ -39,7 +46,8 @@ std::string method_name(Method method);
 
 /// Shared configuration for a method run.
 struct RunConfig {
-  std::uint32_t starts = 2;  ///< independent random starts (paper: 2)
+  std::uint32_t starts = 2;   ///< independent random starts (paper: 2)
+  std::uint32_t threads = 0;  ///< trial-runner workers; 0 = hardware
   KlOptions kl;
   SaOptions sa;
   FmOptions fm;
@@ -47,15 +55,35 @@ struct RunConfig {
   MultilevelOptions multilevel;
 };
 
-/// Outcome of running one method on one graph.
+/// Outcome of running one method on one graph. Timing is split: the
+/// paper's protocol ("total time over all starts") is the *sum of
+/// per-trial CPU seconds*, which stays meaningful when starts run
+/// concurrently; `wall_seconds` is what the harness actually waited.
 struct RunResult {
-  Weight best_cut = 0;         ///< best over all starts
-  double total_seconds = 0.0;  ///< all starts, incl. start generation
+  Weight best_cut = 0;     ///< best over all starts (first start on ties)
+  double cpu_seconds = 0;  ///< summed per-trial CPU seconds, all starts
+  double wall_seconds = 0;          ///< harness wall clock for the run
+  std::vector<double> trial_seconds;  ///< per-start CPU seconds, in order
 };
 
-/// Runs `method` on g with `config.starts` independent starts. When
-/// `best_sides` is non-null it receives the side assignment of the
+/// One trial: generate a start (inside the method where applicable) and
+/// refine it. This is the unit the parallel trial runner schedules; it
+/// must stay a pure function of (g, method, rng draws, config).
+Bisection run_one_start(const Graph& g, Method method, Rng& rng,
+                        const RunConfig& config);
+
+/// Runs `method` on g with `config.starts` independent starts on
+/// `config.threads` workers. Trial s draws from an Rng seeded with
+/// splitmix64_at(seed, s), so cuts do not depend on the thread count.
+/// When `best_sides` is non-null it receives the side assignment of the
 /// winning start.
+RunResult run_method_seeded(const Graph& g, Method method,
+                            std::uint64_t seed, const RunConfig& config = {},
+                            std::vector<std::uint8_t>* best_sides = nullptr);
+
+/// Convenience wrapper over run_method_seeded: consumes exactly one
+/// draw from `rng` (the base seed), independent of starts and threads,
+/// so driver Rng streams advance identically however trials execute.
 RunResult run_method(const Graph& g, Method method, Rng& rng,
                      const RunConfig& config = {},
                      std::vector<std::uint8_t>* best_sides = nullptr);

@@ -19,8 +19,10 @@ struct Summary {
 Summary summarize(std::span<const double> values);
 
 /// Percentage improvement of `after` relative to `before`:
-/// (before - after) / before * 100. Returns 0 when before == 0 (both
-/// zero means "nothing to improve"; guarded division).
+/// (before - after) / before * 100. A zero baseline is special-cased:
+/// 0 -> 0 returns 0 (nothing to improve), but 0 -> nonzero returns NaN
+/// — a percentage is undefined there, and returning 0 would silently
+/// mask a regression. TablePrinter renders NaN as "n/a".
 double percent_improvement(double before, double after);
 
 }  // namespace gbis

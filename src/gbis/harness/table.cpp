@@ -1,6 +1,7 @@
 #include "gbis/harness/table.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -43,6 +44,10 @@ TablePrinter& TablePrinter::cell(const char* value) {
 }
 
 TablePrinter& TablePrinter::cell(double value, int precision) {
+  if (std::isnan(value)) {
+    pending_.emplace_back("n/a");
+    return *this;
+  }
   std::ostringstream ss;
   ss << std::fixed << std::setprecision(precision) << value;
   pending_.push_back(ss.str());

@@ -1,0 +1,88 @@
+#include "gbis/harness/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace gbis {
+
+unsigned ThreadPool::resolve_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(hw, 1u);
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned total = resolve_threads(threads);
+  workers_.reserve(total - 1);
+  for (unsigned i = 0; i + 1 < total; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      batch = batch_;
+    }
+    if (batch != nullptr) work_on(*batch);
+  }
+}
+
+void ThreadPool::work_on(Batch& batch) {
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.count) return;
+    try {
+      (*batch.job)(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (batch.error == nullptr) batch.error = std::current_exception();
+    }
+    if (batch.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last job: wake the caller. Take the lock so the notify cannot
+      // race between the caller's predicate check and its wait.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& job) {
+  if (count == 0) return;
+  auto batch = std::make_shared<Batch>();
+  batch->job = &job;
+  batch->count = count;
+  batch->pending.store(count, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    batch_ = batch;
+    ++generation_;
+  }
+  wake_.notify_all();
+  work_on(*batch);  // the caller is a worker too
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] {
+      return batch->pending.load(std::memory_order_acquire) == 0;
+    });
+    batch_.reset();
+  }
+  if (batch->error != nullptr) std::rethrow_exception(batch->error);
+}
+
+}  // namespace gbis

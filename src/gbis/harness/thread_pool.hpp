@@ -1,0 +1,73 @@
+// A small first-party worker pool for the experiment harness. The only
+// primitive is a blocking parallel_for: indices are claimed dynamically
+// (an atomic counter, so uneven trial costs balance across workers) and
+// every job writes only to its own index's slot, which is what lets the
+// trial runner reduce results in a fixed order and stay bit-identical
+// for any worker count.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gbis {
+
+/// Fixed-size worker pool. The constructing thread participates in
+/// every parallel_for, so a pool of size 1 spawns no threads at all and
+/// runs jobs inline on the caller. Not re-entrant: parallel_for must
+/// not be called from inside a job, and only one thread may drive the
+/// pool at a time.
+class ThreadPool {
+ public:
+  /// `threads` is the total worker count including the calling thread;
+  /// 0 means std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers including the caller.
+  unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Runs job(0) .. job(count - 1), blocking until all complete. Jobs
+  /// are claimed in index order but may finish in any order and on any
+  /// thread. If any job throws, the first exception captured is
+  /// rethrown here after the batch drains.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& job);
+
+  /// Resolves a requested thread count: 0 -> hardware concurrency,
+  /// everything clamped to at least 1.
+  static unsigned resolve_threads(unsigned requested);
+
+ private:
+  struct Batch {
+    const std::function<void(std::size_t)>* job = nullptr;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> pending{0};
+    std::exception_ptr error;  // first failure, guarded by pool mutex
+  };
+
+  void worker_loop();
+  void work_on(Batch& batch);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;  // workers: new batch or shutdown
+  std::condition_variable done_;  // caller: batch drained
+  // Shared so a straggling worker that claims an out-of-range index
+  // after the batch drains still holds the object alive.
+  std::shared_ptr<Batch> batch_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace gbis

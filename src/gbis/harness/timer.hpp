@@ -1,9 +1,14 @@
-// Wall-clock timer for experiment timing. The paper reports VAX-780 CPU
-// minutes; we report wall seconds and compare machine-portable ratios
-// (see DESIGN.md section 3).
+// Timers for experiment timing. The paper reports VAX-780 CPU minutes;
+// we report seconds and compare machine-portable ratios (see DESIGN.md
+// section 3). Two clocks are provided: WallTimer (monotonic wall clock,
+// for harness elapsed time) and CpuTimer (per-thread CPU time, for
+// per-trial costs that must stay meaningful when trials run
+// concurrently — summing wall time across parallel trials would
+// double-count idle overlap).
 #pragma once
 
 #include <chrono>
+#include <ctime>
 
 namespace gbis {
 
@@ -22,6 +27,34 @@ class WallTimer {
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+};
+
+/// CPU-time stopwatch for the calling thread, started at construction.
+/// Falls back to the wall clock where no per-thread CPU clock exists.
+class CpuTimer {
+ public:
+  CpuTimer() : start_(now()) {}
+
+  /// Thread-CPU seconds since construction or the last reset().
+  double elapsed_seconds() const { return now() - start_; }
+
+  void reset() { start_ = now(); }
+
+ private:
+  static double now() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+      return static_cast<double>(ts.tv_sec) +
+             static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+#endif
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  double start_;
 };
 
 }  // namespace gbis

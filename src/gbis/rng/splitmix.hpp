@@ -26,4 +26,14 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// The `index`-th output (0-based) of the SplitMix64 stream seeded with
+/// `seed`, computed in O(1) by jumping the additive counter. Because the
+/// stream's state is `seed + i * gamma`, any position can be evaluated
+/// directly — the property the parallel harness uses to give every
+/// trial id its own independent seed without serializing draws.
+constexpr std::uint64_t splitmix64_at(std::uint64_t seed,
+                                      std::uint64_t index) noexcept {
+  return SplitMix64(seed + index * 0x9e3779b97f4a7c15ULL).next();
+}
+
 }  // namespace gbis

@@ -1,4 +1,5 @@
 // Tests for the CSV writer and the trace instrumentation that feeds it.
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -33,6 +34,37 @@ TEST(Csv, QuotesSpecialCharacters) {
   csv.cell("has\"quote");
   csv.end_row();
   EXPECT_EQ(out.str(), "v\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(Csv, DoublesRoundTripExactly) {
+  // Default ostringstream precision (6 significant digits) would
+  // truncate these; max_digits10 formatting must round-trip through
+  // strtod bit-exactly.
+  const double values[] = {1.0 / 3.0, 0.1234567890123456, 1e-17,
+                           12345.678901234567, 2.5};
+  std::ostringstream out;
+  CsvWriter csv(out, {"v"});
+  for (double v : values) {
+    csv.cell(v);
+    csv.end_row();
+  }
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);  // header
+  for (double v : values) {
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(std::strtod(line.c_str(), nullptr), v) << line;
+  }
+  // Short values stay short for readability.
+  EXPECT_NE(out.str().find("\n2.5\n"), std::string::npos);
+}
+
+TEST(Csv, ExplicitPrecisionOverloadForDisplayColumns) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"v"});
+  csv.cell(1.0 / 3.0, 3);
+  csv.end_row();
+  EXPECT_EQ(out.str(), "v\n0.333\n");
 }
 
 TEST(Csv, ColumnMismatchThrows) {

@@ -1,5 +1,6 @@
 // Tests for the experiment harness: statistics, table printing, and
 // the method runner.
+#include <cmath>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -45,7 +46,20 @@ TEST(Stats, PercentImprovement) {
   EXPECT_DOUBLE_EQ(percent_improvement(100.0, 10.0), 90.0);
   EXPECT_DOUBLE_EQ(percent_improvement(10.0, 10.0), 0.0);
   EXPECT_DOUBLE_EQ(percent_improvement(10.0, 20.0), -100.0);
-  EXPECT_DOUBLE_EQ(percent_improvement(0.0, 5.0), 0.0);  // guarded
+  // Zero baseline: both zero means nothing to improve; a regression
+  // from a zero-cut baseline must NOT read as 0% — it has no defined
+  // percentage, so it is NaN (rendered "n/a" by the table printer).
+  EXPECT_DOUBLE_EQ(percent_improvement(0.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isnan(percent_improvement(0.0, 5.0)));
+}
+
+TEST(Table, NanRendersAsNotAvailable) {
+  std::ostringstream out;
+  TablePrinter table(out, {{"impr%", 8}});
+  table.cell(percent_improvement(0.0, 5.0), 1);
+  table.end_row();
+  EXPECT_NE(out.str().find("n/a"), std::string::npos);
+  EXPECT_EQ(out.str().find("nan"), std::string::npos);
 }
 
 TEST(Table, AlignsAndCounts) {
@@ -115,7 +129,9 @@ TEST(Runner, AllMethodsProduceLegalResults) {
     const RunResult r = run_method(g, m, rng, config);
     EXPECT_GE(r.best_cut, 4) << method_name(m);   // planted is optimal here
     EXPECT_LE(r.best_cut, 200) << method_name(m);
-    EXPECT_GE(r.total_seconds, 0.0);
+    EXPECT_GE(r.cpu_seconds, 0.0);
+    EXPECT_GE(r.wall_seconds, 0.0);
+    EXPECT_EQ(r.trial_seconds.size(), config.starts);
   }
 }
 

@@ -15,7 +15,9 @@
 //   gbis convert <in.graph> <out.{graph|metis|dot}>
 //
 // Graph files are gbis edge-list format unless the name ends in
-// ".metis". Global flag: --seed <n> (default 42), anywhere.
+// ".metis". Global flags, accepted anywhere: --seed <n> (default 42)
+// and --threads <n> (trial-runner workers for solve; default 0 =
+// hardware concurrency; cuts are identical for any value).
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -137,7 +139,8 @@ Method parse_method(const std::string& name) {
   throw std::runtime_error("unknown method: " + name);
 }
 
-int cmd_solve(const std::vector<std::string>& args, Rng& rng) {
+int cmd_solve(const std::vector<std::string>& args, Rng& rng,
+              std::uint32_t threads) {
   if (args.size() < 2 || args.size() > 3) usage();
   const Graph g = load_graph(args[0]);
 
@@ -154,8 +157,18 @@ int cmd_solve(const std::vector<std::string>& args, Rng& rng) {
     const Method method = parse_method(args[1]);
     RunConfig config;
     config.starts = 2;
+    config.threads = threads;
     const RunResult result = run_method(g, method, rng, config, &sides);
     cut = result.best_cut;
+    std::cout << "cut " << cut << " in " << result.cpu_seconds
+              << " cpu-s (" << result.wall_seconds << " wall-s) over "
+              << config.starts << " starts\n";
+    if (args.size() == 3) {
+      std::vector<std::uint32_t> parts(sides.begin(), sides.end());
+      write_partition_file(args[2], parts);
+      std::cout << "wrote partition to " << args[2] << '\n';
+    }
+    return 0;
   }
   const double seconds = timer.elapsed_seconds();
   std::cout << "cut " << cut << " in " << seconds << " s\n";
@@ -238,9 +251,15 @@ int cmd_convert(const std::vector<std::string>& args) {
 int main(int argc, char** argv) {
   std::vector<std::string> args;
   std::uint64_t seed = 42;
+  std::uint32_t threads = 0;  // 0 = hardware concurrency
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      if (i + 1 >= argc) usage();  // dangling flag: don't eat it as a path
       seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) usage();
+      threads =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       args.emplace_back(argv[i]);
     }
@@ -251,7 +270,7 @@ int main(int argc, char** argv) {
   Rng rng(seed);
   try {
     if (command == "gen") return cmd_gen(args, rng);
-    if (command == "solve") return cmd_solve(args, rng);
+    if (command == "solve") return cmd_solve(args, rng, threads);
     if (command == "kway") return cmd_kway(args, rng);
     if (command == "eval") return cmd_eval(args);
     if (command == "stats") return cmd_stats(args);

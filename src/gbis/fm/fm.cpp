@@ -62,6 +62,9 @@ Weight fm_pass(Bisection& bisection, const FmOptions& options,
       (by_weight ? max_vertex_weight : 1);
 
   for (std::uint32_t step = 0; step < n; ++step) {
+    // Cooperative deadline poll; throwing here is safe — moves apply
+    // only after the loop.
+    if ((step & 255u) == 0) options.deadline.check();
     // Pick the source side: any side we can legally move from,
     // preferring the larger side, then the better top gain.
     const Weight top[2] = {buckets[0].max_gain_present(),
@@ -131,6 +134,7 @@ FmStats fm_refine(Bisection& bisection, const FmOptions& options) {
   FmStats stats;
   stats.initial_cut = bisection.cut();
   for (;;) {
+    options.deadline.check();
     const Weight improvement = fm_pass(bisection, options, &stats);
     ++stats.passes;
     if (improvement <= 0) break;

@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "gbis/partition/bisection.hpp"
+#include "gbis/util/deadline.hpp"
 
 namespace gbis {
 
@@ -38,6 +39,10 @@ struct FmOptions {
   /// transient slack is the heaviest vertex instead of one unit.
   std::uint64_t balance_tolerance = 1;
   FmBalance balance = FmBalance::kCount;
+  /// Cooperative wall-clock budget: the pass loop and each pass's step
+  /// loop poll it and throw DeadlineExceeded on expiry (the trial
+  /// runner maps that to a `timed_out` trial). Default: unlimited.
+  Deadline deadline;
 };
 
 /// Per-run diagnostics.

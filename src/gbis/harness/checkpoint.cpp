@@ -1,0 +1,434 @@
+#include "gbis/harness/checkpoint.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "gbis/harness/fault_injection.hpp"
+#include "gbis/io/io_error.hpp"
+
+namespace gbis {
+
+namespace {
+
+// --- fingerprint ----------------------------------------------------------
+
+/// SplitMix64-style accumulator: order-sensitive, avalanching.
+class Hash64 {
+ public:
+  void add(std::uint64_t value) {
+    std::uint64_t z = (state_ += value + 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    state_ = z ^ (z >> 31);
+  }
+  void add(double value) { add(std::bit_cast<std::uint64_t>(value)); }
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0x6274697367626973ULL;  // arbitrary non-zero
+};
+
+// --- minimal JSON ---------------------------------------------------------
+
+void append_json_string(std::string& out, const std::string& value) {
+  out += '"';
+  for (const char raw : value) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Finds `"key":` in a flat one-line JSON object and returns the raw
+/// value token start, or npos.
+std::size_t find_value(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::string::npos;
+  return at + needle.size();
+}
+
+bool parse_string_field(const std::string& line, const std::string& key,
+                        std::string& out) {
+  std::size_t i = find_value(line, key);
+  if (i == std::string::npos || i >= line.size() || line[i] != '"') {
+    return false;
+  }
+  ++i;
+  out.clear();
+  while (i < line.size() && line[i] != '"') {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      const char esc = line[i + 1];
+      switch (esc) {
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u':
+          if (i + 5 < line.size()) {
+            out += static_cast<char>(
+                std::strtoul(line.substr(i + 2, 4).c_str(), nullptr, 16));
+            i += 4;
+          }
+          break;
+        default: out += esc;
+      }
+      i += 2;
+    } else {
+      out += line[i++];
+    }
+  }
+  return i < line.size();  // must end on the closing quote
+}
+
+bool parse_u64_field(const std::string& line, const std::string& key,
+                     std::uint64_t& out) {
+  const std::size_t i = find_value(line, key);
+  if (i == std::string::npos) return false;
+  char* end = nullptr;
+  out = std::strtoull(line.c_str() + i, &end, 10);
+  return end != line.c_str() + i;
+}
+
+bool parse_i64_field(const std::string& line, const std::string& key,
+                     std::int64_t& out) {
+  const std::size_t i = find_value(line, key);
+  if (i == std::string::npos) return false;
+  char* end = nullptr;
+  out = std::strtoll(line.c_str() + i, &end, 10);
+  return end != line.c_str() + i;
+}
+
+bool parse_double_field(const std::string& line, const std::string& key,
+                        double& out) {
+  const std::size_t i = find_value(line, key);
+  if (i == std::string::npos) return false;
+  char* end = nullptr;
+  out = std::strtod(line.c_str() + i, &end);
+  return end != line.c_str() + i;
+}
+
+std::string to_hex(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+[[noreturn]] void journal_fail(const std::string& path, std::size_t line_no,
+                               const std::string& what) {
+  throw IoError("checkpoint: " + path + ": line " +
+                std::to_string(line_no) + ": " + what);
+}
+
+TrialStatus status_from_name(const std::string& name, const std::string& path,
+                             std::size_t line_no) {
+  if (name == "ok") return TrialStatus::kOk;
+  if (name == "failed") return TrialStatus::kFailed;
+  if (name == "timed_out") return TrialStatus::kTimedOut;
+  if (name == "skipped") return TrialStatus::kSkipped;
+  journal_fail(path, line_no, "unknown trial status \"" + name + "\"");
+}
+
+std::string encode_trial(const TrialRecord& record) {
+  std::string line = "{\"type\":\"trial\",\"id\":";
+  line += std::to_string(record.trial_id);
+  line += ",\"status\":\"";
+  line += trial_status_name(record.status);
+  line += "\"";
+  if (record.status == TrialStatus::kOk) {
+    line += ",\"cut\":" + std::to_string(record.cut);
+  }
+  {
+    // max_digits10 keeps journaled times round-trip exact, so resumed
+    // campaigns report the original trials' CPU seconds unchanged.
+    std::ostringstream seconds;
+    seconds.precision(std::numeric_limits<double>::max_digits10);
+    seconds << record.cpu_seconds;
+    line += ",\"cpu_seconds\":" + seconds.str();
+  }
+  if (!record.error.empty()) {
+    line += ",\"error\":";
+    append_json_string(line, record.error);
+  }
+  line += "}";
+  return line;
+}
+
+}  // namespace
+
+std::uint64_t campaign_fingerprint(std::uint64_t seed,
+                                   const RunConfig& config,
+                                   std::span<const TrialSpec> trials,
+                                   std::span<const Graph> graphs) {
+  Hash64 h;
+  h.add(seed);
+  h.add(static_cast<std::uint64_t>(config.starts));
+  h.add(config.trial_deadline);
+  // KL
+  h.add(static_cast<std::uint64_t>(config.kl.max_passes));
+  h.add(static_cast<std::uint64_t>(config.kl.pair_selection));
+  // SA
+  h.add(static_cast<std::uint64_t>(config.sa.neighborhood));
+  h.add(config.sa.imbalance_alpha);
+  h.add(config.sa.cooling_ratio);
+  h.add(config.sa.temperature_length_factor);
+  h.add(config.sa.init_acceptance_target);
+  h.add(config.sa.initial_temperature);
+  h.add(config.sa.min_acceptance);
+  h.add(static_cast<std::uint64_t>(config.sa.frozen_temperatures));
+  h.add(config.sa.max_total_moves);
+  h.add(static_cast<std::uint64_t>(config.sa.stagnation_temperatures));
+  // FM
+  h.add(static_cast<std::uint64_t>(config.fm.max_passes));
+  h.add(config.fm.balance_tolerance);
+  h.add(static_cast<std::uint64_t>(config.fm.balance));
+  // Compaction / multilevel
+  h.add(static_cast<std::uint64_t>(config.compaction.match_policy));
+  h.add(static_cast<std::uint64_t>(config.compaction.pair_leftovers));
+  h.add(config.compaction.csa_fine_acceptance);
+  h.add(static_cast<std::uint64_t>(config.multilevel.max_levels));
+  h.add(static_cast<std::uint64_t>(config.multilevel.min_vertices));
+  h.add(config.multilevel.min_shrink_factor);
+  h.add(static_cast<std::uint64_t>(config.multilevel.match_policy));
+  h.add(static_cast<std::uint64_t>(config.multilevel.pair_leftovers));
+  // Trial enumeration
+  h.add(trials.size());
+  for (const TrialSpec& t : trials) {
+    h.add(static_cast<std::uint64_t>(t.graph_index));
+    h.add(static_cast<std::uint64_t>(t.method));
+    h.add(static_cast<std::uint64_t>(t.start_index));
+  }
+  // Graph contents: vertex weights plus every (u, v, w) with u < v,
+  // straight off the CSR — no edge-vector materialization.
+  h.add(graphs.size());
+  for (const Graph& g : graphs) {
+    h.add(static_cast<std::uint64_t>(g.num_vertices()));
+    h.add(g.num_edges());
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      h.add(static_cast<std::uint64_t>(g.vertex_weight(v)));
+      const auto neighbors = g.neighbors(v);
+      const auto weights = g.edge_weights(v);
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        if (neighbors[i] <= v) continue;
+        h.add(static_cast<std::uint64_t>(v));
+        h.add(static_cast<std::uint64_t>(neighbors[i]));
+        h.add(static_cast<std::uint64_t>(weights[i]));
+      }
+    }
+  }
+  return h.digest();
+}
+
+CheckpointJournal::CheckpointJournal(std::string path,
+                                     std::uint64_t fingerprint,
+                                     std::uint64_t num_trials,
+                                     std::span<const TrialRecord> initial)
+    : path_(std::move(path)) {
+  std::string header = "{\"type\":\"campaign\",\"version\":1,";
+  header += "\"fingerprint\":\"" + to_hex(fingerprint) + "\",";
+  header += "\"trials\":" + std::to_string(num_trials) + "}";
+  lines_.push_back(std::move(header));
+  for (const TrialRecord& record : initial) {
+    lines_.push_back(encode_trial(record));
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  publish_locked();
+}
+
+void CheckpointJournal::append(const TrialRecord& record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lines_.push_back(encode_trial(record));
+  publish_locked();
+}
+
+void CheckpointJournal::publish_locked() {
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw IoError("checkpoint: cannot open " + tmp);
+    for (const std::string& line : lines_) out << line << '\n';
+    out.flush();
+    if (!out) throw IoError("checkpoint: write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    throw IoError("checkpoint: cannot rename " + tmp + " -> " + path_);
+  }
+}
+
+CheckpointJournal::Loaded CheckpointJournal::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("checkpoint: cannot open " + path);
+
+  Loaded loaded;
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string type;
+    if (!parse_string_field(line, "type", type)) {
+      journal_fail(path, line_no, "missing \"type\" in: " + line);
+    }
+    if (type == "campaign") {
+      if (saw_header) journal_fail(path, line_no, "duplicate header");
+      saw_header = true;
+      std::string fp;
+      if (!parse_string_field(line, "fingerprint", fp) || fp.size() != 16) {
+        journal_fail(path, line_no, "bad fingerprint");
+      }
+      loaded.fingerprint = std::strtoull(fp.c_str(), nullptr, 16);
+      if (!parse_u64_field(line, "trials", loaded.num_trials)) {
+        journal_fail(path, line_no, "missing trial count");
+      }
+    } else if (type == "trial") {
+      if (!saw_header) {
+        journal_fail(path, line_no, "trial record before campaign header");
+      }
+      TrialRecord record;
+      if (!parse_u64_field(line, "id", record.trial_id)) {
+        journal_fail(path, line_no, "missing trial id in: " + line);
+      }
+      std::string status;
+      if (!parse_string_field(line, "status", status)) {
+        journal_fail(path, line_no, "missing status in: " + line);
+      }
+      record.status = status_from_name(status, path, line_no);
+      std::int64_t cut = 0;
+      if (parse_i64_field(line, "cut", cut)) record.cut = cut;
+      parse_double_field(line, "cpu_seconds", record.cpu_seconds);
+      parse_string_field(line, "error", record.error);
+      if (record.trial_id >= loaded.num_trials) {
+        journal_fail(path, line_no,
+                     "trial id " + std::to_string(record.trial_id) +
+                         " out of range [0, " +
+                         std::to_string(loaded.num_trials) + ")");
+      }
+      loaded.records.push_back(std::move(record));
+    } else {
+      journal_fail(path, line_no, "unknown record type \"" + type + "\"");
+    }
+  }
+  if (!saw_header) {
+    throw IoError("checkpoint: " + path + ": missing campaign header");
+  }
+  return loaded;
+}
+
+CampaignResult run_campaign(std::span<const Graph> graphs,
+                            std::span<const Method> methods,
+                            const RunConfig& config, std::uint64_t seed,
+                            const CampaignOptions& options) {
+  if (config.starts == 0) {
+    throw std::invalid_argument("run_campaign: starts >= 1");
+  }
+  const std::vector<TrialSpec> trials =
+      enumerate_trial_matrix(graphs.size(), methods, config.starts);
+
+  CampaignResult result;
+  result.fingerprint = campaign_fingerprint(seed, config, trials, graphs);
+
+  // Resume: adopt every completed (non-skipped) trial from the journal.
+  std::unordered_map<std::uint64_t, TrialResult> precompleted;
+  std::vector<TrialRecord> adopted_records;
+  if (!options.resume_path.empty()) {
+    const CheckpointJournal::Loaded loaded =
+        CheckpointJournal::load(options.resume_path);
+    if (loaded.fingerprint != result.fingerprint) {
+      throw std::runtime_error(
+          "run_campaign: journal " + options.resume_path +
+          " belongs to a different campaign (fingerprint mismatch); "
+          "refusing to resume");
+    }
+    if (loaded.num_trials != trials.size()) {
+      throw std::runtime_error(
+          "run_campaign: journal " + options.resume_path + " enumerates " +
+          std::to_string(loaded.num_trials) + " trials, this campaign has " +
+          std::to_string(trials.size()));
+    }
+    for (const TrialRecord& record : loaded.records) {
+      if (record.status == TrialStatus::kSkipped) continue;
+      TrialResult adopted;
+      adopted.status = record.status;
+      adopted.cut = record.cut;
+      adopted.cpu_seconds = record.cpu_seconds;
+      adopted.error = record.error;
+      precompleted[record.trial_id] = std::move(adopted);
+    }
+    adopted_records.reserve(precompleted.size());
+    for (std::uint64_t id = 0; id < trials.size(); ++id) {
+      const auto it = precompleted.find(id);
+      if (it == precompleted.end()) continue;
+      adopted_records.push_back({id, it->second.status, it->second.cut,
+                                 it->second.cpu_seconds, it->second.error});
+    }
+    result.resumed = precompleted.size();
+  }
+
+  // Journal (fresh or rewritten in place with the adopted prefix).
+  std::unique_ptr<CheckpointJournal> journal;
+  if (!options.journal_path.empty()) {
+    journal = std::make_unique<CheckpointJournal>(
+        options.journal_path, result.fingerprint, trials.size(),
+        adopted_records);
+  }
+
+  const FaultPlan env_faults =
+      options.faults == nullptr ? FaultPlan::from_env() : FaultPlan();
+  TrialRunOptions run_options;
+  run_options.keep_sides = options.keep_sides;
+  run_options.stop = options.stop;
+  run_options.faults =
+      options.faults != nullptr ? options.faults : &env_faults;
+  run_options.precompleted = precompleted.empty() ? nullptr : &precompleted;
+  if (journal != nullptr) {
+    run_options.on_complete = [&journal](std::uint64_t id,
+                                         const TrialResult& trial) {
+      journal->append(
+          {id, trial.status, trial.cut, trial.cpu_seconds, trial.error});
+    };
+  }
+
+  result.trials = run_trials_ex(graphs, trials, config, seed, config.threads,
+                                run_options);
+  result.cells =
+      reduce_trial_matrix(result.trials, graphs.size() * methods.size(),
+                          config.starts, options.keep_sides);
+  for (const TrialResult& trial : result.trials) {
+    switch (trial.status) {
+      case TrialStatus::kOk: ++result.ok; break;
+      case TrialStatus::kFailed: ++result.failed; break;
+      case TrialStatus::kTimedOut: ++result.timed_out; break;
+      case TrialStatus::kSkipped: ++result.skipped; break;
+    }
+  }
+  result.interrupted =
+      result.skipped > 0 ||
+      (options.stop != nullptr &&
+       options.stop->load(std::memory_order_acquire));
+  return result;
+}
+
+}  // namespace gbis

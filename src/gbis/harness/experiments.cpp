@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -96,26 +97,28 @@ class AppendixEmitter {
             *csv_file_,
             std::vector<std::string>{param_header, "bsa", "bcsa", "t_sa",
                                      "t_csa", "bkl", "bckl", "t_kl",
-                                     "t_ckl"});
+                                     "t_ckl", "sa_status", "csa_status",
+                                     "kl_status", "ckl_status"});
       }
     }
   }
 
   void emit(const std::string& param, const FourWayRow& row) {
-    table_.cell(param)
-        .cell(row.bsa, 1)
-        .cell(row.bcsa, 1)
-        .cell(percent_improvement(row.bsa, row.bcsa), 1)
+    table_.cell(param);
+    cut_cell(row.bsa, row.sa_note);
+    cut_cell(row.bcsa, row.csa_note);
+    table_.cell(percent_improvement(row.bsa, row.bcsa), 1)
         .cell(row.tsa, 3)
         .cell(row.tcsa, 3)
-        .cell(percent_improvement(row.tsa, row.tcsa), 1)
-        .cell(row.bkl, 1)
-        .cell(row.bckl, 1)
-        .cell(percent_improvement(row.bkl, row.bckl), 1)
+        .cell(percent_improvement(row.tsa, row.tcsa), 1);
+    cut_cell(row.bkl, row.kl_note);
+    cut_cell(row.bckl, row.ckl_note);
+    table_.cell(percent_improvement(row.bkl, row.bckl), 1)
         .cell(row.tkl, 3)
         .cell(row.tckl, 3)
         .cell(percent_improvement(row.tkl, row.tckl), 1);
     table_.end_row();
+    degraded_cells_ += row.degraded_cells;
     if (csv_ != nullptr) {
       csv_->cell(param)
           .cell(row.bsa)
@@ -125,15 +128,40 @@ class AppendixEmitter {
           .cell(row.bkl)
           .cell(row.bckl)
           .cell(row.tkl)
-          .cell(row.tckl);
+          .cell(row.tckl)
+          .cell(row.sa_note.empty() ? "ok" : row.sa_note)
+          .cell(row.csa_note.empty() ? "ok" : row.csa_note)
+          .cell(row.kl_note.empty() ? "ok" : row.kl_note)
+          .cell(row.ckl_note.empty() ? "ok" : row.ckl_note);
       csv_->end_row();
     }
   }
 
+  /// One line after the table when any (graph, method) cell failed,
+  /// timed out, or was skipped — so a degraded table can never pass as
+  /// a clean reproduction.
+  void print_degraded_summary() const {
+    if (degraded_cells_ == 0) return;
+    std::cout << "(! " << degraded_cells_
+              << " degraded cell(s): err = failed, t/o = deadline, "
+                 "skip = shutdown; cuts average ok cells only)\n";
+  }
+
  private:
+  /// A cut cell: the ok-average, or the degraded marker when no cell of
+  /// this method succeeded (the average is NaN then).
+  void cut_cell(double value, const std::string& note) {
+    if (std::isnan(value) && !note.empty()) {
+      table_.cell(note);
+    } else {
+      table_.cell(value, 1);
+    }
+  }
+
   TablePrinter table_;
   std::unique_ptr<std::ofstream> csv_file_;
   std::unique_ptr<CsvWriter> csv_;
+  std::uint64_t degraded_cells_ = 0;
 };
 
 /// Average compaction improvements of a finished sweep, for Table 1.
@@ -182,31 +210,37 @@ FourWayRow run_four_way(std::span<const Graph> graphs, Rng& rng,
   const std::vector<MethodOutcome> outcomes =
       run_trial_matrix(graphs, kMethods, config, rng.next());
 
+  // Degraded cells are excluded from the cut averages (their best_cut
+  // is meaningless); a method with zero ok cells averages to NaN and
+  // carries a "err"/"t/o"/"skip" marker. Times always accumulate — CPU
+  // was spent whether or not the trial finished.
   FourWayRow row;
+  double* const cuts[4] = {&row.bsa, &row.bcsa, &row.bkl, &row.bckl};
+  double* const times[4] = {&row.tsa, &row.tcsa, &row.tkl, &row.tckl};
+  std::string* const notes[4] = {&row.sa_note, &row.csa_note, &row.kl_note,
+                                 &row.ckl_note};
+  std::uint32_t ok_cells[4] = {0, 0, 0, 0};
   for (std::size_t g = 0; g < graphs.size(); ++g) {
-    const MethodOutcome& sa = outcomes[g * 4 + 0];
-    const MethodOutcome& csa = outcomes[g * 4 + 1];
-    const MethodOutcome& kl = outcomes[g * 4 + 2];
-    const MethodOutcome& ckl = outcomes[g * 4 + 3];
-    row.bsa += static_cast<double>(sa.best_cut);
-    row.bcsa += static_cast<double>(csa.best_cut);
-    row.bkl += static_cast<double>(kl.best_cut);
-    row.bckl += static_cast<double>(ckl.best_cut);
-    row.tsa += sa.cpu_seconds;
-    row.tcsa += csa.cpu_seconds;
-    row.tkl += kl.cpu_seconds;
-    row.tckl += ckl.cpu_seconds;
+    for (std::size_t m = 0; m < 4; ++m) {
+      const MethodOutcome& outcome = outcomes[g * 4 + m];
+      *times[m] += outcome.cpu_seconds;
+      if (outcome.status == TrialStatus::kOk) {
+        *cuts[m] += static_cast<double>(outcome.best_cut);
+        ++ok_cells[m];
+      } else {
+        ++row.degraded_cells;
+        if (notes[m]->empty()) {
+          *notes[m] = trial_status_cell(outcome.status);
+        }
+      }
+    }
   }
   const auto k = static_cast<double>(graphs.size());
-  if (k > 0) {
-    row.bsa /= k;
-    row.bcsa /= k;
-    row.bkl /= k;
-    row.bckl /= k;
-    row.tsa /= k;
-    row.tcsa /= k;
-    row.tkl /= k;
-    row.tckl /= k;
+  for (std::size_t m = 0; m < 4; ++m) {
+    *cuts[m] = ok_cells[m] > 0
+                   ? *cuts[m] / static_cast<double>(ok_cells[m])
+                   : std::numeric_limits<double>::quiet_NaN();
+    if (k > 0) *times[m] /= k;
   }
   return row;
 }
@@ -240,6 +274,7 @@ SweepImprovement special_sweep(const ExperimentEnv& env,
     improvements.kl.push_back(percent_improvement(row.bkl, row.bckl));
     improvements.sa.push_back(percent_improvement(row.bsa, row.bcsa));
   }
+  emitter.print_degraded_summary();
   std::cout << "(parameter column is vertices/optimal-reference)\n\n";
   return improvements;
 }
@@ -324,6 +359,7 @@ void experiment_g2set(const ExperimentEnv& env, std::uint32_t two_n,
     const FourWayRow row = run_four_way(graphs, rng, config);
     emitter.emit(std::to_string(b), row);
   }
+  emitter.print_degraded_summary();
   std::cout << '\n';
 }
 
@@ -353,6 +389,7 @@ void experiment_gnp(const ExperimentEnv& env, std::uint32_t two_n) {
     label << degree;
     emitter.emit(label.str(), row);
   }
+  emitter.print_degraded_summary();
   std::cout << '\n';
 }
 
@@ -381,6 +418,7 @@ void experiment_gbreg(const ExperimentEnv& env, std::uint32_t two_n,
     const FourWayRow row = run_four_way(graphs, rng, config);
     emitter.emit(std::to_string(b), row);
   }
+  emitter.print_degraded_summary();
   std::cout << '\n';
 }
 

@@ -58,6 +58,12 @@ RunConfig experiment_run_config(const ExperimentEnv& env);
 struct FourWayRow {
   double bsa = 0, bcsa = 0, bkl = 0, bckl = 0;  ///< average best cuts
   double tsa = 0, tcsa = 0, tkl = 0, tckl = 0;  ///< average CPU seconds
+  /// Degraded-cell markers, one per method ("" = every graph's cell was
+  /// ok; otherwise "err"/"t/o"/"skip" from trial_status_cell). Cuts
+  /// average over ok cells only; a method with zero ok cells reports
+  /// NaN cuts and its marker is rendered in the cut column instead.
+  std::string sa_note, csa_note, kl_note, ckl_note;
+  std::uint32_t degraded_cells = 0;  ///< (graph, method) cells not ok
 };
 
 /// Runs SA, CSA, KL, CKL on every graph via the parallel trial runner

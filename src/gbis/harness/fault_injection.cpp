@@ -1,0 +1,106 @@
+#include "gbis/harness/fault_injection.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+#include <thread>
+
+#include "gbis/harness/shutdown.hpp"
+
+namespace gbis {
+
+namespace {
+
+[[noreturn]] void bad_entry(const std::string& entry) {
+  throw std::invalid_argument(
+      "fault spec entry \"" + entry +
+      "\" does not match <throw|hang|stop>@trial:<id>");
+}
+
+FaultKind parse_kind(const std::string& name, const std::string& entry) {
+  if (name == "throw") return FaultKind::kThrow;
+  if (name == "hang") return FaultKind::kHang;
+  if (name == "stop") return FaultKind::kStop;
+  bad_entry(entry);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) bad_entry(entry);
+
+    const std::size_t at = entry.find('@');
+    if (at == std::string::npos) bad_entry(entry);
+    const FaultKind kind = parse_kind(entry.substr(0, at), entry);
+
+    const std::string site = entry.substr(at + 1);
+    if (site.rfind("trial:", 0) != 0) bad_entry(entry);
+    const std::string id_text = site.substr(6);
+    if (id_text.empty() ||
+        id_text.find_first_not_of("0123456789") != std::string::npos) {
+      bad_entry(entry);
+    }
+    const std::uint64_t id = std::strtoull(id_text.c_str(), nullptr, 10);
+    plan.by_trial_[id] = kind;
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* raw = std::getenv("GBIS_FAULTS");
+  if (raw == nullptr || *raw == '\0') return {};
+  try {
+    return parse(raw);
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "gbis: ignoring GBIS_FAULTS=\"" << raw << "\" ("
+              << error.what() << ")\n";
+    return {};
+  }
+}
+
+FaultKind FaultPlan::at(std::uint64_t trial_id) const {
+  const auto it = by_trial_.find(trial_id);
+  return it == by_trial_.end() ? FaultKind::kNone : it->second;
+}
+
+void maybe_inject_fault(const FaultPlan* plan, std::uint64_t trial_id,
+                        const Deadline& deadline) {
+  if (plan == nullptr || plan->empty()) return;
+  switch (plan->at(trial_id)) {
+    case FaultKind::kNone:
+      return;
+    case FaultKind::kThrow:
+      throw InjectedFault("injected fault: throw@trial:" +
+                          std::to_string(trial_id));
+    case FaultKind::kHang:
+      // A cooperative hang: exactly what a stuck SA schedule looks like
+      // to the harness. Rescued by the trial deadline or a shutdown
+      // request; with neither it hangs for real.
+      for (;;) {
+        if (deadline.expired()) {
+          throw DeadlineExceeded("injected fault: hang@trial:" +
+                                 std::to_string(trial_id) +
+                                 " hit the trial deadline");
+        }
+        if (shutdown_requested()) {
+          throw DeadlineExceeded("injected fault: hang@trial:" +
+                                 std::to_string(trial_id) +
+                                 " aborted by shutdown");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    case FaultKind::kStop:
+      request_shutdown();
+      return;
+  }
+}
+
+}  // namespace gbis

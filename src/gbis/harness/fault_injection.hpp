@@ -1,0 +1,74 @@
+// Deterministic fault injection for the campaign layer. Every failure
+// path the harness claims to survive — a throwing trial, a hung trial,
+// a shutdown mid-campaign — can be triggered on an exact trial id, so
+// the tests exercise them reproducibly instead of trusting them on
+// faith.
+//
+// Spec grammar (also accepted from the GBIS_FAULTS environment
+// variable):
+//
+//   spec  := entry ("," entry)*
+//   entry := kind "@trial:" id
+//   kind  := "throw" | "hang" | "stop"
+//   id    := unsigned integer (the dense trial id of the enumeration)
+//
+// e.g.  GBIS_FAULTS=throw@trial:17,hang@trial:23
+//
+//   throw — the trial raises InjectedFault (-> status `failed`)
+//   hang  — the trial blocks until its deadline expires (-> status
+//           `timed_out`) or a shutdown is requested; with neither it
+//           hangs for real, which is the point
+//   stop  — entering the trial calls request_shutdown(), as if SIGTERM
+//           had arrived at that moment; the trial itself runs normally
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "gbis/util/deadline.hpp"
+
+namespace gbis {
+
+/// What a planned fault does to its trial.
+enum class FaultKind : std::uint8_t { kNone, kThrow, kHang, kStop };
+
+/// The exception an injected `throw` raises inside a trial.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// An immutable trial-id -> fault map parsed from a spec string.
+class FaultPlan {
+ public:
+  /// No faults.
+  FaultPlan() = default;
+
+  /// Parses the grammar above; throws std::invalid_argument naming the
+  /// offending entry on any deviation. An empty spec is an empty plan.
+  static FaultPlan parse(const std::string& spec);
+
+  /// Reads GBIS_FAULTS. A malformed value warns on stderr (naming the
+  /// variable and the rejected text, like the other GBIS_* knobs) and
+  /// yields an empty plan.
+  static FaultPlan from_env();
+
+  bool empty() const { return by_trial_.empty(); }
+  std::size_t size() const { return by_trial_.size(); }
+
+  /// The fault planned for `trial_id` (kNone when unplanned).
+  FaultKind at(std::uint64_t trial_id) const;
+
+ private:
+  std::unordered_map<std::uint64_t, FaultKind> by_trial_;
+};
+
+/// The trial runner's injection point, called as trial `trial_id`
+/// starts. No-op for a null/empty plan. `deadline` is the trial's own
+/// deadline — what an injected hang spins against.
+void maybe_inject_fault(const FaultPlan* plan, std::uint64_t trial_id,
+                        const Deadline& deadline);
+
+}  // namespace gbis

@@ -2,19 +2,42 @@
 
 #include <algorithm>
 #include <limits>
+#include <mutex>
 #include <stdexcept>
 
+#include "gbis/harness/fault_injection.hpp"
 #include "gbis/harness/thread_pool.hpp"
 #include "gbis/harness/timer.hpp"
 #include "gbis/rng/splitmix.hpp"
+#include "gbis/util/deadline.hpp"
 
 namespace gbis {
 
-std::vector<TrialResult> run_trials(std::span<const Graph> graphs,
-                                    std::span<const TrialSpec> trials,
-                                    const RunConfig& config,
-                                    std::uint64_t seed, unsigned threads,
-                                    bool keep_sides) {
+const char* trial_status_name(TrialStatus status) {
+  switch (status) {
+    case TrialStatus::kOk: return "ok";
+    case TrialStatus::kFailed: return "failed";
+    case TrialStatus::kTimedOut: return "timed_out";
+    case TrialStatus::kSkipped: return "skipped";
+  }
+  return "unknown";
+}
+
+const char* trial_status_cell(TrialStatus status) {
+  switch (status) {
+    case TrialStatus::kOk: return "";
+    case TrialStatus::kFailed: return "err";
+    case TrialStatus::kTimedOut: return "t/o";
+    case TrialStatus::kSkipped: return "skip";
+  }
+  return "?";
+}
+
+std::vector<TrialResult> run_trials_ex(std::span<const Graph> graphs,
+                                       std::span<const TrialSpec> trials,
+                                       const RunConfig& config,
+                                       std::uint64_t seed, unsigned threads,
+                                       const TrialRunOptions& options) {
   std::vector<TrialResult> results(trials.size());
   if (trials.empty()) return results;
   for (const TrialSpec& t : trials) {
@@ -22,24 +45,151 @@ std::vector<TrialResult> run_trials(std::span<const Graph> graphs,
       throw std::out_of_range("run_trials: graph_index out of range");
     }
   }
+
+  // Resume: adopt precompleted results up front; their jobs no-op.
+  std::vector<std::uint8_t> adopted(trials.size(), 0);
+  if (options.precompleted != nullptr) {
+    for (const auto& [id, result] : *options.precompleted) {
+      if (id < results.size()) {
+        results[id] = result;
+        adopted[id] = 1;
+      }
+    }
+  }
+
+  std::mutex complete_mutex;  // serializes the on_complete hook
+
   // Never spin up more workers than there are trials.
   const unsigned workers = std::min<std::uint64_t>(
       ThreadPool::resolve_threads(threads), trials.size());
   ThreadPool pool(workers);
-  pool.parallel_for(trials.size(), [&](std::size_t i) {
-    const TrialSpec& spec = trials[i];
-    Rng rng(splitmix64_at(seed, static_cast<std::uint64_t>(i)));
-    const CpuTimer timer;
-    const Bisection b =
-        run_one_start(graphs[spec.graph_index], spec.method, rng, config);
-    TrialResult& out = results[i];
-    out.cpu_seconds = timer.elapsed_seconds();
-    out.cut = b.cut();
-    if (keep_sides) {
-      out.sides.assign(b.sides().begin(), b.sides().end());
+  const std::vector<JobOutcome> outcomes = pool.parallel_for_collect(
+      trials.size(),
+      [&](std::size_t i) {
+        if (adopted[i]) return;
+        const TrialSpec& spec = trials[i];
+        TrialResult& out = results[i];
+        // A shutdown between dequeue checks: skip without running.
+        if (options.stop != nullptr &&
+            options.stop->load(std::memory_order_acquire)) {
+          out.status = TrialStatus::kSkipped;
+          return;
+        }
+        const Deadline deadline = config.trial_deadline > 0
+                                      ? Deadline::after(config.trial_deadline)
+                                      : Deadline();
+        const CpuTimer timer;
+        try {
+          maybe_inject_fault(options.faults, i, deadline);
+          RunConfig local = config;
+          local.kl.deadline = deadline;
+          local.sa.deadline = deadline;
+          local.fm.deadline = deadline;
+          Rng rng(splitmix64_at(seed, static_cast<std::uint64_t>(i)));
+          const Bisection b =
+              run_one_start(graphs[spec.graph_index], spec.method, rng, local);
+          out.cut = b.cut();
+          out.status = TrialStatus::kOk;
+          if (options.keep_sides) {
+            out.sides.assign(b.sides().begin(), b.sides().end());
+          }
+        } catch (const DeadlineExceeded& error) {
+          out.status = TrialStatus::kTimedOut;
+          out.error = error.what();
+        } catch (const std::exception& error) {
+          out.status = TrialStatus::kFailed;
+          out.error = error.what();
+        } catch (...) {
+          out.status = TrialStatus::kFailed;
+          out.error = "unknown exception";
+        }
+        out.cpu_seconds = timer.elapsed_seconds();
+        if (options.on_complete != nullptr &&
+            out.status != TrialStatus::kSkipped) {
+          const std::lock_guard<std::mutex> lock(complete_mutex);
+          options.on_complete(static_cast<std::uint64_t>(i), out);
+        }
+      },
+      options.stop);
+
+  // Trials the drained pool never claimed.
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (outcomes[i].state == JobState::kNotRun && !adopted[i]) {
+      results[i].status = TrialStatus::kSkipped;
     }
-  });
+  }
   return results;
+}
+
+std::vector<TrialResult> run_trials(std::span<const Graph> graphs,
+                                    std::span<const TrialSpec> trials,
+                                    const RunConfig& config,
+                                    std::uint64_t seed, unsigned threads,
+                                    bool keep_sides) {
+  TrialRunOptions options;
+  options.keep_sides = keep_sides;
+  return run_trials_ex(graphs, trials, config, seed, threads, options);
+}
+
+std::vector<TrialSpec> enumerate_trial_matrix(std::size_t num_graphs,
+                                              std::span<const Method> methods,
+                                              std::uint32_t starts) {
+  std::vector<TrialSpec> trials;
+  trials.reserve(num_graphs * methods.size() * starts);
+  for (std::uint32_t g = 0; g < num_graphs; ++g) {
+    for (const Method m : methods) {
+      for (std::uint32_t s = 0; s < starts; ++s) {
+        trials.push_back({g, m, s});
+      }
+    }
+  }
+  return trials;
+}
+
+std::vector<MethodOutcome> reduce_trial_matrix(
+    std::span<const TrialResult> raw, std::size_t num_cells,
+    std::uint32_t starts, bool keep_sides) {
+  std::vector<MethodOutcome> outcomes(num_cells);
+  std::size_t t = 0;
+  for (std::size_t cell = 0; cell < num_cells; ++cell) {
+    MethodOutcome& out = outcomes[cell];
+    out.best_cut = std::numeric_limits<Weight>::max();
+    out.trial_seconds.reserve(starts);
+    for (std::uint32_t s = 0; s < starts; ++s, ++t) {
+      const TrialResult& trial = raw[t];
+      out.cpu_seconds += trial.cpu_seconds;
+      out.trial_seconds.push_back(trial.cpu_seconds);
+      switch (trial.status) {
+        case TrialStatus::kOk:
+          ++out.ok;
+          if (trial.cut < out.best_cut) {
+            out.best_cut = trial.cut;
+            out.best_start = s;
+            if (keep_sides) out.best_sides = trial.sides;
+          }
+          break;
+        case TrialStatus::kFailed: ++out.failed; break;
+        case TrialStatus::kTimedOut: ++out.timed_out; break;
+        case TrialStatus::kSkipped: ++out.skipped; break;
+      }
+      if (out.first_error.empty() && !trial.error.empty()) {
+        out.first_error = trial.error;
+      }
+    }
+    if (out.ok > 0) {
+      out.status = TrialStatus::kOk;
+    } else {
+      out.best_cut = 0;  // no valid cut; callers must consult status
+      if (out.failed > 0) {
+        out.status = TrialStatus::kFailed;
+      } else if (out.timed_out > 0) {
+        out.status = TrialStatus::kTimedOut;
+      } else {
+        out.status = TrialStatus::kSkipped;
+      }
+    }
+  }
+  return outcomes;
 }
 
 std::vector<MethodOutcome> run_trial_matrix(std::span<const Graph> graphs,
@@ -50,38 +200,12 @@ std::vector<MethodOutcome> run_trial_matrix(std::span<const Graph> graphs,
   if (config.starts == 0) {
     throw std::invalid_argument("run_trial_matrix: starts >= 1");
   }
-  std::vector<TrialSpec> trials;
-  trials.reserve(graphs.size() * methods.size() * config.starts);
-  for (std::uint32_t g = 0; g < graphs.size(); ++g) {
-    for (const Method m : methods) {
-      for (std::uint32_t s = 0; s < config.starts; ++s) {
-        trials.push_back({g, m, s});
-      }
-    }
-  }
+  const std::vector<TrialSpec> trials =
+      enumerate_trial_matrix(graphs.size(), methods, config.starts);
   const std::vector<TrialResult> raw =
       run_trials(graphs, trials, config, seed, config.threads, keep_sides);
-
-  // Reduce each (graph, method) cell in start order: deterministic, and
-  // ties keep the earliest start like the serial loop always did.
-  std::vector<MethodOutcome> outcomes(graphs.size() * methods.size());
-  std::size_t t = 0;
-  for (std::size_t cell = 0; cell < outcomes.size(); ++cell) {
-    MethodOutcome& out = outcomes[cell];
-    out.best_cut = std::numeric_limits<Weight>::max();
-    out.trial_seconds.reserve(config.starts);
-    for (std::uint32_t s = 0; s < config.starts; ++s, ++t) {
-      const TrialResult& trial = raw[t];
-      out.cpu_seconds += trial.cpu_seconds;
-      out.trial_seconds.push_back(trial.cpu_seconds);
-      if (trial.cut < out.best_cut) {
-        out.best_cut = trial.cut;
-        out.best_start = s;
-        if (keep_sides) out.best_sides = trial.sides;
-      }
-    }
-  }
-  return outcomes;
+  return reduce_trial_matrix(raw, graphs.size() * methods.size(),
+                             config.starts, keep_sides);
 }
 
 }  // namespace gbis

@@ -6,14 +6,26 @@
 // shared driver stream, which makes every cut bit-identical for any
 // thread count (including 1) at a fixed seed.
 //
+// Fault isolation: a trial is a unit of failure as well as a unit of
+// work. An exception marks that one trial `failed`, a trial-deadline
+// overrun marks it `timed_out`, and a shutdown request drains the
+// remaining queue as `skipped` — the batch always completes and the
+// other trials' results survive. Determinism is unaffected: each
+// trial's Rng depends only on (seed, trial id), so a resumed campaign
+// reproduces exactly the cuts an uninterrupted run would have.
+//
 // Timing: each trial records its own thread-CPU seconds (CpuTimer), so
 // the paper's "total time over all starts" protocol — a *sum* of trial
 // costs — survives concurrency; wall seconds are reported separately by
 // the callers that need them.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <span>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "gbis/harness/runner.hpp"
@@ -21,6 +33,7 @@
 namespace gbis {
 
 class ThreadPool;
+class FaultPlan;
 
 /// One schedulable unit of work: run `method` on `graphs[graph_index]`
 /// from one fresh random start.
@@ -30,38 +43,102 @@ struct TrialSpec {
   std::uint32_t start_index = 0;  ///< which start this trial is, 0-based
 };
 
+/// How one trial ended.
+enum class TrialStatus : std::uint8_t {
+  kOk = 0,    ///< ran to completion; `cut` is valid
+  kFailed,    ///< threw; `error` holds the what() text
+  kTimedOut,  ///< hit RunConfig::trial_deadline (cooperative check)
+  kSkipped,   ///< never ran: shutdown drained the queue first
+};
+
+/// Journal/diagnostic name: "ok", "failed", "timed_out", "skipped".
+const char* trial_status_name(TrialStatus status);
+
+/// Table-cell marker: "" (ok), "err", "t/o", "skip".
+const char* trial_status_cell(TrialStatus status);
+
 /// What one trial produced.
 struct TrialResult {
-  Weight cut = 0;
+  TrialStatus status = TrialStatus::kOk;
+  Weight cut = 0;          ///< valid only when status == kOk
   double cpu_seconds = 0;  ///< thread-CPU seconds spent in the trial
-  std::vector<std::uint8_t> sides;  ///< filled only when keep_sides
+  std::string error;       ///< what() text for failed/timed-out trials
+  std::vector<std::uint8_t> sides;  ///< filled only when keep_sides & ok
+};
+
+/// Optional knobs of run_trials_ex beyond the plain run_trials
+/// signature. All default to "off".
+struct TrialRunOptions {
+  bool keep_sides = false;
+  /// Graceful shutdown: when *stop becomes true the pool stops
+  /// dequeuing, in-flight trials finish (or hit their deadline), and
+  /// undequeued trials come back kSkipped.
+  const std::atomic<bool>* stop = nullptr;
+  /// Deterministic fault injection (see fault_injection.hpp).
+  const FaultPlan* faults = nullptr;
+  /// Checkpoint hook: called once per *executed* trial as it completes
+  /// (any order; calls are serialized internally). Not called for
+  /// skipped or precompleted trials.
+  std::function<void(std::uint64_t trial_id, const TrialResult&)>
+      on_complete;
+  /// Resume support: results adopted by trial id without re-running.
+  const std::unordered_map<std::uint64_t, TrialResult>* precompleted =
+      nullptr;
 };
 
 /// Aggregate of all starts of one (graph, method) cell, reduced in
 /// start order (ties keep the earliest start, matching the serial
-/// harness).
+/// harness). A cell is `ok` when at least one start is; otherwise its
+/// status is the dominant failure (all-timeouts -> kTimedOut, any
+/// failure -> kFailed, nothing ran -> kSkipped) and best_cut is
+/// meaningless.
 struct MethodOutcome {
   Weight best_cut = 0;
-  double cpu_seconds = 0;  ///< summed over starts (paper protocol)
+  double cpu_seconds = 0;  ///< summed over executed starts (paper protocol)
   std::vector<double> trial_seconds;  ///< per-start CPU seconds
   std::uint32_t best_start = 0;       ///< index of the winning start
   std::vector<std::uint8_t> best_sides;  ///< winning sides (keep_sides)
+  TrialStatus status = TrialStatus::kOk;  ///< cell-level verdict
+  std::uint32_t ok = 0, failed = 0, timed_out = 0, skipped = 0;
+  std::string first_error;  ///< first failure text, in start order
 };
 
 /// Runs every trial on `threads` workers (0 = hardware concurrency) and
 /// returns results indexed exactly like `trials`. Trial `t` uses an Rng
-/// seeded with splitmix64_at(seed, t). Exceptions from trials propagate
-/// after the batch drains.
+/// seeded with splitmix64_at(seed, t). Trials are fault-isolated: an
+/// exception or deadline overrun degrades that trial's status, it never
+/// throws out of this call (only spec validation does).
 std::vector<TrialResult> run_trials(std::span<const Graph> graphs,
                                     std::span<const TrialSpec> trials,
                                     const RunConfig& config,
                                     std::uint64_t seed, unsigned threads,
                                     bool keep_sides = false);
 
-/// Enumerates graphs × methods × config.starts trials (graph-major,
-/// then method, then start — dense trial ids), runs them in parallel,
-/// and reduces each (graph, method) cell. The returned vector is
-/// indexed by `graph_index * methods.size() + method_index`.
+/// Full-control variant: shutdown flag, fault plan, completion hook,
+/// and precompleted (resumed) trials.
+std::vector<TrialResult> run_trials_ex(std::span<const Graph> graphs,
+                                       std::span<const TrialSpec> trials,
+                                       const RunConfig& config,
+                                       std::uint64_t seed, unsigned threads,
+                                       const TrialRunOptions& options);
+
+/// The canonical campaign enumeration: graphs × methods × starts,
+/// graph-major, then method, then start — dense trial ids. Both
+/// run_trial_matrix and the checkpointed campaign layer use exactly
+/// this order, which is what makes journaled trial ids portable.
+std::vector<TrialSpec> enumerate_trial_matrix(std::size_t num_graphs,
+                                              std::span<const Method> methods,
+                                              std::uint32_t starts);
+
+/// Reduces a dense trial-matrix result vector (cells × starts, in
+/// enumeration order) into per-cell outcomes.
+std::vector<MethodOutcome> reduce_trial_matrix(
+    std::span<const TrialResult> raw, std::size_t num_cells,
+    std::uint32_t starts, bool keep_sides = false);
+
+/// Enumerates graphs × methods × config.starts trials, runs them in
+/// parallel, and reduces each (graph, method) cell. The returned vector
+/// is indexed by `graph_index * methods.size() + method_index`.
 std::vector<MethodOutcome> run_trial_matrix(std::span<const Graph> graphs,
                                             std::span<const Method> methods,
                                             const RunConfig& config,

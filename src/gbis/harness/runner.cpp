@@ -77,11 +77,23 @@ RunResult run_method_seeded(const Graph& g, Method method,
   std::vector<MethodOutcome> outcomes = run_trial_matrix(
       graphs, methods, config, seed, /*keep_sides=*/best_sides != nullptr);
   MethodOutcome& outcome = outcomes.front();
+  if (outcome.status != TrialStatus::kOk) {
+    // Trials are fault-isolated, but a run with zero successful starts
+    // has no cut to report — surface the first failure to the caller.
+    std::string message = "run_method: no start finished (";
+    message += trial_status_name(outcome.status);
+    message += ")";
+    if (!outcome.first_error.empty()) message += ": " + outcome.first_error;
+    throw std::runtime_error(message);
+  }
 
   RunResult result;
   result.best_cut = outcome.best_cut;
   result.cpu_seconds = outcome.cpu_seconds;
   result.trial_seconds = std::move(outcome.trial_seconds);
+  result.degraded_starts =
+      outcome.failed + outcome.timed_out + outcome.skipped;
+  result.first_error = std::move(outcome.first_error);
   if (best_sides != nullptr) {
     *best_sides = std::move(outcome.best_sides);
   }

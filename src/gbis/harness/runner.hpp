@@ -48,6 +48,12 @@ std::string method_name(Method method);
 struct RunConfig {
   std::uint32_t starts = 2;   ///< independent random starts (paper: 2)
   std::uint32_t threads = 0;  ///< trial-runner workers; 0 = hardware
+  /// Per-trial wall-clock budget in seconds; 0 = unlimited. The trial
+  /// runner derives a Deadline from it at each trial's start and
+  /// threads it into the KL/SA/FM step loops (cooperative check); an
+  /// overrun marks that one trial `timed_out` instead of poisoning the
+  /// batch.
+  double trial_deadline = 0;
   KlOptions kl;
   SaOptions sa;
   FmOptions fm;
@@ -64,6 +70,11 @@ struct RunResult {
   double cpu_seconds = 0;  ///< summed per-trial CPU seconds, all starts
   double wall_seconds = 0;          ///< harness wall clock for the run
   std::vector<double> trial_seconds;  ///< per-start CPU seconds, in order
+  /// Starts that did not finish (failed / timed out / skipped). The
+  /// result is still valid — best_cut is the best *successful* start —
+  /// but degraded; run_method throws only when no start succeeds.
+  std::uint32_t degraded_starts = 0;
+  std::string first_error;  ///< first failure text when degraded
 };
 
 /// One trial: generate a start (inside the method where applicable) and

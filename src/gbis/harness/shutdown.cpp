@@ -1,0 +1,38 @@
+#include "gbis/harness/shutdown.hpp"
+
+#include <csignal>
+
+namespace gbis {
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+extern "C" void handle_shutdown_signal(int) {
+  g_shutdown.store(true, std::memory_order_release);
+}
+
+}  // namespace
+
+std::atomic<bool>& shutdown_flag() { return g_shutdown; }
+
+bool shutdown_requested() {
+  return g_shutdown.load(std::memory_order_acquire);
+}
+
+void request_shutdown() { g_shutdown.store(true, std::memory_order_release); }
+
+void reset_shutdown() { g_shutdown.store(false, std::memory_order_release); }
+
+void install_shutdown_handlers() {
+  struct sigaction action = {};
+  action.sa_handler = &handle_shutdown_signal;
+  sigemptyset(&action.sa_mask);
+  // SA_RESETHAND: the first signal drains gracefully, a second one
+  // kills the process the ordinary way — no way to wedge a campaign.
+  action.sa_flags = SA_RESETHAND;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+}  // namespace gbis

@@ -1,0 +1,39 @@
+// Graceful-shutdown plumbing for long campaigns. SIGINT/SIGTERM (or an
+// in-process request_shutdown(), which is how tests trigger the path
+// deterministically) flip one process-wide std::atomic<bool>; the trial
+// runner's drain-on-stop path sees it, stops dequeuing trials, lets
+// in-flight trials finish or hit their deadline, and the campaign layer
+// flushes its journal and reports the run as interrupted so the CLI can
+// exit 130 with a "--resume" hint.
+//
+// Only the flag flip happens in the signal handler (async-signal-safe:
+// a lock-free atomic store); everything else runs on normal threads.
+#pragma once
+
+#include <atomic>
+
+namespace gbis {
+
+/// The process-wide stop flag. Pass &shutdown_flag() as the stop
+/// pointer of TrialRunOptions / CampaignOptions to make a run
+/// interruptible.
+std::atomic<bool>& shutdown_flag();
+
+/// True once a shutdown has been requested (signal or in-process).
+bool shutdown_requested();
+
+/// In-process trigger: exactly what the signal handler does. Used by
+/// tests (and the stop@trial:N fault) to exercise the SIGTERM path
+/// without delivering a real signal.
+void request_shutdown();
+
+/// Clears the flag so a new campaign (or test) starts fresh.
+void reset_shutdown();
+
+/// Installs SIGINT and SIGTERM handlers that call request_shutdown().
+/// Idempotent. The second signal falls back to the default disposition
+/// (handlers are installed with SA_RESETHAND), so a stuck campaign can
+/// still be killed with a repeated Ctrl-C.
+void install_shutdown_handlers();
+
+}  // namespace gbis

@@ -44,13 +44,26 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::work_on(Batch& batch) {
   for (;;) {
+    // Drain mode: an external stop flag or a strict-mode failure means
+    // remaining indices are claimed but not executed — their slots stay
+    // kNotRun — so `pending` still reaches zero and the caller wakes.
+    const bool draining =
+        (batch.stop != nullptr &&
+         batch.stop->load(std::memory_order_acquire)) ||
+        (batch.stop_on_error &&
+         batch.failed.load(std::memory_order_acquire));
     const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= batch.count) return;
-    try {
-      (*batch.job)(i);
-    } catch (...) {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      if (batch.error == nullptr) batch.error = std::current_exception();
+    if (!draining) {
+      // The claiming worker owns slot i exclusively: no lock needed.
+      try {
+        (*batch.job)(i);
+        batch.outcomes[i].state = JobState::kDone;
+      } catch (...) {
+        batch.outcomes[i].state = JobState::kError;
+        batch.outcomes[i].error = std::current_exception();
+        batch.failed.store(true, std::memory_order_release);
+      }
     }
     if (batch.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last job: wake the caller. Take the lock so the notify cannot
@@ -61,13 +74,18 @@ void ThreadPool::work_on(Batch& batch) {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t count,
-                              const std::function<void(std::size_t)>& job) {
-  if (count == 0) return;
+std::vector<JobOutcome> ThreadPool::run_batch(
+    std::size_t count, const std::function<void(std::size_t)>& job,
+    const std::atomic<bool>* stop, bool stop_on_error) {
+  std::vector<JobOutcome> outcomes(count);
+  if (count == 0) return outcomes;
   auto batch = std::make_shared<Batch>();
   batch->job = &job;
   batch->count = count;
   batch->pending.store(count, std::memory_order_relaxed);
+  batch->outcomes = outcomes.data();
+  batch->stop = stop;
+  batch->stop_on_error = stop_on_error;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     batch_ = batch;
@@ -82,7 +100,24 @@ void ThreadPool::parallel_for(std::size_t count,
     });
     batch_.reset();
   }
-  if (batch->error != nullptr) std::rethrow_exception(batch->error);
+  return outcomes;
+}
+
+std::vector<JobOutcome> ThreadPool::parallel_for_collect(
+    std::size_t count, const std::function<void(std::size_t)>& job,
+    const std::atomic<bool>* stop) {
+  return run_batch(count, job, stop, /*stop_on_error=*/false);
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& job) {
+  const std::vector<JobOutcome> outcomes =
+      run_batch(count, job, nullptr, /*stop_on_error=*/true);
+  for (const JobOutcome& outcome : outcomes) {
+    if (outcome.state == JobState::kError) {
+      std::rethrow_exception(outcome.error);
+    }
+  }
 }
 
 }  // namespace gbis

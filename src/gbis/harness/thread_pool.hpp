@@ -4,11 +4,21 @@
 // every job writes only to its own index's slot, which is what lets the
 // trial runner reduce results in a fixed order and stay bit-identical
 // for any worker count.
+//
+// Two entry points:
+//  - parallel_for_collect: fault-isolating. Every job gets its own
+//    outcome slot (done / error / not-run); nothing is thrown, and an
+//    optional stop flag drains the batch without claiming new indices.
+//  - parallel_for: strict. Stops claiming after the first failure
+//    (drain-on-stop) and rethrows the lowest-index error — a
+//    deterministic choice, unlike the old "first exception captured
+//    wins" race.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -17,6 +27,19 @@
 #include <vector>
 
 namespace gbis {
+
+/// What happened to one index of a parallel_for_collect batch.
+enum class JobState : std::uint8_t {
+  kDone,    ///< job ran and returned normally
+  kError,   ///< job threw; the exception is in `error`
+  kNotRun,  ///< never claimed: the stop flag drained the batch first
+};
+
+/// Per-job outcome slot.
+struct JobOutcome {
+  JobState state = JobState::kNotRun;
+  std::exception_ptr error;  ///< set iff state == kError
+};
 
 /// Fixed-size worker pool. The constructing thread participates in
 /// every parallel_for, so a pool of size 1 spawns no threads at all and
@@ -36,10 +59,20 @@ class ThreadPool {
   /// Total workers including the caller.
   unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
 
-  /// Runs job(0) .. job(count - 1), blocking until all complete. Jobs
-  /// are claimed in index order but may finish in any order and on any
-  /// thread. If any job throws, the first exception captured is
-  /// rethrown here after the batch drains.
+  /// Runs job(0) .. job(count - 1), blocking until all complete or the
+  /// batch drains. Jobs are claimed in index order but may finish in
+  /// any order and on any thread. Each index gets its own outcome slot;
+  /// exceptions never propagate out of this call. When `stop` is
+  /// non-null and becomes true, workers stop claiming new indices:
+  /// in-flight jobs finish, unclaimed indices come back as kNotRun.
+  std::vector<JobOutcome> parallel_for_collect(
+      std::size_t count, const std::function<void(std::size_t)>& job,
+      const std::atomic<bool>* stop = nullptr);
+
+  /// Strict variant: runs jobs until all complete or one fails. After
+  /// the first failure the batch drains without claiming new indices,
+  /// and the lowest-index captured exception is rethrown (deterministic
+  /// for a single-worker pool; the lowest recorded index otherwise).
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& job);
 
@@ -53,9 +86,16 @@ class ThreadPool {
     std::size_t count = 0;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> pending{0};
-    std::exception_ptr error;  // first failure, guarded by pool mutex
+    JobOutcome* outcomes = nullptr;           ///< one slot per index
+    const std::atomic<bool>* stop = nullptr;  ///< external drain request
+    std::atomic<bool> failed{false};          ///< set on first error
+    bool stop_on_error = false;               ///< strict-mode drain
   };
 
+  std::vector<JobOutcome> run_batch(std::size_t count,
+                                    const std::function<void(std::size_t)>& job,
+                                    const std::atomic<bool>* stop,
+                                    bool stop_on_error);
   void worker_loop();
   void work_on(Batch& batch);
 

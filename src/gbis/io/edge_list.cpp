@@ -5,14 +5,14 @@
 #include <stdexcept>
 
 #include "gbis/graph/builder.hpp"
+#include "gbis/io/io_error.hpp"
 
 namespace gbis {
 
 namespace {
 
 [[noreturn]] void fail(std::size_t line_no, const std::string& what) {
-  throw std::runtime_error("edge_list: line " + std::to_string(line_no) +
-                           ": " + what);
+  throw IoError("edge_list: line " + std::to_string(line_no) + ": " + what);
 }
 
 }  // namespace
@@ -34,9 +34,9 @@ void write_edge_list(std::ostream& out, const Graph& g) {
 
 void write_edge_list_file(const std::string& path, const Graph& g) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("edge_list: cannot open " + path);
+  if (!out) throw IoError("edge_list: cannot open " + path);
   write_edge_list(out, g);
-  if (!out) throw std::runtime_error("edge_list: write failed: " + path);
+  if (!out) throw IoError("edge_list: write failed: " + path);
 }
 
 Graph read_edge_list(std::istream& in) {
@@ -56,14 +56,19 @@ Graph read_edge_list(std::istream& in) {
 
   std::string content;
   if (!next_content_line(content)) {
-    throw std::runtime_error("edge_list: missing header");
+    throw IoError("edge_list: missing header");
   }
   std::istringstream header(content);
   std::uint64_t n = 0, m = 0;
-  if (!(header >> n >> m)) fail(line_no, "bad header (expected '<n> <m>')");
+  if (!(header >> n >> m)) {
+    fail(line_no, "bad header \"" + content + "\" (expected '<n> <m>')");
+  }
   std::string extra;
   if (header >> extra) fail(line_no, "trailing tokens in header");
-  if (n > 0xFFFFFFFFull) fail(line_no, "vertex count too large");
+  if (n > 0xFFFFFFFFull) {
+    fail(line_no,
+         "vertex count " + std::to_string(n) + " exceeds the 2^32-1 limit");
+  }
 
   GraphBuilder builder(static_cast<std::uint32_t>(n));
   std::uint64_t edges_read = 0;
@@ -75,8 +80,14 @@ Graph read_edge_list(std::istream& in) {
       std::uint64_t v = 0;
       Weight w = 0;
       if (!(ls >> v >> w)) fail(line_no, "bad vertex-weight line");
-      if (v >= n) fail(line_no, "vertex id out of range");
-      if (w <= 0) fail(line_no, "non-positive vertex weight");
+      if (v >= n) {
+        fail(line_no, "vertex id " + std::to_string(v) +
+                          " out of range [0, " + std::to_string(n) + ")");
+      }
+      if (w <= 0) {
+        fail(line_no, "vertex weight " + std::to_string(w) +
+                          " must be positive");
+      }
       builder.set_vertex_weight(static_cast<Vertex>(v), w);
       continue;
     }
@@ -85,25 +96,29 @@ Graph read_edge_list(std::istream& in) {
     std::istringstream es(content);
     if (!(es >> u >> v)) fail(line_no, "bad edge line");
     es >> w;  // optional
-    if (u >= n || v >= n) fail(line_no, "edge endpoint out of range");
-    if (u == v) fail(line_no, "self-loop");
-    if (w <= 0) fail(line_no, "non-positive edge weight");
+    if (u >= n || v >= n) {
+      fail(line_no, "edge endpoint " + std::to_string(u >= n ? u : v) +
+                        " out of range [0, " + std::to_string(n) + ")");
+    }
+    if (u == v) fail(line_no, "self-loop on vertex " + std::to_string(u));
+    if (w <= 0) {
+      fail(line_no, "edge weight " + std::to_string(w) + " must be positive");
+    }
     std::string garbage;
     if (es >> garbage) fail(line_no, "trailing tokens on edge line");
     builder.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v), w);
     ++edges_read;
   }
   if (edges_read != m) {
-    throw std::runtime_error(
-        "edge_list: header declared " + std::to_string(m) + " edges, found " +
-        std::to_string(edges_read));
+    throw IoError("edge_list: header declared " + std::to_string(m) +
+                  " edges, found " + std::to_string(edges_read));
   }
   return builder.build();
 }
 
 Graph read_edge_list_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("edge_list: cannot open " + path);
+  if (!in) throw IoError("edge_list: cannot open " + path);
   return read_edge_list(in);
 }
 

@@ -6,14 +6,14 @@
 #include <vector>
 
 #include "gbis/hypergraph/builder.hpp"
+#include "gbis/io/io_error.hpp"
 
 namespace gbis {
 
 namespace {
 
 [[noreturn]] void fail(std::size_t line_no, const std::string& what) {
-  throw std::runtime_error("hmetis: line " + std::to_string(line_no) + ": " +
-                           what);
+  throw IoError("hmetis: line " + std::to_string(line_no) + ": " + what);
 }
 
 bool next_content_line(std::istream& in, std::string& out_line,
@@ -65,21 +65,24 @@ void write_hmetis(std::ostream& out, const Hypergraph& h) {
 
 void write_hmetis_file(const std::string& path, const Hypergraph& h) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("hmetis: cannot open " + path);
+  if (!out) throw IoError("hmetis: cannot open " + path);
   write_hmetis(out, h);
-  if (!out) throw std::runtime_error("hmetis: write failed: " + path);
+  if (!out) throw IoError("hmetis: write failed: " + path);
 }
 
 Hypergraph read_hmetis(std::istream& in) {
   std::size_t line_no = 0;
   std::string content;
   if (!next_content_line(in, content, line_no)) {
-    throw std::runtime_error("hmetis: missing header");
+    throw IoError("hmetis: missing header");
   }
   std::istringstream header(content);
   std::uint64_t nets = 0, cells = 0;
   std::string fmt = "0";
-  if (!(header >> nets >> cells)) fail(line_no, "bad header");
+  if (!(header >> nets >> cells)) {
+    fail(line_no,
+         "bad header \"" + content + "\" (expected '<nets> <cells> [fmt]')");
+  }
   header >> fmt;
   const bool has_nw = fmt == "1" || fmt == "11";
   const bool has_cw = fmt == "10" || fmt == "11";
@@ -98,11 +101,16 @@ Hypergraph read_hmetis(std::istream& in) {
     std::istringstream ls(content);
     Weight w = 1;
     if (has_nw && !(ls >> w)) fail(line_no, "missing net weight");
-    if (w <= 0) fail(line_no, "non-positive net weight");
+    if (w <= 0) {
+      fail(line_no, "net weight " + std::to_string(w) + " must be positive");
+    }
     std::vector<Cell> pins;
     std::uint64_t pin = 0;
     while (ls >> pin) {
-      if (pin < 1 || pin > cells) fail(line_no, "pin out of range");
+      if (pin < 1 || pin > cells) {
+        fail(line_no, "pin " + std::to_string(pin) + " out of range [1, " +
+                          std::to_string(cells) + "]");
+      }
       pins.push_back(static_cast<Cell>(pin - 1));
     }
     if (pins.size() < 2) fail(line_no, "net with fewer than two pins");
@@ -116,7 +124,10 @@ Hypergraph read_hmetis(std::istream& in) {
       std::istringstream ls(content);
       Weight w = 0;
       if (!(ls >> w)) fail(line_no, "bad cell weight");
-      if (w <= 0) fail(line_no, "non-positive cell weight");
+      if (w <= 0) {
+        fail(line_no,
+             "cell weight " + std::to_string(w) + " must be positive");
+      }
       builder.set_cell_weight(static_cast<Cell>(c), w);
     }
   }
@@ -125,7 +136,7 @@ Hypergraph read_hmetis(std::istream& in) {
 
 Hypergraph read_hmetis_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("hmetis: cannot open " + path);
+  if (!in) throw IoError("hmetis: cannot open " + path);
   return read_hmetis(in);
 }
 

@@ -1,0 +1,19 @@
+// The error type every io/ reader and writer throws for file-system
+// and format problems. A distinct type (still a std::runtime_error, so
+// existing catch sites keep working) lets the CLI map I/O failures to
+// their own exit code (3) instead of the generic internal-error 1, and
+// gives corrupt-input triage one contract: every format error carries
+// the 1-based line number and the offending token.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gbis {
+
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace gbis

@@ -5,14 +5,14 @@
 #include <stdexcept>
 
 #include "gbis/graph/builder.hpp"
+#include "gbis/io/io_error.hpp"
 
 namespace gbis {
 
 namespace {
 
 [[noreturn]] void fail(std::size_t line_no, const std::string& what) {
-  throw std::runtime_error("metis: line " + std::to_string(line_no) + ": " +
-                           what);
+  throw IoError("metis: line " + std::to_string(line_no) + ": " + what);
 }
 
 bool next_content_line(std::istream& in, std::string& out_line,
@@ -63,23 +63,28 @@ void write_metis(std::ostream& out, const Graph& g) {
 
 void write_metis_file(const std::string& path, const Graph& g) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("metis: cannot open " + path);
+  if (!out) throw IoError("metis: cannot open " + path);
   write_metis(out, g);
-  if (!out) throw std::runtime_error("metis: write failed: " + path);
+  if (!out) throw IoError("metis: write failed: " + path);
 }
 
 Graph read_metis(std::istream& in) {
   std::size_t line_no = 0;
   std::string content;
   if (!next_content_line(in, content, line_no)) {
-    throw std::runtime_error("metis: missing header");
+    throw IoError("metis: missing header");
   }
   std::istringstream header(content);
   std::uint64_t n = 0, m = 0;
   std::string fmt_str = "0";
-  if (!(header >> n >> m)) fail(line_no, "bad header");
+  if (!(header >> n >> m)) {
+    fail(line_no, "bad header \"" + content + "\" (expected '<n> <m> [fmt]')");
+  }
   header >> fmt_str;
-  if (n > 0xFFFFFFFFull) fail(line_no, "vertex count too large");
+  if (n > 0xFFFFFFFFull) {
+    fail(line_no, "vertex count " + std::to_string(n) +
+                      " exceeds the 2^32-1 limit");
+  }
   const bool has_ew = fmt_str == "1" || fmt_str == "11" || fmt_str == "011";
   const bool has_vw = fmt_str == "10" || fmt_str == "11" || fmt_str == "010" ||
                       fmt_str == "011";
@@ -99,17 +104,28 @@ Graph read_metis(std::istream& in) {
     if (has_vw) {
       Weight w = 0;
       if (!(ls >> w)) fail(line_no, "missing vertex weight");
-      if (w <= 0) fail(line_no, "non-positive vertex weight");
+      if (w <= 0) {
+        fail(line_no, "vertex weight " + std::to_string(w) +
+                          " must be positive");
+      }
       builder.set_vertex_weight(static_cast<Vertex>(v), w);
     }
     std::uint64_t nbr = 0;
     while (ls >> nbr) {
-      if (nbr < 1 || nbr > n) fail(line_no, "neighbor id out of range");
+      if (nbr < 1 || nbr > n) {
+        fail(line_no, "vertex id " + std::to_string(nbr) +
+                          " out of range [1, " + std::to_string(n) + "]");
+      }
       const auto u = static_cast<Vertex>(nbr - 1);
       Weight w = 1;
       if (has_ew && !(ls >> w)) fail(line_no, "missing edge weight");
-      if (w <= 0) fail(line_no, "non-positive edge weight");
-      if (u == v) fail(line_no, "self-loop");
+      if (w <= 0) {
+        fail(line_no,
+             "edge weight " + std::to_string(w) + " must be positive");
+      }
+      if (u == v) {
+        fail(line_no, "self-loop on vertex " + std::to_string(v + 1));
+      }
       ++half_edges;
       // Each undirected edge appears in both endpoint lines; stage it
       // only from the smaller endpoint. Halved weight tricks are not
@@ -118,20 +134,20 @@ Graph read_metis(std::istream& in) {
     }
   }
   if (half_edges != 2 * m) {
-    throw std::runtime_error("metis: header declared " + std::to_string(m) +
-                             " edges, adjacency lists contain " +
-                             std::to_string(half_edges) + " entries");
+    throw IoError("metis: header declared " + std::to_string(m) +
+                  " edges, adjacency lists contain " +
+                  std::to_string(half_edges) + " entries");
   }
   Graph g = builder.build();
   if (g.num_edges() != m) {
-    throw std::runtime_error("metis: duplicate adjacency entries");
+    throw IoError("metis: duplicate adjacency entries");
   }
   return g;
 }
 
 Graph read_metis_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("metis: cannot open " + path);
+  if (!in) throw IoError("metis: cannot open " + path);
   return read_metis(in);
 }
 

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "gbis/io/io_error.hpp"
+
 namespace gbis {
 
 void write_partition(std::ostream& out,
@@ -19,9 +21,9 @@ void write_partition_sides(std::ostream& out,
 void write_partition_file(const std::string& path,
                           std::span<const std::uint32_t> parts) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("partition: cannot open " + path);
+  if (!out) throw IoError("partition: cannot open " + path);
   write_partition(out, parts);
-  if (!out) throw std::runtime_error("partition: write failed: " + path);
+  if (!out) throw IoError("partition: write failed: " + path);
 }
 
 std::vector<std::uint32_t> read_partition(std::istream& in,
@@ -38,19 +40,19 @@ std::vector<std::uint32_t> read_partition(std::istream& in,
     std::uint64_t label = 0;
     std::string extra;
     if (!(ls >> label) || (ls >> extra)) {
-      throw std::runtime_error("partition: line " + std::to_string(line_no) +
-                               ": expected one label");
+      throw IoError("partition: line " + std::to_string(line_no) +
+                    ": expected one label, got \"" + line + "\"");
     }
     if (num_parts != 0 && label >= num_parts) {
-      throw std::runtime_error("partition: line " + std::to_string(line_no) +
-                               ": label out of range");
+      throw IoError("partition: line " + std::to_string(line_no) +
+                    ": label " + std::to_string(label) +
+                    " out of range [0, " + std::to_string(num_parts) + ")");
     }
     parts.push_back(static_cast<std::uint32_t>(label));
   }
   if (expected_vertices != 0 && parts.size() != expected_vertices) {
-    throw std::runtime_error(
-        "partition: expected " + std::to_string(expected_vertices) +
-        " labels, found " + std::to_string(parts.size()));
+    throw IoError("partition: expected " + std::to_string(expected_vertices) +
+                  " labels, found " + std::to_string(parts.size()));
   }
   return parts;
 }
@@ -59,7 +61,7 @@ std::vector<std::uint32_t> read_partition_file(const std::string& path,
                                                std::uint64_t expected_vertices,
                                                std::uint32_t num_parts) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("partition: cannot open " + path);
+  if (!in) throw IoError("partition: cannot open " + path);
   return read_partition(in, expected_vertices, num_parts);
 }
 

@@ -130,6 +130,9 @@ Weight kl_pass(Bisection& bisection, KlStats* stats,
   std::uint64_t scanned = 0;
 
   for (std::uint32_t i = 0; i < rounds; ++i) {
+    // A round is at least one bucket scan, so a throttled poll is
+    // cheap; throwing here is safe — swaps apply only after the loop.
+    if ((i & 31u) == 0) options.deadline.check();
     Vertex a = 0, b = 0;
     Weight gab = 0;
     const bool found =
@@ -178,6 +181,7 @@ KlStats kl_refine(Bisection& bisection, const KlOptions& options,
   KlStats stats;
   stats.initial_cut = bisection.cut();
   for (;;) {
+    options.deadline.check();
     const Weight improvement = kl_pass(bisection, &stats, options);
     ++stats.passes;
     if (pass_cuts != nullptr) pass_cuts->push_back(bisection.cut());

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "gbis/partition/bisection.hpp"
+#include "gbis/util/deadline.hpp"
 
 namespace gbis {
 
@@ -42,6 +43,11 @@ struct KlOptions {
   std::uint32_t max_passes = 0;
   /// Pair-selection rule (see KlPairSelection).
   KlPairSelection pair_selection = KlPairSelection::kBestPair;
+  /// Cooperative wall-clock budget: the pass loop and each pass's
+  /// round loop poll it and throw DeadlineExceeded when it expires
+  /// (the trial runner maps that to a `timed_out` trial). Default:
+  /// unlimited.
+  Deadline deadline;
 };
 
 /// Per-run diagnostics.

@@ -117,6 +117,10 @@ SaStats sa_refine(Bisection& bisection, Rng& rng, const SaOptions& options,
     std::uint64_t accepted = 0;
     bool best_improved = false;
     for (std::uint64_t m = 0; m < moves_per_temp; ++m) {
+      // Cooperative deadline poll, throttled to one clock read per
+      // 1024 proposals. The walk mutates `bisection` in place, so a
+      // throw abandons a mid-walk state — fine, the trial is discarded.
+      if ((m & 1023u) == 0) options.deadline.check();
       if (options.max_total_moves != 0 &&
           stats.moves_proposed >= options.max_total_moves) {
         frozen_streak = options.frozen_temperatures;  // force stop

@@ -17,6 +17,7 @@
 
 #include "gbis/partition/bisection.hpp"
 #include "gbis/rng/rng.hpp"
+#include "gbis/util/deadline.hpp"
 
 namespace gbis {
 
@@ -63,6 +64,11 @@ struct SaOptions {
   /// algorithm to terminate prematurely" — bench/obs_sa_termination
   /// quantifies the quality/time trade.
   std::uint32_t stagnation_temperatures = 0;
+  /// Cooperative wall-clock budget: the temperature loop polls it per
+  /// temperature and every 1024 proposed moves, throwing
+  /// DeadlineExceeded on expiry (the trial runner maps that to a
+  /// `timed_out` trial). Default: unlimited.
+  Deadline deadline;
 };
 
 /// Per-run diagnostics.

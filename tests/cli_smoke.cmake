@@ -29,14 +29,43 @@ foreach(artifact g.part g4.part g.metis g.dot)
   endif()
 endforeach()
 
-# Failure injection: bad inputs must exit non-zero, not crash.
+# Campaign: run the trial matrix with a journal, then resume the same
+# journal — the second run must adopt every trial instead of rerunning.
+run(campaign kl,ckl --starts 2 --journal ${WORK_DIR}/c.jsonl
+    ${WORK_DIR}/g.graph --seed 7)
+if(NOT EXISTS ${WORK_DIR}/c.jsonl)
+  message(FATAL_ERROR "campaign journal missing: c.jsonl")
+endif()
+execute_process(COMMAND ${GBIS_CLI} campaign kl,ckl --starts 2
+    --resume ${WORK_DIR}/c.jsonl ${WORK_DIR}/g.graph --seed 7
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "campaign resume failed (${code}): ${out} ${err}")
+endif()
+if(NOT out MATCHES "4 resumed")
+  message(FATAL_ERROR "campaign resume did not adopt the journal: ${out}")
+endif()
+
+# Failure injection: bad inputs must exit with the documented codes,
+# not crash. Missing file -> 3 (I/O), bad command line -> 2 (usage).
 execute_process(COMMAND ${GBIS_CLI} solve /nonexistent.graph kl
   RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
-if(code EQUAL 0)
-  message(FATAL_ERROR "missing-file solve unexpectedly succeeded")
+if(NOT code EQUAL 3)
+  message(FATAL_ERROR "missing-file solve exited ${code}, expected 3")
 endif()
 execute_process(COMMAND ${GBIS_CLI} bogus-command
   RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
-if(code EQUAL 0)
-  message(FATAL_ERROR "bogus command unexpectedly succeeded")
+if(NOT code EQUAL 2)
+  message(FATAL_ERROR "bogus command exited ${code}, expected 2")
+endif()
+execute_process(COMMAND ${GBIS_CLI} solve ${WORK_DIR}/g.graph not-a-method
+  RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(NOT code EQUAL 2)
+  message(FATAL_ERROR "unknown method exited ${code}, expected 2")
+endif()
+execute_process(COMMAND ${GBIS_CLI} --help
+  RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_QUIET)
+if(NOT code EQUAL 0 OR NOT out MATCHES "exit codes")
+  message(FATAL_ERROR "--help exited ${code} or lacks the exit-code table")
 endif()

@@ -1,0 +1,456 @@
+// Robustness suite: fault-isolated trials, cooperative deadlines,
+// graceful shutdown, checkpoint/resume, and the deterministic fault
+// injector that drives them. The load-bearing property throughout:
+// because trial t's Rng depends only on (seed, t), a campaign that is
+// faulted, interrupted, journaled, and resumed reports cuts
+// bit-identical to an uninterrupted run — for any thread count.
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gbis/gen/gnp.hpp"
+#include "gbis/gen/special.hpp"
+#include "gbis/harness/checkpoint.hpp"
+#include "gbis/harness/fault_injection.hpp"
+#include "gbis/harness/parallel_runner.hpp"
+#include "gbis/harness/shutdown.hpp"
+#include "gbis/harness/thread_pool.hpp"
+#include "gbis/io/io_error.hpp"
+#include "gbis/rng/rng.hpp"
+#include "gbis/util/deadline.hpp"
+
+namespace gbis {
+namespace {
+
+RunConfig fast_config(std::uint32_t starts, std::uint32_t threads) {
+  RunConfig config;
+  config.starts = starts;
+  config.threads = threads;
+  config.sa.temperature_length_factor = 2.0;
+  config.sa.cooling_ratio = 0.85;
+  return config;
+}
+
+Graph test_graph() {
+  Rng rng(7);
+  return make_gnp(96, gnp_p_for_degree(96, 3.0), rng);
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+// --- Deadline --------------------------------------------------------------
+
+TEST(Deadline, UnlimitedNeverExpires) {
+  const Deadline deadline;
+  EXPECT_TRUE(deadline.unlimited());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_NO_THROW(deadline.check());
+}
+
+TEST(Deadline, ExpiresAndThrows) {
+  const Deadline deadline = Deadline::after(0.005);
+  EXPECT_FALSE(deadline.unlimited());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_THROW(deadline.check(), DeadlineExceeded);
+}
+
+TEST(Deadline, RemainingSecondsDecreases) {
+  const Deadline deadline = Deadline::after(10.0);
+  const double first = deadline.remaining_seconds();
+  EXPECT_GT(first, 0.0);
+  EXPECT_LE(first, 10.0);
+}
+
+// --- FaultPlan -------------------------------------------------------------
+
+TEST(FaultPlan, ParsesEveryKind) {
+  const FaultPlan plan =
+      FaultPlan::parse("throw@trial:17,hang@trial:23,stop@trial:0");
+  EXPECT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan.at(17), FaultKind::kThrow);
+  EXPECT_EQ(plan.at(23), FaultKind::kHang);
+  EXPECT_EQ(plan.at(0), FaultKind::kStop);
+  EXPECT_EQ(plan.at(5), FaultKind::kNone);
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("bogus"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("throw@trial:"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("throw@vertex:3"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("explode@trial:3"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("throw@trial:3,,"), std::invalid_argument);
+}
+
+TEST(FaultPlan, FromEnvParsesAndToleratesGarbage) {
+  ::setenv("GBIS_FAULTS", "throw@trial:4", 1);
+  EXPECT_EQ(FaultPlan::from_env().at(4), FaultKind::kThrow);
+  // Malformed env must not throw (a bad knob degrades, never crashes).
+  ::setenv("GBIS_FAULTS", "not-a-spec", 1);
+  EXPECT_TRUE(FaultPlan::from_env().empty());
+  ::unsetenv("GBIS_FAULTS");
+  EXPECT_TRUE(FaultPlan::from_env().empty());
+}
+
+// --- ThreadPool fault isolation -------------------------------------------
+
+TEST(ThreadPool, CollectRecordsEveryFailureSlot) {
+  // Multi-failure regression: the old pool kept only the first captured
+  // exception; the collect path must keep one outcome per index.
+  for (unsigned threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    const std::vector<JobOutcome> outcomes =
+        pool.parallel_for_collect(12, [](std::size_t i) {
+          if (i % 3 == 0) {
+            throw std::runtime_error("job " + std::to_string(i));
+          }
+        });
+    ASSERT_EQ(outcomes.size(), 12u);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      if (i % 3 == 0) {
+        EXPECT_EQ(outcomes[i].state, JobState::kError) << i;
+        ASSERT_TRUE(outcomes[i].error);
+        try {
+          std::rethrow_exception(outcomes[i].error);
+        } catch (const std::runtime_error& error) {
+          EXPECT_EQ(std::string(error.what()), "job " + std::to_string(i));
+        }
+      } else {
+        EXPECT_EQ(outcomes[i].state, JobState::kDone) << i;
+        EXPECT_FALSE(outcomes[i].error);
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, CollectDrainsOnStopWithoutHanging) {
+  // Single worker: claims are sequential, so the drain point is exact —
+  // jobs 0-3 run, 4-63 come back kNotRun.
+  {
+    ThreadPool pool(1);
+    std::atomic<bool> stop{false};
+    const std::vector<JobOutcome> outcomes = pool.parallel_for_collect(
+        64,
+        [&](std::size_t i) {
+          if (i == 3) stop.store(true, std::memory_order_release);
+        },
+        &stop);
+    ASSERT_EQ(outcomes.size(), 64u);
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(outcomes[i].state, JobState::kDone) << i;
+    }
+    for (std::size_t i = 4; i < 64; ++i) {
+      EXPECT_EQ(outcomes[i].state, JobState::kNotRun) << i;
+    }
+  }
+  // Multi-worker: the exact drain point races, but the batch must still
+  // return (pending reaches 0) with every slot resolved.
+  {
+    ThreadPool pool(4);
+    std::atomic<bool> stop{true};  // pre-set: nothing should run
+    const std::vector<JobOutcome> outcomes = pool.parallel_for_collect(
+        64, [](std::size_t) {}, &stop);
+    ASSERT_EQ(outcomes.size(), 64u);
+    for (const JobOutcome& outcome : outcomes) {
+      EXPECT_EQ(outcome.state, JobState::kNotRun);
+    }
+  }
+}
+
+TEST(ThreadPool, StrictRethrowsLowestIndexError) {
+  // With one worker indices are claimed in order, so the first failure
+  // is index 3 and nothing after the drain threshold runs.
+  ThreadPool pool(1);
+  std::vector<int> ran(16, 0);
+  try {
+    pool.parallel_for(16, [&](std::size_t i) {
+      ran[i] = 1;
+      if (i == 3 || i == 5) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected parallel_for to rethrow";
+  } catch (const std::runtime_error& error) {
+    EXPECT_EQ(std::string(error.what()), "boom 3");
+  }
+  EXPECT_EQ(ran[3], 1);
+  EXPECT_EQ(ran[5], 0);  // drained after the first failure
+}
+
+// --- Trial fault isolation -------------------------------------------------
+
+TEST(TrialIsolation, InjectedThrowDegradesOnlyThatTrial) {
+  const Graph graphs[] = {test_graph()};
+  const Method methods[] = {Method::kKl};
+  const RunConfig config = fast_config(/*starts=*/4, /*threads=*/2);
+  const std::vector<TrialSpec> trials =
+      enumerate_trial_matrix(1, methods, config.starts);
+
+  const std::vector<TrialResult> clean =
+      run_trials(graphs, trials, config, /*seed=*/123, config.threads);
+
+  const FaultPlan plan = FaultPlan::parse("throw@trial:1");
+  TrialRunOptions options;
+  options.faults = &plan;
+  const std::vector<TrialResult> faulted = run_trials_ex(
+      graphs, trials, config, /*seed=*/123, config.threads, options);
+
+  ASSERT_EQ(faulted.size(), 4u);
+  EXPECT_EQ(faulted[1].status, TrialStatus::kFailed);
+  EXPECT_NE(faulted[1].error.find("injected"), std::string::npos);
+  for (std::size_t i : {0u, 2u, 3u}) {
+    EXPECT_EQ(faulted[i].status, TrialStatus::kOk) << i;
+    // Sibling trials are untouched: bit-identical to the clean run.
+    EXPECT_EQ(faulted[i].cut, clean[i].cut) << i;
+  }
+}
+
+TEST(TrialIsolation, InjectedHangHitsDeadlineNotTheCampaign) {
+  const Graph graphs[] = {test_graph()};
+  const Method methods[] = {Method::kKl};
+  RunConfig config = fast_config(/*starts=*/3, /*threads=*/2);
+  config.trial_deadline = 0.05;
+  const std::vector<TrialSpec> trials =
+      enumerate_trial_matrix(1, methods, config.starts);
+
+  const FaultPlan plan = FaultPlan::parse("hang@trial:2");
+  TrialRunOptions options;
+  options.faults = &plan;
+  const std::vector<TrialResult> results = run_trials_ex(
+      graphs, trials, config, /*seed=*/9, config.threads, options);
+
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].status, TrialStatus::kOk);
+  EXPECT_EQ(results[1].status, TrialStatus::kOk);
+  EXPECT_EQ(results[2].status, TrialStatus::kTimedOut);
+}
+
+TEST(TrialIsolation, CellAggregationCountsStatuses) {
+  const Graph graphs[] = {test_graph()};
+  const Method methods[] = {Method::kKl};
+  const RunConfig config = fast_config(/*starts=*/3, /*threads=*/1);
+  const std::vector<TrialSpec> trials =
+      enumerate_trial_matrix(1, methods, config.starts);
+  const FaultPlan plan = FaultPlan::parse("throw@trial:0,throw@trial:2");
+  TrialRunOptions options;
+  options.faults = &plan;
+  const std::vector<TrialResult> raw = run_trials_ex(
+      graphs, trials, config, /*seed=*/5, config.threads, options);
+  const std::vector<MethodOutcome> cells =
+      reduce_trial_matrix(raw, 1, config.starts);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].status, TrialStatus::kOk);  // one start survived
+  EXPECT_EQ(cells[0].ok, 1u);
+  EXPECT_EQ(cells[0].failed, 2u);
+  EXPECT_EQ(cells[0].best_cut, raw[1].cut);
+  EXPECT_FALSE(cells[0].first_error.empty());
+}
+
+// --- Checkpoint journal ----------------------------------------------------
+
+TEST(CheckpointJournal, RoundTripsRecords) {
+  const std::string path = temp_path("journal_roundtrip.jsonl");
+  {
+    CheckpointJournal journal(path, /*fingerprint=*/0xabcdef0123456789ULL,
+                              /*num_trials=*/6);
+    journal.append({0, TrialStatus::kOk, 42, 0.5, ""});
+    journal.append({3, TrialStatus::kFailed, 0, 0.25,
+                    "metis: line 2: \"quoted\"\nnewline"});
+    journal.append({5, TrialStatus::kTimedOut, 0, 1.0, "deadline"});
+  }
+  const CheckpointJournal::Loaded loaded = CheckpointJournal::load(path);
+  EXPECT_EQ(loaded.fingerprint, 0xabcdef0123456789ULL);
+  EXPECT_EQ(loaded.num_trials, 6u);
+  ASSERT_EQ(loaded.records.size(), 3u);
+  EXPECT_EQ(loaded.records[0].trial_id, 0u);
+  EXPECT_EQ(loaded.records[0].status, TrialStatus::kOk);
+  EXPECT_EQ(loaded.records[0].cut, 42);
+  EXPECT_DOUBLE_EQ(loaded.records[0].cpu_seconds, 0.5);
+  EXPECT_EQ(loaded.records[1].trial_id, 3u);
+  EXPECT_EQ(loaded.records[1].status, TrialStatus::kFailed);
+  EXPECT_EQ(loaded.records[1].error,
+            "metis: line 2: \"quoted\"\nnewline");
+  EXPECT_EQ(loaded.records[2].status, TrialStatus::kTimedOut);
+}
+
+TEST(CheckpointJournal, LoadErrorsNameTheLine) {
+  EXPECT_THROW(CheckpointJournal::load(temp_path("no_such_journal.jsonl")),
+               IoError);
+  const std::string path = temp_path("journal_bad.jsonl");
+  {
+    CheckpointJournal journal(path, 1, 2);
+    journal.append({0, TrialStatus::kOk, 1, 0.1, ""});
+  }
+  {
+    // Corrupt it: a record with an out-of-range id.
+    std::FILE* f = std::fopen(path.c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"type\":\"trial\",\"id\":9,\"status\":\"ok\"}\n", f);
+    std::fclose(f);
+  }
+  try {
+    CheckpointJournal::load(path);
+    FAIL() << "expected IoError";
+  } catch (const IoError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckpointFingerprint, SensitiveToInputsButNotThreads) {
+  const Graph g = test_graph();
+  const Graph graphs[] = {g};
+  const Method methods[] = {Method::kKl, Method::kSa};
+  RunConfig config = fast_config(2, 1);
+  const std::vector<TrialSpec> trials =
+      enumerate_trial_matrix(1, methods, config.starts);
+
+  const std::uint64_t base =
+      campaign_fingerprint(1, config, trials, graphs);
+  EXPECT_NE(base, campaign_fingerprint(2, config, trials, graphs));
+
+  RunConfig other = config;
+  other.sa.cooling_ratio = 0.99;
+  EXPECT_NE(base, campaign_fingerprint(1, other, trials, graphs));
+
+  // Threads do not affect outcomes, so they must not affect identity:
+  // a journal from a 1-thread run resumes on an 8-thread run.
+  RunConfig threaded = config;
+  threaded.threads = 8;
+  EXPECT_EQ(base, campaign_fingerprint(1, threaded, trials, graphs));
+}
+
+// --- Campaign: shutdown, journal, resume -----------------------------------
+
+TEST(Campaign, ResumeRefusesForeignJournal) {
+  const Graph graphs[] = {test_graph()};
+  const Method methods[] = {Method::kKl};
+  const RunConfig config = fast_config(2, 1);
+  const std::string path = temp_path("journal_foreign.jsonl");
+
+  CampaignOptions options;
+  options.journal_path = path;
+  const FaultPlan no_faults;
+  options.faults = &no_faults;
+  run_campaign(graphs, methods, config, /*seed=*/1, options);
+
+  CampaignOptions resume;
+  resume.resume_path = path;
+  resume.faults = &no_faults;
+  EXPECT_THROW(run_campaign(graphs, methods, config, /*seed=*/2, resume),
+               std::runtime_error);
+}
+
+// The tentpole acceptance test: kill a campaign halfway via injected
+// in-process SIGTERM (stop@trial:N -> request_shutdown(), exactly what
+// the signal handler does), confirm the journal is valid, resume, and
+// require the resumed tables bit-identical to an uninterrupted run —
+// at 1 thread and at 8.
+TEST(Campaign, KillAndResumeIsBitIdentical) {
+  const Graph g = test_graph();
+  const Graph graphs[] = {g};
+  const Method methods[] = {Method::kKl, Method::kSa, Method::kCkl};
+
+  for (unsigned threads : {1u, 8u}) {
+    RunConfig config = fast_config(/*starts=*/2, threads);
+    const std::uint64_t seed = 20260806;
+    const FaultPlan no_faults;
+
+    // Reference: uninterrupted, no journal.
+    CampaignOptions plain;
+    plain.faults = &no_faults;
+    const CampaignResult reference =
+        run_campaign(graphs, methods, config, seed, plain);
+    ASSERT_EQ(reference.ok, 6u);
+
+    // Interrupted: trial 2 requests shutdown as it starts. With the
+    // process-wide stop flag wired in, the pool drains and the tail of
+    // the matrix is skipped (never journaled).
+    const std::string path =
+        temp_path("journal_resume_" + std::to_string(threads) + ".jsonl");
+    const FaultPlan stop_plan = FaultPlan::parse("stop@trial:2");
+    reset_shutdown();
+    CampaignOptions interrupted;
+    interrupted.journal_path = path;
+    interrupted.stop = &shutdown_flag();
+    interrupted.faults = &stop_plan;
+    const CampaignResult partial =
+        run_campaign(graphs, methods, config, seed, interrupted);
+    reset_shutdown();
+    EXPECT_TRUE(partial.interrupted);
+    if (threads == 1) {
+      // Sequential claiming makes the drain deterministic: trials 0-2
+      // complete, 3-5 are skipped. At 8 threads every trial may already
+      // be claimed when the flag flips, so only the flag is guaranteed.
+      EXPECT_EQ(partial.ok, 3u);
+      EXPECT_EQ(partial.skipped, 3u);
+    }
+
+    // The journal on disk is valid mid-campaign state.
+    const CheckpointJournal::Loaded loaded = CheckpointJournal::load(path);
+    EXPECT_EQ(loaded.fingerprint, partial.fingerprint);
+    EXPECT_EQ(loaded.records.size(), partial.ok);
+    for (const TrialRecord& record : loaded.records) {
+      EXPECT_EQ(record.status, TrialStatus::kOk);
+    }
+
+    // Resume: adopt the journal, run the rest, compare everything.
+    CampaignOptions resume;
+    resume.journal_path = path;
+    resume.resume_path = path;
+    resume.faults = &no_faults;
+    const CampaignResult resumed =
+        run_campaign(graphs, methods, config, seed, resume);
+    EXPECT_FALSE(resumed.interrupted);
+    EXPECT_EQ(resumed.ok, 6u);
+    EXPECT_EQ(resumed.resumed, partial.ok);
+
+    ASSERT_EQ(resumed.trials.size(), reference.trials.size());
+    for (std::size_t t = 0; t < reference.trials.size(); ++t) {
+      EXPECT_EQ(resumed.trials[t].status, TrialStatus::kOk) << t;
+      EXPECT_EQ(resumed.trials[t].cut, reference.trials[t].cut)
+          << "trial " << t << " at " << threads << " threads";
+    }
+    ASSERT_EQ(resumed.cells.size(), reference.cells.size());
+    for (std::size_t c = 0; c < reference.cells.size(); ++c) {
+      EXPECT_EQ(resumed.cells[c].best_cut, reference.cells[c].best_cut)
+          << "cell " << c << " at " << threads << " threads";
+      EXPECT_EQ(resumed.cells[c].best_start, reference.cells[c].best_start);
+    }
+
+    // The completed journal now covers every trial.
+    EXPECT_EQ(CheckpointJournal::load(path).records.size(), 6u);
+  }
+}
+
+TEST(Campaign, ShutdownFlagSkipsUndequeuedTrials) {
+  // Pre-set stop: nothing should run, everything comes back skipped,
+  // and the result is flagged interrupted.
+  const Graph graphs[] = {test_graph()};
+  const Method methods[] = {Method::kKl};
+  const RunConfig config = fast_config(4, 2);
+  const FaultPlan no_faults;
+  std::atomic<bool> stop{true};
+  CampaignOptions options;
+  options.stop = &stop;
+  options.faults = &no_faults;
+  const CampaignResult result =
+      run_campaign(graphs, methods, config, /*seed=*/3, options);
+  EXPECT_TRUE(result.interrupted);
+  EXPECT_EQ(result.ok, 0u);
+  EXPECT_EQ(result.skipped, 4u);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_EQ(result.cells[0].status, TrialStatus::kSkipped);
+}
+
+}  // namespace
+}  // namespace gbis

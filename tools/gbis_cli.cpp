@@ -9,6 +9,9 @@
 //   gbis solve <in.graph> <method> [out.part]     bisect (kl sa ckl csa
 //                                                 fm cfm mlkl greedy
 //                                                 spectral random quench)
+//   gbis campaign <methods-csv> <graph...>        fault-isolated trial
+//     [--starts N] [--deadline S]                 matrix with optional
+//     [--journal J] [--resume J]                  checkpointing/resume
 //   gbis kway <in.graph> <k> [out.part]           recursive k-way (CKL)
 //   gbis eval <in.graph> <in.part>                score a partition
 //   gbis stats <in.graph>                         structural report
@@ -16,8 +19,13 @@
 //
 // Graph files are gbis edge-list format unless the name ends in
 // ".metis". Global flags, accepted anywhere: --seed <n> (default 42)
-// and --threads <n> (trial-runner workers for solve; default 0 =
-// hardware concurrency; cuts are identical for any value).
+// and --threads <n> (trial-runner workers; default 0 = hardware
+// concurrency; cuts are identical for any value). `--help` prints the
+// full reference.
+//
+// Exit codes: 0 success, 1 internal error, 2 usage error, 3 I/O error,
+// 130 interrupted (SIGINT/SIGTERM; campaigns journal first). All
+// diagnostics go to stderr; stdout carries only results.
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -32,10 +40,14 @@
 #include "gbis/gen/special.hpp"
 #include "gbis/graph/analysis.hpp"
 #include "gbis/graph/ops.hpp"
+#include "gbis/harness/checkpoint.hpp"
 #include "gbis/harness/runner.hpp"
+#include "gbis/harness/shutdown.hpp"
+#include "gbis/harness/table.hpp"
 #include "gbis/harness/timer.hpp"
 #include "gbis/io/dot.hpp"
 #include "gbis/io/edge_list.hpp"
+#include "gbis/io/io_error.hpp"
 #include "gbis/io/metis.hpp"
 #include "gbis/io/partition_io.hpp"
 #include "gbis/kway/recursive.hpp"
@@ -48,10 +60,62 @@ namespace {
 
 using namespace gbis;
 
+// Exit codes (documented in --help and docs/ROBUSTNESS.md).
+constexpr int kExitOk = 0;
+constexpr int kExitInternal = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitIo = 3;
+constexpr int kExitInterrupted = 130;  // 128 + SIGINT, shell convention
+
+void print_help(std::ostream& out) {
+  out << "gbis — graph bisection toolkit (KL / SA / compaction)\n"
+         "\n"
+         "usage: gbis [--seed N] [--threads N] <command> <args...>\n"
+         "\n"
+         "commands:\n"
+         "  gen <model> <args...> <out.graph>   generate an instance\n"
+         "      gbreg <2n> <b> <d> | g2set <2n> <deg> <b> | gnp <n> <deg>\n"
+         "      grid <rows> <cols> | ladder <rungs> | bintree <n>\n"
+         "      geometric <n> <deg> | smallworld <n> <k> <beta>\n"
+         "      prefattach <n> <m>\n"
+         "  solve <in.graph> <method> [out.part]\n"
+         "      methods: kl sa ckl csa fm cfm mlkl greedy spectral random\n"
+         "      quench\n"
+         "  campaign <methods-csv> <graph...> [flags]\n"
+         "      runs every (graph, method, start) as a fault-isolated\n"
+         "      trial; failures degrade cells instead of aborting\n"
+         "      --starts N     independent starts per cell (default 2)\n"
+         "      --deadline S   per-trial budget in seconds (default: none)\n"
+         "      --journal J    checkpoint completed trials to JSONL file J\n"
+         "      --resume J     adopt completed trials from J and continue\n"
+         "  kway <in.graph> <k> [out.part]      recursive k-way (CKL)\n"
+         "  eval <in.graph> <in.part>           score a partition\n"
+         "  stats <in.graph>                    structural report\n"
+         "  convert <in.graph> <out.{graph|metis|dot}>\n"
+         "\n"
+         "global flags: --seed N (default 42), --threads N (default 0 =\n"
+         "hardware concurrency; cuts are bit-identical for any value)\n"
+         "\n"
+         "exit codes:\n"
+         "  0    success\n"
+         "  1    internal error (bug or unexpected failure)\n"
+         "  2    usage error (bad command line)\n"
+         "  3    I/O error (missing/malformed file)\n"
+         "  130  interrupted by SIGINT/SIGTERM; an interrupted campaign\n"
+         "       flushes its journal first and prints a --resume hint\n"
+         "\n"
+         "Diagnostics go to stderr; stdout carries only results.\n"
+         "GBIS_FAULTS=kind@trial:ID[,...] injects deterministic faults\n"
+         "into campaign trials (kinds: throw, hang, stop) — see\n"
+         "docs/ROBUSTNESS.md.\n";
+}
+
 [[noreturn]] void usage() {
-  std::cerr << "usage: see the header comment of tools/gbis_cli.cpp "
-               "(gen | solve | kway | eval | stats | convert)\n";
-  std::exit(2);
+  std::cerr << "usage: gbis [--seed N] [--threads N] <command> <args...>\n"
+               "commands: gen | solve | campaign | kway | eval | stats | "
+               "convert\n"
+               "run 'gbis --help' for the full reference\n";
+  std::exit(kExitUsage);
 }
 
 bool ends_with(const std::string& value, const std::string& suffix) {
@@ -122,7 +186,7 @@ int cmd_gen(const std::vector<std::string>& args, Rng& rng) {
   save_graph(out_path, g);
   std::cout << "wrote " << g.num_vertices() << " vertices, "
             << g.num_edges() << " edges to " << out_path << '\n';
-  return 0;
+  return kExitOk;
 }
 
 Method parse_method(const std::string& name) {
@@ -136,7 +200,7 @@ Method parse_method(const std::string& name) {
   if (name == "greedy") return Method::kGreedy;
   if (name == "spectral") return Method::kSpectral;
   if (name == "random") return Method::kRandom;
-  throw std::runtime_error("unknown method: " + name);
+  throw std::invalid_argument("unknown method: " + name);
 }
 
 int cmd_solve(const std::vector<std::string>& args, Rng& rng,
@@ -163,12 +227,20 @@ int cmd_solve(const std::vector<std::string>& args, Rng& rng,
     std::cout << "cut " << cut << " in " << result.cpu_seconds
               << " cpu-s (" << result.wall_seconds << " wall-s) over "
               << config.starts << " starts\n";
+    if (result.degraded_starts > 0) {
+      std::cerr << "warning: " << result.degraded_starts
+                << " start(s) did not finish";
+      if (!result.first_error.empty()) {
+        std::cerr << " (" << result.first_error << ")";
+      }
+      std::cerr << "; best cut is over the remaining starts\n";
+    }
     if (args.size() == 3) {
       std::vector<std::uint32_t> parts(sides.begin(), sides.end());
       write_partition_file(args[2], parts);
       std::cout << "wrote partition to " << args[2] << '\n';
     }
-    return 0;
+    return kExitOk;
   }
   const double seconds = timer.elapsed_seconds();
   std::cout << "cut " << cut << " in " << seconds << " s\n";
@@ -177,7 +249,114 @@ int cmd_solve(const std::vector<std::string>& args, Rng& rng,
     write_partition_file(args[2], parts);
     std::cout << "wrote partition to " << args[2] << '\n';
   }
-  return 0;
+  return kExitOk;
+}
+
+std::vector<Method> parse_method_csv(const std::string& csv) {
+  std::vector<Method> methods;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    const std::size_t comma = csv.find(',', begin);
+    const std::string name =
+        csv.substr(begin, comma == std::string::npos ? std::string::npos
+                                                     : comma - begin);
+    if (!name.empty()) methods.push_back(parse_method(name));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  if (methods.empty()) {
+    throw std::invalid_argument("campaign: no methods in \"" + csv + "\"");
+  }
+  return methods;
+}
+
+int cmd_campaign(const std::vector<std::string>& args, std::uint64_t seed,
+                 std::uint32_t threads) {
+  RunConfig config;
+  config.starts = 2;
+  config.threads = threads;
+  CampaignOptions options;
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto flag_value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) usage();
+      return args[++i];
+    };
+    if (arg == "--starts") {
+      config.starts = to_u32(flag_value());
+      if (config.starts == 0) usage();
+    } else if (arg == "--deadline") {
+      config.trial_deadline = to_double(flag_value());
+    } else if (arg == "--journal") {
+      options.journal_path = flag_value();
+    } else if (arg == "--resume") {
+      options.resume_path = flag_value();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "campaign: unknown flag " << arg << '\n';
+      usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() < 2) usage();
+  // Resuming without a fresh journal path continues the same journal.
+  if (options.journal_path.empty() && !options.resume_path.empty()) {
+    options.journal_path = options.resume_path;
+  }
+
+  const std::vector<Method> methods = parse_method_csv(positional[0]);
+  std::vector<Graph> graphs;
+  std::vector<std::string> graph_names;
+  for (std::size_t i = 1; i < positional.size(); ++i) {
+    graphs.push_back(load_graph(positional[i]));
+    graph_names.push_back(positional[i]);
+  }
+
+  install_shutdown_handlers();
+  options.stop = &shutdown_flag();
+
+  const WallTimer timer;
+  const CampaignResult result =
+      run_campaign(graphs, methods, config, seed, options);
+
+  // Per-cell table: best cut for ok cells, the status marker otherwise.
+  std::vector<TablePrinter::Column> columns{{"graph", 20}};
+  for (const Method m : methods) columns.push_back({method_name(m), 8});
+  TablePrinter table(std::cout, std::move(columns));
+  table.print_header();
+  for (std::size_t g = 0; g < graphs.size(); ++g) {
+    table.cell(graph_names[g]);
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      const MethodOutcome& cell = result.cells[g * methods.size() + m];
+      if (cell.status == TrialStatus::kOk) {
+        table.cell(static_cast<std::int64_t>(cell.best_cut));
+      } else {
+        table.cell(trial_status_cell(cell.status));
+      }
+    }
+    table.end_row();
+  }
+  std::cout << "trials: " << result.ok << " ok, " << result.failed
+            << " failed, " << result.timed_out << " timed out, "
+            << result.skipped << " skipped";
+  if (result.resumed > 0) std::cout << " (" << result.resumed << " resumed)";
+  std::cout << "; wall " << timer.elapsed_seconds() << " s\n";
+  if (result.failed > 0 || result.timed_out > 0) {
+    std::cerr << "warning: " << (result.failed + result.timed_out)
+              << " trial(s) degraded (err = failed, t/o = deadline)\n";
+  }
+
+  if (result.interrupted) {
+    std::cerr << "interrupted: " << result.skipped << " trial(s) not run";
+    if (!options.journal_path.empty()) {
+      std::cerr << "; resume with: gbis campaign ... --resume "
+                << options.journal_path;
+    }
+    std::cerr << '\n';
+    return kExitInterrupted;
+  }
+  return kExitOk;
 }
 
 int cmd_kway(const std::vector<std::string>& args, Rng& rng) {
@@ -196,7 +375,7 @@ int cmd_kway(const std::vector<std::string>& args, Rng& rng) {
                                                     p.parts().end()));
     std::cout << "wrote partition to " << args[2] << '\n';
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmd_eval(const std::vector<std::string>& args) {
@@ -217,7 +396,7 @@ int cmd_eval(const std::vector<std::string>& args) {
               << ", expansion " << m.expansion << ", vs-random "
               << m.vs_random << '\n';
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmd_stats(const std::vector<std::string>& args) {
@@ -236,14 +415,14 @@ int cmd_stats(const std::vector<std::string>& args) {
               << global_clustering(g) << ", pseudo-diameter "
               << pseudo_diameter(g) << '\n';
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmd_convert(const std::vector<std::string>& args) {
   if (args.size() != 2) usage();
   save_graph(args[1], load_graph(args[0]));
   std::cout << "converted " << args[0] << " -> " << args[1] << '\n';
-  return 0;
+  return kExitOk;
 }
 
 }  // namespace
@@ -253,6 +432,12 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   std::uint32_t threads = 0;  // 0 = hardware concurrency
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0 ||
+        std::strcmp(argv[i], "help") == 0) {
+      print_help(std::cout);
+      return kExitOk;
+    }
     if (std::strcmp(argv[i], "--seed") == 0) {
       if (i + 1 >= argc) usage();  // dangling flag: don't eat it as a path
       seed = std::strtoull(argv[++i], nullptr, 10);
@@ -271,13 +456,20 @@ int main(int argc, char** argv) {
   try {
     if (command == "gen") return cmd_gen(args, rng);
     if (command == "solve") return cmd_solve(args, rng, threads);
+    if (command == "campaign") return cmd_campaign(args, seed, threads);
     if (command == "kway") return cmd_kway(args, rng);
     if (command == "eval") return cmd_eval(args);
     if (command == "stats") return cmd_stats(args);
     if (command == "convert") return cmd_convert(args);
+  } catch (const IoError& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return kExitIo;
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return kExitUsage;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
-    return 1;
+    return kExitInternal;
   }
   usage();
 }

@@ -1,0 +1,62 @@
+// M1 follow-up: prices the observability hooks on the KL hot path.
+// Three variants of the same refinement run on Gnp(1000, 0.01):
+//   ObsOff   — KlOptions::metrics == nullptr (the shipping default);
+//              must stay within noise of the seed micro_kl numbers
+//              (< 2% is the PR acceptance bar)
+//   NullSink — a sink with no destination: prices the call + branch
+//              overhead alone
+//   Full     — a bound sink recording counters, histograms, and the
+//              bounded convergence trace
+#include <benchmark/benchmark.h>
+
+#include "gbis/gen/gnp.hpp"
+#include "gbis/kl/kl.hpp"
+#include "gbis/obs/metrics.hpp"
+#include "gbis/partition/bisection.hpp"
+#include "gbis/rng/rng.hpp"
+
+namespace {
+
+using namespace gbis;
+
+Graph bench_graph() {
+  Rng rng(97);
+  return make_gnp(1000, 0.01, rng);
+}
+
+void refine_loop(benchmark::State& state, const KlOptions& options) {
+  const Graph g = bench_graph();
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Bisection b = Bisection::random(g, rng);
+    state.ResumeTiming();
+    const KlStats stats = kl_refine(b, options);
+    benchmark::DoNotOptimize(stats.final_cut);
+  }
+}
+
+void BM_KlRefine_ObsOff(benchmark::State& state) {
+  refine_loop(state, KlOptions{});
+}
+BENCHMARK(BM_KlRefine_ObsOff)->Unit(benchmark::kMillisecond);
+
+void BM_KlRefine_ObsNullSink(benchmark::State& state) {
+  MetricsSink sink;  // unbound: every record call is a no-op branch
+  KlOptions options;
+  options.metrics = &sink;
+  refine_loop(state, options);
+}
+BENCHMARK(BM_KlRefine_ObsNullSink)->Unit(benchmark::kMillisecond);
+
+void BM_KlRefine_ObsFull(benchmark::State& state) {
+  TrialMetrics tm;
+  MetricsSink sink(&tm);
+  KlOptions options;
+  options.metrics = &sink;
+  refine_loop(state, options);
+  benchmark::DoNotOptimize(tm.counter(Counter::kKlPasses));
+}
+BENCHMARK(BM_KlRefine_ObsFull)->Unit(benchmark::kMillisecond);
+
+}  // namespace

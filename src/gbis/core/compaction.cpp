@@ -1,5 +1,8 @@
 #include "gbis/core/compaction.hpp"
 
+#include <optional>
+
+#include "gbis/obs/metrics.hpp"
 #include "gbis/partition/balance.hpp"
 
 namespace gbis {
@@ -15,16 +18,26 @@ Bisection compacted_bisect(const Graph& g, Rng& rng,
                            const Refiner& fine_refiner,
                            const CompactionOptions& options,
                            CompactionStats* stats) {
-  // Step 1: maximal random matching.
-  const Matching matching = maximal_matching(g, rng, options.match_policy);
-  // Step 2: contract.
-  const Contraction contraction =
-      contract_matching(g, matching, rng, options.pair_leftovers);
-  const Graph& coarse = contraction.coarse;
+  MetricsSink* sink = options.metrics;
+
+  // Step 1: maximal random matching. Step 2: contract. One "compact"
+  // span covers both — they are a single coarsening action in the
+  // Chrome trace.
+  std::optional<Contraction> contraction;
+  {
+    const ScopedPhase phase(sink, Phase::kCompact);
+    const Matching matching = maximal_matching(g, rng, options.match_policy);
+    contraction.emplace(
+        contract_matching(g, matching, rng, options.pair_leftovers));
+  }
+  const Graph& coarse = contraction->coarse;
 
   // Step 3: bisect G' from a random start.
   Bisection coarse_bisection = Bisection::random(coarse, rng);
-  coarse_refiner(coarse_bisection, rng);
+  {
+    const ScopedPhase phase(sink, Phase::kBisect);
+    coarse_refiner(coarse_bisection, rng);
+  }
 
   if (stats != nullptr) {
     stats->coarse_vertices = coarse.num_vertices();
@@ -34,17 +47,25 @@ Bisection compacted_bisect(const Graph& g, Rng& rng,
   }
 
   // Step 4: uncompact into an initial bisection of G.
-  Bisection fine(g, contraction.project(coarse_bisection.sides()));
-  if (stats != nullptr) stats->projected_cut = fine.cut();
-  // An odd supernode count (or non-uniform supernode weights under
-  // pair_leftovers=false) can leave the projection off-balance by a few
-  // vertices; repair before refining so the result is a true bisection.
-  rebalance(fine);
+  std::optional<Bisection> fine;
+  {
+    const ScopedPhase phase(sink, Phase::kUncoalesce);
+    fine.emplace(g, contraction->project(coarse_bisection.sides()));
+    if (stats != nullptr) stats->projected_cut = fine->cut();
+    // An odd supernode count (or non-uniform supernode weights under
+    // pair_leftovers=false) can leave the projection off-balance by a
+    // few vertices; repair before refining so the result is a true
+    // bisection.
+    rebalance(*fine);
+  }
 
   // Step 5: refine on the original graph.
-  fine_refiner(fine, rng);
-  if (stats != nullptr) stats->final_cut = fine.cut();
-  return fine;
+  {
+    const ScopedPhase phase(sink, Phase::kRefine);
+    fine_refiner(*fine, rng);
+  }
+  if (stats != nullptr) stats->final_cut = fine->cut();
+  return std::move(*fine);
 }
 
 Refiner kl_refiner(KlOptions options) {

@@ -26,6 +26,8 @@
 
 namespace gbis {
 
+class MetricsSink;
+
 /// A bisection heuristic usable at both levels of the compaction
 /// scheme: refines `bisection` in place, drawing randomness from `rng`.
 using Refiner = std::function<void(Bisection& bisection, Rng& rng)>;
@@ -42,6 +44,12 @@ struct CompactionOptions {
   /// restarts cool. Measured: same cuts at roughly half the time of a
   /// full re-heat on Gbreg(5000, b, 3).
   double csa_fine_acceptance = 0.05;
+  /// Observability sink (obs/metrics.hpp): wall-clock phase spans for
+  /// the Chrome-trace export — compact (steps 1-2), bisect (step 3),
+  /// uncoalesce (step 4), refine (step 5). nullptr records nothing.
+  /// Counters inside the refiners ride on the refiner options' own
+  /// sink, not this one.
+  MetricsSink* metrics = nullptr;
 };
 
 /// Diagnostics of one compacted run.

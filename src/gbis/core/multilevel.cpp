@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "gbis/obs/metrics.hpp"
 #include "gbis/partition/balance.hpp"
 
 namespace gbis {
@@ -9,11 +10,14 @@ namespace gbis {
 Bisection multilevel_bisect(const Graph& g, Rng& rng, const Refiner& refiner,
                             const MultilevelOptions& options,
                             MultilevelStats* stats) {
+  MetricsSink* sink = options.metrics;
+
   // Coarsening phase: a stack of contractions, finest first.
   std::vector<Contraction> levels;
   const Graph* current = &g;
   for (std::uint32_t level = 0; level < options.max_levels; ++level) {
     if (current->num_vertices() <= options.min_vertices) break;
+    const ScopedPhase phase(sink, Phase::kCompact);
     const Matching m = maximal_matching(*current, rng, options.match_policy);
     Contraction c =
         contract_matching(*current, m, rng, options.pair_leftovers);
@@ -26,7 +30,10 @@ Bisection multilevel_bisect(const Graph& g, Rng& rng, const Refiner& refiner,
 
   // Initial solution on the coarsest graph.
   Bisection bisection = Bisection::random(*current, rng);
-  refiner(bisection, rng);
+  {
+    const ScopedPhase phase(sink, Phase::kBisect);
+    refiner(bisection, rng);
+  }
   if (stats != nullptr) {
     stats->levels = static_cast<std::uint32_t>(levels.size());
     stats->coarsest_vertices = current->num_vertices();
@@ -39,9 +46,14 @@ Bisection multilevel_bisect(const Graph& g, Rng& rng, const Refiner& refiner,
   for (std::size_t i = levels.size(); i-- > 0;) {
     const Graph& finer =
         (i == 0) ? g : levels[i - 1].coarse;
+    if (sink != nullptr) sink->begin_phase(Phase::kUncoalesce);
     Bisection projected(finer, levels[i].project(bisection.sides()));
     rebalance(projected);
-    refiner(projected, rng);
+    if (sink != nullptr) sink->end_phase(Phase::kUncoalesce);
+    {
+      const ScopedPhase phase(sink, Phase::kRefine);
+      refiner(projected, rng);
+    }
     bisection = std::move(projected);
   }
 

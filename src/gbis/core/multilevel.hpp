@@ -29,6 +29,11 @@ struct MultilevelOptions {
   double min_shrink_factor = 0.9;
   MatchPolicy match_policy = MatchPolicy::kRandom;
   bool pair_leftovers = true;
+  /// Observability sink (obs/metrics.hpp): wall-clock phase spans for
+  /// the Chrome-trace export — one compact span per coarsening level,
+  /// one bisect span for the coarsest solve, and an uncoalesce + refine
+  /// pair per uncoarsening level. nullptr records nothing.
+  MetricsSink* metrics = nullptr;
 };
 
 /// Per-run diagnostics.

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "gbis/obs/metrics.hpp"
 #include "gbis/partition/buckets.hpp"
 #include "gbis/partition/gains.hpp"
 
@@ -39,10 +40,12 @@ Weight fm_pass(Bisection& bisection, const FmOptions& options,
     size[1] = bisection.side_count(1);
   }
   Weight max_vertex_weight = 1;
+  std::uint64_t bucket_ops = 0;  // inserts + removes + gain updates
   for (Vertex v = 0; v < n; ++v) {
     max_vertex_weight = std::max(max_vertex_weight, g.vertex_weight(v));
     buckets[sides[v]].insert(v, gains[v]);
   }
+  bucket_ops += n;
   auto size_of = [&](Vertex v) -> std::int64_t {
     return by_weight ? g.vertex_weight(v) : 1;
   };
@@ -61,10 +64,14 @@ Weight fm_pass(Bisection& bisection, const FmOptions& options,
       static_cast<std::int64_t>(options.balance_tolerance) +
       (by_weight ? max_vertex_weight : 1);
 
+  std::uint64_t polls = 0;
   for (std::uint32_t step = 0; step < n; ++step) {
     // Cooperative deadline poll; throwing here is safe — moves apply
     // only after the loop.
-    if ((step & 255u) == 0) options.deadline.check();
+    if ((step & 255u) == 0) {
+      options.deadline.check();
+      ++polls;
+    }
     // Pick the source side: any side we can legally move from,
     // preferring the larger side, then the better top gain.
     const Weight top[2] = {buckets[0].max_gain_present(),
@@ -87,6 +94,7 @@ Weight fm_pass(Bisection& bisection, const FmOptions& options,
 
     const auto v = static_cast<Vertex>(buckets[from].bucket_head(top[from]));
     buckets[from].remove(v);
+    ++bucket_ops;
     sequence.push_back(v);
     cumulative += gains[v];
     const std::int64_t amount = size_of(v);
@@ -106,6 +114,7 @@ Weight fm_pass(Bisection& bisection, const FmOptions& options,
     for (Vertex x : g.neighbors(v)) {
       if (buckets[sides[x]].contains(x)) {
         buckets[sides[x]].update(x, gains[x]);
+        ++bucket_ops;
       }
     }
   }
@@ -113,6 +122,13 @@ Weight fm_pass(Bisection& bisection, const FmOptions& options,
   if (stats != nullptr) {
     stats->moves_considered += sequence.size();
     stats->moves_applied += best_prefix_len;
+  }
+  if (MetricsSink* sink = options.metrics; sink != nullptr) {
+    // One flush per pass: the step loop above only touches locals.
+    sink->add(Counter::kFmMovesConsidered, sequence.size());
+    sink->add(Counter::kFmMovesApplied, best_prefix_len);
+    sink->add(Counter::kFmBucketOps, bucket_ops);
+    sink->add(Counter::kDeadlinePolls, polls);
   }
   for (std::size_t i = 0; i < best_prefix_len; ++i) {
     bisection.move(sequence[i]);
@@ -137,6 +153,13 @@ FmStats fm_refine(Bisection& bisection, const FmOptions& options) {
     options.deadline.check();
     const Weight improvement = fm_pass(bisection, options, &stats);
     ++stats.passes;
+    if (MetricsSink* sink = options.metrics; sink != nullptr) {
+      sink->add(Counter::kFmPasses);
+      sink->add(Counter::kDeadlinePolls);  // the per-pass check above
+      sink->observe(Hist::kFmPassImprovement,
+                    static_cast<std::uint64_t>(improvement));
+      sink->trace_point(TraceSource::kFm, bisection.cut());
+    }
     if (improvement <= 0) break;
     if (options.max_passes != 0 && stats.passes >= options.max_passes) break;
   }

@@ -22,6 +22,8 @@
 
 namespace gbis {
 
+class MetricsSink;
+
 /// What quantity the balance tolerance constrains.
 enum class FmBalance {
   kCount,   ///< vertex counts (the bisection-problem default)
@@ -43,6 +45,11 @@ struct FmOptions {
   /// loop poll it and throw DeadlineExceeded on expiry (the trial
   /// runner maps that to a `timed_out` trial). Default: unlimited.
   Deadline deadline;
+  /// Observability sink (obs/metrics.hpp): per-pass move/bucket-op
+  /// counters, the pass-improvement histogram, and one convergence
+  /// point per pass. nullptr (the default) records nothing; the pass
+  /// accumulates into locals and flushes once at the end.
+  MetricsSink* metrics = nullptr;
 };
 
 /// Per-run diagnostics.

@@ -168,12 +168,129 @@ std::string encode_trial(const TrialRecord& record) {
     seconds << record.cpu_seconds;
     line += ",\"cpu_seconds\":" + seconds.str();
   }
+  // Metric summary (counters + hists only; traces/phases are not
+  // journaled). Emitted before "error" so the flat field scanner never
+  // has to look past free-form text.
+  if (record.metrics != nullptr && !record.metrics->summary_empty()) {
+    line += ",\"metrics\":{";
+    bool first = true;
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      if (record.metrics->counters[i] == 0) continue;
+      if (!first) line += ",";
+      first = false;
+      line += "\"";
+      line += counter_name(static_cast<Counter>(i));
+      line += "\":" + std::to_string(record.metrics->counters[i]);
+    }
+    line += "},\"hists\":{";
+    first = true;
+    for (std::size_t i = 0; i < kNumHists; ++i) {
+      const HistData& h = record.metrics->hists[i];
+      if (h.empty()) continue;
+      if (!first) line += ",";
+      first = false;
+      line += "\"";
+      line += hist_name(static_cast<Hist>(i));
+      line += "\":[";
+      bool first_bucket = true;
+      for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+        if (h.buckets[b] == 0) continue;
+        if (!first_bucket) line += ",";
+        first_bucket = false;
+        line += "[" + std::to_string(b) + "," +
+                std::to_string(h.buckets[b]) + "]";
+      }
+      line += "]";
+    }
+    line += "}";
+  }
   if (!record.error.empty()) {
     line += ",\"error\":";
     append_json_string(line, record.error);
   }
   line += "}";
   return line;
+}
+
+/// Parses the optional "metrics"/"hists" sub-objects of a trial line.
+/// Flat scan: the sub-objects contain no nested braces, so the first
+/// `}` closes them; unknown metric names are skipped (forward
+/// compatibility with counters added later). Returns null when the
+/// line carries no metric fields.
+std::shared_ptr<const TrialMetrics> parse_metrics_fields(
+    const std::string& line) {
+  const std::size_t counters_at = find_value(line, "metrics");
+  const std::size_t hists_at = find_value(line, "hists");
+  if (counters_at == std::string::npos && hists_at == std::string::npos) {
+    return nullptr;
+  }
+  auto tm = std::make_shared<TrialMetrics>();
+  if (counters_at != std::string::npos && counters_at < line.size() &&
+      line[counters_at] == '{') {
+    std::size_t i = counters_at + 1;
+    while (i < line.size() && line[i] != '}') {
+      if (line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (line[i] != '"') break;
+      const std::size_t name_end = line.find('"', i + 1);
+      if (name_end == std::string::npos) break;
+      const std::string name = line.substr(i + 1, name_end - i - 1);
+      i = name_end + 1;
+      if (i >= line.size() || line[i] != ':') break;
+      ++i;
+      char* end = nullptr;
+      const std::uint64_t value = std::strtoull(line.c_str() + i, &end, 10);
+      if (end == line.c_str() + i) break;
+      i = static_cast<std::size_t>(end - line.c_str());
+      Counter c;
+      if (counter_from_name(name, c)) {
+        tm->counters[static_cast<std::size_t>(c)] = value;
+      }
+    }
+  }
+  if (hists_at != std::string::npos && hists_at < line.size() &&
+      line[hists_at] == '{') {
+    std::size_t i = hists_at + 1;
+    while (i < line.size() && line[i] != '}') {
+      if (line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (line[i] != '"') break;
+      const std::size_t name_end = line.find('"', i + 1);
+      if (name_end == std::string::npos) break;
+      const std::string name = line.substr(i + 1, name_end - i - 1);
+      i = name_end + 1;
+      if (i + 1 >= line.size() || line[i] != ':' || line[i + 1] != '[') break;
+      i += 2;  // past ":["
+      Hist h;
+      const bool known = hist_from_name(name, h);
+      while (i < line.size() && line[i] == '[') {
+        ++i;
+        char* end = nullptr;
+        const std::uint64_t bucket = std::strtoull(line.c_str() + i, &end, 10);
+        if (end == line.c_str() + i) break;
+        i = static_cast<std::size_t>(end - line.c_str());
+        if (i >= line.size() || line[i] != ',') break;
+        ++i;
+        const std::uint64_t count = std::strtoull(line.c_str() + i, &end, 10);
+        if (end == line.c_str() + i) break;
+        i = static_cast<std::size_t>(end - line.c_str());
+        if (i >= line.size() || line[i] != ']') break;
+        ++i;
+        if (known && bucket < tm->hists[static_cast<std::size_t>(h)]
+                                  .buckets.size()) {
+          tm->hists[static_cast<std::size_t>(h)].buckets[bucket] = count;
+        }
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      if (i < line.size() && line[i] == ']') ++i;
+    }
+  }
+  if (tm->summary_empty()) return nullptr;
+  return tm;
 }
 
 }  // namespace
@@ -319,6 +436,7 @@ CheckpointJournal::Loaded CheckpointJournal::load(const std::string& path) {
       std::int64_t cut = 0;
       if (parse_i64_field(line, "cut", cut)) record.cut = cut;
       parse_double_field(line, "cpu_seconds", record.cpu_seconds);
+      record.metrics = parse_metrics_fields(line);
       parse_string_field(line, "error", record.error);
       if (record.trial_id >= loaded.num_trials) {
         journal_fail(path, line_no,
@@ -375,6 +493,7 @@ CampaignResult run_campaign(std::span<const Graph> graphs,
       adopted.cut = record.cut;
       adopted.cpu_seconds = record.cpu_seconds;
       adopted.error = record.error;
+      adopted.metrics = record.metrics;  // journaled counter/hist summary
       precompleted[record.trial_id] = std::move(adopted);
     }
     adopted_records.reserve(precompleted.size());
@@ -382,7 +501,8 @@ CampaignResult run_campaign(std::span<const Graph> graphs,
       const auto it = precompleted.find(id);
       if (it == precompleted.end()) continue;
       adopted_records.push_back({id, it->second.status, it->second.cut,
-                                 it->second.cpu_seconds, it->second.error});
+                                 it->second.cpu_seconds, it->second.error,
+                                 it->second.metrics});
     }
     result.resumed = precompleted.size();
   }
@@ -406,8 +526,8 @@ CampaignResult run_campaign(std::span<const Graph> graphs,
   if (journal != nullptr) {
     run_options.on_complete = [&journal](std::uint64_t id,
                                          const TrialResult& trial) {
-      journal->append(
-          {id, trial.status, trial.cut, trial.cpu_seconds, trial.error});
+      journal->append({id, trial.status, trial.cut, trial.cpu_seconds,
+                       trial.error, trial.metrics});
     };
   }
 

@@ -10,13 +10,21 @@
 //
 // Journal format (docs/ROBUSTNESS.md has the full spec):
 //   {"type":"campaign","version":1,"fingerprint":"<16 hex>","trials":N}
-//   {"type":"trial","id":7,"status":"ok","cut":42,"cpu_seconds":0.012}
+//   {"type":"trial","id":7,"status":"ok","cut":42,"cpu_seconds":0.012,
+//    "metrics":{"kl.passes":3,...},"hists":{"kl.pass_improvement":[[4,2]]}}
 //   {"type":"trial","id":9,"status":"failed","error":"..."}
-// Skipped trials are never journaled — they must rerun on resume.
+// Skipped trials are never journaled — they must rerun on resume. The
+// metrics/hists fields appear only when the campaign ran with
+// observability on and that trial recorded something; on resume they
+// are adopted verbatim, so aggregated metric summaries are reproduced
+// exactly. Convergence traces and phase timings are *not* journaled —
+// they are bulky, and the timing half is wall-clock data a resumed run
+// could not honestly replay.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -35,6 +43,10 @@ struct TrialRecord {
   Weight cut = 0;
   double cpu_seconds = 0;
   std::string error;
+  /// Counter/histogram summary (the deterministic part of
+  /// TrialMetrics); null when the trial ran without observability.
+  /// Aliased, never deep-copied, between TrialResult and the journal.
+  std::shared_ptr<const TrialMetrics> metrics;
 };
 
 /// Stable 64-bit campaign identity. Two campaigns share a fingerprint

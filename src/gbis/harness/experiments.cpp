@@ -196,6 +196,11 @@ RunConfig experiment_run_config(const ExperimentEnv& env) {
   config.starts = env.starts;
   config.threads = env.threads;
   config.sa.temperature_length_factor = env.sa_length_factor;
+  // Experiments adopt only the progress knob: each table row is its own
+  // trial batch, so a single GBIS_METRICS/GBIS_TRACE_DIR destination
+  // would be overwritten row after row. Use `gbis campaign` for file
+  // exports.
+  config.obs.progress = obs_options_from_env().progress;
   return config;
 }
 

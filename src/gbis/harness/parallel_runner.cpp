@@ -2,16 +2,34 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 
 #include "gbis/harness/fault_injection.hpp"
 #include "gbis/harness/thread_pool.hpp"
 #include "gbis/harness/timer.hpp"
+#include "gbis/obs/progress.hpp"
+#include "gbis/obs/trace_export.hpp"
 #include "gbis/rng/splitmix.hpp"
 #include "gbis/util/deadline.hpp"
 
 namespace gbis {
+
+namespace {
+
+ProgressOutcome progress_outcome(TrialStatus status) {
+  switch (status) {
+    case TrialStatus::kOk: return ProgressOutcome::kOk;
+    case TrialStatus::kFailed: return ProgressOutcome::kFailed;
+    case TrialStatus::kTimedOut: return ProgressOutcome::kTimedOut;
+    case TrialStatus::kSkipped: return ProgressOutcome::kSkipped;
+  }
+  return ProgressOutcome::kFailed;
+}
+
+}  // namespace
 
 const char* trial_status_name(TrialStatus status) {
   switch (status) {
@@ -57,6 +75,21 @@ std::vector<TrialResult> run_trials_ex(std::span<const Graph> graphs,
     }
   }
 
+  // Observability: per-trial metric collection (deterministic part),
+  // the batch epoch timer and worker-lane registry (Chrome-trace
+  // part), and the live progress meter.
+  const bool collect = config.obs.enabled();
+  const WallTimer epoch;  // trial start offsets are relative to this
+  std::mutex tid_mutex;   // guards the thread-id -> dense-lane map
+  std::unordered_map<std::thread::id, std::uint32_t> tid_map;
+  std::unique_ptr<ProgressMeter> progress;
+  if (config.obs.progress) {
+    progress = std::make_unique<ProgressMeter>(trials.size());
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      if (adopted[i]) progress->adopt(progress_outcome(results[i].status));
+    }
+  }
+
   std::mutex complete_mutex;  // serializes the on_complete hook
 
   // Never spin up more workers than there are trials.
@@ -73,18 +106,43 @@ std::vector<TrialResult> run_trials_ex(std::span<const Graph> graphs,
         if (options.stop != nullptr &&
             options.stop->load(std::memory_order_acquire)) {
           out.status = TrialStatus::kSkipped;
+          if (progress != nullptr) progress->record(ProgressOutcome::kSkipped);
           return;
         }
         const Deadline deadline = config.trial_deadline > 0
                                       ? Deadline::after(config.trial_deadline)
                                       : Deadline();
+        // Bind the recording sink before anything can throw, so failed
+        // and timed-out trials still carry their partial metrics and a
+        // Chrome-trace span. Counters/hists/trace points depend only on
+        // (seed, i); the lane id and epoch offset are wall-clock data.
+        std::shared_ptr<TrialMetrics> tm;
+        MetricsSink sink;
+        RunConfig local = config;
+        local.kl.deadline = deadline;
+        local.sa.deadline = deadline;
+        local.fm.deadline = deadline;
+        if (collect) {
+          tm = std::make_shared<TrialMetrics>();
+          tm->start_offset_seconds = epoch.elapsed_seconds();
+          {
+            const std::lock_guard<std::mutex> lock(tid_mutex);
+            tm->tid = static_cast<std::uint32_t>(
+                tid_map.try_emplace(std::this_thread::get_id(),
+                                    static_cast<std::uint32_t>(tid_map.size()))
+                    .first->second);
+          }
+          sink = MetricsSink(tm.get(), config.obs.trace_capacity);
+          local.metrics = &sink;
+          local.kl.metrics = &sink;
+          local.sa.metrics = &sink;
+          local.fm.metrics = &sink;
+          local.compaction.metrics = &sink;
+          local.multilevel.metrics = &sink;
+        }
         const CpuTimer timer;
         try {
           maybe_inject_fault(options.faults, i, deadline);
-          RunConfig local = config;
-          local.kl.deadline = deadline;
-          local.sa.deadline = deadline;
-          local.fm.deadline = deadline;
           Rng rng(splitmix64_at(seed, static_cast<std::uint64_t>(i)));
           const Bisection b =
               run_one_start(graphs[spec.graph_index], spec.method, rng, local);
@@ -104,6 +162,13 @@ std::vector<TrialResult> run_trials_ex(std::span<const Graph> graphs,
           out.error = "unknown exception";
         }
         out.cpu_seconds = timer.elapsed_seconds();
+        if (tm != nullptr) {
+          tm->wall_seconds = sink.elapsed_seconds();
+          out.metrics = std::move(tm);
+        }
+        if (progress != nullptr) {
+          progress->record(progress_outcome(out.status));
+        }
         if (options.on_complete != nullptr &&
             out.status != TrialStatus::kSkipped) {
           const std::lock_guard<std::mutex> lock(complete_mutex);
@@ -116,7 +181,15 @@ std::vector<TrialResult> run_trials_ex(std::span<const Graph> graphs,
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     if (outcomes[i].state == JobState::kNotRun && !adopted[i]) {
       results[i].status = TrialStatus::kSkipped;
+      if (progress != nullptr) progress->record(ProgressOutcome::kSkipped);
     }
+  }
+  if (progress != nullptr) progress->finish();
+
+  // Exports run once the whole batch is settled so the files always
+  // describe a complete, trial-id-ordered result set.
+  if (!config.obs.metrics_path.empty() || !config.obs.trace_dir.empty()) {
+    export_observability(config.obs, results, trials);
   }
   return results;
 }

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -64,6 +65,14 @@ struct TrialResult {
   double cpu_seconds = 0;  ///< thread-CPU seconds spent in the trial
   std::string error;       ///< what() text for failed/timed-out trials
   std::vector<std::uint8_t> sides;  ///< filled only when keep_sides & ok
+  /// Per-trial observability record; non-null only when
+  /// RunConfig::obs.enabled() — filled for every *executed* trial
+  /// (failed and timed-out included), null for skipped ones. Counters,
+  /// histograms, and trace points are pure functions of (seed, trial
+  /// id); the phase spans and timing fields are wall-clock data for the
+  /// Chrome-trace export. Shared (not owned) so resume adoption and
+  /// journaling can alias the same record.
+  std::shared_ptr<const TrialMetrics> metrics;
 };
 
 /// Optional knobs of run_trials_ex beyond the plain run_trials
@@ -107,7 +116,11 @@ struct MethodOutcome {
 /// returns results indexed exactly like `trials`. Trial `t` uses an Rng
 /// seeded with splitmix64_at(seed, t). Trials are fault-isolated: an
 /// exception or deadline overrun degrades that trial's status, it never
-/// throws out of this call (only spec validation does).
+/// throws out of this call (only spec validation does, plus IoError
+/// when a configured RunConfig::obs export destination is unwritable).
+/// When config.obs.enabled(), every executed trial carries a
+/// TrialMetrics record, and configured metrics/trace files are written
+/// after the batch; config.obs.progress paints a live stderr line.
 std::vector<TrialResult> run_trials(std::span<const Graph> graphs,
                                     std::span<const TrialSpec> trials,
                                     const RunConfig& config,

@@ -29,14 +29,25 @@ std::string method_name(Method method) {
 
 Bisection run_one_start(const Graph& g, Method method, Rng& rng,
                         const RunConfig& config) {
+  // Phase spans for the Chrome-trace export. Flat methods get an
+  // explicit gen + refine split here; the compaction and multilevel
+  // drivers stamp their own compact/bisect/uncoalesce/refine spans, and
+  // baselines run as one opaque bisect span.
+  MetricsSink* sink = config.metrics;
   switch (method) {
     case Method::kKl: {
+      if (sink != nullptr) sink->begin_phase(Phase::kGen);
       Bisection b = Bisection::random(g, rng);
+      if (sink != nullptr) sink->end_phase(Phase::kGen);
+      const ScopedPhase refine(sink, Phase::kRefine);
       kl_refine(b, config.kl);
       return b;
     }
     case Method::kSa: {
+      if (sink != nullptr) sink->begin_phase(Phase::kGen);
       Bisection b = Bisection::random(g, rng);
+      if (sink != nullptr) sink->end_phase(Phase::kGen);
+      const ScopedPhase refine(sink, Phase::kRefine);
       sa_refine(b, rng, config.sa);
       return b;
     }
@@ -45,7 +56,10 @@ Bisection run_one_start(const Graph& g, Method method, Rng& rng,
     case Method::kCsa:
       return csa(g, rng, config.sa, config.compaction);
     case Method::kFm: {
+      if (sink != nullptr) sink->begin_phase(Phase::kGen);
       Bisection b = Bisection::random(g, rng);
+      if (sink != nullptr) sink->end_phase(Phase::kGen);
+      const ScopedPhase refine(sink, Phase::kRefine);
       fm_refine(b, config.fm);
       return b;
     }
@@ -55,12 +69,18 @@ Bisection run_one_start(const Graph& g, Method method, Rng& rng,
     case Method::kMultilevelKl:
       return multilevel_bisect(g, rng, kl_refiner(config.kl),
                                config.multilevel);
-    case Method::kGreedy:
+    case Method::kGreedy: {
+      const ScopedPhase bisect(sink, Phase::kBisect);
       return greedy_bisection(g, rng);
-    case Method::kSpectral:
+    }
+    case Method::kSpectral: {
+      const ScopedPhase bisect(sink, Phase::kBisect);
       return spectral_bisection(g, rng);
-    case Method::kRandom:
+    }
+    case Method::kRandom: {
+      const ScopedPhase bisect(sink, Phase::kBisect);
       return best_random_bisection(g, rng);
+    }
   }
   throw std::invalid_argument("run_method: unknown method");
 }

@@ -21,6 +21,7 @@
 #include "gbis/fm/fm.hpp"
 #include "gbis/graph/graph.hpp"
 #include "gbis/kl/kl.hpp"
+#include "gbis/obs/metrics.hpp"
 #include "gbis/partition/bisection.hpp"
 #include "gbis/rng/rng.hpp"
 #include "gbis/sa/sa.hpp"
@@ -59,6 +60,15 @@ struct RunConfig {
   FmOptions fm;
   CompactionOptions compaction;
   MultilevelOptions multilevel;
+  /// Observability knobs (collection, export paths, live progress).
+  /// Nothing here influences trial outcomes, so the campaign
+  /// fingerprint ignores the whole block.
+  ObsOptions obs;
+  /// Transient recording sink for the *current* trial. The parallel
+  /// trial runner binds it (together with the kl/sa/fm/compaction/
+  /// multilevel sinks) on its per-trial config copy; leave it null in
+  /// configs you build yourself.
+  MetricsSink* metrics = nullptr;
 };
 
 /// Outcome of running one method on one graph. Timing is split: the

@@ -37,6 +37,18 @@ Summary summarize(std::span<const double> values) {
   return s;
 }
 
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
 double percent_improvement(double before, double after) {
   if (before == 0.0) {
     // A zero baseline has no meaningful percentage. Both zero means

@@ -18,6 +18,12 @@ struct Summary {
 /// Computes the summary of a sample (empty sample yields all zeros).
 Summary summarize(std::span<const double> values);
 
+/// The p-th percentile (0 <= p <= 100) of a sample, linearly
+/// interpolated at rank p/100 * (n-1) over the sorted values — the
+/// convention where percentile(v, 50) equals the summarize() median.
+/// p is clamped to [0, 100]; an empty sample yields 0.
+double percentile(std::span<const double> values, double p);
+
 /// Percentage improvement of `after` relative to `before`:
 /// (before - after) / before * 100. A zero baseline is special-cased:
 /// 0 -> 0 returns 0 (nothing to improve), but 0 -> nonzero returns NaN

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "gbis/obs/metrics.hpp"
 #include "gbis/partition/buckets.hpp"
 #include "gbis/partition/gains.hpp"
 
@@ -128,11 +129,15 @@ Weight kl_pass(Bisection& bisection, KlStats* stats,
   Weight cumulative = 0, best_prefix_gain = 0;
   std::size_t best_prefix_len = 0;
   std::uint64_t scanned = 0;
+  std::uint64_t polls = 0;
 
   for (std::uint32_t i = 0; i < rounds; ++i) {
     // A round is at least one bucket scan, so a throttled poll is
     // cheap; throwing here is safe — swaps apply only after the loop.
-    if ((i & 31u) == 0) options.deadline.check();
+    if ((i & 31u) == 0) {
+      options.deadline.check();
+      ++polls;
+    }
     Vertex a = 0, b = 0;
     Weight gab = 0;
     const bool found =
@@ -169,6 +174,13 @@ Weight kl_pass(Bisection& bisection, KlStats* stats,
     stats->pairs_swapped += best_prefix_len;
     stats->candidates_scanned += scanned;
   }
+  if (MetricsSink* sink = options.metrics; sink != nullptr) {
+    // One flush per pass: the hot loop above only touches locals.
+    sink->add(Counter::kKlPairsSelected, sequence.size());
+    sink->add(Counter::kKlPairsSwapped, best_prefix_len);
+    sink->add(Counter::kKlCandidatesScanned, scanned);
+    sink->add(Counter::kDeadlinePolls, polls);
+  }
 
   for (std::size_t i = 0; i < best_prefix_len; ++i) {
     bisection.swap(sequence[i].first, sequence[i].second);
@@ -185,6 +197,13 @@ KlStats kl_refine(Bisection& bisection, const KlOptions& options,
     const Weight improvement = kl_pass(bisection, &stats, options);
     ++stats.passes;
     if (pass_cuts != nullptr) pass_cuts->push_back(bisection.cut());
+    if (MetricsSink* sink = options.metrics; sink != nullptr) {
+      sink->add(Counter::kKlPasses);
+      sink->add(Counter::kDeadlinePolls);  // the per-pass check above
+      sink->observe(Hist::kKlPassImprovement,
+                    static_cast<std::uint64_t>(improvement));
+      sink->trace_point(TraceSource::kKl, bisection.cut());
+    }
     if (improvement <= 0) break;
     if (options.max_passes != 0 && stats.passes >= options.max_passes) break;
   }

@@ -23,6 +23,8 @@
 
 namespace gbis {
 
+class MetricsSink;
+
 /// How each pass picks the next (a, b) pair.
 enum class KlPairSelection {
   /// Full scan for argmax g_ab with the early-exit bound (default —
@@ -48,6 +50,11 @@ struct KlOptions {
   /// (the trial runner maps that to a `timed_out` trial). Default:
   /// unlimited.
   Deadline deadline;
+  /// Observability sink (obs/metrics.hpp): per-pass counters, the
+  /// pass-improvement histogram, and one convergence-trace point per
+  /// pass. nullptr (the default) records nothing — the disabled cost
+  /// is a branch on this pointer, flushed once per pass.
+  MetricsSink* metrics = nullptr;
 };
 
 /// Per-run diagnostics.

@@ -1,0 +1,95 @@
+#include "gbis/obs/progress.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+namespace gbis {
+
+ProgressMeter::ProgressMeter(std::uint64_t total, std::ostream* out,
+                             double min_interval_seconds)
+    : out_(out != nullptr ? out : &std::cerr),
+      min_interval_(min_interval_seconds),
+      total_(total) {}
+
+void ProgressMeter::adopt(ProgressOutcome outcome) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) return;
+  ++adopted_;
+  ++done_;
+  switch (outcome) {
+    case ProgressOutcome::kOk: ++ok_; break;
+    case ProgressOutcome::kFailed: ++failed_; break;
+    case ProgressOutcome::kTimedOut: ++timed_out_; break;
+    case ProgressOutcome::kSkipped: ++skipped_; break;
+  }
+  maybe_paint_locked();
+}
+
+void ProgressMeter::record(ProgressOutcome outcome) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) return;
+  ++done_;
+  switch (outcome) {
+    case ProgressOutcome::kOk: ++ok_; break;
+    case ProgressOutcome::kFailed: ++failed_; break;
+    case ProgressOutcome::kTimedOut: ++timed_out_; break;
+    case ProgressOutcome::kSkipped: ++skipped_; break;
+  }
+  maybe_paint_locked();
+}
+
+void ProgressMeter::maybe_paint_locked() {
+  const double now = timer_.elapsed_seconds();
+  if (last_paint_ >= 0.0 && now - last_paint_ < min_interval_ &&
+      done_ < total_) {
+    return;  // throttled; the next update (or finish) repaints
+  }
+  paint_locked();
+}
+
+void ProgressMeter::finish() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) return;
+  paint_locked();
+  if (painted_) *out_ << '\n' << std::flush;
+  finished_ = true;
+}
+
+void ProgressMeter::paint_locked() {
+  // One fixed-shape line, rewritten in place. Trailing spaces wipe any
+  // longer previous paint.
+  char line[160];
+  const double elapsed = timer_.elapsed_seconds();
+  const std::uint64_t executed = done_ - adopted_;
+  const double rate = elapsed > 0.0
+                          ? static_cast<double>(executed) / elapsed
+                          : 0.0;
+  const std::uint64_t remaining = total_ > done_ ? total_ - done_ : 0;
+  char eta[32];
+  if (rate > 0.0 && remaining > 0) {
+    const double seconds = static_cast<double>(remaining) / rate;
+    if (seconds >= 120.0) {
+      std::snprintf(eta, sizeof eta, "ETA %.0fm",
+                    std::ceil(seconds / 60.0));
+    } else {
+      std::snprintf(eta, sizeof eta, "ETA %.0fs", std::ceil(seconds));
+    }
+  } else {
+    std::snprintf(eta, sizeof eta, remaining == 0 ? "done" : "ETA --");
+  }
+  std::snprintf(line, sizeof line,
+                "\rgbis: %llu/%llu trials | ok %llu, failed %llu, t/o "
+                "%llu, skip %llu | %.1f trials/s | %s   ",
+                static_cast<unsigned long long>(done_),
+                static_cast<unsigned long long>(total_),
+                static_cast<unsigned long long>(ok_),
+                static_cast<unsigned long long>(failed_),
+                static_cast<unsigned long long>(timed_out_),
+                static_cast<unsigned long long>(skipped_), rate, eta);
+  *out_ << line << std::flush;
+  painted_ = true;
+  last_paint_ = elapsed;
+}
+
+}  // namespace gbis

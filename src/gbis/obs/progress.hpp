@@ -1,0 +1,67 @@
+// Live campaign progress on stderr: a single `\r`-rewritten line with
+// done/failed/timed-out counts, the observed trial rate, and an ETA.
+// One ProgressMeter serves a whole batch; record() is called from every
+// worker thread, so updates are mutex-serialized (a partial line never
+// interleaves under 8 threads) and rate-limited (default: at most one
+// repaint per 100 ms) so the meter costs nothing measurable.
+//
+// The meter deliberately knows nothing about the trial runner — it
+// counts ProgressOutcome events — so it can front any producer
+// (parallel_runner maps TrialStatus onto it).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+
+#include "gbis/harness/timer.hpp"
+
+namespace gbis {
+
+/// How one unit of work ended (mirrors TrialStatus without depending
+/// on the harness headers).
+enum class ProgressOutcome : std::uint8_t { kOk = 0, kFailed, kTimedOut,
+                                            kSkipped };
+
+class ProgressMeter {
+ public:
+  /// `total` units expected; `out` defaults to std::cerr;
+  /// `min_interval_seconds` throttles repaints (finish() always
+  /// paints).
+  explicit ProgressMeter(std::uint64_t total, std::ostream* out = nullptr,
+                         double min_interval_seconds = 0.1);
+
+  /// Counts one unit adopted from a resume journal: it shows as done
+  /// immediately but is excluded from the rate/ETA estimate (it cost
+  /// no time in this run).
+  void adopt(ProgressOutcome outcome);
+
+  /// Counts one completed unit and repaints if the throttle allows.
+  void record(ProgressOutcome outcome);
+
+  /// Paints the final state and a newline. Idempotent; called by the
+  /// destructor as a backstop.
+  void finish();
+
+  ~ProgressMeter() { finish(); }
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+ private:
+  void maybe_paint_locked();
+  void paint_locked();
+
+  std::ostream* out_;
+  const double min_interval_;
+  const std::uint64_t total_;
+  std::uint64_t done_ = 0;  ///< everything counted, adopted included
+  std::uint64_t adopted_ = 0;
+  std::uint64_t ok_ = 0, failed_ = 0, timed_out_ = 0, skipped_ = 0;
+  double last_paint_ = -1.0;
+  bool painted_ = false;   ///< a line is on screen (needs \r or \n)
+  bool finished_ = false;
+  std::mutex mutex_;
+  WallTimer timer_;
+};
+
+}  // namespace gbis

@@ -1,0 +1,154 @@
+#include "gbis/obs/trace.hpp"
+
+#include <cstdlib>
+#include <limits>
+#include <ostream>
+
+#include "gbis/io/io_error.hpp"
+
+namespace gbis {
+
+namespace {
+
+void write_aux(std::ostream& out, double aux) {
+  const auto precision = out.precision();
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << aux;
+  out.precision(precision);
+}
+
+/// Flat one-line JSON field scan (the checkpoint-journal convention:
+/// keys are fixed identifiers, values are unquoted numbers or short
+/// quoted names, so a substring find is exact).
+std::size_t find_value(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::string::npos;
+  return at + needle.size();
+}
+
+std::uint64_t parse_u64(const std::string& line, const char* key) {
+  const std::size_t i = find_value(line, key);
+  if (i == std::string::npos) {
+    throw IoError("convergence: missing \"" + std::string(key) +
+                  "\" in: " + line);
+  }
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(line.c_str() + i, &end, 10);
+  if (end == line.c_str() + i) {
+    throw IoError("convergence: bad \"" + std::string(key) +
+                  "\" in: " + line);
+  }
+  return value;
+}
+
+std::int64_t parse_i64(const std::string& line, const char* key) {
+  const std::size_t i = find_value(line, key);
+  if (i == std::string::npos) {
+    throw IoError("convergence: missing \"" + std::string(key) +
+                  "\" in: " + line);
+  }
+  char* end = nullptr;
+  const std::int64_t value = std::strtoll(line.c_str() + i, &end, 10);
+  if (end == line.c_str() + i) {
+    throw IoError("convergence: bad \"" + std::string(key) +
+                  "\" in: " + line);
+  }
+  return value;
+}
+
+double parse_double(const std::string& line, const char* key) {
+  const std::size_t i = find_value(line, key);
+  if (i == std::string::npos) {
+    throw IoError("convergence: missing \"" + std::string(key) +
+                  "\" in: " + line);
+  }
+  char* end = nullptr;
+  const double value = std::strtod(line.c_str() + i, &end);
+  if (end == line.c_str() + i) {
+    throw IoError("convergence: bad \"" + std::string(key) +
+                  "\" in: " + line);
+  }
+  return value;
+}
+
+std::string parse_name(const std::string& line, const char* key) {
+  std::size_t i = find_value(line, key);
+  if (i == std::string::npos || i >= line.size() || line[i] != '"') {
+    throw IoError("convergence: missing \"" + std::string(key) +
+                  "\" in: " + line);
+  }
+  ++i;
+  const std::size_t close = line.find('"', i);
+  if (close == std::string::npos) {
+    throw IoError("convergence: unterminated \"" + std::string(key) +
+                  "\" in: " + line);
+  }
+  return line.substr(i, close - i);
+}
+
+TraceSource source_from_name(const std::string& name,
+                             const std::string& line) {
+  if (name == "kl") return TraceSource::kKl;
+  if (name == "sa") return TraceSource::kSa;
+  if (name == "fm") return TraceSource::kFm;
+  throw IoError("convergence: unknown source \"" + name + "\" in: " + line);
+}
+
+}  // namespace
+
+void write_convergence_jsonl(std::ostream& out,
+                             std::span<const TrialResult> results,
+                             std::span<const TrialSpec> trials) {
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const TrialResult& result = results[i];
+    if (result.metrics == nullptr) continue;
+    const TrialSpec& spec = trials[i];
+    const std::string method = method_name(spec.method);
+    for (const TracePoint& p : result.metrics->trace) {
+      out << "{\"trial\":" << i << ",\"graph\":" << spec.graph_index
+          << ",\"method\":\"" << method << "\",\"start\":"
+          << spec.start_index << ",\"step\":" << p.step << ",\"source\":\""
+          << trace_source_name(p.source) << "\",\"cut\":" << p.cut
+          << ",\"best\":" << p.best << ",\"aux\":";
+      write_aux(out, p.aux);
+      out << "}\n";
+    }
+  }
+}
+
+void write_convergence_csv(std::ostream& out,
+                           std::span<const TrialResult> results,
+                           std::span<const TrialSpec> trials) {
+  out << "trial,graph,method,start,step,source,cut,best,aux\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const TrialResult& result = results[i];
+    if (result.metrics == nullptr) continue;
+    const TrialSpec& spec = trials[i];
+    const std::string method = method_name(spec.method);
+    for (const TracePoint& p : result.metrics->trace) {
+      out << i << ',' << spec.graph_index << ',' << method << ','
+          << spec.start_index << ',' << p.step << ','
+          << trace_source_name(p.source) << ',' << p.cut << ',' << p.best
+          << ',';
+      write_aux(out, p.aux);
+      out << '\n';
+    }
+  }
+}
+
+ConvergenceLine parse_convergence_line(const std::string& line) {
+  ConvergenceLine parsed;
+  parsed.trial = parse_u64(line, "trial");
+  parsed.graph = static_cast<std::uint32_t>(parse_u64(line, "graph"));
+  parsed.method = parse_name(line, "method");
+  parsed.start = static_cast<std::uint32_t>(parse_u64(line, "start"));
+  parsed.point.step = parse_u64(line, "step");
+  parsed.point.source = source_from_name(parse_name(line, "source"), line);
+  parsed.point.cut = parse_i64(line, "cut");
+  parsed.point.best = parse_i64(line, "best");
+  parsed.point.aux = parse_double(line, "aux");
+  return parsed;
+}
+
+}  // namespace gbis

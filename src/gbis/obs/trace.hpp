@@ -1,0 +1,54 @@
+// Convergence-trace export: the bounded best-cut-so-far series each
+// trial recorded (one point per KL/FM pass, one per SA temperature),
+// flattened across a trial batch and written as JSONL and CSV next to
+// the checkpoint journal. The JSONL form round-trips through
+// parse_convergence_line (exercised by tests/test_obs.cpp); the CSV
+// form is for plotting.
+//
+// Determinism: every field of every line is part of PR 1's contract —
+// bit-identical output for any GBIS_THREADS at a fixed seed. Trials are
+// emitted in trial-id order and points in step order, so the files
+// compare byte-for-byte.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "gbis/harness/parallel_runner.hpp"
+#include "gbis/obs/metrics.hpp"
+
+namespace gbis {
+
+/// One parsed convergence-JSONL line.
+struct ConvergenceLine {
+  std::uint64_t trial = 0;
+  std::uint32_t graph = 0;
+  std::string method;  ///< method_name() of the trial's method
+  std::uint32_t start = 0;
+  TracePoint point;
+
+  friend bool operator==(const ConvergenceLine&,
+                         const ConvergenceLine&) = default;
+};
+
+/// Writes one JSON object per trace point, trials in id order:
+///   {"trial":0,"graph":0,"method":"KL","start":0,"step":2,
+///    "source":"kl","cut":41,"best":41,"aux":0}
+/// Trials without collected metrics (skipped, or metrics disabled) emit
+/// nothing. `results` and `trials` must be parallel arrays.
+void write_convergence_jsonl(std::ostream& out,
+                             std::span<const TrialResult> results,
+                             std::span<const TrialSpec> trials);
+
+/// Same data as CSV with a header row
+/// (trial,graph,method,start,step,source,cut,best,aux).
+void write_convergence_csv(std::ostream& out,
+                           std::span<const TrialResult> results,
+                           std::span<const TrialSpec> trials);
+
+/// Parses one line written by write_convergence_jsonl. Throws IoError
+/// naming the offending field on malformed input.
+ConvergenceLine parse_convergence_line(const std::string& line);
+
+}  // namespace gbis

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "gbis/obs/metrics.hpp"
 #include "gbis/partition/balance.hpp"
 #include "gbis/sa/schedule.hpp"
 
@@ -115,18 +116,24 @@ SaStats sa_refine(Bisection& bisection, Rng& rng, const SaOptions& options,
           stagnant_streak < options.stagnation_temperatures) &&
          schedule.temperature() > kMinTemperature) {
     std::uint64_t accepted = 0;
+    std::uint64_t proposed = 0;
+    std::uint64_t polls = 0;
     bool best_improved = false;
     for (std::uint64_t m = 0; m < moves_per_temp; ++m) {
       // Cooperative deadline poll, throttled to one clock read per
       // 1024 proposals. The walk mutates `bisection` in place, so a
       // throw abandons a mid-walk state — fine, the trial is discarded.
-      if ((m & 1023u) == 0) options.deadline.check();
+      if ((m & 1023u) == 0) {
+        options.deadline.check();
+        ++polls;
+      }
       if (options.max_total_moves != 0 &&
           stats.moves_proposed >= options.max_total_moves) {
         frozen_streak = options.frozen_temperatures;  // force stop
         break;
       }
       ++stats.moves_proposed;
+      ++proposed;
       bool accept = false;
       if (swap_moves) {
         const Vertex a = random_on_side(bisection, n, 0, rng);
@@ -164,6 +171,35 @@ SaStats sa_refine(Bisection& bisection, Rng& rng, const SaOptions& options,
                             ? best_cut
                             : bisection.cut(),
                         acceptance});
+    }
+    if (MetricsSink* sink = options.metrics; sink != nullptr) {
+      // One flush per temperature: the move loop only touches locals.
+      // Stage boundaries are relative to this run's T0 (hot >= T0/2,
+      // cold < T0/20), so classification is deterministic per trial.
+      const SaStage stage = sa_stage(schedule.temperature(), t0);
+      const auto at = [stage](Counter hot, Counter warm, Counter cold) {
+        return stage == SaStage::kHot    ? hot
+               : stage == SaStage::kWarm ? warm
+                                         : cold;
+      };
+      sink->add(Counter::kSaTemperatures);
+      sink->add(at(Counter::kSaProposalsHot, Counter::kSaProposalsWarm,
+                   Counter::kSaProposalsCold),
+                proposed);
+      sink->add(at(Counter::kSaAcceptsHot, Counter::kSaAcceptsWarm,
+                   Counter::kSaAcceptsCold),
+                accepted);
+      sink->add(at(Counter::kSaRejectsHot, Counter::kSaRejectsWarm,
+                   Counter::kSaRejectsCold),
+                proposed - accepted);
+      sink->add(Counter::kDeadlinePolls, polls);
+      sink->observe(Hist::kSaTempAcceptancePct,
+                    static_cast<std::uint64_t>(acceptance * 100.0 + 0.5));
+      sink->trace_point(TraceSource::kSa,
+                        best_cut < std::numeric_limits<Weight>::max()
+                            ? best_cut
+                            : bisection.cut(),
+                        schedule.temperature());
     }
     if (acceptance < options.min_acceptance && !best_improved) {
       ++frozen_streak;

@@ -21,6 +21,8 @@
 
 namespace gbis {
 
+class MetricsSink;
+
 /// Move neighborhood of the annealer.
 enum class SaNeighborhood {
   /// Single-vertex flips with the quadratic imbalance penalty
@@ -69,6 +71,13 @@ struct SaOptions {
   /// DeadlineExceeded on expiry (the trial runner maps that to a
   /// `timed_out` trial). Default: unlimited.
   Deadline deadline;
+  /// Observability sink (obs/metrics.hpp): proposal/accept/reject
+  /// counters bucketed by temperature stage (hot/warm/cold relative to
+  /// the calibrated T0), the per-temperature acceptance histogram, and
+  /// one convergence point per temperature. nullptr (the default)
+  /// records nothing; the move loop accumulates into locals and
+  /// flushes once per temperature.
+  MetricsSink* metrics = nullptr;
 };
 
 /// Per-run diagnostics.

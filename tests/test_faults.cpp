@@ -261,10 +261,10 @@ TEST(CheckpointJournal, RoundTripsRecords) {
   {
     CheckpointJournal journal(path, /*fingerprint=*/0xabcdef0123456789ULL,
                               /*num_trials=*/6);
-    journal.append({0, TrialStatus::kOk, 42, 0.5, ""});
+    journal.append({0, TrialStatus::kOk, 42, 0.5, "", nullptr});
     journal.append({3, TrialStatus::kFailed, 0, 0.25,
-                    "metis: line 2: \"quoted\"\nnewline"});
-    journal.append({5, TrialStatus::kTimedOut, 0, 1.0, "deadline"});
+                    "metis: line 2: \"quoted\"\nnewline", nullptr});
+    journal.append({5, TrialStatus::kTimedOut, 0, 1.0, "deadline", nullptr});
   }
   const CheckpointJournal::Loaded loaded = CheckpointJournal::load(path);
   EXPECT_EQ(loaded.fingerprint, 0xabcdef0123456789ULL);
@@ -287,7 +287,7 @@ TEST(CheckpointJournal, LoadErrorsNameTheLine) {
   const std::string path = temp_path("journal_bad.jsonl");
   {
     CheckpointJournal journal(path, 1, 2);
-    journal.append({0, TrialStatus::kOk, 1, 0.1, ""});
+    journal.append({0, TrialStatus::kOk, 1, 0.1, "", nullptr});
   }
   {
     // Corrupt it: a record with an out-of-range id.

@@ -42,6 +42,21 @@ TEST(Stats, SummaryOddMedianAndSingleton) {
   EXPECT_EQ(summarize({}).count, 0u);
 }
 
+TEST(Stats, PercentileInterpolatesAndClamps) {
+  const double values[] = {4.0, 1.0, 3.0, 2.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(percentile(values, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 50), summarize(values).median);
+  EXPECT_DOUBLE_EQ(percentile(values, 25), 1.75);  // rank 0.75 between 1, 2
+  EXPECT_DOUBLE_EQ(percentile(values, 90), 3.7);
+  // Out-of-range p clamps; degenerate samples behave.
+  EXPECT_DOUBLE_EQ(percentile(values, -5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 250), 4.0);
+  const double one[] = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 99), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
 TEST(Stats, PercentImprovement) {
   EXPECT_DOUBLE_EQ(percent_improvement(100.0, 10.0), 90.0);
   EXPECT_DOUBLE_EQ(percent_improvement(10.0, 10.0), 0.0);

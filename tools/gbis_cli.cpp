@@ -18,10 +18,12 @@
 //   gbis convert <in.graph> <out.{graph|metis|dot}>
 //
 // Graph files are gbis edge-list format unless the name ends in
-// ".metis". Global flags, accepted anywhere: --seed <n> (default 42)
-// and --threads <n> (trial-runner workers; default 0 = hardware
-// concurrency; cuts are identical for any value). `--help` prints the
-// full reference.
+// ".metis". Global flags, accepted anywhere: --seed <n> (default 42),
+// --threads <n> (trial-runner workers; default 0 = hardware
+// concurrency; cuts are identical for any value), plus the
+// observability trio --metrics <file> / --trace-dir <dir> /
+// --progress (env forms GBIS_METRICS / GBIS_TRACE_DIR /
+// GBIS_PROGRESS; the flags win). `--help` prints the full reference.
 //
 // Exit codes: 0 success, 1 internal error, 2 usage error, 3 I/O error,
 // 130 interrupted (SIGINT/SIGTERM; campaigns journal first). All
@@ -93,8 +95,15 @@ void print_help(std::ostream& out) {
          "  stats <in.graph>                    structural report\n"
          "  convert <in.graph> <out.{graph|metis|dot}>\n"
          "\n"
-         "global flags: --seed N (default 42), --threads N (default 0 =\n"
-         "hardware concurrency; cuts are bit-identical for any value)\n"
+         "global flags:\n"
+         "  --seed N        base seed (default 42)\n"
+         "  --threads N     trial-runner workers (default 0 = hardware\n"
+         "                  concurrency; cuts are bit-identical for any\n"
+         "                  value)\n"
+         "  --metrics FILE  write aggregated per-trial metrics JSON\n"
+         "  --trace-dir D   write convergence.{jsonl,csv} and a Chrome/\n"
+         "                  Perfetto trace.json under directory D\n"
+         "  --progress      live stderr progress line for trial batches\n"
          "\n"
          "exit codes:\n"
          "  0    success\n"
@@ -107,7 +116,10 @@ void print_help(std::ostream& out) {
          "Diagnostics go to stderr; stdout carries only results.\n"
          "GBIS_FAULTS=kind@trial:ID[,...] injects deterministic faults\n"
          "into campaign trials (kinds: throw, hang, stop) — see\n"
-         "docs/ROBUSTNESS.md.\n";
+         "docs/ROBUSTNESS.md. GBIS_METRICS, GBIS_TRACE_DIR, and\n"
+         "GBIS_PROGRESS=1 are the environment forms of --metrics,\n"
+         "--trace-dir, and --progress (flags win) — see\n"
+         "docs/OBSERVABILITY.md and the README env-var table.\n";
 }
 
 [[noreturn]] void usage() {
@@ -204,7 +216,7 @@ Method parse_method(const std::string& name) {
 }
 
 int cmd_solve(const std::vector<std::string>& args, Rng& rng,
-              std::uint32_t threads) {
+              std::uint32_t threads, const ObsOptions& obs) {
   if (args.size() < 2 || args.size() > 3) usage();
   const Graph g = load_graph(args[0]);
 
@@ -222,6 +234,7 @@ int cmd_solve(const std::vector<std::string>& args, Rng& rng,
     RunConfig config;
     config.starts = 2;
     config.threads = threads;
+    config.obs = obs;
     const RunResult result = run_method(g, method, rng, config, &sides);
     cut = result.best_cut;
     std::cout << "cut " << cut << " in " << result.cpu_seconds
@@ -271,10 +284,11 @@ std::vector<Method> parse_method_csv(const std::string& csv) {
 }
 
 int cmd_campaign(const std::vector<std::string>& args, std::uint64_t seed,
-                 std::uint32_t threads) {
+                 std::uint32_t threads, const ObsOptions& obs) {
   RunConfig config;
   config.starts = 2;
   config.threads = threads;
+  config.obs = obs;
   CampaignOptions options;
   std::vector<std::string> positional;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -431,6 +445,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> args;
   std::uint64_t seed = 42;
   std::uint32_t threads = 0;  // 0 = hardware concurrency
+  // Env first (GBIS_METRICS / GBIS_TRACE_DIR / GBIS_PROGRESS), then the
+  // explicit flags below override it.
+  ObsOptions obs = obs_options_from_env();
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0 ||
         std::strcmp(argv[i], "-h") == 0 ||
@@ -445,6 +462,14 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage();
       threads =
           static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      if (i + 1 >= argc) usage();
+      obs.metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-dir") == 0) {
+      if (i + 1 >= argc) usage();
+      obs.trace_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      obs.progress = true;
     } else {
       args.emplace_back(argv[i]);
     }
@@ -455,8 +480,8 @@ int main(int argc, char** argv) {
   Rng rng(seed);
   try {
     if (command == "gen") return cmd_gen(args, rng);
-    if (command == "solve") return cmd_solve(args, rng, threads);
-    if (command == "campaign") return cmd_campaign(args, seed, threads);
+    if (command == "solve") return cmd_solve(args, rng, threads, obs);
+    if (command == "campaign") return cmd_campaign(args, seed, threads, obs);
     if (command == "kway") return cmd_kway(args, rng);
     if (command == "eval") return cmd_eval(args);
     if (command == "stats") return cmd_stats(args);

@@ -1,6 +1,5 @@
 #include "gbis/harness/checkpoint.hpp"
 
-#include <bit>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -13,128 +12,17 @@
 
 #include "gbis/harness/fault_injection.hpp"
 #include "gbis/io/io_error.hpp"
+#include "gbis/svc/fingerprint.hpp"
+#include "gbis/util/json_lite.hpp"
 
 namespace gbis {
 
 namespace {
-
-// --- fingerprint ----------------------------------------------------------
-
-/// SplitMix64-style accumulator: order-sensitive, avalanching.
-class Hash64 {
- public:
-  void add(std::uint64_t value) {
-    std::uint64_t z = (state_ += value + 0x9e3779b97f4a7c15ULL);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    state_ = z ^ (z >> 31);
-  }
-  void add(double value) { add(std::bit_cast<std::uint64_t>(value)); }
-  std::uint64_t digest() const { return state_; }
-
- private:
-  std::uint64_t state_ = 0x6274697367626973ULL;  // arbitrary non-zero
-};
-
-// --- minimal JSON ---------------------------------------------------------
-
-void append_json_string(std::string& out, const std::string& value) {
-  out += '"';
-  for (const char raw : value) {
-    const auto c = static_cast<unsigned char>(raw);
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += raw;
-        }
-    }
-  }
-  out += '"';
-}
-
-/// Finds `"key":` in a flat one-line JSON object and returns the raw
-/// value token start, or npos.
-std::size_t find_value(const std::string& line, const std::string& key) {
-  const std::string needle = "\"" + key + "\":";
-  const std::size_t at = line.find(needle);
-  if (at == std::string::npos) return std::string::npos;
-  return at + needle.size();
-}
-
-bool parse_string_field(const std::string& line, const std::string& key,
-                        std::string& out) {
-  std::size_t i = find_value(line, key);
-  if (i == std::string::npos || i >= line.size() || line[i] != '"') {
-    return false;
-  }
-  ++i;
-  out.clear();
-  while (i < line.size() && line[i] != '"') {
-    if (line[i] == '\\' && i + 1 < line.size()) {
-      const char esc = line[i + 1];
-      switch (esc) {
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u':
-          if (i + 5 < line.size()) {
-            out += static_cast<char>(
-                std::strtoul(line.substr(i + 2, 4).c_str(), nullptr, 16));
-            i += 4;
-          }
-          break;
-        default: out += esc;
-      }
-      i += 2;
-    } else {
-      out += line[i++];
-    }
-  }
-  return i < line.size();  // must end on the closing quote
-}
-
-bool parse_u64_field(const std::string& line, const std::string& key,
-                     std::uint64_t& out) {
-  const std::size_t i = find_value(line, key);
-  if (i == std::string::npos) return false;
-  char* end = nullptr;
-  out = std::strtoull(line.c_str() + i, &end, 10);
-  return end != line.c_str() + i;
-}
-
-bool parse_i64_field(const std::string& line, const std::string& key,
-                     std::int64_t& out) {
-  const std::size_t i = find_value(line, key);
-  if (i == std::string::npos) return false;
-  char* end = nullptr;
-  out = std::strtoll(line.c_str() + i, &end, 10);
-  return end != line.c_str() + i;
-}
-
-bool parse_double_field(const std::string& line, const std::string& key,
-                        double& out) {
-  const std::size_t i = find_value(line, key);
-  if (i == std::string::npos) return false;
-  char* end = nullptr;
-  out = std::strtod(line.c_str() + i, &end);
-  return end != line.c_str() + i;
-}
-
-std::string to_hex(std::uint64_t value) {
-  char buf[17];
-  std::snprintf(buf, sizeof buf, "%016llx",
-                static_cast<unsigned long long>(value));
-  return buf;
-}
+// The fingerprint accumulator (Hash64) and the flat-JSON field
+// scanners this file originally carried in-line now live in
+// svc/fingerprint.* and util/json_lite.* so the service result cache
+// and protocol share them; the hashing sequence and the journal wire
+// format are unchanged (test_svc pins a golden fingerprint).
 
 [[noreturn]] void journal_fail(const std::string& path, std::size_t line_no,
                                const std::string& what) {
@@ -219,8 +107,8 @@ std::string encode_trial(const TrialRecord& record) {
 /// line carries no metric fields.
 std::shared_ptr<const TrialMetrics> parse_metrics_fields(
     const std::string& line) {
-  const std::size_t counters_at = find_value(line, "metrics");
-  const std::size_t hists_at = find_value(line, "hists");
+  const std::size_t counters_at = json_find_value(line, "metrics");
+  const std::size_t hists_at = json_find_value(line, "hists");
   if (counters_at == std::string::npos && hists_at == std::string::npos) {
     return nullptr;
   }
@@ -337,24 +225,11 @@ std::uint64_t campaign_fingerprint(std::uint64_t seed,
     h.add(static_cast<std::uint64_t>(t.method));
     h.add(static_cast<std::uint64_t>(t.start_index));
   }
-  // Graph contents: vertex weights plus every (u, v, w) with u < v,
-  // straight off the CSR — no edge-vector materialization.
+  // Graph contents, via the shared canonical hasher (svc/fingerprint):
+  // vertex weights plus every (u, v, w) with u < v, straight off the
+  // CSR — the same byte sequence this function always hashed.
   h.add(graphs.size());
-  for (const Graph& g : graphs) {
-    h.add(static_cast<std::uint64_t>(g.num_vertices()));
-    h.add(g.num_edges());
-    for (Vertex v = 0; v < g.num_vertices(); ++v) {
-      h.add(static_cast<std::uint64_t>(g.vertex_weight(v)));
-      const auto neighbors = g.neighbors(v);
-      const auto weights = g.edge_weights(v);
-      for (std::size_t i = 0; i < neighbors.size(); ++i) {
-        if (neighbors[i] <= v) continue;
-        h.add(static_cast<std::uint64_t>(v));
-        h.add(static_cast<std::uint64_t>(neighbors[i]));
-        h.add(static_cast<std::uint64_t>(weights[i]));
-      }
-    }
-  }
+  for (const Graph& g : graphs) hash_graph(h, g);
   return h.digest();
 }
 
@@ -364,7 +239,7 @@ CheckpointJournal::CheckpointJournal(std::string path,
                                      std::span<const TrialRecord> initial)
     : path_(std::move(path)) {
   std::string header = "{\"type\":\"campaign\",\"version\":1,";
-  header += "\"fingerprint\":\"" + to_hex(fingerprint) + "\",";
+  header += "\"fingerprint\":\"" + to_hex16(fingerprint) + "\",";
   header += "\"trials\":" + std::to_string(num_trials) + "}";
   lines_.push_back(std::move(header));
   for (const TrialRecord& record : initial) {
@@ -406,18 +281,18 @@ CheckpointJournal::Loaded CheckpointJournal::load(const std::string& path) {
     ++line_no;
     if (line.empty()) continue;
     std::string type;
-    if (!parse_string_field(line, "type", type)) {
+    if (!json_parse_string(line, "type", type)) {
       journal_fail(path, line_no, "missing \"type\" in: " + line);
     }
     if (type == "campaign") {
       if (saw_header) journal_fail(path, line_no, "duplicate header");
       saw_header = true;
       std::string fp;
-      if (!parse_string_field(line, "fingerprint", fp) || fp.size() != 16) {
+      if (!json_parse_string(line, "fingerprint", fp) || fp.size() != 16) {
         journal_fail(path, line_no, "bad fingerprint");
       }
       loaded.fingerprint = std::strtoull(fp.c_str(), nullptr, 16);
-      if (!parse_u64_field(line, "trials", loaded.num_trials)) {
+      if (!json_parse_u64(line, "trials", loaded.num_trials)) {
         journal_fail(path, line_no, "missing trial count");
       }
     } else if (type == "trial") {
@@ -425,19 +300,19 @@ CheckpointJournal::Loaded CheckpointJournal::load(const std::string& path) {
         journal_fail(path, line_no, "trial record before campaign header");
       }
       TrialRecord record;
-      if (!parse_u64_field(line, "id", record.trial_id)) {
+      if (!json_parse_u64(line, "id", record.trial_id)) {
         journal_fail(path, line_no, "missing trial id in: " + line);
       }
       std::string status;
-      if (!parse_string_field(line, "status", status)) {
+      if (!json_parse_string(line, "status", status)) {
         journal_fail(path, line_no, "missing status in: " + line);
       }
       record.status = status_from_name(status, path, line_no);
       std::int64_t cut = 0;
-      if (parse_i64_field(line, "cut", cut)) record.cut = cut;
-      parse_double_field(line, "cpu_seconds", record.cpu_seconds);
+      if (json_parse_i64(line, "cut", cut)) record.cut = cut;
+      json_parse_double(line, "cpu_seconds", record.cpu_seconds);
       record.metrics = parse_metrics_fields(line);
-      parse_string_field(line, "error", record.error);
+      json_parse_string(line, "error", record.error);
       if (record.trial_id >= loaded.num_trials) {
         journal_fail(path, line_no,
                      "trial id " + std::to_string(record.trial_id) +

@@ -27,6 +27,21 @@ std::string method_name(Method method) {
   throw std::invalid_argument("method_name: unknown method");
 }
 
+bool method_from_name(const std::string& name, Method& out) {
+  if (name == "kl") out = Method::kKl;
+  else if (name == "sa") out = Method::kSa;
+  else if (name == "ckl") out = Method::kCkl;
+  else if (name == "csa") out = Method::kCsa;
+  else if (name == "fm") out = Method::kFm;
+  else if (name == "cfm") out = Method::kCfm;
+  else if (name == "mlkl") out = Method::kMultilevelKl;
+  else if (name == "greedy") out = Method::kGreedy;
+  else if (name == "spectral") out = Method::kSpectral;
+  else if (name == "random") out = Method::kRandom;
+  else return false;
+  return true;
+}
+
 Bisection run_one_start(const Graph& g, Method method, Rng& rng,
                         const RunConfig& config) {
   // Phase spans for the Chrome-trace export. Flat methods get an

@@ -45,6 +45,11 @@ enum class Method {
 /// Short display name ("KL", "CSA", ...).
 std::string method_name(Method method);
 
+/// Reverse lookup from the scripting name ("kl", "ckl", "mlkl", ... —
+/// the lower-case forms the CLI and the service protocol accept);
+/// false when `name` is unknown.
+bool method_from_name(const std::string& name, Method& out);
+
 /// Shared configuration for a method run.
 struct RunConfig {
   std::uint32_t starts = 2;   ///< independent random starts (paper: 2)

@@ -31,6 +31,12 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "sa.rejects.warm",
     "sa.rejects.cold",
     "deadline.polls",
+    "svc.requests",
+    "svc.rejected",
+    "svc.cache.hits",
+    "svc.cache.misses",
+    "svc.cache.evictions",
+    "svc.coalesced",
 };
 
 constexpr const char* kHistNames[kNumHists] = {

@@ -54,6 +54,15 @@ enum class Counter : std::uint8_t {
   kSaRejectsWarm,         ///< "sa.rejects.warm"
   kSaRejectsCold,         ///< "sa.rejects.cold"
   kDeadlinePolls,         ///< "deadline.polls"
+  // Partition-service counters (svc/scheduler.*); recorded per service
+  // instance, not per trial, and merged into metric reports the same
+  // way.
+  kSvcRequests,           ///< "svc.requests"
+  kSvcRejected,           ///< "svc.rejected" (admission control)
+  kSvcCacheHits,          ///< "svc.cache.hits"
+  kSvcCacheMisses,        ///< "svc.cache.misses"
+  kSvcCacheEvictions,     ///< "svc.cache.evictions"
+  kSvcCoalesced,          ///< "svc.coalesced" (within-batch dedup)
   kCount
 };
 inline constexpr std::size_t kNumCounters =

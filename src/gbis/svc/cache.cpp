@@ -1,0 +1,65 @@
+#include "gbis/svc/cache.hpp"
+
+#include "gbis/svc/fingerprint.hpp"
+
+namespace gbis {
+
+std::size_t SvcCacheKeyHash::operator()(const SvcCacheKey& k) const {
+  Hash64 h;
+  h.add(k.fingerprint);
+  h.add(static_cast<std::uint64_t>(k.method_key));
+  h.add(static_cast<std::uint64_t>(k.budget));
+  h.add(k.seed);
+  h.add(k.deadline_bits);
+  return static_cast<std::size_t>(h.digest());
+}
+
+std::uint64_t SvcResultCache::value_bytes(const SvcCacheValue& value) {
+  // Approximate resident cost: fixed envelope + the variable payloads.
+  return sizeof(Entry) + value.method.size() + value.sides.size();
+}
+
+const SvcCacheValue* SvcResultCache::lookup(const SvcCacheKey& key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+  return &it->second->value;
+}
+
+void SvcResultCache::insert(const SvcCacheKey& key, SvcCacheValue value) {
+  const std::uint64_t bytes = value_bytes(value);
+  if (bytes > max_bytes_) return;  // oversized (or caching disabled)
+  if (const auto it = map_.find(key); it != map_.end()) {
+    // Refresh: deterministic solves make the new value identical, but
+    // keeping the newest write is the least surprising policy.
+    stats_.bytes -= it->second->bytes;
+    it->second->value = std::move(value);
+    it->second->bytes = bytes;
+    stats_.bytes += bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    evict_until_fits();
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(value), bytes});
+  map_.emplace(key, lru_.begin());
+  stats_.bytes += bytes;
+  stats_.entries = map_.size();
+  evict_until_fits();
+}
+
+void SvcResultCache::evict_until_fits() {
+  while (stats_.bytes > max_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    stats_.bytes -= victim.bytes;
+    map_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = map_.size();
+}
+
+}  // namespace gbis

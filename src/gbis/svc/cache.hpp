@@ -1,0 +1,107 @@
+// Bounded LRU result cache for the partition service. Keyed by the
+// full solve identity — (graph fingerprint, method selector, trial
+// budget, seed, deadline bucket) — so a hit is guaranteed to be
+// byte-identical to what a cold solve of the same request would have
+// produced (the service's determinism contract makes every solve a
+// pure function of exactly that tuple).
+//
+// The cache is bounded by an approximate byte budget (entry payloads
+// are dominated by the cached side assignment, one byte per vertex)
+// and evicts least-recently-used entries on insert. Not thread-safe by
+// design: the service scheduler performs all lookups and inserts on
+// the dispatch thread, in request-arrival order, which is what keeps
+// hit/miss/eviction counters — and therefore `stats` responses —
+// deterministic for any worker count.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gbis/graph/graph.hpp"
+
+namespace gbis {
+
+/// Solve identity. `method_key` is the Method enum value, or
+/// SvcCacheKey::kPortfolio for the budgeted "auto" policy.
+/// `deadline_bits` is the bit pattern of the resolved deadline (in
+/// seconds, 0 = unlimited) — deadlines influence outcomes (a trial can
+/// time out), so two requests with different deadlines must never
+/// alias, and exact bits avoid any rounding bucket that could merge a
+/// tiny deadline with "unlimited".
+struct SvcCacheKey {
+  static constexpr std::uint32_t kPortfolio = 0xffffffffu;
+
+  std::uint64_t fingerprint = 0;
+  std::uint32_t method_key = kPortfolio;
+  std::uint32_t budget = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t deadline_bits = 0;
+
+  friend bool operator==(const SvcCacheKey&, const SvcCacheKey&) = default;
+};
+
+/// Hash for SvcCacheKey (usable by the scheduler's within-batch
+/// coalescing map as well as the cache itself).
+struct SvcCacheKeyHash {
+  std::size_t operator()(const SvcCacheKey& key) const;
+};
+
+/// What a completed solve caches: everything a response needs except
+/// the per-request envelope (id, cache disposition).
+struct SvcCacheValue {
+  Weight cut = 0;
+  std::string method;  ///< winning method's display name
+  std::uint32_t trials_ok = 0;
+  std::uint32_t trials_degraded = 0;  ///< failed + timed out + skipped
+  std::vector<std::uint8_t> sides;    ///< winning side assignment
+};
+
+/// Monotone counters, exposed verbatim by the `stats` protocol op.
+struct SvcCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;  ///< current resident entries
+  std::uint64_t bytes = 0;    ///< current approximate payload bytes
+};
+
+/// The LRU map. Lookup promotes to most-recently-used; insert evicts
+/// from the LRU tail until the byte budget holds. A byte budget of 0
+/// disables caching entirely (every lookup misses, inserts drop).
+class SvcResultCache {
+ public:
+  explicit SvcResultCache(std::uint64_t max_bytes) : max_bytes_(max_bytes) {}
+
+  /// Returns the cached value or nullptr; counts a hit or a miss. The
+  /// pointer is valid until the next insert().
+  const SvcCacheValue* lookup(const SvcCacheKey& key);
+
+  /// Inserts (or refreshes) `value` under `key`, then evicts LRU
+  /// entries until the byte budget holds. Oversized single entries are
+  /// admitted alone: a value larger than the whole budget is dropped.
+  void insert(const SvcCacheKey& key, SvcCacheValue value);
+
+  const SvcCacheStats& stats() const { return stats_; }
+  std::uint64_t max_bytes() const { return max_bytes_; }
+
+ private:
+  struct Entry {
+    SvcCacheKey key;
+    SvcCacheValue value;
+    std::uint64_t bytes = 0;
+  };
+
+  static std::uint64_t value_bytes(const SvcCacheValue& value);
+  void evict_until_fits();
+
+  std::uint64_t max_bytes_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<SvcCacheKey, std::list<Entry>::iterator,
+                     SvcCacheKeyHash> map_;
+  SvcCacheStats stats_;
+};
+
+}  // namespace gbis

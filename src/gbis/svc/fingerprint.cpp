@@ -1,0 +1,27 @@
+#include "gbis/svc/fingerprint.hpp"
+
+namespace gbis {
+
+void hash_graph(Hash64& h, const Graph& g) {
+  h.add(static_cast<std::uint64_t>(g.num_vertices()));
+  h.add(g.num_edges());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    h.add(static_cast<std::uint64_t>(g.vertex_weight(v)));
+    const auto neighbors = g.neighbors(v);
+    const auto weights = g.edge_weights(v);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      if (neighbors[i] <= v) continue;
+      h.add(static_cast<std::uint64_t>(v));
+      h.add(static_cast<std::uint64_t>(neighbors[i]));
+      h.add(static_cast<std::uint64_t>(weights[i]));
+    }
+  }
+}
+
+std::uint64_t graph_fingerprint(const Graph& g) {
+  Hash64 h;
+  hash_graph(h, g);
+  return h.digest();
+}
+
+}  // namespace gbis

@@ -1,0 +1,54 @@
+// Canonical 64-bit content fingerprints, shared by the service result
+// cache and the campaign checkpoint journal.
+//
+// Hash64 is a SplitMix64-style order-sensitive accumulator (the exact
+// scheme the checkpoint fingerprint has used since PR 2 — extracting
+// it here did not change a single journal fingerprint; test_svc pins a
+// golden value to prove it). graph_fingerprint(g) hashes the vertex
+// count, edge count, vertex weights, and every undirected (u, v, w)
+// edge straight off the CSR.
+//
+// Stability contract: the Graph invariants (sorted adjacency, merged
+// parallel edges) make the CSR a canonical form of the *labeled*
+// graph, so the fingerprint is independent of edge insertion order,
+// input file format, and builder history. It is NOT isomorphism-
+// invariant: relabeling vertices changes the fingerprint, which is the
+// right identity for a result cache whose cached side assignments are
+// label-addressed.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "gbis/graph/graph.hpp"
+
+namespace gbis {
+
+/// SplitMix64-style accumulator: order-sensitive, avalanching.
+class Hash64 {
+ public:
+  void add(std::uint64_t value) {
+    std::uint64_t z = (state_ += value + 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    state_ = z ^ (z >> 31);
+  }
+  void add(double value) { add(std::bit_cast<std::uint64_t>(value)); }
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0x6274697367626973ULL;  // arbitrary non-zero
+};
+
+/// Folds g's full content into h: vertex count, edge count, vertex
+/// weights in vertex order, then every (u, v, w) with u < v in CSR
+/// order. Byte-for-byte the per-graph sequence campaign_fingerprint
+/// has always hashed.
+void hash_graph(Hash64& h, const Graph& g);
+
+/// Canonical fingerprint of one graph (a fresh Hash64 over
+/// hash_graph). Stable across edge insertion order and file format;
+/// label-sensitive by design (see the header comment).
+std::uint64_t graph_fingerprint(const Graph& g);
+
+}  // namespace gbis

@@ -1,0 +1,101 @@
+#include "gbis/svc/policy.hpp"
+
+#include <array>
+#include <limits>
+
+#include "gbis/harness/timer.hpp"
+#include "gbis/rng/splitmix.hpp"
+#include "gbis/util/deadline.hpp"
+
+namespace gbis {
+
+namespace {
+
+constexpr std::array<Method, 5> kPortfolio = {
+    Method::kCkl, Method::kCsa, Method::kKl, Method::kSa,
+    Method::kMultilevelKl};
+
+}  // namespace
+
+std::span<const Method> policy_portfolio() { return kPortfolio; }
+
+PolicyResult run_policy(const Graph& g, const PolicySpec& spec,
+                        std::uint64_t seed, const RunConfig& base,
+                        bool keep_sides, const std::atomic<bool>* stop) {
+  PolicyResult result;
+  if (spec.budget == 0) return result;  // all-skipped, status kSkipped
+
+  // One deadline for the whole request, shared by every trial.
+  const Deadline deadline = spec.deadline_seconds > 0
+                                ? Deadline::after(spec.deadline_seconds)
+                                : Deadline();
+  RunConfig config = base;
+  config.obs = ObsOptions{};  // the service keeps its own counters
+  config.metrics = nullptr;
+  config.kl.metrics = nullptr;
+  config.sa.metrics = nullptr;
+  config.fm.metrics = nullptr;
+  config.compaction.metrics = nullptr;
+  config.multilevel.metrics = nullptr;
+  config.kl.deadline = deadline;
+  config.sa.deadline = deadline;
+  config.fm.deadline = deadline;
+
+  result.best_cut = std::numeric_limits<Weight>::max();
+  for (std::uint32_t i = 0; i < spec.budget; ++i) {
+    const Method method =
+        spec.portfolio ? kPortfolio[i % kPortfolio.size()] : spec.method;
+    if (stop != nullptr && stop->load(std::memory_order_acquire)) {
+      ++result.skipped;
+      continue;
+    }
+    if (deadline.expired()) {
+      // Budget the request can no longer spend: count the remaining
+      // trials timed out without paying for their generation phases.
+      ++result.timed_out;
+      if (result.first_error.empty()) {
+        result.first_error = "deadline exceeded";
+      }
+      continue;
+    }
+    const CpuTimer timer;
+    try {
+      Rng rng(splitmix64_at(seed, i));
+      const Bisection b = run_one_start(g, method, rng, config);
+      if (b.cut() < result.best_cut) {
+        result.best_cut = b.cut();
+        result.best_method = method;
+        if (keep_sides) {
+          result.best_sides.assign(b.sides().begin(), b.sides().end());
+        }
+      }
+      ++result.ok;
+    } catch (const DeadlineExceeded& error) {
+      ++result.timed_out;
+      if (result.first_error.empty()) result.first_error = error.what();
+    } catch (const std::exception& error) {
+      ++result.failed;
+      if (result.first_error.empty()) result.first_error = error.what();
+    } catch (...) {
+      ++result.failed;
+      if (result.first_error.empty()) result.first_error = "unknown exception";
+    }
+    result.cpu_seconds += timer.elapsed_seconds();
+  }
+
+  if (result.ok > 0) {
+    result.status = TrialStatus::kOk;
+  } else {
+    result.best_cut = 0;  // no valid cut; callers must consult status
+    if (result.failed > 0) {
+      result.status = TrialStatus::kFailed;
+    } else if (result.timed_out > 0) {
+      result.status = TrialStatus::kTimedOut;
+    } else {
+      result.status = TrialStatus::kSkipped;
+    }
+  }
+  return result;
+}
+
+}  // namespace gbis

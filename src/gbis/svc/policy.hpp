@@ -1,0 +1,72 @@
+// Budgeted solver policy for the partition service: race a portfolio
+// of heuristics — CKL, CSA, KL, SA, multilevel-KL — under a trial
+// budget and an optional request-wide deadline, and return the best
+// cut found so far when either runs out.
+//
+// Why a portfolio: heuristic cut quality is a *distribution* over
+// random starts (Schreiber & Martin, PAPERS.md), so a fixed budget is
+// best spent on diverse starts; and which heuristic wins is
+// graph-class dependent (Berry & Goldberg), so the race covers the
+// classes instead of betting on one. Dispatch order puts CKL first —
+// the paper's best quality-per-second method — so budget=1 degrades to
+// exactly `gbis solve <g> ckl` with one start.
+//
+// Determinism: trial i of a request draws from an Rng seeded with
+// splitmix64_at(request seed, i) — the parallel-runner scheme — and
+// trials run *serially inside* the request (cross-request parallelism
+// belongs to the service scheduler, whose pool jobs must not nest).
+// With no deadline the result is a pure function of (graph, spec,
+// seed); with one, completed trials still produce identical cuts but
+// *which* trials complete is honest wall-clock data, exactly like
+// campaign trial deadlines.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gbis/harness/parallel_runner.hpp"
+#include "gbis/harness/runner.hpp"
+
+namespace gbis {
+
+/// What to run for one request.
+struct PolicySpec {
+  bool portfolio = true;         ///< true: race the portfolio ("auto")
+  Method method = Method::kCkl;  ///< used when portfolio is false
+  std::uint32_t budget = 2;      ///< total trials to spend
+  /// Request-wide wall-clock budget in seconds; 0 = unlimited. One
+  /// Deadline is armed for the whole request: trials still queued when
+  /// it expires are marked timed out without running, and the trial in
+  /// flight is interrupted at its next cooperative poll.
+  double deadline_seconds = 0;
+};
+
+/// The racing order of the "auto" portfolio (trial i runs method
+/// i mod size, start i / size).
+std::span<const Method> policy_portfolio();
+
+/// What the policy produced. `status` follows the campaign cell
+/// convention: kOk when any trial finished, else the dominant failure.
+struct PolicyResult {
+  TrialStatus status = TrialStatus::kSkipped;
+  Weight best_cut = 0;             ///< valid only when status == kOk
+  Method best_method = Method::kCkl;  ///< method of the winning trial
+  std::uint32_t ok = 0, failed = 0, timed_out = 0, skipped = 0;
+  double cpu_seconds = 0;   ///< summed over executed trials
+  std::string first_error;  ///< first failure/timeout text, trial order
+  std::vector<std::uint8_t> best_sides;  ///< filled when keep_sides
+};
+
+/// Runs the policy. `base` supplies the solver knobs (KlOptions etc.);
+/// its obs block is ignored — the service keeps its own counters.
+/// `stop` (optional) drains remaining trials as skipped, the graceful-
+/// shutdown path. Never throws on trial failure; failures are data.
+PolicyResult run_policy(const Graph& g, const PolicySpec& spec,
+                        std::uint64_t seed, const RunConfig& base = {},
+                        bool keep_sides = false,
+                        const std::atomic<bool>* stop = nullptr);
+
+}  // namespace gbis

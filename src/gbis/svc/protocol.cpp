@@ -1,0 +1,104 @@
+#include "gbis/svc/protocol.hpp"
+
+#include "gbis/util/json_lite.hpp"
+
+namespace gbis {
+
+bool parse_request(const std::string& line, SvcRequest& out,
+                   std::string& error) {
+  out = SvcRequest{};
+  json_parse_string(line, "id", out.id);  // best-effort, for correlation
+  if (line.empty() || line.find_first_not_of(" \t") == std::string::npos) {
+    error = "parse: empty request";
+    return false;
+  }
+  if (line[line.find_first_not_of(" \t")] != '{') {
+    error = "parse: request is not a JSON object";
+    return false;
+  }
+  std::string op;
+  if (json_parse_string(line, "op", op)) {
+    if (op == "solve") {
+      out.op = SvcRequest::Op::kSolve;
+    } else if (op == "ping") {
+      out.op = SvcRequest::Op::kPing;
+    } else if (op == "stats") {
+      out.op = SvcRequest::Op::kStats;
+    } else {
+      error = "parse: unknown op \"" + op + "\"";
+      return false;
+    }
+  }
+  if (out.op != SvcRequest::Op::kSolve) return true;
+
+  json_parse_string(line, "path", out.path);
+  json_parse_string(line, "inline", out.inline_graph);
+  if (out.path.empty() == out.inline_graph.empty()) {
+    error = out.path.empty()
+                ? "parse: solve needs a graph payload (\"path\" or \"inline\")"
+                : "parse: \"path\" and \"inline\" are mutually exclusive";
+    return false;
+  }
+  json_parse_string(line, "method", out.method);
+  if (out.method.empty()) {
+    error = "parse: empty method";
+    return false;
+  }
+  std::uint64_t budget = 0;
+  if (json_parse_u64(line, "budget", budget)) {
+    out.budget = static_cast<std::uint32_t>(budget);
+    if (budget == 0 || budget != out.budget) {
+      error = "parse: budget out of range";
+      return false;
+    }
+  }
+  double deadline = 0;
+  if (json_parse_double(line, "deadline_s", deadline)) {
+    if (!(deadline >= 0)) {  // rejects negatives and NaN
+      error = "parse: deadline_s must be >= 0";
+      return false;
+    }
+    out.deadline_seconds = deadline;
+  }
+  out.has_seed = json_parse_u64(line, "seed", out.seed);
+  json_parse_bool(line, "want_sides", out.want_sides);
+  return true;
+}
+
+std::string encode_response(const SvcResponse& response) {
+  std::string line = "{\"id\":";
+  append_json_string(line, response.id);
+  line += response.ok ? ",\"ok\":true" : ",\"ok\":false";
+  if (!response.op.empty()) {
+    line += ",\"op\":";
+    append_json_string(line, response.op);
+  }
+  if (response.has_solve && response.ok) {
+    line += ",\"cut\":" + std::to_string(response.cut);
+    line += ",\"method\":";
+    append_json_string(line, response.method);
+    line += ",\"trials_ok\":" + std::to_string(response.trials_ok);
+    line += ",\"degraded\":" + std::to_string(response.degraded);
+    line += ",\"fingerprint\":\"" + to_hex16(response.fingerprint) + "\"";
+  }
+  for (const auto& [key, value] : response.stats) {
+    line += ",\"" + key + "\":" + std::to_string(value);
+  }
+  if (!response.cache.empty()) {
+    line += ",\"cache\":";
+    append_json_string(line, response.cache);
+  }
+  // Free-form strings last (flat-scanner convention).
+  if (!response.sides.empty()) {
+    line += ",\"sides\":";
+    append_json_string(line, response.sides);
+  }
+  if (!response.ok) {
+    line += ",\"error\":";
+    append_json_string(line, response.error);
+  }
+  line += "}";
+  return line;
+}
+
+}  // namespace gbis

@@ -1,0 +1,81 @@
+// The service wire protocol: newline-delimited JSON, one flat object
+// per line, requests in and responses out (docs/SERVICE.md is the
+// schema reference). Parsing uses the shared flat-field scanner
+// (util/json_lite) — the same contract as the checkpoint journal, so
+// producers must emit free-form string payloads (inline graphs, error
+// text) with proper JSON escaping.
+//
+// Request (all fields optional except the graph payload for solve):
+//   {"id":"r1","op":"solve","path":"g.graph","method":"auto",
+//    "budget":4,"deadline_s":0.5,"seed":7,"want_sides":true}
+//   {"op":"solve","inline":"2 1\n0 1\n","method":"kl"}
+//   {"id":"p","op":"ping"}      {"id":"s","op":"stats"}
+//
+// Response: `"ok":true` carries the solve payload (or the ping/stats
+// echo); `"ok":false` carries `"error"` with a stable reason prefix —
+// "parse:", "io:", "rejected:", "deadline", "shutdown", "internal:".
+// Responses deliberately contain no timing fields: a response stream
+// is a pure function of the request stream (plus the service seed), so
+// replays are byte-identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gbis/graph/graph.hpp"
+
+namespace gbis {
+
+/// One parsed request line.
+struct SvcRequest {
+  enum class Op : std::uint8_t { kSolve = 0, kPing, kStats };
+
+  std::string id;       ///< echoed verbatim in the response; may be ""
+  Op op = Op::kSolve;
+  std::string path;          ///< graph file payload (edge-list / .metis)
+  std::string inline_graph;  ///< inline edge-list payload
+  std::string method = "auto";  ///< "auto" or a method_from_name() name
+  std::uint32_t budget = 0;     ///< trials; 0 = service default
+  double deadline_seconds = -1;  ///< request deadline; < 0 = default
+  std::uint64_t seed = 0;
+  bool has_seed = false;  ///< absent seed falls back to the service seed
+  bool want_sides = false;  ///< include the side assignment in the reply
+};
+
+/// Parses one request line. On failure returns false and sets `error`
+/// to a "parse: ..." reason (the caller wraps it in an error response);
+/// `out.id` is still recovered when present so the error can be
+/// correlated.
+bool parse_request(const std::string& line, SvcRequest& out,
+                   std::string& error);
+
+/// One response line, pre-encoding. Exactly one of the payload blocks
+/// is active: solve (has_solve), stats (non-empty stats), or the bare
+/// ping/err envelope.
+struct SvcResponse {
+  std::string id;
+  bool ok = false;
+  std::string op;     ///< echoed for ping/stats; "" for solve
+  std::string cache;  ///< "hit" | "miss" | "coalesced" | "" (non-solve)
+  std::string error;  ///< set iff !ok
+
+  bool has_solve = false;
+  Weight cut = 0;
+  std::string method;  ///< winning method display name
+  std::uint32_t trials_ok = 0;
+  std::uint32_t degraded = 0;  ///< failed + timed out + skipped trials
+  std::uint64_t fingerprint = 0;
+  std::string sides;  ///< "0"/"1" per vertex; only when requested
+
+  /// Ordered key/value payload of a stats response.
+  std::vector<std::pair<std::string, std::uint64_t>> stats;
+};
+
+/// Encodes one response line (no trailing newline). Field order is
+/// fixed and free-form strings come last, keeping the output friendly
+/// to the same flat scanner that reads requests.
+std::string encode_response(const SvcResponse& response);
+
+}  // namespace gbis

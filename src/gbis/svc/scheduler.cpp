@@ -1,0 +1,345 @@
+#include "gbis/svc/scheduler.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "gbis/io/edge_list.hpp"
+#include "gbis/io/metis.hpp"
+#include "gbis/svc/fingerprint.hpp"
+
+namespace gbis {
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Same stderr shape as the other GBIS_* knobs: name the variable and
+// the rejected text, then keep the default.
+void warn_rejected(const char* var, const char* text) {
+  std::cerr << "gbis: ignoring malformed " << var << "=\"" << text
+            << "\" (keeping default)\n";
+}
+
+}  // namespace
+
+SvcOptions svc_options_from_env(SvcOptions base) {
+  if (const char* v = std::getenv("GBIS_SVC_CACHE_MB"); v != nullptr) {
+    char* end = nullptr;
+    const unsigned long long mb = std::strtoull(v, &end, 10);
+    if (*v == '\0' || end == nullptr || *end != '\0') {
+      warn_rejected("GBIS_SVC_CACHE_MB", v);
+    } else {
+      base.cache_bytes = static_cast<std::uint64_t>(mb) << 20;
+    }
+  }
+  return base;
+}
+
+/// One queued request: everything phase 1 resolves (graph, solve
+/// identity, cache disposition) plus the response under construction.
+struct Service::Pending {
+  SvcRequest request;
+  SvcResponse response;
+  bool done = false;  ///< response fully materialized before phase 2
+
+  // Solve identity (valid once `has_key`).
+  SvcCacheKey key;
+  bool has_key = false;
+  PolicySpec spec;
+  std::uint64_t seed = 0;
+
+  Graph graph;            ///< loaded payload; kept only for cold leaders
+  bool cold = false;      ///< leader of a cold solve
+  std::size_t cold_index = 0;   ///< slot in the batch's cold-job array
+  bool coalesced = false;       ///< follower of a same-batch leader
+  std::size_t leader_cold_index = 0;
+};
+
+Service::~Service() = default;
+
+Service::Service(SvcOptions options)
+    : options_(options),
+      pool_(ThreadPool::resolve_threads(options.threads)),
+      cache_(options.cache_bytes) {
+  if (options_.batch_size == 0) options_.batch_size = 1;
+  if (options_.max_queue == 0) options_.max_queue = 1;
+  if (options_.default_budget == 0) options_.default_budget = 1;
+}
+
+void Service::submit_line(const std::string& line,
+                          std::vector<std::string>& out) {
+  ++metrics_.counters[static_cast<std::size_t>(Counter::kSvcRequests)];
+  auto entry = std::make_unique<Pending>();
+  std::string error;
+  if (!parse_request(line, entry->request, error)) {
+    entry->response.id = entry->request.id;
+    entry->response.ok = false;
+    entry->response.error = error;
+    entry->done = true;
+  }
+  if (queue_.size() >= options_.max_queue) {
+    // Nowhere to hold it: this is the one response that jumps the
+    // arrival-order queue (and the rejection itself is deterministic —
+    // queue depth is a pure function of the submit/process call
+    // sequence).
+    ++metrics_.counters[static_cast<std::size_t>(Counter::kSvcRejected)];
+    SvcResponse rejected;
+    rejected.id = entry->request.id;
+    rejected.ok = false;
+    rejected.error = "rejected: queue full (" + std::to_string(queue_.size()) +
+                     " queued, max " + std::to_string(options_.max_queue) +
+                     ")";
+    out.push_back(encode_response(rejected));
+    return;
+  }
+  queue_.push_back(std::move(entry));
+}
+
+void Service::prepare(
+    Pending& entry, std::size_t queue_index,
+    std::unordered_map<SvcCacheKey, std::size_t, SvcCacheKeyHash>& leaders,
+    std::vector<std::size_t>& cold_queue_index) {
+  const SvcRequest& req = entry.request;
+  entry.response.id = req.id;
+
+  // Resolve the solve identity: method selector, budget, deadline,
+  // seed. Unknown method names are protocol errors, not solve failures.
+  entry.spec.portfolio = req.method == "auto";
+  if (!entry.spec.portfolio &&
+      !method_from_name(req.method, entry.spec.method)) {
+    entry.response.ok = false;
+    entry.response.error = "parse: unknown method \"" + req.method + "\"";
+    entry.done = true;
+    return;
+  }
+  entry.spec.budget = req.budget != 0 ? req.budget : options_.default_budget;
+  entry.spec.deadline_seconds = req.deadline_seconds >= 0
+                                    ? req.deadline_seconds
+                                    : options_.default_deadline_seconds;
+  entry.seed = req.has_seed ? req.seed : options_.default_seed;
+
+  // Load the graph payload. Path errors are I/O; inline payloads that
+  // fail to parse are protocol errors.
+  try {
+    if (!req.path.empty()) {
+      entry.graph = ends_with(req.path, ".metis")
+                        ? read_metis_file(req.path)
+                        : read_edge_list_file(req.path);
+    } else {
+      std::istringstream in(req.inline_graph);
+      entry.graph = read_edge_list(in);
+    }
+  } catch (const std::exception& error) {
+    entry.response.ok = false;
+    entry.response.error =
+        (req.path.empty() ? std::string("parse: inline graph: ")
+                          : std::string("io: ")) +
+        error.what();
+    entry.done = true;
+    return;
+  }
+
+  entry.key.fingerprint = graph_fingerprint(entry.graph);
+  entry.key.method_key =
+      entry.spec.portfolio
+          ? SvcCacheKey::kPortfolio
+          : static_cast<std::uint32_t>(entry.spec.method);
+  entry.key.budget = entry.spec.budget;
+  entry.key.seed = entry.seed;
+  entry.key.deadline_bits = std::bit_cast<std::uint64_t>(
+      entry.spec.deadline_seconds);
+  entry.has_key = true;
+  entry.response.fingerprint = entry.key.fingerprint;
+
+  // Cache lookup and within-batch coalescing, on the dispatch thread in
+  // arrival order — the hit/miss/coalesce disposition of every request
+  // is decided before any solve runs.
+  if (const SvcCacheValue* value = cache_.lookup(entry.key)) {
+    // Materialize now: the pointer dies at the next insert.
+    entry.response.ok = true;
+    entry.response.cache = "hit";
+    fill_from_value(entry.response, *value, req.want_sides);
+    entry.done = true;
+    return;
+  }
+  if (const auto it = leaders.find(entry.key); it != leaders.end()) {
+    ++metrics_.counters[static_cast<std::size_t>(Counter::kSvcCoalesced)];
+    entry.coalesced = true;
+    entry.leader_cold_index = it->second;
+    entry.graph = Graph();  // the leader's copy is the one that solves
+    return;
+  }
+  entry.cold = true;
+  entry.cold_index = cold_queue_index.size();
+  leaders.emplace(entry.key, entry.cold_index);
+  cold_queue_index.push_back(queue_index);
+}
+
+void Service::fill_from_value(SvcResponse& response,
+                              const SvcCacheValue& value, bool want_sides) {
+  response.has_solve = true;
+  response.cut = value.cut;
+  response.method = value.method;
+  response.trials_ok = value.trials_ok;
+  response.degraded = value.trials_degraded;
+  if (want_sides) {
+    response.sides.reserve(value.sides.size());
+    for (const std::uint8_t side : value.sides) {
+      response.sides.push_back(side != 0 ? '1' : '0');
+    }
+  }
+}
+
+void Service::finalize_solve(Pending& entry, const PolicyResult& result) {
+  SvcResponse& response = entry.response;
+  switch (result.status) {
+    case TrialStatus::kOk: {
+      SvcCacheValue value;
+      value.cut = result.best_cut;
+      value.method = method_name(result.best_method);
+      value.trials_ok = result.ok;
+      value.trials_degraded = result.failed + result.timed_out + result.skipped;
+      value.sides = result.best_sides;
+      response.ok = true;
+      fill_from_value(response, value, entry.request.want_sides);
+      if (entry.cold) cache_.insert(entry.key, std::move(value));
+      break;
+    }
+    case TrialStatus::kTimedOut:
+      response.ok = false;
+      response.error = "deadline exceeded before any trial completed";
+      break;
+    case TrialStatus::kFailed:
+      response.ok = false;
+      response.error = "internal: " + result.first_error;
+      break;
+    case TrialStatus::kSkipped:
+      response.ok = false;
+      response.error = "shutdown: request drained before any trial ran";
+      break;
+  }
+}
+
+void Service::fill_stats(SvcResponse& response) const {
+  const SvcCacheStats& cache = cache_.stats();
+  const auto counter = [this](Counter c) {
+    return metrics_.counters[static_cast<std::size_t>(c)];
+  };
+  response.stats = {
+      {"requests", counter(Counter::kSvcRequests)},
+      {"rejected", counter(Counter::kSvcRejected)},
+      {"coalesced", counter(Counter::kSvcCoalesced)},
+      {"cache_hits", cache.hits},
+      {"cache_misses", cache.misses},
+      {"cache_evictions", cache.evictions},
+      {"cache_entries", cache.entries},
+      {"cache_bytes", cache.bytes},
+      {"cache_max_bytes", cache_.max_bytes()},
+  };
+}
+
+void Service::process_batch(std::vector<std::string>& out,
+                            const std::atomic<bool>* stop) {
+  if (queue_.empty()) return;
+  const bool stopping =
+      stop != nullptr && stop->load(std::memory_order_acquire);
+
+  // Phase 1 (dispatch thread, arrival order): parse results are already
+  // in; resolve identities, load graphs, decide hit/coalesce/cold.
+  std::unordered_map<SvcCacheKey, std::size_t, SvcCacheKeyHash> leaders;
+  std::vector<std::size_t> cold_queue_index;  // queue slots of cold leaders
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    Pending& entry = *queue_[i];
+    if (entry.done) continue;
+    if (entry.request.op != SvcRequest::Op::kSolve) continue;
+    if (stopping) {
+      entry.response.id = entry.request.id;
+      entry.response.ok = false;
+      entry.response.error = "shutdown: request drained before any trial ran";
+      entry.done = true;
+      continue;
+    }
+    prepare(entry, i, leaders, cold_queue_index);
+  }
+
+  // Phase 2 (worker pool): run the cold solves, one pool job each —
+  // cross-request parallelism; trials inside a request stay serial
+  // (svc/policy). Workers touch only their own slots.
+  std::vector<PolicyResult> results(cold_queue_index.size());
+  if (!cold_queue_index.empty()) {
+    const auto outcomes = pool_.parallel_for_collect(
+        cold_queue_index.size(),
+        [&](std::size_t j) {
+          Pending& entry = *queue_[cold_queue_index[j]];
+          results[j] = run_policy(entry.graph, entry.spec, entry.seed,
+                                  options_.run, /*keep_sides=*/true, stop);
+        },
+        stop);
+    for (std::size_t j = 0; j < outcomes.size(); ++j) {
+      if (outcomes[j].state == JobState::kDone) continue;
+      // kNotRun (drained) stays kSkipped; a thrown job becomes kFailed.
+      results[j] = PolicyResult{};
+      if (outcomes[j].state == JobState::kError) {
+        results[j].status = TrialStatus::kFailed;
+        try {
+          std::rethrow_exception(outcomes[j].error);
+        } catch (const std::exception& error) {
+          results[j].first_error = error.what();
+        } catch (...) {
+          results[j].first_error = "unknown exception";
+        }
+      }
+    }
+  }
+
+  // Phase 3 (dispatch thread, arrival order): cache inserts, follower
+  // copies, ping/stats payloads, and the response stream itself.
+  for (auto& entry_ptr : queue_) {
+    Pending& entry = *entry_ptr;
+    if (!entry.done) {
+      if (entry.request.op == SvcRequest::Op::kPing) {
+        entry.response.id = entry.request.id;
+        entry.response.ok = true;
+        entry.response.op = "ping";
+      } else if (entry.request.op == SvcRequest::Op::kStats) {
+        entry.response.id = entry.request.id;
+        entry.response.ok = true;
+        entry.response.op = "stats";
+        fill_stats(entry.response);
+      } else if (entry.cold) {
+        entry.response.cache = "miss";
+        finalize_solve(entry, results[entry.cold_index]);
+      } else if (entry.coalesced) {
+        entry.response.cache = "coalesced";
+        finalize_solve(entry, results[entry.leader_cold_index]);
+      }
+    }
+    out.push_back(encode_response(entry.response));
+  }
+  queue_.clear();
+
+  // Mirror the cache's own monotone counters into the obs catalog
+  // (absolute assignment: both sides count service lifetime).
+  const SvcCacheStats& cache = cache_.stats();
+  metrics_.counters[static_cast<std::size_t>(Counter::kSvcCacheHits)] =
+      cache.hits;
+  metrics_.counters[static_cast<std::size_t>(Counter::kSvcCacheMisses)] =
+      cache.misses;
+  metrics_.counters[static_cast<std::size_t>(Counter::kSvcCacheEvictions)] =
+      cache.evictions;
+}
+
+void Service::drain(std::vector<std::string>& out,
+                    const std::atomic<bool>* stop) {
+  while (!queue_.empty()) process_batch(out, stop);
+}
+
+}  // namespace gbis

@@ -1,0 +1,121 @@
+// The partition service scheduler: an embeddable front end that turns
+// NDJSON request lines (svc/protocol) into solved bisections, batching
+// admitted requests onto the harness ThreadPool and answering repeats
+// from the LRU result cache (svc/cache).
+//
+// Determinism contract — the whole point of the design:
+//   * Responses are emitted in request-arrival order (the single
+//     exception is a queue-full rejection, which is produced at submit
+//     time because a full queue has nowhere to hold it).
+//   * All cache lookups, cache inserts, and counter updates happen on
+//     the dispatching thread, in arrival order; the worker pool only
+//     ever runs the solve bodies. Combined with the per-request seeding
+//     scheme (svc/policy), the response byte stream is a pure function
+//     of the request byte stream plus the service options, for ANY
+//     worker count — `gbis serve --replay` asserts exactly this.
+//   * Duplicate solve keys inside one batch coalesce onto the first
+//     occurrence (the leader); followers answer "cache":"coalesced"
+//     without spending budget.
+//
+// The service is single-driver: one thread calls submit_line /
+// process_batch / drain (the CLI serve loop, or a test). It is not a
+// socket server on purpose — stdin/stdout framing keeps it trivially
+// embeddable and testable; callers who need transport put one in front.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gbis/harness/runner.hpp"
+#include "gbis/harness/thread_pool.hpp"
+#include "gbis/obs/metrics.hpp"
+#include "gbis/svc/cache.hpp"
+#include "gbis/svc/policy.hpp"
+#include "gbis/svc/protocol.hpp"
+
+namespace gbis {
+
+/// Service configuration. Defaults suit the CLI; tests shrink them.
+struct SvcOptions {
+  /// Admitted requests dispatched per process_batch call. The serve
+  /// loop flushes whenever this many are queued (and at EOF), so it is
+  /// also the coalescing window. 1 = fully interactive, no batching.
+  std::size_t batch_size = 16;
+  /// Admission bound: submit_line rejects ("rejected: queue full")
+  /// once this many requests are queued and unprocessed.
+  std::size_t max_queue = 256;
+  /// Result-cache byte budget; 0 disables caching.
+  std::uint64_t cache_bytes = 64ull << 20;
+  /// Trials per solve when the request does not say ("budget":0/absent).
+  std::uint32_t default_budget = 2;
+  /// Request deadline in seconds when the request does not say; 0 =
+  /// unlimited.
+  double default_deadline_seconds = 0;
+  /// Seed for requests without one. Part of the solve identity.
+  std::uint64_t default_seed = 42;
+  /// Worker threads for cross-request parallelism; 0 = hardware.
+  unsigned threads = 0;
+  /// Solver knobs shared by every request (KlOptions etc.). The obs
+  /// block and metric sinks are ignored — the service keeps its own.
+  RunConfig run;
+};
+
+/// Overlays GBIS_SVC_CACHE_MB (whole mebibytes; 0 disables the cache)
+/// onto `base`. Malformed values warn on stderr and keep the default,
+/// matching every other GBIS_* knob.
+SvcOptions svc_options_from_env(SvcOptions base);
+
+/// The service. See the file comment for the determinism contract.
+class Service {
+ public:
+  explicit Service(SvcOptions options);
+  ~Service();  // out-of-line: Pending is an implementation detail
+
+  /// Feeds one request line. Responses that become ready — which is
+  /// only a queue-full rejection here; everything else waits for a
+  /// batch — are appended to `out` as encoded lines without trailing
+  /// newlines. Call process_batch once pending() reaches batch_size.
+  void submit_line(const std::string& line, std::vector<std::string>& out);
+
+  /// Dispatches every queued request and appends their responses to
+  /// `out` in arrival order. When `stop` is non-null and set, queued
+  /// solves drain as "shutdown" errors instead of running (in-flight
+  /// pool jobs still finish) — the kill-mid-replay path.
+  void process_batch(std::vector<std::string>& out,
+                     const std::atomic<bool>* stop = nullptr);
+
+  /// Flushes everything still queued (EOF / shutdown).
+  void drain(std::vector<std::string>& out,
+             const std::atomic<bool>* stop = nullptr);
+
+  std::size_t pending() const { return queue_.size(); }
+  const SvcOptions& options() const { return options_; }
+  const SvcCacheStats& cache_stats() const { return cache_.stats(); }
+  /// Service-lifetime obs counters (svc.* plus nothing else; solver
+  /// counters stay with the solver runs that own them).
+  const TrialMetrics& metrics() const { return metrics_; }
+
+ private:
+  struct Pending;
+
+  void prepare(Pending& entry, std::size_t queue_index,
+               std::unordered_map<SvcCacheKey, std::size_t, SvcCacheKeyHash>&
+                   leaders,
+               std::vector<std::size_t>& cold_queue_index);
+  void finalize_solve(Pending& entry, const PolicyResult& result);
+  void fill_stats(SvcResponse& response) const;
+  static void fill_from_value(SvcResponse& response, const SvcCacheValue& value,
+                              bool want_sides);
+
+  SvcOptions options_;
+  ThreadPool pool_;
+  SvcResultCache cache_;
+  TrialMetrics metrics_;
+  std::vector<std::unique_ptr<Pending>> queue_;
+};
+
+}  // namespace gbis

@@ -1,0 +1,126 @@
+#include "gbis/util/json_lite.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace gbis {
+
+void append_json_string(std::string& out, const std::string& value) {
+  out += '"';
+  for (const char raw : value) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::size_t json_find_value(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::string::npos;
+  return at + needle.size();
+}
+
+bool json_parse_string(const std::string& line, const std::string& key,
+                       std::string& out) {
+  std::size_t i = json_find_value(line, key);
+  if (i == std::string::npos || i >= line.size() || line[i] != '"') {
+    return false;
+  }
+  ++i;
+  out.clear();
+  while (i < line.size() && line[i] != '"') {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      const char esc = line[i + 1];
+      switch (esc) {
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u':
+          if (i + 5 < line.size()) {
+            out += static_cast<char>(
+                std::strtoul(line.substr(i + 2, 4).c_str(), nullptr, 16));
+            i += 4;
+          }
+          break;
+        default: out += esc;
+      }
+      i += 2;
+    } else {
+      out += line[i++];
+    }
+  }
+  return i < line.size();  // must end on the closing quote
+}
+
+bool json_parse_u64(const std::string& line, const std::string& key,
+                    std::uint64_t& out) {
+  const std::size_t i = json_find_value(line, key);
+  if (i == std::string::npos) return false;
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(line.c_str() + i, &end, 10);
+  if (end == line.c_str() + i) return false;
+  out = value;
+  return true;
+}
+
+bool json_parse_i64(const std::string& line, const std::string& key,
+                    std::int64_t& out) {
+  const std::size_t i = json_find_value(line, key);
+  if (i == std::string::npos) return false;
+  char* end = nullptr;
+  const std::int64_t value = std::strtoll(line.c_str() + i, &end, 10);
+  if (end == line.c_str() + i) return false;
+  out = value;
+  return true;
+}
+
+bool json_parse_double(const std::string& line, const std::string& key,
+                       double& out) {
+  const std::size_t i = json_find_value(line, key);
+  if (i == std::string::npos) return false;
+  char* end = nullptr;
+  const double value = std::strtod(line.c_str() + i, &end);
+  if (end == line.c_str() + i) return false;
+  out = value;
+  return true;
+}
+
+bool json_parse_bool(const std::string& line, const std::string& key,
+                     bool& out) {
+  const std::size_t i = json_find_value(line, key);
+  if (i == std::string::npos) return false;
+  if (line.compare(i, 4, "true") == 0) {
+    out = true;
+    return true;
+  }
+  if (line.compare(i, 5, "false") == 0) {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+std::string to_hex16(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+}  // namespace gbis

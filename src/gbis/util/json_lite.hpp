@@ -1,0 +1,50 @@
+// Minimal flat-JSON helpers shared by every NDJSON surface in gbis —
+// the checkpoint journal (harness/checkpoint.*) and the service
+// protocol (svc/protocol.*). This is deliberately not a JSON library:
+// every producer in this repo emits one flat object per line with
+// known keys, so the consumers scan for `"key":` and parse the value
+// token in place, no DOM, no allocation beyond the output string.
+//
+// Scanner contract (the same one the checkpoint journal has always
+// had): keys are located by their first `"key":` occurrence, so a
+// *string value* containing a properly-escaped key sequence cannot
+// spoof a field (the escaping backslashes break the needle), but
+// consumers should still emit free-form text fields (error messages,
+// payloads) after the scalar fields they scan for.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gbis {
+
+/// Appends `value` as a JSON string literal (quotes included) with
+/// ", \, and control characters escaped.
+void append_json_string(std::string& out, const std::string& value);
+
+/// Finds `"key":` in a flat one-line JSON object and returns the index
+/// of the raw value token, or std::string::npos.
+std::size_t json_find_value(const std::string& line, const std::string& key);
+
+/// Parses a string field; handles \n \r \t \uXXXX and escaped quotes.
+/// Returns false when the key is missing or the value is not a
+/// well-terminated string.
+bool json_parse_string(const std::string& line, const std::string& key,
+                       std::string& out);
+
+/// Scalar field parsers: false when the key is missing or the value
+/// token does not parse. `out` is untouched on failure.
+bool json_parse_u64(const std::string& line, const std::string& key,
+                    std::uint64_t& out);
+bool json_parse_i64(const std::string& line, const std::string& key,
+                    std::int64_t& out);
+bool json_parse_double(const std::string& line, const std::string& key,
+                       double& out);
+/// Accepts the literals `true` / `false` only.
+bool json_parse_bool(const std::string& line, const std::string& key,
+                     bool& out);
+
+/// 16-digit zero-padded lower-case hex (the fingerprint wire format).
+std::string to_hex16(std::uint64_t value);
+
+}  // namespace gbis

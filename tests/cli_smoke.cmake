@@ -69,3 +69,59 @@ execute_process(COMMAND ${GBIS_CLI} --help
 if(NOT code EQUAL 0 OR NOT out MATCHES "exit codes")
   message(FATAL_ERROR "--help exited ${code} or lacks the exit-code table")
 endif()
+if(NOT out MATCHES "serve")
+  message(FATAL_ERROR "--help does not document the serve subcommand")
+endif()
+
+# Partition service: replay a request file and require the response
+# stream to be byte-identical for 1 worker and 8 workers — the
+# service's core determinism contract.
+file(WRITE ${WORK_DIR}/reqs.ndjson
+  "{\"id\":\"r1\",\"op\":\"solve\",\"path\":\"${WORK_DIR}/g.graph\",\"method\":\"auto\",\"budget\":4,\"want_sides\":true}\n"
+  "{\"id\":\"r2\",\"op\":\"solve\",\"path\":\"${WORK_DIR}/g.graph\",\"method\":\"kl\"}\n"
+  "{\"id\":\"r3\",\"op\":\"solve\",\"path\":\"${WORK_DIR}/g.graph\",\"method\":\"auto\",\"budget\":4}\n"
+  "{\"id\":\"p\",\"op\":\"ping\"}\n"
+  "{\"id\":\"bad\",\"op\":\"solve\",\"method\":\"kl\"}\n"
+  "{\"id\":\"s\",\"op\":\"stats\"}\n")
+set(ENV{GBIS_THREADS} 1)
+execute_process(COMMAND ${GBIS_CLI} serve --replay ${WORK_DIR}/reqs.ndjson
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE code OUTPUT_VARIABLE serve1 ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "serve --replay (1 thread) failed (${code}): ${err}")
+endif()
+set(ENV{GBIS_THREADS} 8)
+execute_process(COMMAND ${GBIS_CLI} serve --replay ${WORK_DIR}/reqs.ndjson
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE code OUTPUT_VARIABLE serve8 ERROR_VARIABLE err)
+unset(ENV{GBIS_THREADS})
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "serve --replay (8 threads) failed (${code}): ${err}")
+endif()
+if(NOT serve1 STREQUAL serve8)
+  message(FATAL_ERROR
+    "serve replay is not byte-identical across thread counts:\n"
+    "--- GBIS_THREADS=1 ---\n${serve1}\n--- GBIS_THREADS=8 ---\n${serve8}")
+endif()
+if(NOT serve1 MATCHES "\"id\":\"r1\",\"ok\":true")
+  message(FATAL_ERROR "serve replay did not answer r1 ok: ${serve1}")
+endif()
+if(NOT serve1 MATCHES "\"id\":\"r3\",\"ok\":true.*\"cache\":\"coalesced\"")
+  message(FATAL_ERROR "serve replay did not coalesce r3: ${serve1}")
+endif()
+if(NOT serve1 MATCHES "\"id\":\"bad\",\"ok\":false")
+  message(FATAL_ERROR "serve replay did not reject the bad request: ${serve1}")
+endif()
+
+# Serve failure contract: missing replay file -> 3 (I/O), unknown
+# flag -> 2 (usage).
+execute_process(COMMAND ${GBIS_CLI} serve --replay ${WORK_DIR}/nonexistent.ndjson
+  RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(NOT code EQUAL 3)
+  message(FATAL_ERROR "serve with missing replay file exited ${code}, expected 3")
+endif()
+execute_process(COMMAND ${GBIS_CLI} serve --bogus-flag
+  RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(NOT code EQUAL 2)
+  message(FATAL_ERROR "serve with unknown flag exited ${code}, expected 2")
+endif()

@@ -1,0 +1,527 @@
+// Partition-service suite: graph fingerprinting (shared with the
+// campaign journal — the golden value below pins cross-version journal
+// compatibility), the LRU result cache, the budgeted solver policy,
+// the NDJSON protocol, and the scheduler's determinism contract: the
+// response stream is a pure function of the request stream for any
+// worker count.
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gbis/gen/gnp.hpp"
+#include "gbis/gen/special.hpp"
+#include "gbis/graph/builder.hpp"
+#include "gbis/harness/checkpoint.hpp"
+#include "gbis/io/edge_list.hpp"
+#include "gbis/partition/bisection.hpp"
+#include "gbis/rng/rng.hpp"
+#include "gbis/svc/cache.hpp"
+#include "gbis/svc/fingerprint.hpp"
+#include "gbis/svc/policy.hpp"
+#include "gbis/svc/protocol.hpp"
+#include "gbis/svc/scheduler.hpp"
+#include "gbis/util/json_lite.hpp"
+
+namespace gbis {
+namespace {
+
+std::string inline_payload(const Graph& g) {
+  std::ostringstream out;
+  write_edge_list(out, g);
+  return out.str();
+}
+
+std::string solve_line(const std::string& id, const Graph& g,
+                       const std::string& extra = "") {
+  std::string payload;
+  append_json_string(payload, inline_payload(g));
+  return "{\"id\":\"" + id + "\"" + extra + ",\"op\":\"solve\",\"inline\":" +
+         payload + "}";
+}
+
+// --- Fingerprint -----------------------------------------------------------
+
+// Golden value captured from the pre-refactor checkpoint hash (the
+// same bytes, then private to harness/checkpoint.cpp). If this test
+// breaks, every existing campaign journal stops resuming — change the
+// fingerprint only with a journal-migration story.
+TEST(Fingerprint, CampaignGoldenValueIsStable) {
+  std::vector<Graph> graphs;
+  graphs.push_back(make_grid(4, 4));
+  graphs.push_back(make_ladder(5));
+  const std::vector<Method> methods{Method::kKl, Method::kCkl};
+  RunConfig config;
+  config.starts = 2;
+  const auto trials =
+      enumerate_trial_matrix(graphs.size(), methods, config.starts);
+  EXPECT_EQ(campaign_fingerprint(7, config, trials, graphs),
+            0x308ed261561afa99ull);
+}
+
+TEST(Fingerprint, InsertionOrderInvariant) {
+  GraphBuilder forward(4);
+  forward.add_edge(0, 1);
+  forward.add_edge(1, 2);
+  forward.add_edge(2, 3);
+  GraphBuilder backward(4);
+  backward.add_edge(3, 2);
+  backward.add_edge(2, 1);
+  backward.add_edge(1, 0);
+  EXPECT_EQ(graph_fingerprint(forward.build()),
+            graph_fingerprint(backward.build()));
+}
+
+TEST(Fingerprint, SensitiveToStructureLabelsAndWeights) {
+  const std::uint64_t base = graph_fingerprint(make_grid(3, 3));
+  EXPECT_NE(base, graph_fingerprint(make_grid(3, 4)));
+
+  GraphBuilder path(3);
+  path.add_edge(0, 1);
+  path.add_edge(1, 2);
+  GraphBuilder relabeled(3);  // same shape, different center label
+  relabeled.add_edge(1, 0);
+  relabeled.add_edge(0, 2);
+  EXPECT_NE(graph_fingerprint(path.build()),
+            graph_fingerprint(relabeled.build()));
+
+  GraphBuilder weighted(3);
+  weighted.add_edge(0, 1, 2);
+  weighted.add_edge(1, 2);
+  GraphBuilder unit(3);
+  unit.add_edge(0, 1);
+  unit.add_edge(1, 2);
+  EXPECT_NE(graph_fingerprint(weighted.build()),
+            graph_fingerprint(unit.build()));
+
+  GraphBuilder heavy_vertex(3);
+  heavy_vertex.add_edge(0, 1);
+  heavy_vertex.add_edge(1, 2);
+  heavy_vertex.set_vertex_weight(0, 5);
+  EXPECT_NE(graph_fingerprint(heavy_vertex.build()),
+            graph_fingerprint(unit.build()));
+}
+
+// --- Result cache ----------------------------------------------------------
+
+SvcCacheValue small_value(Weight cut, std::size_t sides_bytes) {
+  SvcCacheValue value;
+  value.cut = cut;
+  value.method = "KL";
+  value.trials_ok = 1;
+  value.sides.assign(sides_bytes, 0);
+  return value;
+}
+
+SvcCacheKey key_of(std::uint64_t fingerprint) {
+  SvcCacheKey key;
+  key.fingerprint = fingerprint;
+  return key;
+}
+
+TEST(SvcCache, HitMissAndPromotion) {
+  SvcResultCache cache(1 << 20);
+  EXPECT_EQ(cache.lookup(key_of(1)), nullptr);
+  cache.insert(key_of(1), small_value(10, 8));
+  const SvcCacheValue* hit = cache.lookup(key_of(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->cut, 10);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(SvcCache, EvictsLeastRecentlyUsed) {
+  // Budget sized to hold exactly two entries of this shape.
+  SvcResultCache probe(1 << 20);
+  probe.insert(key_of(0), small_value(0, 64));
+  const std::uint64_t entry_bytes = probe.stats().bytes;
+
+  SvcResultCache cache(2 * entry_bytes);
+  cache.insert(key_of(1), small_value(1, 64));
+  cache.insert(key_of(2), small_value(2, 64));
+  ASSERT_NE(cache.lookup(key_of(1)), nullptr);  // 1 is now MRU
+  cache.insert(key_of(3), small_value(3, 64));  // evicts 2, the LRU
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_NE(cache.lookup(key_of(1)), nullptr);
+  EXPECT_EQ(cache.lookup(key_of(2)), nullptr);
+  EXPECT_NE(cache.lookup(key_of(3)), nullptr);
+  EXPECT_LE(cache.stats().bytes, 2 * entry_bytes);
+}
+
+TEST(SvcCache, ZeroBudgetDisablesCaching) {
+  SvcResultCache cache(0);
+  cache.insert(key_of(1), small_value(1, 8));
+  EXPECT_EQ(cache.lookup(key_of(1)), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(SvcCache, DistinctIdentityFieldsNeverAlias) {
+  SvcResultCache cache(1 << 20);
+  SvcCacheKey key = key_of(7);
+  cache.insert(key, small_value(1, 8));
+  SvcCacheKey other = key;
+  other.seed = 99;
+  EXPECT_EQ(cache.lookup(other), nullptr);
+  other = key;
+  other.budget = 4;
+  EXPECT_EQ(cache.lookup(other), nullptr);
+  other = key;
+  other.method_key = 0;
+  EXPECT_EQ(cache.lookup(other), nullptr);
+  other = key;
+  other.deadline_bits = 42;
+  EXPECT_EQ(cache.lookup(other), nullptr);
+}
+
+// --- Policy ----------------------------------------------------------------
+
+Graph policy_graph() {
+  Rng rng(11);
+  return make_gnp(64, gnp_p_for_degree(64, 4.0), rng);
+}
+
+TEST(Policy, PortfolioIsDeterministicAndKeepsSides) {
+  const Graph g = policy_graph();
+  PolicySpec spec;
+  spec.budget = 5;
+  const PolicyResult a = run_policy(g, spec, 7, {}, /*keep_sides=*/true);
+  const PolicyResult b = run_policy(g, spec, 7, {}, /*keep_sides=*/true);
+  ASSERT_EQ(a.status, TrialStatus::kOk);
+  EXPECT_EQ(a.ok, 5u);
+  EXPECT_EQ(a.best_cut, b.best_cut);
+  EXPECT_EQ(a.best_method, b.best_method);
+  EXPECT_EQ(a.best_sides, b.best_sides);
+
+  // The reported sides must actually be a bisection with the reported
+  // cut.
+  Bisection check(g, std::vector<std::uint8_t>(a.best_sides));
+  EXPECT_EQ(check.cut(), a.best_cut);
+}
+
+TEST(Policy, BudgetOneIsOneCklStart) {
+  const Graph g = policy_graph();
+  PolicySpec spec;
+  spec.budget = 1;
+  const PolicyResult result = run_policy(g, spec, 7);
+  ASSERT_EQ(result.status, TrialStatus::kOk);
+  EXPECT_EQ(result.best_method, Method::kCkl);
+
+  PolicySpec single;
+  single.portfolio = false;
+  single.method = Method::kCkl;
+  single.budget = 1;
+  EXPECT_EQ(run_policy(g, single, 7).best_cut, result.best_cut);
+}
+
+TEST(Policy, ExpiredDeadlineTimesOutEveryTrial) {
+  const Graph g = policy_graph();
+  PolicySpec spec;
+  spec.budget = 3;
+  spec.deadline_seconds = 1e-9;
+  const PolicyResult result = run_policy(g, spec, 7);
+  EXPECT_EQ(result.status, TrialStatus::kTimedOut);
+  EXPECT_EQ(result.timed_out, 3u);
+  EXPECT_EQ(result.ok, 0u);
+}
+
+TEST(Policy, StopFlagSkipsRemainingTrials) {
+  const Graph g = policy_graph();
+  PolicySpec spec;
+  spec.budget = 4;
+  std::atomic<bool> stop{true};
+  const PolicyResult result = run_policy(g, spec, 7, {}, false, &stop);
+  EXPECT_EQ(result.status, TrialStatus::kSkipped);
+  EXPECT_EQ(result.skipped, 4u);
+}
+
+// --- Protocol --------------------------------------------------------------
+
+TEST(Protocol, ParsesSolveRequest) {
+  SvcRequest request;
+  std::string error;
+  ASSERT_TRUE(parse_request(
+      R"({"id":"r1","op":"solve","path":"g.graph","method":"kl",)"
+      R"("budget":4,"deadline_s":0.5,"seed":9,"want_sides":true})",
+      request, error));
+  EXPECT_EQ(request.id, "r1");
+  EXPECT_EQ(request.op, SvcRequest::Op::kSolve);
+  EXPECT_EQ(request.path, "g.graph");
+  EXPECT_EQ(request.method, "kl");
+  EXPECT_EQ(request.budget, 4u);
+  EXPECT_DOUBLE_EQ(request.deadline_seconds, 0.5);
+  EXPECT_TRUE(request.has_seed);
+  EXPECT_EQ(request.seed, 9u);
+  EXPECT_TRUE(request.want_sides);
+}
+
+TEST(Protocol, RejectsMalformedRequests) {
+  SvcRequest request;
+  std::string error;
+  EXPECT_FALSE(parse_request("", request, error));
+  EXPECT_TRUE(error.starts_with("parse:"));
+  EXPECT_FALSE(parse_request("not json", request, error));
+  EXPECT_FALSE(parse_request(R"({"op":"explode"})", request, error));
+  EXPECT_FALSE(parse_request(R"({"op":"solve"})", request, error));
+  EXPECT_FALSE(
+      parse_request(R"({"op":"solve","path":"a","inline":"b"})", request,
+                    error));
+  EXPECT_FALSE(
+      parse_request(R"({"op":"solve","path":"a","budget":0})", request,
+                    error));
+  EXPECT_FALSE(parse_request(R"({"op":"solve","path":"a","deadline_s":-1})",
+                             request, error));
+  // The id still comes back for correlation.
+  EXPECT_FALSE(
+      parse_request(R"({"id":"bad","op":"explode"})", request, error));
+  EXPECT_EQ(request.id, "bad");
+}
+
+TEST(Protocol, EncodeIsScannableByTheSharedParser) {
+  SvcResponse response;
+  response.id = "weird \"id\"\n";
+  response.ok = true;
+  response.has_solve = true;
+  response.cut = 12;
+  response.method = "CKL";
+  response.trials_ok = 2;
+  response.fingerprint = 0xabcull;
+  response.cache = "hit";
+  const std::string line = encode_response(response);
+  std::string id, cache;
+  std::uint64_t cut = 0;
+  EXPECT_TRUE(json_parse_string(line, "id", id));
+  EXPECT_EQ(id, response.id);
+  EXPECT_TRUE(json_parse_u64(line, "cut", cut));
+  EXPECT_EQ(cut, 12u);
+  EXPECT_TRUE(json_parse_string(line, "cache", cache));
+  EXPECT_EQ(cache, "hit");
+}
+
+// --- Service / scheduler ---------------------------------------------------
+
+SvcOptions test_options(unsigned threads = 1) {
+  SvcOptions options;
+  options.threads = threads;
+  options.batch_size = 4;
+  options.default_budget = 2;
+  return options;
+}
+
+std::vector<std::string> run_sequence(const SvcOptions& options,
+                                      const std::vector<std::string>& lines) {
+  Service service(options);
+  std::vector<std::string> out;
+  for (const std::string& line : lines) {
+    service.submit_line(line, out);
+    if (service.pending() >= options.batch_size) service.process_batch(out);
+  }
+  service.drain(out);
+  return out;
+}
+
+TEST(Service, SolvesAndEchoesIdentity) {
+  const Graph g = make_grid(6, 6);
+  const auto out = run_sequence(test_options(), {solve_line("a", g)});
+  ASSERT_EQ(out.size(), 1u);
+  std::string cache;
+  std::uint64_t cut = 0;
+  EXPECT_TRUE(out[0].starts_with("{\"id\":\"a\",\"ok\":true"));
+  EXPECT_TRUE(json_parse_u64(out[0], "cut", cut));
+  EXPECT_EQ(cut, 6u);  // the 6x6 grid's optimal bisection
+  EXPECT_TRUE(json_parse_string(out[0], "cache", cache));
+  EXPECT_EQ(cache, "miss");
+}
+
+TEST(Service, ResponseStreamIsThreadCountInvariant) {
+  const Graph grid = make_grid(7, 5);
+  const Graph ladder = make_ladder(9);
+  Rng rng(3);
+  const Graph gnp = make_gnp(48, gnp_p_for_degree(48, 3.0), rng);
+  std::vector<std::string> lines;
+  lines.push_back(solve_line("a", grid, ",\"want_sides\":true"));
+  lines.push_back(solve_line("b", ladder, ",\"method\":\"kl\""));
+  lines.push_back(solve_line("c", gnp, ",\"budget\":5"));
+  lines.push_back("{\"id\":\"p\",\"op\":\"ping\"}");
+  lines.push_back(solve_line("d", grid, ",\"want_sides\":true"));  // repeat
+  lines.push_back(solve_line("e", gnp, ",\"seed\":99"));
+  lines.push_back("{\"id\":\"s\",\"op\":\"stats\"}");
+
+  const auto one = run_sequence(test_options(1), lines);
+  const auto two = run_sequence(test_options(2), lines);
+  const auto eight = run_sequence(test_options(8), lines);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+TEST(Service, RepeatAcrossBatchesIsServedFromCache) {
+  const Graph g = make_grid(6, 6);
+  SvcOptions options = test_options();
+  options.batch_size = 1;  // every request is its own batch
+  Service service(options);
+  std::vector<std::string> first, second;
+  service.submit_line(solve_line("cold", g, ",\"want_sides\":true"), first);
+  service.drain(first);
+  service.submit_line(solve_line("warm", g, ",\"want_sides\":true"), second);
+  service.drain(second);
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+
+  std::string cold_cache, warm_cache, cold_sides, warm_sides;
+  ASSERT_TRUE(json_parse_string(first[0], "cache", cold_cache));
+  ASSERT_TRUE(json_parse_string(second[0], "cache", warm_cache));
+  EXPECT_EQ(cold_cache, "miss");
+  EXPECT_EQ(warm_cache, "hit");
+  // Identical payloads: the hit is byte-for-byte the cold answer.
+  ASSERT_TRUE(json_parse_string(first[0], "sides", cold_sides));
+  ASSERT_TRUE(json_parse_string(second[0], "sides", warm_sides));
+  EXPECT_EQ(cold_sides, warm_sides);
+  EXPECT_EQ(service.cache_stats().hits, 1u);
+}
+
+TEST(Service, DuplicatesWithinABatchCoalesce) {
+  const Graph g = make_grid(6, 6);
+  Service service(test_options());
+  std::vector<std::string> out;
+  service.submit_line(solve_line("lead", g), out);
+  service.submit_line(solve_line("follow", g), out);
+  // Same graph, different seed: NOT a duplicate.
+  service.submit_line(solve_line("other", g, ",\"seed\":5"), out);
+  service.drain(out);
+  ASSERT_EQ(out.size(), 3u);
+  std::string cache;
+  ASSERT_TRUE(json_parse_string(out[0], "cache", cache));
+  EXPECT_EQ(cache, "miss");
+  ASSERT_TRUE(json_parse_string(out[1], "cache", cache));
+  EXPECT_EQ(cache, "coalesced");
+  ASSERT_TRUE(json_parse_string(out[2], "cache", cache));
+  EXPECT_EQ(cache, "miss");
+  EXPECT_EQ(service.metrics().counter(Counter::kSvcCoalesced), 1u);
+
+  std::uint64_t lead_cut = 0, follow_cut = 0;
+  ASSERT_TRUE(json_parse_u64(out[0], "cut", lead_cut));
+  ASSERT_TRUE(json_parse_u64(out[1], "cut", follow_cut));
+  EXPECT_EQ(lead_cut, follow_cut);
+}
+
+TEST(Service, FullQueueRejectsWithReason) {
+  SvcOptions options = test_options();
+  options.max_queue = 2;
+  options.batch_size = 100;  // never auto-flush
+  Service service(options);
+  const Graph g = make_grid(4, 4);
+  std::vector<std::string> out;
+  service.submit_line(solve_line("a", g), out);
+  service.submit_line(solve_line("b", g), out);
+  EXPECT_TRUE(out.empty());
+  service.submit_line(solve_line("c", g), out);  // bounces
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].starts_with("{\"id\":\"c\",\"ok\":false"));
+  std::string error;
+  ASSERT_TRUE(json_parse_string(out[0], "error", error));
+  EXPECT_TRUE(error.starts_with("rejected: queue full"));
+  EXPECT_EQ(service.metrics().counter(Counter::kSvcRejected), 1u);
+  // The admitted requests still answer, in order.
+  service.drain(out);
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_TRUE(out[1].starts_with("{\"id\":\"a\""));
+  EXPECT_TRUE(out[2].starts_with("{\"id\":\"b\""));
+}
+
+TEST(Service, ExpiredDeadlineAnswersDeadlineError) {
+  const Graph g = make_grid(6, 6);
+  const auto out = run_sequence(
+      test_options(), {solve_line("d", g, ",\"deadline_s\":1e-9")});
+  ASSERT_EQ(out.size(), 1u);
+  std::string error;
+  ASSERT_TRUE(json_parse_string(out[0], "error", error));
+  EXPECT_TRUE(error.starts_with("deadline"));
+  // And the degraded answer must not poison the cache for the same
+  // request without a deadline.
+  const auto ok = run_sequence(test_options(), {solve_line("d", g)});
+  EXPECT_TRUE(ok[0].starts_with("{\"id\":\"d\",\"ok\":true"));
+}
+
+TEST(Service, StopFlagDrainsQueuedSolvesAsShutdown) {
+  const Graph g = make_grid(6, 6);
+  Service service(test_options());
+  std::vector<std::string> out;
+  service.submit_line(solve_line("q1", g), out);
+  service.submit_line(solve_line("q2", g), out);
+  std::atomic<bool> stop{true};  // the kill arrives before dispatch
+  service.drain(out, &stop);
+  ASSERT_EQ(out.size(), 2u);
+  for (const std::string& line : out) {
+    std::string error;
+    ASSERT_TRUE(json_parse_string(line, "error", error));
+    EXPECT_TRUE(error.starts_with("shutdown"));
+  }
+}
+
+TEST(Service, BadInputsAnswerInOrderWithoutKillingTheStream) {
+  const Graph g = make_grid(4, 4);
+  const auto out = run_sequence(
+      test_options(),
+      {"{\"id\":\"m\",\"op\":\"solve\",\"inline\":\"2 1\\n0 1\\n\","
+       "\"method\":\"bogus\"}",
+       "{\"id\":\"io\",\"op\":\"solve\",\"path\":\"/nonexistent.graph\"}",
+       "{\"id\":\"junk\" this is not json",
+       "{\"id\":\"g\",\"op\":\"solve\",\"inline\":\"garbage here\"}",
+       solve_line("ok", g)});
+  ASSERT_EQ(out.size(), 5u);
+  std::string error;
+  ASSERT_TRUE(json_parse_string(out[0], "error", error));
+  EXPECT_TRUE(error.starts_with("parse: unknown method"));
+  ASSERT_TRUE(json_parse_string(out[1], "error", error));
+  EXPECT_TRUE(error.starts_with("io:"));
+  ASSERT_TRUE(json_parse_string(out[2], "error", error));
+  EXPECT_TRUE(error.starts_with("parse:"));
+  ASSERT_TRUE(json_parse_string(out[3], "error", error));
+  EXPECT_TRUE(error.starts_with("parse: inline graph:"));
+  EXPECT_TRUE(out[4].starts_with("{\"id\":\"ok\",\"ok\":true"));
+}
+
+TEST(Service, StatsReportsTheCounterCatalog) {
+  const Graph g = make_grid(4, 4);
+  Service service(test_options());
+  std::vector<std::string> out;
+  service.submit_line(solve_line("a", g), out);
+  service.submit_line(solve_line("b", g), out);  // coalesces with a
+  service.submit_line("{\"id\":\"s\",\"op\":\"stats\"}", out);
+  service.drain(out);
+  ASSERT_EQ(out.size(), 3u);
+  std::uint64_t requests = 0, coalesced = 0, misses = 0;
+  ASSERT_TRUE(json_parse_u64(out[2], "requests", requests));
+  ASSERT_TRUE(json_parse_u64(out[2], "coalesced", coalesced));
+  ASSERT_TRUE(json_parse_u64(out[2], "cache_misses", misses));
+  EXPECT_EQ(requests, 3u);
+  EXPECT_EQ(coalesced, 1u);
+  EXPECT_EQ(misses, 2u);  // the follower's lookup also missed
+  // The obs-catalog mirror matches what stats reported.
+  EXPECT_EQ(service.metrics().counter(Counter::kSvcRequests), 3u);
+  EXPECT_EQ(service.metrics().counter(Counter::kSvcCacheMisses), 2u);
+}
+
+TEST(Service, CacheEvictionsSurfaceInStats) {
+  const Graph a = make_grid(5, 5);
+  const Graph b = make_grid(5, 6);
+  const Graph c = make_grid(5, 7);
+  SvcOptions options = test_options();
+  options.batch_size = 1;
+  options.cache_bytes = 400;  // roughly two 25-30 vertex entries
+  Service service(options);
+  std::vector<std::string> out;
+  for (const auto* g : {&a, &b, &c, &a}) {
+    service.submit_line(solve_line("x", *g), out);
+    service.drain(out);
+  }
+  EXPECT_GT(service.cache_stats().evictions, 0u);
+  EXPECT_EQ(service.metrics().counter(Counter::kSvcCacheEvictions),
+            service.cache_stats().evictions);
+}
+
+}  // namespace
+}  // namespace gbis

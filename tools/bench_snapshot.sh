@@ -25,7 +25,8 @@ command -v jq >/dev/null || { echo "bench_snapshot: jq not found" >&2; exit 1; }
 
 # The microbenchmarks only: table reproducers take minutes and print
 # human-layout tables, not machine-readable timings.
-micro_benches=(micro_kl micro_sa micro_compaction micro_gen micro_obs)
+micro_benches=(micro_kl micro_sa micro_compaction micro_gen micro_obs
+               svc_throughput)
 
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "$tmp_dir"' EXIT

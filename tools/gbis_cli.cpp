@@ -16,6 +16,10 @@
 //   gbis eval <in.graph> <in.part>                score a partition
 //   gbis stats <in.graph>                         structural report
 //   gbis convert <in.graph> <out.{graph|metis|dot}>
+//   gbis serve [--replay FILE] [flags]            NDJSON partition
+//                                                 service on stdin/
+//                                                 stdout (docs/
+//                                                 SERVICE.md)
 //
 // Graph files are gbis edge-list format unless the name ends in
 // ".metis". Global flags, accepted anywhere: --seed <n> (default 42),
@@ -57,6 +61,9 @@
 #include "gbis/partition/bisection.hpp"
 #include "gbis/partition/metrics.hpp"
 #include "gbis/rng/rng.hpp"
+#include "gbis/svc/scheduler.hpp"
+
+#include <fstream>
 
 namespace {
 
@@ -94,6 +101,18 @@ void print_help(std::ostream& out) {
          "  eval <in.graph> <in.part>           score a partition\n"
          "  stats <in.graph>                    structural report\n"
          "  convert <in.graph> <out.{graph|metis|dot}>\n"
+         "  serve [flags]                       NDJSON partition service:\n"
+         "      one request object per stdin line, one response per\n"
+         "      stdout line, in request order (schema: docs/SERVICE.md).\n"
+         "      Response streams are byte-identical for any --threads /\n"
+         "      GBIS_THREADS value.\n"
+         "      --replay FILE  read requests from FILE instead of stdin\n"
+         "      --batch N      dispatch window / coalescing width (16)\n"
+         "      --max-queue N  admission bound; overflow is rejected (256)\n"
+         "      --cache-mb N   result-cache budget in MiB, 0 = off (64;\n"
+         "                     env GBIS_SVC_CACHE_MB, flag wins)\n"
+         "      --budget N     default trials per solve request (2)\n"
+         "      --deadline S   default per-request deadline (none)\n"
          "\n"
          "global flags:\n"
          "  --seed N        base seed (default 42)\n"
@@ -125,7 +144,7 @@ void print_help(std::ostream& out) {
 [[noreturn]] void usage() {
   std::cerr << "usage: gbis [--seed N] [--threads N] <command> <args...>\n"
                "commands: gen | solve | campaign | kway | eval | stats | "
-               "convert\n"
+               "convert | serve\n"
                "run 'gbis --help' for the full reference\n";
   std::exit(kExitUsage);
 }
@@ -439,6 +458,85 @@ int cmd_convert(const std::vector<std::string>& args) {
   return kExitOk;
 }
 
+int cmd_serve(const std::vector<std::string>& args, std::uint64_t seed,
+              std::uint32_t threads) {
+  // Env first (GBIS_SVC_CACHE_MB), explicit flags override — the same
+  // precedence as the observability knobs.
+  SvcOptions options = svc_options_from_env(SvcOptions{});
+  options.default_seed = seed;
+  options.threads = threads;
+  std::string replay_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto flag_value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) usage();
+      return args[++i];
+    };
+    if (arg == "--replay") {
+      replay_path = flag_value();
+    } else if (arg == "--batch") {
+      options.batch_size = to_u64(flag_value());
+      if (options.batch_size == 0) usage();
+    } else if (arg == "--max-queue") {
+      options.max_queue = to_u64(flag_value());
+      if (options.max_queue == 0) usage();
+    } else if (arg == "--cache-mb") {
+      options.cache_bytes = to_u64(flag_value()) << 20;
+    } else if (arg == "--budget") {
+      options.default_budget = to_u32(flag_value());
+      if (options.default_budget == 0) usage();
+    } else if (arg == "--deadline") {
+      options.default_deadline_seconds = to_double(flag_value());
+    } else {
+      std::cerr << "serve: unknown argument " << arg << '\n';
+      usage();
+    }
+  }
+  // The serve loop honors GBIS_THREADS like the experiment binaries
+  // (an explicit --threads value wins; both produce identical bytes).
+  if (options.threads == 0) {
+    if (const char* v = std::getenv("GBIS_THREADS"); v != nullptr) {
+      options.threads =
+          static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    }
+  }
+
+  std::ifstream replay;
+  if (!replay_path.empty()) {
+    replay.open(replay_path);
+    if (!replay.is_open()) {
+      throw IoError("serve: cannot open replay file " + replay_path);
+    }
+  }
+  std::istream& in = replay_path.empty() ? std::cin : replay;
+
+  install_shutdown_handlers();
+  const std::atomic<bool>& stop = shutdown_flag();
+
+  Service service(options);
+  std::vector<std::string> responses;
+  const auto emit = [&responses]() {
+    for (const std::string& line : responses) std::cout << line << '\n';
+    if (!responses.empty()) std::cout.flush();
+    responses.clear();
+  };
+
+  std::string line;
+  while (!stop.load(std::memory_order_acquire) && std::getline(in, line)) {
+    if (line.empty()) continue;
+    service.submit_line(line, responses);
+    if (service.pending() >= service.options().batch_size) {
+      service.process_batch(responses, &stop);
+    }
+    emit();
+  }
+  // EOF or shutdown: answer everything admitted (queued solves drain as
+  // "shutdown" errors once the stop flag is up), then exit.
+  service.drain(responses, &stop);
+  emit();
+  return stop.load(std::memory_order_acquire) ? kExitInterrupted : kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -486,6 +584,7 @@ int main(int argc, char** argv) {
     if (command == "eval") return cmd_eval(args);
     if (command == "stats") return cmd_stats(args);
     if (command == "convert") return cmd_convert(args);
+    if (command == "serve") return cmd_serve(args, seed, threads);
   } catch (const IoError& error) {
     std::cerr << "error: " << error.what() << '\n';
     return kExitIo;

@@ -17,6 +17,7 @@
 
 #include "gbis/gen/gnp.hpp"
 #include "gbis/io/edge_list.hpp"
+#include "gbis/obs/metrics.hpp"
 #include "gbis/rng/rng.hpp"
 #include "gbis/svc/fingerprint.hpp"
 #include "gbis/svc/scheduler.hpp"
@@ -25,6 +26,21 @@
 namespace {
 
 using namespace gbis;
+
+// Serve-path telemetry alongside the timing: request-latency p50/p99
+// (from the service's own log2 histogram) and the cache-hit ratio.
+// These land in BENCH_<date>.json as extra counter fields.
+void report_service_counters(benchmark::State& state,
+                             const Service& service) {
+  const HistSummary latency = summarize_hist(
+      service.metrics_snapshot().hist(Hist::kSvcRequestLatencyUs));
+  state.counters["latency_p50_us"] = latency.p50;
+  state.counters["latency_p99_us"] = latency.p99;
+  const SvcCacheStats& cache = service.cache_stats();
+  const double lookups = static_cast<double>(cache.hits + cache.misses);
+  state.counters["hit_ratio"] =
+      lookups > 0.0 ? static_cast<double>(cache.hits) / lookups : 0.0;
+}
 
 Graph bench_graph() {
   Rng rng(97);
@@ -62,6 +78,7 @@ void BM_SvcSolve_Cold(benchmark::State& state) {
   }
   state.counters["cache_hits"] =
       static_cast<double>(service.cache_stats().hits);
+  report_service_counters(state, service);
 }
 BENCHMARK(BM_SvcSolve_Cold)->Unit(benchmark::kMillisecond);
 
@@ -81,6 +98,7 @@ void BM_SvcSolve_CacheHit(benchmark::State& state) {
   }
   state.counters["cache_hits"] =
       static_cast<double>(service.cache_stats().hits);
+  report_service_counters(state, service);
 }
 BENCHMARK(BM_SvcSolve_CacheHit)->Unit(benchmark::kMillisecond);
 

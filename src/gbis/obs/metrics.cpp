@@ -1,5 +1,7 @@
 #include "gbis/obs/metrics.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <limits>
@@ -43,6 +45,16 @@ constexpr const char* kHistNames[kNumHists] = {
     "kl.pass_improvement",
     "fm.pass_improvement",
     "sa.temp_acceptance_pct",
+    "svc.request_latency_us",
+    "svc.solve_latency_us",
+    "svc.queue_wait_us",
+};
+
+constexpr const char* kGaugeNames[kNumGauges] = {
+    "svc.queue_depth",
+    "svc.inflight",
+    "svc.cache.bytes",
+    "svc.batch.size",
 };
 
 constexpr const char* kPhaseNames[kNumPhases] = {
@@ -92,6 +104,20 @@ bool hist_from_name(const std::string& name, Hist& out) {
   return false;
 }
 
+const char* gauge_name(Gauge gauge) {
+  return kGaugeNames[static_cast<std::size_t>(gauge)];
+}
+
+bool gauge_from_name(const std::string& name, Gauge& out) {
+  for (std::size_t i = 0; i < kNumGauges; ++i) {
+    if (name == kGaugeNames[i]) {
+      out = static_cast<Gauge>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
 const char* phase_name(Phase phase) {
   return kPhaseNames[static_cast<std::size_t>(phase)];
 }
@@ -110,12 +136,54 @@ std::uint64_t HistData::total() const {
   return std::accumulate(buckets.begin(), buckets.end(), std::uint64_t{0});
 }
 
+double hist_bucket_representative(std::size_t bucket) {
+  if (bucket == 0) return 0.0;
+  // Midpoint of [2^(b-1), 2^b - 1].
+  const double lo = std::ldexp(1.0, static_cast<int>(bucket) - 1);
+  return lo + (lo - 1.0) / 2.0;
+}
+
+double hist_percentile(const HistData& hist, double p) {
+  const std::uint64_t n = hist.total();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Order statistic k of the implied sorted sample, read off the
+  // cumulative bucket counts.
+  const auto order_stat = [&hist](std::uint64_t k) {
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < hist.buckets.size(); ++b) {
+      cumulative += hist.buckets[b];
+      if (cumulative > k) return hist_bucket_representative(b);
+    }
+    return hist_bucket_representative(hist.buckets.size() - 1);
+  };
+  const double rank = p / 100.0 * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::uint64_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  const double lo_value = order_stat(lo);
+  if (frac == 0.0) return lo_value;
+  return lo_value + frac * (order_stat(lo + 1) - lo_value);
+}
+
+HistSummary summarize_hist(const HistData& hist) {
+  HistSummary summary;
+  summary.count = hist.total();
+  summary.sum = hist.sum;
+  summary.p50 = hist_percentile(hist, 50);
+  summary.p90 = hist_percentile(hist, 90);
+  summary.p99 = hist_percentile(hist, 99);
+  return summary;
+}
+
 bool TrialMetrics::summary_empty() const {
   for (std::uint64_t c : counters) {
     if (c != 0) return false;
   }
   for (const HistData& h : hists) {
     if (!h.empty()) return false;
+  }
+  for (std::int64_t g : gauges) {
+    if (g != 0) return false;
   }
   return true;
 }
@@ -128,6 +196,10 @@ void merge_metric_summaries(TrialMetrics& into, const TrialMetrics& from) {
     for (std::size_t b = 0; b < into.hists[i].buckets.size(); ++b) {
       into.hists[i].buckets[b] += from.hists[i].buckets[b];
     }
+    into.hists[i].sum += from.hists[i].sum;
+  }
+  for (std::size_t i = 0; i < kNumGauges; ++i) {
+    into.gauges[i] = std::max(into.gauges[i], from.gauges[i]);
   }
 }
 
@@ -264,6 +336,11 @@ void write_metrics_json(std::ostream& out, const MetricsReport& report) {
   for (std::size_t i = 0; i < kNumCounters; ++i) {
     if (i != 0) out << ",";
     out << "\"" << kCounterNames[i] << "\":" << report.totals.counters[i];
+  }
+  out << "},\"gauges\":{";
+  for (std::size_t i = 0; i < kNumGauges; ++i) {
+    if (i != 0) out << ",";
+    out << "\"" << kGaugeNames[i] << "\":" << report.totals.gauges[i];
   }
   out << "},\"hists\":{";
   bool first = true;

@@ -82,11 +82,39 @@ bool counter_from_name(const std::string& name, Counter& out);
 enum class SaStage : std::uint8_t { kHot = 0, kWarm, kCold };
 SaStage sa_stage(double temperature, double initial_temperature);
 
+/// Gauge registry: last-written level values (queue depths, resident
+/// bytes) as opposed to the monotonic counters above. Same stable-name
+/// rules: append at the end, never reorder. Gauges are signed — deltas
+/// via add_gauge may transiently dip below zero in embedders.
+enum class Gauge : std::uint8_t {
+  kSvcQueueDepth = 0,  ///< "svc.queue_depth" (undispatched requests)
+  kSvcInflight,        ///< "svc.inflight" (cold solves in the running batch)
+  kSvcCacheBytes,      ///< "svc.cache.bytes" (result-cache resident bytes)
+  kSvcBatchSize,       ///< "svc.batch.size" (requests in the last batch)
+  kCount
+};
+inline constexpr std::size_t kNumGauges =
+    static_cast<std::size_t>(Gauge::kCount);
+
+/// Stable journal/JSON name of a gauge ("svc.queue_depth", ...).
+const char* gauge_name(Gauge gauge);
+
+/// Reverse lookup; false when `name` is unknown.
+bool gauge_from_name(const std::string& name, Gauge& out);
+
 /// Histogram registry (log2 buckets; see HistData).
 enum class Hist : std::uint8_t {
   kKlPassImprovement = 0,  ///< "kl.pass_improvement" (cut gain per pass)
   kFmPassImprovement,      ///< "fm.pass_improvement"
   kSaTempAcceptancePct,    ///< "sa.temp_acceptance_pct" (round(ratio*100))
+  // Partition-service latency histograms (svc/scheduler.*), sampled in
+  // microseconds. Wall-clock data: bucket counts are stable but the
+  // *values* are explicitly outside the determinism contract — stats
+  // keys derived from them carry a "_us" suffix so replay comparisons
+  // can strip them.
+  kSvcRequestLatencyUs,    ///< "svc.request_latency_us" (submit -> response)
+  kSvcSolveLatencyUs,      ///< "svc.solve_latency_us" (cold solve duration)
+  kSvcQueueWaitUs,         ///< "svc.queue_wait_us" (submit -> dispatch)
   kCount
 };
 inline constexpr std::size_t kNumHists =
@@ -102,14 +130,43 @@ bool hist_from_name(const std::string& name, Hist& out);
 /// [2^(b-1), 2^b - 1]). 65 buckets cover the full uint64 range.
 struct HistData {
   std::array<std::uint64_t, 65> buckets{};
+  /// Exact sum of observed values (Prometheus `_sum`). Not part of the
+  /// sparse [[bucket,count],...] journal serialization, so resumed
+  /// campaigns carry bucket counts only — fine, because sums are only
+  /// reported on the live service path.
+  std::uint64_t sum = 0;
 
   static std::size_t bucket_of(std::uint64_t value) {
     return static_cast<std::size_t>(std::bit_width(value));
   }
-  void observe(std::uint64_t value) { ++buckets[bucket_of(value)]; }
+  void observe(std::uint64_t value) {
+    ++buckets[bucket_of(value)];
+    sum += value;
+  }
   std::uint64_t total() const;
   bool empty() const { return total() == 0; }
 };
+
+/// Five-number summary of a log2 histogram, for the stats-v2 protocol
+/// op and the bench snapshot. Percentiles are interpolated over bucket
+/// representatives with exactly the `harness/stats.hpp percentile`
+/// rank convention (rank p/100*(n-1), linear interpolation), treating
+/// each bucket's count as that many samples at the representative.
+struct HistSummary {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  double p50 = 0, p90 = 0, p99 = 0;
+};
+
+/// Representative value of bucket b: 0 for bucket 0, the midpoint of
+/// [2^(b-1), 2^b - 1] for b >= 1.
+double hist_bucket_representative(std::size_t bucket);
+
+/// `percentile()`-convention percentile over the histogram's implied
+/// sample (p clamped to [0,100]; empty histogram -> 0).
+double hist_percentile(const HistData& hist, double p);
+
+HistSummary summarize_hist(const HistData& hist);
 
 /// Where a convergence-trace point came from.
 enum class TraceSource : std::uint8_t { kKl = 0, kSa, kFm };
@@ -157,6 +214,7 @@ struct PhaseSpan {
 struct TrialMetrics {
   std::array<std::uint64_t, kNumCounters> counters{};
   std::array<HistData, kNumHists> hists{};
+  std::array<std::int64_t, kNumGauges> gauges{};
   std::vector<TracePoint> trace;
   std::vector<PhaseSpan> phases;
   double start_offset_seconds = 0;  ///< trial start relative to batch epoch
@@ -169,14 +227,19 @@ struct TrialMetrics {
   const HistData& hist(Hist h) const {
     return hists[static_cast<std::size_t>(h)];
   }
-  /// True when every counter and histogram is zero.
+  std::int64_t gauge(Gauge g) const {
+    return gauges[static_cast<std::size_t>(g)];
+  }
+  /// True when every counter, histogram, and gauge is zero.
   bool summary_empty() const;
 };
 
 /// Folds `from`'s counters and histograms into `into` (trace, phases,
 /// and timing are per-trial data and are not merged). Integer sums, so
 /// the fold is exact and order-independent; the aggregation layer still
-/// merges in trial-id order by convention.
+/// merges in trial-id order by convention. Gauges are levels, not
+/// flows: they fold by element-wise max (a high-water mark), which is
+/// the only order-independent aggregate that keeps meaning.
 void merge_metric_summaries(TrialMetrics& into, const TrialMetrics& from);
 
 /// The recording handle the hot loops hold. Default-constructed it is
@@ -209,6 +272,26 @@ class MetricsSink {
 #endif
     (void)h;
     (void)value;
+  }
+
+  void set_gauge(Gauge g, std::int64_t value) {
+#ifndef GBIS_DISABLE_OBS
+    if (dest_ != nullptr) {
+      dest_->gauges[static_cast<std::size_t>(g)] = value;
+    }
+#endif
+    (void)g;
+    (void)value;
+  }
+
+  void add_gauge(Gauge g, std::int64_t delta) {
+#ifndef GBIS_DISABLE_OBS
+    if (dest_ != nullptr) {
+      dest_->gauges[static_cast<std::size_t>(g)] += delta;
+    }
+#endif
+    (void)g;
+    (void)delta;
   }
 
   /// Records one convergence point. Bounded: once `trace_capacity`

@@ -7,10 +7,12 @@
 namespace gbis {
 
 ProgressMeter::ProgressMeter(std::uint64_t total, std::ostream* out,
-                             double min_interval_seconds)
+                             double min_interval_seconds,
+                             ProgressStyle style)
     : out_(out != nullptr ? out : &std::cerr),
       min_interval_(min_interval_seconds),
-      total_(total) {}
+      total_(total),
+      style_(style) {}
 
 void ProgressMeter::adopt(ProgressOutcome outcome) {
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -41,8 +43,11 @@ void ProgressMeter::record(ProgressOutcome outcome) {
 
 void ProgressMeter::maybe_paint_locked() {
   const double now = timer_.elapsed_seconds();
+  // An open-ended meter (total 0) never has a "final" update; only the
+  // throttle decides.
+  const bool final_update = total_ != 0 && done_ >= total_;
   if (last_paint_ >= 0.0 && now - last_paint_ < min_interval_ &&
-      done_ < total_) {
+      !final_update) {
     return;  // throttled; the next update (or finish) repaints
   }
   paint_locked();
@@ -65,6 +70,20 @@ void ProgressMeter::paint_locked() {
   const double rate = elapsed > 0.0
                           ? static_cast<double>(executed) / elapsed
                           : 0.0;
+  if (style_ == ProgressStyle::kRequests) {
+    std::snprintf(line, sizeof line,
+                  "\rgbis: %llu requests | ok %llu, rejected %llu, err "
+                  "%llu | %.1f req/s   ",
+                  static_cast<unsigned long long>(done_),
+                  static_cast<unsigned long long>(ok_),
+                  static_cast<unsigned long long>(skipped_),
+                  static_cast<unsigned long long>(failed_ + timed_out_),
+                  rate);
+    *out_ << line << std::flush;
+    painted_ = true;
+    last_paint_ = elapsed;
+    return;
+  }
   const std::uint64_t remaining = total_ > done_ ? total_ - done_ : 0;
   char eta[32];
   if (rate > 0.0 && remaining > 0) {

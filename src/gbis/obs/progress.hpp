@@ -23,13 +23,22 @@ namespace gbis {
 enum class ProgressOutcome : std::uint8_t { kOk = 0, kFailed, kTimedOut,
                                             kSkipped };
 
+/// Line shape. kTrials is the campaign meter
+/// ("3/8 trials | ok 2, failed 1, t/o 0, skip 0 | 1.2 trials/s | ETA 4s");
+/// kRequests is the serve meter, which folds kSkipped into a
+/// "rejected" column and kFailed + kTimedOut into "err"
+/// ("12 requests | ok 10, rejected 1, err 1 | 34.5 req/s").
+enum class ProgressStyle : std::uint8_t { kTrials = 0, kRequests };
+
 class ProgressMeter {
  public:
-  /// `total` units expected; `out` defaults to std::cerr;
+  /// `total` units expected — 0 means open-ended (a serve stream: no
+  /// "/total", no ETA); `out` defaults to std::cerr;
   /// `min_interval_seconds` throttles repaints (finish() always
   /// paints).
   explicit ProgressMeter(std::uint64_t total, std::ostream* out = nullptr,
-                         double min_interval_seconds = 0.1);
+                         double min_interval_seconds = 0.1,
+                         ProgressStyle style = ProgressStyle::kTrials);
 
   /// Counts one unit adopted from a resume journal: it shows as done
   /// immediately but is excluded from the rate/ETA estimate (it cost
@@ -54,6 +63,7 @@ class ProgressMeter {
   std::ostream* out_;
   const double min_interval_;
   const std::uint64_t total_;
+  const ProgressStyle style_;
   std::uint64_t done_ = 0;  ///< everything counted, adopted included
   std::uint64_t adopted_ = 0;
   std::uint64_t ok_ = 0, failed_ = 0, timed_out_ = 0, skipped_ = 0;

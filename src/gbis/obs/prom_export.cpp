@@ -1,0 +1,71 @@
+#include "gbis/obs/prom_export.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace gbis {
+
+namespace {
+
+// Upper bound of log2 bucket b as a decimal string: 2^b - 1, with
+// bucket 0 (value == 0 exactly) at le="0".
+std::uint64_t bucket_upper_bound(std::size_t bucket) {
+  if (bucket >= 64) return std::numeric_limits<std::uint64_t>::max();
+  return (std::uint64_t{1} << bucket) - 1;
+}
+
+void write_header(std::ostream& out, const std::string& name,
+                  const char* catalog_name, const char* type) {
+  out << "# HELP " << name << " gbis metric " << catalog_name << "\n";
+  out << "# TYPE " << name << " " << type << "\n";
+}
+
+}  // namespace
+
+std::string prom_metric_name(const std::string& catalog_name) {
+  std::string out = "gbis_";
+  for (char c : catalog_name) {
+    const bool word = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9');
+    out.push_back(word ? c : '_');
+  }
+  return out;
+}
+
+void write_prom_exposition(std::ostream& out, const TrialMetrics& metrics) {
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    const char* catalog = counter_name(static_cast<Counter>(i));
+    const std::string name = prom_metric_name(catalog) + "_total";
+    write_header(out, name, catalog, "counter");
+    out << name << " " << metrics.counters[i] << "\n";
+  }
+  for (std::size_t i = 0; i < kNumGauges; ++i) {
+    const char* catalog = gauge_name(static_cast<Gauge>(i));
+    const std::string name = prom_metric_name(catalog);
+    write_header(out, name, catalog, "gauge");
+    out << name << " " << metrics.gauges[i] << "\n";
+  }
+  for (std::size_t i = 0; i < kNumHists; ++i) {
+    const HistData& h = metrics.hists[i];
+    if (h.empty()) continue;
+    const char* catalog = hist_name(static_cast<Hist>(i));
+    const std::string name = prom_metric_name(catalog);
+    write_header(out, name, catalog, "histogram");
+    std::size_t highest = 0;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] != 0) highest = b;
+    }
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b <= highest; ++b) {
+      cumulative += h.buckets[b];
+      out << name << "_bucket{le=\"" << bucket_upper_bound(b) << "\"} "
+          << cumulative << "\n";
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << h.total() << "\n";
+    out << name << "_sum " << h.sum << "\n";
+    out << name << "_count " << h.total() << "\n";
+  }
+}
+
+}  // namespace gbis

@@ -1,0 +1,32 @@
+// Prometheus text-format exposition (version 0.0.4) of a TrialMetrics
+// snapshot — the pull-side view of the metric registry for `gbis
+// serve` (`{"op":"stats","format":"prom"}` and the `--stats-file`
+// periodic snapshot; see docs/SERVICE.md).
+//
+// Catalog names map mechanically: "svc.cache.hits" becomes
+// `gbis_svc_cache_hits_total` (counters get the `_total` suffix,
+// gauges keep the bare name). Log2 histograms are emitted as native
+// Prometheus histograms: bucket b's upper bound is 2^b - 1 (bucket 0
+// is le="0"), cumulative counts, plus `_sum` from HistData::sum and
+// `_count`. Counter and gauge samples are deterministic; histogram
+// samples are wall-clock latency data and are outside the determinism
+// contract (their metric names carry the `_us` marker, so comparison
+// tooling strips those lines).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gbis/obs/metrics.hpp"
+
+namespace gbis {
+
+/// "svc.cache.hits" -> "gbis_svc_cache_hits" (no kind suffix).
+std::string prom_metric_name(const std::string& catalog_name);
+
+/// Writes the full exposition: every counter and gauge in the
+/// registry, plus every non-empty histogram. Ends with a newline;
+/// lint-clean under tools/prom_lint.py.
+void write_prom_exposition(std::ostream& out, const TrialMetrics& metrics);
+
+}  // namespace gbis

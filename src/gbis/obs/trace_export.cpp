@@ -139,6 +139,63 @@ void write_chrome_trace(std::ostream& out,
   out << "\n]}\n";
 }
 
+void write_svc_trace(std::ostream& out,
+                     std::span<const SvcSlowSample> samples) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto begin_event = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+  for (const SvcSlowSample& sample : samples) {
+    begin_event();
+    out << "{\"name\":";
+    write_json_string(out, "req " + std::to_string(sample.seq) +
+                               (sample.id.empty() ? "" : " " + sample.id));
+    out << ",\"cat\":\"request\",\"ph\":\"X\",\"ts\":";
+    write_us(out, sample.submit_seconds);
+    out << ",\"dur\":";
+    write_us(out, sample.total_seconds);
+    out << ",\"pid\":0,\"tid\":0,\"args\":{\"seq\":" << sample.seq
+        << ",\"id\":";
+    write_json_string(out, sample.id);
+    if (!sample.method.empty()) {
+      out << ",\"method\":";
+      write_json_string(out, sample.method);
+    }
+    if (!sample.cache.empty()) {
+      out << ",\"cache\":";
+      write_json_string(out, sample.cache);
+    }
+    out << ",\"status\":";
+    write_json_string(out, sample.status);
+    out << "}}";
+
+    const auto sub_span = [&](const char* name, double start, double dur) {
+      if (dur <= 0) return;
+      begin_event();
+      out << "{\"name\":\"" << name
+          << "\",\"cat\":\"svc_phase\",\"ph\":\"X\",\"ts\":";
+      write_us(out, start);
+      out << ",\"dur\":";
+      write_us(out, dur);
+      out << ",\"pid\":0,\"tid\":0,\"args\":{\"seq\":" << sample.seq << "}}";
+    };
+    sub_span("queue", sample.submit_seconds, sample.queue_seconds);
+    sub_span("solve", sample.solve_start_seconds, sample.solve_seconds);
+    // Finalize covers the tail between the end of the solve (or the
+    // dispatch, for requests that never solved) and the response.
+    const double work_end = sample.solve_seconds > 0
+                                ? sample.solve_start_seconds +
+                                      sample.solve_seconds
+                                : sample.submit_seconds + sample.queue_seconds;
+    const double request_end = sample.submit_seconds + sample.total_seconds;
+    sub_span("finalize", work_end, request_end - work_end);
+  }
+  out << "\n]}\n";
+}
+
 void export_observability(const ObsOptions& obs,
                           std::span<const TrialResult> results,
                           std::span<const TrialSpec> trials) {

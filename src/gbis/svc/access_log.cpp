@@ -1,0 +1,59 @@
+#include "gbis/svc/access_log.hpp"
+
+#include <utility>
+
+#include "gbis/util/json_lite.hpp"
+
+namespace gbis {
+
+std::string encode_access_entry(const AccessEntry& entry) {
+  std::string line = "{\"seq\":" + std::to_string(entry.seq);
+  line += ",\"id\":";
+  append_json_string(line, entry.id);
+  line += ",\"op\":";
+  append_json_string(line, entry.op);
+  line += ",\"status\":";
+  append_json_string(line, entry.status);
+  if (!entry.cache.empty()) {
+    line += ",\"cache\":";
+    append_json_string(line, entry.cache);
+  }
+  if (!entry.method.empty()) {
+    line += ",\"method\":";
+    append_json_string(line, entry.method);
+  }
+  if (entry.has_fingerprint) {
+    line += ",\"fingerprint\":\"" + to_hex16(entry.fingerprint) + "\"";
+  }
+  if (entry.has_cut) {
+    line += ",\"cut\":" + std::to_string(entry.cut);
+  }
+  if (!entry.error.empty()) {
+    line += ",\"error\":";
+    append_json_string(line, entry.error);
+  }
+  // Timing fields last (and only here), so ",\"t_..._us\":N" stripping
+  // recovers the deterministic prefix exactly.
+  line += ",\"t_queue_us\":" + std::to_string(entry.t_queue_us);
+  line += ",\"t_solve_us\":" + std::to_string(entry.t_solve_us);
+  line += ",\"t_total_us\":" + std::to_string(entry.t_total_us);
+  line += "}";
+  return line;
+}
+
+AccessLog::AccessLog(std::string path) : path_(std::move(path)) {
+  out_.open(path_, std::ios::out | std::ios::app);
+}
+
+void AccessLog::append(const AccessEntry& entry) {
+  if (!ok()) return;
+  std::string line = encode_access_entry(entry);
+  line.push_back('\n');
+  out_.write(line.data(), static_cast<std::streamsize>(line.size()));
+}
+
+void AccessLog::flush() {
+  if (out_.is_open()) out_.flush();
+}
+
+}  // namespace gbis

@@ -1,0 +1,69 @@
+// Structured per-request access log for the partition service: one
+// flat JSON object per request, appended to a JSONL file
+// (`--access-log PATH` / GBIS_SVC_ACCESS_LOG; schema reference in
+// docs/SERVICE.md).
+//
+// Entries are finalized on the scheduler's dispatch thread in
+// arrival order (phase 3 of process_batch; queue-full rejections at
+// submit time, matching their position in the response stream), so the
+// log line sequence is a pure function of the request stream — except
+// the trailing `t_*_us` timing fields, which are wall-clock data and
+// explicitly nondeterministic. Timing keys all end in "_us" and sit
+// last on the line, so byte-comparisons strip them with one pattern.
+//
+// Each line is written with a single stream write into a file opened
+// in append mode: on POSIX, concurrent services logging to the same
+// path interleave whole lines, not bytes.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+namespace gbis {
+
+/// One finalized request, ready to log.
+struct AccessEntry {
+  std::uint64_t seq = 0;  ///< request ordinal within the service lifetime
+  std::string id;         ///< request id, verbatim
+  std::string op;         ///< "solve" | "ping" | "stats"
+  std::string status;     ///< "ok" | "error" | "rejected"
+  std::string cache;      ///< "hit" | "miss" | "coalesced" | ""
+  std::string method;     ///< requested method selector (solve only)
+  std::uint64_t fingerprint = 0;  ///< graph fingerprint (when resolved)
+  bool has_fingerprint = false;
+  std::int64_t cut = 0;  ///< winning cut (ok solves only)
+  bool has_cut = false;
+  std::string error;  ///< stable-prefix reason when status != "ok"
+  /// Wall-clock timings in microseconds — nondeterministic; keys end
+  /// "_us" and come last on the encoded line.
+  std::uint64_t t_queue_us = 0;  ///< submit -> batch dispatch
+  std::uint64_t t_solve_us = 0;  ///< cold-solve duration (leader's, if any)
+  std::uint64_t t_total_us = 0;  ///< submit -> response finalized
+};
+
+/// Encodes one log line (no trailing newline); flat-scanner friendly,
+/// free-form strings JSON-escaped.
+std::string encode_access_entry(const AccessEntry& entry);
+
+/// Append-mode JSONL writer. Never throws: a path that cannot be
+/// opened leaves ok() false and every append a no-op (the caller
+/// decides whether that is fatal — the CLI treats it as an I/O error).
+class AccessLog {
+ public:
+  explicit AccessLog(std::string path);
+
+  bool ok() const { return out_.is_open() && out_.good(); }
+  const std::string& path() const { return path_; }
+
+  /// Writes one line (entry + '\n') with a single stream write.
+  void append(const AccessEntry& entry);
+  /// Flushes buffered lines (the scheduler flushes once per batch).
+  void flush();
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace gbis

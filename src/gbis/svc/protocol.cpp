@@ -1,5 +1,7 @@
 #include "gbis/svc/protocol.hpp"
 
+#include <cstdio>
+
 #include "gbis/util/json_lite.hpp"
 
 namespace gbis {
@@ -26,6 +28,13 @@ bool parse_request(const std::string& line, SvcRequest& out,
       out.op = SvcRequest::Op::kStats;
     } else {
       error = "parse: unknown op \"" + op + "\"";
+      return false;
+    }
+  }
+  if (out.op == SvcRequest::Op::kStats) {
+    json_parse_string(line, "format", out.format);
+    if (out.format != "" && out.format != "json" && out.format != "prom") {
+      error = "parse: unknown stats format \"" + out.format + "\"";
       return false;
     }
   }
@@ -84,6 +93,11 @@ std::string encode_response(const SvcResponse& response) {
   for (const auto& [key, value] : response.stats) {
     line += ",\"" + key + "\":" + std::to_string(value);
   }
+  for (const auto& [key, value] : response.stats_real) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    line += ",\"" + key + "\":" + buf;
+  }
   if (!response.cache.empty()) {
     line += ",\"cache\":";
     append_json_string(line, response.cache);
@@ -92,6 +106,10 @@ std::string encode_response(const SvcResponse& response) {
   if (!response.sides.empty()) {
     line += ",\"sides\":";
     append_json_string(line, response.sides);
+  }
+  if (!response.prom.empty()) {
+    line += ",\"prom\":";
+    append_json_string(line, response.prom);
   }
   if (!response.ok) {
     line += ",\"error\":";

@@ -42,6 +42,9 @@ struct SvcRequest {
   std::uint64_t seed = 0;
   bool has_seed = false;  ///< absent seed falls back to the service seed
   bool want_sides = false;  ///< include the side assignment in the reply
+  /// Stats output format: "" / "json" (the flat key/value payload) or
+  /// "prom" (Prometheus text exposition in the "prom" response field).
+  std::string format;
 };
 
 /// Parses one request line. On failure returns false and sets `error`
@@ -71,6 +74,12 @@ struct SvcResponse {
 
   /// Ordered key/value payload of a stats response.
   std::vector<std::pair<std::string, std::uint64_t>> stats;
+  /// Ordered real-valued stats payload (histogram sums/percentiles).
+  /// Keys end in "_us": wall-clock timing, outside the determinism
+  /// contract — replay comparisons strip fields with that suffix.
+  std::vector<std::pair<std::string, double>> stats_real;
+  /// Prometheus text exposition (stats with format:"prom").
+  std::string prom;
 };
 
 /// Encodes one response line (no trailing newline). Field order is

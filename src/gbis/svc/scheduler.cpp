@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -10,6 +11,7 @@
 
 #include "gbis/io/edge_list.hpp"
 #include "gbis/io/metis.hpp"
+#include "gbis/obs/prom_export.hpp"
 #include "gbis/svc/fingerprint.hpp"
 
 namespace gbis {
@@ -28,6 +30,20 @@ void warn_rejected(const char* var, const char* text) {
             << "\" (keeping default)\n";
 }
 
+const char* op_name(SvcRequest::Op op) {
+  switch (op) {
+    case SvcRequest::Op::kSolve: return "solve";
+    case SvcRequest::Op::kPing: return "ping";
+    case SvcRequest::Op::kStats: return "stats";
+  }
+  return "solve";
+}
+
+std::uint64_t to_us(double seconds) {
+  if (!(seconds > 0)) return 0;
+  return static_cast<std::uint64_t>(std::llround(seconds * 1e6));
+}
+
 }  // namespace
 
 SvcOptions svc_options_from_env(SvcOptions base) {
@@ -38,6 +54,22 @@ SvcOptions svc_options_from_env(SvcOptions base) {
       warn_rejected("GBIS_SVC_CACHE_MB", v);
     } else {
       base.cache_bytes = static_cast<std::uint64_t>(mb) << 20;
+    }
+  }
+  if (const char* v = std::getenv("GBIS_SVC_ACCESS_LOG"); v != nullptr) {
+    if (*v == '\0') {
+      warn_rejected("GBIS_SVC_ACCESS_LOG", v);
+    } else {
+      base.access_log_path = v;
+    }
+  }
+  if (const char* v = std::getenv("GBIS_SVC_SLOW_MS"); v != nullptr) {
+    char* end = nullptr;
+    const double ms = std::strtod(v, &end);
+    if (*v == '\0' || end == nullptr || *end != '\0' || !(ms >= 0)) {
+      warn_rejected("GBIS_SVC_SLOW_MS", v);
+    } else {
+      base.slow_ms = ms;
     }
   }
   return base;
@@ -61,6 +93,14 @@ struct Service::Pending {
   std::size_t cold_index = 0;   ///< slot in the batch's cold-job array
   bool coalesced = false;       ///< follower of a same-batch leader
   std::size_t leader_cold_index = 0;
+
+  // Telemetry (wall clock against the service epoch; the worker fills
+  // the solve span for its own slot, read back after the pool joins).
+  std::uint64_t seq = 0;           ///< request ordinal (access-log "seq")
+  double submit_seconds = 0;       ///< stamped in submit_line
+  double dispatch_seconds = 0;     ///< stamped at process_batch entry
+  double solve_start_seconds = 0;  ///< cold leaders only
+  double solve_seconds = 0;        ///< cold leaders only
 };
 
 Service::~Service() = default;
@@ -72,12 +112,23 @@ Service::Service(SvcOptions options)
   if (options_.batch_size == 0) options_.batch_size = 1;
   if (options_.max_queue == 0) options_.max_queue = 1;
   if (options_.default_budget == 0) options_.default_budget = 1;
+  if (options_.slow_capacity == 0) options_.slow_capacity = 1;
+  if (!options_.access_log_path.empty()) {
+    access_log_ = std::make_unique<AccessLog>(options_.access_log_path);
+  }
+  metrics_.gauges[static_cast<std::size_t>(Gauge::kSvcBatchSize)] = 0;
+}
+
+bool Service::access_log_ok() const {
+  return access_log_ == nullptr || access_log_->ok();
 }
 
 void Service::submit_line(const std::string& line,
                           std::vector<std::string>& out) {
   ++metrics_.counters[static_cast<std::size_t>(Counter::kSvcRequests)];
   auto entry = std::make_unique<Pending>();
+  entry->seq = next_seq_++;
+  entry->submit_seconds = clock_.elapsed_seconds();
   std::string error;
   if (!parse_request(line, entry->request, error)) {
     entry->response.id = entry->request.id;
@@ -98,9 +149,28 @@ void Service::submit_line(const std::string& line,
                      " queued, max " + std::to_string(options_.max_queue) +
                      ")";
     out.push_back(encode_response(rejected));
+    if (access_log_ != nullptr) {
+      // Logged at submit time to match the response's position in the
+      // stream (rejections jump the queue there too).
+      AccessEntry logged;
+      logged.seq = entry->seq;
+      logged.id = entry->request.id;
+      logged.op = op_name(entry->request.op);
+      logged.status = "rejected";
+      if (entry->request.op == SvcRequest::Op::kSolve) {
+        logged.method = entry->request.method;
+      }
+      logged.error = rejected.error;
+      logged.t_total_us =
+          to_us(clock_.elapsed_seconds() - entry->submit_seconds);
+      access_log_->append(logged);
+      access_log_->flush();
+    }
     return;
   }
   queue_.push_back(std::move(entry));
+  metrics_.gauges[static_cast<std::size_t>(Gauge::kSvcQueueDepth)] =
+      static_cast<std::int64_t>(queue_.size());
 }
 
 void Service::prepare(
@@ -233,6 +303,10 @@ void Service::fill_stats(SvcResponse& response) const {
   const auto counter = [this](Counter c) {
     return metrics_.counters[static_cast<std::size_t>(c)];
   };
+  const auto gauge = [this](Gauge g) {
+    return static_cast<std::uint64_t>(
+        metrics_.gauges[static_cast<std::size_t>(g)]);
+  };
   response.stats = {
       {"requests", counter(Counter::kSvcRequests)},
       {"rejected", counter(Counter::kSvcRejected)},
@@ -243,7 +317,118 @@ void Service::fill_stats(SvcResponse& response) const {
       {"cache_entries", cache.entries},
       {"cache_bytes", cache.bytes},
       {"cache_max_bytes", cache_.max_bytes()},
+      // v2: gauges and histogram summaries. Keys are append-only; the
+      // *_count fields are deterministic (they count finalized
+      // requests/solves at this stream position), while everything
+      // under stats_real carries the nondeterministic "_us" marker.
+      {"stats_version", 2},
+      {"queue_depth", gauge(Gauge::kSvcQueueDepth)},
+      {"inflight", gauge(Gauge::kSvcInflight)},
+      {"batch_size", gauge(Gauge::kSvcBatchSize)},
   };
+  const struct {
+    const char* prefix;
+    Hist hist;
+  } latency_stats[] = {
+      {"request_latency", Hist::kSvcRequestLatencyUs},
+      {"solve_latency", Hist::kSvcSolveLatencyUs},
+      {"queue_wait", Hist::kSvcQueueWaitUs},
+  };
+  for (const auto& [prefix, hist] : latency_stats) {
+    const HistSummary summary = summarize_hist(metrics_.hist(hist));
+    const std::string p(prefix);
+    response.stats.emplace_back(p + "_count", summary.count);
+    response.stats_real.emplace_back(p + "_sum_us",
+                                     static_cast<double>(summary.sum));
+    response.stats_real.emplace_back(p + "_p50_us", summary.p50);
+    response.stats_real.emplace_back(p + "_p90_us", summary.p90);
+    response.stats_real.emplace_back(p + "_p99_us", summary.p99);
+  }
+}
+
+TrialMetrics Service::metrics_snapshot() const {
+  TrialMetrics snapshot = metrics_;
+  const SvcCacheStats& cache = cache_.stats();
+  snapshot.counters[static_cast<std::size_t>(Counter::kSvcCacheHits)] =
+      cache.hits;
+  snapshot.counters[static_cast<std::size_t>(Counter::kSvcCacheMisses)] =
+      cache.misses;
+  snapshot.counters[static_cast<std::size_t>(Counter::kSvcCacheEvictions)] =
+      cache.evictions;
+  snapshot.gauges[static_cast<std::size_t>(Gauge::kSvcCacheBytes)] =
+      static_cast<std::int64_t>(cache.bytes);
+  return snapshot;
+}
+
+void Service::record_slow(const Pending& entry, double total_seconds) {
+  if (options_.slow_ms < 0) return;
+  if (total_seconds * 1000.0 < options_.slow_ms) return;
+  // Same deterministic stride-doubling decimation as the convergence
+  // trace: which offered samples are kept depends only on the offered
+  // sequence (and at --slow-ms 0 every finalized request is offered).
+  const std::uint64_t ordinal = slow_ordinal_++;
+  if (ordinal % slow_stride_ != 0) return;
+  if (slow_samples_.size() >= options_.slow_capacity) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < slow_samples_.size(); i += 2) {
+      // Guard i == kept: self-move-assignment would gut the strings.
+      if (i != kept) slow_samples_[kept] = std::move(slow_samples_[i]);
+      ++kept;
+    }
+    slow_samples_.resize(kept);
+    slow_stride_ *= 2;
+    if (ordinal % slow_stride_ != 0) return;
+  }
+  SvcSlowSample sample;
+  sample.seq = entry.seq;
+  sample.id = entry.request.id;
+  if (entry.request.op == SvcRequest::Op::kSolve) {
+    sample.method = entry.request.method;
+  }
+  sample.cache = entry.response.cache;
+  sample.status = entry.response.ok ? "ok" : "error";
+  sample.submit_seconds = entry.submit_seconds;
+  sample.queue_seconds = entry.dispatch_seconds - entry.submit_seconds;
+  sample.solve_start_seconds = entry.solve_start_seconds;
+  sample.solve_seconds = entry.solve_seconds;
+  sample.total_seconds = total_seconds;
+  slow_samples_.push_back(std::move(sample));
+}
+
+void Service::finalize_telemetry(Pending& entry, double now_seconds) {
+  const double total = now_seconds - entry.submit_seconds;
+  const double queue_wait = entry.dispatch_seconds - entry.submit_seconds;
+  metrics_.hists[static_cast<std::size_t>(Hist::kSvcRequestLatencyUs)]
+      .observe(to_us(total));
+  metrics_.hists[static_cast<std::size_t>(Hist::kSvcQueueWaitUs)].observe(
+      to_us(queue_wait));
+  if (entry.cold) {
+    metrics_.hists[static_cast<std::size_t>(Hist::kSvcSolveLatencyUs)]
+        .observe(to_us(entry.solve_seconds));
+  }
+  if (access_log_ != nullptr) {
+    AccessEntry logged;
+    logged.seq = entry.seq;
+    logged.id = entry.request.id;
+    logged.op = op_name(entry.request.op);
+    logged.status = entry.response.ok ? "ok" : "error";
+    logged.cache = entry.response.cache;
+    if (entry.request.op == SvcRequest::Op::kSolve) {
+      logged.method = entry.request.method;
+    }
+    logged.fingerprint = entry.key.fingerprint;
+    logged.has_fingerprint = entry.has_key;
+    if (entry.response.ok && entry.response.has_solve) {
+      logged.cut = static_cast<std::int64_t>(entry.response.cut);
+      logged.has_cut = true;
+    }
+    logged.error = entry.response.error;
+    logged.t_queue_us = to_us(queue_wait);
+    logged.t_solve_us = to_us(entry.solve_seconds);
+    logged.t_total_us = to_us(total);
+    access_log_->append(logged);
+  }
+  record_slow(entry, total);
 }
 
 void Service::process_batch(std::vector<std::string>& out,
@@ -251,6 +436,11 @@ void Service::process_batch(std::vector<std::string>& out,
   if (queue_.empty()) return;
   const bool stopping =
       stop != nullptr && stop->load(std::memory_order_acquire);
+
+  metrics_.gauges[static_cast<std::size_t>(Gauge::kSvcBatchSize)] =
+      static_cast<std::int64_t>(queue_.size());
+  const double dispatch_seconds = clock_.elapsed_seconds();
+  for (auto& entry : queue_) entry->dispatch_seconds = dispatch_seconds;
 
   // Phase 1 (dispatch thread, arrival order): parse results are already
   // in; resolve identities, load graphs, decide hit/coalesce/cold.
@@ -274,13 +464,18 @@ void Service::process_batch(std::vector<std::string>& out,
   // cross-request parallelism; trials inside a request stay serial
   // (svc/policy). Workers touch only their own slots.
   std::vector<PolicyResult> results(cold_queue_index.size());
+  metrics_.gauges[static_cast<std::size_t>(Gauge::kSvcInflight)] =
+      static_cast<std::int64_t>(cold_queue_index.size());
   if (!cold_queue_index.empty()) {
     const auto outcomes = pool_.parallel_for_collect(
         cold_queue_index.size(),
         [&](std::size_t j) {
           Pending& entry = *queue_[cold_queue_index[j]];
+          entry.solve_start_seconds = clock_.elapsed_seconds();
           results[j] = run_policy(entry.graph, entry.spec, entry.seed,
                                   options_.run, /*keep_sides=*/true, stop);
+          entry.solve_seconds =
+              clock_.elapsed_seconds() - entry.solve_start_seconds;
         },
         stop);
     for (std::size_t j = 0; j < outcomes.size(); ++j) {
@@ -313,7 +508,13 @@ void Service::process_batch(std::vector<std::string>& out,
         entry.response.id = entry.request.id;
         entry.response.ok = true;
         entry.response.op = "stats";
-        fill_stats(entry.response);
+        if (entry.request.format == "prom") {
+          std::ostringstream prom;
+          write_prom_exposition(prom, metrics_snapshot());
+          entry.response.prom = prom.str();
+        } else {
+          fill_stats(entry.response);
+        }
       } else if (entry.cold) {
         entry.response.cache = "miss";
         finalize_solve(entry, results[entry.cold_index]);
@@ -323,8 +524,13 @@ void Service::process_batch(std::vector<std::string>& out,
       }
     }
     out.push_back(encode_response(entry.response));
+    // After the response: a stats op reports the latencies of requests
+    // strictly before it in the stream, which keeps its *_count fields
+    // deterministic.
+    finalize_telemetry(entry, clock_.elapsed_seconds());
   }
   queue_.clear();
+  if (access_log_ != nullptr) access_log_->flush();
 
   // Mirror the cache's own monotone counters into the obs catalog
   // (absolute assignment: both sides count service lifetime).
@@ -335,6 +541,10 @@ void Service::process_batch(std::vector<std::string>& out,
       cache.misses;
   metrics_.counters[static_cast<std::size_t>(Counter::kSvcCacheEvictions)] =
       cache.evictions;
+  metrics_.gauges[static_cast<std::size_t>(Gauge::kSvcCacheBytes)] =
+      static_cast<std::int64_t>(cache.bytes);
+  metrics_.gauges[static_cast<std::size_t>(Gauge::kSvcQueueDepth)] = 0;
+  metrics_.gauges[static_cast<std::size_t>(Gauge::kSvcInflight)] = 0;
 }
 
 void Service::drain(std::vector<std::string>& out,

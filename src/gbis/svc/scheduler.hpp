@@ -32,7 +32,10 @@
 
 #include "gbis/harness/runner.hpp"
 #include "gbis/harness/thread_pool.hpp"
+#include "gbis/harness/timer.hpp"
 #include "gbis/obs/metrics.hpp"
+#include "gbis/obs/trace_export.hpp"
+#include "gbis/svc/access_log.hpp"
 #include "gbis/svc/cache.hpp"
 #include "gbis/svc/policy.hpp"
 #include "gbis/svc/protocol.hpp"
@@ -59,14 +62,26 @@ struct SvcOptions {
   std::uint64_t default_seed = 42;
   /// Worker threads for cross-request parallelism; 0 = hardware.
   unsigned threads = 0;
+  /// Per-request JSONL access log destination (svc/access_log);
+  /// "" = off. Opened append-mode at construction.
+  std::string access_log_path;
+  /// Slow-request sampling threshold in milliseconds: requests whose
+  /// total latency reaches it are recorded as SvcSlowSamples for the
+  /// Chrome trace. < 0 disables sampling; 0 samples every request
+  /// (which is what makes the sampled *set* testable — see
+  /// docs/SERVICE.md).
+  double slow_ms = -1;
+  /// Slow samples held before stride-doubling decimation kicks in.
+  std::uint32_t slow_capacity = 128;
   /// Solver knobs shared by every request (KlOptions etc.). The obs
   /// block and metric sinks are ignored — the service keeps its own.
   RunConfig run;
 };
 
-/// Overlays GBIS_SVC_CACHE_MB (whole mebibytes; 0 disables the cache)
-/// onto `base`. Malformed values warn on stderr and keep the default,
-/// matching every other GBIS_* knob.
+/// Overlays GBIS_SVC_CACHE_MB (whole mebibytes; 0 disables the cache),
+/// GBIS_SVC_ACCESS_LOG (a path), and GBIS_SVC_SLOW_MS (milliseconds,
+/// >= 0) onto `base`. Malformed values warn on stderr and keep the
+/// default, matching every other GBIS_* knob.
 SvcOptions svc_options_from_env(SvcOptions base);
 
 /// The service. See the file comment for the determinism contract.
@@ -95,9 +110,20 @@ class Service {
   std::size_t pending() const { return queue_.size(); }
   const SvcOptions& options() const { return options_; }
   const SvcCacheStats& cache_stats() const { return cache_.stats(); }
-  /// Service-lifetime obs counters (svc.* plus nothing else; solver
-  /// counters stay with the solver runs that own them).
+  /// Service-lifetime obs counters, gauges, and latency histograms
+  /// (svc.* plus nothing else; solver counters stay with the solver
+  /// runs that own them). Cache counters and svc.cache.bytes are
+  /// mirrored once per batch — metrics_snapshot() re-mirrors them
+  /// fresh, which is what the prom exposition and stats op use.
   const TrialMetrics& metrics() const { return metrics_; }
+  TrialMetrics metrics_snapshot() const;
+  /// Slow requests sampled so far (options().slow_ms >= 0); feed to
+  /// write_svc_trace.
+  const std::vector<SvcSlowSample>& slow_samples() const {
+    return slow_samples_;
+  }
+  /// False when the configured access log could not be opened.
+  bool access_log_ok() const;
 
  private:
   struct Pending;
@@ -108,6 +134,8 @@ class Service {
                std::vector<std::size_t>& cold_queue_index);
   void finalize_solve(Pending& entry, const PolicyResult& result);
   void fill_stats(SvcResponse& response) const;
+  void finalize_telemetry(Pending& entry, double now_seconds);
+  void record_slow(const Pending& entry, double total_seconds);
   static void fill_from_value(SvcResponse& response, const SvcCacheValue& value,
                               bool want_sides);
 
@@ -116,6 +144,12 @@ class Service {
   SvcResultCache cache_;
   TrialMetrics metrics_;
   std::vector<std::unique_ptr<Pending>> queue_;
+  std::unique_ptr<AccessLog> access_log_;
+  std::vector<SvcSlowSample> slow_samples_;
+  WallTimer clock_;               ///< service epoch for all timings
+  std::uint64_t next_seq_ = 0;    ///< request ordinal (access-log "seq")
+  std::uint64_t slow_ordinal_ = 0;  ///< slow samples offered so far
+  std::uint64_t slow_stride_ = 1;   ///< keep every stride-th slow sample
 };
 
 }  // namespace gbis

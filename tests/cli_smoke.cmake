@@ -98,7 +98,24 @@ unset(ENV{GBIS_THREADS})
 if(NOT code EQUAL 0)
   message(FATAL_ERROR "serve --replay (8 threads) failed (${code}): ${err}")
 endif()
-if(NOT serve1 STREQUAL serve8)
+# Wall-clock latency fields (key suffix "_us", by the docs/SERVICE.md
+# convention) are the one documented exception to byte identity —
+# strip them, then require the rest to match exactly.
+function(strip_timing text out_var)
+  # JSON fields whose key carries the "_us" wall-clock marker.
+  string(REGEX REPLACE ",\"[a-zA-Z0-9_]*_us\":[-+0-9.eE]+" "" text "${text}")
+  # Prom series embedded in a "prom" response string: drop every
+  # escaped line (…\n) naming a *_us metric. Escaped quotes are
+  # removed first so backslash only ever means a line boundary; this
+  # mangles the comparison copy, but mangles both sides identically.
+  string(REPLACE "\\\"" "" text "${text}")
+  string(REGEX REPLACE "[^\\\\]*_us[^\\\\]*\\\\n" "" text "${text}")
+  set(${out_var} "${text}" PARENT_SCOPE)
+endfunction()
+
+strip_timing("${serve1}" serve1_cmp)
+strip_timing("${serve8}" serve8_cmp)
+if(NOT serve1_cmp STREQUAL serve8_cmp)
   message(FATAL_ERROR
     "serve replay is not byte-identical across thread counts:\n"
     "--- GBIS_THREADS=1 ---\n${serve1}\n--- GBIS_THREADS=8 ---\n${serve8}")
@@ -111,6 +128,99 @@ if(NOT serve1 MATCHES "\"id\":\"r3\",\"ok\":true.*\"cache\":\"coalesced\"")
 endif()
 if(NOT serve1 MATCHES "\"id\":\"bad\",\"ok\":false")
   message(FATAL_ERROR "serve replay did not reject the bad request: ${serve1}")
+endif()
+
+# Serve telemetry: stats v2, the prom exposition, the access log, and
+# the --stats-file snapshot must all come back — and every
+# deterministic byte of them must be identical at 1 and 8 workers.
+file(WRITE ${WORK_DIR}/telem.ndjson
+  "{\"id\":\"t1\",\"op\":\"solve\",\"path\":\"${WORK_DIR}/g.graph\",\"method\":\"kl\"}\n"
+  "{\"id\":\"t2\",\"op\":\"solve\",\"path\":\"${WORK_DIR}/g.graph\",\"method\":\"kl\"}\n"
+  "{\"id\":\"ts\",\"op\":\"stats\"}\n"
+  "{\"id\":\"tp\",\"op\":\"stats\",\"format\":\"prom\"}\n")
+# The access log appends; clear leftovers from a previous ctest run.
+file(REMOVE ${WORK_DIR}/access1.jsonl ${WORK_DIR}/access8.jsonl)
+foreach(threads 1 8)
+  set(ENV{GBIS_THREADS} ${threads})
+  execute_process(COMMAND ${GBIS_CLI} serve --replay ${WORK_DIR}/telem.ndjson
+      --access-log ${WORK_DIR}/access${threads}.jsonl
+      --stats-file ${WORK_DIR}/prom${threads}.txt
+      --slow-ms 0
+    WORKING_DIRECTORY ${WORK_DIR}
+    RESULT_VARIABLE code OUTPUT_VARIABLE telem${threads} ERROR_VARIABLE err)
+  unset(ENV{GBIS_THREADS})
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR
+      "serve telemetry replay (${threads} threads) failed (${code}): ${err}")
+  endif()
+endforeach()
+if(NOT telem1 MATCHES "\"stats_version\":2")
+  message(FATAL_ERROR "stats response is not v2: ${telem1}")
+endif()
+if(NOT telem1 MATCHES "\"queue_depth\":")
+  message(FATAL_ERROR "stats response lacks gauges: ${telem1}")
+endif()
+if(NOT telem1 MATCHES "\"prom\":\"")
+  message(FATAL_ERROR "prom-format stats response missing: ${telem1}")
+endif()
+strip_timing("${telem1}" telem1_cmp)
+strip_timing("${telem8}" telem8_cmp)
+if(NOT telem1_cmp STREQUAL telem8_cmp)
+  message(FATAL_ERROR
+    "serve telemetry responses differ across thread counts:\n"
+    "--- GBIS_THREADS=1 ---\n${telem1}\n--- GBIS_THREADS=8 ---\n${telem8}")
+endif()
+
+file(READ ${WORK_DIR}/access1.jsonl access1)
+file(READ ${WORK_DIR}/access8.jsonl access8)
+if(NOT access1 MATCHES "\"seq\":0,\"id\":\"t1\",\"op\":\"solve\",\"status\":\"ok\"")
+  message(FATAL_ERROR "access log lacks the expected first entry: ${access1}")
+endif()
+strip_timing("${access1}" access1_cmp)
+strip_timing("${access8}" access8_cmp)
+if(NOT access1_cmp STREQUAL access8_cmp)
+  message(FATAL_ERROR
+    "access logs differ across thread counts:\n"
+    "--- GBIS_THREADS=1 ---\n${access1}\n--- GBIS_THREADS=8 ---\n${access8}")
+endif()
+
+# The prom snapshot: drop whole series whose metric name carries the
+# "_us" marker (their bucket placement is wall-clock), compare the rest.
+file(READ ${WORK_DIR}/prom1.txt prom1)
+file(READ ${WORK_DIR}/prom8.txt prom8)
+if(NOT prom1 MATCHES "# TYPE gbis_svc_requests_total counter")
+  message(FATAL_ERROR "prom snapshot lacks the counter catalog: ${prom1}")
+endif()
+function(strip_us_series text out_var)
+  string(REGEX REPLACE "[^\n]*_us[^\n]*\n" "" text "${text}")
+  set(${out_var} "${text}" PARENT_SCOPE)
+endfunction()
+strip_us_series("${prom1}" prom1_cmp)
+strip_us_series("${prom8}" prom8_cmp)
+if(NOT prom1_cmp STREQUAL prom8_cmp)
+  message(FATAL_ERROR
+    "prom snapshots differ across thread counts:\n"
+    "--- GBIS_THREADS=1 ---\n${prom1}\n--- GBIS_THREADS=8 ---\n${prom8}")
+endif()
+
+# Lint the exposition with the checked-in validator when python3 is
+# around (CI always has it; dev boxes may not).
+find_program(PYTHON3 python3)
+if(PYTHON3 AND DEFINED PROM_LINT)
+  execute_process(COMMAND ${PYTHON3} ${PROM_LINT}
+      ${WORK_DIR}/prom1.txt ${WORK_DIR}/prom8.txt
+    RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "prom_lint rejected the snapshot: ${out} ${err}")
+  endif()
+endif()
+
+# Usage contract for the new flags: a negative --slow-ms is 2 (usage).
+execute_process(COMMAND ${GBIS_CLI} serve --replay ${WORK_DIR}/telem.ndjson
+    --slow-ms -1
+  RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(NOT code EQUAL 2)
+  message(FATAL_ERROR "negative --slow-ms exited ${code}, expected 2")
 endif()
 
 # Serve failure contract: missing replay file -> 3 (I/O), unknown

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -24,9 +25,11 @@
 #include "gbis/harness/fault_injection.hpp"
 #include "gbis/harness/parallel_runner.hpp"
 #include "gbis/harness/shutdown.hpp"
+#include "gbis/harness/stats.hpp"
 #include "gbis/io/io_error.hpp"
 #include "gbis/obs/metrics.hpp"
 #include "gbis/obs/progress.hpp"
+#include "gbis/obs/prom_export.hpp"
 #include "gbis/obs/trace.hpp"
 #include "gbis/obs/trace_export.hpp"
 #include "gbis/rng/rng.hpp"
@@ -78,6 +81,25 @@ TEST(MetricsSink, BoundSinkAccumulates) {
   EXPECT_EQ(tm.counter(Counter::kKlPasses), 3u);
   EXPECT_EQ(tm.hist(Hist::kKlPassImprovement).buckets[3], 1u);
   EXPECT_EQ(tm.hist(Hist::kKlPassImprovement).total(), 1u);
+  EXPECT_FALSE(tm.summary_empty());
+}
+
+TEST(MetricsSink, GaugesSetAddAndNullSink) {
+  MetricsSink null_sink;  // unbound: every gauge call is a no-op
+  null_sink.set_gauge(Gauge::kSvcQueueDepth, 42);
+  null_sink.add_gauge(Gauge::kSvcInflight, 1);
+
+  TrialMetrics tm;
+  MetricsSink sink(&tm);
+  EXPECT_EQ(tm.gauge(Gauge::kSvcQueueDepth), 0);
+  sink.set_gauge(Gauge::kSvcQueueDepth, 7);
+  EXPECT_EQ(tm.gauge(Gauge::kSvcQueueDepth), 7);
+  sink.set_gauge(Gauge::kSvcQueueDepth, 3);  // set overwrites, no max
+  EXPECT_EQ(tm.gauge(Gauge::kSvcQueueDepth), 3);
+  sink.add_gauge(Gauge::kSvcInflight, 2);
+  sink.add_gauge(Gauge::kSvcInflight, -1);
+  EXPECT_EQ(tm.gauge(Gauge::kSvcInflight), 1);
+  // A nonzero gauge alone makes the summary non-empty.
   EXPECT_FALSE(tm.summary_empty());
 }
 
@@ -141,10 +163,243 @@ TEST(MetricNames, RoundTripThroughReverseLookup) {
     ASSERT_TRUE(hist_from_name(hist_name(h), back)) << hist_name(h);
     EXPECT_EQ(back, h);
   }
+  for (std::size_t i = 0; i < kNumGauges; ++i) {
+    const auto g = static_cast<Gauge>(i);
+    Gauge back = Gauge::kCount;
+    ASSERT_TRUE(gauge_from_name(gauge_name(g), back)) << gauge_name(g);
+    EXPECT_EQ(back, g);
+  }
   Counter c;
   EXPECT_FALSE(counter_from_name("no.such.counter", c));
   Hist h;
   EXPECT_FALSE(hist_from_name("no.such.hist", h));
+  Gauge g;
+  EXPECT_FALSE(gauge_from_name("no.such.gauge", g));
+}
+
+// --- Histogram summaries ---------------------------------------------------
+
+// hist_percentile must agree with harness/stats.hpp percentile() run
+// over the histogram's implied sample (each bucket's count at its
+// representative value) — same rank convention, same interpolation.
+TEST(HistSummary, PercentilesMatchStatsPercentileConvention) {
+  HistData hist;
+  const std::uint64_t observed[] = {0, 0, 1, 2, 3, 3, 5, 9, 17, 100, 900};
+  std::vector<double> implied;
+  for (const std::uint64_t v : observed) {
+    hist.observe(v);
+  }
+  for (std::size_t b = 0; b < hist.buckets.size(); ++b) {
+    for (std::uint64_t n = 0; n < hist.buckets[b]; ++n) {
+      implied.push_back(hist_bucket_representative(b));
+    }
+  }
+  ASSERT_EQ(implied.size(), std::size(observed));
+  for (const double p : {0.0, 25.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(hist_percentile(hist, p), percentile(implied, p))
+        << "p" << p;
+  }
+  // Out-of-range p clamps exactly like percentile() does.
+  EXPECT_DOUBLE_EQ(hist_percentile(hist, -5.0), percentile(implied, 0.0));
+  EXPECT_DOUBLE_EQ(hist_percentile(hist, 250.0), percentile(implied, 100.0));
+
+  const HistSummary summary = summarize_hist(hist);
+  EXPECT_EQ(summary.count, std::size(observed));
+  EXPECT_EQ(summary.sum, 0u + 0 + 1 + 2 + 3 + 3 + 5 + 9 + 17 + 100 + 900);
+  EXPECT_DOUBLE_EQ(summary.p50, percentile(implied, 50.0));
+  EXPECT_DOUBLE_EQ(summary.p90, percentile(implied, 90.0));
+  EXPECT_DOUBLE_EQ(summary.p99, percentile(implied, 99.0));
+}
+
+TEST(HistSummary, EmptyAndSingletonEdges) {
+  const HistData empty;
+  EXPECT_DOUBLE_EQ(hist_percentile(empty, 50.0), 0.0);
+  const HistSummary none = summarize_hist(empty);
+  EXPECT_EQ(none.count, 0u);
+  EXPECT_EQ(none.sum, 0u);
+  EXPECT_DOUBLE_EQ(none.p50, 0.0);
+
+  HistData one;
+  one.observe(6);  // bucket 3: [4,7], representative 5.5
+  EXPECT_DOUBLE_EQ(hist_percentile(one, 0.0), 5.5);
+  EXPECT_DOUBLE_EQ(hist_percentile(one, 50.0), 5.5);
+  EXPECT_DOUBLE_EQ(hist_percentile(one, 100.0), 5.5);
+
+  // Zero-valued observations live in their own exact bucket.
+  HistData zeros;
+  zeros.observe(0);
+  zeros.observe(0);
+  EXPECT_DOUBLE_EQ(hist_percentile(zeros, 100.0), 0.0);
+  EXPECT_EQ(summarize_hist(zeros).count, 2u);
+}
+
+TEST(MetricMerge, GaugesFoldByMaxAndHistSumsAdd) {
+  TrialMetrics a, b;
+  a.gauges[static_cast<std::size_t>(Gauge::kSvcQueueDepth)] = 3;
+  b.gauges[static_cast<std::size_t>(Gauge::kSvcQueueDepth)] = 9;
+  a.gauges[static_cast<std::size_t>(Gauge::kSvcCacheBytes)] = 100;
+  a.hists[static_cast<std::size_t>(Hist::kSvcRequestLatencyUs)].observe(40);
+  b.hists[static_cast<std::size_t>(Hist::kSvcRequestLatencyUs)].observe(60);
+  merge_metric_summaries(a, b);
+  EXPECT_EQ(a.gauge(Gauge::kSvcQueueDepth), 9);   // max wins
+  EXPECT_EQ(a.gauge(Gauge::kSvcCacheBytes), 100);  // absent-in-b keeps a
+  const HistData& merged =
+      a.hist(Hist::kSvcRequestLatencyUs);
+  EXPECT_EQ(merged.total(), 2u);
+  EXPECT_EQ(merged.sum, 100u);
+}
+
+// Minimal structural JSON check: balanced {} / [] outside strings and
+// a clean end. Enough to catch every way the hand-rolled writers could
+// emit a torn file, without a JSON dependency.
+void check_balanced_json(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        ASSERT_FALSE(stack.empty()) << "unbalanced at byte " << i;
+        ASSERT_EQ(stack.back(), c) << "mismatched at byte " << i;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_TRUE(stack.empty());
+}
+
+// --- Prometheus exposition -------------------------------------------------
+
+TEST(PromExport, MetricNameMapping) {
+  EXPECT_EQ(prom_metric_name("kl.passes"), "gbis_kl_passes");
+  EXPECT_EQ(prom_metric_name("svc.cache.bytes"), "gbis_svc_cache_bytes");
+  EXPECT_EQ(prom_metric_name("svc.request_latency_us"),
+            "gbis_svc_request_latency_us");
+}
+
+TEST(PromExport, ExpositionCoversCatalogWithCumulativeBuckets) {
+  TrialMetrics tm;
+  tm.counters[static_cast<std::size_t>(Counter::kSvcRequests)] = 5;
+  tm.gauges[static_cast<std::size_t>(Gauge::kSvcQueueDepth)] = 3;
+  HistData& latency =
+      tm.hists[static_cast<std::size_t>(Hist::kSvcRequestLatencyUs)];
+  latency.observe(0);   // bucket 0, le="0"
+  latency.observe(3);   // bucket 2, le="3"
+  latency.observe(3);
+  latency.observe(12);  // bucket 4, le="15"
+  std::ostringstream out;
+  write_prom_exposition(out, tm);
+  const std::string text = out.str();
+
+  EXPECT_NE(text.find("# TYPE gbis_svc_requests_total counter\n"
+                      "gbis_svc_requests_total 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE gbis_svc_queue_depth gauge\n"
+                      "gbis_svc_queue_depth 3\n"),
+            std::string::npos);
+  // Histogram: cumulative counts over contiguous log2 buckets, then
+  // +Inf == _count, and _sum is the exact sum of observed values.
+  EXPECT_NE(text.find("# TYPE gbis_svc_request_latency_us histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gbis_svc_request_latency_us_bucket{le=\"0\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gbis_svc_request_latency_us_bucket{le=\"3\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gbis_svc_request_latency_us_bucket{le=\"15\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gbis_svc_request_latency_us_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gbis_svc_request_latency_us_sum 18\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gbis_svc_request_latency_us_count 4\n"),
+            std::string::npos);
+  // Empty histograms are omitted entirely (no torn TYPE headers).
+  EXPECT_EQ(text.find("gbis_kl_pass_improvement"), std::string::npos);
+  // Every counter appears even at zero — scrapers want a stable set.
+  EXPECT_NE(text.find("gbis_kl_passes_total 0\n"), std::string::npos);
+}
+
+TEST(PromExport, ExpositionIsDeterministic) {
+  TrialMetrics tm;
+  tm.counters[static_cast<std::size_t>(Counter::kSvcRequests)] = 2;
+  tm.hists[static_cast<std::size_t>(Hist::kSvcSolveLatencyUs)].observe(77);
+  std::ostringstream a, b;
+  write_prom_exposition(a, tm);
+  write_prom_exposition(b, tm);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(MetricsJson, CarriesGaugesBlock) {
+  MetricsReport report;
+  report.trials = 1;
+  report.totals.gauges[static_cast<std::size_t>(Gauge::kSvcQueueDepth)] = 4;
+  std::ostringstream out;
+  write_metrics_json(out, report);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"schema\":\"gbis-metrics-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"svc.queue_depth\":4"), std::string::npos);
+  check_balanced_json(json);
+}
+
+// --- Service slow-request trace --------------------------------------------
+
+TEST(SvcTrace, EmitsRequestSpansWithPhaseSubSpans) {
+  std::vector<SvcSlowSample> samples;
+  SvcSlowSample s;
+  s.seq = 3;
+  s.id = "req-a";
+  s.method = "kl";
+  s.cache = "miss";
+  s.status = "ok";
+  s.submit_seconds = 0.010;
+  s.queue_seconds = 0.002;
+  s.solve_start_seconds = 0.012;
+  s.solve_seconds = 0.005;
+  s.total_seconds = 0.008;
+  samples.push_back(s);
+  SvcSlowSample hit;  // cache hit: no solve span
+  hit.seq = 4;
+  hit.id = "req-b";
+  hit.cache = "hit";
+  hit.status = "ok";
+  hit.submit_seconds = 0.020;
+  hit.queue_seconds = 0.001;
+  hit.total_seconds = 0.0015;
+  samples.push_back(hit);
+
+  std::ostringstream out;
+  write_svc_trace(out, samples);
+  const std::string text = out.str();
+  EXPECT_EQ(text.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0),
+            0u);
+  check_balanced_json(text);
+  EXPECT_NE(text.find("\"name\":\"req 3 req-a\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"req 4 req-b\""), std::string::npos);
+  EXPECT_NE(text.find("\"cat\":\"svc_phase\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"queue\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"solve\""), std::string::npos);
+  // The hit never solved, so exactly one solve sub-span in the file.
+  const std::size_t first = text.find("\"name\":\"solve\"");
+  EXPECT_EQ(text.find("\"name\":\"solve\"", first + 1), std::string::npos);
+
+  std::ostringstream empty;
+  write_svc_trace(empty, {});
+  check_balanced_json(empty.str());
 }
 
 // --- Collection through the trial runner -----------------------------------
@@ -302,39 +557,6 @@ TEST(ConvergenceTrace, ParseRejectsMalformedLines) {
 
 // --- Chrome trace ----------------------------------------------------------
 
-// Minimal structural JSON check: balanced {} / [] outside strings and
-// a clean end. Enough to catch every way the hand-rolled writer could
-// emit a torn file, without a JSON dependency.
-void check_balanced_json(const std::string& text) {
-  std::vector<char> stack;
-  bool in_string = false;
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    if (in_string) {
-      if (c == '\\') {
-        ++i;
-      } else if (c == '"') {
-        in_string = false;
-      }
-      continue;
-    }
-    switch (c) {
-      case '"': in_string = true; break;
-      case '{': stack.push_back('}'); break;
-      case '[': stack.push_back(']'); break;
-      case '}':
-      case ']':
-        ASSERT_FALSE(stack.empty()) << "unbalanced at byte " << i;
-        ASSERT_EQ(stack.back(), c) << "mismatched at byte " << i;
-        stack.pop_back();
-        break;
-      default: break;
-    }
-  }
-  EXPECT_FALSE(in_string);
-  EXPECT_TRUE(stack.empty());
-}
-
 TEST(ChromeTrace, IsStructurallyValidWithNestedNonOverlappingSpans) {
   const std::vector<TrialResult> results = run_collected(4);
   const Method methods[] = {Method::kKl, Method::kSa, Method::kFm,
@@ -478,6 +700,30 @@ TEST(ProgressMeter, CountsAndFinishesOnAnyStream) {
   EXPECT_NE(text.find("ok 2"), std::string::npos);
   EXPECT_NE(text.find("failed 1"), std::string::npos);
   EXPECT_EQ(text.back(), '\n');  // finish() releases the line
+}
+
+TEST(ProgressMeter, RequestStyleIsOpenEndedWithRejectedColumn) {
+  std::ostringstream out;
+  {
+    // total 0: a serve stream has no known length, so no "/total", no
+    // ETA — the line must stay repaintable forever.
+    ProgressMeter meter(0, &out, /*min_interval_seconds=*/0.0,
+                       ProgressStyle::kRequests);
+    meter.record(ProgressOutcome::kOk);
+    meter.record(ProgressOutcome::kSkipped);   // maps to "rejected"
+    meter.record(ProgressOutcome::kFailed);    // maps to "err"
+    meter.record(ProgressOutcome::kTimedOut);  // also "err"
+    meter.finish();
+  }
+  const std::string text = out.str();
+  EXPECT_NE(text.find("4 requests"), std::string::npos);
+  EXPECT_NE(text.find("ok 1"), std::string::npos);
+  EXPECT_NE(text.find("rejected 1"), std::string::npos);
+  EXPECT_NE(text.find("err 2"), std::string::npos);
+  EXPECT_NE(text.find("req/s"), std::string::npos);
+  EXPECT_EQ(text.find("ETA"), std::string::npos);
+  EXPECT_EQ(text.find("trials"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
 }
 
 // --- Journaled metric summaries --------------------------------------------

@@ -6,6 +6,10 @@
 // worker count.
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <regex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -41,6 +45,28 @@ std::string solve_line(const std::string& id, const Graph& g,
   append_json_string(payload, inline_payload(g));
   return "{\"id\":\"" + id + "\"" + extra + ",\"op\":\"solve\",\"inline\":" +
          payload + "}";
+}
+
+// Deletes the wall-clock fields from a response / access-log line so
+// the rest can be byte-compared across thread counts. By convention
+// (docs/SERVICE.md) every nondeterministic key ends in `_us` and its
+// value is a bare number, so one pattern strips them all; embedded
+// quotes inside JSON strings are escaped, so the pattern can never
+// match inside one.
+std::string strip_timing(const std::string& line) {
+  static const std::regex timing(",\"[A-Za-z0-9_]*_us\":[-+0-9.eE]+");
+  return std::regex_replace(line, timing, "");
+}
+
+std::vector<std::string> strip_timing(std::vector<std::string> lines) {
+  for (std::string& line : lines) line = strip_timing(line);
+  return lines;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
 }
 
 // --- Fingerprint -----------------------------------------------------------
@@ -350,9 +376,12 @@ TEST(Service, ResponseStreamIsThreadCountInvariant) {
   lines.push_back(solve_line("e", gnp, ",\"seed\":99"));
   lines.push_back("{\"id\":\"s\",\"op\":\"stats\"}");
 
-  const auto one = run_sequence(test_options(1), lines);
-  const auto two = run_sequence(test_options(2), lines);
-  const auto eight = run_sequence(test_options(8), lines);
+  // The stats line carries wall-clock latency fields (`*_us`), which
+  // are the one documented exception to the determinism contract —
+  // strip them, then require byte identity.
+  const auto one = strip_timing(run_sequence(test_options(1), lines));
+  const auto two = strip_timing(run_sequence(test_options(2), lines));
+  const auto eight = strip_timing(run_sequence(test_options(8), lines));
   EXPECT_EQ(one, two);
   EXPECT_EQ(one, eight);
 }
@@ -503,6 +532,261 @@ TEST(Service, StatsReportsTheCounterCatalog) {
   // The obs-catalog mirror matches what stats reported.
   EXPECT_EQ(service.metrics().counter(Counter::kSvcRequests), 3u);
   EXPECT_EQ(service.metrics().counter(Counter::kSvcCacheMisses), 2u);
+}
+
+TEST(Service, StatsV2ReportsGaugesAndLatencySummaries) {
+  const Graph g = make_grid(4, 4);
+  Service service(test_options());
+  std::vector<std::string> out;
+  service.submit_line(solve_line("a", g), out);
+  service.submit_line(solve_line("b", g), out);  // coalesces with a
+  service.submit_line("{\"id\":\"s\",\"op\":\"stats\"}", out);
+  service.drain(out);
+  ASSERT_EQ(out.size(), 3u);
+  const std::string& stats = out[2];
+
+  std::uint64_t value = 0;
+  ASSERT_TRUE(json_parse_u64(stats, "stats_version", value));
+  EXPECT_EQ(value, 2u);
+  // Gauges read mid-batch: all three requests were queued, and exactly
+  // one cold solve ran (the follower coalesced).
+  ASSERT_TRUE(json_parse_u64(stats, "queue_depth", value));
+  EXPECT_EQ(value, 3u);
+  ASSERT_TRUE(json_parse_u64(stats, "inflight", value));
+  EXPECT_EQ(value, 1u);
+  ASSERT_TRUE(json_parse_u64(stats, "batch_size", value));
+  EXPECT_EQ(value, 3u);
+  // The *_count fields are deterministic: a stats op covers requests
+  // strictly before it in the stream (here: a and b; one cold solve).
+  ASSERT_TRUE(json_parse_u64(stats, "request_latency_count", value));
+  EXPECT_EQ(value, 2u);
+  ASSERT_TRUE(json_parse_u64(stats, "solve_latency_count", value));
+  EXPECT_EQ(value, 1u);
+  ASSERT_TRUE(json_parse_u64(stats, "queue_wait_count", value));
+  EXPECT_EQ(value, 2u);
+  // The wall-clock summaries are present and sane; their values are
+  // explicitly not deterministic, so only shape is pinned.
+  for (const char* key :
+       {"request_latency_sum_us", "request_latency_p50_us",
+        "request_latency_p90_us", "request_latency_p99_us",
+        "solve_latency_p50_us", "queue_wait_p99_us"}) {
+    double real = -1.0;
+    ASSERT_TRUE(json_parse_double(stats, key, real)) << key;
+    EXPECT_GE(real, 0.0) << key;
+  }
+}
+
+TEST(Protocol, StatsFormatParsesKnownAndRejectsUnknown) {
+  SvcRequest request;
+  std::string error;
+  ASSERT_TRUE(parse_request(R"({"op":"stats","format":"prom"})", request,
+                            error));
+  EXPECT_EQ(request.format, "prom");
+  EXPECT_TRUE(parse_request(R"({"op":"stats","format":"json"})", request,
+                            error));
+  EXPECT_TRUE(parse_request(R"({"op":"stats"})", request, error));
+  EXPECT_FALSE(parse_request(R"({"op":"stats","format":"xml"})", request,
+                             error));
+  EXPECT_TRUE(error.starts_with("parse: unknown stats format"));
+}
+
+TEST(Service, StatsPromFormatReturnsExposition) {
+  const Graph g = make_grid(4, 4);
+  Service service(test_options());
+  std::vector<std::string> out;
+  service.submit_line(solve_line("a", g), out);
+  service.submit_line("{\"id\":\"p\",\"op\":\"stats\",\"format\":\"prom\"}",
+                      out);
+  service.drain(out);
+  ASSERT_EQ(out.size(), 2u);
+  std::string prom;
+  ASSERT_TRUE(json_parse_string(out[1], "prom", prom));
+  EXPECT_NE(prom.find("# TYPE gbis_svc_requests_total counter\n"
+                      "gbis_svc_requests_total 2\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("gbis_svc_cache_misses_total 1\n"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE gbis_svc_queue_depth gauge\n"),
+            std::string::npos);
+  // Request "a" finalized before the stats op, so the latency
+  // histogram exists — with its full cumulative-bucket tail.
+  EXPECT_NE(prom.find("# TYPE gbis_svc_request_latency_us histogram\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("gbis_svc_request_latency_us_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("gbis_svc_request_latency_us_count 1\n"),
+            std::string::npos);
+  // A prom response never carries the JSON stats block.
+  std::uint64_t ignored = 0;
+  EXPECT_FALSE(json_parse_u64(out[1], "stats_version", ignored));
+}
+
+TEST(Service, AccessLogRecordsOutcomesInStreamOrder) {
+  const Graph g = make_grid(6, 6);
+  const std::string path = testing::TempDir() + "svc_access_content.jsonl";
+  std::remove(path.c_str());  // the log appends; start fresh
+  SvcOptions options = test_options();
+  options.access_log_path = path;
+  {
+    Service service(options);
+    ASSERT_TRUE(service.access_log_ok());
+    std::vector<std::string> out;
+    service.submit_line(solve_line("a", g), out);
+    service.submit_line(solve_line("b", g), out);  // coalesces
+    service.submit_line("{\"id\":\"s\",\"op\":\"stats\"}", out);
+    service.submit_line("{\"id\":\"junk\" nope", out);
+    service.drain(out);
+  }  // destruction closes (and flushes) the log
+
+  std::istringstream in(read_file(path));
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);
+
+  std::uint64_t seq = 99;
+  std::string text;
+  std::int64_t cut = 0;
+  ASSERT_TRUE(json_parse_u64(lines[0], "seq", seq));
+  EXPECT_EQ(seq, 0u);
+  ASSERT_TRUE(json_parse_string(lines[0], "op", text));
+  EXPECT_EQ(text, "solve");
+  ASSERT_TRUE(json_parse_string(lines[0], "status", text));
+  EXPECT_EQ(text, "ok");
+  ASSERT_TRUE(json_parse_string(lines[0], "cache", text));
+  EXPECT_EQ(text, "miss");
+  EXPECT_TRUE(json_parse_string(lines[0], "fingerprint", text));
+  ASSERT_TRUE(json_parse_i64(lines[0], "cut", cut));
+  EXPECT_EQ(cut, 6);
+
+  ASSERT_TRUE(json_parse_string(lines[1], "cache", text));
+  EXPECT_EQ(text, "coalesced");
+  std::uint64_t t_solve = 1;
+  ASSERT_TRUE(json_parse_u64(lines[1], "t_solve_us", t_solve));
+  EXPECT_EQ(t_solve, 0u);  // the follower never solved
+
+  ASSERT_TRUE(json_parse_string(lines[2], "op", text));
+  EXPECT_EQ(text, "stats");
+  EXPECT_FALSE(json_parse_string(lines[2], "cache", text));
+
+  ASSERT_TRUE(json_parse_string(lines[3], "status", text));
+  EXPECT_EQ(text, "error");
+  EXPECT_TRUE(json_parse_string(lines[3], "error", text));
+}
+
+TEST(Service, AccessLogIsThreadCountInvariantAfterTimingStrip) {
+  const Graph grid = make_grid(7, 5);
+  const Graph ladder = make_ladder(9);
+  Rng rng(3);
+  const Graph gnp = make_gnp(48, gnp_p_for_degree(48, 3.0), rng);
+  std::vector<std::string> lines;
+  lines.push_back(solve_line("a", grid));
+  lines.push_back(solve_line("b", ladder));
+  lines.push_back(solve_line("c", gnp, ",\"budget\":5"));
+  lines.push_back("{\"id\":\"s\",\"op\":\"stats\"}");
+  lines.push_back(solve_line("d", grid));  // cache hit
+  lines.push_back("{\"id\":\"junk\" nope");
+
+  const auto log_at = [&](unsigned threads) {
+    const std::string path = testing::TempDir() + "svc_access_t" +
+                             std::to_string(threads) + ".jsonl";
+    std::remove(path.c_str());
+    SvcOptions options = test_options(threads);
+    options.access_log_path = path;
+    {
+      Service service(options);
+      std::vector<std::string> out;
+      for (const std::string& line : lines) {
+        service.submit_line(line, out);
+        if (service.pending() >= options.batch_size)
+          service.process_batch(out);
+      }
+      service.drain(out);
+    }
+    return strip_timing(read_file(path));
+  };
+  const std::string one = log_at(1);
+  const std::string eight = log_at(8);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, eight);
+  // The strip really removed the wall-clock fields and nothing else.
+  EXPECT_EQ(one.find("_us\":"), std::string::npos);
+  EXPECT_NE(one.find("\"fingerprint\":"), std::string::npos);
+}
+
+TEST(Service, SlowSamplingKeepsADeterministicBoundedSubset) {
+  const Graph g = make_grid(6, 6);
+  const auto seqs_at = [&](unsigned threads) {
+    SvcOptions options = test_options(threads);
+    options.slow_ms = 0;  // sample every request: the set is testable
+    options.slow_capacity = 4;
+    Service service(options);
+    std::vector<std::string> out;
+    for (int i = 0; i < 10; ++i) {
+      // Distinct seeds: ten cold solves, no coalescing.
+      service.submit_line(
+          solve_line("r" + std::to_string(i), g,
+                     ",\"seed\":" + std::to_string(100 + i)),
+          out);
+    }
+    service.drain(out);
+    EXPECT_LE(service.slow_samples().size(), 4u);
+    std::vector<std::uint64_t> seqs;
+    for (const SvcSlowSample& sample : service.slow_samples()) {
+      seqs.push_back(sample.seq);
+      EXPECT_EQ(sample.status, "ok");
+    }
+    return seqs;
+  };
+  const auto one = seqs_at(1);
+  const auto eight = seqs_at(8);
+  ASSERT_FALSE(one.empty());
+  EXPECT_EQ(one, eight);  // which requests survive is seq-determined
+  for (std::size_t i = 1; i < one.size(); ++i) {
+    EXPECT_LT(one[i - 1], one[i]);
+  }
+}
+
+TEST(Service, NegativeSlowMsDisablesSampling) {
+  const Graph g = make_grid(4, 4);
+  Service service(test_options());  // slow_ms default -1
+  std::vector<std::string> out;
+  service.submit_line(solve_line("a", g), out);
+  service.drain(out);
+  EXPECT_TRUE(service.slow_samples().empty());
+}
+
+TEST(SvcOptionsEnv, OverlaysTelemetryKnobsAndKeepsDefaultsOnMalformed) {
+  ::setenv("GBIS_SVC_CACHE_MB", "8", 1);
+  ::setenv("GBIS_SVC_ACCESS_LOG", "/tmp/al.jsonl", 1);
+  ::setenv("GBIS_SVC_SLOW_MS", "2.5", 1);
+  SvcOptions options = svc_options_from_env(SvcOptions{});
+  EXPECT_EQ(options.cache_bytes, 8ull << 20);
+  EXPECT_EQ(options.access_log_path, "/tmp/al.jsonl");
+  EXPECT_DOUBLE_EQ(options.slow_ms, 2.5);
+
+  ::setenv("GBIS_SVC_SLOW_MS", "fast", 1);  // malformed: warn, keep off
+  ::setenv("GBIS_SVC_ACCESS_LOG", "", 1);   // empty path is malformed too
+  options = svc_options_from_env(SvcOptions{});
+  EXPECT_DOUBLE_EQ(options.slow_ms, -1.0);
+  EXPECT_TRUE(options.access_log_path.empty());
+
+  ::setenv("GBIS_SVC_SLOW_MS", "-3", 1);  // sampling has no negative knob
+  options = svc_options_from_env(SvcOptions{});
+  EXPECT_DOUBLE_EQ(options.slow_ms, -1.0);
+
+  ::unsetenv("GBIS_SVC_CACHE_MB");
+  ::unsetenv("GBIS_SVC_ACCESS_LOG");
+  ::unsetenv("GBIS_SVC_SLOW_MS");
+}
+
+TEST(Service, UnopenableAccessLogReportsNotOk) {
+  SvcOptions options = test_options();
+  options.access_log_path =
+      testing::TempDir() + "no_such_dir_svc/log.jsonl";
+  Service service(options);
+  EXPECT_FALSE(service.access_log_ok());
+  Service plain(test_options());  // no log configured: trivially ok
+  EXPECT_TRUE(plain.access_log_ok());
 }
 
 TEST(Service, CacheEvictionsSurfaceInStats) {

@@ -62,7 +62,11 @@ jq -s \
       cpu_time_ns:  (if .time_unit == "ms" then .cpu_time * 1e6
                      elif .time_unit == "us" then .cpu_time * 1e3
                      else .cpu_time end)
-    } ]
+    }
+    # Optional per-case service telemetry (svc_throughput emits these
+    # as benchmark counters); absent for cases that do not report them.
+    + ({latency_p50_us, latency_p99_us, hit_ratio}
+       | with_entries(select(.value != null))) ]
   }' "$tmp_dir"/*.json >"$out_file"
 
 echo "bench_snapshot: wrote $out_file ($(jq '.benchmarks | length' "$out_file") cases)" >&2

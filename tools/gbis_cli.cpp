@@ -34,7 +34,9 @@
 // diagnostics go to stderr; stdout carries only results.
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -60,8 +62,11 @@
 #include "gbis/kway/refine.hpp"
 #include "gbis/partition/bisection.hpp"
 #include "gbis/partition/metrics.hpp"
+#include "gbis/obs/progress.hpp"
+#include "gbis/obs/prom_export.hpp"
 #include "gbis/rng/rng.hpp"
 #include "gbis/svc/scheduler.hpp"
+#include "gbis/util/json_lite.hpp"
 
 #include <fstream>
 
@@ -113,6 +118,18 @@ void print_help(std::ostream& out) {
          "                     env GBIS_SVC_CACHE_MB, flag wins)\n"
          "      --budget N     default trials per solve request (2)\n"
          "      --deadline S   default per-request deadline (none)\n"
+         "      --access-log F append one JSON line per request to F\n"
+         "                     (env GBIS_SVC_ACCESS_LOG, flag wins)\n"
+         "      --slow-ms M    sample requests slower than M ms into\n"
+         "                     <trace-dir>/trace.json (0 = all; env\n"
+         "                     GBIS_SVC_SLOW_MS, flag wins)\n"
+         "      --stats-file F republish a Prometheus text exposition\n"
+         "                     to F (atomic rename), plus once at exit\n"
+         "      --stats-interval S  seconds between republishes (10)\n"
+         "      Request {\"op\":\"stats\"} reports counters, gauges, and\n"
+         "      latency summaries; \"format\":\"prom\" returns the\n"
+         "      Prometheus exposition instead. --progress shows a live\n"
+         "      requests/s line on stderr.\n"
          "\n"
          "global flags:\n"
          "  --seed N        base seed (default 42)\n"
@@ -137,8 +154,10 @@ void print_help(std::ostream& out) {
          "into campaign trials (kinds: throw, hang, stop) — see\n"
          "docs/ROBUSTNESS.md. GBIS_METRICS, GBIS_TRACE_DIR, and\n"
          "GBIS_PROGRESS=1 are the environment forms of --metrics,\n"
-         "--trace-dir, and --progress (flags win) — see\n"
-         "docs/OBSERVABILITY.md and the README env-var table.\n";
+         "--trace-dir, and --progress (flags win); GBIS_SVC_CACHE_MB,\n"
+         "GBIS_SVC_ACCESS_LOG, and GBIS_SVC_SLOW_MS do the same for the\n"
+         "serve flags — see docs/OBSERVABILITY.md, docs/SERVICE.md, and\n"
+         "the README env-var table.\n";
 }
 
 [[noreturn]] void usage() {
@@ -459,13 +478,16 @@ int cmd_convert(const std::vector<std::string>& args) {
 }
 
 int cmd_serve(const std::vector<std::string>& args, std::uint64_t seed,
-              std::uint32_t threads) {
-  // Env first (GBIS_SVC_CACHE_MB), explicit flags override — the same
-  // precedence as the observability knobs.
+              std::uint32_t threads, const ObsOptions& obs) {
+  // Env first (GBIS_SVC_CACHE_MB / GBIS_SVC_ACCESS_LOG /
+  // GBIS_SVC_SLOW_MS), explicit flags override — the same precedence
+  // as the observability knobs.
   SvcOptions options = svc_options_from_env(SvcOptions{});
   options.default_seed = seed;
   options.threads = threads;
   std::string replay_path;
+  std::string stats_path;
+  double stats_interval = 10.0;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     auto flag_value = [&]() -> const std::string& {
@@ -487,6 +509,18 @@ int cmd_serve(const std::vector<std::string>& args, std::uint64_t seed,
       if (options.default_budget == 0) usage();
     } else if (arg == "--deadline") {
       options.default_deadline_seconds = to_double(flag_value());
+    } else if (arg == "--access-log") {
+      options.access_log_path = flag_value();
+      if (options.access_log_path.empty()) usage();
+    } else if (arg == "--slow-ms") {
+      options.slow_ms = to_double(flag_value());
+      if (!(options.slow_ms >= 0)) usage();
+    } else if (arg == "--stats-file") {
+      stats_path = flag_value();
+      if (stats_path.empty()) usage();
+    } else if (arg == "--stats-interval") {
+      stats_interval = to_double(flag_value());
+      if (!(stats_interval > 0)) usage();
     } else {
       std::cerr << "serve: unknown argument " << arg << '\n';
       usage();
@@ -514,9 +548,58 @@ int cmd_serve(const std::vector<std::string>& args, std::uint64_t seed,
   const std::atomic<bool>& stop = shutdown_flag();
 
   Service service(options);
+  if (!service.access_log_ok()) {
+    throw IoError("serve: cannot open access log " + options.access_log_path);
+  }
+
+  // --progress: the serve-style meter (open-ended total, requests/s).
+  // Responses classify by their own bytes: ok, rejected:, or err.
+  std::unique_ptr<ProgressMeter> meter;
+  if (obs.progress) {
+    meter = std::make_unique<ProgressMeter>(0, nullptr, 0.1,
+                                            ProgressStyle::kRequests);
+  }
+
+  // --stats-file: a Prometheus text exposition of the service metrics,
+  // republished atomically (tmp + rename) at most every
+  // --stats-interval seconds, plus once at exit.
+  const auto write_stats_snapshot = [&service, &stats_path]() {
+    if (stats_path.empty()) return;
+    const std::string tmp = stats_path + ".tmp";
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw IoError("serve: cannot open stats file " + tmp);
+    write_prom_exposition(out, service.metrics_snapshot());
+    out.flush();
+    if (!out) throw IoError("serve: stats write failed: " + tmp);
+    out.close();
+    std::error_code ec;
+    std::filesystem::rename(tmp, stats_path, ec);
+    if (ec) {
+      throw IoError("serve: cannot publish stats file " + stats_path + ": " +
+                    ec.message());
+    }
+  };
+  const WallTimer stats_clock;
+  double last_stats_write = 0;
+
   std::vector<std::string> responses;
-  const auto emit = [&responses]() {
-    for (const std::string& line : responses) std::cout << line << '\n';
+  const auto emit = [&responses, &meter]() {
+    for (const std::string& line : responses) {
+      std::cout << line << '\n';
+      if (meter != nullptr) {
+        bool ok = false;
+        json_parse_bool(line, "ok", ok);
+        if (ok) {
+          meter->record(ProgressOutcome::kOk);
+        } else {
+          std::string error;
+          json_parse_string(line, "error", error);
+          meter->record(error.rfind("rejected:", 0) == 0
+                            ? ProgressOutcome::kSkipped
+                            : ProgressOutcome::kFailed);
+        }
+      }
+    }
     if (!responses.empty()) std::cout.flush();
     responses.clear();
   };
@@ -529,11 +612,35 @@ int cmd_serve(const std::vector<std::string>& args, std::uint64_t seed,
       service.process_batch(responses, &stop);
     }
     emit();
+    if (!stats_path.empty() &&
+        stats_clock.elapsed_seconds() - last_stats_write >= stats_interval) {
+      write_stats_snapshot();
+      last_stats_write = stats_clock.elapsed_seconds();
+    }
   }
   // EOF or shutdown: answer everything admitted (queued solves drain as
   // "shutdown" errors once the stop flag is up), then exit.
   service.drain(responses, &stop);
   emit();
+  if (meter != nullptr) meter->finish();
+  write_stats_snapshot();
+  // Slow-request samples go to the same trace.json slot the campaign
+  // exporter uses (the two modes never share a --trace-dir run).
+  if (options.slow_ms >= 0 && !obs.trace_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(obs.trace_dir, ec);
+    if (ec) {
+      throw IoError("serve: cannot create directory " + obs.trace_dir + ": " +
+                    ec.message());
+    }
+    const std::string path =
+        (std::filesystem::path(obs.trace_dir) / "trace.json").string();
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) throw IoError("serve: cannot open " + path);
+    write_svc_trace(out, service.slow_samples());
+    out.flush();
+    if (!out) throw IoError("serve: trace write failed: " + path);
+  }
   return stop.load(std::memory_order_acquire) ? kExitInterrupted : kExitOk;
 }
 
@@ -584,7 +691,7 @@ int main(int argc, char** argv) {
     if (command == "eval") return cmd_eval(args);
     if (command == "stats") return cmd_stats(args);
     if (command == "convert") return cmd_convert(args);
-    if (command == "serve") return cmd_serve(args, seed, threads);
+    if (command == "serve") return cmd_serve(args, seed, threads, obs);
   } catch (const IoError& error) {
     std::cerr << "error: " << error.what() << '\n';
     return kExitIo;

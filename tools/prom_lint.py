@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Validator for Prometheus text exposition format (version 0.0.4).
+
+Usage: tools/prom_lint.py FILE [FILE...]
+Exit 0 when every file is lint-clean, 1 with one message per violation
+otherwise. Checks the subset of the format gbis emits plus the rules
+scrapers actually rely on:
+
+  * line grammar: blank, "# HELP <name> <text>", "# TYPE <name> <type>",
+    or "<name>[{labels}] <value>[ <timestamp>]"
+  * metric and label names match the Prometheus regexes
+  * at most one TYPE per metric, declared before its first sample
+  * all samples of one metric are consecutive (grouped)
+  * histogram buckets: le labels strictly increasing, cumulative counts
+    non-decreasing, a "+Inf" bucket present and equal to _count
+  * values parse as floats ("+Inf"/"-Inf"/"NaN" allowed)
+"""
+
+import re
+import sys
+
+METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)(?: (?P<timestamp>-?\d+))?$"
+)
+LABEL_PAIR_RE = re.compile(
+    r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$'
+)
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_value(text):
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)  # raises ValueError on garbage; NaN parses
+
+
+def base_metric(name):
+    """Histogram/summary series share their parent's TYPE declaration."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def lint(path):
+    errors = []
+
+    def err(lineno, message):
+        errors.append(f"{path}:{lineno}: {message}")
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().split("\n")
+    except OSError as exc:
+        return [f"{path}: unreadable: {exc}"]
+
+    declared_types = {}  # metric -> type
+    seen_samples = {}  # grouping metric -> last lineno
+    closed = set()  # grouping metrics whose sample block ended
+    histograms = {}  # metric -> {"buckets": [(le, count)], "count": n}
+    last_group = None
+
+    for lineno, line in enumerate(lines, start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not METRIC_RE.match(parts[2]):
+                    err(lineno, f"malformed {parts[1]} line")
+                    continue
+                if parts[1] == "TYPE":
+                    name = parts[2]
+                    kind = parts[3].strip() if len(parts) == 4 else ""
+                    if kind not in TYPES:
+                        err(lineno, f"unknown TYPE {kind!r} for {name}")
+                    if name in declared_types:
+                        err(lineno, f"duplicate TYPE for {name}")
+                    if name in seen_samples:
+                        err(lineno, f"TYPE for {name} after its samples")
+                    declared_types[name] = kind
+            # Other comments are legal and ignored.
+            continue
+
+        match = SAMPLE_RE.match(line)
+        if not match:
+            err(lineno, f"unparseable line: {line!r}")
+            continue
+        name = match.group("name")
+        labels = {}
+        if match.group("labels"):
+            for item in match.group("labels").split(","):
+                pair = LABEL_PAIR_RE.match(item)
+                if not pair:
+                    err(lineno, f"malformed label {item!r}")
+                    continue
+                if not LABEL_RE.match(pair.group("key")):
+                    err(lineno, f"bad label name {pair.group('key')!r}")
+                labels[pair.group("key")] = pair.group("value")
+        try:
+            value = parse_value(match.group("value"))
+        except ValueError:
+            err(lineno, f"bad sample value {match.group('value')!r}")
+            continue
+
+        group = base_metric(name)
+        if group in closed and group != last_group:
+            err(lineno, f"samples of {group} are not consecutive")
+        if last_group is not None and group != last_group:
+            closed.add(last_group)
+        last_group = group
+        seen_samples[group] = lineno
+
+        kind = declared_types.get(group)
+        if kind == "histogram":
+            hist = histograms.setdefault(group, {"buckets": [], "count": None})
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    err(lineno, f"{name} sample without le label")
+                    continue
+                try:
+                    le = parse_value(labels["le"])
+                except ValueError:
+                    err(lineno, f"bad le value {labels['le']!r}")
+                    continue
+                buckets = hist["buckets"]
+                if buckets and not le > buckets[-1][0]:
+                    err(lineno, f"{group} le not increasing")
+                if buckets and value < buckets[-1][1]:
+                    err(lineno, f"{group} bucket counts decrease")
+                buckets.append((le, value))
+            elif name.endswith("_count"):
+                hist["count"] = (lineno, value)
+
+    for group, hist in histograms.items():
+        buckets = hist["buckets"]
+        if not buckets or buckets[-1][0] != float("inf"):
+            errors.append(f"{path}: histogram {group} missing +Inf bucket")
+            continue
+        if hist["count"] is not None and hist["count"][1] != buckets[-1][1]:
+            errors.append(
+                f"{path}:{hist['count'][0]}: {group}_count "
+                f"!= +Inf bucket ({hist['count'][1]} vs {buckets[-1][1]})"
+            )
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    failures = []
+    for path in argv[1:]:
+        failures.extend(lint(path))
+    for message in failures:
+        print(message, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

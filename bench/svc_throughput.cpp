@@ -9,17 +9,29 @@
 //              is >= 10x faster than Cold on this graph.
 //   Fingerprint — the canonical graph hash alone, the fixed cost every
 //              request pays before the cache can speak
+//   Socket   — the same NDJSON front door over a loopback unix socket:
+//              N concurrent clients pipeline ping requests through the
+//              poll(2) listener, so the measured cost is framing +
+//              routing + syscalls, with the solve path held at zero
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdio>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include "gbis/gen/gnp.hpp"
 #include "gbis/io/edge_list.hpp"
 #include "gbis/obs/metrics.hpp"
 #include "gbis/rng/rng.hpp"
 #include "gbis/svc/fingerprint.hpp"
+#include "gbis/svc/listener.hpp"
 #include "gbis/svc/scheduler.hpp"
 #include "gbis/util/json_lite.hpp"
 
@@ -109,5 +121,79 @@ void BM_SvcFingerprint(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SvcFingerprint)->Unit(benchmark::kMicrosecond);
+
+// One client session against the loopback listener: connect, pipeline
+// `requests` ping lines in a single write, read until the matching
+// number of response newlines, hang up. Runs on its own thread while
+// the bench thread drives Listener::poll_once.
+void socket_client_session(const std::string& path, int requests,
+                           std::atomic<int>& done) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof addr.sun_path, "%s", path.c_str());
+  if (fd < 0 || ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                          sizeof addr) != 0) {
+    if (fd >= 0) ::close(fd);
+    done.fetch_add(1);
+    return;
+  }
+  std::string payload;
+  for (int i = 0; i < requests; ++i) {
+    payload += "{\"id\":\"p\",\"op\":\"ping\"}\n";
+  }
+  std::size_t sent = 0;
+  while (sent < payload.size()) {
+    const ssize_t n =
+        ::send(fd, payload.data() + sent, payload.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  int newlines = 0;
+  char chunk[4096];
+  while (newlines < requests) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    for (ssize_t i = 0; i < n; ++i) {
+      if (chunk[i] == '\n') ++newlines;
+    }
+  }
+  ::close(fd);
+  done.fetch_add(1);
+}
+
+// Socket-mode round trips: Arg is the concurrent client count. Each
+// iteration runs a full client cohort to completion; items/sec is the
+// sustained request rate through the event loop.
+void BM_SvcSocket_PingPipeline(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  constexpr int kRequestsPerClient = 64;
+  Service service(bench_options());
+  ListenerOptions lopt;
+  lopt.unix_path =
+      "/tmp/gbis_bench_" + std::to_string(::getpid()) + ".sock";
+  Listener listener(service, lopt);
+  listener.start();
+  for (auto _ : state) {
+    std::atomic<int> done{0};
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back(socket_client_session, lopt.unix_path,
+                           kRequestsPerClient, std::ref(done));
+    }
+    while (done.load() < clients) listener.poll_once(1);
+    for (auto& t : threads) t.join();
+    listener.poll_once(0);  // reap the hung-up connections
+  }
+  state.SetItemsProcessed(state.iterations() * clients *
+                          kRequestsPerClient);
+  std::atomic<bool> stop{true};
+  listener.drain(&stop);
+}
+BENCHMARK(BM_SvcSocket_PingPipeline)
+    ->Arg(1)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -39,6 +39,11 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "svc.cache.misses",
     "svc.cache.evictions",
     "svc.coalesced",
+    "svc.conn.accepted",
+    "svc.conn.closed",
+    "svc.conn.slow_closed",
+    "svc.conn.rejected",
+    "svc.quota_rejected",
 };
 
 constexpr const char* kHistNames[kNumHists] = {
@@ -55,6 +60,7 @@ constexpr const char* kGaugeNames[kNumGauges] = {
     "svc.inflight",
     "svc.cache.bytes",
     "svc.batch.size",
+    "svc.connections",
 };
 
 constexpr const char* kPhaseNames[kNumPhases] = {

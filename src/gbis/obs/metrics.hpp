@@ -63,6 +63,14 @@ enum class Counter : std::uint8_t {
   kSvcCacheMisses,        ///< "svc.cache.misses"
   kSvcCacheEvictions,     ///< "svc.cache.evictions"
   kSvcCoalesced,          ///< "svc.coalesced" (within-batch dedup)
+  // Socket-listener counters (svc/listener.*): connection lifecycle
+  // and listener-level admission, recorded on the listener's driver
+  // thread.
+  kSvcConnAccepted,       ///< "svc.conn.accepted"
+  kSvcConnClosed,         ///< "svc.conn.closed" (all causes)
+  kSvcConnSlowClosed,     ///< "svc.conn.slow_closed" (write stall/backlog)
+  kSvcConnRejected,       ///< "svc.conn.rejected" (over --max-conns)
+  kSvcQuotaRejected,      ///< "svc.quota_rejected" (per-conn request quota)
   kCount
 };
 inline constexpr std::size_t kNumCounters =
@@ -91,6 +99,7 @@ enum class Gauge : std::uint8_t {
   kSvcInflight,        ///< "svc.inflight" (cold solves in the running batch)
   kSvcCacheBytes,      ///< "svc.cache.bytes" (result-cache resident bytes)
   kSvcBatchSize,       ///< "svc.batch.size" (requests in the last batch)
+  kSvcConnections,     ///< "svc.connections" (open listener connections)
   kCount
 };
 inline constexpr std::size_t kNumGauges =

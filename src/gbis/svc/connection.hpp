@@ -1,0 +1,90 @@
+// One accepted socket of the partition-service listener: per-connection
+// NDJSON framing (read side) and a bounded, flushable response buffer
+// (write side). The connection owns nothing but its fd and buffers —
+// all protocol decisions (quotas, dispatch, routing) live in
+// svc/listener.*, and everything here runs on the listener's single
+// driver thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gbis {
+
+/// One framing event extracted from the read buffer: either a complete
+/// request line, or the notice that a line overran the size bound (the
+/// line's bytes are discarded up to the next newline — the connection
+/// resyncs and stays usable).
+struct ConnEvent {
+  enum class Kind : std::uint8_t { kLine = 0, kOverlong };
+  Kind kind = Kind::kLine;
+  std::string line;  ///< complete request line (kLine only)
+};
+
+class Connection {
+ public:
+  /// Takes ownership of `fd` (closed on destruction). `id` is the
+  /// listener-assigned ordinal used for response routing.
+  Connection(int fd, std::uint64_t id);
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd() const { return fd_; }
+  std::uint64_t id() const { return id_; }
+
+  /// Drains whatever the socket currently holds and appends framing
+  /// events. A line longer than `max_line_bytes` (exclusive of the
+  /// newline) yields one kOverlong event and discard-until-newline
+  /// resync. Returns false when the peer hung up or the read errored
+  /// fatally — the caller should finish flushing and close. On EOF a
+  /// trailing unterminated line is delivered as a final kLine (the
+  /// stdio path's getline does the same).
+  bool read_events(std::vector<ConnEvent>& events,
+                   std::size_t max_line_bytes);
+
+  /// Queues one response line (newline appended) for writing.
+  void queue_line(const std::string& line);
+
+  /// Writes as much buffered output as the socket accepts right now.
+  /// `now_seconds` stamps write progress for the stall clock. Returns
+  /// false on a fatal write error (peer reset).
+  bool flush_writes(double now_seconds);
+
+  bool wants_write() const { return write_pos_ < write_buffer_.size(); }
+  std::size_t write_backlog() const {
+    return write_buffer_.size() - write_pos_;
+  }
+  /// True when output has been pending without any byte of progress
+  /// for longer than `timeout_seconds` — the slow-client signal.
+  bool write_stalled(double now_seconds, double timeout_seconds) const {
+    return wants_write() &&
+           now_seconds - last_progress_seconds_ > timeout_seconds;
+  }
+
+  /// Peer sent EOF (or errored): no more reads; close once the write
+  /// buffer drains and no responses are owed.
+  void mark_closing() { closing_ = true; }
+  bool closing() const { return closing_; }
+
+  /// Requests submitted to the service and not yet answered. The
+  /// listener maintains this; it gates both the per-connection quota
+  /// and close-after-EOF.
+  std::size_t inflight = 0;
+  /// Lifetime request count (quota accounting / access-log style
+  /// diagnostics).
+  std::uint64_t requests = 0;
+
+ private:
+  int fd_;
+  std::uint64_t id_;
+  std::string read_buffer_;
+  bool discarding_ = false;  ///< inside an overlong line, seeking '\n'
+  std::string write_buffer_;
+  std::size_t write_pos_ = 0;
+  double last_progress_seconds_ = 0;
+  bool closing_ = false;
+};
+
+}  // namespace gbis

@@ -18,6 +18,13 @@ bool parse_request(const std::string& line, SvcRequest& out,
     error = "parse: request is not a JSON object";
     return false;
   }
+  // Structural gate before any field scan: on a socket, arbitrary
+  // bytes arrive here, and a lenient scan of a malformed line is how
+  // fields get silently misread (see util/json_lite).
+  if (!json_object_valid(line)) {
+    error = "parse: malformed request line";
+    return false;
+  }
   std::string op;
   if (json_parse_string(line, "op", op)) {
     if (op == "solve") {
@@ -53,24 +60,40 @@ bool parse_request(const std::string& line, SvcRequest& out,
     error = "parse: empty method";
     return false;
   }
+  // Present-but-invalid scalars are errors, not silent defaults: a
+  // request that says {"budget":-1} meant something; answering it with
+  // the default budget would hide the mistake (and pre-hardening, the
+  // strtoull wraparound turned it into 2^64-1 trials).
   std::uint64_t budget = 0;
-  if (json_parse_u64(line, "budget", budget)) {
-    out.budget = static_cast<std::uint32_t>(budget);
-    if (budget == 0 || budget != out.budget) {
+  if (json_find_value(line, "budget") != std::string::npos) {
+    if (!json_parse_u64(line, "budget", budget) || budget == 0 ||
+        budget > 0xFFFFFFFFull) {
       error = "parse: budget out of range";
       return false;
     }
+    out.budget = static_cast<std::uint32_t>(budget);
   }
-  double deadline = 0;
-  if (json_parse_double(line, "deadline_s", deadline)) {
-    if (!(deadline >= 0)) {  // rejects negatives and NaN
+  if (json_find_value(line, "deadline_s") != std::string::npos) {
+    double deadline = 0;
+    if (!json_parse_double(line, "deadline_s", deadline) ||
+        !(deadline >= 0)) {  // rejects negatives and NaN
       error = "parse: deadline_s must be >= 0";
       return false;
     }
     out.deadline_seconds = deadline;
   }
-  out.has_seed = json_parse_u64(line, "seed", out.seed);
-  json_parse_bool(line, "want_sides", out.want_sides);
+  if (json_find_value(line, "seed") != std::string::npos) {
+    if (!json_parse_u64(line, "seed", out.seed)) {
+      error = "parse: seed out of range";
+      return false;
+    }
+    out.has_seed = true;
+  }
+  if (json_find_value(line, "want_sides") != std::string::npos &&
+      !json_parse_bool(line, "want_sides", out.want_sides)) {
+    error = "parse: want_sides must be true or false";
+    return false;
+  }
   return true;
 }
 

@@ -123,6 +123,27 @@ bool Service::access_log_ok() const {
   return access_log_ == nullptr || access_log_->ok();
 }
 
+void Service::note_conn_opened() {
+  ++metrics_.counters[static_cast<std::size_t>(Counter::kSvcConnAccepted)];
+  ++metrics_.gauges[static_cast<std::size_t>(Gauge::kSvcConnections)];
+}
+
+void Service::note_conn_closed(bool slow) {
+  ++metrics_.counters[static_cast<std::size_t>(Counter::kSvcConnClosed)];
+  if (slow) {
+    ++metrics_.counters[static_cast<std::size_t>(Counter::kSvcConnSlowClosed)];
+  }
+  --metrics_.gauges[static_cast<std::size_t>(Gauge::kSvcConnections)];
+}
+
+void Service::note_conn_rejected() {
+  ++metrics_.counters[static_cast<std::size_t>(Counter::kSvcConnRejected)];
+}
+
+void Service::note_quota_rejected() {
+  ++metrics_.counters[static_cast<std::size_t>(Counter::kSvcQuotaRejected)];
+}
+
 void Service::submit_line(const std::string& line,
                           std::vector<std::string>& out) {
   ++metrics_.counters[static_cast<std::size_t>(Counter::kSvcRequests)];
@@ -325,6 +346,13 @@ void Service::fill_stats(SvcResponse& response) const {
       {"queue_depth", gauge(Gauge::kSvcQueueDepth)},
       {"inflight", gauge(Gauge::kSvcInflight)},
       {"batch_size", gauge(Gauge::kSvcBatchSize)},
+      // Listener surface (all zero without --listen; keys append-only).
+      {"connections", gauge(Gauge::kSvcConnections)},
+      {"conn_accepted", counter(Counter::kSvcConnAccepted)},
+      {"conn_closed", counter(Counter::kSvcConnClosed)},
+      {"conn_slow_closed", counter(Counter::kSvcConnSlowClosed)},
+      {"conn_rejected", counter(Counter::kSvcConnRejected)},
+      {"quota_rejected", counter(Counter::kSvcQuotaRejected)},
   };
   const struct {
     const char* prefix;

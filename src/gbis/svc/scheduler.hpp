@@ -125,6 +125,15 @@ class Service {
   /// False when the configured access log could not be opened.
   bool access_log_ok() const;
 
+  /// Listener hooks (svc/listener.*). Single-driver like everything
+  /// else here: the listener event loop runs on the same thread that
+  /// calls submit_line/process_batch, so these are plain updates of
+  /// the service's own metric slots.
+  void note_conn_opened();                ///< svc.conn.accepted + gauge
+  void note_conn_closed(bool slow);       ///< svc.conn.closed (+slow_closed)
+  void note_conn_rejected();              ///< svc.conn.rejected (limit)
+  void note_quota_rejected();             ///< svc.quota_rejected
+
  private:
   struct Pending;
 

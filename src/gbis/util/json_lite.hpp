@@ -2,15 +2,23 @@
 // the checkpoint journal (harness/checkpoint.*) and the service
 // protocol (svc/protocol.*). This is deliberately not a JSON library:
 // every producer in this repo emits one flat object per line with
-// known keys, so the consumers scan for `"key":` and parse the value
+// known keys, so the consumers scan for keys and parse the value
 // token in place, no DOM, no allocation beyond the output string.
 //
-// Scanner contract (the same one the checkpoint journal has always
-// had): keys are located by their first `"key":` occurrence, so a
-// *string value* containing a properly-escaped key sequence cannot
-// spoof a field (the escaping backslashes break the needle), but
-// consumers should still emit free-form text fields (error messages,
-// payloads) after the scalar fields they scan for.
+// Scanner contract: json_find_value walks the line as a token stream —
+// string tokens are consumed whole (escapes included), nested
+// object/array values are skipped atomically — so only *top-level
+// keys* of the line's object can match, and text embedded inside a
+// string value can never spoof a field. When the same key appears
+// twice at the top level, the first occurrence wins. Keys are compared
+// on their raw bytes between the quotes (no unescaping): the keys this
+// repo emits are plain identifiers, and a key smuggled in via \u
+// escapes deliberately does not match.
+//
+// The scanner is lenient about *scalar* token contents (any bare
+// token of [0-9A-Za-z .+-] is skipped) so that historical journal
+// lines keep parsing; json_object_valid is the strict structural
+// check the socket-facing protocol layer runs first.
 #pragma once
 
 #include <cstdint>
@@ -22,18 +30,35 @@ namespace gbis {
 /// ", \, and control characters escaped.
 void append_json_string(std::string& out, const std::string& value);
 
-/// Finds `"key":` in a flat one-line JSON object and returns the index
-/// of the raw value token, or std::string::npos.
+/// Finds top-level key `key` in a flat one-line JSON object and
+/// returns the index of its raw value token (whitespace after the
+/// colon skipped), or std::string::npos when the key is absent or the
+/// line is structurally broken before the key appears.
 std::size_t json_find_value(const std::string& line, const std::string& key);
 
-/// Parses a string field; handles \n \r \t \uXXXX and escaped quotes.
-/// Returns false when the key is missing or the value is not a
-/// well-terminated string.
+/// Strict structural check for one request line: a single JSON object,
+/// string keys, values that are strings (with valid escapes — \uXXXX
+/// must carry four hex digits), strictly-grammatical numbers,
+/// true/false/null, or nested objects/arrays (depth-capped), and
+/// nothing but whitespace after the closing brace. The socket protocol
+/// runs this before any field scan so malformed input fails loudly
+/// instead of misparsing.
+bool json_object_valid(const std::string& line);
+
+/// Parses a string field. Handles the full JSON escape set
+/// (\" \\ \/ \b \f \n \r \t \uXXXX, surrogate pairs included; non-BMP
+/// and non-ASCII code points are emitted as UTF-8). Returns false when
+/// the key is missing, the value is not a well-terminated string, or
+/// any escape is malformed — a truncated or non-hex \u sequence fails
+/// the parse instead of silently embedding garbage.
 bool json_parse_string(const std::string& line, const std::string& key,
                        std::string& out);
 
 /// Scalar field parsers: false when the key is missing or the value
-/// token does not parse. `out` is untouched on failure.
+/// token does not parse. `out` is untouched on failure. Range errors
+/// fail: a negative or overflowing value is rejected by json_parse_u64
+/// (no strtoull wraparound), an out-of-range magnitude by
+/// json_parse_i64, and a non-finite result by json_parse_double.
 bool json_parse_u64(const std::string& line, const std::string& key,
                     std::uint64_t& out);
 bool json_parse_i64(const std::string& line, const std::string& key,

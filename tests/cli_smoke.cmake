@@ -224,7 +224,8 @@ if(NOT code EQUAL 2)
 endif()
 
 # Serve failure contract: missing replay file -> 3 (I/O), unknown
-# flag -> 2 (usage).
+# flag -> 2 (usage), --replay combined with a listener -> 2 (the two
+# input modes are exclusive).
 execute_process(COMMAND ${GBIS_CLI} serve --replay ${WORK_DIR}/nonexistent.ndjson
   RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
 if(NOT code EQUAL 3)
@@ -234,4 +235,56 @@ execute_process(COMMAND ${GBIS_CLI} serve --bogus-flag
   RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
 if(NOT code EQUAL 2)
   message(FATAL_ERROR "serve with unknown flag exited ${code}, expected 2")
+endif()
+execute_process(COMMAND ${GBIS_CLI} serve --replay ${WORK_DIR}/telem.ndjson
+    --listen 127.0.0.1:0
+  RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(NOT code EQUAL 2)
+  message(FATAL_ERROR "serve --replay + --listen exited ${code}, expected 2")
+endif()
+
+# Socket mode: stream the same requests over loopback TCP and a unix
+# socket (tools/svc_client.py spawns the server, polls --ready-file,
+# half-closes after sending, SIGTERMs, and demands exit 130). After the
+# "_us" strip, every transport x thread-count combination must be
+# byte-identical to the stdio replay — the socket layer adds framing,
+# not behavior. Unique seeds per request keep cache labels independent
+# of batch boundaries and TCP segmentation.
+if(PYTHON3 AND DEFINED SVC_CLIENT)
+  file(WRITE ${WORK_DIR}/sock_reqs.ndjson
+    "{\"id\":\"k1\",\"op\":\"solve\",\"path\":\"${WORK_DIR}/g.graph\",\"method\":\"kl\",\"seed\":101}\n"
+    "{\"id\":\"k2\",\"op\":\"solve\",\"path\":\"${WORK_DIR}/g.graph\",\"method\":\"auto\",\"budget\":4,\"seed\":102,\"want_sides\":true}\n"
+    "{\"id\":\"p\",\"op\":\"ping\"}\n"
+    "{\"id\":\"k3\",\"op\":\"solve\",\"path\":\"${WORK_DIR}/g.graph\",\"method\":\"sa\",\"seed\":103}\n")
+  set(ENV{GBIS_THREADS} 1)
+  execute_process(COMMAND ${GBIS_CLI} serve --replay ${WORK_DIR}/sock_reqs.ndjson
+    WORKING_DIRECTORY ${WORK_DIR}
+    RESULT_VARIABLE code OUTPUT_VARIABLE sock_expected ERROR_VARIABLE err)
+  unset(ENV{GBIS_THREADS})
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "socket-smoke replay baseline failed (${code}): ${err}")
+  endif()
+  strip_timing("${sock_expected}" sock_expected_cmp)
+  foreach(transport tcp unix)
+    foreach(threads 1 8)
+      set(ENV{GBIS_THREADS} ${threads})
+      execute_process(COMMAND ${PYTHON3} ${SVC_CLIENT} ${GBIS_CLI}
+          ${WORK_DIR}/sock_reqs.ndjson --transport ${transport}
+        WORKING_DIRECTORY ${WORK_DIR}
+        RESULT_VARIABLE code OUTPUT_VARIABLE sock_out ERROR_VARIABLE err)
+      unset(ENV{GBIS_THREADS})
+      if(NOT code EQUAL 0)
+        message(FATAL_ERROR
+          "socket smoke (${transport}, ${threads} threads) failed "
+          "(${code}): ${err}")
+      endif()
+      strip_timing("${sock_out}" sock_out_cmp)
+      if(NOT sock_out_cmp STREQUAL sock_expected_cmp)
+        message(FATAL_ERROR
+          "socket responses (${transport}, ${threads} threads) differ "
+          "from the stdio replay:\n--- socket ---\n${sock_out}\n"
+          "--- replay ---\n${sock_expected}")
+      endif()
+    endforeach()
+  endforeach()
 endif()

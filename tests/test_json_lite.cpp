@@ -1,0 +1,227 @@
+// Regression suite for the flat-JSON scanner (util/json_lite) — the
+// parsing layer under both the checkpoint journal and the service
+// protocol. The first three groups pin the socket-hardening bug fixes:
+// a naive substring key search matching inside string values, strtoull
+// wraparound accepting negative budgets, and \u escapes silently
+// truncating or embedding NUL bytes.
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "gbis/util/json_lite.hpp"
+
+namespace gbis {
+namespace {
+
+// --- Bug 1: key search must not match inside string values ----------------
+
+TEST(JsonFind, KeyTextInsideAStringValueDoesNotMatch) {
+  // The old scanner find()'d the quoted key anywhere in the line; a
+  // value containing "op":"..." text spoofed the field.
+  const std::string line =
+      R"({"id":"evil\",\"op\":\"stats","op":"ping"})";
+  const std::size_t at = json_find_value(line, "op");
+  ASSERT_NE(at, std::string::npos);
+  std::string op;
+  ASSERT_TRUE(json_parse_string(line, "op", op));
+  EXPECT_EQ(op, "ping");
+}
+
+TEST(JsonFind, UnescapedQuoteMisparseIsNowStructurallyRejected) {
+  // The exact shape that misparsed before: a stray quote ends the id
+  // early and the bytes `op":"ping"` read as a real field. The strict
+  // validator refuses the line outright.
+  const std::string line = R"({"id":"x"op":"ping","budget":1})";
+  EXPECT_FALSE(json_object_valid(line));
+  // And the lenient scanner stops at the structural break instead of
+  // resynchronizing onto the smuggled key.
+  EXPECT_EQ(json_find_value(line, "op"), std::string::npos);
+  EXPECT_EQ(json_find_value(line, "budget"), std::string::npos);
+}
+
+TEST(JsonFind, FirstTopLevelOccurrenceWins) {
+  std::uint64_t value = 0;
+  ASSERT_TRUE(json_parse_u64(R"({"n":1,"n":2})", "n", value));
+  EXPECT_EQ(value, 1u);
+}
+
+TEST(JsonFind, NestedKeysDoNotShadowTopLevel) {
+  const std::string line = R"({"inner":{"cut":99},"cut":7})";
+  std::uint64_t cut = 0;
+  ASSERT_TRUE(json_parse_u64(line, "cut", cut));
+  EXPECT_EQ(cut, 7u);
+}
+
+TEST(JsonFind, KeyAfterNestedArraysIsFound) {
+  // The checkpoint journal shape: histogram buckets as nested arrays,
+  // scalar fields after them.
+  const std::string line = R"({"hists":[[1,2],[3,4]],"cut":7})";
+  std::uint64_t cut = 0;
+  ASSERT_TRUE(json_parse_u64(line, "cut", cut));
+  EXPECT_EQ(cut, 7u);
+}
+
+TEST(JsonFind, AbsentKeyIsNpos) {
+  EXPECT_EQ(json_find_value(R"({"a":1})", "b"), std::string::npos);
+  EXPECT_EQ(json_find_value("", "a"), std::string::npos);
+  EXPECT_EQ(json_find_value("not json", "a"), std::string::npos);
+}
+
+// --- Bug 2: numeric range errors must fail, not wrap ----------------------
+
+TEST(JsonNumbers, NegativeU64IsRejectedNotWrapped) {
+  // strtoull("-1") "succeeds" with 2^64-1; a request {"budget":-1}
+  // must not turn into 18 quintillion trials.
+  std::uint64_t value = 123;
+  EXPECT_FALSE(json_parse_u64(R"({"budget":-1})", "budget", value));
+  EXPECT_EQ(value, 123u) << "out must be untouched on failure";
+}
+
+TEST(JsonNumbers, U64OverflowIsRejected) {
+  std::uint64_t value = 0;
+  EXPECT_TRUE(
+      json_parse_u64(R"({"n":18446744073709551615})", "n", value));
+  EXPECT_EQ(value, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_FALSE(
+      json_parse_u64(R"({"n":18446744073709551616})", "n", value));
+}
+
+TEST(JsonNumbers, I64RangeIsEnforced) {
+  std::int64_t value = 0;
+  EXPECT_TRUE(json_parse_i64(R"({"n":-9223372036854775808})", "n", value));
+  EXPECT_EQ(value, std::numeric_limits<std::int64_t>::min());
+  EXPECT_FALSE(json_parse_i64(R"({"n":9223372036854775808})", "n", value));
+  EXPECT_FALSE(json_parse_i64(R"({"n":-9223372036854775809})", "n", value));
+}
+
+TEST(JsonNumbers, ExplicitPlusSignIsRejected) {
+  std::uint64_t u = 0;
+  std::int64_t i = 0;
+  double d = 0;
+  EXPECT_FALSE(json_parse_u64(R"({"n":+1})", "n", u));
+  EXPECT_FALSE(json_parse_i64(R"({"n":+1})", "n", i));
+  EXPECT_FALSE(json_parse_double(R"({"n":+1})", "n", d));
+}
+
+TEST(JsonNumbers, NonFiniteDoubleIsRejected) {
+  double value = 0;
+  EXPECT_FALSE(json_parse_double(R"({"x":1e999})", "x", value));
+  EXPECT_TRUE(json_parse_double(R"({"x":-2.5e-3})", "x", value));
+  EXPECT_DOUBLE_EQ(value, -2.5e-3);
+}
+
+// --- Bug 3: \u escape handling --------------------------------------------
+
+TEST(JsonStrings, UnicodeEscapeDecodesToUtf8) {
+  std::string out;
+  ASSERT_TRUE(json_parse_string(R"({"s":"A"})", "s", out));
+  EXPECT_EQ(out, "A");
+  ASSERT_TRUE(json_parse_string(R"({"s":"\u00e9"})", "s", out));
+  EXPECT_EQ(out, "\xc3\xa9");  // e-acute, 2-byte UTF-8
+  ASSERT_TRUE(json_parse_string(R"({"s":"\u20ac"})", "s", out));
+  EXPECT_EQ(out, "\xe2\x82\xac");  // euro sign, 3-byte UTF-8
+}
+
+TEST(JsonStrings, SurrogatePairDecodesToFourByteUtf8) {
+  std::string out;
+  ASSERT_TRUE(json_parse_string(R"({"s":"\ud83d\ude00"})", "s", out));
+  EXPECT_EQ(out, "\xf0\x9f\x98\x80");  // U+1F600, grinning face
+}
+
+TEST(JsonStrings, MalformedUnicodeEscapesFailTheParse) {
+  std::string out = "untouched";
+  // Non-hex digits: the old code decoded \uZZZZ to a NUL byte.
+  EXPECT_FALSE(json_parse_string(R"({"s":"\uZZZZ"})", "s", out));
+  // Truncated escape: the old code silently skipped it.
+  EXPECT_FALSE(json_parse_string(R"({"s":"\u00"})", "s", out));
+  EXPECT_FALSE(json_parse_string(R"({"s":"a\u12"})", "s", out));
+  // Lone surrogates, both halves.
+  EXPECT_FALSE(json_parse_string(R"({"s":"\ud800"})", "s", out));
+  EXPECT_FALSE(json_parse_string(R"({"s":"\udc00x"})", "s", out));
+  EXPECT_EQ(out, "untouched");
+}
+
+TEST(JsonStrings, IllegalEscapesAndBadTerminationFail) {
+  std::string out;
+  EXPECT_FALSE(json_parse_string(R"({"s":"\x41"})", "s", out));
+  EXPECT_FALSE(json_parse_string(R"({"s":"unterminated)", "s", out));
+  EXPECT_FALSE(json_parse_string("{\"s\":\"raw\tcontrol\"}", "s", out));
+  EXPECT_FALSE(json_parse_string(R"({"s":42})", "s", out));
+}
+
+TEST(JsonStrings, SimpleEscapeSetRoundTrips) {
+  std::string out;
+  ASSERT_TRUE(json_parse_string(R"({"s":"a\"b\\c\/d\b\f\n\r\t"})", "s",
+                                out));
+  EXPECT_EQ(out, "a\"b\\c/d\b\f\n\r\t");
+}
+
+TEST(JsonStrings, AppendJsonStringRoundTrips) {
+  const std::string original = "line1\nline2\t\"quoted\" \\slash\\ \x01";
+  std::string line = "{\"s\":";
+  append_json_string(line, original);
+  line += "}";
+  ASSERT_TRUE(json_object_valid(line));
+  std::string decoded;
+  ASSERT_TRUE(json_parse_string(line, "s", decoded));
+  EXPECT_EQ(decoded, original);
+}
+
+// --- json_object_valid: the socket-facing structural gate -----------------
+
+TEST(JsonValid, AcceptsTheProtocolShapes) {
+  EXPECT_TRUE(json_object_valid(R"({})"));
+  EXPECT_TRUE(json_object_valid(R"({"id":"r1","op":"ping"})"));
+  EXPECT_TRUE(json_object_valid(
+      R"({"op":"solve","inline":"2 1\n0 1\n","budget":4,)"
+      R"("deadline_s":0.5,"want_sides":true,"seed":7})"));
+  EXPECT_TRUE(json_object_valid(R"({"a":null,"b":[1,[2,3]],"c":{"d":1}})"));
+  EXPECT_TRUE(json_object_valid("  {\"a\":1}  "));
+}
+
+TEST(JsonValid, RejectsStructuralGarbage) {
+  EXPECT_FALSE(json_object_valid(""));
+  EXPECT_FALSE(json_object_valid("ping"));
+  EXPECT_FALSE(json_object_valid(R"([1,2,3])"));
+  EXPECT_FALSE(json_object_valid(R"({"a":1)"));          // unclosed
+  EXPECT_FALSE(json_object_valid(R"({"a":1}})"));        // trailing brace
+  EXPECT_FALSE(json_object_valid(R"({"a":1}x)"));        // trailing bytes
+  EXPECT_FALSE(json_object_valid(R"({"a" 1})"));         // missing colon
+  EXPECT_FALSE(json_object_valid(R"({"a":1,})"));        // trailing comma
+  EXPECT_FALSE(json_object_valid(R"({a:1})"));           // bare key
+  EXPECT_FALSE(json_object_valid(R"({"a":01})"));        // leading zero
+  EXPECT_FALSE(json_object_valid(R"({"a":nul})"));       // bad literal
+  EXPECT_FALSE(json_object_valid(R"({"s":"\uZZ"})"));    // bad escape
+  EXPECT_FALSE(json_object_valid(R"({"id":"x"op":"y"})"));
+}
+
+TEST(JsonValid, DepthIsCapped) {
+  std::string deep = "{\"a\":";
+  for (int i = 0; i < 32; ++i) deep += "[";
+  for (int i = 0; i < 32; ++i) deep += "]";
+  deep += "}";
+  EXPECT_FALSE(json_object_valid(deep));
+}
+
+// --- journal-compat leniency (the scanner, not the validator) -------------
+
+TEST(JsonFind, LenientScalarSkipKeepsHistoricalJournalLinesParsing) {
+  // Historical journal lines may hold bare tokens the strict grammar
+  // refuses (hex hashes); the key *search* must still walk past them.
+  const std::string line = R"({"hash":deadbeef,"cut":7})";
+  std::uint64_t cut = 0;
+  EXPECT_TRUE(json_parse_u64(line, "cut", cut));
+  EXPECT_EQ(cut, 7u);
+  EXPECT_FALSE(json_object_valid(line));
+}
+
+TEST(JsonHex, ToHex16IsZeroPaddedLowercase) {
+  EXPECT_EQ(to_hex16(0), "0000000000000000");
+  EXPECT_EQ(to_hex16(0xDEADBEEFull), "00000000deadbeef");
+  EXPECT_EQ(to_hex16(~0ull), "ffffffffffffffff");
+}
+
+}  // namespace
+}  // namespace gbis

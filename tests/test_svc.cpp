@@ -5,6 +5,7 @@
 // response stream is a pure function of the request stream for any
 // worker count.
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -12,7 +13,14 @@
 #include <regex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include <gtest/gtest.h>
 
@@ -25,6 +33,7 @@
 #include "gbis/rng/rng.hpp"
 #include "gbis/svc/cache.hpp"
 #include "gbis/svc/fingerprint.hpp"
+#include "gbis/svc/listener.hpp"
 #include "gbis/svc/policy.hpp"
 #include "gbis/svc/protocol.hpp"
 #include "gbis/svc/scheduler.hpp"
@@ -787,6 +796,467 @@ TEST(Service, UnopenableAccessLogReportsNotOk) {
   EXPECT_FALSE(service.access_log_ok());
   Service plain(test_options());  // no log configured: trivially ok
   EXPECT_TRUE(plain.access_log_ok());
+}
+
+// --- Listener (svc/listener): sockets in front of the service -------------
+
+// The client side runs on plain blocking sockets in helper threads;
+// the listener event loop is pumped on the test thread, exactly the
+// single-driver arrangement the CLI uses.
+
+int connect_tcp_client(const std::string& endpoint) {
+  const std::size_t colon = endpoint.rfind(':');
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(
+      std::stoul(endpoint.substr(colon + 1))));
+  ::inet_pton(AF_INET, endpoint.substr(0, colon).c_str(), &addr.sin_addr);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  return fd;
+}
+
+int connect_unix_client(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof addr.sun_path, "%s", path.c_str());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  return fd;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string recv_to_eof(int fd) {
+  std::string out;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return out;
+    out.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string recv_line(int fd) {
+  std::string out;
+  char c = 0;
+  while (::recv(fd, &c, 1, 0) == 1) {
+    if (c == '\n') break;
+    out += c;
+  }
+  return out;
+}
+
+/// Sends `lines`, half-closes, and returns the full response stream
+/// (the server closes once everything owed has been answered).
+std::string client_session(int fd, const std::vector<std::string>& lines) {
+  std::string payload;
+  for (const std::string& line : lines) {
+    payload += line;
+    payload += '\n';
+  }
+  send_all(fd, payload);
+  ::shutdown(fd, SHUT_WR);
+  std::string out = recv_to_eof(fd);
+  ::close(fd);
+  return out;
+}
+
+/// Pumps the listener's event loop on the calling thread until `done`
+/// (or a generous cycle bound — a failure, not a hang).
+template <typename Done>
+void pump_until(Listener& listener, Done done, int max_cycles = 20000) {
+  for (int i = 0; i < max_cycles && !done(); ++i) {
+    listener.poll_once(/*timeout_ms=*/5);
+  }
+  EXPECT_TRUE(done()) << "listener pump timed out";
+}
+
+std::string joined(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(Listener, TcpAndUnixRoundTripsMatchTheStdioReplay) {
+  const Graph g = make_grid(6, 6);
+  // Distinct seeds everywhere: every solve is a cold miss on both the
+  // socket service and the per-client stdio replay, so batching
+  // boundaries (which TCP segmentation can shift) cannot change any
+  // cache label.
+  const std::vector<std::string> tcp_lines = {
+      "{\"id\":\"p\",\"op\":\"ping\"}",
+      solve_line("t1", g, ",\"seed\":501"),
+      solve_line("t2", g, ",\"seed\":502,\"want_sides\":true"),
+  };
+  const std::vector<std::string> unix_lines = {
+      solve_line("u1", g, ",\"seed\":601"),
+      "{\"id\":\"q\",\"op\":\"ping\"}",
+      solve_line("u2", g, ",\"seed\":602"),
+  };
+  const std::string tcp_expected = joined(run_sequence(test_options(),
+                                                       tcp_lines));
+  const std::string unix_expected = joined(run_sequence(test_options(),
+                                                        unix_lines));
+
+  Service service(test_options());
+  ListenerOptions lopt;
+  lopt.tcp_endpoint = "127.0.0.1:0";
+  lopt.unix_path = testing::TempDir() + "gbis_rt.sock";
+  lopt.ready_file = testing::TempDir() + "gbis_rt.ready";
+  Listener listener(service, lopt);
+  listener.start();
+  EXPECT_NE(listener.tcp_endpoint().find("127.0.0.1:"), std::string::npos);
+  EXPECT_NE(listener.tcp_endpoint(), "127.0.0.1:0") << "real port expected";
+  const std::string ready = read_file(lopt.ready_file);
+  EXPECT_NE(ready.find("tcp " + listener.tcp_endpoint()), std::string::npos);
+  EXPECT_NE(ready.find("unix " + lopt.unix_path), std::string::npos);
+
+  std::string tcp_stream, unix_stream;
+  std::atomic<int> done{0};
+  std::thread tcp_client([&] {
+    tcp_stream =
+        client_session(connect_tcp_client(listener.tcp_endpoint()),
+                       tcp_lines);
+    ++done;
+  });
+  std::thread unix_client([&] {
+    unix_stream = client_session(connect_unix_client(lopt.unix_path),
+                                 unix_lines);
+    ++done;
+  });
+  pump_until(listener, [&] { return done.load() == 2; });
+  tcp_client.join();
+  unix_client.join();
+
+  EXPECT_EQ(tcp_stream, tcp_expected);
+  EXPECT_EQ(unix_stream, unix_expected);
+  pump_until(listener, [&] { return listener.connection_count() == 0; });
+  EXPECT_EQ(service.metrics().counter(Counter::kSvcConnAccepted), 2u);
+  EXPECT_EQ(service.metrics().counter(Counter::kSvcConnClosed), 2u);
+  EXPECT_EQ(service.metrics().gauge(Gauge::kSvcConnections), 0);
+}
+
+TEST(Listener, ManyConcurrentClientsKeepPerConnectionDeterminism) {
+  // The acceptance bar: >= 64 concurrent loopback clients, each
+  // connection's response stream byte-identical to a stdio replay of
+  // its own requests, at 1 worker thread and at 8.
+  constexpr int kClients = 64;
+  const Graph g = make_grid(4, 4);
+
+  std::vector<std::vector<std::string>> requests(kClients);
+  std::vector<std::string> expected(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    const std::string tag = std::to_string(c);
+    requests[c] = {
+        solve_line("c" + tag + "a", g,
+                   ",\"seed\":" + std::to_string(10000 + 10 * c)),
+        "{\"id\":\"c" + tag + "p\",\"op\":\"ping\"}",
+        solve_line("c" + tag + "b", g,
+                   ",\"seed\":" + std::to_string(10001 + 10 * c)),
+    };
+    expected[c] = joined(run_sequence(test_options(), requests[c]));
+  }
+
+  const auto streams_at = [&](unsigned threads) {
+    Service service(test_options(threads));
+    ListenerOptions lopt;
+    lopt.unix_path = testing::TempDir() + "gbis_many.sock";
+    Listener listener(service, lopt);
+    listener.start();
+    std::vector<std::string> streams(kClients);
+    std::atomic<int> done{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        streams[c] = client_session(connect_unix_client(lopt.unix_path),
+                                    requests[c]);
+        ++done;
+      });
+    }
+    pump_until(listener, [&] { return done.load() == kClients; }, 200000);
+    for (std::thread& t : clients) t.join();
+    EXPECT_EQ(service.metrics().counter(Counter::kSvcConnAccepted),
+              static_cast<std::uint64_t>(kClients));
+    return streams;
+  };
+
+  const auto one = streams_at(1);
+  const auto eight = streams_at(8);
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(one[c], expected[c]) << "client " << c << " (1 thread)";
+    EXPECT_EQ(eight[c], expected[c]) << "client " << c << " (8 threads)";
+  }
+}
+
+TEST(Listener, GarbageMidStreamAnswersErrorsAndKeepsTheConnection) {
+  Service service(test_options());
+  ListenerOptions lopt;
+  lopt.unix_path = testing::TempDir() + "gbis_garbage.sock";
+  Listener listener(service, lopt);
+  listener.start();
+
+  const std::vector<std::string> lines = {
+      "{\"id\":\"g1\",\"op\":\"ping\"}",
+      "!!!! not json at all \x01\x02 ****",
+      R"({"id":"x"op":"ping","budget":1})",  // the json_lite regression
+      R"({"id":"neg","op":"solve","inline":"2 1\n0 1\n","budget":-1})",
+      "{\"id\":\"g2\",\"op\":\"ping\"}",
+  };
+  std::string stream;
+  std::atomic<bool> done{false};
+  std::thread client([&] {
+    stream = client_session(connect_unix_client(lopt.unix_path), lines);
+    done = true;
+  });
+  pump_until(listener, [&] { return done.load(); });
+  client.join();
+
+  std::istringstream in(stream);
+  std::vector<std::string> out;
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_TRUE(out[0].starts_with("{\"id\":\"g1\",\"ok\":true"));
+  std::string error;
+  ASSERT_TRUE(json_parse_string(out[1], "error", error));
+  EXPECT_TRUE(error.starts_with("parse:"));
+  ASSERT_TRUE(json_parse_string(out[2], "error", error));
+  EXPECT_TRUE(error.starts_with("parse: malformed request line"));
+  ASSERT_TRUE(json_parse_string(out[3], "error", error));
+  EXPECT_TRUE(error.starts_with("parse:")) << "budget:-1 must not wrap";
+  EXPECT_TRUE(out[4].starts_with("{\"id\":\"g2\",\"ok\":true"));
+}
+
+TEST(Listener, OverlongLinesRejectAndResync) {
+  Service service(test_options());
+  ListenerOptions lopt;
+  lopt.unix_path = testing::TempDir() + "gbis_overlong.sock";
+  lopt.max_line_bytes = 64;
+  Listener listener(service, lopt);
+  listener.start();
+
+  std::string stream;
+  std::atomic<bool> done{false};
+  std::thread client([&] {
+    const int fd = connect_unix_client(lopt.unix_path);
+    send_all(fd, std::string(200, 'x') + "\n" +
+                     "{\"id\":\"after\",\"op\":\"ping\"}\n");
+    ::shutdown(fd, SHUT_WR);
+    stream = recv_to_eof(fd);
+    ::close(fd);
+    done = true;
+  });
+  pump_until(listener, [&] { return done.load(); });
+  client.join();
+
+  std::istringstream in(stream);
+  std::vector<std::string> out;
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  ASSERT_EQ(out.size(), 2u);
+  std::string error;
+  ASSERT_TRUE(json_parse_string(out[0], "error", error));
+  EXPECT_EQ(error, "parse: request line exceeds 64 bytes");
+  EXPECT_TRUE(out[1].starts_with("{\"id\":\"after\",\"ok\":true"))
+      << "the connection must survive an overlong line";
+}
+
+TEST(Listener, PerConnectionQuotaRejectsJumpTheStream) {
+  SvcOptions options = test_options();
+  options.max_queue = 100;
+  Service service(options);
+  ListenerOptions lopt;
+  lopt.unix_path = testing::TempDir() + "gbis_quota.sock";
+  lopt.conn_request_quota = 2;
+  Listener listener(service, lopt);
+  listener.start();
+
+  // One small write on a unix socket: the four lines arrive in one
+  // read sweep, so q1/q2 are in flight when q3/q4 hit the quota.
+  const std::vector<std::string> lines = {
+      "{\"id\":\"q1\",\"op\":\"ping\"}",
+      "{\"id\":\"q2\",\"op\":\"ping\"}",
+      "{\"id\":\"q3\",\"op\":\"ping\"}",
+      "{\"id\":\"q4\",\"op\":\"ping\"}",
+  };
+  std::string stream;
+  std::atomic<bool> done{false};
+  std::thread client([&] {
+    stream = client_session(connect_unix_client(lopt.unix_path), lines);
+    done = true;
+  });
+  pump_until(listener, [&] { return done.load(); });
+  client.join();
+
+  std::istringstream in(stream);
+  std::vector<std::string> out;
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  ASSERT_EQ(out.size(), 4u);
+  // Quota rejects are emitted at read time and jump the arrival-order
+  // stream, exactly like the service's queue-full reject.
+  std::string error;
+  EXPECT_TRUE(out[0].starts_with("{\"id\":\"q3\",\"ok\":false"));
+  ASSERT_TRUE(json_parse_string(out[0], "error", error));
+  EXPECT_TRUE(error.starts_with("rejected: connection request quota"));
+  EXPECT_TRUE(out[1].starts_with("{\"id\":\"q4\",\"ok\":false"));
+  EXPECT_TRUE(out[2].starts_with("{\"id\":\"q1\",\"ok\":true"));
+  EXPECT_TRUE(out[3].starts_with("{\"id\":\"q2\",\"ok\":true"));
+  EXPECT_EQ(service.metrics().counter(Counter::kSvcQuotaRejected), 2u);
+}
+
+TEST(Listener, ConnectionLimitShedsExtraClientsWithAReason) {
+  Service service(test_options());
+  ListenerOptions lopt;
+  lopt.unix_path = testing::TempDir() + "gbis_limit.sock";
+  lopt.max_connections = 1;
+  Listener listener(service, lopt);
+  listener.start();
+
+  std::atomic<bool> first_served{false}, second_done{false};
+  std::string reject_stream;
+  std::thread first([&] {
+    const int fd = connect_unix_client(lopt.unix_path);
+    send_all(fd, "{\"id\":\"a\",\"op\":\"ping\"}\n");
+    const std::string line = recv_line(fd);
+    EXPECT_TRUE(line.starts_with("{\"id\":\"a\",\"ok\":true"));
+    first_served = true;
+    while (!second_done.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ::close(fd);
+  });
+  pump_until(listener, [&] { return first_served.load(); });
+
+  std::thread second([&] {
+    const int fd = connect_unix_client(lopt.unix_path);
+    reject_stream = recv_to_eof(fd);  // one reject line, then EOF
+    ::close(fd);
+    second_done = true;
+  });
+  pump_until(listener, [&] { return second_done.load(); });
+  first.join();
+  second.join();
+
+  std::string error;
+  ASSERT_TRUE(json_parse_string(reject_stream, "error", error));
+  EXPECT_TRUE(error.starts_with("rejected: connection limit"));
+  EXPECT_EQ(service.metrics().counter(Counter::kSvcConnRejected), 1u);
+  EXPECT_EQ(service.metrics().counter(Counter::kSvcConnAccepted), 1u);
+  pump_until(listener, [&] { return listener.connection_count() == 0; });
+}
+
+TEST(Listener, SlowClientsAreDisconnectedAndCounted) {
+  // A client that never reads: responses pile up in the connection's
+  // write buffer (the peer's tiny receive window stops the kernel from
+  // draining it) until the backlog cap / stall clock sheds it.
+  const Graph big = make_grid(100, 200);  // 20000-char sides payload
+  const std::string graph_path = testing::TempDir() + "gbis_slow.graph";
+  {
+    std::ofstream out(graph_path);
+    write_edge_list(out, big);
+  }
+  Service service(test_options());
+  ListenerOptions lopt;
+  // A unix socket's send buffer is a fixed kernel bound (no TCP-style
+  // auto-tuning), so ~800KB of unread responses reliably lands in the
+  // connection's write buffer and trips the backlog cap.
+  lopt.unix_path = testing::TempDir() + "gbis_slowclient.sock";
+  lopt.max_write_buffer = 16 * 1024;
+  lopt.write_timeout_seconds = 0.2;
+  Listener listener(service, lopt);
+  listener.start();
+
+  std::atomic<bool> sent{false}, closed{false};
+  std::thread client([&] {
+    const int fd = connect_unix_client(lopt.unix_path);
+    std::string payload;
+    for (int i = 0; i < 40; ++i) {
+      payload += "{\"id\":\"s" + std::to_string(i) +
+                 "\",\"op\":\"solve\",\"path\":";
+      append_json_string(payload, graph_path);
+      payload += ",\"method\":\"random\",\"budget\":1,\"want_sides\":true,"
+                 "\"seed\":" +
+                 std::to_string(7000 + i) + "}\n";
+    }
+    send_all(fd, payload);
+    sent = true;
+    // Never read: wait for the server to shed us.
+    while (!closed.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ::close(fd);
+  });
+  pump_until(listener, [&] {
+    return service.metrics().counter(Counter::kSvcConnSlowClosed) >= 1;
+  });
+  closed = true;
+  client.join();
+  EXPECT_EQ(service.metrics().counter(Counter::kSvcConnSlowClosed), 1u);
+  EXPECT_EQ(service.metrics().gauge(Gauge::kSvcConnections), 0);
+  EXPECT_TRUE(sent.load());
+}
+
+TEST(Listener, DrainAnswersAdmittedRequestsAsShutdownAndClosesAll) {
+  const Graph g = make_grid(6, 6);
+  Service service(test_options());
+  ListenerOptions lopt;
+  lopt.unix_path = testing::TempDir() + "gbis_drain.sock";
+  Listener listener(service, lopt);
+  listener.start();
+
+  // The stop flag is already up when the requests arrive — the
+  // SIGTERM-during-a-burst shape. Everything admitted must still be
+  // answered (as "shutdown" errors), flushed, and closed.
+  std::atomic<bool> stop{true};
+  std::string stream;
+  std::atomic<bool> done{false};
+  std::thread client([&] {
+    stream = client_session(
+        connect_unix_client(lopt.unix_path),
+        {solve_line("d1", g, ",\"seed\":801"),
+         solve_line("d2", g, ",\"seed\":802")});
+    done = true;
+  });
+  for (int i = 0; i < 20000 && !done.load(); ++i) {
+    listener.poll_once(/*timeout_ms=*/5, &stop);
+  }
+  ASSERT_TRUE(done.load());
+  client.join();
+  listener.drain(&stop);
+
+  std::istringstream in(stream);
+  std::vector<std::string> out;
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  ASSERT_EQ(out.size(), 2u);
+  for (const std::string& response : out) {
+    std::string error;
+    ASSERT_TRUE(json_parse_string(response, "error", error));
+    EXPECT_TRUE(error.starts_with("shutdown"));
+  }
+  EXPECT_EQ(listener.connection_count(), 0u);
+  // The drain unlinked the socket file.
+  EXPECT_FALSE(std::ifstream(lopt.unix_path).good());
 }
 
 TEST(Service, CacheEvictionsSurfaceInStats) {

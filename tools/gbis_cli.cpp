@@ -65,6 +65,7 @@
 #include "gbis/obs/progress.hpp"
 #include "gbis/obs/prom_export.hpp"
 #include "gbis/rng/rng.hpp"
+#include "gbis/svc/listener.hpp"
 #include "gbis/svc/scheduler.hpp"
 #include "gbis/util/json_lite.hpp"
 
@@ -126,6 +127,27 @@ void print_help(std::ostream& out) {
          "      --stats-file F republish a Prometheus text exposition\n"
          "                     to F (atomic rename), plus once at exit\n"
          "      --stats-interval S  seconds between republishes (10)\n"
+         "      --listen HOST:PORT  serve NDJSON over TCP instead of\n"
+         "                     stdio (port 0 = ephemeral; env\n"
+         "                     GBIS_SVC_LISTEN, flag wins)\n"
+         "      --listen-unix PATH  ditto on a Unix-domain socket (env\n"
+         "                     GBIS_SVC_LISTEN_UNIX); both listeners may\n"
+         "                     run at once; neither combines with\n"
+         "                     --replay\n"
+         "      --max-conns N  connection bound; accepts beyond it get\n"
+         "                     one structured reject line (1024)\n"
+         "      --conn-quota N per-connection in-flight request bound\n"
+         "                     (64)\n"
+         "      --write-timeout S  disconnect a client making no read\n"
+         "                     progress for S seconds (10)\n"
+         "      --max-line-bytes N  reject request lines longer than N\n"
+         "                     bytes and resync (4194304)\n"
+         "      --ready-file F publish the bound endpoints to F once\n"
+         "                     listening (how scripts find port 0)\n"
+         "      Runs a single-threaded poll(2) loop; SIGINT/SIGTERM\n"
+         "      stops accepting, answers everything admitted, and exits\n"
+         "      130. Per-connection response streams keep the stdio\n"
+         "      determinism contract for any --threads value.\n"
          "      Request {\"op\":\"stats\"} reports counters, gauges, and\n"
          "      latency summaries; \"format\":\"prom\" returns the\n"
          "      Prometheus exposition instead. --progress shows a live\n"
@@ -485,6 +507,7 @@ int cmd_serve(const std::vector<std::string>& args, std::uint64_t seed,
   SvcOptions options = svc_options_from_env(SvcOptions{});
   options.default_seed = seed;
   options.threads = threads;
+  ListenerOptions listen = listener_options_from_env(ListenerOptions{});
   std::string replay_path;
   std::string stats_path;
   double stats_interval = 10.0;
@@ -521,6 +544,27 @@ int cmd_serve(const std::vector<std::string>& args, std::uint64_t seed,
     } else if (arg == "--stats-interval") {
       stats_interval = to_double(flag_value());
       if (!(stats_interval > 0)) usage();
+    } else if (arg == "--listen") {
+      listen.tcp_endpoint = flag_value();
+      if (listen.tcp_endpoint.empty()) usage();
+    } else if (arg == "--listen-unix") {
+      listen.unix_path = flag_value();
+      if (listen.unix_path.empty()) usage();
+    } else if (arg == "--max-conns") {
+      listen.max_connections = to_u64(flag_value());
+      if (listen.max_connections == 0) usage();
+    } else if (arg == "--conn-quota") {
+      listen.conn_request_quota = to_u64(flag_value());
+      if (listen.conn_request_quota == 0) usage();
+    } else if (arg == "--write-timeout") {
+      listen.write_timeout_seconds = to_double(flag_value());
+      if (!(listen.write_timeout_seconds > 0)) usage();
+    } else if (arg == "--max-line-bytes") {
+      listen.max_line_bytes = to_u64(flag_value());
+      if (listen.max_line_bytes == 0) usage();
+    } else if (arg == "--ready-file") {
+      listen.ready_file = flag_value();
+      if (listen.ready_file.empty()) usage();
     } else {
       std::cerr << "serve: unknown argument " << arg << '\n';
       usage();
@@ -533,6 +577,17 @@ int cmd_serve(const std::vector<std::string>& args, std::uint64_t seed,
       options.threads =
           static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     }
+  }
+
+  // Socket mode and the stdio determinism harness are distinct modes:
+  // --replay exists to assert byte-identical response streams, which
+  // only makes sense on the single stdin/stdout stream.
+  const bool socket_mode =
+      !listen.tcp_endpoint.empty() || !listen.unix_path.empty();
+  if (socket_mode && !replay_path.empty()) {
+    std::cerr << "serve: --replay cannot be combined with "
+                 "--listen/--listen-unix\n";
+    usage();
   }
 
   std::ifstream replay;
@@ -604,24 +659,68 @@ int cmd_serve(const std::vector<std::string>& args, std::uint64_t seed,
     responses.clear();
   };
 
-  std::string line;
-  while (!stop.load(std::memory_order_acquire) && std::getline(in, line)) {
-    if (line.empty()) continue;
-    service.submit_line(line, responses);
-    if (service.pending() >= service.options().batch_size) {
-      service.process_batch(responses, &stop);
+  if (socket_mode) {
+    // Socket mode: the listener's event loop drives the service; the
+    // --progress meter classifies via the per-response hook since
+    // responses go to sockets, not stdout.
+    if (meter != nullptr) {
+      ProgressMeter* raw_meter = meter.get();
+      listen.on_response = [raw_meter](const std::string& response) {
+        bool ok = false;
+        json_parse_bool(response, "ok", ok);
+        if (ok) {
+          raw_meter->record(ProgressOutcome::kOk);
+        } else {
+          std::string error;
+          json_parse_string(response, "error", error);
+          raw_meter->record(error.rfind("rejected:", 0) == 0
+                                ? ProgressOutcome::kSkipped
+                                : ProgressOutcome::kFailed);
+        }
+      };
     }
+    Listener listener(service, listen);
+    listener.start();
+    if (!listener.tcp_endpoint().empty()) {
+      std::cerr << "serve: listening tcp " << listener.tcp_endpoint() << '\n';
+    }
+    if (!listener.unix_endpoint().empty()) {
+      std::cerr << "serve: listening unix " << listener.unix_endpoint()
+                << '\n';
+    }
+    while (!stop.load(std::memory_order_acquire)) {
+      listener.poll_once(/*timeout_ms=*/200, &stop);
+      if (!stats_path.empty() &&
+          stats_clock.elapsed_seconds() - last_stats_write >=
+              stats_interval) {
+        write_stats_snapshot();
+        last_stats_write = stats_clock.elapsed_seconds();
+      }
+    }
+    // SIGINT/SIGTERM: stop accepting, answer everything admitted,
+    // flush, close — then the interrupted exit code below.
+    listener.drain(&stop);
+  } else {
+    std::string line;
+    while (!stop.load(std::memory_order_acquire) && std::getline(in, line)) {
+      if (line.empty()) continue;
+      service.submit_line(line, responses);
+      if (service.pending() >= service.options().batch_size) {
+        service.process_batch(responses, &stop);
+      }
+      emit();
+      if (!stats_path.empty() &&
+          stats_clock.elapsed_seconds() - last_stats_write >=
+              stats_interval) {
+        write_stats_snapshot();
+        last_stats_write = stats_clock.elapsed_seconds();
+      }
+    }
+    // EOF or shutdown: answer everything admitted (queued solves drain
+    // as "shutdown" errors once the stop flag is up), then exit.
+    service.drain(responses, &stop);
     emit();
-    if (!stats_path.empty() &&
-        stats_clock.elapsed_seconds() - last_stats_write >= stats_interval) {
-      write_stats_snapshot();
-      last_stats_write = stats_clock.elapsed_seconds();
-    }
   }
-  // EOF or shutdown: answer everything admitted (queued solves drain as
-  // "shutdown" errors once the stop flag is up), then exit.
-  service.drain(responses, &stop);
-  emit();
   if (meter != nullptr) meter->finish();
   write_stats_snapshot();
   // Slow-request samples go to the same trace.json slot the campaign

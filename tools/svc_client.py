@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Loopback smoke client for `gbis serve` socket mode.
+
+Spawns the server on an ephemeral endpoint, waits for its --ready-file,
+streams a request file over the socket, prints the response stream to
+stdout, then sends SIGTERM and requires the documented graceful-drain
+exit code (130).
+
+    svc_client.py GBIS_BINARY REQUEST_FILE [--transport tcp|unix]
+
+Exit status: 0 only when every step held — the server came up, answered
+the full request stream, and drained cleanly on SIGTERM. The response
+bytes on stdout are byte-identical to `gbis serve --replay REQUEST_FILE`
+(modulo the documented `_us` wall-clock fields) at any GBIS_THREADS, so
+callers can diff the two streams directly; that comparison is CI's
+socket-mode determinism check (tests/cli_smoke.cmake and the workflow).
+"""
+
+import argparse
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def wait_for_ready_file(path, proc, timeout_seconds=10.0):
+    """Polls for the atomically-published ready file; returns its lines."""
+    deadline = time.monotonic() + timeout_seconds
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit(
+                f"server exited early with status {proc.returncode}")
+        try:
+            with open(path, encoding="utf-8") as handle:
+                lines = [line.strip() for line in handle if line.strip()]
+            if lines:
+                return lines
+        except FileNotFoundError:
+            pass
+        time.sleep(0.02)
+    raise SystemExit(f"ready file {path} did not appear in "
+                     f"{timeout_seconds:.0f}s")
+
+
+def connect(ready_lines, transport):
+    """Connects to the endpoint the server published for `transport`."""
+    for line in ready_lines:
+        kind, _, endpoint = line.partition(" ")
+        if transport == "tcp" and kind == "tcp":
+            host, _, port = endpoint.rpartition(":")
+            sock = socket.create_connection((host, int(port)), timeout=30)
+            return sock
+        if transport == "unix" and kind == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(30)
+            sock.connect(endpoint)
+            return sock
+    raise SystemExit(f"ready file has no {transport} endpoint: {ready_lines}")
+
+
+def run_session(sock, request_bytes):
+    """Sends the whole request file, half-closes, reads until EOF."""
+    sock.sendall(request_bytes)
+    sock.shutdown(socket.SHUT_WR)  # EOF tells the server we are done
+    chunks = []
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        chunks.append(chunk)
+    sock.close()
+    return b"".join(chunks)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("gbis", help="path to the gbis binary")
+    parser.add_argument("requests", help="NDJSON request file to stream")
+    parser.add_argument("--transport", choices=("tcp", "unix"),
+                        default="tcp")
+    parser.add_argument("--serve-arg", action="append", default=[],
+                        help="extra argument forwarded to `gbis serve`")
+    args = parser.parse_args()
+
+    with open(args.requests, "rb") as handle:
+        request_bytes = handle.read()
+
+    with tempfile.TemporaryDirectory(prefix="gbis_svc_client_") as tmp:
+        ready_file = os.path.join(tmp, "ready")
+        cmd = [args.gbis, "serve", "--ready-file", ready_file]
+        if args.transport == "tcp":
+            cmd += ["--listen", "127.0.0.1:0"]
+        else:
+            cmd += ["--listen-unix", os.path.join(tmp, "gbis.sock")]
+        cmd += args.serve_arg
+        proc = subprocess.Popen(cmd, stdout=subprocess.DEVNULL)
+        try:
+            ready_lines = wait_for_ready_file(ready_file, proc)
+            sock = connect(ready_lines, args.transport)
+            responses = run_session(sock, request_bytes)
+            sys.stdout.buffer.write(responses)
+            sys.stdout.buffer.flush()
+        finally:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+                raise SystemExit("server did not drain within 30s of SIGTERM")
+
+    if proc.returncode != 130:
+        raise SystemExit(f"server exited {proc.returncode} after SIGTERM, "
+                         "expected 130 (graceful drain)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -114,6 +114,78 @@ void BM_SvcSolve_CacheHit(benchmark::State& state) {
 }
 BENCHMARK(BM_SvcSolve_CacheHit)->Unit(benchmark::kMillisecond);
 
+// Warm restart (svc/cache_store): seed a journal with `entries`
+// distinct solve identities once, then measure the crash-recovery
+// path. BM_SvcWarmRestore times the journal replay alone (Service
+// construction); BM_SvcWarmRestart_Serve times restart-then-serve,
+// where every request lands on the restored cache — its
+// post_restart_hit_ratio counter is the crash-safety payoff and part
+// of the snapshot schema.
+std::string seed_journal(const Graph& g, int entries,
+                         std::vector<std::string>& lines) {
+  const std::string path = "/tmp/gbis_bench_warm_" +
+                           std::to_string(::getpid()) + "_" +
+                           std::to_string(entries) + ".jsonl";
+  std::remove(path.c_str());
+  SvcOptions options = bench_options();
+  options.cache_file = path;
+  Service seeder(options);
+  std::vector<std::string> out;
+  for (int i = 0; i < entries; ++i) {
+    lines.push_back(request_line(g, 1000 + static_cast<std::uint64_t>(i)));
+    seeder.submit_line(lines.back(), out);
+    seeder.drain(out);
+    out.clear();
+  }
+  return path;
+}
+
+void BM_SvcWarmRestore(benchmark::State& state) {
+  const int entries = static_cast<int>(state.range(0));
+  const Graph g = bench_graph();
+  std::vector<std::string> lines;
+  const std::string path = seed_journal(g, entries, lines);
+  SvcOptions options = bench_options();
+  options.cache_file = path;
+  std::uint64_t restored = 0;
+  for (auto _ : state) {
+    Service warm(options);
+    restored = warm.metrics().counter(Counter::kSvcCacheRestored);
+    benchmark::DoNotOptimize(restored);
+  }
+  state.counters["restored_entries"] = static_cast<double>(restored);
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SvcWarmRestore)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_SvcWarmRestart_Serve(benchmark::State& state) {
+  const int entries = static_cast<int>(state.range(0));
+  const Graph g = bench_graph();
+  std::vector<std::string> lines;
+  const std::string path = seed_journal(g, entries, lines);
+  SvcOptions options = bench_options();
+  options.cache_file = path;
+  double hit_ratio = 0.0;
+  for (auto _ : state) {
+    Service warm(options);
+    std::vector<std::string> out;
+    for (const std::string& line : lines) {
+      warm.submit_line(line, out);
+      warm.drain(out);
+      benchmark::DoNotOptimize(out);
+      out.clear();
+    }
+    const SvcCacheStats& cache = warm.cache_stats();
+    const double lookups = static_cast<double>(cache.hits + cache.misses);
+    hit_ratio =
+        lookups > 0.0 ? static_cast<double>(cache.hits) / lookups : 0.0;
+  }
+  state.counters["post_restart_hit_ratio"] = hit_ratio;
+  state.SetItemsProcessed(state.iterations() * entries);
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SvcWarmRestart_Serve)->Arg(64)->Unit(benchmark::kMillisecond);
+
 void BM_SvcFingerprint(benchmark::State& state) {
   const Graph g = bench_graph();
   for (auto _ : state) {

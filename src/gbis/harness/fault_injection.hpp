@@ -22,6 +22,7 @@
 //           had arrived at that moment; the trial itself runs normally
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -70,5 +71,76 @@ class FaultPlan {
 /// deadline — what an injected hang spins against.
 void maybe_inject_fault(const FaultPlan* plan, std::uint64_t trial_id,
                         const Deadline& deadline);
+
+// ---------------------------------------------------------------------------
+// Service-scoped fault injection (svc/scheduler.*). Same philosophy as
+// the campaign plan above, but the injection sites are the service
+// scheduler's dispatch points instead of trial starts:
+//
+//   spec  := entry ("," entry)*
+//   entry := kind "@" site ":" ordinal
+//   kind  := "throw" | "hang" | "oom" | "crash"
+//   site  := "req" | "solve" | "batch"
+//
+// e.g.  GBIS_SVC_FAULTS=throw@req:3,crash@batch:2
+//
+//   site req   — ordinal is the request seq (the access-log "seq"),
+//                checked as that request's cold solve starts
+//   site solve — ordinal is the service-lifetime cold-solve ordinal
+//                (leaders only; hits/coalesced followers don't count)
+//   site batch — ordinal counts non-empty process_batch calls, checked
+//                at batch entry before any work
+//
+//   throw — raise InjectedFault (-> a stable "internal:" response;
+//           the injected text goes to stderr + the access log)
+//   hang  — block until the request deadline expires or a shutdown is
+//           requested; with neither it hangs for real
+//   oom   — raise std::bad_alloc (-> "internal: out of memory")
+//   crash — raise(SIGKILL): the crash-safety chaos hook. The process
+//           dies instantly, exactly like an external kill -9; batches
+//           before the ordinal are fully journaled and flushed.
+//
+// All kinds are accepted at all sites (a crash@solve kills mid-batch,
+// a throw@batch fails every request of that batch); the canonical
+// chaos suite uses throw@req, hang@solve, oom@solve, and crash@batch.
+
+/// What an injected service fault does at its site.
+enum class SvcFaultKind : std::uint8_t { kNone, kThrow, kHang, kOom, kCrash };
+
+/// Where in the scheduler a service fault fires.
+enum class SvcFaultSite : std::uint8_t { kReq = 0, kSolve, kBatch };
+
+/// An immutable (site, ordinal) -> kind map parsed from a spec string.
+class SvcFaultPlan {
+ public:
+  /// No faults.
+  SvcFaultPlan() = default;
+
+  /// Parses the grammar above; throws std::invalid_argument naming the
+  /// offending entry on any deviation. An empty spec is an empty plan.
+  static SvcFaultPlan parse(const std::string& spec);
+
+  /// Reads GBIS_SVC_FAULTS. A malformed value warns on stderr and
+  /// yields an empty plan, like every other GBIS_* knob.
+  static SvcFaultPlan from_env();
+
+  bool empty() const { return by_site_.empty(); }
+  std::size_t size() const { return by_site_.size(); }
+
+  /// The fault planned for `ordinal` at `site` (kNone when unplanned).
+  SvcFaultKind at(SvcFaultSite site, std::uint64_t ordinal) const;
+
+ private:
+  /// Key = ordinal * 4 + site (sites fit in two bits).
+  std::unordered_map<std::uint64_t, SvcFaultKind> by_site_;
+};
+
+/// The scheduler's injection point. No-op for a null/empty plan.
+/// `deadline` is the request deadline an injected hang spins against;
+/// `stop` (optional) also rescues a hang, mirroring the graceful-
+/// shutdown path.
+void maybe_inject_svc_fault(const SvcFaultPlan* plan, SvcFaultSite site,
+                            std::uint64_t ordinal, const Deadline& deadline,
+                            const std::atomic<bool>* stop = nullptr);
 
 }  // namespace gbis

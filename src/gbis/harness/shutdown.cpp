@@ -7,9 +7,22 @@ namespace gbis {
 namespace {
 
 std::atomic<bool> g_shutdown{false};
+std::atomic<bool> g_escalate{false};
 
 extern "C" void handle_shutdown_signal(int) {
   g_shutdown.store(true, std::memory_order_release);
+}
+
+extern "C" void handle_escalating_signal(int sig) {
+  // First signal: graceful drain. Second: escalate to the bounded
+  // flush. Third: default disposition (everything here is
+  // async-signal-safe — lock-free atomics and sigaction).
+  if (!g_shutdown.exchange(true, std::memory_order_acq_rel)) return;
+  if (!g_escalate.exchange(true, std::memory_order_acq_rel)) return;
+  struct sigaction action = {};
+  action.sa_handler = SIG_DFL;
+  sigemptyset(&action.sa_mask);
+  sigaction(sig, &action, nullptr);
 }
 
 }  // namespace
@@ -22,7 +35,19 @@ bool shutdown_requested() {
 
 void request_shutdown() { g_shutdown.store(true, std::memory_order_release); }
 
-void reset_shutdown() { g_shutdown.store(false, std::memory_order_release); }
+void reset_shutdown() {
+  g_shutdown.store(false, std::memory_order_release);
+  g_escalate.store(false, std::memory_order_release);
+}
+
+bool shutdown_escalated() {
+  return g_escalate.load(std::memory_order_acquire);
+}
+
+void request_escalation() {
+  g_shutdown.store(true, std::memory_order_release);
+  g_escalate.store(true, std::memory_order_release);
+}
 
 void install_shutdown_handlers() {
   struct sigaction action = {};
@@ -31,6 +56,17 @@ void install_shutdown_handlers() {
   // SA_RESETHAND: the first signal drains gracefully, a second one
   // kills the process the ordinary way — no way to wedge a campaign.
   action.sa_flags = SA_RESETHAND;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+void install_escalating_shutdown_handlers() {
+  struct sigaction action = {};
+  action.sa_handler = &handle_escalating_signal;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESETHAND: the handler itself walks the drain -> escalate ->
+  // default ladder, one rung per signal.
+  action.sa_flags = 0;
   sigaction(SIGINT, &action, nullptr);
   sigaction(SIGTERM, &action, nullptr);
 }

@@ -27,7 +27,8 @@ bool shutdown_requested();
 /// without delivering a real signal.
 void request_shutdown();
 
-/// Clears the flag so a new campaign (or test) starts fresh.
+/// Clears the flag (and the escalation flag) so a new campaign (or
+/// test) starts fresh.
 void reset_shutdown();
 
 /// Installs SIGINT and SIGTERM handlers that call request_shutdown().
@@ -35,5 +36,21 @@ void reset_shutdown();
 /// (handlers are installed with SA_RESETHAND), so a stuck campaign can
 /// still be killed with a repeated Ctrl-C.
 void install_shutdown_handlers();
+
+/// True once a shutdown has been *escalated* (second signal, or an
+/// in-process request_escalation()). The serve drain path checks this
+/// to cut the graceful tail short: answer nothing new, flush the
+/// access log and stats, exit 130.
+bool shutdown_escalated();
+
+/// In-process trigger for the escalation path (tests; also implies
+/// request_shutdown() so the pair is always consistent).
+void request_escalation();
+
+/// Installs escalating SIGINT/SIGTERM handlers for `gbis serve`: the
+/// first signal requests a graceful drain, the second escalates to the
+/// bounded-flush shutdown above, and a third falls back to the default
+/// disposition (the process can always be killed). Idempotent.
+void install_escalating_shutdown_handlers();
 
 }  // namespace gbis

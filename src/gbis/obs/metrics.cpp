@@ -44,6 +44,12 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "svc.conn.slow_closed",
     "svc.conn.rejected",
     "svc.quota_rejected",
+    "svc.cache.restored",
+    "svc.cache.journal_bytes",
+    "svc.cache.compactions",
+    "svc.brownout.entered",
+    "svc.brownout.restored",
+    "svc.brownout.shed",
 };
 
 constexpr const char* kHistNames[kNumHists] = {
@@ -61,6 +67,7 @@ constexpr const char* kGaugeNames[kNumGauges] = {
     "svc.cache.bytes",
     "svc.batch.size",
     "svc.connections",
+    "svc.brownout_level",
 };
 
 constexpr const char* kPhaseNames[kNumPhases] = {

@@ -71,6 +71,14 @@ enum class Counter : std::uint8_t {
   kSvcConnSlowClosed,     ///< "svc.conn.slow_closed" (write stall/backlog)
   kSvcConnRejected,       ///< "svc.conn.rejected" (over --max-conns)
   kSvcQuotaRejected,      ///< "svc.quota_rejected" (per-conn request quota)
+  // Durable result-cache counters (svc/cache_store.*).
+  kSvcCacheRestored,      ///< "svc.cache.restored" (entries from warm start)
+  kSvcCacheJournalBytes,  ///< "svc.cache.journal_bytes" (cumulative appended)
+  kSvcCacheCompactions,   ///< "svc.cache.compactions" (journal rewrites)
+  // Brownout-controller counters (svc/scheduler.*).
+  kSvcBrownoutEntered,    ///< "svc.brownout.entered" (level left 0)
+  kSvcBrownoutRestored,   ///< "svc.brownout.restored" (level returned to 0)
+  kSvcBrownoutShed,       ///< "svc.brownout.shed" (solves rejected at L3)
   kCount
 };
 inline constexpr std::size_t kNumCounters =
@@ -100,6 +108,7 @@ enum class Gauge : std::uint8_t {
   kSvcCacheBytes,      ///< "svc.cache.bytes" (result-cache resident bytes)
   kSvcBatchSize,       ///< "svc.batch.size" (requests in the last batch)
   kSvcConnections,     ///< "svc.connections" (open listener connections)
+  kSvcBrownoutLevel,   ///< "svc.brownout_level" (overload ladder rung, 0-3)
   kCount
 };
 inline constexpr std::size_t kNumGauges =

@@ -87,6 +87,16 @@ class SvcResultCache {
   const SvcCacheStats& stats() const { return stats_; }
   std::uint64_t max_bytes() const { return max_bytes_; }
 
+  /// Visits every resident entry from least- to most-recently used —
+  /// the order a journal compaction writes them, so replaying the
+  /// compacted journal rebuilds the same recency order (svc/cache_store).
+  template <typename Fn>
+  void visit_lru_to_mru(Fn&& fn) const {
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      fn(it->key, it->value);
+    }
+  }
+
  private:
   struct Entry {
     SvcCacheKey key;

@@ -1,0 +1,277 @@
+#include "gbis/svc/cache_store.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "gbis/svc/fingerprint.hpp"
+#include "gbis/util/json_lite.hpp"
+
+namespace gbis {
+
+namespace {
+
+/// Strict 16-lower-hex-digit parse (the to_hex16 wire format). The
+/// lenient strtoull would accept "0x...", signs, and short strings —
+/// all of which should fail a CRC-guarded journal line instead.
+bool parse_hex16(const std::string& text, std::uint64_t& out) {
+  if (text.size() != 16) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') digit = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    else return false;
+    value = (value << 4) | digit;
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t SvcCacheStore::text_crc(const std::string& text) {
+  Hash64 h;
+  std::uint64_t word = 0;
+  int packed = 0;
+  for (const unsigned char c : text) {
+    word |= static_cast<std::uint64_t>(c) << (8 * packed);
+    if (++packed == 8) {
+      h.add(word);
+      word = 0;
+      packed = 0;
+    }
+  }
+  if (packed != 0) h.add(word);
+  // Length extension: a truncated line whose packed words happen to
+  // agree must still miss.
+  h.add(static_cast<std::uint64_t>(text.size()));
+  return h.digest();
+}
+
+std::string SvcCacheStore::header_line() {
+  return "{\"type\":\"svc_cache\",\"version\":1}";
+}
+
+std::string SvcCacheStore::encode_entry(const SvcCacheKey& key,
+                                        const SvcCacheValue& value) {
+  std::string line = "{\"fingerprint\":\"" + to_hex16(key.fingerprint) + "\"";
+  line += ",\"method_key\":" + std::to_string(key.method_key);
+  line += ",\"budget\":" + std::to_string(key.budget);
+  line += ",\"seed\":" + std::to_string(key.seed);
+  line += ",\"deadline_bits\":\"" + to_hex16(key.deadline_bits) + "\"";
+  line += ",\"cut\":" + std::to_string(value.cut);
+  line += ",\"method\":";
+  append_json_string(line, value.method);
+  line += ",\"trials_ok\":" + std::to_string(value.trials_ok);
+  line += ",\"degraded\":" + std::to_string(value.trials_degraded);
+  std::string sides;
+  sides.reserve(value.sides.size());
+  for (const std::uint8_t side : value.sides) {
+    sides.push_back(side != 0 ? '1' : '0');
+  }
+  line += ",\"sides\":";
+  append_json_string(line, sides);
+  line += ",\"crc\":\"" + to_hex16(text_crc(line)) + "\"}";
+  return line;
+}
+
+bool SvcCacheStore::decode_entry(const std::string& line, SvcCacheKey& key,
+                                 SvcCacheValue& value) {
+  if (!json_object_valid(line)) return false;
+  // The CRC covers every byte before its own ",\"crc\":" suffix; a line
+  // without the suffix (or with trailing bytes after the object) fails.
+  const std::size_t crc_pos = line.rfind(",\"crc\":\"");
+  if (crc_pos == std::string::npos) return false;
+  std::string crc_text;
+  std::uint64_t crc = 0;
+  if (!json_parse_string(line, "crc", crc_text) ||
+      !parse_hex16(crc_text, crc) ||
+      crc != text_crc(line.substr(0, crc_pos))) {
+    return false;
+  }
+
+  std::string hex;
+  if (!json_parse_string(line, "fingerprint", hex) ||
+      !parse_hex16(hex, key.fingerprint)) {
+    return false;
+  }
+  std::uint64_t method_key = 0, budget = 0, trials_ok = 0, degraded = 0;
+  if (!json_parse_u64(line, "method_key", method_key) ||
+      method_key > 0xffffffffull ||
+      !json_parse_u64(line, "budget", budget) || budget == 0 ||
+      budget > 0xffffffffull || !json_parse_u64(line, "seed", key.seed) ||
+      !json_parse_string(line, "deadline_bits", hex) ||
+      !parse_hex16(hex, key.deadline_bits)) {
+    return false;
+  }
+  key.method_key = static_cast<std::uint32_t>(method_key);
+  key.budget = static_cast<std::uint32_t>(budget);
+
+  std::int64_t cut = 0;
+  if (!json_parse_i64(line, "cut", cut) ||
+      !json_parse_string(line, "method", value.method) ||
+      value.method.empty() || !json_parse_u64(line, "trials_ok", trials_ok) ||
+      trials_ok > 0xffffffffull ||
+      !json_parse_u64(line, "degraded", degraded) ||
+      degraded > 0xffffffffull) {
+    return false;
+  }
+  value.cut = cut;
+  value.trials_ok = static_cast<std::uint32_t>(trials_ok);
+  value.trials_degraded = static_cast<std::uint32_t>(degraded);
+
+  std::string sides;
+  if (!json_parse_string(line, "sides", sides)) return false;
+  value.sides.clear();
+  value.sides.reserve(sides.size());
+  for (const char c : sides) {
+    if (c != '0' && c != '1') return false;
+    value.sides.push_back(c == '1' ? 1 : 0);
+  }
+  return true;
+}
+
+bool SvcCacheStore::open_and_restore(SvcResultCache& cache,
+                                     SvcCacheRestore& report) {
+  report = SvcCacheRestore{};
+  bool tail_damaged = false;
+  std::uint64_t valid_entries = 0;
+  {
+    std::ifstream in(path_);
+    if (in.is_open()) {
+      std::string line;
+      bool first = true;
+      bool stopped = false;
+      while (std::getline(in, line)) {
+        if (first) {
+          first = false;
+          std::string type;
+          std::uint64_t version = 0;
+          if (!json_object_valid(line) ||
+              !json_parse_string(line, "type", type) || type != "svc_cache" ||
+              !json_parse_u64(line, "version", version) || version != 1) {
+            // Foreign or future-version file: restore nothing, rewrite
+            // fresh below. Every remaining line is "dropped".
+            tail_damaged = true;
+            stopped = true;
+            ++report.lines_dropped;
+            continue;
+          }
+          continue;
+        }
+        if (stopped) {
+          ++report.lines_dropped;
+          continue;
+        }
+        SvcCacheKey key;
+        SvcCacheValue value;
+        if (!decode_entry(line, key, value)) {
+          // Longest-valid-prefix semantics: a damaged line orphans
+          // everything after it (append order is the recency order, so
+          // replaying past a hole would scramble it — and a torn tail
+          // is by far the common case).
+          tail_damaged = true;
+          stopped = true;
+          ++report.lines_dropped;
+          continue;
+        }
+        cache.insert(key, std::move(value));
+        ++valid_entries;
+        ++report.entries_restored;
+      }
+      // A final line without a newline still comes back from getline;
+      // decode_entry already judged it. An empty existing file gets a
+      // header via the rewrite below.
+      if (first) tail_damaged = true;
+    }
+  }
+
+  const bool missing = !std::filesystem::exists(path_);
+  if (missing || tail_damaged || valid_entries > cache.stats().entries) {
+    // Fresh file, damaged tail, or dead weight (entries evicted during
+    // replay because the byte budget shrank, or duplicates): rewrite
+    // the canonical snapshot.
+    const std::uint64_t written = rewrite(cache);
+    if (!ok_) return false;
+    report.bytes_written = written;
+    report.compacted = !missing;
+    return true;
+  }
+  out_.open(path_, std::ios::app);
+  if (!out_) {
+    ok_ = false;
+    return false;
+  }
+  file_entries_ = valid_entries;
+  return true;
+}
+
+std::uint64_t SvcCacheStore::append(const SvcCacheKey& key,
+                                    const SvcCacheValue& value) {
+  if (!ok_ || !out_.is_open()) return 0;
+  const std::string line = encode_entry(key, value);
+  out_ << line << '\n';
+  out_.flush();
+  if (!out_) {
+    ok_ = false;
+    return 0;
+  }
+  ++file_entries_;
+  return line.size() + 1;
+}
+
+std::uint64_t SvcCacheStore::rewrite(const SvcResultCache& cache) {
+  if (out_.is_open()) out_.close();
+  const std::string tmp = path_ + ".tmp";
+  std::uint64_t written = 0;
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      ok_ = false;
+      return 0;
+    }
+    const std::string header = header_line();
+    out << header << '\n';
+    written += header.size() + 1;
+    std::uint64_t entries = 0;
+    cache.visit_lru_to_mru(
+        [&out, &written, &entries](const SvcCacheKey& key,
+                                   const SvcCacheValue& value) {
+          const std::string line = encode_entry(key, value);
+          out << line << '\n';
+          written += line.size() + 1;
+          ++entries;
+        });
+    out.flush();
+    if (!out) {
+      ok_ = false;
+      return 0;
+    }
+    file_entries_ = entries;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_, ec);
+  if (ec) {
+    ok_ = false;
+    return 0;
+  }
+  out_.open(path_, std::ios::app);
+  if (!out_) {
+    ok_ = false;
+    return 0;
+  }
+  return written;
+}
+
+std::uint64_t SvcCacheStore::maybe_compact(const SvcResultCache& cache) {
+  if (!ok_) return 0;
+  // Dead weight bound: the journal may hold up to 4x the resident
+  // entries (plus slack so tiny caches don't thrash) before a rewrite.
+  const std::uint64_t live = cache.stats().entries;
+  if (file_entries_ <= 4 * live + 64) return 0;
+  return rewrite(cache);
+}
+
+}  // namespace gbis

@@ -18,6 +18,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "gbis/harness/shutdown.hpp"
 #include "gbis/io/io_error.hpp"
 #include "gbis/util/json_lite.hpp"
 
@@ -400,14 +401,21 @@ void Listener::run(const std::atomic<bool>& stop) {
 void Listener::drain(const std::atomic<bool>* stop) {
   stop_accepting();
   // Answer everything admitted: queued solves drain under the
-  // service's shutdown semantics when the stop flag is up.
-  std::vector<std::string> responses;
-  service_.drain(responses, stop);
-  route_responses(responses);
+  // service's shutdown semantics when the stop flag is up. An
+  // escalated shutdown (second SIGTERM/SIGINT) answers nothing new:
+  // whatever is queued stays unanswered, only already-buffered bytes
+  // get the bounded flush below.
+  if (!shutdown_escalated()) {
+    std::vector<std::string> responses;
+    service_.drain(responses, stop);
+    route_responses(responses);
+  }
   // Flush under a deadline; a client that will not read its final
-  // responses is shed like any other slow client.
+  // responses is shed like any other slow client. Escalation mid-flush
+  // cuts the loop at the next iteration.
   const WallTimer flush_clock;
-  while (flush_clock.elapsed_seconds() < options_.drain_flush_seconds) {
+  while (flush_clock.elapsed_seconds() < options_.drain_flush_seconds &&
+         !shutdown_escalated()) {
     bool pending = false;
     for (const auto& [id, conn] : connections_) {
       if (conn->wants_write()) {

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <limits>
+#include <new>
 
 #include "gbis/harness/timer.hpp"
 #include "gbis/rng/splitmix.hpp"
@@ -73,6 +74,12 @@ PolicyResult run_policy(const Graph& g, const PolicySpec& spec,
     } catch (const DeadlineExceeded& error) {
       ++result.timed_out;
       if (result.first_error.empty()) result.first_error = error.what();
+    } catch (const std::bad_alloc& error) {
+      ++result.failed;
+      if (result.first_error.empty()) {
+        result.first_error = error.what();
+        result.oom = true;
+      }
     } catch (const std::exception& error) {
       ++result.failed;
       if (result.first_error.empty()) result.first_error = error.what();

@@ -57,6 +57,10 @@ struct PolicyResult {
   std::uint32_t ok = 0, failed = 0, timed_out = 0, skipped = 0;
   double cpu_seconds = 0;   ///< summed over executed trials
   std::string first_error;  ///< first failure/timeout text, trial order
+  /// True when the first failure was an allocation failure — the
+  /// scheduler maps it to the stable "internal: out of memory" client
+  /// reason (full text stays on stderr + the access log).
+  bool oom = false;
   std::vector<std::uint8_t> best_sides;  ///< filled when keep_sides
 };
 

@@ -135,6 +135,9 @@ std::string encode_response(const SvcResponse& response) {
     append_json_string(line, response.prom);
   }
   if (!response.ok) {
+    if (response.retry_after_ms != 0) {
+      line += ",\"retry_after_ms\":" + std::to_string(response.retry_after_ms);
+    }
     line += ",\"error\":";
     append_json_string(line, response.error);
   }

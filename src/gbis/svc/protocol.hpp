@@ -63,6 +63,10 @@ struct SvcResponse {
   std::string op;     ///< echoed for ping/stats; "" for solve
   std::string cache;  ///< "hit" | "miss" | "coalesced" | "" (non-solve)
   std::string error;  ///< set iff !ok
+  /// Backoff hint accompanying a brownout shed ("rejected: brownout
+  /// ..."); 0 = absent. Deterministic: a function of the queue depth
+  /// the scheduler saw, never of the clock.
+  std::uint32_t retry_after_ms = 0;
 
   bool has_solve = false;
   Weight cut = 0;

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <new>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -72,6 +73,38 @@ SvcOptions svc_options_from_env(SvcOptions base) {
       base.slow_ms = ms;
     }
   }
+  if (const char* v = std::getenv("GBIS_SVC_CACHE_FILE"); v != nullptr) {
+    if (*v == '\0') {
+      warn_rejected("GBIS_SVC_CACHE_FILE", v);
+    } else {
+      base.cache_file = v;
+    }
+  }
+  // SvcFaultPlan::from_env warns and yields an empty plan on a
+  // malformed spec, matching the campaign GBIS_FAULTS knob.
+  if (const SvcFaultPlan plan = SvcFaultPlan::from_env(); !plan.empty()) {
+    base.faults = plan;
+  }
+  if (const char* v = std::getenv("GBIS_SVC_BROWNOUT"); v != nullptr) {
+    const std::string text(v);
+    if (text == "0") {
+      base.brownout = false;
+    } else if (text == "1") {
+      base.brownout = true;
+    } else {
+      warn_rejected("GBIS_SVC_BROWNOUT", v);
+    }
+  }
+  if (const char* v = std::getenv("GBIS_SVC_BROWNOUT_WINDOW"); v != nullptr) {
+    char* end = nullptr;
+    const unsigned long long window = std::strtoull(v, &end, 10);
+    if (*v == '\0' || end == nullptr || *end != '\0' || window == 0 ||
+        window > 0xFFFFFFFFull) {
+      warn_rejected("GBIS_SVC_BROWNOUT_WINDOW", v);
+    } else {
+      base.brownout_window = static_cast<std::uint32_t>(window);
+    }
+  }
   return base;
 }
 
@@ -93,6 +126,10 @@ struct Service::Pending {
   std::size_t cold_index = 0;   ///< slot in the batch's cold-job array
   bool coalesced = false;       ///< follower of a same-batch leader
   std::size_t leader_cold_index = 0;
+  std::uint64_t solve_ordinal = 0;  ///< service-lifetime cold-solve ordinal
+  /// Raw internal-failure text (exception what()); clients get the
+  /// stable "internal: ..." reason, this goes to stderr + access log.
+  std::string internal_detail;
 
   // Telemetry (wall clock against the service epoch; the worker fills
   // the solve span for its own slot, read back after the pool joins).
@@ -113,14 +150,43 @@ Service::Service(SvcOptions options)
   if (options_.max_queue == 0) options_.max_queue = 1;
   if (options_.default_budget == 0) options_.default_budget = 1;
   if (options_.slow_capacity == 0) options_.slow_capacity = 1;
+  if (options_.brownout_window == 0) options_.brownout_window = 1;
   if (!options_.access_log_path.empty()) {
     access_log_ = std::make_unique<AccessLog>(options_.access_log_path);
+  }
+  if (!options_.cache_file.empty()) {
+    // Warm restart: replay the journal's longest valid prefix into the
+    // LRU before the first request. A damaged tail is dropped (and the
+    // file compacted) — a crash mid-append must never poison a start.
+    store_ = std::make_unique<SvcCacheStore>(options_.cache_file);
+    SvcCacheRestore report;
+    store_open_ok_ = store_->open_and_restore(cache_, report);
+    if (store_open_ok_) {
+      metrics_.counters[static_cast<std::size_t>(Counter::kSvcCacheRestored)] +=
+          report.entries_restored;
+      metrics_.counters[static_cast<std::size_t>(
+          Counter::kSvcCacheJournalBytes)] += report.bytes_written;
+      if (report.compacted) {
+        ++metrics_.counters[static_cast<std::size_t>(
+            Counter::kSvcCacheCompactions)];
+      }
+      if (report.lines_dropped > 0) {
+        std::cerr << "gbis: serve: cache journal " << options_.cache_file
+                  << ": dropped " << report.lines_dropped
+                  << " damaged line(s), restored " << report.entries_restored
+                  << " entrie(s) from the valid prefix\n";
+      }
+    }
   }
   metrics_.gauges[static_cast<std::size_t>(Gauge::kSvcBatchSize)] = 0;
 }
 
 bool Service::access_log_ok() const {
   return access_log_ == nullptr || access_log_->ok();
+}
+
+bool Service::cache_store_ok() const {
+  return store_ == nullptr || store_open_ok_;
 }
 
 void Service::note_conn_opened() {
@@ -217,6 +283,35 @@ void Service::prepare(
                                     : options_.default_deadline_seconds;
   entry.seed = req.has_seed ? req.seed : options_.default_seed;
 
+  // Brownout ladder (docs/ROBUSTNESS.md): degrade BEFORE the cache key
+  // is computed, so a degraded solve is cached under its degraded
+  // identity and can never answer a full-quality request later.
+  if (brownout_level_ >= 3) {
+    ++metrics_.counters[static_cast<std::size_t>(Counter::kSvcBrownoutShed)];
+    entry.response.ok = false;
+    entry.response.error =
+        "rejected: brownout (level 3): " + std::to_string(queue_.size()) +
+        " queued of " + std::to_string(options_.max_queue);
+    // The hint is a pure function of scheduler-visible state (queue
+    // depth at dispatch), never of the clock, so replays agree.
+    entry.response.retry_after_ms = static_cast<std::uint32_t>(
+        std::clamp<std::size_t>(10 * queue_.size(), 100, 5000));
+    entry.done = true;
+    return;
+  }
+  if (brownout_level_ == 2) {
+    // Downgrade toward the cheap end of the quality/cost curve: "auto"
+    // collapses to one CKL start; an explicitly named method keeps its
+    // method but spends one trial.
+    if (entry.spec.portfolio) {
+      entry.spec.portfolio = false;
+      entry.spec.method = Method::kCkl;
+    }
+    entry.spec.budget = 1;
+  } else if (brownout_level_ == 1) {
+    entry.spec.budget = std::min<std::uint32_t>(entry.spec.budget, 2);
+  }
+
   // Load the graph payload. Path errors are I/O; inline payloads that
   // fail to parse are protocol errors.
   try {
@@ -270,8 +365,50 @@ void Service::prepare(
   }
   entry.cold = true;
   entry.cold_index = cold_queue_index.size();
+  entry.solve_ordinal = cold_ordinal_++;
   leaders.emplace(entry.key, entry.cold_index);
   cold_queue_index.push_back(queue_index);
+}
+
+void Service::update_brownout() {
+  std::uint32_t level = 0;
+  if (options_.brownout) {
+    // Queue pressure: depth at dispatch as a fraction of the admission
+    // bound. Deadline pressure: miss rate over the recent cold-solve
+    // window (the window denominator even while filling, so a cold
+    // start can't trip on its first miss).
+    const std::size_t queue_pct =
+        queue_.size() * 100 / std::max<std::size_t>(options_.max_queue, 1);
+    const std::uint64_t miss_pct =
+        window_misses_ * 100 /
+        std::max<std::uint64_t>(options_.brownout_window, 1);
+    if (queue_pct >= 90) {
+      level = 3;
+    } else if (queue_pct >= 75 || miss_pct >= 50) {
+      level = 2;
+    } else if (queue_pct >= 50 || miss_pct >= 25) {
+      level = 1;
+    }
+  }
+  if (brownout_level_ == 0 && level > 0) {
+    ++metrics_.counters[static_cast<std::size_t>(
+        Counter::kSvcBrownoutEntered)];
+  } else if (brownout_level_ > 0 && level == 0) {
+    ++metrics_.counters[static_cast<std::size_t>(
+        Counter::kSvcBrownoutRestored)];
+  }
+  brownout_level_ = level;
+  metrics_.gauges[static_cast<std::size_t>(Gauge::kSvcBrownoutLevel)] =
+      static_cast<std::int64_t>(level);
+}
+
+void Service::note_solve_outcome(bool deadline_miss) {
+  miss_window_.push_back(deadline_miss);
+  if (deadline_miss) ++window_misses_;
+  while (miss_window_.size() > options_.brownout_window) {
+    if (miss_window_.front()) --window_misses_;
+    miss_window_.pop_front();
+  }
 }
 
 void Service::fill_from_value(SvcResponse& response,
@@ -301,7 +438,17 @@ void Service::finalize_solve(Pending& entry, const PolicyResult& result) {
       value.sides = result.best_sides;
       response.ok = true;
       fill_from_value(response, value, entry.request.want_sides);
-      if (entry.cold) cache_.insert(entry.key, std::move(value));
+      if (entry.cold) {
+        // Journal before the in-memory insert (the value is still
+        // whole) and flush per append: by the time any response of
+        // this batch reaches a client, its entry is on disk.
+        if (store_ != nullptr && store_->ok()) {
+          metrics_.counters[static_cast<std::size_t>(
+              Counter::kSvcCacheJournalBytes)] +=
+              store_->append(entry.key, value);
+        }
+        cache_.insert(entry.key, std::move(value));
+      }
       break;
     }
     case TrialStatus::kTimedOut:
@@ -309,8 +456,17 @@ void Service::finalize_solve(Pending& entry, const PolicyResult& result) {
       response.error = "deadline exceeded before any trial completed";
       break;
     case TrialStatus::kFailed:
+      // Stable reasons only on the wire (SERVICE.md error catalog);
+      // the raw exception text goes to stderr (leaders once) and the
+      // access log, never to clients.
       response.ok = false;
-      response.error = "internal: " + result.first_error;
+      response.error =
+          result.oom ? "internal: out of memory" : "internal: solve failed";
+      entry.internal_detail = result.first_error;
+      if (entry.cold) {
+        std::cerr << "gbis: serve: internal error (seq " << entry.seq
+                  << "): " << result.first_error << '\n';
+      }
       break;
     case TrialStatus::kSkipped:
       response.ok = false;
@@ -353,6 +509,14 @@ void Service::fill_stats(SvcResponse& response) const {
       {"conn_slow_closed", counter(Counter::kSvcConnSlowClosed)},
       {"conn_rejected", counter(Counter::kSvcConnRejected)},
       {"quota_rejected", counter(Counter::kSvcQuotaRejected)},
+      // Durable-cache and brownout surface (PR 7; keys append-only).
+      {"cache_restored", counter(Counter::kSvcCacheRestored)},
+      {"cache_journal_bytes", counter(Counter::kSvcCacheJournalBytes)},
+      {"cache_compactions", counter(Counter::kSvcCacheCompactions)},
+      {"brownout_level", gauge(Gauge::kSvcBrownoutLevel)},
+      {"brownout_entered", counter(Counter::kSvcBrownoutEntered)},
+      {"brownout_restored", counter(Counter::kSvcBrownoutRestored)},
+      {"brownout_shed", counter(Counter::kSvcBrownoutShed)},
   };
   const struct {
     const char* prefix;
@@ -451,6 +615,10 @@ void Service::finalize_telemetry(Pending& entry, double now_seconds) {
       logged.has_cut = true;
     }
     logged.error = entry.response.error;
+    if (!entry.internal_detail.empty()) {
+      // The access log keeps the full failure text the wire hides.
+      logged.error += " (" + entry.internal_detail + ")";
+    }
     logged.t_queue_us = to_us(queue_wait);
     logged.t_solve_us = to_us(entry.solve_seconds);
     logged.t_total_us = to_us(total);
@@ -462,8 +630,19 @@ void Service::finalize_telemetry(Pending& entry, double now_seconds) {
 void Service::process_batch(std::vector<std::string>& out,
                             const std::atomic<bool>* stop) {
   if (queue_.empty()) return;
+  // batch-site fault injection: the ordinal counts non-empty batches,
+  // a deterministic function of the submit/process call sequence.
+  // crash@batch:N is the chaos suite's SIGKILL — batches before N are
+  // fully journaled and flushed, this one dies before any work.
+  maybe_inject_svc_fault(&options_.faults, SvcFaultSite::kBatch,
+                         batch_ordinal_++, Deadline(), stop);
   const bool stopping =
       stop != nullptr && stop->load(std::memory_order_acquire);
+
+  // Brownout decision for the whole batch, from dispatch-time queue
+  // depth and the recent deadline-miss window — scheduler-visible
+  // state only, so a stdio --replay reproduces the same levels.
+  update_brownout();
 
   metrics_.gauges[static_cast<std::size_t>(Gauge::kSvcBatchSize)] =
       static_cast<std::int64_t>(queue_.size());
@@ -500,6 +679,19 @@ void Service::process_batch(std::vector<std::string>& out,
         [&](std::size_t j) {
           Pending& entry = *queue_[cold_queue_index[j]];
           entry.solve_start_seconds = clock_.elapsed_seconds();
+          // req-/solve-site fault injection, at the exact point a cold
+          // solve starts. Exceptions land in the pool's per-job error
+          // slot and are mapped below like any other solve failure.
+          if (!options_.faults.empty()) {
+            const Deadline deadline = entry.spec.deadline_seconds > 0
+                                          ? Deadline::after(
+                                                entry.spec.deadline_seconds)
+                                          : Deadline();
+            maybe_inject_svc_fault(&options_.faults, SvcFaultSite::kReq,
+                                   entry.seq, deadline, stop);
+            maybe_inject_svc_fault(&options_.faults, SvcFaultSite::kSolve,
+                                   entry.solve_ordinal, deadline, stop);
+          }
           results[j] = run_policy(entry.graph, entry.spec, entry.seed,
                                   options_.run, /*keep_sides=*/true, stop);
           entry.solve_seconds =
@@ -508,12 +700,20 @@ void Service::process_batch(std::vector<std::string>& out,
         stop);
     for (std::size_t j = 0; j < outcomes.size(); ++j) {
       if (outcomes[j].state == JobState::kDone) continue;
-      // kNotRun (drained) stays kSkipped; a thrown job becomes kFailed.
+      // kNotRun (drained) stays kSkipped; a thrown job becomes kFailed
+      // (a deadline overrun kTimedOut, an allocation failure flagged
+      // oom for the stable-reason mapping).
       results[j] = PolicyResult{};
       if (outcomes[j].state == JobState::kError) {
         results[j].status = TrialStatus::kFailed;
         try {
           std::rethrow_exception(outcomes[j].error);
+        } catch (const DeadlineExceeded& error) {
+          results[j].status = TrialStatus::kTimedOut;
+          results[j].first_error = error.what();
+        } catch (const std::bad_alloc& error) {
+          results[j].first_error = error.what();
+          results[j].oom = true;
         } catch (const std::exception& error) {
           results[j].first_error = error.what();
         } catch (...) {
@@ -545,7 +745,12 @@ void Service::process_batch(std::vector<std::string>& out,
         }
       } else if (entry.cold) {
         entry.response.cache = "miss";
-        finalize_solve(entry, results[entry.cold_index]);
+        const PolicyResult& result = results[entry.cold_index];
+        finalize_solve(entry, result);
+        // Feed the brownout deadline-miss window (leaders only, in
+        // arrival order): any trial the deadline took counts.
+        note_solve_outcome(result.status == TrialStatus::kTimedOut ||
+                           result.timed_out > 0);
       } else if (entry.coalesced) {
         entry.response.cache = "coalesced";
         finalize_solve(entry, results[entry.leader_cold_index]);
@@ -559,6 +764,26 @@ void Service::process_batch(std::vector<std::string>& out,
   }
   queue_.clear();
   if (access_log_ != nullptr) access_log_->flush();
+
+  // Journal upkeep: compact once the file outgrows the resident cache,
+  // and surface a write failure exactly once (the service keeps
+  // serving; durability is degraded until restart).
+  if (store_ != nullptr) {
+    if (store_->ok()) {
+      const std::uint64_t rewritten = store_->maybe_compact(cache_);
+      if (rewritten > 0) {
+        metrics_.counters[static_cast<std::size_t>(
+            Counter::kSvcCacheJournalBytes)] += rewritten;
+        ++metrics_.counters[static_cast<std::size_t>(
+            Counter::kSvcCacheCompactions)];
+      }
+    }
+    if (!store_->ok() && !store_warned_) {
+      store_warned_ = true;
+      std::cerr << "gbis: serve: cache journal " << store_->path()
+                << ": write failed; continuing without durability\n";
+    }
+  }
 
   // Mirror the cache's own monotone counters into the obs catalog
   // (absolute assignment: both sides count service lifetime).

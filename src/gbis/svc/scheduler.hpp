@@ -25,11 +25,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "gbis/harness/fault_injection.hpp"
 #include "gbis/harness/runner.hpp"
 #include "gbis/harness/thread_pool.hpp"
 #include "gbis/harness/timer.hpp"
@@ -37,6 +39,7 @@
 #include "gbis/obs/trace_export.hpp"
 #include "gbis/svc/access_log.hpp"
 #include "gbis/svc/cache.hpp"
+#include "gbis/svc/cache_store.hpp"
 #include "gbis/svc/policy.hpp"
 #include "gbis/svc/protocol.hpp"
 
@@ -73,15 +76,30 @@ struct SvcOptions {
   double slow_ms = -1;
   /// Slow samples held before stride-doubling decimation kicks in.
   std::uint32_t slow_capacity = 128;
+  /// Durable result-cache journal path (svc/cache_store); "" = the
+  /// cache is memory-only. A warm restart replays the journal before
+  /// the first request, so repeats of pre-crash solves answer as hits
+  /// with byte-identical payloads.
+  std::string cache_file;
+  /// Service-scoped fault plan (GBIS_SVC_FAULTS); empty = no faults.
+  SvcFaultPlan faults;
+  /// Overload brownout ladder (see docs/ROBUSTNESS.md): false turns
+  /// every level into 0 (no clamping, no shedding).
+  bool brownout = true;
+  /// Cold-solve outcomes in the deadline-miss window the brownout
+  /// controller watches.
+  std::uint32_t brownout_window = 32;
   /// Solver knobs shared by every request (KlOptions etc.). The obs
   /// block and metric sinks are ignored — the service keeps its own.
   RunConfig run;
 };
 
 /// Overlays GBIS_SVC_CACHE_MB (whole mebibytes; 0 disables the cache),
-/// GBIS_SVC_ACCESS_LOG (a path), and GBIS_SVC_SLOW_MS (milliseconds,
-/// >= 0) onto `base`. Malformed values warn on stderr and keep the
-/// default, matching every other GBIS_* knob.
+/// GBIS_SVC_ACCESS_LOG (a path), GBIS_SVC_SLOW_MS (milliseconds,
+/// >= 0), GBIS_SVC_CACHE_FILE (a journal path), GBIS_SVC_FAULTS (a
+/// service fault plan), GBIS_SVC_BROWNOUT (0/1), and
+/// GBIS_SVC_BROWNOUT_WINDOW (> 0) onto `base`. Malformed values warn
+/// on stderr and keep the default, matching every other GBIS_* knob.
 SvcOptions svc_options_from_env(SvcOptions base);
 
 /// The service. See the file comment for the determinism contract.
@@ -124,6 +142,13 @@ class Service {
   }
   /// False when the configured access log could not be opened.
   bool access_log_ok() const;
+  /// False when the configured cache journal could not be opened for
+  /// writing (corruption is tolerated and is NOT this — see
+  /// svc/cache_store).
+  bool cache_store_ok() const;
+  /// Current brownout ladder rung (0 = normal ... 3 = shedding),
+  /// recomputed at every batch dispatch.
+  std::uint32_t brownout_level() const { return brownout_level_; }
 
   /// Listener hooks (svc/listener.*). Single-driver like everything
   /// else here: the listener event loop runs on the same thread that
@@ -142,6 +167,8 @@ class Service {
                    leaders,
                std::vector<std::size_t>& cold_queue_index);
   void finalize_solve(Pending& entry, const PolicyResult& result);
+  void update_brownout();
+  void note_solve_outcome(bool deadline_miss);
   void fill_stats(SvcResponse& response) const;
   void finalize_telemetry(Pending& entry, double now_seconds);
   void record_slow(const Pending& entry, double total_seconds);
@@ -151,6 +178,9 @@ class Service {
   SvcOptions options_;
   ThreadPool pool_;
   SvcResultCache cache_;
+  std::unique_ptr<SvcCacheStore> store_;  ///< non-null with cache_file
+  bool store_open_ok_ = true;
+  bool store_warned_ = false;  ///< one stderr warning per write failure
   TrialMetrics metrics_;
   std::vector<std::unique_ptr<Pending>> queue_;
   std::unique_ptr<AccessLog> access_log_;
@@ -159,6 +189,14 @@ class Service {
   std::uint64_t next_seq_ = 0;    ///< request ordinal (access-log "seq")
   std::uint64_t slow_ordinal_ = 0;  ///< slow samples offered so far
   std::uint64_t slow_stride_ = 1;   ///< keep every stride-th slow sample
+  std::uint64_t batch_ordinal_ = 0;  ///< non-empty batches dispatched
+  std::uint64_t cold_ordinal_ = 0;   ///< cold solves started (leaders)
+  // Brownout controller state: the current rung plus a sliding window
+  // of recent cold-solve outcomes (true = deadline miss), all updated
+  // on the dispatch thread in arrival order.
+  std::uint32_t brownout_level_ = 0;
+  std::deque<bool> miss_window_;
+  std::uint64_t window_misses_ = 0;
 };
 
 }  // namespace gbis

@@ -223,6 +223,84 @@ if(NOT code EQUAL 2)
   message(FATAL_ERROR "negative --slow-ms exited ${code}, expected 2")
 endif()
 
+# Crash-safety chaos: the service fault plan SIGKILLs the server at
+# the third dispatched batch (crash@batch:2), after two batches of
+# responses — and their cache-journal entries — are already flushed. A
+# warm restart on the same journal must answer the pre-crash solves as
+# cached hits whose bytes are identical to the pre-crash hit responses,
+# at 1 worker and at 8.
+file(WRITE ${WORK_DIR}/chaos.ndjson
+  "{\"id\":\"ca\",\"op\":\"solve\",\"path\":\"${WORK_DIR}/g.graph\",\"method\":\"auto\",\"budget\":2,\"seed\":201,\"want_sides\":true}\n"
+  "{\"id\":\"cb\",\"op\":\"solve\",\"path\":\"${WORK_DIR}/g.graph\",\"method\":\"kl\",\"seed\":202}\n"
+  "{\"id\":\"ca\",\"op\":\"solve\",\"path\":\"${WORK_DIR}/g.graph\",\"method\":\"auto\",\"budget\":2,\"seed\":201,\"want_sides\":true}\n"
+  "{\"id\":\"cb\",\"op\":\"solve\",\"path\":\"${WORK_DIR}/g.graph\",\"method\":\"kl\",\"seed\":202}\n"
+  "{\"id\":\"cc\",\"op\":\"solve\",\"path\":\"${WORK_DIR}/g.graph\",\"method\":\"auto\",\"budget\":2,\"seed\":203}\n"
+  "{\"id\":\"cd\",\"op\":\"solve\",\"path\":\"${WORK_DIR}/g.graph\",\"method\":\"kl\",\"seed\":204}\n")
+foreach(threads 1 8)
+  file(REMOVE ${WORK_DIR}/chaos${threads}.jsonl)
+  set(ENV{GBIS_THREADS} ${threads})
+  set(ENV{GBIS_SVC_FAULTS} "crash@batch:2")
+  execute_process(COMMAND ${GBIS_CLI} serve --replay ${WORK_DIR}/chaos.ndjson
+      --batch 2 --cache-file ${WORK_DIR}/chaos${threads}.jsonl
+    WORKING_DIRECTORY ${WORK_DIR}
+    RESULT_VARIABLE code OUTPUT_VARIABLE crash_out ERROR_QUIET)
+  unset(ENV{GBIS_SVC_FAULTS})
+  if(code EQUAL 0)
+    message(FATAL_ERROR
+      "chaos serve (${threads} threads) survived the injected crash")
+  endif()
+  string(REGEX MATCHALL "[^\n]+" crash_lines "${crash_out}")
+  list(LENGTH crash_lines crash_count)
+  if(NOT crash_count EQUAL 4)
+    message(FATAL_ERROR
+      "chaos serve (${threads} threads) flushed ${crash_count} responses "
+      "before the crash, expected 4:\n${crash_out}")
+  endif()
+  list(GET crash_lines 2 precrash_hit_a)
+  list(GET crash_lines 3 precrash_hit_b)
+  if(NOT precrash_hit_a MATCHES "\"cache\":\"hit\"")
+    message(FATAL_ERROR "pre-crash repeat was not a hit: ${precrash_hit_a}")
+  endif()
+  execute_process(COMMAND ${GBIS_CLI} serve --replay ${WORK_DIR}/chaos.ndjson
+      --batch 2 --cache-file ${WORK_DIR}/chaos${threads}.jsonl
+    WORKING_DIRECTORY ${WORK_DIR}
+    RESULT_VARIABLE code OUTPUT_VARIABLE warm_out ERROR_VARIABLE err)
+  unset(ENV{GBIS_THREADS})
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR
+      "warm restart (${threads} threads) failed (${code}): ${err}")
+  endif()
+  string(REGEX MATCHALL "[^\n]+" warm_lines "${warm_out}")
+  list(LENGTH warm_lines warm_count)
+  if(NOT warm_count EQUAL 6)
+    message(FATAL_ERROR
+      "warm restart (${threads} threads) answered ${warm_count} of 6:\n"
+      "${warm_out}")
+  endif()
+  # The journal replay makes the first occurrences warm hits, and their
+  # bytes must match the pre-crash hit responses exactly.
+  list(GET warm_lines 0 warm_hit_a)
+  list(GET warm_lines 1 warm_hit_b)
+  if(NOT warm_hit_a STREQUAL precrash_hit_a OR
+     NOT warm_hit_b STREQUAL precrash_hit_b)
+    message(FATAL_ERROR
+      "warm hits differ from the pre-crash responses "
+      "(${threads} threads):\n--- pre-crash ---\n${precrash_hit_a}\n"
+      "${precrash_hit_b}\n--- warm ---\n${warm_hit_a}\n${warm_hit_b}")
+  endif()
+  list(GET warm_lines 4 warm_cold)
+  if(NOT warm_cold MATCHES "\"cache\":\"miss\"")
+    message(FATAL_ERROR
+      "post-restart request cc was not a cold solve: ${warm_cold}")
+  endif()
+  set(warm${threads} "${warm_out}")
+endforeach()
+if(NOT warm1 STREQUAL warm8)
+  message(FATAL_ERROR
+    "warm-restart streams differ across thread counts:\n"
+    "--- GBIS_THREADS=1 ---\n${warm1}\n--- GBIS_THREADS=8 ---\n${warm8}")
+endif()
+
 # Serve failure contract: missing replay file -> 3 (I/O), unknown
 # flag -> 2 (usage), --replay combined with a listener -> 2 (the two
 # input modes are exclusive).
@@ -241,6 +319,18 @@ execute_process(COMMAND ${GBIS_CLI} serve --replay ${WORK_DIR}/telem.ndjson
   RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
 if(NOT code EQUAL 2)
   message(FATAL_ERROR "serve --replay + --listen exited ${code}, expected 2")
+endif()
+execute_process(COMMAND ${GBIS_CLI} serve --replay ${WORK_DIR}/telem.ndjson
+    --brownout-window 0
+  RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(NOT code EQUAL 2)
+  message(FATAL_ERROR "zero --brownout-window exited ${code}, expected 2")
+endif()
+execute_process(COMMAND ${GBIS_CLI} serve --replay ${WORK_DIR}/telem.ndjson
+    --cache-file ${WORK_DIR}/no_such_dir/j.jsonl
+  RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(NOT code EQUAL 3)
+  message(FATAL_ERROR "unopenable --cache-file exited ${code}, expected 3")
 endif()
 
 # Socket mode: stream the same requests over loopback TCP and a unix
@@ -287,4 +377,32 @@ if(PYTHON3 AND DEFINED SVC_CLIENT)
       endif()
     endforeach()
   endforeach()
+
+  # Escalating shutdown: a second SIGTERM 50 ms after the first must
+  # shorten the drain, never kill the process — the exit code stays
+  # 130 (svc_client.py enforces it).
+  execute_process(COMMAND ${PYTHON3} ${SVC_CLIENT} ${GBIS_CLI}
+      ${WORK_DIR}/sock_reqs.ndjson --transport tcp --sigterm-count 2
+    WORKING_DIRECTORY ${WORK_DIR}
+    RESULT_VARIABLE code OUTPUT_QUIET ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR
+      "double-SIGTERM escalation smoke failed (${code}): ${err}")
+  endif()
+
+  # Retry mode: line-at-a-time delivery with brownout backoff enabled
+  # answers the same bytes as the stdio replay when nothing sheds.
+  execute_process(COMMAND ${PYTHON3} ${SVC_CLIENT} ${GBIS_CLI}
+      ${WORK_DIR}/sock_reqs.ndjson --transport tcp --retry 2
+    WORKING_DIRECTORY ${WORK_DIR}
+    RESULT_VARIABLE code OUTPUT_VARIABLE retry_out ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "retry-mode socket smoke failed (${code}): ${err}")
+  endif()
+  strip_timing("${retry_out}" retry_out_cmp)
+  if(NOT retry_out_cmp STREQUAL sock_expected_cmp)
+    message(FATAL_ERROR
+      "retry-mode responses differ from the stdio replay:\n"
+      "--- retry ---\n${retry_out}\n--- replay ---\n${sock_expected}")
+  endif()
 endif()

@@ -100,6 +100,57 @@ TEST(FaultPlan, FromEnvParsesAndToleratesGarbage) {
   EXPECT_TRUE(FaultPlan::from_env().empty());
 }
 
+TEST(SvcFaults, FromEnvParsesAndToleratesGarbage) {
+  ::setenv("GBIS_SVC_FAULTS", "oom@solve:2,throw@req:0", 1);
+  const SvcFaultPlan plan = SvcFaultPlan::from_env();
+  EXPECT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan.at(SvcFaultSite::kSolve, 2), SvcFaultKind::kOom);
+  ::setenv("GBIS_SVC_FAULTS", "kaboom@everything:9", 1);
+  EXPECT_TRUE(SvcFaultPlan::from_env().empty());
+  ::unsetenv("GBIS_SVC_FAULTS");
+  EXPECT_TRUE(SvcFaultPlan::from_env().empty());
+}
+
+TEST(SvcFaults, InjectorThrowsTheDocumentedExceptionTypes) {
+  const SvcFaultPlan plan =
+      SvcFaultPlan::parse("throw@req:0,oom@solve:0,hang@solve:1");
+  // No fault at this site/ordinal: a no-op.
+  maybe_inject_svc_fault(&plan, SvcFaultSite::kBatch, 0, Deadline());
+  maybe_inject_svc_fault(nullptr, SvcFaultSite::kReq, 0, Deadline());
+  EXPECT_THROW(
+      maybe_inject_svc_fault(&plan, SvcFaultSite::kReq, 0, Deadline()),
+      InjectedFault);
+  EXPECT_THROW(
+      maybe_inject_svc_fault(&plan, SvcFaultSite::kSolve, 0, Deadline()),
+      std::bad_alloc);
+  // A hang against an already-expired deadline resolves immediately.
+  EXPECT_THROW(maybe_inject_svc_fault(&plan, SvcFaultSite::kSolve, 1,
+                                      Deadline::after(1e-9)),
+               DeadlineExceeded);
+  // ... and against an unlimited deadline, the stop flag frees it.
+  std::atomic<bool> stop{true};
+  EXPECT_THROW(maybe_inject_svc_fault(&plan, SvcFaultSite::kSolve, 1,
+                                      Deadline(), &stop),
+               DeadlineExceeded);
+}
+
+// --- Shutdown escalation (second signal during a graceful drain) -----------
+
+TEST(Shutdown, EscalationIsASecondPhaseAboveGracefulShutdown) {
+  reset_shutdown();
+  EXPECT_FALSE(shutdown_requested());
+  EXPECT_FALSE(shutdown_escalated());
+  request_shutdown();  // first signal: graceful drain
+  EXPECT_TRUE(shutdown_requested());
+  EXPECT_FALSE(shutdown_escalated());
+  request_escalation();  // second signal: bounded-flush exit
+  EXPECT_TRUE(shutdown_requested());
+  EXPECT_TRUE(shutdown_escalated());
+  reset_shutdown();  // clears both phases
+  EXPECT_FALSE(shutdown_requested());
+  EXPECT_FALSE(shutdown_escalated());
+}
+
 // --- ThreadPool fault isolation -------------------------------------------
 
 TEST(ThreadPool, CollectRecordsEveryFailureSlot) {

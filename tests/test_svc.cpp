@@ -1277,5 +1277,536 @@ TEST(Service, CacheEvictionsSurfaceInStats) {
             service.cache_stats().evictions);
 }
 
+// --- Durable cache store (svc/cache_store) ---------------------------------
+
+SvcCacheKey store_key(std::uint64_t fingerprint, std::uint64_t seed = 7) {
+  SvcCacheKey key;
+  key.fingerprint = fingerprint;
+  key.method_key = SvcCacheKey::kPortfolio;
+  key.budget = 2;
+  key.seed = seed;
+  key.deadline_bits = 0;
+  return key;
+}
+
+SvcCacheValue store_value(Weight cut) {
+  SvcCacheValue value;
+  value.cut = cut;
+  value.method = "CKL";
+  value.trials_ok = 2;
+  value.trials_degraded = 0;
+  value.sides = {0, 1, 1, 0};
+  return value;
+}
+
+std::string temp_journal(const std::string& name) {
+  const std::string path = testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST(SvcCacheStore, EntryLinesRoundTripThroughTheSharedScanner) {
+  const SvcCacheKey key = store_key(0xdeadbeefcafef00dull, 99);
+  const SvcCacheValue value = store_value(12);
+  const std::string line = SvcCacheStore::encode_entry(key, value);
+  EXPECT_TRUE(json_object_valid(line));
+  SvcCacheKey decoded_key;
+  SvcCacheValue decoded_value;
+  ASSERT_TRUE(SvcCacheStore::decode_entry(line, decoded_key, decoded_value));
+  EXPECT_TRUE(decoded_key == key);
+  EXPECT_EQ(decoded_value.cut, value.cut);
+  EXPECT_EQ(decoded_value.method, value.method);
+  EXPECT_EQ(decoded_value.trials_ok, value.trials_ok);
+  EXPECT_EQ(decoded_value.sides, value.sides);
+}
+
+TEST(SvcCacheStore, RestoreReplaysAppendsAndPreservesRecency) {
+  const std::string path = temp_journal("svc_store_roundtrip.jsonl");
+  {
+    SvcResultCache cache(1 << 20);
+    SvcCacheStore store(path);
+    SvcCacheRestore report;
+    ASSERT_TRUE(store.open_and_restore(cache, report));
+    EXPECT_EQ(report.entries_restored, 0u);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      EXPECT_GT(store.append(store_key(i), store_value(Weight(10 + i))), 0u);
+    }
+  }
+  // A tiny second cache: replay preserves append (recency) order, so
+  // the OLDEST entries are the ones evicted when the budget is small.
+  SvcResultCache probe(1 << 20);
+  probe.insert(store_key(0), store_value(0));
+  SvcResultCache small(3 * probe.stats().bytes);
+  SvcCacheStore warm(path);
+  SvcCacheRestore report;
+  ASSERT_TRUE(warm.open_and_restore(small, report));
+  EXPECT_EQ(report.entries_restored, 4u);
+  EXPECT_EQ(report.lines_dropped, 0u);
+  EXPECT_EQ(small.lookup(store_key(0)), nullptr);  // oldest, evicted
+  const SvcCacheValue* newest = small.lookup(store_key(3));
+  ASSERT_NE(newest, nullptr);
+  EXPECT_EQ(newest->cut, 13);
+  EXPECT_EQ(newest->sides, (std::vector<std::uint8_t>{0, 1, 1, 0}));
+}
+
+TEST(SvcCacheStore, CorruptionCorpusFallsBackToTheLongestValidPrefix) {
+  const SvcCacheKey key_a = store_key(1), key_b = store_key(2);
+  const std::string good_a =
+      SvcCacheStore::encode_entry(key_a, store_value(10));
+  const std::string good_b =
+      SvcCacheStore::encode_entry(key_b, store_value(20));
+  const std::string header = SvcCacheStore::header_line();
+
+  struct Case {
+    const char* name;
+    std::string tail;        // appended after two good entries
+    std::uint64_t restored;  // entries the warm start must recover
+  };
+  std::string flipped = good_b;
+  flipped[flipped.find("\"cut\":") + 6] ^= 1;  // payload byte under the CRC
+  const std::vector<Case> corpus = {
+      {"truncated_line", good_b.substr(0, good_b.size() / 2), 2},
+      {"bad_crc", flipped, 2},
+      {"garbage_bytes", "\x01\x02binary junk not json", 2},
+      {"valid_json_wrong_shape", "{\"type\":\"not_an_entry\"}", 2},
+  };
+  for (const Case& test_case : corpus) {
+    const std::string path =
+        temp_journal(std::string("svc_store_") + test_case.name + ".jsonl");
+    {
+      std::ofstream out(path);
+      out << header << '\n' << good_a << '\n' << good_b << '\n'
+          << test_case.tail << '\n';
+    }
+    SvcResultCache cache(1 << 20);
+    SvcCacheStore store(path);
+    SvcCacheRestore report;
+    ASSERT_TRUE(store.open_and_restore(cache, report)) << test_case.name;
+    EXPECT_EQ(report.entries_restored, test_case.restored) << test_case.name;
+    EXPECT_GE(report.lines_dropped, 1u) << test_case.name;
+    EXPECT_TRUE(report.compacted) << test_case.name;  // damage rewritten away
+    // The valid prefix is served; the damaged line never is.
+    ASSERT_NE(cache.lookup(key_a), nullptr) << test_case.name;
+    const SvcCacheValue* b = cache.lookup(key_b);
+    ASSERT_NE(b, nullptr) << test_case.name;
+    EXPECT_EQ(b->cut, 20) << test_case.name;
+    // And the rewritten journal is fully valid again.
+    SvcResultCache again(1 << 20);
+    SvcCacheStore reread(path);
+    SvcCacheRestore second;
+    ASSERT_TRUE(reread.open_and_restore(again, second)) << test_case.name;
+    EXPECT_EQ(second.entries_restored, test_case.restored) << test_case.name;
+    EXPECT_EQ(second.lines_dropped, 0u) << test_case.name;
+  }
+}
+
+TEST(SvcCacheStore, ForeignOrWrongVersionHeaderRestoresNothing) {
+  for (const char* header :
+       {"{\"type\":\"svc_cache\",\"version\":2}",
+        "{\"type\":\"checkpoint\",\"version\":1}", "not a header at all"}) {
+    const std::string path = temp_journal("svc_store_header.jsonl");
+    {
+      std::ofstream out(path);
+      out << header << '\n'
+          << SvcCacheStore::encode_entry(store_key(1), store_value(10))
+          << '\n';
+    }
+    SvcResultCache cache(1 << 20);
+    SvcCacheStore store(path);
+    SvcCacheRestore report;
+    ASSERT_TRUE(store.open_and_restore(cache, report)) << header;
+    EXPECT_EQ(report.entries_restored, 0u) << header;
+    EXPECT_GT(report.lines_dropped, 0u) << header;
+    EXPECT_EQ(cache.stats().entries, 0u) << header;
+  }
+}
+
+TEST(SvcCacheStore, MissingFileIsAFreshJournal) {
+  const std::string path = temp_journal("svc_store_fresh.jsonl");
+  SvcResultCache cache(1 << 20);
+  SvcCacheStore store(path);
+  SvcCacheRestore report;
+  ASSERT_TRUE(store.open_and_restore(cache, report));
+  EXPECT_EQ(report.entries_restored, 0u);
+  EXPECT_EQ(report.lines_dropped, 0u);
+  EXPECT_TRUE(store.ok());
+  EXPECT_GT(store.append(store_key(1), store_value(10)), 0u);
+  // The header went down first, so a restart replays cleanly.
+  const std::string text = read_file(path);
+  EXPECT_TRUE(text.starts_with(SvcCacheStore::header_line()));
+}
+
+TEST(SvcCacheStore, CompactionShedsDeadEntries) {
+  const std::string path = temp_journal("svc_store_compact.jsonl");
+  SvcResultCache cache(1 << 20);
+  SvcCacheStore store(path);
+  SvcCacheRestore report;
+  ASSERT_TRUE(store.open_and_restore(cache, report));
+  // Refresh one key far past the 4*live+64 threshold: the journal
+  // carries dead weight the resident cache no longer holds.
+  for (int i = 0; i < 100; ++i) {
+    cache.insert(store_key(1), store_value(Weight(i)));
+    ASSERT_GT(store.append(store_key(1), store_value(Weight(i))), 0u);
+  }
+  EXPECT_EQ(store.file_entries(), 100u);
+  EXPECT_GT(store.maybe_compact(cache), 0u);
+  EXPECT_EQ(store.file_entries(), 1u);
+  EXPECT_EQ(store.maybe_compact(cache), 0u);  // already compact
+  // The survivor is the live value.
+  SvcResultCache warm(1 << 20);
+  SvcCacheStore reread(path);
+  SvcCacheRestore second;
+  ASSERT_TRUE(reread.open_and_restore(warm, second));
+  EXPECT_EQ(second.entries_restored, 1u);
+  const SvcCacheValue* live = warm.lookup(store_key(1));
+  ASSERT_NE(live, nullptr);
+  EXPECT_EQ(live->cut, 99);
+}
+
+TEST(SvcCacheStore, UnopenablePathReportsFalse) {
+  SvcResultCache cache(1 << 20);
+  SvcCacheStore store(testing::TempDir() + "no_such_dir_store/j.jsonl");
+  SvcCacheRestore report;
+  EXPECT_FALSE(store.open_and_restore(cache, report));
+  EXPECT_FALSE(store.ok());
+}
+
+// --- Warm restart ----------------------------------------------------------
+
+TEST(Service, WarmRestartServesByteIdenticalHits) {
+  const std::string path = temp_journal("svc_warm_restart.jsonl");
+  const Graph grid = make_grid(6, 6);
+  const Graph ladder = make_ladder(9);
+  SvcOptions options = test_options();
+  options.cache_file = path;
+  options.batch_size = 2;  // the repeats land in a later batch: hits,
+                           // not within-batch coalesces
+
+  // Cold service: solve each graph, then repeat it so the pre-crash
+  // stream contains the canonical hit bytes for each solve identity.
+  std::vector<std::string> cold = run_sequence(
+      options, {solve_line("w1", grid, ",\"want_sides\":true"),
+                solve_line("w2", ladder), solve_line("w1", grid,
+                ",\"want_sides\":true"), solve_line("w2", ladder)});
+  ASSERT_EQ(cold.size(), 4u);
+  std::string disposition;
+  ASSERT_TRUE(json_parse_string(cold[2], "cache", disposition));
+  ASSERT_EQ(disposition, "hit");
+
+  // Warm service (fresh process stand-in): the same requests answer as
+  // hits with bytes identical to the pre-restart hit responses.
+  Service warm(options);
+  ASSERT_TRUE(warm.cache_store_ok());
+  EXPECT_EQ(warm.metrics().counter(Counter::kSvcCacheRestored), 2u);
+  EXPECT_EQ(warm.cache_stats().entries, 2u);
+  std::vector<std::string> out;
+  warm.submit_line(solve_line("w1", grid, ",\"want_sides\":true"), out);
+  warm.submit_line(solve_line("w2", ladder), out);
+  warm.drain(out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], cold[2]);
+  EXPECT_EQ(out[1], cold[3]);
+  EXPECT_EQ(warm.cache_stats().hits, 2u);
+}
+
+TEST(Service, UnopenableCacheJournalReportsNotOk) {
+  SvcOptions options = test_options();
+  options.cache_file = testing::TempDir() + "no_such_dir_warm/j.jsonl";
+  Service service(options);
+  EXPECT_FALSE(service.cache_store_ok());
+  Service plain(test_options());  // no journal configured: trivially ok
+  EXPECT_TRUE(plain.cache_store_ok());
+}
+
+// --- Service-scoped fault injection (GBIS_SVC_FAULTS) ----------------------
+
+TEST(SvcFaultPlan, ParsesTheGrammarAndRejectsMalformedSpecs) {
+  const SvcFaultPlan plan =
+      SvcFaultPlan::parse("throw@req:0,oom@solve:1,hang@solve:3,crash@batch:2");
+  EXPECT_EQ(plan.size(), 4u);
+  EXPECT_EQ(plan.at(SvcFaultSite::kReq, 0), SvcFaultKind::kThrow);
+  EXPECT_EQ(plan.at(SvcFaultSite::kSolve, 1), SvcFaultKind::kOom);
+  EXPECT_EQ(plan.at(SvcFaultSite::kSolve, 3), SvcFaultKind::kHang);
+  EXPECT_EQ(plan.at(SvcFaultSite::kBatch, 2), SvcFaultKind::kCrash);
+  EXPECT_EQ(plan.at(SvcFaultSite::kReq, 1), SvcFaultKind::kNone);
+  EXPECT_TRUE(SvcFaultPlan::parse("").empty());
+  for (const char* bad :
+       {"stop@req:0", "throw@trial:0", "throw@req", "throw@req:x",
+        "throw@req:0,bogus", "@req:0", "  "}) {
+    EXPECT_THROW(SvcFaultPlan::parse(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(Service, InjectedThrowAnswersTheStableInternalReason) {
+  const std::string log_path = temp_journal("svc_fault_throw.jsonl");
+  const Graph g = make_grid(6, 6);
+  SvcOptions options = test_options();
+  options.faults = SvcFaultPlan::parse("throw@solve:0");
+  options.access_log_path = log_path;
+  // Distinct seed: a separate solve identity, so it runs as its own
+  // cold solve (ordinal 1) instead of coalescing with the faulted one.
+  const auto out = run_sequence(
+      options, {solve_line("f", g), solve_line("ok", g, ",\"seed\":9")});
+  ASSERT_EQ(out.size(), 2u);
+  std::string error;
+  ASSERT_TRUE(json_parse_string(out[0], "error", error));
+  // Clients get the catalog reason, never the raw exception text.
+  EXPECT_EQ(error, "internal: solve failed");
+  EXPECT_EQ(out[0].find("injected"), std::string::npos);
+  // The raw detail is preserved for operators in the access log.
+  const std::string log = read_file(log_path);
+  EXPECT_NE(log.find("internal: solve failed (injected fault: "
+                     "throw@solve:0)"),
+            std::string::npos);
+  // The stream survives: the next solve (a fresh ordinal) answers.
+  EXPECT_TRUE(out[1].starts_with("{\"id\":\"ok\",\"ok\":true"));
+}
+
+TEST(Service, InjectedOomMapsToTheOutOfMemoryReason) {
+  const Graph g = make_grid(6, 6);
+  SvcOptions options = test_options();
+  options.faults = SvcFaultPlan::parse("oom@solve:0");
+  const auto out = run_sequence(options, {solve_line("m", g)});
+  ASSERT_EQ(out.size(), 1u);
+  std::string error;
+  ASSERT_TRUE(json_parse_string(out[0], "error", error));
+  EXPECT_EQ(error, "internal: out of memory");
+}
+
+TEST(Service, InjectedHangIsBoundedByTheRequestDeadline) {
+  const Graph g = make_grid(6, 6);
+  SvcOptions options = test_options();
+  options.faults = SvcFaultPlan::parse("hang@solve:0");
+  const auto out = run_sequence(
+      options, {solve_line("h", g, ",\"deadline_s\":0.05")});
+  ASSERT_EQ(out.size(), 1u);
+  std::string error;
+  ASSERT_TRUE(json_parse_string(out[0], "error", error));
+  EXPECT_TRUE(error.starts_with("deadline"));
+}
+
+TEST(Service, ReqSiteFaultsKeyOnTheRequestSequence) {
+  const Graph grid = make_grid(6, 6);
+  const Graph ladder = make_ladder(9);
+  SvcOptions options = test_options();
+  options.faults = SvcFaultPlan::parse("throw@req:1");
+  // Request seq 1 is the second line; seq 0 solves untouched.
+  const auto out = run_sequence(
+      options, {solve_line("a", grid), solve_line("b", ladder)});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out[0].starts_with("{\"id\":\"a\",\"ok\":true"));
+  std::string error;
+  ASSERT_TRUE(json_parse_string(out[1], "error", error));
+  EXPECT_EQ(error, "internal: solve failed");
+}
+
+// --- Brownout ladder -------------------------------------------------------
+
+// Reads the effective trial spend of a solve response: the brownout
+// clamps show up as trials_ok + degraded (the trials that ran).
+std::uint64_t trials_spent(const std::string& line) {
+  std::uint64_t ok = 0, degraded = 0;
+  EXPECT_TRUE(json_parse_u64(line, "trials_ok", ok));
+  EXPECT_TRUE(json_parse_u64(line, "degraded", degraded));
+  return ok + degraded;
+}
+
+TEST(Service, BrownoutLevelThreeShedsWithARetryHint) {
+  const Graph g = make_grid(6, 6);
+  SvcOptions options = test_options();
+  options.max_queue = 4;
+  options.batch_size = 100;  // fill the queue before dispatch
+  Service service(options);
+  std::vector<std::string> out;
+  for (int i = 0; i < 4; ++i) {
+    service.submit_line(solve_line("q" + std::to_string(i), g), out);
+  }
+  ASSERT_TRUE(out.empty());
+  service.drain(out);  // queue at 100% >= the level-3 rung
+  ASSERT_EQ(out.size(), 4u);
+  for (const std::string& line : out) {
+    std::string error;
+    ASSERT_TRUE(json_parse_string(line, "error", error));
+    EXPECT_TRUE(error.starts_with("rejected: brownout (level 3)"));
+    std::uint64_t retry = 0;
+    ASSERT_TRUE(json_parse_u64(line, "retry_after_ms", retry));
+    EXPECT_EQ(retry, 100u);  // clamp(10 * 4 queued, 100, 5000)
+  }
+  EXPECT_EQ(service.brownout_level(), 3u);
+  EXPECT_EQ(service.metrics().counter(Counter::kSvcBrownoutShed), 4u);
+  EXPECT_EQ(service.metrics().counter(Counter::kSvcBrownoutEntered), 1u);
+}
+
+TEST(Service, BrownoutLevelTwoCollapsesToOneCheapTrial) {
+  const Graph g = make_grid(6, 6);
+  SvcOptions options = test_options();
+  options.max_queue = 8;
+  options.batch_size = 100;
+  options.default_budget = 4;
+  Service service(options);
+  std::vector<std::string> out;
+  for (int i = 0; i < 6; ++i) {  // 6 of 8 queued = 75% -> level 2
+    service.submit_line(solve_line("q" + std::to_string(i), g), out);
+  }
+  service.drain(out);
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_TRUE(out[0].starts_with("{\"id\":\"q0\",\"ok\":true"));
+  EXPECT_EQ(trials_spent(out[0]), 1u);  // portfolio collapsed to 1 start
+  std::string method;
+  ASSERT_TRUE(json_parse_string(out[0], "method", method));
+  EXPECT_EQ(method, "CKL");  // ... at the cheap end of the ladder
+}
+
+TEST(Service, BrownoutLevelOneClampsTheTrialBudget) {
+  const Graph g = make_grid(6, 6);
+  SvcOptions options = test_options();
+  options.max_queue = 8;
+  options.batch_size = 100;
+  Service service(options);
+  std::vector<std::string> out;
+  for (int i = 0; i < 4; ++i) {  // 4 of 8 queued = 50% -> level 1
+    service.submit_line(
+        solve_line("q" + std::to_string(i), g, ",\"budget\":5"), out);
+  }
+  service.drain(out);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_TRUE(out[0].starts_with("{\"id\":\"q0\",\"ok\":true"));
+  EXPECT_EQ(trials_spent(out[0]), 2u);  // budget 5 clamped to 2
+}
+
+TEST(Service, BrownoutDisabledSpendsTheFullBudget) {
+  const Graph g = make_grid(6, 6);
+  SvcOptions options = test_options();
+  options.max_queue = 4;
+  options.batch_size = 100;
+  options.brownout = false;
+  Service service(options);
+  std::vector<std::string> out;
+  for (int i = 0; i < 4; ++i) {  // would be level 3 with brownout on
+    service.submit_line(
+        solve_line("q" + std::to_string(i), g, ",\"seed\":" +
+                   std::to_string(i) + ",\"budget\":3"), out);
+  }
+  service.drain(out);
+  ASSERT_EQ(out.size(), 4u);
+  for (const std::string& line : out) {
+    EXPECT_NE(line.find("\"ok\":true"), std::string::npos);
+    EXPECT_EQ(trials_spent(line), 3u);
+  }
+  EXPECT_EQ(service.brownout_level(), 0u);
+}
+
+TEST(Service, BrownoutRestoreIsCountedWhenLoadDrains) {
+  const Graph g = make_grid(6, 6);
+  SvcOptions options = test_options();
+  options.max_queue = 4;
+  options.batch_size = 100;
+  Service service(options);
+  std::vector<std::string> out;
+  for (int i = 0; i < 4; ++i) {
+    service.submit_line(solve_line("q" + std::to_string(i), g), out);
+  }
+  service.drain(out);  // enters level 3
+  EXPECT_EQ(service.brownout_level(), 3u);
+  out.clear();
+  service.submit_line(solve_line("calm", g), out);
+  service.drain(out);  // 1 of 4 queued: back to normal
+  EXPECT_EQ(service.brownout_level(), 0u);
+  EXPECT_EQ(service.metrics().counter(Counter::kSvcBrownoutRestored), 1u);
+  EXPECT_TRUE(out[0].starts_with("{\"id\":\"calm\",\"ok\":true"));
+}
+
+TEST(Service, DegradedSolvesCacheUnderTheirDegradedIdentity) {
+  const Graph g = make_grid(6, 6);
+  SvcOptions options = test_options();
+  options.max_queue = 8;
+  options.batch_size = 100;
+  options.default_budget = 4;
+  Service service(options);
+  std::vector<std::string> out;
+  for (int i = 0; i < 6; ++i) {  // level 2: collapsed to 1 CKL start
+    service.submit_line(solve_line("q", g), out);
+  }
+  service.drain(out);
+  out.clear();
+  // Calm again: the same request must NOT be answered by the degraded
+  // cache entry — its identity (budget 1, CKL) differs.
+  service.submit_line(solve_line("calm", g), out);
+  service.drain(out);
+  ASSERT_EQ(out.size(), 1u);
+  std::string disposition;
+  ASSERT_TRUE(json_parse_string(out[0], "cache", disposition));
+  EXPECT_EQ(disposition, "miss");
+  EXPECT_EQ(trials_spent(out[0]), 4u);  // full default budget
+}
+
+TEST(Service, BrownoutStreamIsThreadCountInvariant) {
+  const Graph grid = make_grid(7, 5);
+  const Graph ladder = make_ladder(9);
+  std::vector<std::string> lines;
+  for (int i = 0; i < 12; ++i) {
+    lines.push_back(solve_line("r" + std::to_string(i),
+                               i % 2 == 0 ? grid : ladder,
+                               ",\"seed\":" + std::to_string(i / 3)));
+  }
+  const auto make_options = [](unsigned threads) {
+    SvcOptions options = test_options(threads);
+    options.max_queue = 8;   // small enough that batches brown out
+    options.batch_size = 6;  // 6 of 8 queued trips level 2 at dispatch
+    return options;
+  };
+  const auto one = strip_timing(run_sequence(make_options(1), lines));
+  const auto eight = strip_timing(run_sequence(make_options(8), lines));
+  EXPECT_EQ(one, eight);
+}
+
+TEST(Service, StatsReportsTheRobustnessSurface) {
+  const std::string path = temp_journal("svc_stats_robust.jsonl");
+  const Graph g = make_grid(6, 6);
+  SvcOptions options = test_options();
+  options.cache_file = path;
+  const auto out = run_sequence(
+      options, {solve_line("a", g), "{\"id\":\"s\",\"op\":\"stats\"}"});
+  ASSERT_EQ(out.size(), 2u);
+  std::uint64_t value = 0;
+  ASSERT_TRUE(json_parse_u64(out[1], "cache_restored", value));
+  EXPECT_EQ(value, 0u);
+  ASSERT_TRUE(json_parse_u64(out[1], "cache_journal_bytes", value));
+  EXPECT_GT(value, 0u);  // the cold solve was journaled
+  ASSERT_TRUE(json_parse_u64(out[1], "cache_compactions", value));
+  ASSERT_TRUE(json_parse_u64(out[1], "brownout_level", value));
+  EXPECT_EQ(value, 0u);
+  ASSERT_TRUE(json_parse_u64(out[1], "brownout_entered", value));
+  ASSERT_TRUE(json_parse_u64(out[1], "brownout_restored", value));
+  ASSERT_TRUE(json_parse_u64(out[1], "brownout_shed", value));
+}
+
+TEST(SvcOptionsEnv, OverlaysTheRobustnessKnobs) {
+  ::setenv("GBIS_SVC_CACHE_FILE", "/tmp/journal.jsonl", 1);
+  ::setenv("GBIS_SVC_FAULTS", "throw@req:2,crash@batch:1", 1);
+  ::setenv("GBIS_SVC_BROWNOUT", "0", 1);
+  ::setenv("GBIS_SVC_BROWNOUT_WINDOW", "16", 1);
+  SvcOptions options = svc_options_from_env(SvcOptions{});
+  EXPECT_EQ(options.cache_file, "/tmp/journal.jsonl");
+  EXPECT_EQ(options.faults.size(), 2u);
+  EXPECT_EQ(options.faults.at(SvcFaultSite::kBatch, 1),
+            SvcFaultKind::kCrash);
+  EXPECT_FALSE(options.brownout);
+  EXPECT_EQ(options.brownout_window, 16u);
+
+  ::setenv("GBIS_SVC_FAULTS", "bogus@nowhere", 1);   // warn, keep empty
+  ::setenv("GBIS_SVC_BROWNOUT", "maybe", 1);         // warn, keep default
+  ::setenv("GBIS_SVC_BROWNOUT_WINDOW", "0", 1);      // warn, keep default
+  options = svc_options_from_env(SvcOptions{});
+  EXPECT_TRUE(options.faults.empty());
+  EXPECT_TRUE(options.brownout);
+  EXPECT_EQ(options.brownout_window, 32u);
+
+  ::unsetenv("GBIS_SVC_CACHE_FILE");
+  ::unsetenv("GBIS_SVC_FAULTS");
+  ::unsetenv("GBIS_SVC_BROWNOUT");
+  ::unsetenv("GBIS_SVC_BROWNOUT_WINDOW");
+}
+
 }  // namespace
 }  // namespace gbis

@@ -65,7 +65,10 @@ jq -s \
     }
     # Optional per-case service telemetry (svc_throughput emits these
     # as benchmark counters); absent for cases that do not report them.
-    + ({latency_p50_us, latency_p99_us, hit_ratio}
+    # restored_entries / post_restart_hit_ratio come from the
+    # warm-restart cases (svc/cache_store).
+    + ({latency_p50_us, latency_p99_us, hit_ratio,
+        restored_entries, post_restart_hit_ratio}
        | with_entries(select(.value != null))) ]
   }' "$tmp_dir"/*.json >"$out_file"
 

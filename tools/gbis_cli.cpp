@@ -117,6 +117,15 @@ void print_help(std::ostream& out) {
          "      --max-queue N  admission bound; overflow is rejected (256)\n"
          "      --cache-mb N   result-cache budget in MiB, 0 = off (64;\n"
          "                     env GBIS_SVC_CACHE_MB, flag wins)\n"
+         "      --cache-file F durable result-cache journal; a restart\n"
+         "                     replays it so pre-crash solves answer as\n"
+         "                     byte-identical warm hits (env\n"
+         "                     GBIS_SVC_CACHE_FILE, flag wins)\n"
+         "      --no-brownout  disable the overload brownout ladder\n"
+         "                     (env GBIS_SVC_BROWNOUT=0)\n"
+         "      --brownout-window N  cold solves in the deadline-miss\n"
+         "                     window the brownout controller watches\n"
+         "                     (32; env GBIS_SVC_BROWNOUT_WINDOW)\n"
          "      --budget N     default trials per solve request (2)\n"
          "      --deadline S   default per-request deadline (none)\n"
          "      --access-log F append one JSON line per request to F\n"
@@ -146,8 +155,10 @@ void print_help(std::ostream& out) {
          "                     listening (how scripts find port 0)\n"
          "      Runs a single-threaded poll(2) loop; SIGINT/SIGTERM\n"
          "      stops accepting, answers everything admitted, and exits\n"
-         "      130. Per-connection response streams keep the stdio\n"
-         "      determinism contract for any --threads value.\n"
+         "      130; a second signal skips the pending answers and just\n"
+         "      flushes logs before exiting 130. Per-connection response\n"
+         "      streams keep the stdio determinism contract for any\n"
+         "      --threads value.\n"
          "      Request {\"op\":\"stats\"} reports counters, gauges, and\n"
          "      latency summaries; \"format\":\"prom\" returns the\n"
          "      Prometheus exposition instead. --progress shows a live\n"
@@ -177,9 +188,13 @@ void print_help(std::ostream& out) {
          "docs/ROBUSTNESS.md. GBIS_METRICS, GBIS_TRACE_DIR, and\n"
          "GBIS_PROGRESS=1 are the environment forms of --metrics,\n"
          "--trace-dir, and --progress (flags win); GBIS_SVC_CACHE_MB,\n"
-         "GBIS_SVC_ACCESS_LOG, and GBIS_SVC_SLOW_MS do the same for the\n"
-         "serve flags — see docs/OBSERVABILITY.md, docs/SERVICE.md, and\n"
-         "the README env-var table.\n";
+         "GBIS_SVC_CACHE_FILE, GBIS_SVC_ACCESS_LOG, GBIS_SVC_SLOW_MS,\n"
+         "GBIS_SVC_BROWNOUT, and GBIS_SVC_BROWNOUT_WINDOW do the same\n"
+         "for the serve flags; GBIS_SVC_FAULTS=kind@site:N[,...] injects\n"
+         "service-scoped faults (kinds: throw, hang, oom, crash; sites:\n"
+         "req, solve, batch) — see docs/OBSERVABILITY.md,\n"
+         "docs/SERVICE.md, docs/ROBUSTNESS.md, and the README env-var\n"
+         "table.\n";
 }
 
 [[noreturn]] void usage() {
@@ -527,6 +542,14 @@ int cmd_serve(const std::vector<std::string>& args, std::uint64_t seed,
       if (options.max_queue == 0) usage();
     } else if (arg == "--cache-mb") {
       options.cache_bytes = to_u64(flag_value()) << 20;
+    } else if (arg == "--cache-file") {
+      options.cache_file = flag_value();
+      if (options.cache_file.empty()) usage();
+    } else if (arg == "--no-brownout") {
+      options.brownout = false;
+    } else if (arg == "--brownout-window") {
+      options.brownout_window = to_u32(flag_value());
+      if (options.brownout_window == 0) usage();
     } else if (arg == "--budget") {
       options.default_budget = to_u32(flag_value());
       if (options.default_budget == 0) usage();
@@ -599,12 +622,18 @@ int cmd_serve(const std::vector<std::string>& args, std::uint64_t seed,
   }
   std::istream& in = replay_path.empty() ? std::cin : replay;
 
-  install_shutdown_handlers();
+  // Escalating handlers: the first SIGINT/SIGTERM drains gracefully;
+  // a second one flips the escalation flag so the drain below answers
+  // nothing new and just flushes what is already written.
+  install_escalating_shutdown_handlers();
   const std::atomic<bool>& stop = shutdown_flag();
 
   Service service(options);
   if (!service.access_log_ok()) {
     throw IoError("serve: cannot open access log " + options.access_log_path);
+  }
+  if (!service.cache_store_ok()) {
+    throw IoError("serve: cannot open cache journal " + options.cache_file);
   }
 
   // --progress: the serve-style meter (open-ended total, requests/s).
@@ -717,9 +746,12 @@ int cmd_serve(const std::vector<std::string>& args, std::uint64_t seed,
       }
     }
     // EOF or shutdown: answer everything admitted (queued solves drain
-    // as "shutdown" errors once the stop flag is up), then exit.
-    service.drain(responses, &stop);
-    emit();
+    // as "shutdown" errors once the stop flag is up), then exit. A
+    // second signal (escalation) skips even that — flush and go.
+    if (!shutdown_escalated()) {
+      service.drain(responses, &stop);
+      emit();
+    }
   }
   if (meter != nullptr) meter->finish();
   write_stats_snapshot();

@@ -8,15 +8,27 @@ exit code (130).
 
     svc_client.py GBIS_BINARY REQUEST_FILE [--transport tcp|unix]
 
+Two delivery modes:
+
+  * Default: send the whole file, half-close, read to EOF — the
+    throughput shape, and the one CI diffs against `gbis serve
+    --replay` (byte-identical modulo the documented `_us` fields).
+  * --retry N: send one request line at a time and wait for its
+    response. A brownout shed ("rejected: brownout ...") is retried up
+    to N times, honoring the server's `retry_after_ms` backoff hint —
+    the reference implementation of the docs/SERVICE.md retry contract.
+
+--sigterm-count K sends K SIGTERMs 50 ms apart at teardown. With the
+escalating handlers (docs/ROBUSTNESS.md) the exit code stays 130 for
+any K: the second signal shortens the drain, it never turns into a
+signal death.
+
 Exit status: 0 only when every step held — the server came up, answered
-the full request stream, and drained cleanly on SIGTERM. The response
-bytes on stdout are byte-identical to `gbis serve --replay REQUEST_FILE`
-(modulo the documented `_us` wall-clock fields) at any GBIS_THREADS, so
-callers can diff the two streams directly; that comparison is CI's
-socket-mode determinism check (tests/cli_smoke.cmake and the workflow).
+the full request stream, and exited 130 on SIGTERM.
 """
 
 import argparse
+import json
 import os
 import signal
 import socket
@@ -75,6 +87,50 @@ def run_session(sock, request_bytes):
     return b"".join(chunks)
 
 
+def read_line(sock, buffer):
+    """Reads one newline-terminated response from the socket."""
+    while b"\n" not in buffer:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise SystemExit("server closed the connection mid-stream")
+        buffer += chunk
+    line, _, rest = buffer.partition(b"\n")
+    return line, rest
+
+
+def backoff_hint(response_line):
+    """Returns retry_after_ms when the response is a brownout shed."""
+    try:
+        response = json.loads(response_line)
+    except ValueError:
+        return None
+    error = response.get("error", "")
+    if response.get("ok") or not error.startswith("rejected: brownout"):
+        return None
+    return int(response.get("retry_after_ms", 100))
+
+
+def run_session_with_retry(sock, request_bytes, max_retries):
+    """One request at a time; brownout sheds honor retry_after_ms."""
+    responses = []
+    buffer = b""
+    for request in request_bytes.splitlines():
+        if not request.strip():
+            continue
+        attempts = 0
+        while True:
+            sock.sendall(request + b"\n")
+            response, buffer = read_line(sock, buffer)
+            hint_ms = backoff_hint(response)
+            if hint_ms is None or attempts >= max_retries:
+                responses.append(response)
+                break
+            attempts += 1
+            time.sleep(hint_ms / 1000.0)
+    sock.close()
+    return b"".join(line + b"\n" for line in responses)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("gbis", help="path to the gbis binary")
@@ -83,6 +139,12 @@ def main():
                         default="tcp")
     parser.add_argument("--serve-arg", action="append", default=[],
                         help="extra argument forwarded to `gbis serve`")
+    parser.add_argument("--retry", type=int, default=0, metavar="N",
+                        help="line-at-a-time mode: retry brownout sheds "
+                             "up to N times, honoring retry_after_ms")
+    parser.add_argument("--sigterm-count", type=int, default=1, metavar="K",
+                        help="SIGTERMs sent 50 ms apart at teardown "
+                             "(exit must stay 130 for any K)")
     args = parser.parse_args()
 
     with open(args.requests, "rb") as handle:
@@ -100,11 +162,19 @@ def main():
         try:
             ready_lines = wait_for_ready_file(ready_file, proc)
             sock = connect(ready_lines, args.transport)
-            responses = run_session(sock, request_bytes)
+            if args.retry > 0:
+                responses = run_session_with_retry(sock, request_bytes,
+                                                   args.retry)
+            else:
+                responses = run_session(sock, request_bytes)
             sys.stdout.buffer.write(responses)
             sys.stdout.buffer.flush()
         finally:
-            if proc.poll() is None:
+            for i in range(max(1, args.sigterm_count)):
+                if proc.poll() is not None:
+                    break
+                if i > 0:
+                    time.sleep(0.05)
                 proc.send_signal(signal.SIGTERM)
             try:
                 proc.wait(timeout=30)

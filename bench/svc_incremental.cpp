@@ -1,0 +1,190 @@
+// Incremental re-solve: the price of answering a solve after a graph
+// mutation, warm versus cold, end to end through the NDJSON front door
+// (mutate -> lineage -> warm-start projection -> bounded KL).
+//
+//   Warm — the service warm-starts each child solve from the cached
+//          parent partition projected through the lineage maps. The PR
+//          acceptance bar is >= 5x faster than Cold at edit distance
+//          <= 1% of |E|, with the cut within 5% (compare mean_cut).
+//   Cold — the same mutate/solve traffic against a --no-warm service,
+//          so every child runs the full auto portfolio (budget 4, the
+//          service's usual request shape) from scratch.
+//
+// Arg is the edit distance: a positive value is absolute, a negative
+// value -N means |E|/N of the benchmark graph (-100 -> 1% of |E|,
+// -10 -> 10%), resolved at run time and reported as the edit_distance
+// counter. Each iteration derives a distinct child (the added edge's
+// endpoint varies with the iteration index), so the timed solve is
+// always a cache miss and always warm-starts from the parent, never
+// from an earlier identical sibling.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gbis/gen/gnp.hpp"
+#include "gbis/io/edge_list.hpp"
+#include "gbis/obs/metrics.hpp"
+#include "gbis/rng/rng.hpp"
+#include "gbis/svc/scheduler.hpp"
+#include "gbis/util/json_lite.hpp"
+
+namespace {
+
+using namespace gbis;
+
+Graph bench_graph() {
+  Rng rng(97);
+  return make_gnp(2000, gnp_p_for_degree(2000, 5.0), rng);
+}
+
+// The parent's edge list as (u, v) pairs with u < v, in CSR order —
+// the pool the deletion batches draw from.
+std::vector<std::pair<Vertex, Vertex>> edge_pairs(const Graph& g) {
+  std::vector<std::pair<Vertex, Vertex>> pairs;
+  pairs.reserve(g.num_edges());
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (Vertex v : g.neighbors(u)) {
+      if (u < v) pairs.emplace_back(u, v);
+    }
+  }
+  return pairs;
+}
+
+std::string solve_inline_line(const Graph& g) {
+  std::ostringstream payload;
+  write_edge_list(payload, g);
+  std::string line =
+      "{\"op\":\"solve\",\"method\":\"auto\",\"budget\":4,\"seed\":7,\"inline\":";
+  append_json_string(line, payload.str());
+  line += "}";
+  return line;
+}
+
+// An edit batch of exactly `distance` edits whose child fingerprint is
+// unique per iteration: one added vertex, one added edge whose far
+// endpoint walks with `iteration`, and deletions from the front of the
+// parent's edge list for the remainder. distance == 1 falls back to a
+// single varying deletion.
+std::string mutate_line(const std::string& parent_fp,
+                        const std::vector<std::pair<Vertex, Vertex>>& pairs,
+                        std::uint64_t distance, std::uint64_t iteration,
+                        Vertex parent_vertices) {
+  std::string line = "{\"op\":\"mutate\",\"parent\":\"" + parent_fp + "\"";
+  if (distance == 1) {
+    const auto& e = pairs[iteration % pairs.size()];
+    line += ",\"del_edges\":[" + std::to_string(e.first) + "," +
+            std::to_string(e.second) + "]";
+  } else {
+    line += ",\"add_vertices\":1";
+    line += ",\"add_edges\":[" + std::to_string(parent_vertices) + "," +
+            std::to_string(iteration % parent_vertices) + "]";
+    if (distance > 2) {
+      line += ",\"del_edges\":[";
+      for (std::uint64_t k = 0; k < distance - 2; ++k) {
+        if (k > 0) line += ",";
+        const auto& e = pairs[k];
+        line += std::to_string(e.first) + "," + std::to_string(e.second);
+      }
+      line += "]";
+    }
+  }
+  line += "}";
+  return line;
+}
+
+std::uint64_t resolve_distance(std::int64_t arg, std::uint64_t edges) {
+  if (arg > 0) return static_cast<std::uint64_t>(arg);
+  return edges / static_cast<std::uint64_t>(-arg);
+}
+
+// Shared driver: mutate (untimed) then solve the child (timed) against
+// a service with warm starts on or off.
+void run_incremental(benchmark::State& state, bool warm) {
+  const Graph g = bench_graph();
+  const auto pairs = edge_pairs(g);
+  const std::uint64_t distance =
+      resolve_distance(state.range(0), g.num_edges());
+
+  SvcOptions options;
+  options.threads = 1;
+  options.batch_size = 1;
+  options.warm = warm;
+  Service service(options);
+
+  std::vector<std::string> out;
+  service.submit_line(solve_inline_line(g), out);
+  service.drain(out);
+  std::string parent_fp;
+  if (out.empty() || !json_parse_string(out[0], "fingerprint", parent_fp)) {
+    state.SkipWithError("parent solve did not return a fingerprint");
+    return;
+  }
+  out.clear();
+
+  std::uint64_t iteration = 0;
+  double cut_sum = 0.0;
+  std::uint64_t cut_count = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    service.submit_line(
+        mutate_line(parent_fp, pairs, distance, iteration++,
+                    g.num_vertices()),
+        out);
+    service.drain(out);
+    std::string child_fp;
+    if (out.empty() || !json_parse_string(out[0], "fingerprint", child_fp)) {
+      state.SkipWithError("mutate did not return a child fingerprint");
+      return;
+    }
+    out.clear();
+    state.ResumeTiming();
+
+    service.submit_line("{\"op\":\"solve\",\"graph\":\"" + child_fp +
+                            "\",\"method\":\"auto\",\"budget\":4,\"seed\":7}",
+                        out);
+    service.drain(out);
+    benchmark::DoNotOptimize(out);
+    state.PauseTiming();
+    std::uint64_t cut = 0;
+    if (!out.empty() && json_parse_u64(out[0], "cut", cut)) {
+      cut_sum += static_cast<double>(cut);
+      ++cut_count;
+    }
+    out.clear();
+    state.ResumeTiming();
+  }
+
+  state.counters["edit_distance"] = static_cast<double>(distance);
+  state.counters["mean_cut"] =
+      cut_count > 0 ? cut_sum / static_cast<double>(cut_count) : 0.0;
+  const TrialMetrics snap = service.metrics_snapshot();
+  const double solves = static_cast<double>(iteration);
+  state.counters["warm_ratio"] =
+      solves > 0.0
+          ? static_cast<double>(snap.counter(Counter::kSvcSolveWarm)) / solves
+          : 0.0;
+}
+
+void BM_SvcIncremental_Warm(benchmark::State& state) {
+  run_incremental(state, /*warm=*/true);
+}
+BENCHMARK(BM_SvcIncremental_Warm)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(-100)  // 1% of |E|
+    ->Arg(-10)   // 10% of |E|
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SvcIncremental_Cold(benchmark::State& state) {
+  run_incremental(state, /*warm=*/false);
+}
+BENCHMARK(BM_SvcIncremental_Cold)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(-100)
+    ->Arg(-10)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

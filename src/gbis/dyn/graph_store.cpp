@@ -1,0 +1,59 @@
+#include "gbis/dyn/graph_store.hpp"
+
+#include <utility>
+
+namespace gbis {
+
+std::uint64_t graph_bytes(const Graph& g) {
+  const std::uint64_t v = g.num_vertices();
+  const std::uint64_t half_edges = 2 * g.num_edges();
+  return (v + 1) * sizeof(std::uint64_t)      // offsets
+         + half_edges * sizeof(Vertex)        // neighbors
+         + half_edges * sizeof(Weight)        // edge weights
+         + v * sizeof(Weight)                 // vertex weights
+         + 64;                                // object + map overhead
+}
+
+std::shared_ptr<const Graph> GraphStore::lookup(std::uint64_t fingerprint) {
+  const auto it = index_.find(fingerprint);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->graph;
+}
+
+void GraphStore::insert(std::uint64_t fingerprint,
+                        std::shared_ptr<const Graph> graph) {
+  const auto it = index_.find(fingerprint);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  Entry entry;
+  entry.fingerprint = fingerprint;
+  entry.bytes = graph_bytes(*graph);
+  entry.graph = std::move(graph);
+  stats_.bytes += entry.bytes;
+  ++stats_.entries;
+  lru_.push_front(std::move(entry));
+  index_.emplace(fingerprint, lru_.begin());
+  evict_until_fits();
+}
+
+void GraphStore::evict_until_fits() {
+  // Keep at least the most-recent entry even when it alone exceeds the
+  // budget (see insert's contract).
+  while (stats_.bytes > max_bytes_ && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    stats_.bytes -= victim.bytes;
+    --stats_.entries;
+    ++stats_.evictions;
+    index_.erase(victim.fingerprint);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace gbis

@@ -1,0 +1,77 @@
+// Server-side store of materialized graphs, keyed by canonical
+// fingerprint — what lets a `mutate` or a solve-by-fingerprint request
+// name a graph the service has already seen without resending it.
+//
+// Byte-bounded LRU, independent of the result cache: results are tiny
+// and durable (svc/cache_store), graphs are big and reproducible (the
+// client can always re-send or replay the mutation chain), so graphs
+// evict first and are never journaled. All inserts and lookups happen
+// on the scheduler's dispatch thread (phase 1); workers only hold
+// shared_ptr copies handed out there, which keeps eviction safe while
+// a parallel solve is still reading the graph.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "gbis/graph/graph.hpp"
+
+namespace gbis {
+
+/// Approximate resident size of a graph's CSR arrays plus bookkeeping.
+/// The store budgets on this, not on allocator truth.
+std::uint64_t graph_bytes(const Graph& g);
+
+struct GraphStoreStats {
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// LRU map fingerprint -> shared immutable graph. Not thread-safe by
+/// design (see file comment).
+class GraphStore {
+ public:
+  /// Store holding at most `max_bytes` of graph payload. A single
+  /// graph larger than the budget is still admitted alone (the service
+  /// just solved it; refusing to remember it would break every chained
+  /// mutate), evicting everything else.
+  explicit GraphStore(std::uint64_t max_bytes) : max_bytes_(max_bytes) {}
+
+  /// Returns the graph for `fingerprint` and promotes it to
+  /// most-recently-used, or nullptr on a miss. Counts hits/misses.
+  std::shared_ptr<const Graph> lookup(std::uint64_t fingerprint);
+
+  /// True when `fingerprint` is resident; no promotion, no counting.
+  bool contains(std::uint64_t fingerprint) const {
+    return index_.count(fingerprint) != 0;
+  }
+
+  /// Inserts (or refreshes) `graph` under `fingerprint`, evicting
+  /// least-recently-used entries until the budget holds. Re-inserting
+  /// an existing fingerprint just promotes it — graphs are immutable
+  /// and fingerprint-identified, so the payloads are interchangeable.
+  void insert(std::uint64_t fingerprint, std::shared_ptr<const Graph> graph);
+
+  const GraphStoreStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::uint64_t fingerprint = 0;
+    std::shared_ptr<const Graph> graph;
+    std::uint64_t bytes = 0;
+  };
+
+  void evict_until_fits();
+
+  std::uint64_t max_bytes_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  GraphStoreStats stats_;
+};
+
+}  // namespace gbis

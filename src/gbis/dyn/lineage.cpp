@@ -1,0 +1,50 @@
+#include "gbis/dyn/lineage.hpp"
+
+namespace gbis {
+
+std::pair<const LineageRecord*, bool> SvcLineage::insert(
+    LineageRecord record) {
+  const auto child_it = by_child_.find(record.child);
+  if (child_it != by_child_.end()) {
+    LineageRecord& stored = records_[child_it->second];
+    // Heal a journal-restored (map-less) edge when the same derivation
+    // is re-materialized with a map of the expected shape.
+    if (stored.map.empty() && !record.map.empty() &&
+        stored.parent == record.parent &&
+        stored.batch_hash == record.batch_hash &&
+        record.map.size() == stored.parent_vertices + stored.vadds) {
+      stored.map = std::move(record.map);
+    }
+    return {&stored, false};
+  }
+  if (full()) return {nullptr, false};
+  records_.push_back(std::move(record));
+  const std::size_t index = records_.size() - 1;
+  const LineageRecord& stored = records_.back();
+  by_child_.emplace(stored.child, index);
+  by_batch_.emplace(BatchKey{stored.parent, stored.batch_hash}, index);
+  return {&stored, true};
+}
+
+const LineageRecord* SvcLineage::by_child(std::uint64_t fingerprint) const {
+  const auto it = by_child_.find(fingerprint);
+  return it == by_child_.end() ? nullptr : &records_[it->second];
+}
+
+const LineageRecord* SvcLineage::by_batch(std::uint64_t parent,
+                                          std::uint64_t batch_hash) const {
+  const auto it = by_batch_.find(BatchKey{parent, batch_hash});
+  return it == by_batch_.end() ? nullptr : &records_[it->second];
+}
+
+std::uint32_t SvcLineage::depth_of(std::uint64_t fingerprint) const {
+  const LineageRecord* record = by_child(fingerprint);
+  return record == nullptr ? 0 : record->depth;
+}
+
+void SvcLineage::visit(
+    const std::function<void(const LineageRecord&)>& fn) const {
+  for (const LineageRecord& record : records_) fn(record);
+}
+
+}  // namespace gbis

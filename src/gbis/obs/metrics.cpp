@@ -50,6 +50,12 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "svc.brownout.entered",
     "svc.brownout.restored",
     "svc.brownout.shed",
+    "svc.mutate.ok",
+    "svc.mutate.rejected",
+    "svc.solve.warm",
+    "svc.solve.warm_fallback",
+    "svc.graphstore.evictions",
+    "svc.lineage.restored",
 };
 
 constexpr const char* kHistNames[kNumHists] = {
@@ -68,6 +74,8 @@ constexpr const char* kGaugeNames[kNumGauges] = {
     "svc.batch.size",
     "svc.connections",
     "svc.brownout_level",
+    "svc.graphstore.bytes",
+    "svc.graphstore.entries",
 };
 
 constexpr const char* kPhaseNames[kNumPhases] = {

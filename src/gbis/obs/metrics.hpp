@@ -79,6 +79,13 @@ enum class Counter : std::uint8_t {
   kSvcBrownoutEntered,    ///< "svc.brownout.entered" (level left 0)
   kSvcBrownoutRestored,   ///< "svc.brownout.restored" (level returned to 0)
   kSvcBrownoutShed,       ///< "svc.brownout.shed" (solves rejected at L3)
+  // Dynamic-graph subsystem counters (dyn/*, svc/scheduler.*).
+  kSvcMutateOk,           ///< "svc.mutate.ok" (mutations applied/replayed)
+  kSvcMutateRejected,     ///< "svc.mutate.rejected" (invalid edit batches)
+  kSvcSolveWarm,          ///< "svc.solve.warm" (lineage warm-start solves)
+  kSvcSolveWarmFallback,  ///< "svc.solve.warm_fallback" (guardrail -> cold)
+  kSvcGraphStoreEvictions,  ///< "svc.graphstore.evictions"
+  kSvcLineageRestored,    ///< "svc.lineage.restored" (edges from journal)
   kCount
 };
 inline constexpr std::size_t kNumCounters =
@@ -109,6 +116,8 @@ enum class Gauge : std::uint8_t {
   kSvcBatchSize,       ///< "svc.batch.size" (requests in the last batch)
   kSvcConnections,     ///< "svc.connections" (open listener connections)
   kSvcBrownoutLevel,   ///< "svc.brownout_level" (overload ladder rung, 0-3)
+  kSvcGraphStoreBytes,    ///< "svc.graphstore.bytes" (resident graph bytes)
+  kSvcGraphStoreEntries,  ///< "svc.graphstore.entries" (resident graphs)
   kCount
 };
 inline constexpr std::size_t kNumGauges =

@@ -1,5 +1,8 @@
 #include "gbis/svc/cache.hpp"
 
+#include <algorithm>
+#include <iterator>
+
 #include "gbis/svc/fingerprint.hpp"
 
 namespace gbis {
@@ -46,9 +49,23 @@ void SvcResultCache::insert(const SvcCacheKey& key, SvcCacheValue value) {
   }
   lru_.push_front(Entry{key, std::move(value), bytes});
   map_.emplace(key, lru_.begin());
+  by_fingerprint_[key.fingerprint].push_back(lru_.begin());
   stats_.bytes += bytes;
   stats_.entries = map_.size();
   evict_until_fits();
+}
+
+const SvcCacheValue* SvcResultCache::best_for_fingerprint(
+    std::uint64_t fingerprint) const {
+  const auto it = by_fingerprint_.find(fingerprint);
+  if (it == by_fingerprint_.end()) return nullptr;
+  const SvcCacheValue* best = nullptr;
+  for (const auto& entry_it : it->second) {
+    const SvcCacheValue& value = entry_it->value;
+    if (value.sides.empty()) continue;
+    if (best == nullptr || value.cut < best->cut) best = &value;
+  }
+  return best;
 }
 
 void SvcResultCache::evict_until_fits() {
@@ -56,6 +73,14 @@ void SvcResultCache::evict_until_fits() {
     const Entry& victim = lru_.back();
     stats_.bytes -= victim.bytes;
     map_.erase(victim.key);
+    const auto fp_it = by_fingerprint_.find(victim.key.fingerprint);
+    if (fp_it != by_fingerprint_.end()) {
+      auto& entries = fp_it->second;
+      const auto victim_it = std::prev(lru_.end());
+      entries.erase(std::remove(entries.begin(), entries.end(), victim_it),
+                    entries.end());
+      if (entries.empty()) by_fingerprint_.erase(fp_it);
+    }
     lru_.pop_back();
     ++stats_.evictions;
   }

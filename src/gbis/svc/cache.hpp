@@ -56,6 +56,10 @@ struct SvcCacheValue {
   std::string method;  ///< winning method's display name
   std::uint32_t trials_ok = 0;
   std::uint32_t trials_degraded = 0;  ///< failed + timed out + skipped
+  /// Result came from a lineage warm start (dyn/warm). Part of the
+  /// cached payload so a repeat of the request replays the same
+  /// `"warm":true` byte for byte.
+  bool warm = false;
   std::vector<std::uint8_t> sides;    ///< winning side assignment
 };
 
@@ -84,6 +88,14 @@ class SvcResultCache {
   /// admitted alone: a value larger than the whole budget is dropped.
   void insert(const SvcCacheKey& key, SvcCacheValue value);
 
+  /// Deterministic warm-start donor: among resident entries for
+  /// `fingerprint` that carry a side assignment, the one with the
+  /// smallest cut (ties: earliest inserted). No promotion, no
+  /// hit/miss counting — this is lineage machinery peeking, not a
+  /// request identity hit. nullptr when none qualifies; the pointer is
+  /// valid until the next insert().
+  const SvcCacheValue* best_for_fingerprint(std::uint64_t fingerprint) const;
+
   const SvcCacheStats& stats() const { return stats_; }
   std::uint64_t max_bytes() const { return max_bytes_; }
 
@@ -111,6 +123,10 @@ class SvcResultCache {
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<SvcCacheKey, std::list<Entry>::iterator,
                      SvcCacheKeyHash> map_;
+  /// Per-fingerprint entry index in insertion order (dispatch-thread
+  /// order, hence deterministic) — what best_for_fingerprint scans.
+  std::unordered_map<std::uint64_t, std::vector<std::list<Entry>::iterator>>
+      by_fingerprint_;
   SvcCacheStats stats_;
 };
 

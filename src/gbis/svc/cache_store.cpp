@@ -10,27 +10,6 @@
 
 namespace gbis {
 
-namespace {
-
-/// Strict 16-lower-hex-digit parse (the to_hex16 wire format). The
-/// lenient strtoull would accept "0x...", signs, and short strings —
-/// all of which should fail a CRC-guarded journal line instead.
-bool parse_hex16(const std::string& text, std::uint64_t& out) {
-  if (text.size() != 16) return false;
-  std::uint64_t value = 0;
-  for (const char c : text) {
-    std::uint64_t digit = 0;
-    if (c >= '0' && c <= '9') digit = static_cast<std::uint64_t>(c - '0');
-    else if (c >= 'a' && c <= 'f') digit = static_cast<std::uint64_t>(c - 'a' + 10);
-    else return false;
-    value = (value << 4) | digit;
-  }
-  out = value;
-  return true;
-}
-
-}  // namespace
-
 std::uint64_t SvcCacheStore::text_crc(const std::string& text) {
   Hash64 h;
   std::uint64_t word = 0;
@@ -51,7 +30,7 @@ std::uint64_t SvcCacheStore::text_crc(const std::string& text) {
 }
 
 std::string SvcCacheStore::header_line() {
-  return "{\"type\":\"svc_cache\",\"version\":1}";
+  return "{\"type\":\"svc_cache\",\"version\":2}";
 }
 
 std::string SvcCacheStore::encode_entry(const SvcCacheKey& key,
@@ -66,6 +45,8 @@ std::string SvcCacheStore::encode_entry(const SvcCacheKey& key,
   append_json_string(line, value.method);
   line += ",\"trials_ok\":" + std::to_string(value.trials_ok);
   line += ",\"degraded\":" + std::to_string(value.trials_degraded);
+  // Emitted only when set: cold entries keep their version-1 bytes.
+  if (value.warm) line += ",\"warm\":1";
   std::string sides;
   sides.reserve(value.sides.size());
   for (const std::uint8_t side : value.sides) {
@@ -121,6 +102,12 @@ bool SvcCacheStore::decode_entry(const std::string& line, SvcCacheKey& key,
   value.cut = cut;
   value.trials_ok = static_cast<std::uint32_t>(trials_ok);
   value.trials_degraded = static_cast<std::uint32_t>(degraded);
+  value.warm = false;
+  if (json_find_value(line, "warm") != std::string::npos) {
+    std::uint64_t warm = 0;
+    if (!json_parse_u64(line, "warm", warm) || warm != 1) return false;
+    value.warm = true;
+  }
 
   std::string sides;
   if (!json_parse_string(line, "sides", sides)) return false;
@@ -133,11 +120,78 @@ bool SvcCacheStore::decode_entry(const std::string& line, SvcCacheKey& key,
   return true;
 }
 
+std::string SvcCacheStore::encode_lineage(const LineageRecord& record) {
+  std::string line = "{\"lineage\":1";
+  line += ",\"child\":\"" + to_hex16(record.child) + "\"";
+  line += ",\"parent\":\"" + to_hex16(record.parent) + "\"";
+  line += ",\"batch\":\"" + to_hex16(record.batch_hash) + "\"";
+  line += ",\"adds\":" + std::to_string(record.adds);
+  line += ",\"dels\":" + std::to_string(record.dels);
+  line += ",\"vadds\":" + std::to_string(record.vadds);
+  line += ",\"vdels\":" + std::to_string(record.vdels);
+  line += ",\"edit\":" + std::to_string(record.edit_distance);
+  line += ",\"depth\":" + std::to_string(record.depth);
+  line += ",\"pv\":" + std::to_string(record.parent_vertices);
+  line += ",\"vertices\":" + std::to_string(record.child_vertices);
+  line += ",\"edges\":" + std::to_string(record.child_edges);
+  line += ",\"crc\":\"" + to_hex16(text_crc(line)) + "\"}";
+  return line;
+}
+
+bool SvcCacheStore::is_lineage_line(const std::string& line) {
+  return json_find_value(line, "lineage") != std::string::npos;
+}
+
+bool SvcCacheStore::decode_lineage(const std::string& line,
+                                   LineageRecord& record) {
+  if (!json_object_valid(line)) return false;
+  const std::size_t crc_pos = line.rfind(",\"crc\":\"");
+  if (crc_pos == std::string::npos) return false;
+  std::string crc_text;
+  std::uint64_t crc = 0;
+  if (!json_parse_string(line, "crc", crc_text) ||
+      !parse_hex16(crc_text, crc) ||
+      crc != text_crc(line.substr(0, crc_pos))) {
+    return false;
+  }
+  std::uint64_t tag = 0;
+  if (!json_parse_u64(line, "lineage", tag) || tag != 1) return false;
+  std::string hex;
+  if (!json_parse_string(line, "child", hex) ||
+      !parse_hex16(hex, record.child) ||
+      !json_parse_string(line, "parent", hex) ||
+      !parse_hex16(hex, record.parent) ||
+      !json_parse_string(line, "batch", hex) ||
+      !parse_hex16(hex, record.batch_hash)) {
+    return false;
+  }
+  std::uint64_t depth = 0;
+  if (!json_parse_u64(line, "adds", record.adds) ||
+      !json_parse_u64(line, "dels", record.dels) ||
+      !json_parse_u64(line, "vadds", record.vadds) ||
+      !json_parse_u64(line, "vdels", record.vdels) ||
+      !json_parse_u64(line, "edit", record.edit_distance) ||
+      !json_parse_u64(line, "depth", depth) || depth == 0 ||
+      depth > 0xffffffffull ||
+      !json_parse_u64(line, "pv", record.parent_vertices) ||
+      !json_parse_u64(line, "vertices", record.child_vertices) ||
+      !json_parse_u64(line, "edges", record.child_edges)) {
+    return false;
+  }
+  record.depth = static_cast<std::uint32_t>(depth);
+  // Maps are never journaled: the restored edge answers identity
+  // queries but cannot project a partition (dyn/lineage file comment).
+  record.map.clear();
+  return true;
+}
+
 bool SvcCacheStore::open_and_restore(SvcResultCache& cache,
+                                     SvcLineage* lineage,
                                      SvcCacheRestore& report) {
   report = SvcCacheRestore{};
   bool tail_damaged = false;
   std::uint64_t valid_entries = 0;
+  std::uint64_t lineage_lines = 0;
   {
     std::ifstream in(path_);
     if (in.is_open()) {
@@ -151,9 +205,12 @@ bool SvcCacheStore::open_and_restore(SvcResultCache& cache,
           std::uint64_t version = 0;
           if (!json_object_valid(line) ||
               !json_parse_string(line, "type", type) || type != "svc_cache" ||
-              !json_parse_u64(line, "version", version) || version != 1) {
+              !json_parse_u64(line, "version", version) ||
+              (version != 1 && version != 2)) {
             // Foreign or future-version file: restore nothing, rewrite
-            // fresh below. Every remaining line is "dropped".
+            // fresh below. Every remaining line is "dropped". Version 1
+            // is a strict subset of version 2 (no lineage lines, no
+            // "warm" fields), so both replay through the same loop.
             tail_damaged = true;
             stopped = true;
             ++report.lines_dropped;
@@ -163,6 +220,20 @@ bool SvcCacheStore::open_and_restore(SvcResultCache& cache,
         }
         if (stopped) {
           ++report.lines_dropped;
+          continue;
+        }
+        if (is_lineage_line(line)) {
+          LineageRecord record;
+          if (!decode_lineage(line, record)) {
+            tail_damaged = true;
+            stopped = true;
+            ++report.lines_dropped;
+            continue;
+          }
+          ++lineage_lines;
+          if (lineage != nullptr && lineage->insert(std::move(record)).second) {
+            ++report.lineage_restored;
+          }
           continue;
         }
         SvcCacheKey key;
@@ -189,11 +260,14 @@ bool SvcCacheStore::open_and_restore(SvcResultCache& cache,
   }
 
   const bool missing = !std::filesystem::exists(path_);
-  if (missing || tail_damaged || valid_entries > cache.stats().entries) {
+  const bool lineage_dead_weight =
+      lineage != nullptr ? lineage_lines > lineage->size() : lineage_lines > 0;
+  if (missing || tail_damaged || valid_entries > cache.stats().entries ||
+      lineage_dead_weight) {
     // Fresh file, damaged tail, or dead weight (entries evicted during
-    // replay because the byte budget shrank, or duplicates): rewrite
-    // the canonical snapshot.
-    const std::uint64_t written = rewrite(cache);
+    // replay because the byte budget shrank, duplicates, or lineage
+    // lines the bounded store refused): rewrite the canonical snapshot.
+    const std::uint64_t written = rewrite(cache, lineage);
     if (!ok_) return false;
     report.bytes_written = written;
     report.compacted = !missing;
@@ -204,7 +278,7 @@ bool SvcCacheStore::open_and_restore(SvcResultCache& cache,
     ok_ = false;
     return false;
   }
-  file_entries_ = valid_entries;
+  file_entries_ = valid_entries + lineage_lines;
   return true;
 }
 
@@ -222,7 +296,21 @@ std::uint64_t SvcCacheStore::append(const SvcCacheKey& key,
   return line.size() + 1;
 }
 
-std::uint64_t SvcCacheStore::rewrite(const SvcResultCache& cache) {
+std::uint64_t SvcCacheStore::append_lineage(const LineageRecord& record) {
+  if (!ok_ || !out_.is_open()) return 0;
+  const std::string line = encode_lineage(record);
+  out_ << line << '\n';
+  out_.flush();
+  if (!out_) {
+    ok_ = false;
+    return 0;
+  }
+  ++file_entries_;
+  return line.size() + 1;
+}
+
+std::uint64_t SvcCacheStore::rewrite(const SvcResultCache& cache,
+                                     const SvcLineage* lineage) {
   if (out_.is_open()) out_.close();
   const std::string tmp = path_ + ".tmp";
   std::uint64_t written = 0;
@@ -236,6 +324,16 @@ std::uint64_t SvcCacheStore::rewrite(const SvcResultCache& cache) {
     out << header << '\n';
     written += header.size() + 1;
     std::uint64_t entries = 0;
+    if (lineage != nullptr) {
+      // Lineage first, in insertion order: parents precede children,
+      // so a restore replays the DAG without forward references.
+      lineage->visit([&out, &written, &entries](const LineageRecord& record) {
+        const std::string line = encode_lineage(record);
+        out << line << '\n';
+        written += line.size() + 1;
+        ++entries;
+      });
+    }
     cache.visit_lru_to_mru(
         [&out, &written, &entries](const SvcCacheKey& key,
                                    const SvcCacheValue& value) {
@@ -265,13 +363,15 @@ std::uint64_t SvcCacheStore::rewrite(const SvcResultCache& cache) {
   return written;
 }
 
-std::uint64_t SvcCacheStore::maybe_compact(const SvcResultCache& cache) {
+std::uint64_t SvcCacheStore::maybe_compact(const SvcResultCache& cache,
+                                           const SvcLineage* lineage) {
   if (!ok_) return 0;
   // Dead weight bound: the journal may hold up to 4x the resident
-  // entries (plus slack so tiny caches don't thrash) before a rewrite.
-  const std::uint64_t live = cache.stats().entries;
+  // lines (plus slack so tiny caches don't thrash) before a rewrite.
+  const std::uint64_t live =
+      cache.stats().entries + (lineage != nullptr ? lineage->size() : 0);
   if (file_entries_ <= 4 * live + 64) return 0;
-  return rewrite(cache);
+  return rewrite(cache, lineage);
 }
 
 }  // namespace gbis

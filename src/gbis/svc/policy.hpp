@@ -61,6 +61,10 @@ struct PolicyResult {
   /// scheduler maps it to the stable "internal: out of memory" client
   /// reason (full text stays on stderr + the access log).
   bool oom = false;
+  /// True when this result came from a lineage warm start (dyn/warm)
+  /// rather than the cold policy — set by the scheduler's warm path,
+  /// never by run_policy itself.
+  bool warm = false;
   std::vector<std::uint8_t> best_sides;  ///< filled when keep_sides
 };
 

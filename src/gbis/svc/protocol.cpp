@@ -6,6 +6,80 @@
 
 namespace gbis {
 
+namespace {
+
+/// Parses the graph reference shared by solve ("graph") and mutate
+/// ("parent"): a to_hex16 fingerprint string. False only on a
+/// present-but-invalid value; absence leaves `out` untouched.
+bool parse_fingerprint_field(const std::string& line, const std::string& key,
+                             SvcRequest& out, std::string& error) {
+  if (json_find_value(line, key) == std::string::npos) return true;
+  std::string hex;
+  if (!json_parse_string(line, key, hex) ||
+      !parse_hex16(hex, out.fingerprint)) {
+    error = "parse: \"" + key + "\" must be a 16-digit hex fingerprint";
+    return false;
+  }
+  out.has_fingerprint = true;
+  return true;
+}
+
+/// Parses one optional edit array. False on a present-but-invalid
+/// value (wrong type, bad element, over the length cap).
+bool parse_edit_array(const std::string& line, const std::string& key,
+                      std::vector<std::uint64_t>& out, std::string& error) {
+  if (json_find_value(line, key) == std::string::npos) return true;
+  if (!json_parse_u64_array(line, key, out, kMaxEditElements)) {
+    error = "parse: \"" + key + "\" must be an array of at most " +
+            std::to_string(kMaxEditElements) + " non-negative integers";
+    return false;
+  }
+  return true;
+}
+
+bool parse_mutate_fields(const std::string& line, SvcRequest& out,
+                         std::string& error) {
+  const int payloads = (out.path.empty() ? 0 : 1) +
+                       (out.inline_graph.empty() ? 0 : 1) +
+                       (out.has_fingerprint ? 1 : 0);
+  if (payloads != 1) {
+    error = payloads == 0
+                ? "parse: mutate needs a parent graph (\"parent\", \"path\" "
+                  "or \"inline\")"
+                : "parse: mutate parent references are mutually exclusive";
+    return false;
+  }
+  if (!parse_edit_array(line, "add_edges", out.batch.add_edges, error) ||
+      !parse_edit_array(line, "del_edges", out.batch.del_edges, error) ||
+      !parse_edit_array(line, "del_vertices", out.batch.del_vertices, error)) {
+    return false;
+  }
+  if (out.batch.add_edges.size() % 2 != 0 ||
+      out.batch.del_edges.size() % 2 != 0) {
+    error = "parse: edge arrays must hold (u,v) pairs";
+    return false;
+  }
+  if (json_find_value(line, "add_vertices") != std::string::npos) {
+    std::uint64_t count = 0;
+    if (!json_parse_u64(line, "add_vertices", count) ||
+        count > 0xFFFFFFFFull) {
+      error = "parse: add_vertices out of range";
+      return false;
+    }
+    out.batch.add_vertices = count;
+  }
+  // A no-op mutate would mint a fresh lineage edge aliasing the parent
+  // fingerprint; reject it at the parse layer so it can never reach
+  // the mutation machinery.
+  if (out.batch.empty()) {
+    error = "parse: empty edit batch";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 bool parse_request(const std::string& line, SvcRequest& out,
                    std::string& error) {
   out = SvcRequest{};
@@ -33,6 +107,8 @@ bool parse_request(const std::string& line, SvcRequest& out,
       out.op = SvcRequest::Op::kPing;
     } else if (op == "stats") {
       out.op = SvcRequest::Op::kStats;
+    } else if (op == "mutate") {
+      out.op = SvcRequest::Op::kMutate;
     } else {
       error = "parse: unknown op \"" + op + "\"";
       return false;
@@ -45,14 +121,26 @@ bool parse_request(const std::string& line, SvcRequest& out,
       return false;
     }
   }
-  if (out.op != SvcRequest::Op::kSolve) return true;
+  if (out.op == SvcRequest::Op::kPing || out.op == SvcRequest::Op::kStats) {
+    return true;
+  }
 
   json_parse_string(line, "path", out.path);
   json_parse_string(line, "inline", out.inline_graph);
-  if (out.path.empty() == out.inline_graph.empty()) {
-    error = out.path.empty()
-                ? "parse: solve needs a graph payload (\"path\" or \"inline\")"
-                : "parse: \"path\" and \"inline\" are mutually exclusive";
+  if (out.op == SvcRequest::Op::kMutate) {
+    return parse_fingerprint_field(line, "parent", out, error) &&
+           parse_mutate_fields(line, out, error);
+  }
+
+  if (!parse_fingerprint_field(line, "graph", out, error)) return false;
+  const int payloads = (out.path.empty() ? 0 : 1) +
+                       (out.inline_graph.empty() ? 0 : 1) +
+                       (out.has_fingerprint ? 1 : 0);
+  if (payloads != 1) {
+    error = payloads == 0
+                ? "parse: solve needs a graph payload (\"path\", \"inline\" "
+                  "or \"graph\")"
+                : "parse: graph payloads are mutually exclusive";
     return false;
   }
   json_parse_string(line, "method", out.method);
@@ -112,6 +200,17 @@ std::string encode_response(const SvcResponse& response) {
     line += ",\"trials_ok\":" + std::to_string(response.trials_ok);
     line += ",\"degraded\":" + std::to_string(response.degraded);
     line += ",\"fingerprint\":\"" + to_hex16(response.fingerprint) + "\"";
+    // Emitted only when true: cold solve lines predate the field and
+    // must stay byte-identical.
+    if (response.warm) line += ",\"warm\":true";
+  }
+  if (response.has_mutate && response.ok) {
+    line += ",\"fingerprint\":\"" + to_hex16(response.fingerprint) + "\"";
+    line += ",\"parent\":\"" + to_hex16(response.parent) + "\"";
+    line += ",\"vertices\":" + std::to_string(response.vertices);
+    line += ",\"edges\":" + std::to_string(response.edges);
+    line += ",\"edit_distance\":" + std::to_string(response.edit_distance);
+    line += ",\"depth\":" + std::to_string(response.depth);
   }
   for (const auto& [key, value] : response.stats) {
     line += ",\"" + key + "\":" + std::to_string(value);

@@ -9,11 +9,15 @@
 //   {"id":"r1","op":"solve","path":"g.graph","method":"auto",
 //    "budget":4,"deadline_s":0.5,"seed":7,"want_sides":true}
 //   {"op":"solve","inline":"2 1\n0 1\n","method":"kl"}
+//   {"op":"solve","graph":"<hex16 fingerprint>"}
+//   {"op":"mutate","parent":"<hex16>","add_edges":[0,2],"del_edges":[],
+//    "add_vertices":1,"del_vertices":[3]}
 //   {"id":"p","op":"ping"}      {"id":"s","op":"stats"}
 //
 // Response: `"ok":true` carries the solve payload (or the ping/stats
 // echo); `"ok":false` carries `"error"` with a stable reason prefix —
-// "parse:", "io:", "rejected:", "deadline", "shutdown", "internal:".
+// "parse:", "io:", "rejected:", "mutate:", "deadline", "shutdown",
+// "internal:".
 // Responses deliberately contain no timing fields: a response stream
 // is a pure function of the request stream (plus the service seed), so
 // replays are byte-identical at any thread count.
@@ -24,18 +28,32 @@
 #include <utility>
 #include <vector>
 
+#include "gbis/dyn/mutation.hpp"
 #include "gbis/graph/graph.hpp"
 
 namespace gbis {
 
+/// Per-array element cap on mutate edit lists — a parse-layer bound so
+/// a hostile line cannot stage a multi-gigabyte vector before the
+/// mutation layer ever sees it.
+inline constexpr std::size_t kMaxEditElements = 1u << 20;
+
 /// One parsed request line.
 struct SvcRequest {
-  enum class Op : std::uint8_t { kSolve = 0, kPing, kStats };
+  enum class Op : std::uint8_t { kSolve = 0, kPing, kStats, kMutate };
 
   std::string id;       ///< echoed verbatim in the response; may be ""
   Op op = Op::kSolve;
   std::string path;          ///< graph file payload (edge-list / .metis)
   std::string inline_graph;  ///< inline edge-list payload
+  /// Graph reference by canonical fingerprint: the solve target
+  /// ("graph") or the mutate parent ("parent"). Valid only with
+  /// has_fingerprint; mutually exclusive with path/inline.
+  std::uint64_t fingerprint = 0;
+  bool has_fingerprint = false;
+  /// Mutate payload (op == kMutate only). Never empty after a
+  /// successful parse — an empty edit batch is a parse error.
+  MutationBatch batch;
   std::string method = "auto";  ///< "auto" or a method_from_name() name
   std::uint32_t budget = 0;     ///< trials; 0 = service default
   double deadline_seconds = -1;  ///< request deadline; < 0 = default
@@ -74,7 +92,20 @@ struct SvcResponse {
   std::uint32_t trials_ok = 0;
   std::uint32_t degraded = 0;  ///< failed + timed out + skipped trials
   std::uint64_t fingerprint = 0;
+  /// Solve payload: result came from a lineage warm start (projected
+  /// ancestor partition + bounded KL), not the cold portfolio. Carried
+  /// through the cache so repeats stay byte-identical.
+  bool warm = false;
   std::string sides;  ///< "0"/"1" per vertex; only when requested
+
+  /// Mutate payload (ok && has_mutate): the child graph's identity and
+  /// its lineage edge. `fingerprint` above holds the child fingerprint.
+  bool has_mutate = false;
+  std::uint64_t parent = 0;
+  std::uint64_t vertices = 0;       ///< child |V|
+  std::uint64_t edges = 0;          ///< child |E|
+  std::uint64_t edit_distance = 0;  ///< this batch's edit distance
+  std::uint32_t depth = 0;          ///< lineage chain depth of the child
 
   /// Ordered key/value payload of a stats response.
   std::vector<std::pair<std::string, std::uint64_t>> stats;

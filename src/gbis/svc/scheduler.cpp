@@ -7,13 +7,17 @@
 #include <iostream>
 #include <new>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "gbis/dyn/mutation.hpp"
+#include "gbis/dyn/warm.hpp"
 #include "gbis/io/edge_list.hpp"
 #include "gbis/io/metis.hpp"
 #include "gbis/obs/prom_export.hpp"
 #include "gbis/svc/fingerprint.hpp"
+#include "gbis/util/json_lite.hpp"
 
 namespace gbis {
 
@@ -36,6 +40,7 @@ const char* op_name(SvcRequest::Op op) {
     case SvcRequest::Op::kSolve: return "solve";
     case SvcRequest::Op::kPing: return "ping";
     case SvcRequest::Op::kStats: return "stats";
+    case SvcRequest::Op::kMutate: return "mutate";
   }
   return "solve";
 }
@@ -105,6 +110,25 @@ SvcOptions svc_options_from_env(SvcOptions base) {
       base.brownout_window = static_cast<std::uint32_t>(window);
     }
   }
+  if (const char* v = std::getenv("GBIS_SVC_GRAPH_MB"); v != nullptr) {
+    char* end = nullptr;
+    const unsigned long long mb = std::strtoull(v, &end, 10);
+    if (*v == '\0' || end == nullptr || *end != '\0') {
+      warn_rejected("GBIS_SVC_GRAPH_MB", v);
+    } else {
+      base.graph_store_bytes = static_cast<std::uint64_t>(mb) << 20;
+    }
+  }
+  if (const char* v = std::getenv("GBIS_SVC_WARM"); v != nullptr) {
+    const std::string text(v);
+    if (text == "0") {
+      base.warm = false;
+    } else if (text == "1") {
+      base.warm = true;
+    } else {
+      warn_rejected("GBIS_SVC_WARM", v);
+    }
+  }
   return base;
 }
 
@@ -121,12 +145,22 @@ struct Service::Pending {
   PolicySpec spec;
   std::uint64_t seed = 0;
 
-  Graph graph;            ///< loaded payload; kept only for cold leaders
+  /// Loaded/referenced payload; shared with the graph store so an
+  /// eviction mid-batch cannot free a graph a worker is solving.
+  std::shared_ptr<const Graph> graph;
   bool cold = false;      ///< leader of a cold solve
   std::size_t cold_index = 0;   ///< slot in the batch's cold-job array
   bool coalesced = false;       ///< follower of a same-batch leader
   std::size_t leader_cold_index = 0;
   std::uint64_t solve_ordinal = 0;  ///< service-lifetime cold-solve ordinal
+
+  // Warm-start plan (dyn/warm), resolved in phase 1 for leaders only;
+  // the worker consumes warm_seed and falls back to the cold policy
+  // when the quality guardrail trips.
+  bool warm_start = false;
+  std::vector<std::uint8_t> warm_seed;  ///< projected sides (2 = unplaced)
+  Weight warm_parent_cut = 0;           ///< donor partition's cut
+  std::uint64_t warm_edits = 0;         ///< cumulative chain edit distance
   /// Raw internal-failure text (exception what()); clients get the
   /// stable "internal: ..." reason, this goes to stderr + access log.
   std::string internal_detail;
@@ -145,7 +179,10 @@ Service::~Service() = default;
 Service::Service(SvcOptions options)
     : options_(options),
       pool_(ThreadPool::resolve_threads(options.threads)),
-      cache_(options.cache_bytes) {
+      cache_(options.cache_bytes),
+      graph_store_(options.graph_store_bytes),
+      lineage_(std::max<std::uint32_t>(options.lineage_max_depth, 1),
+               std::max<std::uint64_t>(options.lineage_max_records, 1)) {
   if (options_.batch_size == 0) options_.batch_size = 1;
   if (options_.max_queue == 0) options_.max_queue = 1;
   if (options_.default_budget == 0) options_.default_budget = 1;
@@ -160,10 +197,12 @@ Service::Service(SvcOptions options)
     // file compacted) — a crash mid-append must never poison a start.
     store_ = std::make_unique<SvcCacheStore>(options_.cache_file);
     SvcCacheRestore report;
-    store_open_ok_ = store_->open_and_restore(cache_, report);
+    store_open_ok_ = store_->open_and_restore(cache_, &lineage_, report);
     if (store_open_ok_) {
       metrics_.counters[static_cast<std::size_t>(Counter::kSvcCacheRestored)] +=
           report.entries_restored;
+      metrics_.counters[static_cast<std::size_t>(
+          Counter::kSvcLineageRestored)] += report.lineage_restored;
       metrics_.counters[static_cast<std::size_t>(
           Counter::kSvcCacheJournalBytes)] += report.bytes_written;
       if (report.compacted) {
@@ -313,27 +352,37 @@ void Service::prepare(
   }
 
   // Load the graph payload. Path errors are I/O; inline payloads that
-  // fail to parse are protocol errors.
-  try {
-    if (!req.path.empty()) {
-      entry.graph = ends_with(req.path, ".metis")
-                        ? read_metis_file(req.path)
-                        : read_edge_list_file(req.path);
-    } else {
-      std::istringstream in(req.inline_graph);
-      entry.graph = read_edge_list(in);
+  // fail to parse are protocol errors. A fingerprint reference defers
+  // materialization until after the cache lookup — the key is
+  // computable from the reference alone, so a pre-crash repeat can
+  // answer as a hit even when the graph itself is gone.
+  if (req.has_fingerprint) {
+    entry.key.fingerprint = req.fingerprint;
+  } else {
+    try {
+      Graph loaded;
+      if (!req.path.empty()) {
+        loaded = ends_with(req.path, ".metis") ? read_metis_file(req.path)
+                                               : read_edge_list_file(req.path);
+      } else {
+        std::istringstream in(req.inline_graph);
+        loaded = read_edge_list(in);
+      }
+      entry.graph = std::make_shared<const Graph>(std::move(loaded));
+    } catch (const std::exception& error) {
+      entry.response.ok = false;
+      entry.response.error =
+          (req.path.empty() ? std::string("parse: inline graph: ")
+                            : std::string("io: ")) +
+          error.what();
+      entry.done = true;
+      return;
     }
-  } catch (const std::exception& error) {
-    entry.response.ok = false;
-    entry.response.error =
-        (req.path.empty() ? std::string("parse: inline graph: ")
-                          : std::string("io: ")) +
-        error.what();
-    entry.done = true;
-    return;
+    entry.key.fingerprint = graph_fingerprint(*entry.graph);
+    // Every materialized graph feeds the store, so later requests can
+    // name it by fingerprint (mutate parents, re-solves).
+    graph_store_.insert(entry.key.fingerprint, entry.graph);
   }
-
-  entry.key.fingerprint = graph_fingerprint(entry.graph);
   entry.key.method_key =
       entry.spec.portfolio
           ? SvcCacheKey::kPortfolio
@@ -360,14 +409,195 @@ void Service::prepare(
     ++metrics_.counters[static_cast<std::size_t>(Counter::kSvcCoalesced)];
     entry.coalesced = true;
     entry.leader_cold_index = it->second;
-    entry.graph = Graph();  // the leader's copy is the one that solves
+    entry.graph.reset();  // the leader's copy is the one that solves
     return;
+  }
+  // A fingerprint-referenced solve needs the graph materialized now
+  // (a miss past the cache means it must actually be solved).
+  if (entry.graph == nullptr) {
+    entry.graph = graph_store_.lookup(entry.key.fingerprint);
+    if (entry.graph == nullptr) {
+      entry.response.ok = false;
+      entry.response.error =
+          "io: unknown graph \"" + to_hex16(entry.key.fingerprint) + "\"";
+      entry.done = true;
+      return;
+    }
   }
   entry.cold = true;
   entry.cold_index = cold_queue_index.size();
   entry.solve_ordinal = cold_ordinal_++;
   leaders.emplace(entry.key, entry.cold_index);
   cold_queue_index.push_back(queue_index);
+  if (options_.warm) plan_warm(entry);
+}
+
+void Service::plan_warm(Pending& entry) {
+  // Guardrail: a chain whose cumulative edits rival the graph itself
+  // makes the ancestor partition worthless as a seed.
+  const std::uint64_t max_edits = static_cast<std::uint64_t>(
+      options_.warm_edit_ratio *
+      static_cast<double>(entry.graph->num_edges() + 1));
+  WarmPlan plan;
+  if (!plan_warm_start(
+          lineage_, entry.key.fingerprint, max_edits,
+          [this](std::uint64_t fp) {
+            return cache_.best_for_fingerprint(fp) != nullptr;
+          },
+          plan)) {
+    return;
+  }
+  const SvcCacheValue* donor = cache_.best_for_fingerprint(plan.ancestor);
+  std::vector<std::uint8_t> seeded;
+  if (donor == nullptr || !project_sides(plan, donor->sides, seeded) ||
+      seeded.size() != entry.graph->num_vertices()) {
+    return;  // stale plan (shape drift) — run cold
+  }
+  entry.warm_start = true;
+  entry.warm_seed = std::move(seeded);
+  entry.warm_parent_cut = donor->cut;
+  entry.warm_edits = plan.cumulative_edits;
+}
+
+void Service::prepare_mutate(Pending& entry) {
+  const SvcRequest& req = entry.request;
+  entry.response.id = req.id;
+  const auto reject = [this, &entry](std::string reason) {
+    ++metrics_.counters[static_cast<std::size_t>(Counter::kSvcMutateRejected)];
+    entry.response.ok = false;
+    entry.response.error = std::move(reason);
+    entry.done = true;
+  };
+  const auto answer = [this, &entry](const LineageRecord& record) {
+    ++metrics_.counters[static_cast<std::size_t>(Counter::kSvcMutateOk)];
+    entry.response.ok = true;
+    entry.response.op = "mutate";
+    entry.response.has_mutate = true;
+    entry.response.fingerprint = record.child;
+    entry.response.parent = record.parent;
+    entry.response.vertices = record.child_vertices;
+    entry.response.edges = record.child_edges;
+    entry.response.edit_distance = record.edit_distance;
+    entry.response.depth = record.depth;
+    // The child identity in the access log.
+    entry.key.fingerprint = record.child;
+    entry.has_key = true;
+    entry.done = true;
+  };
+
+  // Resolve the parent graph and its fingerprint.
+  std::shared_ptr<const Graph> parent;
+  std::uint64_t parent_fp = 0;
+  if (req.has_fingerprint) {
+    parent_fp = req.fingerprint;
+    parent = graph_store_.lookup(parent_fp);  // may miss; see below
+  } else {
+    try {
+      Graph loaded;
+      if (!req.path.empty()) {
+        loaded = ends_with(req.path, ".metis") ? read_metis_file(req.path)
+                                               : read_edge_list_file(req.path);
+      } else {
+        std::istringstream in(req.inline_graph);
+        loaded = read_edge_list(in);
+      }
+      parent = std::make_shared<const Graph>(std::move(loaded));
+    } catch (const std::exception& error) {
+      reject((req.path.empty() ? std::string("parse: inline graph: ")
+                               : std::string("io: ")) +
+             error.what());
+      return;
+    }
+    parent_fp = graph_fingerprint(*parent);
+    graph_store_.insert(parent_fp, parent);
+  }
+
+  const std::uint64_t batch_hash = req.batch.hash();
+  const LineageRecord* known = lineage_.by_batch(parent_fp, batch_hash);
+  if (parent == nullptr) {
+    // Graphs are evictable and never journaled; the lineage record is
+    // the durable identity. A known derivation answers without either
+    // graph — which is exactly how a warm restart replays a pre-crash
+    // mutation chain byte-identically.
+    if (known != nullptr) {
+      answer(*known);
+      return;
+    }
+    reject("io: unknown graph \"" + to_hex16(parent_fp) + "\"");
+    return;
+  }
+  if (known != nullptr && !known->map.empty() &&
+      graph_store_.contains(known->child)) {
+    // Fully-materialized repeat: nothing to recompute.
+    answer(*known);
+    return;
+  }
+  if (known == nullptr) {
+    // Only a *new* derivation grows the lineage; repeats (known !=
+    // nullptr) re-apply solely to heal maps / re-materialize the child.
+    const std::uint32_t parent_depth = lineage_.depth_of(parent_fp);
+    if (parent_depth >= lineage_.max_depth()) {
+      reject("mutate: lineage depth limit (" +
+             std::to_string(lineage_.max_depth()) + ") reached");
+      return;
+    }
+    if (lineage_.full()) {
+      reject("mutate: lineage store full (" +
+             std::to_string(lineage_.size()) + " records)");
+      return;
+    }
+  }
+
+  MutationResult mutated;
+  try {
+    mutated = apply_mutation(*parent, req.batch);
+  } catch (const std::invalid_argument& error) {
+    reject(std::string("mutate: ") + error.what());
+    return;
+  } catch (const std::bad_alloc&) {
+    reject("internal: out of memory");
+    return;
+  }
+  const std::uint64_t child_fp = graph_fingerprint(mutated.child);
+  LineageRecord record;
+  record.parent = parent_fp;
+  record.child = child_fp;
+  record.batch_hash = batch_hash;
+  record.adds = req.batch.add_edges.size() / 2;
+  record.dels = req.batch.del_edges.size() / 2;
+  record.vadds = req.batch.add_vertices;
+  record.vdels = req.batch.del_vertices.size();
+  record.edit_distance = req.batch.edit_distance();
+  record.depth = lineage_.depth_of(parent_fp) + 1;
+  record.parent_vertices = parent->num_vertices();
+  record.child_vertices = mutated.child.num_vertices();
+  record.child_edges = mutated.child.num_edges();
+  record.map = std::move(mutated.map);
+  graph_store_.insert(child_fp,
+                      std::make_shared<const Graph>(std::move(mutated.child)));
+
+  if (child_fp == parent_fp) {
+    // Net no-op batch (e.g. add an edge, delete it again): the child
+    // IS the parent. No lineage edge — a self-edge would put a cycle
+    // in the DAG — but the response still reports the derivation.
+    record.depth = lineage_.depth_of(parent_fp);
+    answer(record);
+    return;
+  }
+  const auto [stored, inserted] = lineage_.insert(std::move(record));
+  if (stored == nullptr) {
+    // Raced the record cap via a duplicate-child path; treat as full.
+    reject("mutate: lineage store full (" + std::to_string(lineage_.size()) +
+           " records)");
+    return;
+  }
+  if (inserted && store_ != nullptr && store_->ok()) {
+    // Journal-then-answer, like cache inserts: by the time the client
+    // sees the child fingerprint, the lineage edge is on disk.
+    metrics_.counters[static_cast<std::size_t>(
+        Counter::kSvcCacheJournalBytes)] += store_->append_lineage(*stored);
+  }
+  answer(*stored);
 }
 
 void Service::update_brownout() {
@@ -418,6 +648,7 @@ void Service::fill_from_value(SvcResponse& response,
   response.method = value.method;
   response.trials_ok = value.trials_ok;
   response.degraded = value.trials_degraded;
+  response.warm = value.warm;
   if (want_sides) {
     response.sides.reserve(value.sides.size());
     for (const std::uint8_t side : value.sides) {
@@ -432,9 +663,12 @@ void Service::finalize_solve(Pending& entry, const PolicyResult& result) {
     case TrialStatus::kOk: {
       SvcCacheValue value;
       value.cut = result.best_cut;
-      value.method = method_name(result.best_method);
+      // Warm results display "warm-kl" — method_from_name never says
+      // that, so a warm result can never alias a requestable method.
+      value.method = result.warm ? "warm-kl" : method_name(result.best_method);
       value.trials_ok = result.ok;
       value.trials_degraded = result.failed + result.timed_out + result.skipped;
+      value.warm = result.warm;
       value.sides = result.best_sides;
       response.ok = true;
       fill_from_value(response, value, entry.request.want_sides);
@@ -494,11 +728,12 @@ void Service::fill_stats(SvcResponse& response) const {
       {"cache_entries", cache.entries},
       {"cache_bytes", cache.bytes},
       {"cache_max_bytes", cache_.max_bytes()},
-      // v2: gauges and histogram summaries. Keys are append-only; the
-      // *_count fields are deterministic (they count finalized
-      // requests/solves at this stream position), while everything
-      // under stats_real carries the nondeterministic "_us" marker.
-      {"stats_version", 2},
+      // v2: gauges and histogram summaries. v3: dynamic-graph keys.
+      // Keys are append-only; the *_count fields are deterministic
+      // (they count finalized requests/solves at this stream
+      // position), while everything under stats_real carries the
+      // nondeterministic "_us" marker.
+      {"stats_version", 3},
       {"queue_depth", gauge(Gauge::kSvcQueueDepth)},
       {"inflight", gauge(Gauge::kSvcInflight)},
       {"batch_size", gauge(Gauge::kSvcBatchSize)},
@@ -517,6 +752,18 @@ void Service::fill_stats(SvcResponse& response) const {
       {"brownout_entered", counter(Counter::kSvcBrownoutEntered)},
       {"brownout_restored", counter(Counter::kSvcBrownoutRestored)},
       {"brownout_shed", counter(Counter::kSvcBrownoutShed)},
+      // Dynamic-graph surface (PR 8; keys append-only). Graph-store
+      // numbers read the store directly so a stats op mid-batch is
+      // already current.
+      {"mutate_ok", counter(Counter::kSvcMutateOk)},
+      {"mutate_rejected", counter(Counter::kSvcMutateRejected)},
+      {"solve_warm", counter(Counter::kSvcSolveWarm)},
+      {"warm_fallback", counter(Counter::kSvcSolveWarmFallback)},
+      {"graphstore_bytes", graph_store_.stats().bytes},
+      {"graphstore_entries", graph_store_.stats().entries},
+      {"graphstore_evictions", graph_store_.stats().evictions},
+      {"lineage_records", lineage_.size()},
+      {"lineage_restored", counter(Counter::kSvcLineageRestored)},
   };
   const struct {
     const char* prefix;
@@ -549,6 +796,13 @@ TrialMetrics Service::metrics_snapshot() const {
       cache.evictions;
   snapshot.gauges[static_cast<std::size_t>(Gauge::kSvcCacheBytes)] =
       static_cast<std::int64_t>(cache.bytes);
+  const GraphStoreStats& graphs = graph_store_.stats();
+  snapshot.counters[static_cast<std::size_t>(
+      Counter::kSvcGraphStoreEvictions)] = graphs.evictions;
+  snapshot.gauges[static_cast<std::size_t>(Gauge::kSvcGraphStoreBytes)] =
+      static_cast<std::int64_t>(graphs.bytes);
+  snapshot.gauges[static_cast<std::size_t>(Gauge::kSvcGraphStoreEntries)] =
+      static_cast<std::int64_t>(graphs.entries);
   return snapshot;
 }
 
@@ -656,6 +910,19 @@ void Service::process_batch(std::vector<std::string>& out,
   for (std::size_t i = 0; i < queue_.size(); ++i) {
     Pending& entry = *queue_[i];
     if (entry.done) continue;
+    if (entry.request.op == SvcRequest::Op::kMutate) {
+      // Mutations complete entirely in phase 1, so a later request in
+      // the same batch can already solve the child by fingerprint.
+      if (stopping) {
+        entry.response.id = entry.request.id;
+        entry.response.ok = false;
+        entry.response.error = "shutdown: request drained before any trial ran";
+        entry.done = true;
+      } else {
+        prepare_mutate(entry);
+      }
+      continue;
+    }
     if (entry.request.op != SvcRequest::Op::kSolve) continue;
     if (stopping) {
       entry.response.id = entry.request.id;
@@ -692,8 +959,41 @@ void Service::process_batch(std::vector<std::string>& out,
             maybe_inject_svc_fault(&options_.faults, SvcFaultSite::kSolve,
                                    entry.solve_ordinal, deadline, stop);
           }
-          results[j] = run_policy(entry.graph, entry.spec, entry.seed,
-                                  options_.run, /*keep_sides=*/true, stop);
+          bool solved = false;
+          if (entry.warm_start) {
+            // Warm start: refine the projected ancestor partition with
+            // bounded KL. The quality guardrail compares against what
+            // the chain could plausibly have cost — each edit can
+            // change the cut by at most its own weight-1 edge, so a
+            // warm cut far beyond parent + edits means the projection
+            // landed badly and the cold policy should run instead.
+            const Deadline deadline =
+                entry.spec.deadline_seconds > 0
+                    ? Deadline::after(entry.spec.deadline_seconds)
+                    : Deadline();
+            WarmSolveResult w =
+                warm_solve(*entry.graph, std::move(entry.warm_seed),
+                           options_.warm_max_passes, deadline);
+            const Weight bound =
+                2 * (entry.warm_parent_cut +
+                     static_cast<Weight>(entry.warm_edits)) +
+                8;
+            if (w.cut <= bound) {
+              PolicyResult warm;
+              warm.status = TrialStatus::kOk;
+              warm.best_cut = w.cut;
+              warm.best_method = Method::kKl;
+              warm.ok = 1;
+              warm.warm = true;
+              warm.best_sides = std::move(w.sides);
+              results[j] = std::move(warm);
+              solved = true;
+            }
+          }
+          if (!solved) {
+            results[j] = run_policy(*entry.graph, entry.spec, entry.seed,
+                                    options_.run, /*keep_sides=*/true, stop);
+          }
           entry.solve_seconds =
               clock_.elapsed_seconds() - entry.solve_start_seconds;
         },
@@ -751,6 +1051,15 @@ void Service::process_batch(std::vector<std::string>& out,
         // arrival order): any trial the deadline took counts.
         note_solve_outcome(result.status == TrialStatus::kTimedOut ||
                            result.timed_out > 0);
+        if (result.warm) {
+          ++metrics_.counters[static_cast<std::size_t>(
+              Counter::kSvcSolveWarm)];
+        } else if (entry.warm_start) {
+          // Planned warm but ran cold — the guardrail tripped, or the
+          // warm refinement itself failed/timed out.
+          ++metrics_.counters[static_cast<std::size_t>(
+              Counter::kSvcSolveWarmFallback)];
+        }
       } else if (entry.coalesced) {
         entry.response.cache = "coalesced";
         finalize_solve(entry, results[entry.leader_cold_index]);
@@ -770,7 +1079,7 @@ void Service::process_batch(std::vector<std::string>& out,
   // serving; durability is degraded until restart).
   if (store_ != nullptr) {
     if (store_->ok()) {
-      const std::uint64_t rewritten = store_->maybe_compact(cache_);
+      const std::uint64_t rewritten = store_->maybe_compact(cache_, &lineage_);
       if (rewritten > 0) {
         metrics_.counters[static_cast<std::size_t>(
             Counter::kSvcCacheJournalBytes)] += rewritten;
@@ -796,6 +1105,13 @@ void Service::process_batch(std::vector<std::string>& out,
       cache.evictions;
   metrics_.gauges[static_cast<std::size_t>(Gauge::kSvcCacheBytes)] =
       static_cast<std::int64_t>(cache.bytes);
+  const GraphStoreStats& graphs = graph_store_.stats();
+  metrics_.counters[static_cast<std::size_t>(Counter::kSvcGraphStoreEvictions)] =
+      graphs.evictions;
+  metrics_.gauges[static_cast<std::size_t>(Gauge::kSvcGraphStoreBytes)] =
+      static_cast<std::int64_t>(graphs.bytes);
+  metrics_.gauges[static_cast<std::size_t>(Gauge::kSvcGraphStoreEntries)] =
+      static_cast<std::int64_t>(graphs.entries);
   metrics_.gauges[static_cast<std::size_t>(Gauge::kSvcQueueDepth)] = 0;
   metrics_.gauges[static_cast<std::size_t>(Gauge::kSvcInflight)] = 0;
 }

@@ -31,6 +31,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "gbis/dyn/graph_store.hpp"
+#include "gbis/dyn/lineage.hpp"
 #include "gbis/harness/fault_injection.hpp"
 #include "gbis/harness/runner.hpp"
 #include "gbis/harness/thread_pool.hpp"
@@ -89,6 +91,26 @@ struct SvcOptions {
   /// Cold-solve outcomes in the deadline-miss window the brownout
   /// controller watches.
   std::uint32_t brownout_window = 32;
+  /// Graph-store byte budget (dyn/graph_store): materialized graphs a
+  /// mutate or solve-by-fingerprint request can reference. 0 keeps
+  /// only the most recent graph (the store always retains one).
+  std::uint64_t graph_store_bytes = 256ull << 20;
+  /// Lineage chain-depth cap: a mutate whose parent already sits at
+  /// this depth is rejected ("mutate: lineage depth limit ...").
+  std::uint32_t lineage_max_depth = 64;
+  /// Lineage record cap; at the cap new mutates are rejected
+  /// ("mutate: lineage store full").
+  std::uint64_t lineage_max_records = 65536;
+  /// Warm-start solves (dyn/warm): project a cached ancestor partition
+  /// through the lineage and refine with bounded KL instead of cold
+  /// portfolio racing. false = every solve runs cold.
+  bool warm = true;
+  /// Warm-start edit guardrail: the chain's cumulative edit distance
+  /// must stay within this fraction of the target's |E|+1, else the
+  /// solve runs cold (the ancestor partition is too stale to help).
+  double warm_edit_ratio = 0.25;
+  /// KL pass cap for warm refinement.
+  std::uint32_t warm_max_passes = 8;
   /// Solver knobs shared by every request (KlOptions etc.). The obs
   /// block and metric sinks are ignored — the service keeps its own.
   RunConfig run;
@@ -97,9 +119,11 @@ struct SvcOptions {
 /// Overlays GBIS_SVC_CACHE_MB (whole mebibytes; 0 disables the cache),
 /// GBIS_SVC_ACCESS_LOG (a path), GBIS_SVC_SLOW_MS (milliseconds,
 /// >= 0), GBIS_SVC_CACHE_FILE (a journal path), GBIS_SVC_FAULTS (a
-/// service fault plan), GBIS_SVC_BROWNOUT (0/1), and
-/// GBIS_SVC_BROWNOUT_WINDOW (> 0) onto `base`. Malformed values warn
-/// on stderr and keep the default, matching every other GBIS_* knob.
+/// service fault plan), GBIS_SVC_BROWNOUT (0/1),
+/// GBIS_SVC_BROWNOUT_WINDOW (> 0), GBIS_SVC_GRAPH_MB (whole mebibytes
+/// for the graph store), and GBIS_SVC_WARM (0/1) onto `base`.
+/// Malformed values warn on stderr and keep the default, matching
+/// every other GBIS_* knob.
 SvcOptions svc_options_from_env(SvcOptions base);
 
 /// The service. See the file comment for the determinism contract.
@@ -128,6 +152,11 @@ class Service {
   std::size_t pending() const { return queue_.size(); }
   const SvcOptions& options() const { return options_; }
   const SvcCacheStats& cache_stats() const { return cache_.stats(); }
+  const GraphStoreStats& graph_store_stats() const {
+    return graph_store_.stats();
+  }
+  /// Lineage records currently held (tests and the stats op).
+  std::uint64_t lineage_size() const { return lineage_.size(); }
   /// Service-lifetime obs counters, gauges, and latency histograms
   /// (svc.* plus nothing else; solver counters stay with the solver
   /// runs that own them). Cache counters and svc.cache.bytes are
@@ -166,6 +195,14 @@ class Service {
                std::unordered_map<SvcCacheKey, std::size_t, SvcCacheKeyHash>&
                    leaders,
                std::vector<std::size_t>& cold_queue_index);
+  /// Phase-1 mutate resolution (arrival order, dispatch thread): the
+  /// whole op — parent lookup, apply, lineage + graph-store inserts,
+  /// journal append — completes here, so a later request in the same
+  /// batch can already reference the child fingerprint.
+  void prepare_mutate(Pending& entry);
+  /// Plans a warm start for a cold solve leader (phase 1): lineage
+  /// walk + partition projection onto `entry`'s graph.
+  void plan_warm(Pending& entry);
   void finalize_solve(Pending& entry, const PolicyResult& result);
   void update_brownout();
   void note_solve_outcome(bool deadline_miss);
@@ -178,6 +215,8 @@ class Service {
   SvcOptions options_;
   ThreadPool pool_;
   SvcResultCache cache_;
+  GraphStore graph_store_;
+  SvcLineage lineage_;
   std::unique_ptr<SvcCacheStore> store_;  ///< non-null with cache_file
   bool store_open_ok_ = true;
   bool store_warned_ = false;  ///< one stderr warning per write failure

@@ -357,11 +357,64 @@ bool json_parse_bool(const std::string& line, const std::string& key,
   return false;
 }
 
+bool json_parse_u64_array(const std::string& line, const std::string& key,
+                          std::vector<std::uint64_t>& out,
+                          std::size_t max_elements) {
+  std::size_t i = json_find_value(line, key);
+  if (i == npos || i >= line.size() || line[i] != '[') return false;
+  std::vector<std::uint64_t> result;
+  i = skip_ws(line, i + 1);
+  if (i < line.size() && line[i] == ']') {
+    out = std::move(result);
+    return true;
+  }
+  while (i < line.size()) {
+    // Strict element grammar first (rejects signs, leading zeros,
+    // floats, exponents), then the bounded-range decode.
+    const std::size_t end = skip_number_strict(line, i);
+    if (end == npos || line[i] == '-') return false;
+    if (line.find_first_of(".eE", i) < end) return false;
+    if (result.size() >= max_elements) return false;
+    errno = 0;
+    char* parse_end = nullptr;
+    const std::uint64_t value = std::strtoull(line.c_str() + i, &parse_end, 10);
+    if (parse_end != line.c_str() + end || errno == ERANGE) return false;
+    result.push_back(value);
+    i = skip_ws(line, end);
+    if (i >= line.size()) return false;  // unterminated array
+    if (line[i] == ']') {
+      out = std::move(result);
+      return true;
+    }
+    if (line[i] != ',') return false;
+    i = skip_ws(line, i + 1);
+  }
+  return false;
+}
+
 std::string to_hex16(std::uint64_t value) {
   char buf[17];
   std::snprintf(buf, sizeof buf, "%016llx",
                 static_cast<unsigned long long>(value));
   return buf;
+}
+
+bool parse_hex16(const std::string& text, std::uint64_t& out) {
+  if (text.size() != 16) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+    value = (value << 4) | digit;
+  }
+  out = value;
+  return true;
 }
 
 }  // namespace gbis

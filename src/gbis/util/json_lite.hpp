@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace gbis {
 
@@ -69,7 +70,25 @@ bool json_parse_double(const std::string& line, const std::string& key,
 bool json_parse_bool(const std::string& line, const std::string& key,
                      bool& out);
 
+/// Parses a flat array of unsigned integers: `[1,2,3]` (or `[]`).
+/// Strict element validation: every element must be a grammatical
+/// non-negative JSON integer (no signs, no leading zeros, no floats,
+/// no nested containers or strings), and the array must hold at most
+/// `max_elements` entries — anything else returns false with `out`
+/// untouched. Quote/escape-aware like every scanner here: a "[...]"
+/// embedded in a string value can never match. The mutate op's edit
+/// batches are the first consumer (docs/SERVICE.md).
+bool json_parse_u64_array(const std::string& line, const std::string& key,
+                          std::vector<std::uint64_t>& out,
+                          std::size_t max_elements);
+
 /// 16-digit zero-padded lower-case hex (the fingerprint wire format).
 std::string to_hex16(std::uint64_t value);
+
+/// Strict inverse of to_hex16: exactly 16 lower-case hex digits, no
+/// prefix, no sign. The lenient strtoull would accept "0x...", signs,
+/// and short strings — all of which should fail a fingerprint
+/// reference or a CRC-guarded journal field instead.
+bool parse_hex16(const std::string& text, std::uint64_t& out);
 
 }  // namespace gbis

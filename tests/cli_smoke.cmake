@@ -154,8 +154,8 @@ foreach(threads 1 8)
       "serve telemetry replay (${threads} threads) failed (${code}): ${err}")
   endif()
 endforeach()
-if(NOT telem1 MATCHES "\"stats_version\":2")
-  message(FATAL_ERROR "stats response is not v2: ${telem1}")
+if(NOT telem1 MATCHES "\"stats_version\":3")
+  message(FATAL_ERROR "stats response is not v3: ${telem1}")
 endif()
 if(NOT telem1 MATCHES "\"queue_depth\":")
   message(FATAL_ERROR "stats response lacks gauges: ${telem1}")
@@ -404,5 +404,162 @@ if(PYTHON3 AND DEFINED SVC_CLIENT)
     message(FATAL_ERROR
       "retry-mode responses differ from the stdio replay:\n"
       "--- retry ---\n${retry_out}\n--- replay ---\n${sock_expected}")
+  endif()
+
+  # Mutation chain: script a mutate -> warm-solve -> mutate chain over
+  # the socket with --chain (@fp:ID tokens resolve to the child
+  # fingerprints the server just minted), --record the resolved request
+  # lines, then replay those lines over stdio. Chain mode is
+  # line-at-a-time, so the stdio replay uses --batch 1 to reproduce the
+  # same batch boundaries; after the "_us" strip every transport x
+  # thread-count combination must match the stdio bytes. The chain
+  # grows fresh vertices (400, 401) so the new edges cannot collide
+  # with the generated graph.
+  file(WRITE ${WORK_DIR}/chain_reqs.ndjson
+    "{\"id\":\"c0\",\"op\":\"solve\",\"path\":\"${WORK_DIR}/g.graph\",\"method\":\"kl\",\"seed\":301}\n"
+    "{\"id\":\"m1\",\"op\":\"mutate\",\"path\":\"${WORK_DIR}/g.graph\",\"add_vertices\":1,\"add_edges\":[400,0]}\n"
+    "{\"id\":\"w1\",\"op\":\"solve\",\"graph\":\"@fp:m1\",\"method\":\"kl\",\"seed\":301}\n"
+    "{\"id\":\"m2\",\"op\":\"mutate\",\"parent\":\"@fp:m1\",\"add_vertices\":1,\"add_edges\":[401,1]}\n"
+    "{\"id\":\"w2\",\"op\":\"solve\",\"graph\":\"@fp:m2\",\"method\":\"kl\",\"seed\":302}\n")
+  set(ENV{GBIS_THREADS} 1)
+  execute_process(COMMAND ${PYTHON3} ${SVC_CLIENT} ${GBIS_CLI}
+      ${WORK_DIR}/chain_reqs.ndjson --transport tcp --chain
+      --record ${WORK_DIR}/chain_resolved.ndjson
+    WORKING_DIRECTORY ${WORK_DIR}
+    RESULT_VARIABLE code OUTPUT_VARIABLE chain_first ERROR_VARIABLE err)
+  unset(ENV{GBIS_THREADS})
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "mutation-chain socket smoke failed (${code}): ${err}")
+  endif()
+  if(NOT EXISTS ${WORK_DIR}/chain_resolved.ndjson)
+    message(FATAL_ERROR "--record did not write the resolved request file")
+  endif()
+  file(READ ${WORK_DIR}/chain_resolved.ndjson chain_resolved)
+  if(chain_resolved MATCHES "@fp:")
+    message(FATAL_ERROR
+      "recorded chain still holds unresolved tokens:\n${chain_resolved}")
+  endif()
+  if(NOT chain_first MATCHES "\"id\":\"m1\",\"ok\":true,\"op\":\"mutate\"")
+    message(FATAL_ERROR "chain mutate m1 did not succeed:\n${chain_first}")
+  endif()
+  if(NOT chain_first MATCHES "\"id\":\"w1\",\"ok\":true.*\"warm\":true")
+    message(FATAL_ERROR
+      "solve after mutation did not warm-start:\n${chain_first}")
+  endif()
+  set(ENV{GBIS_THREADS} 1)
+  execute_process(COMMAND ${GBIS_CLI} serve
+      --replay ${WORK_DIR}/chain_resolved.ndjson --batch 1
+    WORKING_DIRECTORY ${WORK_DIR}
+    RESULT_VARIABLE code OUTPUT_VARIABLE chain_expected ERROR_VARIABLE err)
+  unset(ENV{GBIS_THREADS})
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "chain replay baseline failed (${code}): ${err}")
+  endif()
+  strip_timing("${chain_expected}" chain_expected_cmp)
+  strip_timing("${chain_first}" chain_first_cmp)
+  if(NOT chain_first_cmp STREQUAL chain_expected_cmp)
+    message(FATAL_ERROR
+      "chain socket responses differ from the stdio replay:\n"
+      "--- socket ---\n${chain_first}\n--- replay ---\n${chain_expected}")
+  endif()
+  foreach(transport tcp unix)
+    foreach(threads 1 8)
+      set(ENV{GBIS_THREADS} ${threads})
+      execute_process(COMMAND ${PYTHON3} ${SVC_CLIENT} ${GBIS_CLI}
+          ${WORK_DIR}/chain_reqs.ndjson --transport ${transport} --chain
+        WORKING_DIRECTORY ${WORK_DIR}
+        RESULT_VARIABLE code OUTPUT_VARIABLE chain_out ERROR_VARIABLE err)
+      unset(ENV{GBIS_THREADS})
+      if(NOT code EQUAL 0)
+        message(FATAL_ERROR
+          "mutation chain (${transport}, ${threads} threads) failed "
+          "(${code}): ${err}")
+      endif()
+      strip_timing("${chain_out}" chain_out_cmp)
+      if(NOT chain_out_cmp STREQUAL chain_expected_cmp)
+        message(FATAL_ERROR
+          "mutation chain (${transport}, ${threads} threads) differs "
+          "from the stdio replay:\n--- socket ---\n${chain_out}\n"
+          "--- replay ---\n${chain_expected}")
+      endif()
+    endforeach()
+  endforeach()
+
+  # Chaos mid-mutation-chain: SIGKILL the server at the third batch of
+  # the resolved chain (--batch 2 puts w2 alone there), then warm
+  # restart on the same journal. The replayed mutates must answer
+  # byte-identically to the pre-crash responses — the journal's lineage
+  # records reproduce the exact child fingerprints — and the whole
+  # warm stream must be thread-count invariant.
+  foreach(threads 1 8)
+    file(REMOVE ${WORK_DIR}/chainj${threads}.jsonl)
+    set(ENV{GBIS_THREADS} ${threads})
+    set(ENV{GBIS_SVC_FAULTS} "crash@batch:2")
+    execute_process(COMMAND ${GBIS_CLI} serve
+        --replay ${WORK_DIR}/chain_resolved.ndjson
+        --batch 2 --cache-file ${WORK_DIR}/chainj${threads}.jsonl
+      WORKING_DIRECTORY ${WORK_DIR}
+      RESULT_VARIABLE code OUTPUT_VARIABLE chain_crash ERROR_QUIET)
+    unset(ENV{GBIS_SVC_FAULTS})
+    if(code EQUAL 0)
+      message(FATAL_ERROR
+        "chain chaos (${threads} threads) survived the injected crash")
+    endif()
+    string(REGEX MATCHALL "[^\n]+" crash_lines "${chain_crash}")
+    list(LENGTH crash_lines crash_count)
+    if(NOT crash_count EQUAL 4)
+      message(FATAL_ERROR
+        "chain chaos (${threads} threads) flushed ${crash_count} responses "
+        "before the crash, expected 4:\n${chain_crash}")
+    endif()
+    execute_process(COMMAND ${GBIS_CLI} serve
+        --replay ${WORK_DIR}/chain_resolved.ndjson
+        --batch 2 --cache-file ${WORK_DIR}/chainj${threads}.jsonl
+      WORKING_DIRECTORY ${WORK_DIR}
+      RESULT_VARIABLE code OUTPUT_VARIABLE chain_warm ERROR_VARIABLE err)
+    unset(ENV{GBIS_THREADS})
+    if(NOT code EQUAL 0)
+      message(FATAL_ERROR
+        "chain warm restart (${threads} threads) failed (${code}): ${err}")
+    endif()
+    string(REGEX MATCHALL "[^\n]+" warm_lines "${chain_warm}")
+    list(LENGTH warm_lines warm_count)
+    if(NOT warm_count EQUAL 5)
+      message(FATAL_ERROR
+        "chain warm restart (${threads} threads) answered ${warm_count} "
+        "of 5:\n${chain_warm}")
+    endif()
+    # Mutate responses carry no cache label and no timing: the lineage
+    # replay must reproduce them byte-for-byte.
+    list(GET crash_lines 1 precrash_m1)
+    list(GET crash_lines 3 precrash_m2)
+    list(GET warm_lines 1 replay_m1)
+    list(GET warm_lines 3 replay_m2)
+    if(NOT replay_m1 STREQUAL precrash_m1 OR
+       NOT replay_m2 STREQUAL precrash_m2)
+      message(FATAL_ERROR
+        "replayed mutates differ from the pre-crash responses "
+        "(${threads} threads):\n--- pre-crash ---\n${precrash_m1}\n"
+        "${precrash_m2}\n--- warm ---\n${replay_m1}\n${replay_m2}")
+    endif()
+    list(GET warm_lines 2 replay_w1)
+    if(NOT replay_w1 MATCHES "\"cache\":\"hit\"")
+      message(FATAL_ERROR
+        "post-restart w1 was not a journaled hit: ${replay_w1}")
+    endif()
+    list(GET warm_lines 4 replay_w2)
+    if(NOT replay_w2 MATCHES "\"ok\":true")
+      message(FATAL_ERROR
+        "post-restart w2 did not solve: ${replay_w2}")
+    endif()
+    set(chain_warm${threads} "${chain_warm}")
+  endforeach()
+  strip_timing("${chain_warm1}" chain_warm1_cmp)
+  strip_timing("${chain_warm8}" chain_warm8_cmp)
+  if(NOT chain_warm1_cmp STREQUAL chain_warm8_cmp)
+    message(FATAL_ERROR
+      "chain warm-restart streams differ across thread counts:\n"
+      "--- GBIS_THREADS=1 ---\n${chain_warm1}\n"
+      "--- GBIS_THREADS=8 ---\n${chain_warm8}")
   endif()
 endif()

@@ -223,5 +223,80 @@ TEST(JsonHex, ToHex16IsZeroPaddedLowercase) {
   EXPECT_EQ(to_hex16(~0ull), "ffffffffffffffff");
 }
 
+TEST(JsonHex, ParseHex16IsAStrictInverse) {
+  std::uint64_t value = 0;
+  ASSERT_TRUE(parse_hex16("00000000deadbeef", value));
+  EXPECT_EQ(value, 0xDEADBEEFull);
+  ASSERT_TRUE(parse_hex16(to_hex16(~0ull), value));
+  EXPECT_EQ(value, ~0ull);
+  for (const char* bad :
+       {"", "deadbeef", "00000000DEADBEEF", "0x00000000deadbee",
+        "+0000000deadbeef", "00000000deadbeef0", " 0000000deadbeef",
+        "00000000deadbeeg"}) {
+    value = 42;
+    EXPECT_FALSE(parse_hex16(bad, value)) << bad;
+    EXPECT_EQ(value, 42u) << bad;  // untouched on failure
+  }
+}
+
+// --- json_parse_u64_array --------------------------------------------------
+
+TEST(JsonArray, ParsesFlatUnsignedArrays) {
+  std::vector<std::uint64_t> out;
+  ASSERT_TRUE(json_parse_u64_array("{\"a\":[1,2,3]}", "a", out, 8));
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{1, 2, 3}));
+  ASSERT_TRUE(json_parse_u64_array("{\"a\":[]}", "a", out, 8));
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(json_parse_u64_array("{\"a\": [ 7 , 0 ] }", "a", out, 8));
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{7, 0}));
+  ASSERT_TRUE(json_parse_u64_array(
+      "{\"a\":[18446744073709551615]}", "a", out, 8));
+  EXPECT_EQ(out.front(), ~0ull);
+  // Cap is inclusive: exactly max_elements parses, one more fails.
+  ASSERT_TRUE(json_parse_u64_array("{\"a\":[1,2]}", "a", out, 2));
+  EXPECT_FALSE(json_parse_u64_array("{\"a\":[1,2,3]}", "a", out, 2));
+}
+
+TEST(JsonArray, MalformedArraysFailWithOutputUntouched) {
+  // The corpus every wire-facing consumer (the mutate op's edit
+  // batches) depends on rejecting.
+  const char* corpus[] = {
+      "{\"a\":[1,2}",            // unterminated
+      "{\"a\":[1,,2]}",          // empty element
+      "{\"a\":[,]}",             // ditto
+      "{\"a\":[1,2,]}",          // trailing comma
+      "{\"a\":[-1]}",            // negative
+      "{\"a\":[+1]}",            // sign
+      "{\"a\":[1.5]}",           // float
+      "{\"a\":[1e3]}",           // exponent
+      "{\"a\":[01]}",            // leading zero
+      "{\"a\":[18446744073709551616]}",  // u64 overflow
+      "{\"a\":[\"1\"]}",         // string element
+      "{\"a\":[[1]]}",           // nested array
+      "{\"a\":[{}]}",            // nested object
+      "{\"a\":[true]}",          // literal
+      "{\"a\":[null]}",          // literal
+      "{\"a\":1}",               // not an array
+      "{\"a\":\"[1]\"}",         // array spelled inside a string
+      "{\"b\":[1]}",             // key absent
+  };
+  for (const char* line : corpus) {
+    std::vector<std::uint64_t> out{99};
+    EXPECT_FALSE(json_parse_u64_array(line, "a", out, 8)) << line;
+    EXPECT_EQ(out, (std::vector<std::uint64_t>{99})) << line;
+  }
+}
+
+TEST(JsonArray, OnlyTopLevelKeysMatch) {
+  std::vector<std::uint64_t> out;
+  // "a" inside a nested object is not the top-level "a".
+  ASSERT_TRUE(json_parse_u64_array(
+      "{\"x\":{\"a\":[9]},\"a\":[1]}", "a", out, 8));
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{1}));
+  // A string value containing the key cannot spoof it.
+  EXPECT_FALSE(json_parse_u64_array(
+      "{\"x\":\"\\\"a\\\":[9]\"}", "a", out, 8));
+}
+
 }  // namespace
 }  // namespace gbis

@@ -556,7 +556,7 @@ TEST(Service, StatsV2ReportsGaugesAndLatencySummaries) {
 
   std::uint64_t value = 0;
   ASSERT_TRUE(json_parse_u64(stats, "stats_version", value));
-  EXPECT_EQ(value, 2u);
+  EXPECT_EQ(value, 3u);
   // Gauges read mid-batch: all three requests were queued, and exactly
   // one cold solve ran (the follower coalesced).
   ASSERT_TRUE(json_parse_u64(stats, "queue_depth", value));
@@ -1326,7 +1326,7 @@ TEST(SvcCacheStore, RestoreReplaysAppendsAndPreservesRecency) {
     SvcResultCache cache(1 << 20);
     SvcCacheStore store(path);
     SvcCacheRestore report;
-    ASSERT_TRUE(store.open_and_restore(cache, report));
+    ASSERT_TRUE(store.open_and_restore(cache, nullptr, report));
     EXPECT_EQ(report.entries_restored, 0u);
     for (std::uint64_t i = 0; i < 4; ++i) {
       EXPECT_GT(store.append(store_key(i), store_value(Weight(10 + i))), 0u);
@@ -1339,7 +1339,7 @@ TEST(SvcCacheStore, RestoreReplaysAppendsAndPreservesRecency) {
   SvcResultCache small(3 * probe.stats().bytes);
   SvcCacheStore warm(path);
   SvcCacheRestore report;
-  ASSERT_TRUE(warm.open_and_restore(small, report));
+  ASSERT_TRUE(warm.open_and_restore(small, nullptr, report));
   EXPECT_EQ(report.entries_restored, 4u);
   EXPECT_EQ(report.lines_dropped, 0u);
   EXPECT_EQ(small.lookup(store_key(0)), nullptr);  // oldest, evicted
@@ -1381,7 +1381,7 @@ TEST(SvcCacheStore, CorruptionCorpusFallsBackToTheLongestValidPrefix) {
     SvcResultCache cache(1 << 20);
     SvcCacheStore store(path);
     SvcCacheRestore report;
-    ASSERT_TRUE(store.open_and_restore(cache, report)) << test_case.name;
+    ASSERT_TRUE(store.open_and_restore(cache, nullptr, report)) << test_case.name;
     EXPECT_EQ(report.entries_restored, test_case.restored) << test_case.name;
     EXPECT_GE(report.lines_dropped, 1u) << test_case.name;
     EXPECT_TRUE(report.compacted) << test_case.name;  // damage rewritten away
@@ -1394,15 +1394,17 @@ TEST(SvcCacheStore, CorruptionCorpusFallsBackToTheLongestValidPrefix) {
     SvcResultCache again(1 << 20);
     SvcCacheStore reread(path);
     SvcCacheRestore second;
-    ASSERT_TRUE(reread.open_and_restore(again, second)) << test_case.name;
+    ASSERT_TRUE(reread.open_and_restore(again, nullptr, second)) << test_case.name;
     EXPECT_EQ(second.entries_restored, test_case.restored) << test_case.name;
     EXPECT_EQ(second.lines_dropped, 0u) << test_case.name;
   }
 }
 
 TEST(SvcCacheStore, ForeignOrWrongVersionHeaderRestoresNothing) {
+  // Version 2 (the current format) and version 1 (cache-entry lines
+  // only) both restore; version 3 is from the future and must not.
   for (const char* header :
-       {"{\"type\":\"svc_cache\",\"version\":2}",
+       {"{\"type\":\"svc_cache\",\"version\":3}",
         "{\"type\":\"checkpoint\",\"version\":1}", "not a header at all"}) {
     const std::string path = temp_journal("svc_store_header.jsonl");
     {
@@ -1414,7 +1416,7 @@ TEST(SvcCacheStore, ForeignOrWrongVersionHeaderRestoresNothing) {
     SvcResultCache cache(1 << 20);
     SvcCacheStore store(path);
     SvcCacheRestore report;
-    ASSERT_TRUE(store.open_and_restore(cache, report)) << header;
+    ASSERT_TRUE(store.open_and_restore(cache, nullptr, report)) << header;
     EXPECT_EQ(report.entries_restored, 0u) << header;
     EXPECT_GT(report.lines_dropped, 0u) << header;
     EXPECT_EQ(cache.stats().entries, 0u) << header;
@@ -1426,7 +1428,7 @@ TEST(SvcCacheStore, MissingFileIsAFreshJournal) {
   SvcResultCache cache(1 << 20);
   SvcCacheStore store(path);
   SvcCacheRestore report;
-  ASSERT_TRUE(store.open_and_restore(cache, report));
+  ASSERT_TRUE(store.open_and_restore(cache, nullptr, report));
   EXPECT_EQ(report.entries_restored, 0u);
   EXPECT_EQ(report.lines_dropped, 0u);
   EXPECT_TRUE(store.ok());
@@ -1441,7 +1443,7 @@ TEST(SvcCacheStore, CompactionShedsDeadEntries) {
   SvcResultCache cache(1 << 20);
   SvcCacheStore store(path);
   SvcCacheRestore report;
-  ASSERT_TRUE(store.open_and_restore(cache, report));
+  ASSERT_TRUE(store.open_and_restore(cache, nullptr, report));
   // Refresh one key far past the 4*live+64 threshold: the journal
   // carries dead weight the resident cache no longer holds.
   for (int i = 0; i < 100; ++i) {
@@ -1449,14 +1451,14 @@ TEST(SvcCacheStore, CompactionShedsDeadEntries) {
     ASSERT_GT(store.append(store_key(1), store_value(Weight(i))), 0u);
   }
   EXPECT_EQ(store.file_entries(), 100u);
-  EXPECT_GT(store.maybe_compact(cache), 0u);
+  EXPECT_GT(store.maybe_compact(cache, nullptr), 0u);
   EXPECT_EQ(store.file_entries(), 1u);
-  EXPECT_EQ(store.maybe_compact(cache), 0u);  // already compact
+  EXPECT_EQ(store.maybe_compact(cache, nullptr), 0u);  // already compact
   // The survivor is the live value.
   SvcResultCache warm(1 << 20);
   SvcCacheStore reread(path);
   SvcCacheRestore second;
-  ASSERT_TRUE(reread.open_and_restore(warm, second));
+  ASSERT_TRUE(reread.open_and_restore(warm, nullptr, second));
   EXPECT_EQ(second.entries_restored, 1u);
   const SvcCacheValue* live = warm.lookup(store_key(1));
   ASSERT_NE(live, nullptr);
@@ -1467,7 +1469,7 @@ TEST(SvcCacheStore, UnopenablePathReportsFalse) {
   SvcResultCache cache(1 << 20);
   SvcCacheStore store(testing::TempDir() + "no_such_dir_store/j.jsonl");
   SvcCacheRestore report;
-  EXPECT_FALSE(store.open_and_restore(cache, report));
+  EXPECT_FALSE(store.open_and_restore(cache, nullptr, report));
   EXPECT_FALSE(store.ok());
 }
 
@@ -1806,6 +1808,471 @@ TEST(SvcOptionsEnv, OverlaysTheRobustnessKnobs) {
   ::unsetenv("GBIS_SVC_FAULTS");
   ::unsetenv("GBIS_SVC_BROWNOUT");
   ::unsetenv("GBIS_SVC_BROWNOUT_WINDOW");
+}
+
+TEST(SvcOptionsFromEnv, OverlaysDynamicGraphKnobs) {
+  ::setenv("GBIS_SVC_GRAPH_MB", "3", 1);
+  ::setenv("GBIS_SVC_WARM", "0", 1);
+  SvcOptions options = svc_options_from_env(SvcOptions{});
+  EXPECT_EQ(options.graph_store_bytes, 3ull << 20);
+  EXPECT_FALSE(options.warm);
+
+  ::setenv("GBIS_SVC_GRAPH_MB", "lots", 1);  // warn, keep default
+  ::setenv("GBIS_SVC_WARM", "maybe", 1);     // warn, keep default
+  options = svc_options_from_env(SvcOptions{});
+  EXPECT_EQ(options.graph_store_bytes, SvcOptions{}.graph_store_bytes);
+  EXPECT_TRUE(options.warm);
+
+  ::unsetenv("GBIS_SVC_GRAPH_MB");
+  ::unsetenv("GBIS_SVC_WARM");
+}
+
+// --- The mutate op and warm-start solves -----------------------------------
+
+std::string mutate_inline_line(const std::string& id, const Graph& parent,
+                               const std::string& edits) {
+  std::string payload;
+  append_json_string(payload, inline_payload(parent));
+  return "{\"id\":\"" + id + "\",\"op\":\"mutate\",\"inline\":" + payload +
+         edits + "}";
+}
+
+std::string mutate_ref_line(const std::string& id, std::uint64_t parent,
+                            const std::string& edits) {
+  return "{\"id\":\"" + id + "\",\"op\":\"mutate\",\"parent\":\"" +
+         to_hex16(parent) + "\"" + edits + "}";
+}
+
+std::string solve_ref_line(const std::string& id, const std::string& child_fp,
+                           const std::string& extra = "") {
+  return "{\"id\":\"" + id + "\",\"op\":\"solve\",\"graph\":\"" + child_fp +
+         "\"" + extra + "}";
+}
+
+TEST(Service, MutateDerivesAChildAndSolvesItByFingerprint) {
+  const Graph g = make_grid(6, 6);
+  SvcOptions options = test_options();
+  options.batch_size = 1;
+  Service service(options);
+  std::vector<std::string> out;
+  service.submit_line(
+      mutate_inline_line("m", g, ",\"add_vertices\":1,\"add_edges\":[36,0]"),
+      out);
+  service.drain(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].starts_with("{\"id\":\"m\",\"ok\":true,\"op\":\"mutate\""));
+  std::string child_fp, parent_fp;
+  std::uint64_t value = 0;
+  ASSERT_TRUE(json_parse_string(out[0], "fingerprint", child_fp));
+  ASSERT_TRUE(json_parse_string(out[0], "parent", parent_fp));
+  EXPECT_EQ(parent_fp, to_hex16(graph_fingerprint(g)));
+  EXPECT_NE(child_fp, parent_fp);
+  EXPECT_TRUE(json_parse_u64(out[0], "vertices", value));
+  EXPECT_EQ(value, 37u);
+  EXPECT_TRUE(json_parse_u64(out[0], "edges", value));
+  EXPECT_EQ(value, 61u);
+  EXPECT_TRUE(json_parse_u64(out[0], "edit_distance", value));
+  EXPECT_EQ(value, 2u);
+  EXPECT_TRUE(json_parse_u64(out[0], "depth", value));
+  EXPECT_EQ(value, 1u);
+  EXPECT_EQ(service.lineage_size(), 1u);
+
+  // The child is resident in the graph store: solvable by reference.
+  out.clear();
+  service.submit_line(solve_ref_line("s", child_fp), out);
+  service.drain(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].starts_with("{\"id\":\"s\",\"ok\":true"));
+  std::string echoed;
+  ASSERT_TRUE(json_parse_string(out[0], "fingerprint", echoed));
+  EXPECT_EQ(echoed, child_fp);
+}
+
+TEST(Service, SolveByUnknownFingerprintIsAnIoError) {
+  Service service(test_options());
+  std::vector<std::string> out;
+  service.submit_line(solve_ref_line("s", to_hex16(0x1234)), out);
+  service.drain(out);
+  ASSERT_EQ(out.size(), 1u);
+  std::string error;
+  ASSERT_TRUE(json_parse_string(out[0], "error", error));
+  EXPECT_EQ(error, "io: unknown graph \"" + to_hex16(0x1234) + "\"");
+}
+
+TEST(Service, MutateRejectsBadBatchesWithStableReasons) {
+  const Graph g = make_grid(4, 4);
+  SvcOptions options = test_options();
+  options.batch_size = 1;
+  Service service(options);
+  const struct {
+    std::string edits;
+    std::string expected;
+  } cases[] = {
+      {"", "parse: empty edit batch"},
+      {",\"add_edges\":[0]", "parse: edge arrays must hold (u,v) pairs"},
+      {",\"add_edges\":[0,1]", "mutate: edge (0,1) already exists"},
+      {",\"add_edges\":[2,2]", "mutate: self-loop (2,2)"},
+      {",\"del_edges\":[0,5]", "mutate: edge (0,5) not found"},
+      {",\"del_vertices\":[3,3]", "mutate: vertex 3 deleted twice"},
+      {",\"del_vertices\":[16]", "mutate: vertex 16 out of range"},
+  };
+  for (const auto& test_case : cases) {
+    std::vector<std::string> out;
+    service.submit_line(mutate_inline_line("m", g, test_case.edits), out);
+    service.drain(out);
+    ASSERT_EQ(out.size(), 1u) << test_case.edits;
+    std::string error;
+    ASSERT_TRUE(json_parse_string(out[0], "error", error)) << out[0];
+    EXPECT_EQ(error, test_case.expected);
+  }
+  // Unknown parent reference.
+  std::vector<std::string> out;
+  service.submit_line(mutate_ref_line("m", 0x77, ",\"add_vertices\":1"), out);
+  service.drain(out);
+  std::string error;
+  ASSERT_TRUE(json_parse_string(out[0], "error", error));
+  EXPECT_EQ(error, "io: unknown graph \"" + to_hex16(0x77) + "\"");
+  // Six of the cases reached the mutate layer; the two parse: rejects
+  // failed at submit time and are protocol errors, not mutate ones.
+  EXPECT_EQ(service.metrics().counter(Counter::kSvcMutateRejected), 6u);
+}
+
+TEST(Service, MutateRepeatAnswersByteIdentically) {
+  const Graph g = make_grid(4, 4);
+  SvcOptions options = test_options();
+  options.batch_size = 1;
+  Service service(options);
+  std::vector<std::string> first, second;
+  service.submit_line(mutate_inline_line("m", g, ",\"del_edges\":[0,1]"),
+                      first);
+  service.drain(first);
+  service.submit_line(mutate_inline_line("m", g, ",\"del_edges\":[0,1]"),
+                      second);
+  service.drain(second);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(service.lineage_size(), 1u);  // one record, not two
+}
+
+TEST(Service, LineageDepthLimitRejectsDeepChains) {
+  const Graph g = make_grid(4, 4);
+  SvcOptions options = test_options();
+  options.batch_size = 1;
+  options.lineage_max_depth = 2;
+  Service service(options);
+  std::string parent_fp = to_hex16(graph_fingerprint(g));
+  std::vector<std::string> out;
+  service.submit_line(mutate_inline_line("m0", g, ",\"add_vertices\":1"), out);
+  service.drain(out);
+  std::string child_fp;
+  ASSERT_TRUE(json_parse_string(out[0], "fingerprint", child_fp));
+  for (int step = 1; step <= 2; ++step) {
+    out.clear();
+    std::uint64_t fp = 0;
+    ASSERT_TRUE(parse_hex16(child_fp, fp));
+    service.submit_line(
+        mutate_ref_line("m" + std::to_string(step), fp, ",\"add_vertices\":1"),
+        out);
+    service.drain(out);
+    ASSERT_EQ(out.size(), 1u);
+    if (step < 2) {
+      ASSERT_TRUE(json_parse_string(out[0], "fingerprint", child_fp)) << out[0];
+    } else {
+      std::string error;
+      ASSERT_TRUE(json_parse_string(out[0], "error", error)) << out[0];
+      EXPECT_EQ(error, "mutate: lineage depth limit (2) reached");
+    }
+  }
+}
+
+TEST(Service, SolveAfterMutationRunsWarmWithinQuality) {
+  const Graph g = make_grid(6, 6);
+  SvcOptions options = test_options();
+  options.batch_size = 1;
+  Service service(options);
+  std::vector<std::string> out;
+  // Cold-solve the parent so its partition is cached.
+  service.submit_line(solve_line("p", g), out);
+  service.drain(out);
+  std::uint64_t parent_cut = 0;
+  ASSERT_TRUE(json_parse_u64(out[0], "cut", parent_cut));
+
+  // One-edge edit, then solve the child: the warm path must kick in.
+  out.clear();
+  service.submit_line(
+      mutate_ref_line("m", graph_fingerprint(g), ",\"add_edges\":[0,35]"),
+      out);
+  service.drain(out);
+  std::string child_fp;
+  ASSERT_TRUE(json_parse_string(out[0], "fingerprint", child_fp)) << out[0];
+
+  out.clear();
+  service.submit_line(solve_ref_line("s", child_fp), out);
+  service.drain(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].starts_with("{\"id\":\"s\",\"ok\":true")) << out[0];
+  bool warm = false;
+  ASSERT_TRUE(json_parse_bool(out[0], "warm", warm)) << out[0];
+  EXPECT_TRUE(warm);
+  std::string method;
+  ASSERT_TRUE(json_parse_string(out[0], "method", method));
+  EXPECT_EQ(method, "warm-kl");
+  // Adding one edge can raise the optimal cut by at most 1.
+  std::uint64_t warm_cut = 0;
+  ASSERT_TRUE(json_parse_u64(out[0], "cut", warm_cut));
+  EXPECT_LE(warm_cut, parent_cut + 1);
+  EXPECT_EQ(service.metrics().counter(Counter::kSvcSolveWarm), 1u);
+
+  // Warm results cache under the child identity: the repeat is a hit
+  // with the same warm payload.
+  std::vector<std::string> repeat;
+  service.submit_line(solve_ref_line("s2", child_fp), repeat);
+  service.drain(repeat);
+  std::string cache;
+  ASSERT_TRUE(json_parse_string(repeat[0], "cache", cache));
+  EXPECT_EQ(cache, "hit");
+  ASSERT_TRUE(json_parse_bool(repeat[0], "warm", warm));
+  EXPECT_TRUE(warm);
+}
+
+TEST(Service, NoWarmOptionRunsEverySolveCold) {
+  const Graph g = make_grid(6, 6);
+  SvcOptions options = test_options();
+  options.batch_size = 1;
+  options.warm = false;
+  Service service(options);
+  std::vector<std::string> out;
+  service.submit_line(solve_line("p", g), out);
+  service.submit_line(
+      mutate_ref_line("m", graph_fingerprint(g), ",\"add_edges\":[0,35]"),
+      out);
+  service.drain(out);
+  std::string child_fp;
+  ASSERT_TRUE(json_parse_string(out[1], "fingerprint", child_fp));
+  out.clear();
+  service.submit_line(solve_ref_line("s", child_fp), out);
+  service.drain(out);
+  bool warm = false;
+  EXPECT_FALSE(json_parse_bool(out[0], "warm", warm));
+  std::string method;
+  ASSERT_TRUE(json_parse_string(out[0], "method", method));
+  EXPECT_NE(method, "warm-kl");
+  EXPECT_EQ(service.metrics().counter(Counter::kSvcSolveWarm), 0u);
+}
+
+TEST(Service, MutationChainIsThreadCountInvariant) {
+  const Graph grid = make_grid(6, 6);
+  const Graph ladder = make_ladder(9);
+  const std::string grid_fp = to_hex16(graph_fingerprint(grid));
+  std::vector<std::string> lines;
+  lines.push_back(solve_line("a", grid, ",\"want_sides\":true"));
+  lines.push_back(solve_line("b", ladder));
+  lines.push_back(mutate_inline_line("m1", grid, ",\"add_edges\":[0,35]"));
+  lines.push_back(mutate_inline_line(
+      "m2", grid, ",\"add_vertices\":2,\"add_edges\":[36,0,37,35]"));
+  // Chain the first child: mutate-of-mutate inside the same stream.
+  lines.push_back(
+      "{\"id\":\"bad\",\"op\":\"mutate\",\"parent\":\"" + grid_fp +
+      "\",\"add_edges\":[0,1]}");  // duplicate edge: deterministic error
+  lines.push_back(solve_line("c", grid, ",\"want_sides\":true"));  // repeat
+  lines.push_back("{\"id\":\"s\",\"op\":\"stats\"}");
+
+  const auto one = strip_timing(run_sequence(test_options(1), lines));
+  const auto two = strip_timing(run_sequence(test_options(2), lines));
+  const auto eight = strip_timing(run_sequence(test_options(8), lines));
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+TEST(Service, WarmSolveChainIsThreadCountInvariant) {
+  // The full dynamic pipeline — cold solve, mutate, warm solve of the
+  // child — must keep the byte-determinism contract. Fingerprints are
+  // content-addressed, so the request lines can name the child without
+  // reading earlier responses.
+  const Graph grid = make_grid(6, 6);
+  MutationBatch batch;
+  batch.add_edges = {0, 35};
+  const Graph child = apply_mutation(grid, batch).child;
+  const std::string child_fp = to_hex16(graph_fingerprint(child));
+  std::vector<std::string> lines;
+  lines.push_back(solve_line("p", grid));
+  lines.push_back(mutate_ref_line("m", graph_fingerprint(grid),
+                                  ",\"add_edges\":[0,35]"));
+  lines.push_back(solve_ref_line("w", child_fp, ",\"want_sides\":true"));
+  lines.push_back(solve_ref_line("w2", child_fp, ",\"want_sides\":true"));
+
+  SvcOptions options = test_options(1);
+  options.batch_size = 1;  // each step lands before the next is planned
+  const auto one = run_sequence(options, lines);
+  options.threads = 8;
+  const auto eight = run_sequence(options, lines);
+  EXPECT_EQ(one, eight);
+  ASSERT_EQ(one.size(), 4u);
+  EXPECT_NE(one[2].find("\"warm\":true"), std::string::npos) << one[2];
+}
+
+TEST(Service, LineageJournalReplaysMutationsAcrossRestart) {
+  const std::string path = temp_journal("svc_lineage_restart.jsonl");
+  const Graph g = make_grid(6, 6);
+  SvcOptions options = test_options();
+  options.batch_size = 1;
+  options.cache_file = path;
+
+  std::vector<std::string> cold;
+  {
+    Service service(options);
+    ASSERT_TRUE(service.cache_store_ok());
+    service.submit_line(
+        mutate_inline_line("m", g, ",\"add_edges\":[0,35]"), cold);
+    service.drain(cold);
+    ASSERT_EQ(cold.size(), 1u);
+    ASSERT_TRUE(cold[0].find("\"ok\":true") != std::string::npos) << cold[0];
+  }
+
+  // Fresh service (crash stand-in): the graph is gone — graphs are
+  // never journaled — but the lineage record replays, so the same
+  // mutate (now by parent reference) answers byte-identically.
+  Service warm(options);
+  ASSERT_TRUE(warm.cache_store_ok());
+  EXPECT_EQ(warm.metrics().counter(Counter::kSvcLineageRestored), 1u);
+  EXPECT_EQ(warm.lineage_size(), 1u);
+  std::vector<std::string> replayed;
+  warm.submit_line(
+      mutate_ref_line("m", graph_fingerprint(g), ",\"add_edges\":[0,35]"),
+      replayed);
+  warm.drain(replayed);
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0], cold[0]);
+
+  // A *different* batch on the vanished parent still fails: only
+  // recorded derivations survive a restart without the graph.
+  std::vector<std::string> out;
+  warm.submit_line(
+      mutate_ref_line("x", graph_fingerprint(g), ",\"add_edges\":[0,14]"),
+      out);
+  warm.drain(out);
+  std::string error;
+  ASSERT_TRUE(json_parse_string(out[0], "error", error));
+  EXPECT_EQ(error,
+            "io: unknown graph \"" + to_hex16(graph_fingerprint(g)) + "\"");
+}
+
+TEST(Service, RestoredLineageHealsAndWarmStartsAfterRematerialization) {
+  const std::string path = temp_journal("svc_lineage_heal.jsonl");
+  const Graph g = make_grid(6, 6);
+  SvcOptions options = test_options();
+  options.batch_size = 1;
+  options.cache_file = path;
+  {
+    Service service(options);
+    std::vector<std::string> out;
+    service.submit_line(
+        mutate_inline_line("m", g, ",\"add_edges\":[0,35]"), out);
+    service.drain(out);
+  }
+  // After restart the restored record has no vertex map. Re-sending
+  // the parent (inline) re-materializes the chain, heals the map in
+  // place, and the child solve warm-starts off the parent's partition.
+  Service warm(options);
+  std::vector<std::string> out;
+  warm.submit_line(solve_line("p", g), out);
+  warm.submit_line(
+      mutate_ref_line("m", graph_fingerprint(g), ",\"add_edges\":[0,35]"),
+      out);
+  warm.drain(out);
+  ASSERT_EQ(out.size(), 2u);
+  std::string child_fp;
+  ASSERT_TRUE(json_parse_string(out[1], "fingerprint", child_fp));
+  out.clear();
+  warm.submit_line(solve_ref_line("s", child_fp), out);
+  warm.drain(out);
+  bool is_warm = false;
+  ASSERT_TRUE(json_parse_bool(out[0], "warm", is_warm)) << out[0];
+  EXPECT_TRUE(is_warm);
+}
+
+TEST(Service, StatsV3ReportsDynamicGraphCounters) {
+  const Graph g = make_grid(4, 4);
+  SvcOptions options = test_options();
+  options.batch_size = 1;
+  Service service(options);
+  std::vector<std::string> out;
+  service.submit_line(mutate_inline_line("m", g, ",\"add_vertices\":1"), out);
+  // Rejected at the mutate layer (a parse error would not count).
+  service.submit_line(mutate_inline_line("bad", g, ",\"add_edges\":[0,1]"),
+                      out);
+  service.drain(out);
+  out.clear();
+  service.submit_line("{\"id\":\"s\",\"op\":\"stats\"}", out);
+  service.drain(out);
+  ASSERT_EQ(out.size(), 1u);
+  std::uint64_t value = 0;
+  ASSERT_TRUE(json_parse_u64(out[0], "mutate_ok", value));
+  EXPECT_EQ(value, 1u);
+  ASSERT_TRUE(json_parse_u64(out[0], "mutate_rejected", value));
+  EXPECT_EQ(value, 1u);
+  ASSERT_TRUE(json_parse_u64(out[0], "graphstore_entries", value));
+  EXPECT_EQ(value, 2u);  // parent + child
+  ASSERT_TRUE(json_parse_u64(out[0], "graphstore_bytes", value));
+  EXPECT_GT(value, 0u);
+  ASSERT_TRUE(json_parse_u64(out[0], "lineage_records", value));
+  EXPECT_EQ(value, 1u);
+  EXPECT_TRUE(json_parse_u64(out[0], "solve_warm", value));
+  EXPECT_TRUE(json_parse_u64(out[0], "warm_fallback", value));
+  EXPECT_TRUE(json_parse_u64(out[0], "graphstore_evictions", value));
+  EXPECT_TRUE(json_parse_u64(out[0], "lineage_restored", value));
+}
+
+TEST(Protocol, MutateParseErrorsAreStable) {
+  SvcRequest request;
+  std::string error;
+  // No parent at all.
+  EXPECT_FALSE(parse_request("{\"id\":\"m\",\"op\":\"mutate\"}", request,
+                             error));
+  EXPECT_EQ(error,
+            "parse: mutate needs a parent graph (\"parent\", \"path\" or "
+            "\"inline\")");
+  // Two parent references at once.
+  EXPECT_FALSE(parse_request(
+      "{\"id\":\"m\",\"op\":\"mutate\",\"parent\":\"" + to_hex16(1) +
+          "\",\"path\":\"g.graph\",\"add_vertices\":1}",
+      request, error));
+  EXPECT_EQ(error, "parse: mutate parent references are mutually exclusive");
+  // Malformed fingerprint.
+  EXPECT_FALSE(parse_request(
+      "{\"id\":\"m\",\"op\":\"mutate\",\"parent\":\"xyz\",\"add_vertices\":1}",
+      request, error));
+  EXPECT_EQ(error, "parse: \"parent\" must be a 16-digit hex fingerprint");
+  // Bad edit arrays.
+  EXPECT_FALSE(parse_request("{\"id\":\"m\",\"op\":\"mutate\",\"parent\":\"" +
+                                 to_hex16(1) + "\",\"add_edges\":[1,-2]}",
+                             request, error));
+  EXPECT_EQ(error,
+            "parse: \"add_edges\" must be an array of at most 1048576 "
+            "non-negative integers");
+  // A valid line round-trips the batch.
+  ASSERT_TRUE(parse_request(
+      "{\"id\":\"m\",\"op\":\"mutate\",\"parent\":\"" + to_hex16(9) +
+          "\",\"add_edges\":[3,4],\"del_edges\":[1,2],\"add_vertices\":2,"
+          "\"del_vertices\":[0]}",
+      request, error))
+      << error;
+  EXPECT_EQ(request.op, SvcRequest::Op::kMutate);
+  EXPECT_TRUE(request.has_fingerprint);
+  EXPECT_EQ(request.fingerprint, 9u);
+  EXPECT_EQ(request.batch.add_edges, (std::vector<std::uint64_t>{3, 4}));
+  EXPECT_EQ(request.batch.del_edges, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(request.batch.add_vertices, 2u);
+  EXPECT_EQ(request.batch.del_vertices, (std::vector<std::uint64_t>{0}));
+  // Solve accepts a graph reference; mixing it with a payload fails.
+  ASSERT_TRUE(parse_request("{\"id\":\"s\",\"op\":\"solve\",\"graph\":\"" +
+                                to_hex16(9) + "\"}",
+                            request, error));
+  EXPECT_TRUE(request.has_fingerprint);
+  EXPECT_FALSE(parse_request("{\"id\":\"s\",\"op\":\"solve\",\"graph\":\"" +
+                                 to_hex16(9) + "\",\"path\":\"g\"}",
+                             request, error));
+  EXPECT_EQ(error, "parse: graph payloads are mutually exclusive");
 }
 
 }  // namespace

@@ -121,6 +121,12 @@ void print_help(std::ostream& out) {
          "                     replays it so pre-crash solves answer as\n"
          "                     byte-identical warm hits (env\n"
          "                     GBIS_SVC_CACHE_FILE, flag wins)\n"
+         "      --graph-mb N   graph-store budget in MiB for graphs\n"
+         "                     referenced by fingerprint (256; env\n"
+         "                     GBIS_SVC_GRAPH_MB, flag wins)\n"
+         "      --no-warm      disable lineage warm-start solves; every\n"
+         "                     solve runs the cold portfolio (env\n"
+         "                     GBIS_SVC_WARM=0)\n"
          "      --no-brownout  disable the overload brownout ladder\n"
          "                     (env GBIS_SVC_BROWNOUT=0)\n"
          "      --brownout-window N  cold solves in the deadline-miss\n"
@@ -189,7 +195,8 @@ void print_help(std::ostream& out) {
          "GBIS_PROGRESS=1 are the environment forms of --metrics,\n"
          "--trace-dir, and --progress (flags win); GBIS_SVC_CACHE_MB,\n"
          "GBIS_SVC_CACHE_FILE, GBIS_SVC_ACCESS_LOG, GBIS_SVC_SLOW_MS,\n"
-         "GBIS_SVC_BROWNOUT, and GBIS_SVC_BROWNOUT_WINDOW do the same\n"
+         "GBIS_SVC_BROWNOUT, GBIS_SVC_BROWNOUT_WINDOW, GBIS_SVC_GRAPH_MB,\n"
+         "and GBIS_SVC_WARM do the same\n"
          "for the serve flags; GBIS_SVC_FAULTS=kind@site:N[,...] injects\n"
          "service-scoped faults (kinds: throw, hang, oom, crash; sites:\n"
          "req, solve, batch) — see docs/OBSERVABILITY.md,\n"
@@ -545,6 +552,10 @@ int cmd_serve(const std::vector<std::string>& args, std::uint64_t seed,
     } else if (arg == "--cache-file") {
       options.cache_file = flag_value();
       if (options.cache_file.empty()) usage();
+    } else if (arg == "--graph-mb") {
+      options.graph_store_bytes = to_u64(flag_value()) << 20;
+    } else if (arg == "--no-warm") {
+      options.warm = false;
     } else if (arg == "--no-brownout") {
       options.brownout = false;
     } else if (arg == "--brownout-window") {

@@ -17,6 +17,13 @@ Two delivery modes:
     response. A brownout shed ("rejected: brownout ...") is retried up
     to N times, honoring the server's `retry_after_ms` backoff hint —
     the reference implementation of the docs/SERVICE.md retry contract.
+  * --chain: send one line at a time, substituting `@fp:ID` tokens with
+    the `fingerprint` field of the earlier response whose id was ID —
+    how a request file scripts a mutate/warm-solve chain ("mutate the
+    graph, then solve the child") without knowing fingerprints ahead of
+    time. --record FILE writes the resolved request lines, so the same
+    chain can then be replayed verbatim over stdio (`gbis serve
+    --replay FILE`) and diffed against the socket responses.
 
 --sigterm-count K sends K SIGTERMs 50 ms apart at teardown. With the
 escalating handlers (docs/ROBUSTNESS.md) the exit code stays 130 for
@@ -30,6 +37,7 @@ the full request stream, and exited 130 on SIGTERM.
 import argparse
 import json
 import os
+import re
 import signal
 import socket
 import subprocess
@@ -131,6 +139,50 @@ def run_session_with_retry(sock, request_bytes, max_retries):
     return b"".join(line + b"\n" for line in responses)
 
 
+FP_TOKEN = re.compile(r"@fp:([A-Za-z0-9_.-]+)")
+
+
+def run_session_chain(sock, request_bytes, record_path):
+    """One request at a time, resolving @fp:ID fingerprint references.
+
+    Each response's `fingerprint` field is recorded under its `id`;
+    later requests may reference it as `@fp:ID` (mutate responses carry
+    the *child* fingerprint, which is the token chains care about).
+    """
+    fingerprints = {}
+
+    def resolve(match):
+        ref = match.group(1)
+        if ref not in fingerprints:
+            raise SystemExit(f"@fp:{ref} references a response with no "
+                             "recorded fingerprint")
+        return fingerprints[ref]
+
+    responses = []
+    resolved_lines = []
+    buffer = b""
+    for request in request_bytes.splitlines():
+        request = request.strip()
+        if not request:
+            continue
+        resolved = FP_TOKEN.sub(resolve, request.decode("utf-8"))
+        resolved_lines.append(resolved)
+        sock.sendall(resolved.encode("utf-8") + b"\n")
+        response, buffer = read_line(sock, buffer)
+        responses.append(response)
+        try:
+            parsed = json.loads(response)
+        except ValueError:
+            continue
+        if parsed.get("ok") and "fingerprint" in parsed and "id" in parsed:
+            fingerprints[parsed["id"]] = parsed["fingerprint"]
+    sock.close()
+    if record_path:
+        with open(record_path, "w", encoding="utf-8") as handle:
+            handle.write("".join(line + "\n" for line in resolved_lines))
+    return b"".join(line + b"\n" for line in responses)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("gbis", help="path to the gbis binary")
@@ -142,6 +194,12 @@ def main():
     parser.add_argument("--retry", type=int, default=0, metavar="N",
                         help="line-at-a-time mode: retry brownout sheds "
                              "up to N times, honoring retry_after_ms")
+    parser.add_argument("--chain", action="store_true",
+                        help="line-at-a-time mode resolving @fp:ID "
+                             "fingerprint references (mutate chains)")
+    parser.add_argument("--record", metavar="FILE", default="",
+                        help="with --chain: write the resolved request "
+                             "lines to FILE for a stdio replay diff")
     parser.add_argument("--sigterm-count", type=int, default=1, metavar="K",
                         help="SIGTERMs sent 50 ms apart at teardown "
                              "(exit must stay 130 for any K)")
@@ -162,7 +220,10 @@ def main():
         try:
             ready_lines = wait_for_ready_file(ready_file, proc)
             sock = connect(ready_lines, args.transport)
-            if args.retry > 0:
+            if args.chain:
+                responses = run_session_chain(sock, request_bytes,
+                                              args.record)
+            elif args.retry > 0:
                 responses = run_session_with_retry(sock, request_bytes,
                                                    args.retry)
             else:

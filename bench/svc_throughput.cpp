@@ -59,11 +59,13 @@ Graph bench_graph() {
   return make_gnp(500, gnp_p_for_degree(500, 5.0), rng);
 }
 
-std::string request_line(const Graph& g, std::uint64_t seed) {
+std::string request_line(const Graph& g, std::uint64_t seed,
+                         const std::string& quality = "") {
   std::ostringstream payload;
   write_edge_list(payload, g);
-  std::string line = "{\"op\":\"solve\",\"seed\":" + std::to_string(seed) +
-                     ",\"budget\":4,\"inline\":";
+  std::string line = "{\"op\":\"solve\",\"seed\":" + std::to_string(seed);
+  if (!quality.empty()) line += ",\"quality\":\"" + quality + "\"";
+  line += ",\"budget\":4,\"inline\":";
   append_json_string(line, payload.str());
   line += "}";
   return line;
@@ -113,6 +115,33 @@ void BM_SvcSolve_CacheHit(benchmark::State& state) {
   report_service_counters(state, service);
 }
 BENCHMARK(BM_SvcSolve_CacheHit)->Unit(benchmark::kMillisecond);
+
+// The quality-vs-latency ladder, one rung per Arg: cold solves pinned
+// to a single tier, so the per-rung request-latency summaries land in
+// the snapshot side by side. The ladder acceptance is monotone cost:
+// fast p99 < balanced p99 < best p99 on this graph (fast runs one
+// greedy+hill-climb trial; best races the full six-method portfolio).
+void BM_SvcSolve_Quality(benchmark::State& state) {
+  static constexpr const char* kTiers[] = {"fast", "balanced", "best"};
+  const std::string tier = kTiers[state.range(0)];
+  const Graph g = bench_graph();
+  Service service(bench_options());
+  std::uint64_t seed = 0;
+  std::vector<std::string> out;
+  for (auto _ : state) {
+    service.submit_line(request_line(g, ++seed, tier), out);
+    service.drain(out);
+    benchmark::DoNotOptimize(out);
+    out.clear();
+  }
+  state.SetLabel(tier);
+  report_service_counters(state, service);
+}
+BENCHMARK(BM_SvcSolve_Quality)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
 
 // Warm restart (svc/cache_store): seed a journal with `entries`
 // distinct solve identities once, then measure the crash-recovery

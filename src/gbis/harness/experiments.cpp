@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <limits>
 #include <memory>
 #include <sstream>
@@ -67,10 +68,11 @@ std::uint32_t graphs_per_setting(const ExperimentEnv& env,
                                      : env.graphs_per_setting;
 }
 
-/// The 13 columns of the paper's appendix layout: the parameter, then
-/// (cut, compacted cut, improvement%, time, compacted time, relative
-/// speed-up%) for SA and for KL. Mirrors every row to
-/// $GBIS_CSV_DIR/<slug>.csv when the env var is set.
+/// The paper's 13 appendix columns — the parameter, then (cut,
+/// compacted cut, improvement%, time, compacted time, relative
+/// speed-up%) for SA and for KL — plus the Berry–Goldberg
+/// path-optimization pair (bpo, t_po) on the right. Mirrors every row
+/// to $GBIS_CSV_DIR/<slug>.csv when the env var is set.
 class AppendixEmitter {
  public:
   AppendixEmitter(const ExperimentEnv& env, const std::string& slug,
@@ -87,7 +89,9 @@ class AppendixEmitter {
                            {"kl_impr%", 8},
                            {"t_kl", 8},
                            {"t_ckl", 8},
-                           {"kl_spd%", 7}}) {
+                           {"kl_spd%", 7},
+                           {"bpo", 8},
+                           {"t_po", 8}}) {
     table_.print_header();
     if (!env.csv_dir.empty()) {
       csv_file_ = std::make_unique<std::ofstream>(env.csv_dir + "/" + slug +
@@ -97,8 +101,9 @@ class AppendixEmitter {
             *csv_file_,
             std::vector<std::string>{param_header, "bsa", "bcsa", "t_sa",
                                      "t_csa", "bkl", "bckl", "t_kl",
-                                     "t_ckl", "sa_status", "csa_status",
-                                     "kl_status", "ckl_status"});
+                                     "t_ckl", "bpo", "t_po", "sa_status",
+                                     "csa_status", "kl_status",
+                                     "ckl_status", "po_status"});
       }
     }
   }
@@ -117,6 +122,8 @@ class AppendixEmitter {
         .cell(row.tkl, 3)
         .cell(row.tckl, 3)
         .cell(percent_improvement(row.tkl, row.tckl), 1);
+    cut_cell(row.bpo, row.po_note);
+    table_.cell(row.tpo, 3);
     table_.end_row();
     degraded_cells_ += row.degraded_cells;
     if (csv_ != nullptr) {
@@ -129,10 +136,13 @@ class AppendixEmitter {
           .cell(row.bckl)
           .cell(row.tkl)
           .cell(row.tckl)
+          .cell(row.bpo)
+          .cell(row.tpo)
           .cell(row.sa_note.empty() ? "ok" : row.sa_note)
           .cell(row.csa_note.empty() ? "ok" : row.csa_note)
           .cell(row.kl_note.empty() ? "ok" : row.kl_note)
-          .cell(row.ckl_note.empty() ? "ok" : row.ckl_note);
+          .cell(row.ckl_note.empty() ? "ok" : row.ckl_note)
+          .cell(row.po_note.empty() ? "ok" : row.po_note);
       csv_->end_row();
     }
   }
@@ -206,12 +216,14 @@ RunConfig experiment_run_config(const ExperimentEnv& env) {
 
 FourWayRow run_four_way(std::span<const Graph> graphs, Rng& rng,
                         const RunConfig& config) {
-  // One trial matrix over all graphs and the four paper methods: every
-  // (graph, method, start) runs as its own job with its own Rng derived
-  // from (base, trial id), so the row is bit-identical for any thread
-  // count and the driver stream advances by exactly one draw.
+  // One trial matrix over all graphs, the four paper methods, and the
+  // path-optimization column: every (graph, method, start) runs as its
+  // own job with its own Rng derived from (base, trial id), so the row
+  // is bit-identical for any thread count and the driver stream
+  // advances by exactly one draw.
   constexpr Method kMethods[] = {Method::kSa, Method::kCsa, Method::kKl,
-                                 Method::kCkl};
+                                 Method::kCkl, Method::kPathOpt};
+  constexpr std::size_t kNumMethods = std::size(kMethods);
   const std::vector<MethodOutcome> outcomes =
       run_trial_matrix(graphs, kMethods, config, rng.next());
 
@@ -220,14 +232,17 @@ FourWayRow run_four_way(std::span<const Graph> graphs, Rng& rng,
   // carries a "err"/"t/o"/"skip" marker. Times always accumulate — CPU
   // was spent whether or not the trial finished.
   FourWayRow row;
-  double* const cuts[4] = {&row.bsa, &row.bcsa, &row.bkl, &row.bckl};
-  double* const times[4] = {&row.tsa, &row.tcsa, &row.tkl, &row.tckl};
-  std::string* const notes[4] = {&row.sa_note, &row.csa_note, &row.kl_note,
-                                 &row.ckl_note};
-  std::uint32_t ok_cells[4] = {0, 0, 0, 0};
+  double* const cuts[kNumMethods] = {&row.bsa, &row.bcsa, &row.bkl,
+                                     &row.bckl, &row.bpo};
+  double* const times[kNumMethods] = {&row.tsa, &row.tcsa, &row.tkl,
+                                      &row.tckl, &row.tpo};
+  std::string* const notes[kNumMethods] = {&row.sa_note, &row.csa_note,
+                                           &row.kl_note, &row.ckl_note,
+                                           &row.po_note};
+  std::uint32_t ok_cells[kNumMethods] = {};
   for (std::size_t g = 0; g < graphs.size(); ++g) {
-    for (std::size_t m = 0; m < 4; ++m) {
-      const MethodOutcome& outcome = outcomes[g * 4 + m];
+    for (std::size_t m = 0; m < kNumMethods; ++m) {
+      const MethodOutcome& outcome = outcomes[g * kNumMethods + m];
       *times[m] += outcome.cpu_seconds;
       if (outcome.status == TrialStatus::kOk) {
         *cuts[m] += static_cast<double>(outcome.best_cut);
@@ -241,7 +256,7 @@ FourWayRow run_four_way(std::span<const Graph> graphs, Rng& rng,
     }
   }
   const auto k = static_cast<double>(graphs.size());
-  for (std::size_t m = 0; m < 4; ++m) {
+  for (std::size_t m = 0; m < kNumMethods; ++m) {
     *cuts[m] = ok_cells[m] > 0
                    ? *cuts[m] / static_cast<double>(ok_cells[m])
                    : std::numeric_limits<double>::quiet_NaN();

@@ -50,26 +50,30 @@ ExperimentEnv experiment_env();
 /// The RunConfig the paper-table drivers use for KL/SA/CKL/CSA.
 RunConfig experiment_run_config(const ExperimentEnv& env);
 
-/// Averaged best-of-k results of the four paper methods over a batch
-/// of same-parameter graphs (the appendix averages 3 Gbreg samples per
-/// setting). Times are summed per-trial CPU seconds (the paper's
-/// total-over-starts protocol), so they are comparable across
+/// Averaged best-of-k results of the four paper methods — plus the
+/// Berry–Goldberg path-optimization column the portfolio races — over
+/// a batch of same-parameter graphs (the appendix averages 3 Gbreg
+/// samples per setting). Times are summed per-trial CPU seconds (the
+/// paper's total-over-starts protocol), so they are comparable across
 /// GBIS_THREADS settings.
 struct FourWayRow {
   double bsa = 0, bcsa = 0, bkl = 0, bckl = 0;  ///< average best cuts
   double tsa = 0, tcsa = 0, tkl = 0, tckl = 0;  ///< average CPU seconds
+  double bpo = 0;  ///< average best path-optimization cut
+  double tpo = 0;  ///< average path-optimization CPU seconds
   /// Degraded-cell markers, one per method ("" = every graph's cell was
   /// ok; otherwise "err"/"t/o"/"skip" from trial_status_cell). Cuts
   /// average over ok cells only; a method with zero ok cells reports
   /// NaN cuts and its marker is rendered in the cut column instead.
-  std::string sa_note, csa_note, kl_note, ckl_note;
+  std::string sa_note, csa_note, kl_note, ckl_note, po_note;
   std::uint32_t degraded_cells = 0;  ///< (graph, method) cells not ok
 };
 
-/// Runs SA, CSA, KL, CKL on every graph via the parallel trial runner
-/// (graphs × methods × starts jobs on config.threads workers) and
-/// averages. Consumes exactly one draw from `rng`, so the caller's
-/// stream — and every cut — is independent of the thread count.
+/// Runs SA, CSA, KL, CKL, and path optimization on every graph via the
+/// parallel trial runner (graphs × methods × starts jobs on
+/// config.threads workers) and averages. Consumes exactly one draw
+/// from `rng`, so the caller's stream — and every cut — is independent
+/// of the thread count.
 FourWayRow run_four_way(std::span<const Graph> graphs, Rng& rng,
                         const RunConfig& config);
 

@@ -122,6 +122,7 @@ std::vector<TrialResult> run_trials_ex(std::span<const Graph> graphs,
         local.kl.deadline = deadline;
         local.sa.deadline = deadline;
         local.fm.deadline = deadline;
+        local.path.deadline = deadline;
         if (collect) {
           tm = std::make_shared<TrialMetrics>();
           tm->start_offset_seconds = epoch.elapsed_seconds();

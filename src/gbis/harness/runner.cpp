@@ -8,37 +8,22 @@
 #include "gbis/baseline/spectral.hpp"
 #include "gbis/harness/parallel_runner.hpp"
 #include "gbis/harness/timer.hpp"
+#include "gbis/methods/registry.hpp"
 
 namespace gbis {
 
 std::string method_name(Method method) {
-  switch (method) {
-    case Method::kKl: return "KL";
-    case Method::kSa: return "SA";
-    case Method::kCkl: return "CKL";
-    case Method::kCsa: return "CSA";
-    case Method::kFm: return "FM";
-    case Method::kCfm: return "CFM";
-    case Method::kMultilevelKl: return "MLKL";
-    case Method::kGreedy: return "Greedy";
-    case Method::kSpectral: return "Spectral";
-    case Method::kRandom: return "Random";
+  const std::size_t index = static_cast<std::size_t>(method);
+  if (index >= method_registry().size()) {
+    throw std::invalid_argument("method_name: unknown method");
   }
-  throw std::invalid_argument("method_name: unknown method");
+  return method_registry()[index].display_name;
 }
 
 bool method_from_name(const std::string& name, Method& out) {
-  if (name == "kl") out = Method::kKl;
-  else if (name == "sa") out = Method::kSa;
-  else if (name == "ckl") out = Method::kCkl;
-  else if (name == "csa") out = Method::kCsa;
-  else if (name == "fm") out = Method::kFm;
-  else if (name == "cfm") out = Method::kCfm;
-  else if (name == "mlkl") out = Method::kMultilevelKl;
-  else if (name == "greedy") out = Method::kGreedy;
-  else if (name == "spectral") out = Method::kSpectral;
-  else if (name == "random") out = Method::kRandom;
-  else return false;
+  const MethodInfo* info = method_info_by_name(name);
+  if (info == nullptr) return false;
+  out = info->method;
   return true;
 }
 
@@ -95,6 +80,20 @@ Bisection run_one_start(const Graph& g, Method method, Rng& rng,
     case Method::kRandom: {
       const ScopedPhase bisect(sink, Phase::kBisect);
       return best_random_bisection(g, rng);
+    }
+    case Method::kPathOpt: {
+      if (sink != nullptr) sink->begin_phase(Phase::kGen);
+      Bisection b = Bisection::random(g, rng);
+      if (sink != nullptr) sink->end_phase(Phase::kGen);
+      const ScopedPhase refine(sink, Phase::kRefine);
+      PathOptOptions path = config.path;
+      path.metrics = sink;
+      path_opt_refine(b, path);
+      return b;
+    }
+    case Method::kGreedyHc: {
+      const ScopedPhase bisect(sink, Phase::kBisect);
+      return greedy_hc_bisection(g, rng, config.greedy_hc);
     }
   }
   throw std::invalid_argument("run_method: unknown method");

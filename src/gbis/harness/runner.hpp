@@ -21,6 +21,8 @@
 #include "gbis/fm/fm.hpp"
 #include "gbis/graph/graph.hpp"
 #include "gbis/kl/kl.hpp"
+#include "gbis/methods/greedy.hpp"
+#include "gbis/methods/path_opt.hpp"
 #include "gbis/obs/metrics.hpp"
 #include "gbis/partition/bisection.hpp"
 #include "gbis/rng/rng.hpp"
@@ -40,6 +42,10 @@ enum class Method {
   kGreedy,        ///< greedy region growing (baseline)
   kSpectral,      ///< spectral bisection (baseline/extension)
   kRandom,        ///< best random bisection (baseline)
+  // Append-only: the enum value is the service cache journal's
+  // method_key and the methods/registry row index.
+  kPathOpt,       ///< Berry-Goldberg path optimization (methods/path_opt)
+  kGreedyHc,      ///< greedy + bounded hill climb (methods/greedy)
 };
 
 /// Short display name ("KL", "CSA", ...).
@@ -63,6 +69,8 @@ struct RunConfig {
   KlOptions kl;
   SaOptions sa;
   FmOptions fm;
+  PathOptOptions path;
+  GreedyHcOptions greedy_hc;
   CompactionOptions compaction;
   MultilevelOptions multilevel;
   /// Observability knobs (collection, export paths, live progress).

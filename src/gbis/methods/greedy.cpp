@@ -1,0 +1,21 @@
+#include "gbis/methods/greedy.hpp"
+
+#include <cstdint>
+
+#include "gbis/baseline/greedy.hpp"
+#include "gbis/baseline/hill_climb.hpp"
+
+namespace gbis {
+
+Bisection greedy_hc_bisection(const Graph& g, Rng& rng,
+                              const GreedyHcOptions& options) {
+  Bisection b = greedy_bisection(g, rng);
+  HillClimbOptions climb;
+  const double n = static_cast<double>(g.num_vertices());
+  climb.max_proposals = static_cast<std::uint64_t>(options.proposal_factor * n);
+  climb.patience_factor = options.patience_factor;
+  if (climb.max_proposals > 0) hill_climb(b, rng, climb);
+  return b;
+}
+
+}  // namespace gbis

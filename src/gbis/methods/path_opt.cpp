@@ -1,0 +1,127 @@
+#include "gbis/methods/path_opt.hpp"
+
+#include <cstddef>
+
+#include "gbis/obs/metrics.hpp"
+#include "gbis/partition/gains.hpp"
+
+namespace gbis {
+
+Weight path_opt_pass(Bisection& bisection, PathOptStats* stats,
+                     const PathOptOptions& options) {
+  const Graph& g = bisection.graph();
+  const std::size_t n = g.num_vertices();
+  const Weight cut_before = bisection.cut();
+
+  // Virtual flip state: `sides` and `gains` track the partition as if
+  // the sequence's flips had been applied. Unlocked vertices never
+  // flip before they are picked, so an unlocked vertex's virtual side
+  // is its real side and the `required` test below reads `sides`
+  // directly.
+  std::vector<std::uint8_t> sides(bisection.sides().begin(),
+                                  bisection.sides().end());
+  std::vector<Weight> gains = all_gains(bisection);
+  std::vector<std::uint8_t> locked(n, 0);
+
+  // Walk stamps: every flip restamps its neighbors with a fresh clock
+  // tick (one tick per neighbor, so later updates always outrank
+  // earlier ones). Gain ties then prefer the highest stamp — the
+  // vertex the sequence touched most recently, which is a neighbor of
+  // the last flip whenever one is eligible. This is Berry & Goldberg's
+  // near-greedy walk as a *bias* instead of a restriction: the
+  // sequence follows edges while the walk stays gain-optimal and
+  // teleports to the global best otherwise. (It is also exactly the
+  // locality KL inherits from its LIFO gain buckets; with first-scan
+  // ties instead, the planted and ladder classes stall 2-3x above
+  // KL's local optima.)
+  std::vector<std::uint64_t> stamp(n, 0);
+  std::uint64_t clock = 0;
+
+  std::vector<Vertex> path;
+  path.reserve(n);
+  Weight cumulative = 0, best_cumulative = 0;
+  std::size_t best_len = 0;
+  std::uint64_t polls = 0;
+
+  // Grow one flip sequence in balance pairs — side 0 first, side 1
+  // second, like a KL pair — until either side runs out of unlocked
+  // vertices. Flipping any even prefix moves equal counts each way,
+  // so every even prefix is a balance-preserving candidate.
+  for (;;) {
+    if ((path.size() & 31u) == 0) {
+      options.deadline.check();
+      ++polls;
+    }
+    const std::uint8_t required = (path.size() & 1u) != 0 ? 1 : 0;
+    // Selection: max gain over eligible vertices; ties prefer the
+    // most recent stamp, then the lowest id (first scanned).
+    bool found = false;
+    Vertex pick = 0;
+    for (Vertex v = 0; v < n; ++v) {
+      if (locked[v] != 0 || sides[v] != required) continue;
+      if (!found || gains[v] > gains[pick] ||
+          (gains[v] == gains[pick] && stamp[v] > stamp[pick])) {
+        found = true;
+        pick = v;
+      }
+    }
+    if (!found) break;  // one side exhausted; the tail can't pair up
+
+    path.push_back(pick);
+    locked[pick] = 1;
+    cumulative += gains[pick];
+    for (const Vertex u : g.neighbors(pick)) stamp[u] = ++clock;
+    update_gains_after_move(g, sides, pick, gains);
+    sides[pick] ^= 1;
+
+    // Best even prefix; on ties keep the longest (a zero-gain plateau
+    // still shifts the cut, which later passes exploit — but only once
+    // a strictly improving prefix exists, so a no-gain pass stays a
+    // no-op and refine's fixpoint test remains sound).
+    if ((path.size() & 1u) == 0 &&
+        (cumulative > best_cumulative ||
+         (cumulative == best_cumulative && best_len > 0))) {
+      best_cumulative = cumulative;
+      best_len = path.size();
+    }
+  }
+
+  // Commit the best prefix for real; the virtual tail is simply
+  // abandoned (sides/gains die with this call frame).
+  for (std::size_t k = 0; k < best_len; ++k) bisection.move(path[k]);
+
+  if (stats != nullptr) {
+    stats->paths += path.empty() ? 0 : 1;
+    stats->flips_proposed += path.size();
+    stats->flips_applied += best_len;
+  }
+  if (MetricsSink* sink = options.metrics; sink != nullptr) {
+    sink->add(Counter::kPoPaths, path.empty() ? 0 : 1);
+    sink->add(Counter::kPoFlipsProposed, path.size());
+    sink->add(Counter::kPoFlipsApplied, best_len);
+    sink->add(Counter::kDeadlinePolls, polls);
+  }
+  return cut_before - bisection.cut();
+}
+
+PathOptStats path_opt_refine(Bisection& bisection,
+                             const PathOptOptions& options) {
+  PathOptStats stats;
+  stats.initial_cut = bisection.cut();
+  for (;;) {
+    options.deadline.check();
+    const Weight improvement = path_opt_pass(bisection, &stats, options);
+    ++stats.passes;
+    if (MetricsSink* sink = options.metrics; sink != nullptr) {
+      sink->add(Counter::kPoPasses);
+      sink->add(Counter::kDeadlinePolls);  // the per-pass check above
+      sink->trace_point(TraceSource::kPo, bisection.cut());
+    }
+    if (improvement == 0) break;
+    if (options.max_passes != 0 && stats.passes >= options.max_passes) break;
+  }
+  stats.final_cut = bisection.cut();
+  return stats;
+}
+
+}  // namespace gbis

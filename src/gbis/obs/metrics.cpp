@@ -56,6 +56,21 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "svc.solve.warm_fallback",
     "svc.graphstore.evictions",
     "svc.lineage.restored",
+    "po.passes",
+    "po.paths",
+    "po.flips_proposed",
+    "po.flips_applied",
+    "svc.quality.fast",
+    "svc.quality.balanced",
+    "svc.quality.best",
+    "svc.solve_by.ckl",
+    "svc.solve_by.csa",
+    "svc.solve_by.kl",
+    "svc.solve_by.sa",
+    "svc.solve_by.mlkl",
+    "svc.solve_by.path",
+    "svc.solve_by.greedy_hc",
+    "svc.solve_by.other",
 };
 
 constexpr const char* kHistNames[kNumHists] = {
@@ -86,7 +101,7 @@ constexpr const char* kPhaseNames[kNumPhases] = {
     "refine",
 };
 
-constexpr const char* kTraceSourceNames[] = {"kl", "sa", "fm"};
+constexpr const char* kTraceSourceNames[] = {"kl", "sa", "fm", "po"};
 
 // Same stderr shape as experiments.cpp / fault_injection.cpp: name the
 // variable and the rejected text, then keep the default.

@@ -86,6 +86,25 @@ enum class Counter : std::uint8_t {
   kSvcSolveWarmFallback,  ///< "svc.solve.warm_fallback" (guardrail -> cold)
   kSvcGraphStoreEvictions,  ///< "svc.graphstore.evictions"
   kSvcLineageRestored,    ///< "svc.lineage.restored" (edges from journal)
+  // Path-optimization counters (methods/path_opt.*), per trial like
+  // the KL/FM/SA blocks above.
+  kPoPasses,              ///< "po.passes"
+  kPoPaths,               ///< "po.paths" (paths grown)
+  kPoFlipsProposed,       ///< "po.flips_proposed" (vertices visited)
+  kPoFlipsApplied,        ///< "po.flips_applied" (kept by a best prefix)
+  // Quality-ladder counters (svc/scheduler.*, methods/registry.*).
+  kSvcQualityFast,        ///< "svc.quality.fast" (resolved request tier)
+  kSvcQualityBalanced,    ///< "svc.quality.balanced"
+  kSvcQualityBest,        ///< "svc.quality.best"
+  kSvcSolveByCkl,         ///< "svc.solve_by.ckl" (winning method of ok
+                          ///  cold solves; registry solve_counter rows)
+  kSvcSolveByCsa,         ///< "svc.solve_by.csa"
+  kSvcSolveByKl,          ///< "svc.solve_by.kl"
+  kSvcSolveBySa,          ///< "svc.solve_by.sa"
+  kSvcSolveByMlkl,        ///< "svc.solve_by.mlkl"
+  kSvcSolveByPath,        ///< "svc.solve_by.path"
+  kSvcSolveByGreedyHc,    ///< "svc.solve_by.greedy_hc"
+  kSvcSolveByOther,       ///< "svc.solve_by.other" (off-ladder methods)
   kCount
 };
 inline constexpr std::size_t kNumCounters =
@@ -196,7 +215,7 @@ double hist_percentile(const HistData& hist, double p);
 HistSummary summarize_hist(const HistData& hist);
 
 /// Where a convergence-trace point came from.
-enum class TraceSource : std::uint8_t { kKl = 0, kSa, kFm };
+enum class TraceSource : std::uint8_t { kKl = 0, kSa, kFm, kPo };
 const char* trace_source_name(TraceSource source);
 
 /// One convergence-trace sample: best-cut-so-far per KL/FM pass or per

@@ -92,6 +92,7 @@ TraceSource source_from_name(const std::string& name,
   if (name == "kl") return TraceSource::kKl;
   if (name == "sa") return TraceSource::kSa;
   if (name == "fm") return TraceSource::kFm;
+  if (name == "po") return TraceSource::kPo;
   throw IoError("convergence: unknown source \"" + name + "\" in: " + line);
 }
 

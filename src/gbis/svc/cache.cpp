@@ -14,6 +14,7 @@ std::size_t SvcCacheKeyHash::operator()(const SvcCacheKey& k) const {
   h.add(static_cast<std::uint64_t>(k.budget));
   h.add(k.seed);
   h.add(k.deadline_bits);
+  h.add(static_cast<std::uint64_t>(k.quality_key));
   return static_cast<std::size_t>(h.digest());
 }
 

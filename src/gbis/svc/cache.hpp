@@ -1,6 +1,6 @@
 // Bounded LRU result cache for the partition service. Keyed by the
-// full solve identity — (graph fingerprint, method selector, trial
-// budget, seed, deadline bucket) — so a hit is guaranteed to be
+// full solve identity — (graph fingerprint, method selector, quality
+// rung, trial budget, seed, deadline bucket) — so a hit is guaranteed to be
 // byte-identical to what a cold solve of the same request would have
 // produced (the service's determinism contract makes every solve a
 // pure function of exactly that tuple).
@@ -33,12 +33,22 @@ namespace gbis {
 /// tiny deadline with "unlimited".
 struct SvcCacheKey {
   static constexpr std::uint32_t kPortfolio = 0xffffffffu;
+  /// quality_key value for explicit-method solves, where the ladder
+  /// rung cannot influence the outcome — normalizing it keeps
+  /// `{"method":"kl","quality":"fast"}` coalescing with plain
+  /// `{"method":"kl"}`.
+  static constexpr std::uint8_t kQualityNone = 0xffu;
 
   std::uint64_t fingerprint = 0;
   std::uint32_t method_key = kPortfolio;
   std::uint32_t budget = 0;
   std::uint64_t seed = 0;
   std::uint64_t deadline_bits = 0;
+  /// Resolved ladder rung of an "auto" solve (the QualityTier enum
+  /// value: 0 fast, 1 balanced, 2 best), or kQualityNone for explicit
+  /// methods. Rungs race different portfolios, so two qualities of the
+  /// same request must never alias.
+  std::uint8_t quality_key = kQualityNone;
 
   friend bool operator==(const SvcCacheKey&, const SvcCacheKey&) = default;
 };

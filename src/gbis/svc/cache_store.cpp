@@ -5,6 +5,7 @@
 #include <system_error>
 #include <utility>
 
+#include "gbis/methods/registry.hpp"
 #include "gbis/svc/fingerprint.hpp"
 #include "gbis/util/json_lite.hpp"
 
@@ -30,7 +31,7 @@ std::uint64_t SvcCacheStore::text_crc(const std::string& text) {
 }
 
 std::string SvcCacheStore::header_line() {
-  return "{\"type\":\"svc_cache\",\"version\":2}";
+  return "{\"type\":\"svc_cache\",\"version\":3}";
 }
 
 std::string SvcCacheStore::encode_entry(const SvcCacheKey& key,
@@ -40,6 +41,7 @@ std::string SvcCacheStore::encode_entry(const SvcCacheKey& key,
   line += ",\"budget\":" + std::to_string(key.budget);
   line += ",\"seed\":" + std::to_string(key.seed);
   line += ",\"deadline_bits\":\"" + to_hex16(key.deadline_bits) + "\"";
+  line += ",\"quality\":" + std::to_string(key.quality_key);
   line += ",\"cut\":" + std::to_string(value.cut);
   line += ",\"method\":";
   append_json_string(line, value.method);
@@ -89,6 +91,25 @@ bool SvcCacheStore::decode_entry(const std::string& line, SvcCacheKey& key,
   }
   key.method_key = static_cast<std::uint32_t>(method_key);
   key.budget = static_cast<std::uint32_t>(budget);
+  // Version <= 2 lines predate the quality rung. Portfolio entries
+  // were implicitly the (then only) "best" race and explicit-method
+  // entries never depended on a rung, which is exactly how the
+  // scheduler normalizes quality_key today — so the default
+  // reconstructs the identity the entry would get now, and pre-ladder
+  // journals keep answering byte-identical warm hits.
+  if (json_find_value(line, "quality") != std::string::npos) {
+    std::uint64_t quality = 0;
+    if (!json_parse_u64(line, "quality", quality) ||
+        (quality >= kNumQualityTiers &&
+         quality != SvcCacheKey::kQualityNone)) {
+      return false;
+    }
+    key.quality_key = static_cast<std::uint8_t>(quality);
+  } else {
+    key.quality_key = key.method_key == SvcCacheKey::kPortfolio
+                          ? static_cast<std::uint8_t>(QualityTier::kBest)
+                          : SvcCacheKey::kQualityNone;
+  }
 
   std::int64_t cut = 0;
   if (!json_parse_i64(line, "cut", cut) ||
@@ -206,11 +227,13 @@ bool SvcCacheStore::open_and_restore(SvcResultCache& cache,
           if (!json_object_valid(line) ||
               !json_parse_string(line, "type", type) || type != "svc_cache" ||
               !json_parse_u64(line, "version", version) ||
-              (version != 1 && version != 2)) {
+              (version < 1 || version > 3)) {
             // Foreign or future-version file: restore nothing, rewrite
             // fresh below. Every remaining line is "dropped". Version 1
             // is a strict subset of version 2 (no lineage lines, no
-            // "warm" fields), so both replay through the same loop.
+            // "warm" fields) and version 3 only adds the optional
+            // "quality" key field, so all three replay through the
+            // same loop.
             tail_damaged = true;
             stopped = true;
             ++report.lines_dropped;

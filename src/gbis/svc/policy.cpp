@@ -10,15 +10,9 @@
 
 namespace gbis {
 
-namespace {
-
-constexpr std::array<Method, 5> kPortfolio = {
-    Method::kCkl, Method::kCsa, Method::kKl, Method::kSa,
-    Method::kMultilevelKl};
-
-}  // namespace
-
-std::span<const Method> policy_portfolio() { return kPortfolio; }
+std::span<const Method> policy_portfolio() {
+  return quality_portfolio(QualityTier::kBest);
+}
 
 PolicyResult run_policy(const Graph& g, const PolicySpec& spec,
                         std::uint64_t seed, const RunConfig& base,
@@ -41,11 +35,14 @@ PolicyResult run_policy(const Graph& g, const PolicySpec& spec,
   config.kl.deadline = deadline;
   config.sa.deadline = deadline;
   config.fm.deadline = deadline;
+  config.path.deadline = deadline;
+  config.path.metrics = nullptr;
 
+  const std::span<const Method> portfolio = quality_portfolio(spec.quality);
   result.best_cut = std::numeric_limits<Weight>::max();
   for (std::uint32_t i = 0; i < spec.budget; ++i) {
     const Method method =
-        spec.portfolio ? kPortfolio[i % kPortfolio.size()] : spec.method;
+        spec.portfolio ? portfolio[i % portfolio.size()] : spec.method;
     if (stop != nullptr && stop->load(std::memory_order_acquire)) {
       ++result.skipped;
       continue;

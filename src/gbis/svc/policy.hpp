@@ -1,7 +1,16 @@
-// Budgeted solver policy for the partition service: race a portfolio
-// of heuristics — CKL, CSA, KL, SA, multilevel-KL — under a trial
+// Budgeted solver policy for the partition service: race the
+// portfolio of one quality-vs-latency ladder rung under a trial
 // budget and an optional request-wide deadline, and return the best
-// cut found so far when either runs out.
+// cut found so far when either runs out. The rungs
+// (methods/registry.hpp quality_portfolio):
+//
+//   fast     — greedy+hill-climb only: bounded-latency microsecond
+//              answers, no refiner loop to interrupt;
+//   balanced — CKL, path optimization, multilevel-KL: the strong
+//              quality-per-second refiners;
+//   best     — the historical CKL/CSA/KL/SA/mlkl race with path
+//              optimization appended (the default rung, so pre-ladder
+//              request streams replay byte-identically).
 //
 // Why a portfolio: heuristic cut quality is a *distribution* over
 // random starts (Schreiber & Martin, PAPERS.md), so a fixed budget is
@@ -9,7 +18,7 @@
 // graph-class dependent (Berry & Goldberg), so the race covers the
 // classes instead of betting on one. Dispatch order puts CKL first —
 // the paper's best quality-per-second method — so budget=1 degrades to
-// exactly `gbis solve <g> ckl` with one start.
+// exactly `gbis solve <g> ckl` with one start (fast rung excepted).
 //
 // Determinism: trial i of a request draws from an Rng seeded with
 // splitmix64_at(request seed, i) — the parallel-runner scheme — and
@@ -29,6 +38,7 @@
 
 #include "gbis/harness/parallel_runner.hpp"
 #include "gbis/harness/runner.hpp"
+#include "gbis/methods/registry.hpp"
 
 namespace gbis {
 
@@ -36,6 +46,9 @@ namespace gbis {
 struct PolicySpec {
   bool portfolio = true;         ///< true: race the portfolio ("auto")
   Method method = Method::kCkl;  ///< used when portfolio is false
+  /// Ladder rung whose portfolio the race draws from (portfolio only;
+  /// an explicit method ignores it).
+  QualityTier quality = QualityTier::kBest;
   std::uint32_t budget = 2;      ///< total trials to spend
   /// Request-wide wall-clock budget in seconds; 0 = unlimited. One
   /// Deadline is armed for the whole request: trials still queued when
@@ -44,8 +57,9 @@ struct PolicySpec {
   double deadline_seconds = 0;
 };
 
-/// The racing order of the "auto" portfolio (trial i runs method
-/// i mod size, start i / size).
+/// The racing order of the default ("best") rung's portfolio (trial i
+/// runs method i mod size, start i / size). Rung-specific portfolios
+/// come from quality_portfolio(tier) in methods/registry.hpp.
 std::span<const Method> policy_portfolio();
 
 /// What the policy produced. `status` follows the campaign cell

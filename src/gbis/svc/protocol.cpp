@@ -115,8 +115,9 @@ bool parse_request(const std::string& line, SvcRequest& out,
     }
   }
   if (out.op == SvcRequest::Op::kStats) {
-    json_parse_string(line, "format", out.format);
-    if (out.format != "" && out.format != "json" && out.format != "prom") {
+    static constexpr const char* kFormats[] = {"json", "prom"};
+    if (json_parse_enum(line, "format", kFormats, 2, out.format) ==
+        JsonEnumStatus::kInvalid) {
       error = "parse: unknown stats format \"" + out.format + "\"";
       return false;
     }
@@ -146,6 +147,12 @@ bool parse_request(const std::string& line, SvcRequest& out,
   json_parse_string(line, "method", out.method);
   if (out.method.empty()) {
     error = "parse: empty method";
+    return false;
+  }
+  static constexpr const char* kQualities[] = {"fast", "balanced", "best"};
+  if (json_parse_enum(line, "quality", kQualities, 3, out.quality) ==
+      JsonEnumStatus::kInvalid) {
+    error = "parse: unknown quality \"" + out.quality + "\"";
     return false;
   }
   // Present-but-invalid scalars are errors, not silent defaults: a

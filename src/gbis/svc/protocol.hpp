@@ -55,6 +55,12 @@ struct SvcRequest {
   /// successful parse — an empty edit batch is a parse error.
   MutationBatch batch;
   std::string method = "auto";  ///< "auto" or a method_from_name() name
+  /// Quality-vs-latency rung for "auto" solves: "fast" | "balanced" |
+  /// "best", or "" for the service default. Present-but-invalid is a
+  /// parse error (never a silent default); the field is accepted and
+  /// ignored on explicit-method solves so clients can set it
+  /// unconditionally.
+  std::string quality;
   std::uint32_t budget = 0;     ///< trials; 0 = service default
   double deadline_seconds = -1;  ///< request deadline; < 0 = default
   std::uint64_t seed = 0;

@@ -129,6 +129,14 @@ SvcOptions svc_options_from_env(SvcOptions base) {
       warn_rejected("GBIS_SVC_WARM", v);
     }
   }
+  if (const char* v = std::getenv("GBIS_SVC_QUALITY"); v != nullptr) {
+    QualityTier tier;
+    if (quality_tier_from_name(v, tier)) {
+      base.default_quality = tier;
+    } else {
+      warn_rejected("GBIS_SVC_QUALITY", v);
+    }
+  }
   return base;
 }
 
@@ -321,6 +329,19 @@ void Service::prepare(
                                     ? req.deadline_seconds
                                     : options_.default_deadline_seconds;
   entry.seed = req.has_seed ? req.seed : options_.default_seed;
+  // Ladder rung: the request's "quality" when present (the protocol
+  // layer already rejected unknown values), else the service default.
+  // An explicit method accepts-and-ignores the field — the rung only
+  // picks which portfolio an "auto" race draws from.
+  entry.spec.quality = options_.default_quality;
+  if (!req.quality.empty()) {
+    quality_tier_from_name(req.quality, entry.spec.quality);
+  }
+  static constexpr Counter kQualityCounter[kNumQualityTiers] = {
+      Counter::kSvcQualityFast, Counter::kSvcQualityBalanced,
+      Counter::kSvcQualityBest};
+  ++metrics_.counters[static_cast<std::size_t>(
+      kQualityCounter[static_cast<std::size_t>(entry.spec.quality)])];
 
   // Brownout ladder (docs/ROBUSTNESS.md): degrade BEFORE the cache key
   // is computed, so a degraded solve is cached under its degraded
@@ -340,11 +361,15 @@ void Service::prepare(
   }
   if (brownout_level_ == 2) {
     // Downgrade toward the cheap end of the quality/cost curve: "auto"
-    // collapses to one CKL start; an explicitly named method keeps its
-    // method but spends one trial.
+    // collapses to one CKL start — or one greedy+hill-climb start when
+    // the request already asked for the fast rung, which is cheaper
+    // still — and an explicitly named method keeps its method but
+    // spends one trial.
     if (entry.spec.portfolio) {
       entry.spec.portfolio = false;
-      entry.spec.method = Method::kCkl;
+      entry.spec.method = entry.spec.quality == QualityTier::kFast
+                              ? Method::kGreedyHc
+                              : Method::kCkl;
     }
     entry.spec.budget = 1;
   } else if (brownout_level_ == 1) {
@@ -387,6 +412,12 @@ void Service::prepare(
       entry.spec.portfolio
           ? SvcCacheKey::kPortfolio
           : static_cast<std::uint32_t>(entry.spec.method);
+  // The rung is identity only for portfolio races; an explicit method
+  // normalizes to kQualityNone so a decorated request coalesces with
+  // an undecorated one (the rung cannot influence its outcome).
+  entry.key.quality_key =
+      entry.spec.portfolio ? static_cast<std::uint8_t>(entry.spec.quality)
+                           : SvcCacheKey::kQualityNone;
   entry.key.budget = entry.spec.budget;
   entry.key.seed = entry.seed;
   entry.key.deadline_bits = std::bit_cast<std::uint64_t>(
@@ -673,6 +704,14 @@ void Service::finalize_solve(Pending& entry, const PolicyResult& result) {
       response.ok = true;
       fill_from_value(response, value, entry.request.want_sides);
       if (entry.cold) {
+        // Attribute the solve to its winning method (methods/registry)
+        // so sum(svc.solve_by.*) == ok cold solves; warm results go
+        // under "other" — "warm-kl" is not a registry method, and warm
+        // volume already has its own kSvcSolveWarm counter.
+        const Counter solved_by =
+            result.warm ? Counter::kSvcSolveByOther
+                        : method_info(result.best_method).solve_counter;
+        ++metrics_.counters[static_cast<std::size_t>(solved_by)];
         // Journal before the in-memory insert (the value is still
         // whole) and flush per append: by the time any response of
         // this batch reaches a client, its entry is on disk.
@@ -733,7 +772,7 @@ void Service::fill_stats(SvcResponse& response) const {
       // (they count finalized requests/solves at this stream
       // position), while everything under stats_real carries the
       // nondeterministic "_us" marker.
-      {"stats_version", 3},
+      {"stats_version", 4},
       {"queue_depth", gauge(Gauge::kSvcQueueDepth)},
       {"inflight", gauge(Gauge::kSvcInflight)},
       {"batch_size", gauge(Gauge::kSvcBatchSize)},
@@ -764,6 +803,22 @@ void Service::fill_stats(SvcResponse& response) const {
       {"graphstore_evictions", graph_store_.stats().evictions},
       {"lineage_records", lineage_.size()},
       {"lineage_restored", counter(Counter::kSvcLineageRestored)},
+      // Method-portfolio surface (PR 9, stats v4; keys append-only).
+      // Counted at dispatch: quality_* when a solve's rung resolves,
+      // solve_by_* when an ok cold solve finalizes — so both are pure
+      // functions of the request stream position, like every other
+      // *_count key.
+      {"quality_fast", counter(Counter::kSvcQualityFast)},
+      {"quality_balanced", counter(Counter::kSvcQualityBalanced)},
+      {"quality_best", counter(Counter::kSvcQualityBest)},
+      {"solve_by_ckl", counter(Counter::kSvcSolveByCkl)},
+      {"solve_by_csa", counter(Counter::kSvcSolveByCsa)},
+      {"solve_by_kl", counter(Counter::kSvcSolveByKl)},
+      {"solve_by_sa", counter(Counter::kSvcSolveBySa)},
+      {"solve_by_mlkl", counter(Counter::kSvcSolveByMlkl)},
+      {"solve_by_path", counter(Counter::kSvcSolveByPath)},
+      {"solve_by_greedy_hc", counter(Counter::kSvcSolveByGreedyHc)},
+      {"solve_by_other", counter(Counter::kSvcSolveByOther)},
   };
   const struct {
     const char* prefix;

@@ -65,6 +65,10 @@ struct SvcOptions {
   double default_deadline_seconds = 0;
   /// Seed for requests without one. Part of the solve identity.
   std::uint64_t default_seed = 42;
+  /// Ladder rung for "auto" solves that do not say ("quality" absent).
+  /// kBest races the historical portfolio, so pre-ladder request
+  /// streams replay byte-identically under the default.
+  QualityTier default_quality = QualityTier::kBest;
   /// Worker threads for cross-request parallelism; 0 = hardware.
   unsigned threads = 0;
   /// Per-request JSONL access log destination (svc/access_log);
@@ -121,7 +125,9 @@ struct SvcOptions {
 /// >= 0), GBIS_SVC_CACHE_FILE (a journal path), GBIS_SVC_FAULTS (a
 /// service fault plan), GBIS_SVC_BROWNOUT (0/1),
 /// GBIS_SVC_BROWNOUT_WINDOW (> 0), GBIS_SVC_GRAPH_MB (whole mebibytes
-/// for the graph store), and GBIS_SVC_WARM (0/1) onto `base`.
+/// for the graph store), GBIS_SVC_WARM (0/1), and GBIS_SVC_QUALITY
+/// (fast|balanced|best, the ladder rung for "auto" solves that do not
+/// say) onto `base`.
 /// Malformed values warn on stderr and keep the default, matching
 /// every other GBIS_* knob.
 SvcOptions svc_options_from_env(SvcOptions base);

@@ -392,6 +392,26 @@ bool json_parse_u64_array(const std::string& line, const std::string& key,
   return false;
 }
 
+JsonEnumStatus json_parse_enum(const std::string& line,
+                               const std::string& key,
+                               const char* const* allowed, std::size_t count,
+                               std::string& out) {
+  if (json_find_value(line, key) == npos) return JsonEnumStatus::kAbsent;
+  std::string value;
+  if (!json_parse_string(line, key, value)) {
+    out.clear();  // present but not a string — nothing quotable
+    return JsonEnumStatus::kInvalid;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    if (value == allowed[i]) {
+      out = std::move(value);
+      return JsonEnumStatus::kValid;
+    }
+  }
+  out = std::move(value);
+  return JsonEnumStatus::kInvalid;
+}
+
 std::string to_hex16(std::uint64_t value) {
   char buf[17];
   std::snprintf(buf, sizeof buf, "%016llx",

@@ -82,6 +82,26 @@ bool json_parse_u64_array(const std::string& line, const std::string& key,
                           std::vector<std::uint64_t>& out,
                           std::size_t max_elements);
 
+/// How a string-enum field parsed (json_parse_enum).
+enum class JsonEnumStatus : std::uint8_t {
+  kAbsent = 0,  ///< key not present; caller applies its default
+  kValid,       ///< value is one of the allowed names; `out` holds it
+  kInvalid,     ///< present but wrong type or unknown name — a parse
+                ///  error, never a silent default
+};
+
+/// Strict closed-vocabulary string field: when `key` is present its
+/// value must be a JSON string equal to one of the `count` names in
+/// `allowed`. On kValid `out` receives the name; on kInvalid `out`
+/// receives the offending string when the value at least parsed as a
+/// string (so error messages can quote it) and "" when it was not a
+/// string at all. Protocol enums ("quality", stats "format") route
+/// through this so present-but-invalid fails loudly.
+JsonEnumStatus json_parse_enum(const std::string& line,
+                               const std::string& key,
+                               const char* const* allowed, std::size_t count,
+                               std::string& out);
+
 /// 16-digit zero-padded lower-case hex (the fingerprint wire format).
 std::string to_hex16(std::uint64_t value);
 

@@ -154,8 +154,14 @@ foreach(threads 1 8)
       "serve telemetry replay (${threads} threads) failed (${code}): ${err}")
   endif()
 endforeach()
-if(NOT telem1 MATCHES "\"stats_version\":3")
-  message(FATAL_ERROR "stats response is not v3: ${telem1}")
+if(NOT telem1 MATCHES "\"stats_version\":4")
+  message(FATAL_ERROR "stats response is not v4: ${telem1}")
+endif()
+if(NOT telem1 MATCHES "\"quality_fast\":")
+  message(FATAL_ERROR "stats response lacks v4 quality counters: ${telem1}")
+endif()
+if(NOT telem1 MATCHES "\"solve_by_ckl\":")
+  message(FATAL_ERROR "stats response lacks v4 per-method counters: ${telem1}")
 endif()
 if(NOT telem1 MATCHES "\"queue_depth\":")
   message(FATAL_ERROR "stats response lacks gauges: ${telem1}")
@@ -374,6 +380,51 @@ if(PYTHON3 AND DEFINED SVC_CLIENT)
           "socket responses (${transport}, ${threads} threads) differ "
           "from the stdio replay:\n--- socket ---\n${sock_out}\n"
           "--- replay ---\n${sock_expected}")
+      endif()
+    endforeach()
+  endforeach()
+
+  # Quality ladder: for each rung, the client's --quality decoration
+  # over a socket must answer byte-identically to a stdio replay of
+  # the same decorated requests, at 1 and 8 threads. The baseline file
+  # spells the requests exactly as annotate_quality splices them
+  # (quality key first), so the comparison covers the decoration bytes
+  # too, not just the ladder's determinism.
+  file(WRITE ${WORK_DIR}/qual_base.ndjson
+    "{\"id\":\"q1\",\"op\":\"solve\",\"path\":\"${WORK_DIR}/g.graph\",\"budget\":4,\"seed\":201,\"want_sides\":true}\n"
+    "{\"id\":\"q2\",\"op\":\"solve\",\"path\":\"${WORK_DIR}/g.graph\",\"budget\":4,\"seed\":202}\n")
+  foreach(tier fast balanced best)
+    file(WRITE ${WORK_DIR}/qual_${tier}.ndjson
+      "{\"quality\":\"${tier}\",\"id\":\"q1\",\"op\":\"solve\",\"path\":\"${WORK_DIR}/g.graph\",\"budget\":4,\"seed\":201,\"want_sides\":true}\n"
+      "{\"quality\":\"${tier}\",\"id\":\"q2\",\"op\":\"solve\",\"path\":\"${WORK_DIR}/g.graph\",\"budget\":4,\"seed\":202}\n")
+    set(ENV{GBIS_THREADS} 1)
+    execute_process(COMMAND ${GBIS_CLI} serve --replay ${WORK_DIR}/qual_${tier}.ndjson
+      WORKING_DIRECTORY ${WORK_DIR}
+      RESULT_VARIABLE code OUTPUT_VARIABLE qual_expected ERROR_VARIABLE err)
+    unset(ENV{GBIS_THREADS})
+    if(NOT code EQUAL 0)
+      message(FATAL_ERROR
+        "quality-${tier} replay baseline failed (${code}): ${err}")
+    endif()
+    strip_timing("${qual_expected}" qual_expected_cmp)
+    foreach(threads 1 8)
+      set(ENV{GBIS_THREADS} ${threads})
+      execute_process(COMMAND ${PYTHON3} ${SVC_CLIENT} ${GBIS_CLI}
+          ${WORK_DIR}/qual_base.ndjson --transport tcp --quality ${tier}
+        WORKING_DIRECTORY ${WORK_DIR}
+        RESULT_VARIABLE code OUTPUT_VARIABLE qual_out ERROR_VARIABLE err)
+      unset(ENV{GBIS_THREADS})
+      if(NOT code EQUAL 0)
+        message(FATAL_ERROR
+          "quality-${tier} socket smoke (${threads} threads) failed "
+          "(${code}): ${err}")
+      endif()
+      strip_timing("${qual_out}" qual_out_cmp)
+      if(NOT qual_out_cmp STREQUAL qual_expected_cmp)
+        message(FATAL_ERROR
+          "quality-${tier} socket responses (${threads} threads) differ "
+          "from the stdio replay:\n--- socket ---\n${qual_out}\n"
+          "--- replay ---\n${qual_expected}")
       endif()
     endforeach()
   endforeach()

@@ -298,5 +298,70 @@ TEST(JsonArray, OnlyTopLevelKeysMatch) {
       "{\"x\":\"\\\"a\\\":[9]\"}", "a", out, 8));
 }
 
+// --- Strict enum fields (the request "quality" tier) -----------------------
+//
+// The three-state contract: absent is fine (the caller defaults),
+// valid binds, and present-but-invalid is a hard parse error — a typo
+// like "quality":"fastest" must never silently run at the default
+// rung.
+
+constexpr const char* kTiers[] = {"fast", "balanced", "best"};
+
+TEST(JsonEnum, AbsentKeyLeavesOutputUntouched) {
+  std::string out = "sentinel";
+  EXPECT_EQ(json_parse_enum("{\"id\":\"a\"}", "quality", kTiers, 3, out),
+            JsonEnumStatus::kAbsent);
+  EXPECT_EQ(out, "sentinel");
+}
+
+TEST(JsonEnum, EveryAllowedValueBinds) {
+  for (const char* tier : kTiers) {
+    std::string out;
+    const std::string line =
+        std::string("{\"quality\":\"") + tier + "\"}";
+    EXPECT_EQ(json_parse_enum(line, "quality", kTiers, 3, out),
+              JsonEnumStatus::kValid)
+        << line;
+    EXPECT_EQ(out, tier);
+  }
+}
+
+TEST(JsonEnum, MalformedQualityCorpusIsInvalidNotDefaulted) {
+  // Present-but-wrong in every shape a client gets it wrong: typos,
+  // case drift, whitespace, embedded terminators, wrong JSON types.
+  const char* corpus[] = {
+      "{\"quality\":\"fastest\"}",       // typo past a valid prefix
+      "{\"quality\":\"Fast\"}",          // case-sensitive
+      "{\"quality\":\"BEST\"}",
+      "{\"quality\":\" fast\"}",         // stray whitespace
+      "{\"quality\":\"fast \"}",
+      "{\"quality\":\"\"}",              // empty string is not absent
+      "{\"quality\":\"fast\\u0000\"}",   // embedded NUL
+      "{\"quality\":\"balanced,best\"}",
+      "{\"quality\":0}",                 // wrong type: number
+      "{\"quality\":true}",              // wrong type: bool
+      "{\"quality\":null}",              // wrong type: null
+      "{\"quality\":[\"fast\"]}",        // wrong type: array
+      "{\"quality\":{\"tier\":\"fast\"}}",
+  };
+  for (const char* line : corpus) {
+    std::string out = "sentinel";
+    EXPECT_EQ(json_parse_enum(line, "quality", kTiers, 3, out),
+              JsonEnumStatus::kInvalid)
+        << line;
+    // kInvalid carries the offending text for error messages ("" for
+    // non-string values) — never the sentinel, never a silent default.
+    EXPECT_NE(out, "sentinel") << line;
+  }
+}
+
+TEST(JsonEnum, SpoofedKeyInsideAStringValueIsAbsent) {
+  std::string out = "sentinel";
+  EXPECT_EQ(json_parse_enum("{\"id\":\"\\\"quality\\\":\\\"fast\\\"\"}",
+                            "quality", kTiers, 3, out),
+            JsonEnumStatus::kAbsent);
+  EXPECT_EQ(out, "sentinel");
+}
+
 }  // namespace
 }  // namespace gbis

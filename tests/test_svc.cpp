@@ -556,7 +556,7 @@ TEST(Service, StatsV2ReportsGaugesAndLatencySummaries) {
 
   std::uint64_t value = 0;
   ASSERT_TRUE(json_parse_u64(stats, "stats_version", value));
-  EXPECT_EQ(value, 3u);
+  EXPECT_EQ(value, 4u);
   // Gauges read mid-batch: all three requests were queued, and exactly
   // one cold solve ran (the follower coalesced).
   ASSERT_TRUE(json_parse_u64(stats, "queue_depth", value));
@@ -627,6 +627,119 @@ TEST(Service, StatsPromFormatReturnsExposition) {
   // A prom response never carries the JSON stats block.
   std::uint64_t ignored = 0;
   EXPECT_FALSE(json_parse_u64(out[1], "stats_version", ignored));
+}
+
+// --- Method portfolio / quality ladder -------------------------------------
+
+TEST(Protocol, QualityParsesKnownAndRejectsUnknown) {
+  SvcRequest request;
+  std::string error;
+  for (const char* tier : {"fast", "balanced", "best"}) {
+    ASSERT_TRUE(parse_request(std::string(R"({"op":"solve","path":"x",)") +
+                                  "\"quality\":\"" + tier + "\"}",
+                              request, error))
+        << tier;
+    EXPECT_EQ(request.quality, tier);
+  }
+  // Absent means "serve's default rung", not an error.
+  ASSERT_TRUE(parse_request(R"({"op":"solve","path":"x"})", request, error));
+  EXPECT_TRUE(request.quality.empty());
+  // Present-but-invalid is a parse error, never a silent default.
+  EXPECT_FALSE(parse_request(
+      R"({"op":"solve","path":"x","quality":"fastest"})", request, error));
+  EXPECT_TRUE(error.starts_with("parse: unknown quality \"fastest\""));
+  EXPECT_FALSE(parse_request(R"({"op":"solve","path":"x","quality":3})",
+                             request, error));
+}
+
+TEST(Service, QualityLadderIsThreadCountInvariant) {
+  const Graph grid = make_grid(7, 5);
+  const Graph ladder = make_ladder(9);
+  Rng rng(3);
+  const Graph gnp = make_gnp(48, gnp_p_for_degree(48, 3.0), rng);
+  std::vector<std::string> lines;
+  for (const char* tier : {"fast", "balanced", "best"}) {
+    const std::string extra = std::string(",\"quality\":\"") + tier +
+                              "\",\"want_sides\":true";
+    lines.push_back(solve_line(std::string("g-") + tier, grid, extra));
+    lines.push_back(solve_line(std::string("l-") + tier, ladder, extra));
+    lines.push_back(solve_line(std::string("n-") + tier, gnp, extra));
+  }
+  lines.push_back(solve_line("again", gnp, ",\"quality\":\"fast\""));
+  lines.push_back("{\"id\":\"s\",\"op\":\"stats\"}");
+  const auto one = strip_timing(run_sequence(test_options(1), lines));
+  const auto eight = strip_timing(run_sequence(test_options(8), lines));
+  EXPECT_EQ(one, eight);
+}
+
+TEST(Service, QualityTiersCacheUnderDistinctIdentities) {
+  const Graph g = make_grid(6, 6);
+  SvcOptions options = test_options();
+  options.batch_size = 1;
+  Service service(options);
+  std::vector<std::string> out;
+  service.submit_line(solve_line("f", g, ",\"quality\":\"fast\""), out);
+  service.drain(out);
+  service.submit_line(solve_line("b", g, ",\"quality\":\"best\""), out);
+  service.drain(out);
+  service.submit_line(solve_line("f2", g, ",\"quality\":\"fast\""), out);
+  service.drain(out);
+  ASSERT_EQ(out.size(), 3u);
+  std::string cache;
+  ASSERT_TRUE(json_parse_string(out[0], "cache", cache));
+  EXPECT_EQ(cache, "miss");
+  // A different rung is a different cached identity, not a hit on the
+  // fast answer.
+  ASSERT_TRUE(json_parse_string(out[1], "cache", cache));
+  EXPECT_EQ(cache, "miss");
+  // The same rung repeated is the first answer again (id and the
+  // miss/hit marker aside, the payload is identical).
+  ASSERT_TRUE(json_parse_string(out[2], "cache", cache));
+  EXPECT_EQ(cache, "hit");
+  std::uint64_t cold_cut = 0, warm_cut = 0;
+  std::string cold_fp, warm_fp;
+  ASSERT_TRUE(json_parse_u64(out[0], "cut", cold_cut));
+  ASSERT_TRUE(json_parse_u64(out[2], "cut", warm_cut));
+  ASSERT_TRUE(json_parse_string(out[0], "fingerprint", cold_fp));
+  ASSERT_TRUE(json_parse_string(out[2], "fingerprint", warm_fp));
+  EXPECT_EQ(warm_cut, cold_cut);
+  EXPECT_EQ(warm_fp, cold_fp);
+}
+
+TEST(Service, StatsV4ReportsQualityAndSolveByCounters) {
+  const Graph g = make_grid(6, 6);
+  Service service(test_options());
+  std::vector<std::string> out;
+  service.submit_line(solve_line("f", g, ",\"quality\":\"fast\""), out);
+  service.submit_line(solve_line("b", g, ",\"quality\":\"balanced\""), out);
+  service.submit_line("{\"id\":\"s\",\"op\":\"stats\"}", out);
+  service.drain(out);
+  ASSERT_EQ(out.size(), 3u);
+  const std::string& stats = out[2];
+  std::uint64_t value = 0;
+  ASSERT_TRUE(json_parse_u64(stats, "quality_fast", value));
+  EXPECT_EQ(value, 1u);
+  ASSERT_TRUE(json_parse_u64(stats, "quality_balanced", value));
+  EXPECT_EQ(value, 1u);
+  ASSERT_TRUE(json_parse_u64(stats, "quality_best", value));
+  EXPECT_EQ(value, 0u);
+  // The fast rung is greedy+hill-climb by construction, so its cold
+  // solve lands on exactly that per-method counter; across the board
+  // the solve_by.* counters partition the ok cold solves.
+  ASSERT_TRUE(json_parse_u64(stats, "solve_by_greedy_hc", value));
+  EXPECT_EQ(value, 1u);
+  std::uint64_t total = 0;
+  for (const char* key :
+       {"solve_by_ckl", "solve_by_csa", "solve_by_kl", "solve_by_sa",
+        "solve_by_mlkl", "solve_by_path", "solve_by_greedy_hc",
+        "solve_by_other"}) {
+    ASSERT_TRUE(json_parse_u64(stats, key, value)) << key;
+    total += value;
+  }
+  EXPECT_EQ(total, 2u);  // two cold ok solves, nothing double-counted
+  // The obs catalog mirrors what stats reported.
+  EXPECT_EQ(service.metrics().counter(Counter::kSvcQualityFast), 1u);
+  EXPECT_EQ(service.metrics().counter(Counter::kSvcSolveByGreedyHc), 1u);
 }
 
 TEST(Service, AccessLogRecordsOutcomesInStreamOrder) {
@@ -1401,10 +1514,11 @@ TEST(SvcCacheStore, CorruptionCorpusFallsBackToTheLongestValidPrefix) {
 }
 
 TEST(SvcCacheStore, ForeignOrWrongVersionHeaderRestoresNothing) {
-  // Version 2 (the current format) and version 1 (cache-entry lines
-  // only) both restore; version 3 is from the future and must not.
+  // Versions 1-3 all restore (3 is the current format; 2 lacks the
+  // quality key, 1 is cache-entry lines only); version 4 is from the
+  // future and must not.
   for (const char* header :
-       {"{\"type\":\"svc_cache\",\"version\":3}",
+       {"{\"type\":\"svc_cache\",\"version\":4}",
         "{\"type\":\"checkpoint\",\"version\":1}", "not a header at all"}) {
     const std::string path = temp_journal("svc_store_header.jsonl");
     {

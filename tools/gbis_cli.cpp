@@ -7,8 +7,9 @@
 //             geometric <n> <deg> | smallworld <n> <k> <beta>
 //             prefattach <n> <m>
 //   gbis solve <in.graph> <method> [out.part]     bisect (kl sa ckl csa
-//                                                 fm cfm mlkl greedy
-//                                                 spectral random quench)
+//                                                 fm cfm mlkl greedy path
+//                                                 greedy_hc spectral
+//                                                 random quench)
 //   gbis campaign <methods-csv> <graph...>        fault-isolated trial
 //     [--starts N] [--deadline S]                 matrix with optional
 //     [--journal J] [--resume J]                  checkpointing/resume
@@ -58,6 +59,7 @@
 #include "gbis/io/io_error.hpp"
 #include "gbis/io/metis.hpp"
 #include "gbis/io/partition_io.hpp"
+#include "gbis/methods/registry.hpp"
 #include "gbis/kway/recursive.hpp"
 #include "gbis/kway/refine.hpp"
 #include "gbis/partition/bisection.hpp"
@@ -94,8 +96,8 @@ void print_help(std::ostream& out) {
          "      geometric <n> <deg> | smallworld <n> <k> <beta>\n"
          "      prefattach <n> <m>\n"
          "  solve <in.graph> <method> [out.part]\n"
-         "      methods: kl sa ckl csa fm cfm mlkl greedy spectral random\n"
-         "      quench\n"
+         "      methods: kl sa ckl csa fm cfm mlkl greedy path greedy_hc\n"
+         "      spectral random quench\n"
          "  campaign <methods-csv> <graph...> [flags]\n"
          "      runs every (graph, method, start) as a fault-isolated\n"
          "      trial; failures degrade cells instead of aborting\n"
@@ -133,6 +135,9 @@ void print_help(std::ostream& out) {
          "                     window the brownout controller watches\n"
          "                     (32; env GBIS_SVC_BROWNOUT_WINDOW)\n"
          "      --budget N     default trials per solve request (2)\n"
+         "      --quality Q    default ladder rung for auto solves:\n"
+         "                     fast|balanced|best (best; env\n"
+         "                     GBIS_SVC_QUALITY, flag wins)\n"
          "      --deadline S   default per-request deadline (none)\n"
          "      --access-log F append one JSON line per request to F\n"
          "                     (env GBIS_SVC_ACCESS_LOG, flag wins)\n"
@@ -196,7 +201,7 @@ void print_help(std::ostream& out) {
          "--trace-dir, and --progress (flags win); GBIS_SVC_CACHE_MB,\n"
          "GBIS_SVC_CACHE_FILE, GBIS_SVC_ACCESS_LOG, GBIS_SVC_SLOW_MS,\n"
          "GBIS_SVC_BROWNOUT, GBIS_SVC_BROWNOUT_WINDOW, GBIS_SVC_GRAPH_MB,\n"
-         "and GBIS_SVC_WARM do the same\n"
+         "GBIS_SVC_WARM, and GBIS_SVC_QUALITY do the same\n"
          "for the serve flags; GBIS_SVC_FAULTS=kind@site:N[,...] injects\n"
          "service-scoped faults (kinds: throw, hang, oom, crash; sites:\n"
          "req, solve, batch) — see docs/OBSERVABILITY.md,\n"
@@ -284,16 +289,8 @@ int cmd_gen(const std::vector<std::string>& args, Rng& rng) {
 }
 
 Method parse_method(const std::string& name) {
-  if (name == "kl") return Method::kKl;
-  if (name == "sa") return Method::kSa;
-  if (name == "ckl") return Method::kCkl;
-  if (name == "csa") return Method::kCsa;
-  if (name == "fm") return Method::kFm;
-  if (name == "cfm") return Method::kCfm;
-  if (name == "mlkl") return Method::kMultilevelKl;
-  if (name == "greedy") return Method::kGreedy;
-  if (name == "spectral") return Method::kSpectral;
-  if (name == "random") return Method::kRandom;
+  Method method;
+  if (method_from_name(name, method)) return method;
   throw std::invalid_argument("unknown method: " + name);
 }
 
@@ -564,6 +561,11 @@ int cmd_serve(const std::vector<std::string>& args, std::uint64_t seed,
     } else if (arg == "--budget") {
       options.default_budget = to_u32(flag_value());
       if (options.default_budget == 0) usage();
+    } else if (arg == "--quality") {
+      if (!quality_tier_from_name(flag_value(), options.default_quality)) {
+        std::cerr << "serve: unknown quality tier\n";
+        usage();
+      }
     } else if (arg == "--deadline") {
       options.default_deadline_seconds = to_double(flag_value());
     } else if (arg == "--access-log") {

@@ -139,6 +139,33 @@ def run_session_with_retry(sock, request_bytes, max_retries):
     return b"".join(line + b"\n" for line in responses)
 
 
+def annotate_quality(request_bytes, quality):
+    """Injects `"quality":"<tier>"` into every solve request line.
+
+    The field is spliced in right after the opening brace, leaving the
+    rest of the line byte-for-byte untouched — so a --record file (or a
+    stdio replay of the same annotated stream) stays diffable against
+    the socket responses. Lines that already carry a quality, and
+    non-solve ops (ping/stats/mutate), pass through unchanged.
+    """
+    annotated = []
+    for line in request_bytes.splitlines():
+        stripped = line.strip()
+        if stripped:
+            try:
+                request = json.loads(stripped)
+            except ValueError:
+                request = None
+            if (isinstance(request, dict) and request
+                    and "quality" not in request
+                    and request.get("op", "solve") == "solve"
+                    and stripped.startswith(b"{")):
+                line = (b'{"quality":"' + quality.encode("utf-8") + b'",' +
+                        stripped[1:])
+        annotated.append(line)
+    return b"".join(line + b"\n" for line in annotated)
+
+
 FP_TOKEN = re.compile(r"@fp:([A-Za-z0-9_.-]+)")
 
 
@@ -200,6 +227,11 @@ def main():
     parser.add_argument("--record", metavar="FILE", default="",
                         help="with --chain: write the resolved request "
                              "lines to FILE for a stdio replay diff")
+    parser.add_argument("--quality", choices=("fast", "balanced", "best"),
+                        default="",
+                        help="inject this ladder rung into every solve "
+                             "request line (including --chain records) "
+                             "before sending")
     parser.add_argument("--sigterm-count", type=int, default=1, metavar="K",
                         help="SIGTERMs sent 50 ms apart at teardown "
                              "(exit must stay 130 for any K)")
@@ -207,6 +239,8 @@ def main():
 
     with open(args.requests, "rb") as handle:
         request_bytes = handle.read()
+    if args.quality:
+        request_bytes = annotate_quality(request_bytes, args.quality)
 
     with tempfile.TemporaryDirectory(prefix="gbis_svc_client_") as tmp:
         ready_file = os.path.join(tmp, "ready")

@@ -7,11 +7,17 @@
 //              overhead alone
 //   Full     — a bound sink recording counters, histograms, and the
 //              bounded convergence trace
+// The SpanBuffer pair prices the request-tracing layer the same way:
+// Null is the shipping default inside run_policy (tracing disabled),
+// Bound is a trace-op/flight-recorder request actually collecting.
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 #include "gbis/gen/gnp.hpp"
 #include "gbis/kl/kl.hpp"
 #include "gbis/obs/metrics.hpp"
+#include "gbis/obs/span.hpp"
 #include "gbis/partition/bisection.hpp"
 #include "gbis/rng/rng.hpp"
 
@@ -58,5 +64,42 @@ void BM_KlRefine_ObsFull(benchmark::State& state) {
   benchmark::DoNotOptimize(tm.counter(Counter::kKlPasses));
 }
 BENCHMARK(BM_KlRefine_ObsFull)->Unit(benchmark::kMillisecond);
+
+SpanRec bench_span(std::uint64_t step) {
+  SpanRec rec;
+  rec.name = "kl.pass";
+  rec.step = step;
+  rec.has_step = true;
+  rec.value = static_cast<std::int64_t>(1000 - step);
+  rec.has_value = true;
+  return rec;
+}
+
+void BM_SpanBuffer_Null(benchmark::State& state) {
+  SpanBuffer buffer;  // unbound: offer() is the disabled-tracing branch
+  std::uint64_t step = 0;
+  for (auto _ : state) {
+    buffer.offer(bench_span(step++));
+  }
+}
+BENCHMARK(BM_SpanBuffer_Null);
+
+void BM_SpanBuffer_Bound(benchmark::State& state) {
+  std::vector<SpanRec> dest;
+  SpanBuffer buffer(&dest);
+  std::uint64_t step = 0;
+  for (auto _ : state) {
+    buffer.offer(bench_span(step++));
+    if (dest.size() >= SpanBuffer::kDefaultCapacity) {
+      // Steady state: a fresh buffer per span set, like run_policy.
+      state.PauseTiming();
+      dest.clear();
+      buffer = SpanBuffer(&dest);
+      state.ResumeTiming();
+    }
+  }
+  benchmark::DoNotOptimize(dest.data());
+}
+BENCHMARK(BM_SpanBuffer_Bound);
 
 }  // namespace

@@ -180,7 +180,11 @@ void maybe_inject_svc_fault(const SvcFaultPlan* plan, SvcFaultSite site,
       }
     case SvcFaultKind::kCrash:
       // The crash-safety chaos hook: die exactly like an external
-      // kill -9 — no unwinding, no flushing, no atexit.
+      // kill -9 — no unwinding, no flushing, no atexit. The one thing
+      // that does survive is the flight recorder's black box: the dump
+      // hook is async-signal-safe, so firing it here models a fatal-
+      // signal handler getting its last write out.
+      trigger_flight_dump();
       std::raise(SIGKILL);
       return;
   }

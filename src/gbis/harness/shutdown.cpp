@@ -8,6 +8,7 @@ namespace {
 
 std::atomic<bool> g_shutdown{false};
 std::atomic<bool> g_escalate{false};
+std::atomic<void (*)()> g_flight_hook{nullptr};
 
 extern "C" void handle_shutdown_signal(int) {
   g_shutdown.store(true, std::memory_order_release);
@@ -23,6 +24,12 @@ extern "C" void handle_escalating_signal(int sig) {
   action.sa_handler = SIG_DFL;
   sigemptyset(&action.sa_mask);
   sigaction(sig, &action, nullptr);
+}
+
+extern "C" void handle_flight_signal(int) {
+  // Dump-and-return: SIGQUIT samples the black box without ending the
+  // run (the hook is async-signal-safe by contract).
+  trigger_flight_dump();
 }
 
 }  // namespace
@@ -69,6 +76,24 @@ void install_escalating_shutdown_handlers() {
   action.sa_flags = 0;
   sigaction(SIGINT, &action, nullptr);
   sigaction(SIGTERM, &action, nullptr);
+}
+
+void set_flight_dump_hook(void (*hook)()) {
+  g_flight_hook.store(hook, std::memory_order_release);
+}
+
+void trigger_flight_dump() {
+  if (void (*hook)() = g_flight_hook.load(std::memory_order_acquire)) {
+    hook();
+  }
+}
+
+void install_flight_dump_handler() {
+  struct sigaction action = {};
+  action.sa_handler = &handle_flight_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGQUIT, &action, nullptr);
 }
 
 }  // namespace gbis

@@ -53,4 +53,19 @@ void request_escalation();
 /// disposition (the process can always be killed). Idempotent.
 void install_escalating_shutdown_handlers();
 
+/// Registers the flight-recorder dump hook invoked by SIGQUIT and the
+/// fatal crash path. The hook MUST be async-signal-safe (the flight
+/// recorder's seqlock dump qualifies); pass nullptr to clear.
+void set_flight_dump_hook(void (*hook)());
+
+/// Fires the registered flight-dump hook, if any. Async-signal-safe;
+/// called by the SIGQUIT handler, the injected-crash path
+/// (svc/fault_injection), and tests.
+void trigger_flight_dump();
+
+/// Installs a SIGQUIT handler that fires the flight-dump hook and
+/// *returns* — the process keeps serving, so the black box can be
+/// sampled mid-batch without ending the run. Idempotent.
+void install_flight_dump_handler();
+
 }  // namespace gbis

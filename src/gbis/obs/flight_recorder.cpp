@@ -1,0 +1,183 @@
+#include "gbis/obs/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "gbis/harness/shutdown.hpp"
+#include "gbis/util/json_lite.hpp"
+
+namespace gbis {
+
+namespace {
+
+/// The installed recorder for the process-wide flight-dump hook.
+/// Written on the main thread before any dump can fire; read from the
+/// SIGQUIT handler and the crash path.
+std::atomic<FlightRecorder*> g_flight{nullptr};
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::uint32_t ring_capacity,
+                               std::size_t inflight_slots)
+    : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      inflight_capacity_(inflight_slots == 0 ? 1 : inflight_slots) {}
+
+FlightRecorder::~FlightRecorder() {
+  uninstall(this);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool FlightRecorder::open_dump_file(const std::string& path) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) return false;
+  slots_ = std::make_unique<Slot[]>(ring_capacity_ + inflight_capacity_);
+  return true;
+}
+
+FlightRecorder::Slot* FlightRecorder::ring_slot(
+    std::uint64_t completed_ordinal) const {
+  if (!slots_) return nullptr;
+  return &slots_[completed_ordinal % ring_capacity_];
+}
+
+FlightRecorder::Slot* FlightRecorder::inflight_slot(std::uint64_t seq) const {
+  if (!slots_) return nullptr;
+  // Collisions overwrite the older line: the black box keeps the most
+  // recent request per slot, which is the documented bound — the
+  // scheduler sizes this at 2x its admission limit so collisions need
+  // a pathological seq spread.
+  return &slots_[ring_capacity_ + seq % inflight_capacity_];
+}
+
+void FlightRecorder::write_slot(Slot& slot, const SpanSet& set,
+                                const char* state) {
+  std::string line = encode_span_set(set, state);
+  line += '\n';
+  if (line.size() > kFlightSlotBytes) {
+    // Too big for the fixed slot (a budget-1e6 request with a huge id
+    // string): keep the identity so the black box still names it.
+    line = "{\"state\":\"";
+    line += state;
+    line += "\",\"trace\":\"" + to_hex16(set.trace_id) + "\"";
+    line += ",\"seq\":" + std::to_string(set.seq);
+    line += ",\"truncated\":true}\n";
+  }
+  // Seqlock write: readers skip the slot while version is odd or if it
+  // changed under them.
+  const std::uint64_t v = slot.version.load(std::memory_order_relaxed);
+  slot.version.store(v + 1, std::memory_order_release);
+  std::memcpy(slot.buf, line.data(), line.size());
+  slot.len.store(static_cast<std::uint32_t>(line.size()),
+                 std::memory_order_release);
+  slot.version.store(v + 2, std::memory_order_release);
+}
+
+void FlightRecorder::clear_slot(Slot& slot) {
+  const std::uint64_t v = slot.version.load(std::memory_order_relaxed);
+  slot.version.store(v + 1, std::memory_order_release);
+  slot.len.store(0, std::memory_order_release);
+  slot.version.store(v + 2, std::memory_order_release);
+}
+
+void FlightRecorder::record_inflight(const SpanSet& set) {
+  if (Slot* slot = inflight_slot(set.seq)) {
+    write_slot(*slot, set, "inflight");
+  }
+  inflight_[set.seq] = set;
+}
+
+void FlightRecorder::complete(SpanSet set) {
+  if (Slot* slot = inflight_slot(set.seq)) clear_slot(*slot);
+  inflight_.erase(set.seq);
+  const std::uint64_t ordinal =
+      completed_total_.load(std::memory_order_relaxed);
+  if (Slot* slot = ring_slot(ordinal)) {
+    write_slot(*slot, set, "done");
+  }
+  ring_.push_back(std::move(set));
+  while (ring_.size() > ring_capacity_) ring_.pop_front();
+  completed_total_.store(ordinal + 1, std::memory_order_release);
+}
+
+const SpanSet* FlightRecorder::find(std::uint64_t trace_id,
+                                    bool* inflight) const {
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    if (it->trace_id == trace_id) {
+      if (inflight != nullptr) *inflight = false;
+      return &*it;
+    }
+  }
+  // Newest in-flight wins too: later submissions get larger seqs.
+  for (auto it = inflight_.rbegin(); it != inflight_.rend(); ++it) {
+    if (it->second.trace_id == trace_id) {
+      if (inflight != nullptr) *inflight = true;
+      return &it->second;
+    }
+  }
+  return nullptr;
+}
+
+std::string FlightRecorder::export_completed() const {
+  std::string out;
+  for (const SpanSet& set : ring_) {
+    out += encode_span_set(set, "done");
+    out += '\n';
+  }
+  return out;
+}
+
+void FlightRecorder::dump_slots() const {
+  if (fd_ < 0 || !slots_) return;
+  const std::uint64_t total = completed_total_.load(std::memory_order_acquire);
+  const std::uint64_t held =
+      total < ring_capacity_ ? total : static_cast<std::uint64_t>(ring_capacity_);
+  char copy[kFlightSlotBytes];
+  auto dump_one = [&](const Slot& slot) {
+    // Seqlock read: copy only if the version is even and unchanged
+    // across the copy; otherwise the driver is mid-write — skip.
+    const std::uint64_t v1 = slot.version.load(std::memory_order_acquire);
+    if (v1 % 2 != 0) return;
+    const std::uint32_t len = slot.len.load(std::memory_order_acquire);
+    if (len == 0 || len > kFlightSlotBytes) return;
+    std::memcpy(copy, slot.buf, len);
+    const std::uint64_t v2 = slot.version.load(std::memory_order_acquire);
+    if (v1 != v2) return;
+    std::size_t off = 0;
+    while (off < len) {
+      const ::ssize_t n = ::write(fd_, copy + off, len - off);
+      if (n <= 0) return;
+      off += static_cast<std::size_t>(n);
+    }
+  };
+  // Completed ring oldest-first, then in-flight slots by index.
+  for (std::uint64_t i = total - held; i < total; ++i) {
+    dump_one(slots_[i % ring_capacity_]);
+  }
+  for (std::size_t i = 0; i < inflight_capacity_; ++i) {
+    dump_one(slots_[ring_capacity_ + i]);
+  }
+}
+
+void FlightRecorder::install(FlightRecorder* recorder) {
+  g_flight.store(recorder, std::memory_order_release);
+  set_flight_dump_hook(&FlightRecorder::signal_dump);
+}
+
+void FlightRecorder::uninstall(FlightRecorder* recorder) {
+  FlightRecorder* expected = recorder;
+  if (g_flight.compare_exchange_strong(expected, nullptr,
+                                       std::memory_order_acq_rel)) {
+    set_flight_dump_hook(nullptr);
+  }
+}
+
+void FlightRecorder::signal_dump() {
+  if (FlightRecorder* recorder = g_flight.load(std::memory_order_acquire)) {
+    recorder->dump_slots();
+  }
+}
+
+}  // namespace gbis

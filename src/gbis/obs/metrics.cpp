@@ -71,6 +71,8 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "svc.solve_by.path",
     "svc.solve_by.greedy_hc",
     "svc.solve_by.other",
+    "svc.trace.spans",
+    "svc.trace.exports",
 };
 
 constexpr const char* kHistNames[kNumHists] = {
@@ -91,6 +93,7 @@ constexpr const char* kGaugeNames[kNumGauges] = {
     "svc.brownout_level",
     "svc.graphstore.bytes",
     "svc.graphstore.entries",
+    "svc.flight.ring",
 };
 
 constexpr const char* kPhaseNames[kNumPhases] = {

@@ -105,6 +105,9 @@ enum class Counter : std::uint8_t {
   kSvcSolveByPath,        ///< "svc.solve_by.path"
   kSvcSolveByGreedyHc,    ///< "svc.solve_by.greedy_hc"
   kSvcSolveByOther,       ///< "svc.solve_by.other" (off-ladder methods)
+  // Request-tracing counters (obs/span.*, svc/scheduler.*).
+  kSvcTraceSpans,         ///< "svc.trace.spans" (spans recorded, all requests)
+  kSvcTraceExports,       ///< "svc.trace.exports" (ok op:"trace" responses)
   kCount
 };
 inline constexpr std::size_t kNumCounters =
@@ -137,6 +140,7 @@ enum class Gauge : std::uint8_t {
   kSvcBrownoutLevel,   ///< "svc.brownout_level" (overload ladder rung, 0-3)
   kSvcGraphStoreBytes,    ///< "svc.graphstore.bytes" (resident graph bytes)
   kSvcGraphStoreEntries,  ///< "svc.graphstore.entries" (resident graphs)
+  kSvcFlightRing,         ///< "svc.flight.ring" (completed sets held)
   kCount
 };
 inline constexpr std::size_t kNumGauges =
@@ -191,6 +195,43 @@ struct HistData {
   }
   std::uint64_t total() const;
   bool empty() const { return total() == 0; }
+};
+
+/// Exemplar of one histogram bucket: the trace id of the max-value
+/// sample that landed there (OpenMetrics exemplars; stats v5). The
+/// *which sample was max* decision is wall-clock data, so every surface
+/// that renders these does so under a "_us"-marked key (or on a
+/// "_us"-named metric) — outside the determinism contract by the same
+/// convention as the latency histograms themselves.
+struct BucketExemplar {
+  std::uint64_t trace = 0;  ///< trace id of the exemplar sample
+  std::uint64_t value = 0;  ///< the sampled value (microseconds)
+  bool has = false;
+};
+
+/// Per-bucket exemplars for one log2 histogram (65 buckets, matching
+/// HistData). offer() keeps the max-value sample per bucket.
+struct HistExemplars {
+  std::array<BucketExemplar, 65> buckets{};
+
+  void offer(std::uint64_t value, std::uint64_t trace) {
+    BucketExemplar& slot = buckets[HistData::bucket_of(value)];
+    if (!slot.has || value > slot.value) {
+      slot.trace = trace;
+      slot.value = value;
+      slot.has = true;
+    }
+  }
+
+  /// The overall max-latency exemplar across all buckets; has==false
+  /// when no sample was ever offered.
+  BucketExemplar top() const {
+    BucketExemplar best;
+    for (const BucketExemplar& slot : buckets) {
+      if (slot.has && (!best.has || slot.value > best.value)) best = slot;
+    }
+    return best;
+  }
 };
 
 /// Five-number summary of a log2 histogram, for the stats-v2 protocol

@@ -1,5 +1,6 @@
 #include "gbis/obs/progress.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <iostream>
@@ -67,9 +68,13 @@ void ProgressMeter::paint_locked() {
   char line[160];
   const double elapsed = timer_.elapsed_seconds();
   const std::uint64_t executed = done_ - adopted_;
-  const double rate = elapsed > 0.0
-                          ? static_cast<double>(executed) / elapsed
-                          : 0.0;
+  // Clamp the denominator to the paint-throttle window: a paint landing
+  // within the first microseconds would otherwise report an absurd
+  // rate, and a zero-width interval an inf/nan one.
+  const double denom = std::max(elapsed, min_interval_);
+  double rate =
+      denom > 0.0 ? static_cast<double>(executed) / denom : 0.0;
+  if (!std::isfinite(rate)) rate = 0.0;
   if (style_ == ProgressStyle::kRequests) {
     std::snprintf(line, sizeof line,
                   "\rgbis: %llu requests | ok %llu, rejected %llu, err "

@@ -4,6 +4,8 @@
 #include <limits>
 #include <ostream>
 
+#include "gbis/util/json_lite.hpp"
+
 namespace gbis {
 
 namespace {
@@ -34,6 +36,12 @@ std::string prom_metric_name(const std::string& catalog_name) {
 }
 
 void write_prom_exposition(std::ostream& out, const TrialMetrics& metrics) {
+  write_prom_exposition(out, metrics, {});
+}
+
+void write_prom_exposition(
+    std::ostream& out, const TrialMetrics& metrics,
+    const std::array<const HistExemplars*, kNumHists>& exemplars) {
   for (std::size_t i = 0; i < kNumCounters; ++i) {
     const char* catalog = counter_name(static_cast<Counter>(i));
     const std::string name = prom_metric_name(catalog) + "_total";
@@ -60,7 +68,14 @@ void write_prom_exposition(std::ostream& out, const TrialMetrics& metrics) {
     for (std::size_t b = 0; b <= highest; ++b) {
       cumulative += h.buckets[b];
       out << name << "_bucket{le=\"" << bucket_upper_bound(b) << "\"} "
-          << cumulative << "\n";
+          << cumulative;
+      if (exemplars[i] != nullptr) {
+        const BucketExemplar& ex = exemplars[i]->buckets[b];
+        if (ex.has) {
+          out << " # {trace_id=\"" << to_hex16(ex.trace) << "\"} " << ex.value;
+        }
+      }
+      out << "\n";
     }
     out << name << "_bucket{le=\"+Inf\"} " << h.total() << "\n";
     out << name << "_sum " << h.sum << "\n";

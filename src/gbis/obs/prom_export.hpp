@@ -14,6 +14,7 @@
 // tooling strips those lines).
 #pragma once
 
+#include <array>
 #include <iosfwd>
 #include <string>
 
@@ -28,5 +29,16 @@ std::string prom_metric_name(const std::string& catalog_name);
 /// registry, plus every non-empty histogram. Ends with a newline;
 /// lint-clean under tools/prom_lint.py.
 void write_prom_exposition(std::ostream& out, const TrialMetrics& metrics);
+
+/// Exemplar-decorated exposition: `exemplars[h]` (null entries = no
+/// exemplars for that histogram) appends OpenMetrics exemplar syntax —
+/// ` # {trace_id="<hex16>"} <value>` — to each raw `_bucket` sample
+/// whose bucket holds one (never the synthetic +Inf bucket). Exemplars
+/// only ever decorate the `_us`-named latency histograms, so byte
+/// comparisons already skip those lines; lint-clean under
+/// `tools/prom_lint.py --strict`.
+void write_prom_exposition(
+    std::ostream& out, const TrialMetrics& metrics,
+    const std::array<const HistExemplars*, kNumHists>& exemplars);
 
 }  // namespace gbis

@@ -1,5 +1,6 @@
 #include "gbis/svc/access_log.hpp"
 
+#include <cstdio>
 #include <utility>
 
 #include "gbis/util/json_lite.hpp"
@@ -14,6 +15,9 @@ std::string encode_access_entry(const AccessEntry& entry) {
   append_json_string(line, entry.op);
   line += ",\"status\":";
   append_json_string(line, entry.status);
+  if (entry.has_trace) {
+    line += ",\"trace\":\"" + to_hex16(entry.trace) + "\"";
+  }
   if (!entry.cache.empty()) {
     line += ",\"cache\":";
     append_json_string(line, entry.cache);
@@ -41,15 +45,36 @@ std::string encode_access_entry(const AccessEntry& entry) {
   return line;
 }
 
-AccessLog::AccessLog(std::string path) : path_(std::move(path)) {
+AccessLog::AccessLog(std::string path, std::uint64_t max_bytes)
+    : path_(std::move(path)), max_bytes_(max_bytes) {
   out_.open(path_, std::ios::out | std::ios::app);
+  if (out_.is_open()) {
+    const auto pos = out_.tellp();
+    bytes_ = pos > 0 ? static_cast<std::uint64_t>(pos) : 0;
+  }
+}
+
+void AccessLog::maybe_rotate(std::size_t incoming_bytes) {
+  // Rotate before the write that would cross the bound, never on an
+  // empty file (one oversized line still gets logged whole).
+  if (max_bytes_ == 0 || bytes_ == 0 || bytes_ + incoming_bytes <= max_bytes_) {
+    return;
+  }
+  out_.flush();
+  out_.close();
+  std::rename(path_.c_str(), (path_ + ".1").c_str());
+  out_.open(path_, std::ios::out | std::ios::trunc);
+  bytes_ = 0;
 }
 
 void AccessLog::append(const AccessEntry& entry) {
   if (!ok()) return;
   std::string line = encode_access_entry(entry);
   line.push_back('\n');
+  maybe_rotate(line.size());
+  if (!ok()) return;
   out_.write(line.data(), static_cast<std::streamsize>(line.size()));
+  bytes_ += line.size();
 }
 
 void AccessLog::flush() {

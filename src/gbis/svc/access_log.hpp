@@ -26,8 +26,12 @@ namespace gbis {
 struct AccessEntry {
   std::uint64_t seq = 0;  ///< request ordinal within the service lifetime
   std::string id;         ///< request id, verbatim
-  std::string op;         ///< "solve" | "ping" | "stats"
+  std::string op;         ///< "solve" | "ping" | "stats" | ...
   std::string status;     ///< "ok" | "error" | "rejected"
+  /// Trace id (16-hex on the line) — derived or client-supplied; every
+  /// entry carries one once the scheduler assigns ids.
+  std::uint64_t trace = 0;
+  bool has_trace = false;
   std::string cache;      ///< "hit" | "miss" | "coalesced" | ""
   std::string method;     ///< requested method selector (solve only)
   std::uint64_t fingerprint = 0;  ///< graph fingerprint (when resolved)
@@ -51,7 +55,11 @@ std::string encode_access_entry(const AccessEntry& entry);
 /// decides whether that is fatal — the CLI treats it as an I/O error).
 class AccessLog {
  public:
-  explicit AccessLog(std::string path);
+  /// `max_bytes` > 0 bounds the file: when appending a line would push
+  /// it past the bound, the current file is atomically renamed to
+  /// `<path>.1` (replacing any previous rollover) and a fresh file is
+  /// started — one generation of history, bounded total footprint.
+  explicit AccessLog(std::string path, std::uint64_t max_bytes = 0);
 
   bool ok() const { return out_.is_open() && out_.good(); }
   const std::string& path() const { return path_; }
@@ -62,7 +70,11 @@ class AccessLog {
   void flush();
 
  private:
+  void maybe_rotate(std::size_t incoming_bytes);
+
   std::string path_;
+  std::uint64_t max_bytes_ = 0;
+  std::uint64_t bytes_ = 0;  ///< current file size (append position)
   std::ofstream out_;
 };
 

@@ -75,6 +75,10 @@ class Connection {
   /// Lifetime request count (quota accounting / access-log style
   /// diagnostics).
   std::uint64_t requests = 0;
+  /// Lines actually submitted to the service (excludes quota/overlong
+  /// rejections answered locally) — the per-connection trace-id
+  /// ordinal, so trace ids are a pure function of (connection, line).
+  std::uint64_t submitted = 0;
 
  private:
   int fd_;

@@ -294,7 +294,7 @@ void Listener::handle_events(Connection& conn,
       continue;
     }
     std::vector<std::string> immediate;
-    service_.submit_line(event.line, immediate);
+    service_.submit_line(event.line, immediate, conn.id(), conn.submitted++);
     if (immediate.empty()) {
       routes_.push_back(conn.id());
       ++conn.inflight;

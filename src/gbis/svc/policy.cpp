@@ -5,6 +5,7 @@
 #include <new>
 
 #include "gbis/harness/timer.hpp"
+#include "gbis/obs/span.hpp"
 #include "gbis/rng/splitmix.hpp"
 #include "gbis/util/deadline.hpp"
 
@@ -14,11 +15,51 @@ std::span<const Method> policy_portfolio() {
   return quality_portfolio(QualityTier::kBest);
 }
 
+namespace {
+
+/// Converts one trial's bounded convergence trace into request-trace
+/// sub-spans: a "trial" header span, then one span per kept trace
+/// point, all stamped at the trial's start offset. The SpanBuffer
+/// applies its own second-level decimation, so a budget-heavy request
+/// still yields a bounded, thread-count-invariant span list.
+void offer_trial_spans(SpanBuffer& spans, std::uint32_t trial,
+                       std::int64_t cut, const TrialMetrics& tm,
+                       double trial_start, double trial_wall) {
+  SpanRec header;
+  header.name = "trial";
+  header.step = trial;
+  header.has_step = true;
+  header.value = cut;
+  header.has_value = cut >= 0;
+  header.start_seconds = trial_start;
+  header.duration_seconds = trial_wall;
+  spans.offer(std::move(header));
+  for (const TracePoint& pt : tm.trace) {
+    SpanRec rec;
+    rec.name = span_name_for_trace_source(pt.source);
+    rec.step = pt.step;
+    rec.has_step = true;
+    rec.value = pt.cut;
+    rec.has_value = true;
+    if (pt.source == TraceSource::kSa) {
+      rec.aux = pt.aux;
+      rec.has_aux = true;
+    }
+    rec.start_seconds = trial_start;
+    spans.offer(std::move(rec));
+  }
+}
+
+}  // namespace
+
 PolicyResult run_policy(const Graph& g, const PolicySpec& spec,
                         std::uint64_t seed, const RunConfig& base,
-                        bool keep_sides, const std::atomic<bool>* stop) {
+                        bool keep_sides, const std::atomic<bool>* stop,
+                        SpanBuffer* spans) {
   PolicyResult result;
   if (spec.budget == 0) return result;  // all-skipped, status kSkipped
+  const bool tracing = spans != nullptr && spans->bound();
+  const WallTimer policy_clock;  // span offsets relative to policy entry
 
   // One deadline for the whole request, shared by every trial.
   const Deadline deadline = spec.deadline_seconds > 0
@@ -57,9 +98,24 @@ PolicyResult run_policy(const Graph& g, const PolicySpec& spec,
       continue;
     }
     const CpuTimer timer;
+    // Tracing binds a throwaway per-trial sink so the trial's
+    // convergence trace becomes its sub-spans; the service's own
+    // counters stay untouched either way.
+    TrialMetrics trial_metrics;
+    MetricsSink trial_sink(&trial_metrics, 64);
+    MetricsSink* sink = tracing ? &trial_sink : nullptr;
+    config.kl.metrics = sink;
+    config.sa.metrics = sink;
+    config.fm.metrics = sink;
+    config.path.metrics = sink;
+    config.compaction.metrics = sink;
+    config.multilevel.metrics = sink;
+    const double trial_start = policy_clock.elapsed_seconds();
+    std::int64_t trial_cut = -1;
     try {
       Rng rng(splitmix64_at(seed, i));
       const Bisection b = run_one_start(g, method, rng, config);
+      trial_cut = b.cut();
       if (b.cut() < result.best_cut) {
         result.best_cut = b.cut();
         result.best_method = method;
@@ -85,6 +141,10 @@ PolicyResult run_policy(const Graph& g, const PolicySpec& spec,
       if (result.first_error.empty()) result.first_error = "unknown exception";
     }
     result.cpu_seconds += timer.elapsed_seconds();
+    if (tracing) {
+      offer_trial_spans(*spans, i, trial_cut, trial_metrics, trial_start,
+                        policy_clock.elapsed_seconds() - trial_start);
+    }
   }
 
   if (result.ok > 0) {

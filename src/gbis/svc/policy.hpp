@@ -42,6 +42,8 @@
 
 namespace gbis {
 
+class SpanBuffer;
+
 /// What to run for one request.
 struct PolicySpec {
   bool portfolio = true;         ///< true: race the portfolio ("auto")
@@ -86,9 +88,15 @@ struct PolicyResult {
 /// its obs block is ignored — the service keeps its own counters.
 /// `stop` (optional) drains remaining trials as skipped, the graceful-
 /// shutdown path. Never throws on trial failure; failures are data.
+/// A bound `spans` buffer (obs/span.hpp) collects per-method sub-spans
+/// for request tracing: one "trial" span per executed trial plus the
+/// trial's convergence points (kl.pass / sa.temp / fm.pass / po.pass),
+/// with times relative to run_policy entry. The span *structure* is a
+/// pure function of (graph, spec, seed) like the cuts themselves.
 PolicyResult run_policy(const Graph& g, const PolicySpec& spec,
                         std::uint64_t seed, const RunConfig& base = {},
                         bool keep_sides = false,
-                        const std::atomic<bool>* stop = nullptr);
+                        const std::atomic<bool>* stop = nullptr,
+                        SpanBuffer* spans = nullptr);
 
 }  // namespace gbis

@@ -109,10 +109,24 @@ bool parse_request(const std::string& line, SvcRequest& out,
       out.op = SvcRequest::Op::kStats;
     } else if (op == "mutate") {
       out.op = SvcRequest::Op::kMutate;
+    } else if (op == "trace") {
+      out.op = SvcRequest::Op::kTrace;
     } else {
       error = "parse: unknown op \"" + op + "\"";
       return false;
     }
+  }
+  // The optional client trace id rides on any op (it selects the span
+  // set to export on op:"trace" and overrides the derived id
+  // elsewhere), so it parses before the early returns below.
+  if (json_find_value(line, "trace") != std::string::npos) {
+    std::string hex;
+    if (!json_parse_string(line, "trace", hex) ||
+        !parse_hex16(hex, out.trace_id)) {
+      error = "parse: \"trace\" must be a 16-digit hex trace id";
+      return false;
+    }
+    out.has_trace = true;
   }
   if (out.op == SvcRequest::Op::kStats) {
     static constexpr const char* kFormats[] = {"json", "prom"};
@@ -122,7 +136,8 @@ bool parse_request(const std::string& line, SvcRequest& out,
       return false;
     }
   }
-  if (out.op == SvcRequest::Op::kPing || out.op == SvcRequest::Op::kStats) {
+  if (out.op == SvcRequest::Op::kPing || out.op == SvcRequest::Op::kStats ||
+      out.op == SvcRequest::Op::kTrace) {
     return true;
   }
 
@@ -200,6 +215,11 @@ std::string encode_response(const SvcResponse& response) {
     line += ",\"op\":";
     append_json_string(line, response.op);
   }
+  // Only when the client sent a "trace" field: derived ids are not
+  // echoed, keeping pre-tracing response streams byte-identical.
+  if (response.has_trace) {
+    line += ",\"trace\":\"" + to_hex16(response.trace_id) + "\"";
+  }
   if (response.has_solve && response.ok) {
     line += ",\"cut\":" + std::to_string(response.cut);
     line += ",\"method\":";
@@ -219,6 +239,9 @@ std::string encode_response(const SvcResponse& response) {
     line += ",\"edit_distance\":" + std::to_string(response.edit_distance);
     line += ",\"depth\":" + std::to_string(response.depth);
   }
+  if (response.has_traces && response.ok) {
+    line += ",\"traces\":" + std::to_string(response.traces);
+  }
   for (const auto& [key, value] : response.stats) {
     line += ",\"" + key + "\":" + std::to_string(value);
   }
@@ -226,6 +249,10 @@ std::string encode_response(const SvcResponse& response) {
     char buf[40];
     std::snprintf(buf, sizeof buf, "%.17g", value);
     line += ",\"" + key + "\":" + buf;
+  }
+  for (const auto& [key, value] : response.stats_text) {
+    line += ",\"" + key + "\":";
+    append_json_string(line, value);
   }
   if (!response.cache.empty()) {
     line += ",\"cache\":";
@@ -239,6 +266,10 @@ std::string encode_response(const SvcResponse& response) {
   if (!response.prom.empty()) {
     line += ",\"prom\":";
     append_json_string(line, response.prom);
+  }
+  if (response.has_traces && response.ok) {
+    line += ",\"spans\":";
+    append_json_string(line, response.spans);
   }
   if (!response.ok) {
     if (response.retry_after_ms != 0) {

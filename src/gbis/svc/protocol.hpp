@@ -15,12 +15,16 @@
 //   {"id":"p","op":"ping"}      {"id":"s","op":"stats"}
 //
 // Response: `"ok":true` carries the solve payload (or the ping/stats
-// echo); `"ok":false` carries `"error"` with a stable reason prefix —
-// "parse:", "io:", "rejected:", "mutate:", "deadline", "shutdown",
-// "internal:".
-// Responses deliberately contain no timing fields: a response stream
-// is a pure function of the request stream (plus the service seed), so
-// replays are byte-identical at any thread count.
+// echo, or the op:"trace" span export); `"ok":false` carries `"error"`
+// with a stable reason prefix — "parse:", "io:", "rejected:",
+// "mutate:", "trace:", "deadline", "shutdown", "internal:".
+// Responses deliberately contain no timing fields outside the "_us"
+// convention: a response stream is a pure function of the request
+// stream (plus the service seed), so replays are byte-identical at any
+// thread count. The one carrier of wall-clock data is the op:"trace"
+// span export, whose embedded t_start_us/t_dur_us keys follow the
+// same strippable "_us" convention (escaped, inside the "spans"
+// string).
 #pragma once
 
 #include <cstdint>
@@ -40,7 +44,7 @@ inline constexpr std::size_t kMaxEditElements = 1u << 20;
 
 /// One parsed request line.
 struct SvcRequest {
-  enum class Op : std::uint8_t { kSolve = 0, kPing, kStats, kMutate };
+  enum class Op : std::uint8_t { kSolve = 0, kPing, kStats, kMutate, kTrace };
 
   std::string id;       ///< echoed verbatim in the response; may be ""
   Op op = Op::kSolve;
@@ -69,6 +73,12 @@ struct SvcRequest {
   /// Stats output format: "" / "json" (the flat key/value payload) or
   /// "prom" (Prometheus text exposition in the "prom" response field).
   std::string format;
+  /// Client-supplied trace id (optional "trace" field, any op): on
+  /// solve/mutate/ping/stats it *replaces* the derived id and is echoed
+  /// in the response and access log; on op:"trace" it selects which
+  /// recorded span set to export (absent = dump the whole ring).
+  std::uint64_t trace_id = 0;
+  bool has_trace = false;
 };
 
 /// Parses one request line. On failure returns false and sets `error`
@@ -84,7 +94,13 @@ bool parse_request(const std::string& line, SvcRequest& out,
 struct SvcResponse {
   std::string id;
   bool ok = false;
-  std::string op;     ///< echoed for ping/stats; "" for solve
+  std::string op;     ///< echoed for ping/stats/trace; "" for solve
+  /// Trace-id echo: set only when the client supplied a "trace" field
+  /// (the only-when-present rule that keeps pre-tracing response
+  /// streams byte-identical). Derived ids appear in the access log and
+  /// the flight recorder instead.
+  std::uint64_t trace_id = 0;
+  bool has_trace = false;
   std::string cache;  ///< "hit" | "miss" | "coalesced" | "" (non-solve)
   std::string error;  ///< set iff !ok
   /// Backoff hint accompanying a brownout shed ("rejected: brownout
@@ -113,14 +129,26 @@ struct SvcResponse {
   std::uint64_t edit_distance = 0;  ///< this batch's edit distance
   std::uint32_t depth = 0;          ///< lineage chain depth of the child
 
+  /// Trace-export payload (op == "trace"): number of span sets in
+  /// "spans" (has_traces gates emission so other ops are unchanged).
+  std::uint64_t traces = 0;
+  bool has_traces = false;
+
   /// Ordered key/value payload of a stats response.
   std::vector<std::pair<std::string, std::uint64_t>> stats;
   /// Ordered real-valued stats payload (histogram sums/percentiles).
   /// Keys end in "_us": wall-clock timing, outside the determinism
   /// contract — replay comparisons strip fields with that suffix.
   std::vector<std::pair<std::string, double>> stats_real;
+  /// Ordered string-valued stats payload (latency exemplar trace ids).
+  /// Keys end in "_us" by the same convention as stats_real: *which*
+  /// request was slowest is wall-clock data.
+  std::vector<std::pair<std::string, std::string>> stats_text;
   /// Prometheus text exposition (stats with format:"prom").
   std::string prom;
+  /// Trace-export payload: newline-separated encode_span_set() lines
+  /// (see obs/span.hpp), emitted as one JSON string field.
+  std::string spans;
 };
 
 /// Encodes one response line (no trailing newline). Field order is

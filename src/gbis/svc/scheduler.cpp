@@ -16,6 +16,7 @@
 #include "gbis/io/edge_list.hpp"
 #include "gbis/io/metis.hpp"
 #include "gbis/obs/prom_export.hpp"
+#include "gbis/rng/splitmix.hpp"
 #include "gbis/svc/fingerprint.hpp"
 #include "gbis/util/json_lite.hpp"
 
@@ -41,6 +42,7 @@ const char* op_name(SvcRequest::Op op) {
     case SvcRequest::Op::kPing: return "ping";
     case SvcRequest::Op::kStats: return "stats";
     case SvcRequest::Op::kMutate: return "mutate";
+    case SvcRequest::Op::kTrace: return "trace";
   }
   return "solve";
 }
@@ -137,6 +139,33 @@ SvcOptions svc_options_from_env(SvcOptions base) {
       warn_rejected("GBIS_SVC_QUALITY", v);
     }
   }
+  if (const char* v = std::getenv("GBIS_SVC_FLIGHT"); v != nullptr) {
+    if (*v == '\0') {
+      warn_rejected("GBIS_SVC_FLIGHT", v);
+    } else {
+      base.flight_file = v;
+    }
+  }
+  if (const char* v = std::getenv("GBIS_SVC_FLIGHT_RING"); v != nullptr) {
+    char* end = nullptr;
+    const unsigned long long ring = std::strtoull(v, &end, 10);
+    if (*v == '\0' || end == nullptr || *end != '\0' || ring == 0 ||
+        ring > 0xFFFFFFFFull) {
+      warn_rejected("GBIS_SVC_FLIGHT_RING", v);
+    } else {
+      base.flight_ring = static_cast<std::uint32_t>(ring);
+    }
+  }
+  if (const char* v = std::getenv("GBIS_SVC_ACCESS_LOG_MAX_MB");
+      v != nullptr) {
+    char* end = nullptr;
+    const unsigned long long mb = std::strtoull(v, &end, 10);
+    if (*v == '\0' || end == nullptr || *end != '\0') {
+      warn_rejected("GBIS_SVC_ACCESS_LOG_MAX_MB", v);
+    } else {
+      base.access_log_max_mb = static_cast<std::uint64_t>(mb);
+    }
+  }
   return base;
 }
 
@@ -180,8 +209,40 @@ struct Service::Pending {
   double dispatch_seconds = 0;     ///< stamped at process_batch entry
   double solve_start_seconds = 0;  ///< cold leaders only
   double solve_seconds = 0;        ///< cold leaders only
+
+  // Request tracing (obs/span): the derived-or-client trace id plus
+  // the span set under construction. `spans` is driver-owned (submit /
+  // phase 1 / phase 3); `worker_spans` is the one slot a phase-2
+  // worker writes, appended in phase 3 so merged span order is
+  // arrival-deterministic.
+  std::uint64_t trace_id = 0;
+  bool client_trace = false;  ///< id came from the request's "trace"
+  std::vector<SpanRec> spans;
+  std::vector<SpanRec> worker_spans;
+
+  /// Appends a zero-duration structural span stamped `at` seconds.
+  void mark(const char* name, double at) {
+    SpanRec rec;
+    rec.name = name;
+    rec.start_seconds = at;
+    spans.push_back(std::move(rec));
+  }
+  /// The set as currently known — what the flight recorder sees at
+  /// each in-flight checkpoint and at completion.
+  SpanSet span_set(const char* status_text) const {
+    SpanSet set;
+    set.trace_id = trace_id;
+    set.seq = seq;
+    set.id = request.id;
+    set.op = op_name(request.op);
+    set.status = status_text;
+    set.spans = spans;
+    return set;
+  }
 };
 
+// Out-of-line for Pending; the flight recorder uninstalls itself from
+// the dump hook in its own destructor.
 Service::~Service() = default;
 
 Service::Service(SvcOptions options)
@@ -196,9 +257,19 @@ Service::Service(SvcOptions options)
   if (options_.default_budget == 0) options_.default_budget = 1;
   if (options_.slow_capacity == 0) options_.slow_capacity = 1;
   if (options_.brownout_window == 0) options_.brownout_window = 1;
+  if (options_.flight_ring == 0) options_.flight_ring = 1;
   if (!options_.access_log_path.empty()) {
-    access_log_ = std::make_unique<AccessLog>(options_.access_log_path);
+    access_log_ = std::make_unique<AccessLog>(
+        options_.access_log_path, options_.access_log_max_mb << 20);
   }
+  // The flight recorder always exists (it backs op:"trace"); the
+  // signal-dump slots and fd only come with a configured flight file.
+  flight_ = std::make_unique<FlightRecorder>(options_.flight_ring,
+                                             2 * options_.max_queue);
+  if (!options_.flight_file.empty()) {
+    flight_ok_ = flight_->open_dump_file(options_.flight_file);
+  }
+  FlightRecorder::install(flight_.get());
   if (!options_.cache_file.empty()) {
     // Warm restart: replay the journal's longest valid prefix into the
     // LRU before the first request. A damaged tail is dropped (and the
@@ -259,16 +330,42 @@ void Service::note_quota_rejected() {
 
 void Service::submit_line(const std::string& line,
                           std::vector<std::string>& out) {
+  // Stdio path: connection 0, ordinal = lines submitted so far.
+  submit_line(line, out, 0, stdio_submitted_++);
+}
+
+void Service::submit_line(const std::string& line,
+                          std::vector<std::string>& out,
+                          std::uint64_t conn_id,
+                          std::uint64_t conn_ordinal) {
   ++metrics_.counters[static_cast<std::size_t>(Counter::kSvcRequests)];
   auto entry = std::make_unique<Pending>();
   entry->seq = next_seq_++;
   entry->submit_seconds = clock_.elapsed_seconds();
+  // Derived trace id first so even a parse failure is traceable; the
+  // client's own "trace" (if the line parses) replaces it below.
+  entry->trace_id = splitmix64_at(conn_id, conn_ordinal);
+  entry->mark("accept", entry->submit_seconds);
   std::string error;
   if (!parse_request(line, entry->request, error)) {
     entry->response.id = entry->request.id;
     entry->response.ok = false;
     entry->response.error = error;
     entry->done = true;
+  } else if (entry->request.has_trace &&
+             entry->request.op != SvcRequest::Op::kTrace) {
+    // On op:"trace" the field selects the set to export; on every
+    // other op it overrides the derived id.
+    entry->trace_id = entry->request.trace_id;
+    entry->client_trace = true;
+  }
+  {
+    SpanRec parse_span;
+    parse_span.name = "parse";
+    parse_span.start_seconds = entry->submit_seconds;
+    parse_span.duration_seconds =
+        clock_.elapsed_seconds() - entry->submit_seconds;
+    entry->spans.push_back(std::move(parse_span));
   }
   if (queue_.size() >= options_.max_queue) {
     // Nowhere to hold it: this is the one response that jumps the
@@ -279,6 +376,10 @@ void Service::submit_line(const std::string& line,
     SvcResponse rejected;
     rejected.id = entry->request.id;
     rejected.ok = false;
+    if (entry->client_trace) {
+      rejected.trace_id = entry->trace_id;
+      rejected.has_trace = true;
+    }
     rejected.error = "rejected: queue full (" + std::to_string(queue_.size()) +
                      " queued, max " + std::to_string(options_.max_queue) +
                      ")";
@@ -291,6 +392,8 @@ void Service::submit_line(const std::string& line,
       logged.id = entry->request.id;
       logged.op = op_name(entry->request.op);
       logged.status = "rejected";
+      logged.trace = entry->trace_id;
+      logged.has_trace = true;
       if (entry->request.op == SvcRequest::Op::kSolve) {
         logged.method = entry->request.method;
       }
@@ -300,8 +403,17 @@ void Service::submit_line(const std::string& line,
       access_log_->append(logged);
       access_log_->flush();
     }
+    // A rejected request still completes into the flight ring: tail
+    // forensics need the shed requests most of all.
+    metrics_.counters[static_cast<std::size_t>(Counter::kSvcTraceSpans)] +=
+        entry->spans.size();
+    flight_->complete(entry->span_set("rejected"));
+    metrics_.gauges[static_cast<std::size_t>(Gauge::kSvcFlightRing)] =
+        static_cast<std::int64_t>(flight_->completed().size());
     return;
   }
+  entry->mark("admit", clock_.elapsed_seconds());
+  flight_->record_inflight(entry->span_set("queued"));
   queue_.push_back(std::move(entry));
   metrics_.gauges[static_cast<std::size_t>(Gauge::kSvcQueueDepth)] =
       static_cast<std::int64_t>(queue_.size());
@@ -768,11 +880,12 @@ void Service::fill_stats(SvcResponse& response) const {
       {"cache_bytes", cache.bytes},
       {"cache_max_bytes", cache_.max_bytes()},
       // v2: gauges and histogram summaries. v3: dynamic-graph keys.
+      // v4: method-portfolio keys. v5: tracing/flight-recorder keys.
       // Keys are append-only; the *_count fields are deterministic
       // (they count finalized requests/solves at this stream
       // position), while everything under stats_real carries the
       // nondeterministic "_us" marker.
-      {"stats_version", 4},
+      {"stats_version", 5},
       {"queue_depth", gauge(Gauge::kSvcQueueDepth)},
       {"inflight", gauge(Gauge::kSvcInflight)},
       {"batch_size", gauge(Gauge::kSvcBatchSize)},
@@ -819,6 +932,15 @@ void Service::fill_stats(SvcResponse& response) const {
       {"solve_by_path", counter(Counter::kSvcSolveByPath)},
       {"solve_by_greedy_hc", counter(Counter::kSvcSolveByGreedyHc)},
       {"solve_by_other", counter(Counter::kSvcSolveByOther)},
+      // Request-tracing surface (PR 10, stats v5; keys append-only).
+      // All deterministic: span structure and ring occupancy are pure
+      // functions of the request stream.
+      {"trace_spans", counter(Counter::kSvcTraceSpans)},
+      {"trace_exports", counter(Counter::kSvcTraceExports)},
+      {"flight_ring", static_cast<std::uint64_t>(flight_->completed().size())},
+      {"flight_capacity", options_.flight_ring},
+      {"flight_inflight",
+       static_cast<std::uint64_t>(flight_->inflight_count())},
   };
   const struct {
     const char* prefix;
@@ -838,6 +960,67 @@ void Service::fill_stats(SvcResponse& response) const {
     response.stats_real.emplace_back(p + "_p90_us", summary.p90);
     response.stats_real.emplace_back(p + "_p99_us", summary.p99);
   }
+  // Max-latency exemplars (stats v5): the trace id of the slowest
+  // sample per histogram, "" until one lands. *Which* request was
+  // slowest is wall-clock data, hence the "_us" suffix on the keys
+  // even though the values are trace ids.
+  const struct {
+    const char* key;
+    const HistExemplars* exemplars;
+  } exemplar_stats[] = {
+      {"request_latency_exemplar_us", &request_exemplars_},
+      {"solve_latency_exemplar_us", &solve_exemplars_},
+      {"queue_wait_exemplar_us", &queue_exemplars_},
+  };
+  for (const auto& [key, exemplars] : exemplar_stats) {
+    const BucketExemplar top = exemplars->top();
+    response.stats_text.emplace_back(key,
+                                     top.has ? to_hex16(top.trace) : "");
+  }
+}
+
+void Service::write_prom(std::ostream& out) const {
+  std::array<const HistExemplars*, kNumHists> exemplars{};
+  exemplars[static_cast<std::size_t>(Hist::kSvcRequestLatencyUs)] =
+      &request_exemplars_;
+  exemplars[static_cast<std::size_t>(Hist::kSvcSolveLatencyUs)] =
+      &solve_exemplars_;
+  exemplars[static_cast<std::size_t>(Hist::kSvcQueueWaitUs)] =
+      &queue_exemplars_;
+  write_prom_exposition(out, metrics_snapshot(), exemplars);
+}
+
+void Service::fill_trace(Pending& entry) {
+  SvcResponse& response = entry.response;
+  response.id = entry.request.id;
+  response.op = "trace";
+  if (entry.request.has_trace) {
+    // Export one set by id — echoed so the caller sees what it asked
+    // for even on a miss.
+    response.trace_id = entry.request.trace_id;
+    response.has_trace = true;
+    bool inflight = false;
+    const SpanSet* found = flight_->find(entry.request.trace_id, &inflight);
+    if (found == nullptr) {
+      response.ok = false;
+      response.error = "trace: unknown trace id \"" +
+                       to_hex16(entry.request.trace_id) + "\"";
+      entry.done = true;
+      return;
+    }
+    response.ok = true;
+    response.has_traces = true;
+    response.traces = 1;
+    response.spans = encode_span_set(*found, inflight ? "inflight" : "done");
+    response.spans += '\n';
+  } else {
+    response.ok = true;
+    response.has_traces = true;
+    response.traces = flight_->completed().size();
+    response.spans = flight_->export_completed();
+  }
+  ++metrics_.counters[static_cast<std::size_t>(Counter::kSvcTraceExports)];
+  entry.done = true;
 }
 
 TrialMetrics Service::metrics_snapshot() const {
@@ -903,9 +1086,12 @@ void Service::finalize_telemetry(Pending& entry, double now_seconds) {
       .observe(to_us(total));
   metrics_.hists[static_cast<std::size_t>(Hist::kSvcQueueWaitUs)].observe(
       to_us(queue_wait));
+  request_exemplars_.offer(to_us(total), entry.trace_id);
+  queue_exemplars_.offer(to_us(queue_wait), entry.trace_id);
   if (entry.cold) {
     metrics_.hists[static_cast<std::size_t>(Hist::kSvcSolveLatencyUs)]
         .observe(to_us(entry.solve_seconds));
+    solve_exemplars_.offer(to_us(entry.solve_seconds), entry.trace_id);
   }
   if (access_log_ != nullptr) {
     AccessEntry logged;
@@ -913,6 +1099,8 @@ void Service::finalize_telemetry(Pending& entry, double now_seconds) {
     logged.id = entry.request.id;
     logged.op = op_name(entry.request.op);
     logged.status = entry.response.ok ? "ok" : "error";
+    logged.trace = entry.trace_id;
+    logged.has_trace = true;
     logged.cache = entry.response.cache;
     if (entry.request.op == SvcRequest::Op::kSolve) {
       logged.method = entry.request.method;
@@ -934,6 +1122,21 @@ void Service::finalize_telemetry(Pending& entry, double now_seconds) {
     access_log_->append(logged);
   }
   record_slow(entry, total);
+  // Close out the span set: the worker's solve sub-spans (leaders
+  // only) merge here on the dispatch thread in arrival order, then the
+  // finalize/write bookends. The completed set replaces the in-flight
+  // record in the flight ring.
+  for (SpanRec& span : entry.worker_spans) {
+    entry.spans.push_back(std::move(span));
+  }
+  entry.worker_spans.clear();
+  entry.mark("finalize", now_seconds);
+  entry.mark("write", clock_.elapsed_seconds());
+  metrics_.counters[static_cast<std::size_t>(Counter::kSvcTraceSpans)] +=
+      entry.spans.size();
+  flight_->complete(entry.span_set(entry.response.ok ? "ok" : "error"));
+  metrics_.gauges[static_cast<std::size_t>(Gauge::kSvcFlightRing)] =
+      static_cast<std::int64_t>(flight_->completed().size());
 }
 
 void Service::process_batch(std::vector<std::string>& out,
@@ -956,7 +1159,14 @@ void Service::process_batch(std::vector<std::string>& out,
   metrics_.gauges[static_cast<std::size_t>(Gauge::kSvcBatchSize)] =
       static_cast<std::int64_t>(queue_.size());
   const double dispatch_seconds = clock_.elapsed_seconds();
-  for (auto& entry : queue_) entry->dispatch_seconds = dispatch_seconds;
+  for (auto& entry : queue_) {
+    entry->dispatch_seconds = dispatch_seconds;
+    SpanRec queued;
+    queued.name = "queue";
+    queued.start_seconds = entry->submit_seconds;
+    queued.duration_seconds = dispatch_seconds - entry->submit_seconds;
+    entry->spans.push_back(std::move(queued));
+  }
 
   // Phase 1 (dispatch thread, arrival order): parse results are already
   // in; resolve identities, load graphs, decide hit/coalesce/cold.
@@ -974,7 +1184,13 @@ void Service::process_batch(std::vector<std::string>& out,
         entry.response.error = "shutdown: request drained before any trial ran";
         entry.done = true;
       } else {
+        SpanRec mutate_span;
+        mutate_span.name = "mutate";
+        mutate_span.start_seconds = clock_.elapsed_seconds();
         prepare_mutate(entry);
+        mutate_span.duration_seconds =
+            clock_.elapsed_seconds() - mutate_span.start_seconds;
+        entry.spans.push_back(std::move(mutate_span));
       }
       continue;
     }
@@ -986,7 +1202,30 @@ void Service::process_batch(std::vector<std::string>& out,
       entry.done = true;
       continue;
     }
+    SpanRec lookup;
+    lookup.name = "lookup";
+    lookup.start_seconds = clock_.elapsed_seconds();
     prepare(entry, i, leaders, cold_queue_index);
+    lookup.duration_seconds = clock_.elapsed_seconds() - lookup.start_seconds;
+    entry.spans.push_back(std::move(lookup));
+    if (entry.warm_start) {
+      // Phase 1 planned a warm start: record the projection (the edit
+      // count is the span's "cut" payload — it is what the guardrail
+      // reasons about).
+      SpanRec project;
+      project.name = "warm.project";
+      project.value = static_cast<std::int64_t>(entry.warm_edits);
+      project.has_value = true;
+      project.start_seconds = clock_.elapsed_seconds();
+      entry.spans.push_back(std::move(project));
+    }
+  }
+  // Checkpoint every in-flight set now that phase 1 resolved lookups:
+  // from here to phase 3 the driver never touches these spans, so the
+  // flight recorder's slots are quiescent while workers run — which is
+  // what makes the crash-path dump complete AND race-free.
+  for (auto& entry : queue_) {
+    flight_->record_inflight(entry->span_set("pending"));
   }
 
   // Phase 2 (worker pool): run the cold solves, one pool job each —
@@ -1015,6 +1254,7 @@ void Service::process_batch(std::vector<std::string>& out,
                                    entry.solve_ordinal, deadline, stop);
           }
           bool solved = false;
+          SpanBuffer span_buffer(&entry.worker_spans);
           if (entry.warm_start) {
             // Warm start: refine the projected ancestor partition with
             // bounded KL. The quality guardrail compares against what
@@ -1026,9 +1266,18 @@ void Service::process_batch(std::vector<std::string>& out,
                 entry.spec.deadline_seconds > 0
                     ? Deadline::after(entry.spec.deadline_seconds)
                     : Deadline();
+            const double refine_start = clock_.elapsed_seconds();
             WarmSolveResult w =
                 warm_solve(*entry.graph, std::move(entry.warm_seed),
                            options_.warm_max_passes, deadline);
+            SpanRec refine;
+            refine.name = "warm.refine";
+            refine.value = static_cast<std::int64_t>(w.cut);
+            refine.has_value = true;
+            refine.start_seconds = refine_start;
+            refine.duration_seconds =
+                clock_.elapsed_seconds() - refine_start;
+            span_buffer.offer(std::move(refine));
             const Weight bound =
                 2 * (entry.warm_parent_cut +
                      static_cast<Weight>(entry.warm_edits)) +
@@ -1046,11 +1295,27 @@ void Service::process_batch(std::vector<std::string>& out,
             }
           }
           if (!solved) {
+            const std::size_t policy_span_begin = entry.worker_spans.size();
+            const double policy_start = clock_.elapsed_seconds();
             results[j] = run_policy(*entry.graph, entry.spec, entry.seed,
-                                    options_.run, /*keep_sides=*/true, stop);
+                                    options_.run, /*keep_sides=*/true, stop,
+                                    &span_buffer);
+            // Policy spans are recorded against the policy's own clock;
+            // rebase them onto the service epoch (wall-clock data only —
+            // structure is already epoch-free).
+            for (std::size_t k = policy_span_begin;
+                 k < entry.worker_spans.size(); ++k) {
+              entry.worker_spans[k].start_seconds += policy_start;
+            }
           }
           entry.solve_seconds =
               clock_.elapsed_seconds() - entry.solve_start_seconds;
+          SpanRec solve_span;
+          solve_span.name = "solve";
+          solve_span.start_seconds = entry.solve_start_seconds;
+          solve_span.duration_seconds = entry.solve_seconds;
+          entry.worker_spans.insert(entry.worker_spans.begin(),
+                                    std::move(solve_span));
         },
         stop);
     for (std::size_t j = 0; j < outcomes.size(); ++j) {
@@ -1093,11 +1358,13 @@ void Service::process_batch(std::vector<std::string>& out,
         entry.response.op = "stats";
         if (entry.request.format == "prom") {
           std::ostringstream prom;
-          write_prom_exposition(prom, metrics_snapshot());
+          write_prom(prom);
           entry.response.prom = prom.str();
         } else {
           fill_stats(entry.response);
         }
+      } else if (entry.request.op == SvcRequest::Op::kTrace) {
+        fill_trace(entry);
       } else if (entry.cold) {
         entry.response.cache = "miss";
         const PolicyResult& result = results[entry.cold_index];
@@ -1119,6 +1386,13 @@ void Service::process_batch(std::vector<std::string>& out,
         entry.response.cache = "coalesced";
         finalize_solve(entry, results[entry.leader_cold_index]);
       }
+    }
+    // Echo the trace id only when the client supplied one — derived ids
+    // live in the access log / flight recorder, so byte streams of
+    // trace-unaware clients are unchanged.
+    if (entry.client_trace && !entry.response.has_trace) {
+      entry.response.trace_id = entry.trace_id;
+      entry.response.has_trace = true;
     }
     out.push_back(encode_response(entry.response));
     // After the response: a stats op reports the latencies of requests

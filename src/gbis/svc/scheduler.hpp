@@ -37,6 +37,7 @@
 #include "gbis/harness/runner.hpp"
 #include "gbis/harness/thread_pool.hpp"
 #include "gbis/harness/timer.hpp"
+#include "gbis/obs/flight_recorder.hpp"
 #include "gbis/obs/metrics.hpp"
 #include "gbis/obs/trace_export.hpp"
 #include "gbis/svc/access_log.hpp"
@@ -74,6 +75,17 @@ struct SvcOptions {
   /// Per-request JSONL access log destination (svc/access_log);
   /// "" = off. Opened append-mode at construction.
   std::string access_log_path;
+  /// Access-log size bound in whole mebibytes: once the file would
+  /// cross it, it rolls to `<path>.1` and starts fresh. 0 = unbounded
+  /// (the historical behavior).
+  std::uint64_t access_log_max_mb = 0;
+  /// Flight-recorder dump path (`--flight-file` / GBIS_SVC_FLIGHT):
+  /// the fd pre-opened for async-signal-safe JSONL dumps on SIGQUIT
+  /// and the injected-crash path. "" = the recorder still serves
+  /// op:"trace" from memory but signal dumps go nowhere.
+  std::string flight_file;
+  /// Completed span sets held by the flight recorder's ring.
+  std::uint32_t flight_ring = 64;
   /// Slow-request sampling threshold in milliseconds: requests whose
   /// total latency reaches it are recorded as SvcSlowSamples for the
   /// Chrome trace. < 0 disables sampling; 0 samples every request
@@ -127,7 +139,10 @@ struct SvcOptions {
 /// GBIS_SVC_BROWNOUT_WINDOW (> 0), GBIS_SVC_GRAPH_MB (whole mebibytes
 /// for the graph store), GBIS_SVC_WARM (0/1), and GBIS_SVC_QUALITY
 /// (fast|balanced|best, the ladder rung for "auto" solves that do not
-/// say) onto `base`.
+/// say), GBIS_SVC_FLIGHT (a flight-recorder dump path),
+/// GBIS_SVC_FLIGHT_RING (> 0 completed span sets held), and
+/// GBIS_SVC_ACCESS_LOG_MAX_MB (whole mebibytes; 0 = unbounded) onto
+/// `base`.
 /// Malformed values warn on stderr and keep the default, matching
 /// every other GBIS_* knob.
 SvcOptions svc_options_from_env(SvcOptions base);
@@ -142,7 +157,18 @@ class Service {
   /// only a queue-full rejection here; everything else waits for a
   /// batch — are appended to `out` as encoded lines without trailing
   /// newlines. Call process_batch once pending() reaches batch_size.
+  /// The two-argument form is the stdio path: connection id 0 with a
+  /// service-internal line ordinal, so its trace ids are a pure
+  /// function of line position.
   void submit_line(const std::string& line, std::vector<std::string>& out);
+
+  /// Transport-aware submit: `conn_id` and `conn_ordinal` (lines
+  /// previously submitted on that connection) derive the request's
+  /// trace id via splitmix64_at(conn_id, conn_ordinal) — deterministic
+  /// per (connection, line) at any thread count. The listener calls
+  /// this; embedders with their own framing can too.
+  void submit_line(const std::string& line, std::vector<std::string>& out,
+                   std::uint64_t conn_id, std::uint64_t conn_ordinal);
 
   /// Dispatches every queued request and appends their responses to
   /// `out` in arrival order. When `stop` is non-null and set, queued
@@ -184,6 +210,15 @@ class Service {
   /// Current brownout ladder rung (0 = normal ... 3 = shedding),
   /// recomputed at every batch dispatch.
   std::uint32_t brownout_level() const { return brownout_level_; }
+  /// The request-trace flight recorder (always present; the ring backs
+  /// op:"trace" even with no dump file configured).
+  const FlightRecorder& flight() const { return *flight_; }
+  /// False when the configured --flight-file could not be opened.
+  bool flight_ok() const { return flight_ok_; }
+  /// Prometheus exposition with latency-histogram exemplars attached —
+  /// what the stats op's "prom" format and the CLI --stats-file
+  /// snapshot both emit.
+  void write_prom(std::ostream& out) const;
 
   /// Listener hooks (svc/listener.*). Single-driver like everything
   /// else here: the listener event loop runs on the same thread that
@@ -213,6 +248,9 @@ class Service {
   void update_brownout();
   void note_solve_outcome(bool deadline_miss);
   void fill_stats(SvcResponse& response) const;
+  /// Phase-3 handler for op:"trace": exports one span set (request has
+  /// a "trace" id) or the whole completed ring.
+  void fill_trace(Pending& entry);
   void finalize_telemetry(Pending& entry, double now_seconds);
   void record_slow(const Pending& entry, double total_seconds);
   static void fill_from_value(SvcResponse& response, const SvcCacheValue& value,
@@ -229,6 +267,14 @@ class Service {
   TrialMetrics metrics_;
   std::vector<std::unique_ptr<Pending>> queue_;
   std::unique_ptr<AccessLog> access_log_;
+  std::unique_ptr<FlightRecorder> flight_;
+  bool flight_ok_ = true;
+  std::uint64_t stdio_submitted_ = 0;  ///< 2-arg submit_line ordinal
+  /// Max-latency exemplars per latency histogram (stats v5 +
+  /// OpenMetrics exemplar rows).
+  HistExemplars request_exemplars_;
+  HistExemplars solve_exemplars_;
+  HistExemplars queue_exemplars_;
   std::vector<SvcSlowSample> slow_samples_;
   WallTimer clock_;               ///< service epoch for all timings
   std::uint64_t next_seq_ = 0;    ///< request ordinal (access-log "seq")

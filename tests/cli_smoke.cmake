@@ -102,8 +102,11 @@ endif()
 # convention) are the one documented exception to byte identity —
 # strip them, then require the rest to match exactly.
 function(strip_timing text out_var)
-  # JSON fields whose key carries the "_us" wall-clock marker.
-  string(REGEX REPLACE ",\"[a-zA-Z0-9_]*_us\":[-+0-9.eE]+" "" text "${text}")
+  # JSON fields whose key carries the "_us" wall-clock marker. Values
+  # are numbers (latencies) or strings (latency exemplar trace ids,
+  # whose bucket placement is wall-clock too).
+  string(REGEX REPLACE ",\"[a-zA-Z0-9_]*_us\":(\"[^\"]*\"|[-+0-9.eE]+)" ""
+    text "${text}")
   # Prom series embedded in a "prom" response string: drop every
   # escaped line (…\n) naming a *_us metric. Escaped quotes are
   # removed first so backslash only ever means a line boundary; this
@@ -154,8 +157,11 @@ foreach(threads 1 8)
       "serve telemetry replay (${threads} threads) failed (${code}): ${err}")
   endif()
 endforeach()
-if(NOT telem1 MATCHES "\"stats_version\":4")
-  message(FATAL_ERROR "stats response is not v4: ${telem1}")
+if(NOT telem1 MATCHES "\"stats_version\":5")
+  message(FATAL_ERROR "stats response is not v5: ${telem1}")
+endif()
+if(NOT telem1 MATCHES "\"trace_spans\":")
+  message(FATAL_ERROR "stats response lacks v5 tracing counters: ${telem1}")
 endif()
 if(NOT telem1 MATCHES "\"quality_fast\":")
   message(FATAL_ERROR "stats response lacks v4 quality counters: ${telem1}")
@@ -213,7 +219,7 @@ endif()
 # around (CI always has it; dev boxes may not).
 find_program(PYTHON3 python3)
 if(PYTHON3 AND DEFINED PROM_LINT)
-  execute_process(COMMAND ${PYTHON3} ${PROM_LINT}
+  execute_process(COMMAND ${PYTHON3} ${PROM_LINT} --strict
       ${WORK_DIR}/prom1.txt ${WORK_DIR}/prom8.txt
     RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
   if(NOT code EQUAL 0)
@@ -243,17 +249,36 @@ file(WRITE ${WORK_DIR}/chaos.ndjson
   "{\"id\":\"cc\",\"op\":\"solve\",\"path\":\"${WORK_DIR}/g.graph\",\"method\":\"auto\",\"budget\":2,\"seed\":203}\n"
   "{\"id\":\"cd\",\"op\":\"solve\",\"path\":\"${WORK_DIR}/g.graph\",\"method\":\"kl\",\"seed\":204}\n")
 foreach(threads 1 8)
-  file(REMOVE ${WORK_DIR}/chaos${threads}.jsonl)
+  file(REMOVE ${WORK_DIR}/chaos${threads}.jsonl ${WORK_DIR}/flight${threads}.jsonl)
   set(ENV{GBIS_THREADS} ${threads})
   set(ENV{GBIS_SVC_FAULTS} "crash@batch:2")
   execute_process(COMMAND ${GBIS_CLI} serve --replay ${WORK_DIR}/chaos.ndjson
       --batch 2 --cache-file ${WORK_DIR}/chaos${threads}.jsonl
+      --flight-file ${WORK_DIR}/flight${threads}.jsonl
     WORKING_DIRECTORY ${WORK_DIR}
     RESULT_VARIABLE code OUTPUT_VARIABLE crash_out ERROR_QUIET)
   unset(ENV{GBIS_SVC_FAULTS})
   if(code EQUAL 0)
     message(FATAL_ERROR
       "chaos serve (${threads} threads) survived the injected crash")
+  endif()
+  # The flight recorder's black box must survive the SIGKILL: the crash
+  # path dumps completed span sets (and any in-flight work) before the
+  # process dies, each line tagged with its deterministic trace id.
+  if(NOT EXISTS ${WORK_DIR}/flight${threads}.jsonl)
+    message(FATAL_ERROR
+      "chaos serve (${threads} threads) left no flight dump behind")
+  endif()
+  file(READ ${WORK_DIR}/flight${threads}.jsonl flight_dump)
+  if(NOT flight_dump MATCHES "\"state\":\"done\"")
+    message(FATAL_ERROR
+      "flight dump (${threads} threads) has no completed span sets:\n"
+      "${flight_dump}")
+  endif()
+  if(NOT flight_dump MATCHES "\"trace\":\"[0-9a-f][0-9a-f][0-9a-f][0-9a-f]")
+    message(FATAL_ERROR
+      "flight dump (${threads} threads) lines carry no trace ids:\n"
+      "${flight_dump}")
   endif()
   string(REGEX MATCHALL "[^\n]+" crash_lines "${crash_out}")
   list(LENGTH crash_lines crash_count)

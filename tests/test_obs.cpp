@@ -7,7 +7,9 @@
 // for any thread count, and a killed-and-resumed campaign reproduces
 // the metric summaries of an uninterrupted run exactly.
 #include <algorithm>
+#include <array>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iterator>
@@ -27,9 +29,11 @@
 #include "gbis/harness/shutdown.hpp"
 #include "gbis/harness/stats.hpp"
 #include "gbis/io/io_error.hpp"
+#include "gbis/obs/flight_recorder.hpp"
 #include "gbis/obs/metrics.hpp"
 #include "gbis/obs/progress.hpp"
 #include "gbis/obs/prom_export.hpp"
+#include "gbis/obs/span.hpp"
 #include "gbis/obs/trace.hpp"
 #include "gbis/obs/trace_export.hpp"
 #include "gbis/rng/rng.hpp"
@@ -823,6 +827,172 @@ TEST(Campaign, KillAndResumeReproducesMetricSummaries) {
     EXPECT_EQ(ref_report.totals.hists[h].buckets,
               res_report.totals.hists[h].buckets);
   }
+}
+
+// --- Request spans, the flight recorder, and exemplars ----------------------
+
+SpanRec named_span(const std::string& name, std::uint64_t step) {
+  SpanRec rec;
+  rec.name = name;
+  rec.step = step;
+  rec.has_step = true;
+  return rec;
+}
+
+TEST(SpanBuffer, NullBufferDropsEverything) {
+  SpanBuffer buffer;
+  EXPECT_FALSE(buffer.bound());
+  for (int i = 0; i < 100; ++i) buffer.offer(named_span("kl.pass", i));
+  // Nothing to assert beyond "did not crash": there is no destination.
+}
+
+TEST(SpanBuffer, DecimationIsBoundedAndKeepsTheOfferedPrefixRule) {
+  std::vector<SpanRec> dest;
+  SpanBuffer buffer(&dest, 8);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    buffer.offer(named_span("sa.temp", i));
+  }
+  EXPECT_LE(dest.size(), 8u);
+  EXPECT_EQ(dest.front().step, 0u);  // ordinal 0 survives every stride
+  // Deterministic: the same offered sequence keeps the same subset.
+  std::vector<SpanRec> again;
+  SpanBuffer rerun(&again, 8);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    rerun.offer(named_span("sa.temp", i));
+  }
+  ASSERT_EQ(dest.size(), again.size());
+  for (std::size_t i = 0; i < dest.size(); ++i) {
+    EXPECT_EQ(dest[i].step, again[i].step);
+  }
+}
+
+SpanSet sample_span_set(std::uint64_t trace_id, std::uint64_t seq) {
+  SpanSet set;
+  set.trace_id = trace_id;
+  set.seq = seq;
+  set.id = "r" + std::to_string(seq);
+  set.op = "solve";
+  SpanRec accept;
+  accept.name = "accept";
+  accept.start_seconds = 0.001;
+  set.spans.push_back(accept);
+  SpanRec pass = named_span("kl.pass", 3);
+  pass.value = 17;
+  pass.has_value = true;
+  pass.start_seconds = 0.002;
+  pass.duration_seconds = 0.0005;
+  set.spans.push_back(pass);
+  return set;
+}
+
+TEST(SpanEncode, GoldenLineWithTimingKeysLast) {
+  const std::string line = encode_span_set(sample_span_set(0xabcull, 7),
+                                           "done");
+  EXPECT_EQ(line,
+            "{\"state\":\"done\",\"trace\":\"0000000000000abc\",\"seq\":7,"
+            "\"id\":\"r7\",\"op\":\"solve\",\"status\":\"\",\"spans\":["
+            "{\"name\":\"accept\",\"t_start_us\":1000,\"t_dur_us\":0},"
+            "{\"name\":\"kl.pass\",\"step\":3,\"cut\":17,"
+            "\"t_start_us\":2000,\"t_dur_us\":500}]}");
+}
+
+TEST(FlightRecorder, RingEvictsAndFindPrefersNewest) {
+  FlightRecorder recorder(2, 4);
+  recorder.complete(sample_span_set(1, 0));
+  recorder.complete(sample_span_set(2, 1));
+  recorder.complete(sample_span_set(3, 2));  // evicts trace 1
+  EXPECT_EQ(recorder.completed().size(), 2u);
+  EXPECT_EQ(recorder.find(1), nullptr);
+  bool inflight = true;
+  const SpanSet* found = recorder.find(3, &inflight);
+  ASSERT_NE(found, nullptr);
+  EXPECT_FALSE(inflight);
+  recorder.record_inflight(sample_span_set(9, 3));
+  found = recorder.find(9, &inflight);
+  ASSERT_NE(found, nullptr);
+  EXPECT_TRUE(inflight);
+  EXPECT_EQ(recorder.inflight_count(), 1u);
+  // Completing clears the in-flight record.
+  recorder.complete(sample_span_set(9, 3));
+  recorder.find(9, &inflight);
+  EXPECT_FALSE(inflight);
+  EXPECT_EQ(recorder.inflight_count(), 0u);
+}
+
+TEST(FlightRecorder, DumpWritesCompletedAndInflightLines) {
+  const std::string path = testing::TempDir() + "flight_unit.jsonl";
+  std::remove(path.c_str());
+  FlightRecorder recorder(4, 4);
+  ASSERT_TRUE(recorder.open_dump_file(path));
+  SpanSet done = sample_span_set(0x11, 0);
+  done.status = "ok";
+  recorder.complete(done);
+  SpanSet live = sample_span_set(0x22, 1);
+  live.status = "pending";
+  recorder.record_inflight(live);
+  recorder.dump_slots();
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("\"state\":\"done\",\"trace\":\"0000000000000011\""),
+            std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("\"state\":\"inflight\",\"trace\":\"0000000000000022\""),
+      std::string::npos)
+      << text;
+  std::remove(path.c_str());
+}
+
+TEST(HistExemplars, KeepsTheMaxSamplePerBucketAndOverall) {
+  HistExemplars exemplars;
+  exemplars.offer(100, 0xaaa);  // bucket of 100
+  exemplars.offer(120, 0xbbb);  // same bucket, larger value wins
+  exemplars.offer(110, 0xccc);  // same bucket, smaller: ignored
+  exemplars.offer(5000, 0xddd);  // different bucket
+  const std::size_t bucket = HistData::bucket_of(120);
+  EXPECT_TRUE(exemplars.buckets[bucket].has);
+  EXPECT_EQ(exemplars.buckets[bucket].trace, 0xbbbull);
+  EXPECT_EQ(exemplars.buckets[bucket].value, 120ull);
+  const BucketExemplar top = exemplars.top();
+  ASSERT_TRUE(top.has);
+  EXPECT_EQ(top.trace, 0xdddull);
+}
+
+TEST(PromExport, ExemplarSuffixOnBucketsNeverOnInf) {
+  TrialMetrics metrics;
+  metrics.hists[static_cast<std::size_t>(Hist::kSvcRequestLatencyUs)]
+      .observe(120);
+  HistExemplars exemplars;
+  exemplars.offer(120, 0x0123456789abcdefull);
+  std::array<const HistExemplars*, kNumHists> bound{};
+  bound[static_cast<std::size_t>(Hist::kSvcRequestLatencyUs)] = &exemplars;
+  std::ostringstream out;
+  write_prom_exposition(out, metrics, bound);
+  const std::string text = out.str();
+  EXPECT_NE(
+      text.find(" # {trace_id=\"0123456789abcdef\"} 120"),
+      std::string::npos)
+      << text;
+  // +Inf buckets stay bare even when the bucket landed a sample.
+  for (std::size_t pos = text.find("+Inf"); pos != std::string::npos;
+       pos = text.find("+Inf", pos + 1)) {
+    const std::size_t eol = text.find('\n', pos);
+    EXPECT_EQ(text.substr(pos, eol - pos).find("trace_id"),
+              std::string::npos);
+  }
+}
+
+TEST(ProgressMeter, RatesStayFiniteOnZeroWidthIntervals) {
+  std::ostringstream out;
+  // min_interval 0: every record paints, including ones arriving
+  // within the clock's resolution of construction.
+  ProgressMeter meter(0, &out, 0.0, ProgressStyle::kRequests);
+  for (int i = 0; i < 3; ++i) meter.record(ProgressOutcome::kOk);
+  meter.finish();
+  const std::string text = out.str();
+  EXPECT_EQ(text.find("inf"), std::string::npos) << text;
+  EXPECT_EQ(text.find("nan"), std::string::npos) << text;
 }
 
 }  // namespace

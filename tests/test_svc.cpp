@@ -4,6 +4,7 @@
 // the NDJSON protocol, and the scheduler's determinism contract: the
 // response stream is a pure function of the request stream for any
 // worker count.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -28,7 +29,9 @@
 #include "gbis/gen/special.hpp"
 #include "gbis/graph/builder.hpp"
 #include "gbis/harness/checkpoint.hpp"
+#include "gbis/harness/shutdown.hpp"
 #include "gbis/io/edge_list.hpp"
+#include "gbis/obs/span.hpp"
 #include "gbis/partition/bisection.hpp"
 #include "gbis/rng/rng.hpp"
 #include "gbis/svc/cache.hpp"
@@ -36,6 +39,7 @@
 #include "gbis/svc/listener.hpp"
 #include "gbis/svc/policy.hpp"
 #include "gbis/svc/protocol.hpp"
+#include "gbis/rng/splitmix.hpp"
 #include "gbis/svc/scheduler.hpp"
 #include "gbis/util/json_lite.hpp"
 
@@ -58,12 +62,13 @@ std::string solve_line(const std::string& id, const Graph& g,
 
 // Deletes the wall-clock fields from a response / access-log line so
 // the rest can be byte-compared across thread counts. By convention
-// (docs/SERVICE.md) every nondeterministic key ends in `_us` and its
-// value is a bare number, so one pattern strips them all; embedded
-// quotes inside JSON strings are escaped, so the pattern can never
-// match inside one.
+// (docs/SERVICE.md) every nondeterministic key ends in `_us`; values
+// are bare numbers or (exemplar keys) strings, and span payloads carry
+// the same keys JSON-escaped inside the "spans" string, so the pattern
+// accepts an optional backslash before each quote.
 std::string strip_timing(const std::string& line) {
-  static const std::regex timing(",\"[A-Za-z0-9_]*_us\":[-+0-9.eE]+");
+  static const std::regex timing(
+      ",(\\\\)?\"[A-Za-z0-9_]*_us(\\\\)?\":(\"[^\"]*\"|[-+0-9.eE]+)");
   return std::regex_replace(line, timing, "");
 }
 
@@ -556,7 +561,7 @@ TEST(Service, StatsV2ReportsGaugesAndLatencySummaries) {
 
   std::uint64_t value = 0;
   ASSERT_TRUE(json_parse_u64(stats, "stats_version", value));
-  EXPECT_EQ(value, 4u);
+  EXPECT_EQ(value, 5u);
   // Gauges read mid-batch: all three requests were queued, and exactly
   // one cold solve ran (the follower coalesced).
   ASSERT_TRUE(json_parse_u64(stats, "queue_depth", value));
@@ -2387,6 +2392,330 @@ TEST(Protocol, MutateParseErrorsAreStable) {
                                  to_hex16(9) + "\",\"path\":\"g\"}",
                              request, error));
   EXPECT_EQ(error, "parse: graph payloads are mutually exclusive");
+}
+
+// --- Request tracing and the flight recorder --------------------------------
+
+TEST(Service, TraceIsEchoedOnlyWhenTheClientSuppliedOne) {
+  const Graph g = make_grid(4, 4);
+  SvcOptions options = test_options();
+  options.batch_size = 1;
+  Service service(options);
+  std::vector<std::string> out;
+  service.submit_line(solve_line("a", g), out);
+  service.submit_line(solve_line("b", g, ",\"trace\":\"00000000000000ff\""),
+                      out);
+  service.submit_line("{\"id\":\"p\",\"op\":\"ping\",\"trace\":\"deadbeef"
+                      "deadbeef\"}",
+                      out);
+  service.drain(out);
+  ASSERT_EQ(out.size(), 3u);
+  // Derived ids never appear on the wire — pre-tracing byte streams
+  // are unchanged.
+  EXPECT_EQ(out[0].find("\"trace\""), std::string::npos) << out[0];
+  std::string echoed;
+  ASSERT_TRUE(json_parse_string(out[1], "trace", echoed));
+  EXPECT_EQ(echoed, "00000000000000ff");
+  ASSERT_TRUE(json_parse_string(out[2], "trace", echoed));
+  EXPECT_EQ(echoed, "deadbeefdeadbeef");
+
+  // A malformed trace id is a parse error, never a silent default.
+  out.clear();
+  service.submit_line(solve_line("bad", g, ",\"trace\":\"xyz\""), out);
+  service.drain(out);
+  std::string error;
+  ASSERT_TRUE(json_parse_string(out[0], "error", error));
+  EXPECT_EQ(error, "parse: \"trace\" must be a 16-digit hex trace id");
+}
+
+TEST(Service, TraceOpExportsSpanSetsAndLooksUpById) {
+  const Graph g = make_grid(6, 6);
+  SvcOptions options = test_options();
+  options.batch_size = 1;
+  Service service(options);
+  std::vector<std::string> out;
+  service.submit_line(solve_line("a", g), out);
+  service.submit_line("{\"id\":\"t\",\"op\":\"trace\"}", out);
+  service.drain(out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out[1].starts_with("{\"id\":\"t\",\"ok\":true,"
+                                 "\"op\":\"trace\""));
+  std::uint64_t traces = 0;
+  ASSERT_TRUE(json_parse_u64(out[1], "traces", traces));
+  EXPECT_EQ(traces, 1u);
+  std::string spans;
+  ASSERT_TRUE(json_parse_string(out[1], "spans", spans));
+  // The solve's span set, complete: structural marks, the queue wait,
+  // the lookup, the worker's solve span, and the finalize bookends.
+  const std::string expected_id = to_hex16(splitmix64_at(0, 0));
+  EXPECT_NE(spans.find("\"trace\":\"" + expected_id + "\""),
+            std::string::npos)
+      << spans;
+  for (const char* name : {"accept", "parse", "admit", "queue", "lookup",
+                           "solve", "trial", "finalize", "write"}) {
+    EXPECT_NE(spans.find("\"name\":\"" + std::string(name) + "\""),
+              std::string::npos)
+        << name << " missing in " << spans;
+  }
+  EXPECT_NE(spans.find("\"state\":\"done\""), std::string::npos);
+
+  // Lookup by id returns exactly that set; an unknown id is a stable
+  // error carrying the requested id.
+  out.clear();
+  service.submit_line(
+      "{\"id\":\"t2\",\"op\":\"trace\",\"trace\":\"" + expected_id + "\"}",
+      out);
+  service.submit_line(
+      "{\"id\":\"t3\",\"op\":\"trace\",\"trace\":\"ffffffffffffffff\"}",
+      out);
+  service.drain(out);
+  ASSERT_EQ(out.size(), 2u);
+  ASSERT_TRUE(json_parse_u64(out[0], "traces", traces));
+  EXPECT_EQ(traces, 1u);
+  std::string echoed;
+  ASSERT_TRUE(json_parse_string(out[0], "trace", echoed));
+  EXPECT_EQ(echoed, expected_id);
+  std::string error;
+  ASSERT_TRUE(json_parse_string(out[1], "error", error));
+  EXPECT_EQ(error, "trace: unknown trace id \"ffffffffffffffff\"");
+}
+
+TEST(Service, TraceStreamIsThreadCountInvariant) {
+  const Graph grid = make_grid(7, 5);
+  const Graph ladder = make_ladder(9);
+  Rng rng(3);
+  const Graph gnp = make_gnp(48, gnp_p_for_degree(48, 3.0), rng);
+  std::vector<std::string> lines;
+  lines.push_back(solve_line("a", grid));
+  lines.push_back(solve_line("b", ladder, ",\"budget\":4"));
+  lines.push_back(solve_line("c", gnp, ",\"trace\":\"00000000000000aa\""));
+  lines.push_back(solve_line("d", grid));  // cache hit
+  lines.push_back("{\"id\":\"t\",\"op\":\"trace\"}");
+  lines.push_back("{\"id\":\"s\",\"op\":\"stats\"}");
+  const auto one = strip_timing(run_sequence(test_options(1), lines));
+  const auto two = strip_timing(run_sequence(test_options(2), lines));
+  const auto eight = strip_timing(run_sequence(test_options(8), lines));
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+  // The trace export survived the strip with its structure intact.
+  const std::string& trace_response = one[4];
+  EXPECT_NE(trace_response.find("kl.pass"), std::string::npos)
+      << trace_response;
+  EXPECT_EQ(trace_response.find("_us"), std::string::npos);
+}
+
+TEST(Service, TraceIdsPropagateThroughMutateWarmChains) {
+  const Graph g = make_grid(6, 6);
+  SvcOptions options = test_options();
+  options.batch_size = 1;
+  Service service(options);
+  std::vector<std::string> out;
+  service.submit_line(solve_line("p", g), out);
+  service.submit_line(
+      mutate_inline_line("m", g, ",\"add_edges\":[0,35]"), out);
+  service.drain(out);
+  std::string child_fp;
+  ASSERT_TRUE(json_parse_string(out[1], "fingerprint", child_fp));
+  out.clear();
+  service.submit_line(solve_ref_line("s", child_fp), out);
+  service.drain(out);
+  bool is_warm = false;
+  ASSERT_TRUE(json_parse_bool(out[0], "warm", is_warm)) << out[0];
+  ASSERT_TRUE(is_warm);
+
+  // Each request in the chain keeps its own derived id (conn 0,
+  // ordinals 0..2), and the warm solve's set records the projection
+  // and the bounded refinement.
+  const FlightRecorder& flight = service.flight();
+  ASSERT_EQ(flight.completed().size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(flight.completed()[i].trace_id, splitmix64_at(0, i));
+  }
+  const SpanSet& warm_set = flight.completed()[2];
+  EXPECT_EQ(warm_set.op, "solve");
+  std::vector<std::string> names;
+  for (const SpanRec& span : warm_set.spans) names.push_back(span.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "warm.project"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "warm.refine"),
+            names.end());
+  // The mutate set records the mutate phase-1 span, not a solve.
+  const SpanSet& mutate_set = flight.completed()[1];
+  names.clear();
+  for (const SpanRec& span : mutate_set.spans) names.push_back(span.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "mutate"), names.end());
+  EXPECT_EQ(std::find(names.begin(), names.end(), "solve"), names.end());
+}
+
+TEST(Service, WarmRestartKeepsIdsAndReemitsSpansOnlyForLiveWork) {
+  const std::string path = temp_journal("svc_trace_restart.jsonl");
+  const Graph g = make_grid(6, 6);
+  SvcOptions options = test_options();
+  options.batch_size = 1;
+  options.cache_file = path;
+
+  std::uint64_t cold_trace = 0;
+  {
+    Service service(options);
+    std::vector<std::string> out;
+    service.submit_line(solve_line("a", g), out);
+    service.drain(out);
+    ASSERT_EQ(service.flight().completed().size(), 1u);
+    cold_trace = service.flight().completed()[0].trace_id;
+    const SpanSet& cold_set = service.flight().completed()[0];
+    bool has_solve = false;
+    for (const SpanRec& span : cold_set.spans) {
+      has_solve = has_solve || span.name == "solve";
+    }
+    EXPECT_TRUE(has_solve);
+  }
+
+  // Restart: the journal replays the result, so the same request
+  // answers as a warm hit. Its trace id derives identically (same
+  // connection, same ordinal) — but the span set is the hit's own
+  // live work: no solve span is re-emitted for work that never ran.
+  Service warm(options);
+  std::vector<std::string> out;
+  warm.submit_line(solve_line("a", g), out);
+  warm.drain(out);
+  std::string cache;
+  ASSERT_TRUE(json_parse_string(out[0], "cache", cache));
+  EXPECT_EQ(cache, "hit");
+  ASSERT_EQ(warm.flight().completed().size(), 1u);
+  const SpanSet& hit_set = warm.flight().completed()[0];
+  EXPECT_EQ(hit_set.trace_id, cold_trace);
+  bool has_solve = false, has_lookup = false;
+  for (const SpanRec& span : hit_set.spans) {
+    has_solve = has_solve || span.name == "solve";
+    has_lookup = has_lookup || span.name == "lookup";
+  }
+  EXPECT_FALSE(has_solve);
+  EXPECT_TRUE(has_lookup);
+}
+
+TEST(Service, RejectedRequestsCarryTotalTimingAndATraceId) {
+  const Graph g = make_grid(6, 6);
+  const std::string path = testing::TempDir() + "svc_access_reject.jsonl";
+  std::remove(path.c_str());
+  SvcOptions options = test_options();
+  options.batch_size = 100;  // hold the queue so the bound trips
+  options.max_queue = 2;
+  options.access_log_path = path;
+  {
+    Service service(options);
+    std::vector<std::string> out;
+    service.submit_line(solve_line("a", g), out);
+    service.submit_line(solve_line("b", g, ",\"seed\":5"), out);
+    service.submit_line(solve_line("c", g, ",\"seed\":6"), out);  // bounces
+    ASSERT_EQ(out.size(), 1u);  // the reject answered immediately
+    service.drain(out);
+  }
+  std::istringstream in(read_file(path));
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  // The reject is first in the log (it never waited) and carries the
+  // same observability surface as a served request.
+  std::string status, trace;
+  ASSERT_TRUE(json_parse_string(lines[0], "status", status));
+  EXPECT_EQ(status, "rejected");
+  ASSERT_TRUE(json_parse_string(lines[0], "trace", trace));
+  EXPECT_EQ(trace, to_hex16(splitmix64_at(0, 2)));
+  std::uint64_t t_total = 0;
+  EXPECT_TRUE(json_parse_u64(lines[0], "t_total_us", t_total));
+  // The rejected set lands in the flight ring too, marked as such.
+  for (const std::string& logged : lines) {
+    EXPECT_NE(logged.find("\"t_total_us\":"), std::string::npos) << logged;
+  }
+}
+
+TEST(AccessLog, RotatesAtTheConfiguredBound) {
+  const std::string path = testing::TempDir() + "svc_access_rotate.jsonl";
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+  AccessEntry entry;
+  entry.id = "x";
+  entry.op = "ping";
+  entry.status = "ok";
+  const std::size_t line_bytes = encode_access_entry(entry).size() + 1;
+  {
+    AccessLog log(path, 3 * line_bytes);
+    for (int i = 0; i < 4; ++i) log.append(entry);
+    log.flush();
+    // 3 lines fit; the 4th rotated them out and started fresh.
+    std::istringstream current(read_file(path));
+    std::string line;
+    int kept = 0;
+    while (std::getline(current, line)) ++kept;
+    EXPECT_EQ(kept, 1);
+    std::istringstream rolled(read_file(path + ".1"));
+    int archived = 0;
+    while (std::getline(rolled, line)) ++archived;
+    EXPECT_EQ(archived, 3);
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+}
+
+TEST(Service, StatsV5ReportsTheTracingSurface) {
+  const Graph g = make_grid(6, 6);
+  SvcOptions options = test_options();
+  options.batch_size = 1;
+  Service service(options);
+  std::vector<std::string> out;
+  service.submit_line(solve_line("a", g), out);
+  service.drain(out);
+  out.clear();
+  service.submit_line("{\"id\":\"s\",\"op\":\"stats\"}", out);
+  service.drain(out);
+  ASSERT_EQ(out.size(), 1u);
+  std::uint64_t value = 0;
+  ASSERT_TRUE(json_parse_u64(out[0], "stats_version", value));
+  EXPECT_EQ(value, 5u);
+  ASSERT_TRUE(json_parse_u64(out[0], "trace_spans", value));
+  EXPECT_GT(value, 0u);
+  EXPECT_TRUE(json_parse_u64(out[0], "trace_exports", value));
+  ASSERT_TRUE(json_parse_u64(out[0], "flight_ring", value));
+  EXPECT_EQ(value, 1u);
+  ASSERT_TRUE(json_parse_u64(out[0], "flight_capacity", value));
+  EXPECT_EQ(value, 64u);
+  EXPECT_TRUE(json_parse_u64(out[0], "flight_inflight", value));
+  // Exemplars: the solve is the max (and only) sample, so its derived
+  // id is the exemplar on both request-latency and queue-wait.
+  std::string exemplar;
+  ASSERT_TRUE(
+      json_parse_string(out[0], "request_latency_exemplar_us", exemplar));
+  EXPECT_EQ(exemplar, to_hex16(splitmix64_at(0, 0)));
+  ASSERT_TRUE(
+      json_parse_string(out[0], "solve_latency_exemplar_us", exemplar));
+  EXPECT_EQ(exemplar, to_hex16(splitmix64_at(0, 0)));
+}
+
+TEST(Service, FlightFileArmsTheSignalDump) {
+  const std::string path = testing::TempDir() + "svc_flight_dump.jsonl";
+  std::remove(path.c_str());
+  const Graph g = make_grid(6, 6);
+  SvcOptions options = test_options();
+  options.batch_size = 1;
+  options.flight_file = path;
+  options.flight_ring = 8;
+  {
+    Service service(options);
+    ASSERT_TRUE(service.flight_ok());
+    std::vector<std::string> out;
+    service.submit_line(solve_line("a", g), out);
+    service.drain(out);
+    // The hook path the SIGQUIT handler takes, invoked directly (a
+    // raise() would take down the whole test runner under sanitizers'
+    // signal interception).
+    trigger_flight_dump();
+  }
+  const std::string dump = read_file(path);
+  EXPECT_NE(dump.find("\"state\":\"done\""), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"trace\":\"" + to_hex16(splitmix64_at(0, 0)) + "\""),
+            std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace

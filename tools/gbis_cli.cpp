@@ -66,6 +66,7 @@
 #include "gbis/partition/metrics.hpp"
 #include "gbis/obs/progress.hpp"
 #include "gbis/obs/prom_export.hpp"
+#include "gbis/obs/span.hpp"
 #include "gbis/rng/rng.hpp"
 #include "gbis/svc/listener.hpp"
 #include "gbis/svc/scheduler.hpp"
@@ -141,6 +142,14 @@ void print_help(std::ostream& out) {
          "      --deadline S   default per-request deadline (none)\n"
          "      --access-log F append one JSON line per request to F\n"
          "                     (env GBIS_SVC_ACCESS_LOG, flag wins)\n"
+         "      --access-log-max-mb N  rotate the access log to F.1 when\n"
+         "                     appending would cross N MiB (0 = unbounded;\n"
+         "                     env GBIS_SVC_ACCESS_LOG_MAX_MB)\n"
+         "      --flight-file F arm the flight recorder: SIGQUIT and the\n"
+         "                     crash path dump recent + in-flight request\n"
+         "                     spans to F as JSONL (env GBIS_SVC_FLIGHT)\n"
+         "      --flight-ring N completed span sets the recorder retains\n"
+         "                     (64; env GBIS_SVC_FLIGHT_RING)\n"
          "      --slow-ms M    sample requests slower than M ms into\n"
          "                     <trace-dir>/trace.json (0 = all; env\n"
          "                     GBIS_SVC_SLOW_MS, flag wins)\n"
@@ -172,8 +181,9 @@ void print_help(std::ostream& out) {
          "      --threads value.\n"
          "      Request {\"op\":\"stats\"} reports counters, gauges, and\n"
          "      latency summaries; \"format\":\"prom\" returns the\n"
-         "      Prometheus exposition instead. --progress shows a live\n"
-         "      requests/s line on stderr.\n"
+         "      Prometheus exposition instead. {\"op\":\"trace\"} exports\n"
+         "      recent request spans (or one set by trace id). --progress\n"
+         "      shows a live requests/s line on stderr.\n"
          "\n"
          "global flags:\n"
          "  --seed N        base seed (default 42)\n"
@@ -201,7 +211,8 @@ void print_help(std::ostream& out) {
          "--trace-dir, and --progress (flags win); GBIS_SVC_CACHE_MB,\n"
          "GBIS_SVC_CACHE_FILE, GBIS_SVC_ACCESS_LOG, GBIS_SVC_SLOW_MS,\n"
          "GBIS_SVC_BROWNOUT, GBIS_SVC_BROWNOUT_WINDOW, GBIS_SVC_GRAPH_MB,\n"
-         "GBIS_SVC_WARM, and GBIS_SVC_QUALITY do the same\n"
+         "GBIS_SVC_WARM, GBIS_SVC_QUALITY, GBIS_SVC_FLIGHT,\n"
+         "GBIS_SVC_FLIGHT_RING, and GBIS_SVC_ACCESS_LOG_MAX_MB do the same\n"
          "for the serve flags; GBIS_SVC_FAULTS=kind@site:N[,...] injects\n"
          "service-scoped faults (kinds: throw, hang, oom, crash; sites:\n"
          "req, solve, batch) — see docs/OBSERVABILITY.md,\n"
@@ -571,6 +582,14 @@ int cmd_serve(const std::vector<std::string>& args, std::uint64_t seed,
     } else if (arg == "--access-log") {
       options.access_log_path = flag_value();
       if (options.access_log_path.empty()) usage();
+    } else if (arg == "--access-log-max-mb") {
+      options.access_log_max_mb = to_u64(flag_value());
+    } else if (arg == "--flight-file") {
+      options.flight_file = flag_value();
+      if (options.flight_file.empty()) usage();
+    } else if (arg == "--flight-ring") {
+      options.flight_ring = to_u64(flag_value());
+      if (options.flight_ring == 0) usage();
     } else if (arg == "--slow-ms") {
       options.slow_ms = to_double(flag_value());
       if (!(options.slow_ms >= 0)) usage();
@@ -639,6 +658,9 @@ int cmd_serve(const std::vector<std::string>& args, std::uint64_t seed,
   // a second one flips the escalation flag so the drain below answers
   // nothing new and just flushes what is already written.
   install_escalating_shutdown_handlers();
+  // SIGQUIT dumps the flight recorder (when --flight-file armed it) and
+  // keeps serving — the "what is it doing right now" probe.
+  install_flight_dump_handler();
   const std::atomic<bool>& stop = shutdown_flag();
 
   Service service(options);
@@ -647,6 +669,9 @@ int cmd_serve(const std::vector<std::string>& args, std::uint64_t seed,
   }
   if (!service.cache_store_ok()) {
     throw IoError("serve: cannot open cache journal " + options.cache_file);
+  }
+  if (!service.flight_ok()) {
+    throw IoError("serve: cannot open flight file " + options.flight_file);
   }
 
   // --progress: the serve-style meter (open-ended total, requests/s).
@@ -665,7 +690,7 @@ int cmd_serve(const std::vector<std::string>& args, std::uint64_t seed,
     const std::string tmp = stats_path + ".tmp";
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) throw IoError("serve: cannot open stats file " + tmp);
-    write_prom_exposition(out, service.metrics_snapshot());
+    service.write_prom(out);
     out.flush();
     if (!out) throw IoError("serve: stats write failed: " + tmp);
     out.close();
@@ -784,6 +809,15 @@ int cmd_serve(const std::vector<std::string>& args, std::uint64_t seed,
     write_svc_trace(out, service.slow_samples());
     out.flush();
     if (!out) throw IoError("serve: trace write failed: " + path);
+    // Companion span dump: the flight ring's completed sets as Chrome
+    // trace events (spans.json next to trace.json).
+    const std::string spans_path =
+        (std::filesystem::path(obs.trace_dir) / "spans.json").string();
+    std::ofstream spans_out(spans_path, std::ios::trunc);
+    if (!spans_out) throw IoError("serve: cannot open " + spans_path);
+    write_span_chrome_trace(spans_out, service.flight().completed());
+    spans_out.flush();
+    if (!spans_out) throw IoError("serve: trace write failed: " + spans_path);
   }
   return stop.load(std::memory_order_acquire) ? kExitInterrupted : kExitOk;
 }

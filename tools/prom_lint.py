@@ -1,19 +1,26 @@
 #!/usr/bin/env python3
 """Validator for Prometheus text exposition format (version 0.0.4).
 
-Usage: tools/prom_lint.py FILE [FILE...]
+Usage: tools/prom_lint.py [--strict] FILE [FILE...]
 Exit 0 when every file is lint-clean, 1 with one message per violation
 otherwise. Checks the subset of the format gbis emits plus the rules
 scrapers actually rely on:
 
   * line grammar: blank, "# HELP <name> <text>", "# TYPE <name> <type>",
-    or "<name>[{labels}] <value>[ <timestamp>]"
+    or "<name>[{labels}] <value>[ <timestamp>][ # {labels} <value>]"
   * metric and label names match the Prometheus regexes
   * at most one TYPE per metric, declared before its first sample
   * all samples of one metric are consecutive (grouped)
   * histogram buckets: le labels strictly increasing, cumulative counts
     non-decreasing, a "+Inf" bucket present and equal to _count
   * values parse as floats ("+Inf"/"-Inf"/"NaN" allowed)
+  * exemplars (OpenMetrics "# {...} value" suffix): only on _bucket
+    samples, never on the +Inf bucket, labels well-formed, trace_id a
+    16-digit hex string, exemplar value within the bucket's le bound
+
+--strict additionally requires every metric to declare HELP and TYPE,
+both before the metric's first sample — the contract the gbis exporter
+commits to, enforced in cli_smoke and CI.
 """
 
 import re
@@ -24,8 +31,10 @@ LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
     r"(?:\{(?P<labels>[^}]*)\})?"
-    r" (?P<value>\S+)(?: (?P<timestamp>-?\d+))?$"
+    r" (?P<value>\S+)(?: (?P<timestamp>-?\d+))?"
+    r"(?: # \{(?P<ex_labels>[^}]*)\} (?P<ex_value>\S+))?$"
 )
+TRACE_ID_RE = re.compile(r"^[0-9a-f]{16}$")
 LABEL_PAIR_RE = re.compile(
     r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$'
 )
@@ -48,7 +57,7 @@ def base_metric(name):
     return name
 
 
-def lint(path):
+def lint(path, strict=False):
     errors = []
 
     def err(lineno, message):
@@ -61,6 +70,7 @@ def lint(path):
         return [f"{path}: unreadable: {exc}"]
 
     declared_types = {}  # metric -> type
+    declared_help = set()  # metrics with a HELP line
     seen_samples = {}  # grouping metric -> last lineno
     closed = set()  # grouping metrics whose sample block ended
     histograms = {}  # metric -> {"buckets": [(le, count)], "count": n}
@@ -85,6 +95,11 @@ def lint(path):
                     if name in seen_samples:
                         err(lineno, f"TYPE for {name} after its samples")
                     declared_types[name] = kind
+                else:
+                    name = parts[2]
+                    if strict and name in seen_samples:
+                        err(lineno, f"HELP for {name} after its samples")
+                    declared_help.add(name)
             # Other comments are legal and ignored.
             continue
 
@@ -108,6 +123,37 @@ def lint(path):
         except ValueError:
             err(lineno, f"bad sample value {match.group('value')!r}")
             continue
+
+        if match.group("ex_labels") is not None:
+            if not name.endswith("_bucket"):
+                err(lineno, f"exemplar on non-bucket sample {name}")
+            if labels.get("le") in ("+Inf", "Inf"):
+                err(lineno, f"exemplar on +Inf bucket of {name}")
+            ex_labels = {}
+            for item in match.group("ex_labels").split(","):
+                pair = LABEL_PAIR_RE.match(item)
+                if not pair:
+                    err(lineno, f"malformed exemplar label {item!r}")
+                    continue
+                ex_labels[pair.group("key")] = pair.group("value")
+            trace_id = ex_labels.get("trace_id", "")
+            if not TRACE_ID_RE.match(trace_id):
+                err(lineno, f"exemplar trace_id {trace_id!r} is not "
+                            "16-digit lowercase hex")
+            try:
+                ex_value = parse_value(match.group("ex_value"))
+            except ValueError:
+                err(lineno,
+                    f"bad exemplar value {match.group('ex_value')!r}")
+            else:
+                if "le" in labels:
+                    try:
+                        le = parse_value(labels["le"])
+                    except ValueError:
+                        le = None
+                    if le is not None and ex_value > le:
+                        err(lineno, f"exemplar value {ex_value} above "
+                                    f"bucket bound le={labels['le']}")
 
         group = base_metric(name)
         if group in closed and group != last_group:
@@ -148,16 +194,32 @@ def lint(path):
                 f"{path}:{hist['count'][0]}: {group}_count "
                 f"!= +Inf bucket ({hist['count'][1]} vs {buckets[-1][1]})"
             )
+
+    if strict:
+        for group, lineno in sorted(seen_samples.items()):
+            if group not in declared_types:
+                errors.append(
+                    f"{path}: metric {group} has samples but no TYPE")
+            if group not in declared_help:
+                errors.append(
+                    f"{path}: metric {group} has samples but no HELP")
     return errors
 
 
 def main(argv):
-    if len(argv) < 2:
+    strict = False
+    paths = []
+    for arg in argv[1:]:
+        if arg == "--strict":
+            strict = True
+        else:
+            paths.append(arg)
+    if not paths:
         print(__doc__.strip().splitlines()[2], file=sys.stderr)
         return 2
     failures = []
-    for path in argv[1:]:
-        failures.extend(lint(path))
+    for path in paths:
+        failures.extend(lint(path, strict=strict))
     for message in failures:
         print(message, file=sys.stderr)
     return 1 if failures else 0

@@ -30,6 +30,12 @@ escalating handlers (docs/ROBUSTNESS.md) the exit code stays 130 for
 any K: the second signal shortens the drain, it never turns into a
 signal death.
 
+--sigquit-after-ms M sends one SIGQUIT M milliseconds after the
+request stream starts flowing — the flight-recorder probe. SIGQUIT
+dumps and keeps serving, so the session and the 130 teardown proceed
+unchanged; CI pairs this with --serve-arg --flight-file to assert the
+dump captures in-flight work.
+
 Exit status: 0 only when every step held — the server came up, answered
 the full request stream, and exited 130 on SIGTERM.
 """
@@ -43,6 +49,7 @@ import socket
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 
 
@@ -235,6 +242,10 @@ def main():
     parser.add_argument("--sigterm-count", type=int, default=1, metavar="K",
                         help="SIGTERMs sent 50 ms apart at teardown "
                              "(exit must stay 130 for any K)")
+    parser.add_argument("--sigquit-after-ms", type=int, default=0,
+                        metavar="M",
+                        help="send one SIGQUIT M ms into the session "
+                             "(flight-recorder dump; serving continues)")
     args = parser.parse_args()
 
     with open(args.requests, "rb") as handle:
@@ -254,6 +265,16 @@ def main():
         try:
             ready_lines = wait_for_ready_file(ready_file, proc)
             sock = connect(ready_lines, args.transport)
+            if args.sigquit_after_ms > 0:
+                # Fire-and-forget: the dump handler returns, so the
+                # session below is unaffected — that is the point.
+                def fire_sigquit():
+                    if proc.poll() is None:
+                        proc.send_signal(signal.SIGQUIT)
+                timer = threading.Timer(args.sigquit_after_ms / 1000.0,
+                                        fire_sigquit)
+                timer.daemon = True
+                timer.start()
             if args.chain:
                 responses = run_session_chain(sock, request_bytes,
                                               args.record)
